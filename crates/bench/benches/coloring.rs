@@ -1,0 +1,101 @@
+//! Coloring benchmarks: the `O(KL)` fast bound versus real coloring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use std::collections::BTreeSet;
+
+use nocsyn_coloring::{exact_chromatic, fast_color_directed, greedy_dsatur, two_color, ConflictGraph};
+use nocsyn_model::{Clique, CliqueSet, ContentionSet, Flow};
+
+/// Deterministic pseudo-random conflict graph of `n` vertices with edge
+/// probability ~1/3.
+fn random_graph(n: usize, mut seed: u64) -> ConflictGraph {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if (seed >> 59).is_multiple_of(3) {
+                edges.push((i, j));
+            }
+        }
+    }
+    ConflictGraph::from_edges(n, &edges)
+}
+
+fn bench_graph_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring/graph");
+    for n in [8usize, 16, 32] {
+        let graph = random_graph(n, 42);
+        group.bench_with_input(BenchmarkId::new("dsatur", n), &graph, |b, g| {
+            b.iter(|| greedy_dsatur(g));
+        });
+        group.bench_with_input(BenchmarkId::new("exact", n), &graph, |b, g| {
+            b.iter(|| exact_chromatic(g));
+        });
+        group.bench_with_input(BenchmarkId::new("two-color", n), &graph, |b, g| {
+            b.iter(|| two_color(g));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fast_color(c: &mut Criterion) {
+    // K cliques of L flows each, with half the flows crossing the probe
+    // set: the paper's O(KL) estimate.
+    let mut group = c.benchmark_group("coloring/fast-bound");
+    for (k, l) in [(8usize, 8usize), (32, 16), (128, 16), (32, 64)] {
+        let cliques = CliqueSet::from_cliques((0..k).map(|i| {
+            (0..l)
+                .map(|j| Flow::from_indices(2 * (i * l + j), 2 * (i * l + j) + 1))
+                .collect::<Clique>()
+        }));
+        let crossing: BTreeSet<Flow> = cliques
+            .iter()
+            .flat_map(|c| c.iter())
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 0)
+            .map(|(_, f)| f)
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("K{k}-L{l}")),
+            &(cliques, crossing),
+            |b, (cliques, crossing)| {
+                b.iter(|| fast_color_directed(cliques, crossing));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_conflict_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring/build");
+    for n in [16usize, 64, 256] {
+        let flows: Vec<Flow> = (0..n).map(|i| Flow::from_indices(i, i + n)).collect();
+        let mut contention = ContentionSet::new();
+        for i in (0..n).step_by(2) {
+            for j in (1..n).step_by(3) {
+                if i != j {
+                    contention.insert(flows[i], flows[j]);
+                }
+            }
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(flows, contention),
+            |b, (flows, contention)| {
+                b.iter(|| ConflictGraph::from_flows(flows.clone(), contention));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_graph_coloring,
+    bench_fast_color,
+    bench_conflict_graph_build
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Contention-model extraction benchmarks: overlap relation, contention
+//! set and clique set scaling with trace size.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nocsyn_model::Trace;
+use nocsyn_workloads::{random_permutation_schedule, Benchmark, WorkloadParams};
+
+fn trace_of_size(n_procs: usize, n_phases: usize) -> Trace {
+    random_permutation_schedule(
+        n_procs,
+        n_phases,
+        7,
+        &WorkloadParams::default().with_bytes(512),
+    )
+    .to_trace()
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model/extract");
+    group.sample_size(30).measurement_time(Duration::from_secs(5));
+    for (n, phases) in [(8usize, 16usize), (16, 64), (32, 128)] {
+        let trace = trace_of_size(n, phases);
+        group.bench_with_input(
+            BenchmarkId::new("contention-set", format!("{n}x{phases}")),
+            &trace,
+            |b, t| b.iter(|| t.contention_set()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("max-cliques", format!("{n}x{phases}")),
+            &trace,
+            |b, t| b.iter(|| t.maximum_clique_set()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("overlap", format!("{n}x{phases}")),
+            &trace,
+            |b, t| b.iter(|| t.overlap_relation()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_benchmark_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model/benchmark-patterns");
+    for benchmark in Benchmark::ALL {
+        let schedule = benchmark
+            .schedule(16, &WorkloadParams::paper_default(benchmark))
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(benchmark.name()),
+            &schedule,
+            |b, s| b.iter(|| s.maximum_clique_set()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction, bench_benchmark_patterns);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Synthesis benchmarks: the paper's §3.3 complexity claims in practice.
+//!
+//! * whole-methodology wall time per benchmark and process count (the
+//!   `O(N²KL)` claim);
+//! * fast vs exact coloring during the search (the central complexity
+//!   lever — DESIGN.md ablation 1).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nocsyn_synth::{synthesize, AppPattern, ColoringStrategy, SynthesisConfig};
+use nocsyn_workloads::{Benchmark, WorkloadParams};
+
+fn single_run_config(seed: u64) -> SynthesisConfig {
+    // One run (no restarts) isolates the algorithm's own cost.
+    SynthesisConfig::new().with_seed(seed).with_restarts(1)
+}
+
+fn bench_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize/cg");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for n in [4usize, 8, 16, 64] {
+        let schedule = Benchmark::Cg
+            .schedule(n, &WorkloadParams::paper_default(Benchmark::Cg).with_iterations(1))
+            .expect("powers of two are valid for CG");
+        let pattern = AppPattern::from_schedule(&schedule);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pattern, |b, pattern| {
+            b.iter(|| synthesize(pattern, &single_run_config(1)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_by_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize/16procs");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for benchmark in Benchmark::ALL {
+        let schedule = benchmark
+            .schedule(16, &WorkloadParams::paper_default(benchmark).with_iterations(1))
+            .expect("16 is valid for every benchmark");
+        let pattern = AppPattern::from_schedule(&schedule);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(benchmark.name()),
+            &pattern,
+            |b, pattern| {
+                b.iter(|| synthesize(pattern, &single_run_config(2)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_coloring_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize/coloring-strategy");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    let schedule = Benchmark::Cg
+        .schedule(16, &WorkloadParams::paper_default(Benchmark::Cg).with_iterations(1))
+        .expect("16 is valid for CG");
+    let pattern = AppPattern::from_schedule(&schedule);
+    for (name, strategy) in [("fast", ColoringStrategy::Fast), ("exact", ColoringStrategy::Exact)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &strategy| {
+            b.iter(|| {
+                synthesize(&pattern, &single_run_config(3).with_coloring(strategy)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_by_size,
+    bench_by_benchmark,
+    bench_coloring_strategy
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Figure 7 reproduction: switch and link area of generated networks
+//! normalized to a mesh (torus link area shown for reference).
+//!
+//! Usage: `fig7 [--nodes small|large|both]` (default: both).
+
+use nocsyn_bench::{build_instance, grid_dims, Fig7Row, HarnessError, NetworkKind};
+use nocsyn_floorplan::mesh_baseline;
+use nocsyn_workloads::{Benchmark, WorkloadParams};
+
+fn parse_configs() -> Vec<bool> {
+    let mut args = std::env::args().skip(1);
+    let mut which = "both".to_string();
+    while let Some(a) = args.next() {
+        if a == "--nodes" {
+            which = args.next().unwrap_or_else(|| "both".into());
+        }
+    }
+    match which.as_str() {
+        "small" => vec![false],
+        "large" => vec![true],
+        _ => vec![false, true],
+    }
+}
+
+fn row_for(benchmark: Benchmark, large: bool) -> Result<Fig7Row, HarnessError> {
+    let n = benchmark.paper_procs(large);
+    let sched = benchmark.schedule(n, &WorkloadParams::paper_default(benchmark))
+        .expect("paper process counts are valid");
+    let seed = 0x51ED ^ (n as u64) ^ ((benchmark as u64) << 8);
+    let generated = build_instance(NetworkKind::Generated, &sched, seed)?;
+    let (rows, cols) = grid_dims(n);
+    let mesh = mesh_baseline(rows, cols);
+    let gen_area = generated.area();
+    Ok(Fig7Row {
+        benchmark,
+        n_procs: n,
+        gen_switch: gen_area.switch_area / mesh.switch_area,
+        gen_link: gen_area.link_area / mesh.link_area,
+        torus_link: 2.0,
+    })
+}
+
+fn main() -> Result<(), HarnessError> {
+    for large in parse_configs() {
+        let label = if large {
+            "Figure 7(b): 16-node configurations"
+        } else {
+            "Figure 7(a): 8/9-node configurations"
+        };
+        println!("{label}");
+        println!("  resources normalized to the mesh (mesh = 1.00); torus switch ratio is 1.00");
+        println!(
+            "  {:<5} {:>5} | {:>13} {:>10} | {:>16} {:>13}",
+            "bench", "procs", "switch (gen)", "link (gen)", "link (torus/mesh)", "gen switches"
+        );
+        for benchmark in Benchmark::ALL {
+            let row = row_for(benchmark, large)?;
+            let n_sw = (row.gen_switch * {
+                let (r, c) = grid_dims(row.n_procs);
+                (r * c) as f64
+            })
+            .round() as usize;
+            println!(
+                "  {:<5} {:>5} | {:>13.2} {:>10.2} | {:>16.2} {:>13}",
+                row.benchmark.name(),
+                row.n_procs,
+                row.gen_switch,
+                row.gen_link,
+                row.torus_link,
+                n_sw
+            );
+        }
+        println!();
+    }
+    println!("paper reference: ~0.45-0.55 switch and ~0.25-0.60 link area for the generated");
+    println!("networks; torus always 2x mesh link area at equal switch area.");
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Multi-objective sweep (the paper's conclusion: "optimization over
+//! multiple objectives"): the resource trade-off curve across switch port
+//! budgets for each 16-node benchmark.
+
+use nocsyn_bench::HarnessError;
+use nocsyn_synth::{degree_sweep, AppPattern, SynthesisConfig};
+use nocsyn_workloads::{Benchmark, WorkloadParams};
+
+fn main() -> Result<(), HarnessError> {
+    println!("Pareto frontier of (port budget, switches, links), 16-node configurations");
+    for benchmark in Benchmark::ALL {
+        let schedule = benchmark
+            .schedule(16, &WorkloadParams::paper_default(benchmark))
+            .expect("16 is valid for every benchmark");
+        let pattern = AppPattern::from_schedule(&schedule);
+        let config = SynthesisConfig::new()
+            .with_seed(0x9A_u64 ^ (benchmark as u64))
+            .with_restarts(8);
+        let points = degree_sweep(&pattern, [4, 5, 6, 8, 12, 17], &config)
+            .map_err(HarnessError::Synth)?;
+        println!("  {}:", benchmark.name());
+        for p in points {
+            println!(
+                "    degree ≤ {:>2}: {:>2} switches, {:>2} links{}",
+                p.max_degree,
+                p.n_switches,
+                p.n_links,
+                if p.feasible { "" } else { "  (constraint NOT met)" }
+            );
+        }
+    }
+    println!();
+    println!("expected shape: relaxing the port budget monotonically shrinks the network,");
+    println!("collapsing to the single mega-switch once a switch may host everyone.");
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Link-utilization comparison (Section 3.4: "The link utilization,
+//! layout area and performance of a cross-section of networks generated
+//! by our design methodology are further analyzed").
+//!
+//! The efficiency claim behind the paper's resource reductions is that a
+//! mesh leaves most of its wires idle on a well-behaved pattern, while a
+//! generated network concentrates the same traffic onto far fewer links —
+//! higher utilization per link at equal delivered bandwidth.
+
+use nocsyn_bench::{build_instance, HarnessError, NetworkKind};
+use nocsyn_workloads::{Benchmark, WorkloadParams};
+
+fn main() -> Result<(), HarnessError> {
+    println!("per-link utilization of switch-to-switch links, 16-node configurations");
+    println!(
+        "  {:<5} {:<10} | {:>6} | {:>10} {:>10} | {:>13}",
+        "bench", "network", "links", "mean util", "peak util", "idle links"
+    );
+    for benchmark in Benchmark::ALL {
+        let schedule = benchmark
+            .schedule(16, &WorkloadParams::paper_default(benchmark))
+            .expect("16 is valid for every benchmark");
+        for kind in [NetworkKind::Mesh, NetworkKind::Generated] {
+            let inst = build_instance(kind, &schedule, 0x07EC ^ (benchmark as u64))?;
+            let stats = inst.simulate(&schedule)?;
+            // Restrict to switch-to-switch links (skip NI attachments,
+            // which are identical across topologies).
+            let network_links: Vec<f64> = inst
+                .network
+                .link_ids()
+                .filter(|&l| {
+                    let link = inst.network.link(l).expect("iterating links");
+                    link.a().as_switch().is_some() && link.b().as_switch().is_some()
+                })
+                .map(|l| stats.link_utilization[l.index()])
+                .collect();
+            if network_links.is_empty() {
+                println!(
+                    "  {:<5} {:<10} | {:>6} | {:>10} {:>10} | {:>13}",
+                    benchmark.name(),
+                    kind.name(),
+                    0,
+                    "-",
+                    "-",
+                    "-"
+                );
+                continue;
+            }
+            let mean = network_links.iter().sum::<f64>() / network_links.len() as f64;
+            let peak = network_links.iter().copied().fold(0.0f64, f64::max);
+            let idle = network_links.iter().filter(|&&u| u == 0.0).count();
+            println!(
+                "  {:<5} {:<10} | {:>6} | {:>9.1}% {:>9.1}% | {:>13}",
+                benchmark.name(),
+                kind.name(),
+                network_links.len(),
+                100.0 * mean,
+                100.0 * peak,
+                idle
+            );
+        }
+    }
+    println!();
+    println!("expected shape: for contention-bound patterns (CG) the generated network");
+    println!("carries the same traffic on a fraction of the links while *halving* the");
+    println!("peak-link utilization (no hot spot); for sparse patterns both run cool and");
+    println!("the generated network simply deletes the links the mesh wastes.");
+    Ok(())
+}

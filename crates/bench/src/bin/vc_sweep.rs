@@ -1,0 +1,55 @@
+//! Virtual-channel ablation: the paper attaches 3 VCs per physical link
+//! to "alleviate contention problems for the mesh and torus" and to cover
+//! the generated networks' skew-induced residual contention. This binary
+//! sweeps the VC count and reports CG@16 execution time per network,
+//! plus any deadlock recoveries — showing what the third VC actually buys.
+
+use nocsyn_bench::{build_instance, HarnessError, NetworkKind};
+use nocsyn_sim::{AppDriver, SimConfig};
+use nocsyn_topo::is_deadlock_free;
+use nocsyn_workloads::{Benchmark, WorkloadParams};
+
+fn main() -> Result<(), HarnessError> {
+    let schedule = Benchmark::Cg
+        .schedule(16, &WorkloadParams::paper_default(Benchmark::Cg))
+        .expect("16 is valid for CG");
+
+    println!("CG@16 execution cycles vs virtual channels per link");
+    println!(
+        "  {:<10} | {:>9} {:>9} {:>9} {:>9} | {:>10}",
+        "network", "1 VC", "2 VC", "3 VC", "4 VC", "CDG-free"
+    );
+    for kind in [NetworkKind::Mesh, NetworkKind::Torus, NetworkKind::Generated] {
+        let inst = build_instance(kind, &schedule, 0x7C)?;
+        let mut row = Vec::new();
+        let mut kills = 0u64;
+        for vcs in 1..=4usize {
+            let config = SimConfig::paper()
+                .with_vcs(vcs)
+                .with_link_delays(inst.floorplan.link_lengths(&inst.network));
+            let stats = AppDriver::new(&inst.network, inst.policy.clone(), config)
+                .run(&schedule)?;
+            kills += stats.packets.deadlock_kills;
+            row.push(stats.exec_cycles);
+        }
+        let cdg = match &inst.synthesis {
+            Some(s) => is_deadlock_free(&s.routes).to_string(),
+            None => "-".to_string(),
+        };
+        println!(
+            "  {:<10} | {:>9} {:>9} {:>9} {:>9} | {:>10}   (kills across sweep: {kills})",
+            kind.name(),
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            cdg
+        );
+    }
+    println!();
+    println!("expected shape: the torus NEEDS a second VC — at 1 VC its wraparound channel");
+    println!("dependencies deadlock and regressive recovery pays a large penalty; the");
+    println!("generated network is contention-free (and CDG-acyclic) at a single VC, so");
+    println!("extra channels buy it nothing.");
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! Polynomial 2-coloring.
+//!
+//! Section 3.3 of the paper notes that once partitioning spreads traffic
+//! thin enough, pipes need at most two links and "the coloring problem
+//! becomes solvable in polynomial time". This module is that polynomial
+//! case: a BFS bipartiteness test.
+
+use std::collections::VecDeque;
+
+use crate::{Coloring, ConflictGraph};
+
+/// Attempts to properly color `graph` with at most two colors.
+///
+/// Returns `Some` coloring iff the graph is bipartite (no odd cycle);
+/// isolated vertices take color 0, and a graph with no edges uses a single
+/// color. Runs in `O(V + E)`.
+pub fn two_color(graph: &ConflictGraph) -> Option<Coloring> {
+    let n = graph.n();
+    let mut colors: Vec<Option<usize>> = vec![None; n];
+    for start in 0..n {
+        if colors[start].is_some() {
+            continue;
+        }
+        colors[start] = Some(0);
+        let mut queue = VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            let cv = colors[v].expect("queued vertices are colored");
+            for u in graph.neighbors(v) {
+                match colors[u] {
+                    None => {
+                        colors[u] = Some(1 - cv);
+                        queue.push_back(u);
+                    }
+                    Some(cu) if cu == cv => return None,
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    Some(Coloring::new(
+        colors.into_iter().map(|c| c.expect("all components visited")).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_chromatic;
+
+    #[test]
+    fn path_is_bipartite() {
+        let g = ConflictGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let c = two_color(&g).expect("paths are bipartite");
+        assert!(c.is_proper(&g));
+        assert_eq!(c.n_colors(), 2);
+    }
+
+    #[test]
+    fn odd_cycle_is_not() {
+        let g = ConflictGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert!(two_color(&g).is_none());
+    }
+
+    #[test]
+    fn edgeless_graph_uses_one_color() {
+        let g = ConflictGraph::from_edges(3, &[]);
+        let c = two_color(&g).unwrap();
+        assert_eq!(c.n_colors(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = ConflictGraph::from_edges(0, &[]);
+        assert_eq!(two_color(&g).unwrap().n_colors(), 0);
+    }
+
+    #[test]
+    fn disconnected_components_handled() {
+        // Two disjoint edges and an isolated vertex.
+        let g = ConflictGraph::from_edges(5, &[(0, 1), (2, 3)]);
+        let c = two_color(&g).unwrap();
+        assert!(c.is_proper(&g));
+        assert_eq!(c.n_colors(), 2);
+    }
+
+    #[test]
+    fn agrees_with_exact_on_random_graphs() {
+        let mut x = 31u64;
+        for _ in 0..30 {
+            let n = 4 + (x as usize) % 8;
+            let mut edges = Vec::new();
+            for i in 0..n {
+                for j in i + 1..n {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    if (x >> 61) == 0 {
+                        edges.push((i, j));
+                    }
+                }
+            }
+            let g = ConflictGraph::from_edges(n, &edges);
+            let exact = exact_chromatic(&g).n_colors();
+            match two_color(&g) {
+                Some(c) => {
+                    assert!(c.is_proper(&g));
+                    assert!(c.n_colors() <= 2);
+                    assert!(exact <= 2);
+                }
+                None => assert!(exact > 2),
+            }
+        }
+    }
+}

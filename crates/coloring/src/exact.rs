@@ -1,0 +1,166 @@
+//! Exact chromatic number by branch and bound — the paper's "formal
+//! coloring", run once at topology finalization.
+
+use crate::{greedy_dsatur, Coloring, ConflictGraph};
+
+/// Computes an optimal proper coloring of `graph` by depth-first branch and
+/// bound.
+///
+/// Vertices are assigned in descending-degree order; at each step a vertex
+/// may take any color already in use or one fresh color (standard symmetry
+/// breaking), and branches whose color count reaches the incumbent are
+/// pruned. The incumbent starts at the DSATUR solution and the search stops
+/// early when it matches the greedy clique lower bound.
+///
+/// Conflict graphs at finalization are small (the paper's algorithm only
+/// formally colors pipes it expects to need ≤ 2 links; we run exact
+/// coloring on every pipe for robustness), so exponential worst case is not
+/// a concern in practice. For safety the search is capped at ~2 million
+/// nodes, falling back to the DSATUR coloring if exceeded — the result is
+/// then still proper, merely possibly suboptimal.
+pub fn exact_chromatic(graph: &ConflictGraph) -> Coloring {
+    let n = graph.n();
+    if n == 0 {
+        return Coloring::new(Vec::new());
+    }
+    let incumbent = greedy_dsatur(graph);
+    let lower = graph.greedy_clique_bound();
+    if incumbent.n_colors() <= lower {
+        return incumbent;
+    }
+
+    // Order vertices by descending degree for earlier pruning.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+
+    let mut search = Search {
+        graph,
+        order: &order,
+        assignment: vec![usize::MAX; n],
+        best: incumbent.colors().to_vec(),
+        best_count: incumbent.n_colors(),
+        lower,
+        budget: 2_000_000,
+    };
+    search.dfs(0, 0);
+    Coloring::new(search.best)
+}
+
+struct Search<'a> {
+    graph: &'a ConflictGraph,
+    order: &'a [usize],
+    assignment: Vec<usize>,
+    best: Vec<usize>,
+    best_count: usize,
+    lower: usize,
+    budget: usize,
+}
+
+impl Search<'_> {
+    /// Extends the partial assignment at position `depth` with `used`
+    /// colors already in play.
+    fn dfs(&mut self, depth: usize, used: usize) {
+        if self.budget == 0 || self.best_count <= self.lower {
+            return;
+        }
+        self.budget -= 1;
+
+        if depth == self.order.len() {
+            // Complete proper coloring with `used` colors (< best_count by
+            // construction of the branching bound).
+            self.best = self.assignment.clone();
+            self.best_count = used;
+            return;
+        }
+
+        let v = self.order[depth];
+        let max_color = (used + 1).min(self.best_count - 1);
+        for color in 0..max_color {
+            let conflict = self
+                .graph
+                .neighbors(v)
+                .any(|u| self.assignment[u] == color);
+            if conflict {
+                continue;
+            }
+            self.assignment[v] = color;
+            self.dfs(depth + 1, used.max(color + 1));
+            self.assignment[v] = usize::MAX;
+            if self.best_count <= self.lower {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chromatic(n: usize, edges: &[(usize, usize)]) -> usize {
+        let g = ConflictGraph::from_edges(n, edges);
+        let c = exact_chromatic(&g);
+        assert!(c.is_proper(&g));
+        c.n_colors()
+    }
+
+    #[test]
+    fn known_chromatic_numbers() {
+        assert_eq!(chromatic(0, &[]), 0);
+        assert_eq!(chromatic(4, &[]), 1);
+        assert_eq!(chromatic(2, &[(0, 1)]), 2);
+        // Odd cycle C5.
+        assert_eq!(chromatic(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]), 3);
+        // Even cycle C6.
+        assert_eq!(
+            chromatic(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]),
+            2
+        );
+        // K4.
+        assert_eq!(chromatic(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]), 4);
+    }
+
+    #[test]
+    fn wheel_graphs() {
+        // W5 (C5 + hub): chromatic number 4; W6 (C6 + hub): 3.
+        let mut w5: Vec<(usize, usize)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+        w5.extend((0..5).map(|i| (i, 5)));
+        assert_eq!(chromatic(6, &w5), 4);
+
+        let mut w6: Vec<(usize, usize)> = (0..6).map(|i| (i, (i + 1) % 6)).collect();
+        w6.extend((0..6).map(|i| (i, 6)));
+        assert_eq!(chromatic(7, &w6), 3);
+    }
+
+    #[test]
+    fn petersen_graph_is_three_chromatic() {
+        let outer: Vec<(usize, usize)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+        let spokes: Vec<(usize, usize)> = (0..5).map(|i| (i, i + 5)).collect();
+        let inner: Vec<(usize, usize)> = (0..5).map(|i| (i + 5, (i + 2) % 5 + 5)).collect();
+        let edges: Vec<_> = outer.into_iter().chain(spokes).chain(inner).collect();
+        assert_eq!(chromatic(10, &edges), 3);
+    }
+
+    #[test]
+    fn exact_never_exceeds_dsatur() {
+        let mut x = 7u64;
+        for trial in 0..25 {
+            let n = 4 + trial % 12;
+            let mut edges = Vec::new();
+            for i in 0..n {
+                for j in i + 1..n {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    if (x >> 59).is_multiple_of(3) {
+                        edges.push((i, j));
+                    }
+                }
+            }
+            let g = ConflictGraph::from_edges(n, &edges);
+            let exact = exact_chromatic(&g);
+            let greedy = greedy_dsatur(&g);
+            assert!(exact.is_proper(&g));
+            assert!(exact.n_colors() <= greedy.n_colors());
+            assert!(exact.n_colors() >= g.greedy_clique_bound());
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests of the coloring suite's ordering invariants:
+//! clique bound ≤ exact chromatic number ≤ DSATUR ≤ max degree + 1.
+
+use proptest::prelude::*;
+
+use nocsyn_coloring::{exact_chromatic, greedy_dsatur, two_color, ConflictGraph};
+
+/// Strategy: a random undirected graph as (n, edge list).
+fn graph_strategy() -> impl Strategy<Value = ConflictGraph> {
+    (2usize..14).prop_flat_map(|n| {
+        prop::collection::vec((0..n, 0..n), 0..n * 3).prop_map(move |raw| {
+            let edges: Vec<(usize, usize)> =
+                raw.into_iter().filter(|&(a, b)| a != b).collect();
+            ConflictGraph::from_edges(n, &edges)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn chromatic_sandwich(graph in graph_strategy()) {
+        let exact = exact_chromatic(&graph);
+        let greedy = greedy_dsatur(&graph);
+
+        prop_assert!(exact.is_proper(&graph));
+        prop_assert!(greedy.is_proper(&graph));
+
+        // Lower bound: any clique; upper bounds: DSATUR and Brooks-ish.
+        prop_assert!(graph.greedy_clique_bound() <= exact.n_colors());
+        prop_assert!(exact.n_colors() <= greedy.n_colors());
+        let max_degree = (0..graph.n()).map(|v| graph.degree(v)).max().unwrap_or(0);
+        prop_assert!(greedy.n_colors() <= max_degree + 1);
+    }
+
+    #[test]
+    fn two_color_agrees_with_exact(graph in graph_strategy()) {
+        match two_color(&graph) {
+            Some(c) => {
+                prop_assert!(c.is_proper(&graph));
+                prop_assert!(exact_chromatic(&graph).n_colors() <= 2);
+            }
+            None => prop_assert!(exact_chromatic(&graph).n_colors() >= 3),
+        }
+    }
+
+    /// Removing an edge never increases the chromatic number.
+    #[test]
+    fn chromatic_is_edge_monotone(n in 3usize..10, seed in 0u64..1_000) {
+        let mut x = seed;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if (x >> 61) % 2 == 0 {
+                    edges.push((i, j));
+                }
+            }
+        }
+        prop_assume!(!edges.is_empty());
+        let full = exact_chromatic(&ConflictGraph::from_edges(n, &edges)).n_colors();
+        let mut reduced = edges.clone();
+        reduced.pop();
+        let fewer = exact_chromatic(&ConflictGraph::from_edges(n, &reduced)).n_colors();
+        prop_assert!(fewer <= full);
+    }
+}

@@ -1,0 +1,126 @@
+//! Move-acceptance rules: greedy descent and simulated annealing.
+//!
+//! The paper describes its optimizer as simulated annealing, but the
+//! published algorithm (Appendix) only ever commits improving moves — i.e.
+//! greedy descent with a balance constraint. We implement both: greedy
+//! reproduces the paper; a true annealing schedule is exposed as an
+//! extension and ablation (DESIGN.md §5.2).
+
+use rand::Rng;
+
+/// Decides whether a candidate move with a given cost delta is accepted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AcceptanceRule {
+    /// Accept only strictly-improving moves (the paper's published rule).
+    Greedy,
+    /// Metropolis acceptance with geometric cooling: a worsening move of
+    /// `Δ` is accepted with probability `exp(-Δ / T)`, and `T` is
+    /// multiplied by `cooling` after every decision.
+    Anneal {
+        /// Initial temperature (in cost units).
+        initial_temperature: f64,
+        /// Geometric cooling factor in `(0, 1)`.
+        cooling: f64,
+    },
+}
+
+impl AcceptanceRule {
+    /// A conservative annealing schedule suitable for the paper's problem
+    /// sizes.
+    pub fn default_anneal() -> Self {
+        AcceptanceRule::Anneal {
+            initial_temperature: 2.0,
+            cooling: 0.95,
+        }
+    }
+}
+
+/// Mutable acceptance state carrying the current temperature.
+#[derive(Debug, Clone)]
+pub(crate) struct Acceptor {
+    rule: AcceptanceRule,
+    temperature: f64,
+}
+
+impl Acceptor {
+    pub(crate) fn new(rule: AcceptanceRule) -> Self {
+        let temperature = match rule {
+            AcceptanceRule::Greedy => 0.0,
+            AcceptanceRule::Anneal {
+                initial_temperature, ..
+            } => initial_temperature,
+        };
+        Acceptor { rule, temperature }
+    }
+
+    /// Whether a move changing the cost from `old` to `new` is accepted.
+    /// Cools the temperature as a side effect when annealing.
+    pub(crate) fn accepts<R: Rng>(&mut self, old: usize, new: usize, rng: &mut R) -> bool {
+        match self.rule {
+            AcceptanceRule::Greedy => new < old,
+            AcceptanceRule::Anneal { cooling, .. } => {
+                let accept = if new < old {
+                    true
+                } else if self.temperature <= f64::EPSILON {
+                    false
+                } else {
+                    let delta = (new - old) as f64;
+                    rng.gen::<f64>() < (-delta / self.temperature).exp()
+                };
+                self.temperature *= cooling;
+                accept
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_accepts_only_improvements() {
+        let mut a = Acceptor::new(AcceptanceRule::Greedy);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(a.accepts(10, 9, &mut rng));
+        assert!(!a.accepts(10, 10, &mut rng));
+        assert!(!a.accepts(10, 11, &mut rng));
+    }
+
+    #[test]
+    fn anneal_always_accepts_improvements() {
+        let mut a = Acceptor::new(AcceptanceRule::default_anneal());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert!(a.accepts(10, 9, &mut rng));
+        }
+    }
+
+    #[test]
+    fn anneal_sometimes_accepts_worsening_early() {
+        let mut a = Acceptor::new(AcceptanceRule::Anneal {
+            initial_temperature: 100.0,
+            cooling: 1.0,
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        let accepted = (0..200).filter(|_| a.accepts(10, 11, &mut rng)).count();
+        assert!(accepted > 150, "hot annealer should accept most +1 moves");
+    }
+
+    #[test]
+    fn anneal_freezes_as_it_cools() {
+        let mut a = Acceptor::new(AcceptanceRule::Anneal {
+            initial_temperature: 1.0,
+            cooling: 0.5,
+        });
+        let mut rng = StdRng::seed_from_u64(4);
+        // Burn the temperature down.
+        for _ in 0..64 {
+            a.accepts(10, 11, &mut rng);
+        }
+        let accepted = (0..100).filter(|_| a.accepts(10, 11, &mut rng)).count();
+        assert_eq!(accepted, 0, "frozen annealer behaves greedily");
+    }
+}

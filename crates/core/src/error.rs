@@ -1,0 +1,59 @@
+//! Error type for synthesis.
+
+use std::error::Error;
+use std::fmt;
+
+use nocsyn_topo::TopoError;
+
+/// Errors produced by the synthesis pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// The application pattern has no processors.
+    EmptyPattern,
+    /// Materializing the final network failed (internal invariant breach
+    /// surfaced from the topology layer).
+    Materialize(TopoError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::EmptyPattern => write!(f, "application pattern has no processors"),
+            SynthError::Materialize(e) => write!(f, "failed to materialize network: {e}"),
+        }
+    }
+}
+
+impl Error for SynthError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthError::EmptyPattern => None,
+            SynthError::Materialize(e) => Some(e),
+        }
+    }
+}
+
+impl From<TopoError> for SynthError {
+    fn from(e: TopoError) -> Self {
+        SynthError::Materialize(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SynthError::EmptyPattern;
+        assert_eq!(e.to_string(), "application pattern has no processors");
+        assert!(e.source().is_none());
+
+        let inner = TopoError::DegenerateShape { what: "x" };
+        let e = SynthError::from(inner.clone());
+        assert!(e.to_string().contains("materialize"));
+        assert!(e.source().is_some());
+        assert_eq!(e, SynthError::Materialize(inner));
+    }
+}

@@ -1,0 +1,189 @@
+//! Synthesis of minimal, low-contention application-specific on-chip
+//! networks — the core methodology of Ho & Pinkston, **"A Methodology for
+//! Designing Efficient On-Chip Interconnects on Well-Behaved Communication
+//! Patterns"** (HPCA 2003), Section 3.
+//!
+//! Given the communication pattern of a well-behaved application (an
+//! [`AppPattern`], extracted from a timed trace or a phase schedule), the
+//! [`synthesize`] entry point runs the paper's recursive-bisection
+//! algorithm:
+//!
+//! 1. Start from a single "mega-switch" connecting every processor.
+//! 2. While some switch violates the design constraints, split it: create a
+//!    new switch, move half of its processors over, and locally improve the
+//!    partition by greedy processor moves (bounded imbalance) and indirect
+//!    route assignment (`Best_Route`).
+//! 3. Size every inter-switch *pipe* with the `Fast_Color` clique bound
+//!    during the search, and with formal graph coloring at finalization.
+//! 4. Materialize the result as a concrete [`Network`] and [`RouteTable`]
+//!    in which temporally-conflicting communications are assigned to
+//!    different parallel links — making the intersection of the
+//!    application's contention set with the network's conflict set empty
+//!    (Theorem 1).
+//!
+//! # Example
+//!
+//! ```
+//! use nocsyn_model::{Phase, PhaseSchedule};
+//! use nocsyn_synth::{synthesize, AppPattern, SynthesisConfig};
+//! use nocsyn_topo::verify_contention_free;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A tiny phase-parallel app on 8 processors: neighbor exchange, then a
+//! // transpose-like permutation.
+//! let mut sched = PhaseSchedule::new(8);
+//! sched.push(Phase::from_flows([(0usize, 1usize), (2, 3), (4, 5), (6, 7)])?)?;
+//! sched.push(Phase::from_flows([(1usize, 0usize), (3, 2), (5, 4), (7, 6)])?)?;
+//! sched.push(Phase::from_flows([(0usize, 4usize), (1, 5), (2, 6), (3, 7)])?)?;
+//!
+//! let pattern = AppPattern::from_schedule(&sched);
+//! let config = SynthesisConfig::new().with_max_degree(5).with_seed(7);
+//! let result = synthesize(&pattern, &config)?;
+//!
+//! // The generated network satisfies the degree constraint and is
+//! // contention-free for the application (Theorem 1).
+//! assert!(result.report.constraints_met);
+//! assert!(result.network.max_degree() <= 5);
+//! let report = verify_contention_free(pattern.contention(), &result.routes);
+//! assert!(report.is_contention_free());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod anneal;
+mod config;
+mod error;
+mod explain;
+mod finalize;
+mod moves;
+mod pareto;
+mod partition;
+mod pattern;
+mod report;
+mod route_opt;
+
+pub use anneal::AcceptanceRule;
+pub use config::{ColoringStrategy, SynthesisConfig};
+pub use error::SynthError;
+pub use explain::explain;
+pub use pareto::{degree_sweep, ParetoPoint};
+pub use finalize::SynthesisResult;
+pub use partition::{Partitioning, PipeKey};
+pub use pattern::AppPattern;
+pub use report::SynthesisReport;
+
+use nocsyn_topo::{Network, RouteTable};
+
+/// Runs the full design methodology on `pattern` under `config`, producing
+/// a concrete network, a route table, and a synthesis report.
+///
+/// # Errors
+///
+/// Returns [`SynthError::EmptyPattern`] for a pattern with no processors.
+/// A pattern whose constraints cannot be met (e.g. a degree bound smaller
+/// than what any topology needs) does not error: synthesis runs to its
+/// round limit and reports `constraints_met = false`.
+pub fn synthesize(
+    pattern: &AppPattern,
+    config: &SynthesisConfig,
+) -> Result<SynthesisResult, SynthError> {
+    let mut best: Option<SynthesisResult> = None;
+    for attempt in 0..config.restarts() {
+        let seed = config
+            .seed()
+            .wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let run_config = config.clone().with_seed(seed);
+        let result = synthesize_once(pattern, &run_config)?;
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                let key = |r: &SynthesisResult| {
+                    (
+                        !r.report.constraints_met, // met first
+                        r.report.n_links,
+                        r.report.n_switches,
+                    )
+                };
+                key(&result) < key(b)
+            }
+        };
+        if better {
+            best = Some(result);
+        }
+    }
+    Ok(best.expect("restarts >= 1 guarantees a result"))
+}
+
+/// One full pass of the Main Partitioning Algorithm plus finalization.
+fn synthesize_once(
+    pattern: &AppPattern,
+    config: &SynthesisConfig,
+) -> Result<SynthesisResult, SynthError> {
+    let mut partitioning = Partitioning::megaswitch(pattern)?;
+    partition::run(&mut partitioning, config);
+    let mut result = finalize::materialize(&partitioning, config)?;
+
+    // The paper's step 3: formal coloring may need more links than the
+    // fast estimate, re-violating the degree constraint — in that case
+    // partitioning resumes. Re-running with exact coloring makes the
+    // search's degree estimates equal the finalized ones, so this loop
+    // converges for any satisfiable constraint.
+    let mut retries = 0;
+    while !result.report.constraints_met && retries < 2 {
+        let exact = config.clone().with_coloring(ColoringStrategy::Exact);
+        partition::run(&mut partitioning, &exact);
+        result = finalize::materialize(&partitioning, config)?;
+        retries += 1;
+    }
+    Ok(result)
+}
+
+/// Warm-started synthesis for run-time reconfiguration: starts from an
+/// existing processor placement (e.g. a previous
+/// [`SynthesisResult::placement`]) instead of the mega-switch, so the new
+/// network stays as close to the old one as the new pattern permits. Use
+/// [`NetworkDelta::between`] on the two networks to obtain the
+/// reconfiguration edit script.
+///
+/// Unlike [`synthesize`], this performs a single deterministic run (no
+/// restarts): the whole point is continuity with the starting placement.
+///
+/// [`NetworkDelta::between`]: nocsyn_topo::NetworkDelta::between
+///
+/// # Errors
+///
+/// [`SynthError::EmptyPattern`] if the pattern has no processors or the
+/// placement does not cover them.
+pub fn synthesize_incremental(
+    pattern: &AppPattern,
+    placement: &[usize],
+    config: &SynthesisConfig,
+) -> Result<SynthesisResult, SynthError> {
+    let mut partitioning = Partitioning::from_assignment(pattern, placement)?;
+    partition::run(&mut partitioning, config);
+    let mut result = finalize::materialize(&partitioning, config)?;
+    let mut retries = 0;
+    while !result.report.constraints_met && retries < 2 {
+        let exact = config.clone().with_coloring(ColoringStrategy::Exact);
+        partition::run(&mut partitioning, &exact);
+        result = finalize::materialize(&partitioning, config)?;
+        retries += 1;
+    }
+    Ok(result)
+}
+
+/// Convenience: synthesize and return only the `(network, routes)` pair.
+///
+/// # Errors
+///
+/// Same conditions as [`synthesize`].
+pub fn synthesize_network(
+    pattern: &AppPattern,
+    config: &SynthesisConfig,
+) -> Result<(Network, RouteTable), SynthError> {
+    synthesize(pattern, config).map(|r| (r.network, r.routes))
+}

@@ -1,0 +1,154 @@
+//! Multi-objective exploration: sweep the design constraint and keep the
+//! Pareto frontier.
+//!
+//! The paper's conclusion points at "optimization over multiple
+//! objectives" as the natural extension: a designer rarely wants one
+//! network, but the *trade-off curve* between switch cost, wiring and the
+//! port budget the floorplan can afford. [`degree_sweep`] synthesizes the
+//! same pattern under a range of degree constraints and returns the
+//! non-dominated results.
+
+use crate::{synthesize, AppPattern, SynthError, SynthesisConfig, SynthesisResult};
+
+/// One point of a constraint sweep.
+#[derive(Debug)]
+pub struct ParetoPoint {
+    /// The degree constraint this point was synthesized under.
+    pub max_degree: usize,
+    /// Switches in the result.
+    pub n_switches: usize,
+    /// Switch-to-switch links in the result.
+    pub n_links: usize,
+    /// Whether the constraint was actually met.
+    pub feasible: bool,
+    /// The full synthesis result.
+    pub result: SynthesisResult,
+}
+
+impl ParetoPoint {
+    /// Whether this point dominates `other`: feasible, no worse in every
+    /// objective (degree budget, switches, links) and better in at least
+    /// one.
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        if !self.feasible || !other.feasible {
+            return self.feasible && !other.feasible;
+        }
+        let no_worse = self.max_degree <= other.max_degree
+            && self.n_switches <= other.n_switches
+            && self.n_links <= other.n_links;
+        let better = self.max_degree < other.max_degree
+            || self.n_switches < other.n_switches
+            || self.n_links < other.n_links;
+        no_worse && better
+    }
+}
+
+/// Synthesizes `pattern` once per degree bound in `degrees` and returns
+/// the Pareto-optimal points (sorted by degree bound).
+///
+/// Infeasible bounds are kept only if no feasible point exists at all (so
+/// the caller always gets something to inspect).
+///
+/// # Errors
+///
+/// Propagates the first [`SynthError`] (which, given a non-empty pattern,
+/// does not occur).
+pub fn degree_sweep(
+    pattern: &AppPattern,
+    degrees: impl IntoIterator<Item = usize>,
+    config: &SynthesisConfig,
+) -> Result<Vec<ParetoPoint>, SynthError> {
+    let mut points = Vec::new();
+    for degree in degrees {
+        let result = synthesize(pattern, &config.clone().with_max_degree(degree))?;
+        points.push(ParetoPoint {
+            max_degree: degree,
+            n_switches: result.report.n_switches,
+            n_links: result.report.n_links,
+            feasible: result.report.constraints_met,
+            result,
+        });
+    }
+    // Keep non-dominated points; if nothing is feasible, return everything.
+    if points.iter().any(|p| p.feasible) {
+        let dominated: Vec<bool> = points
+            .iter()
+            .map(|p| points.iter().any(|q| !std::ptr::eq(p, q) && q.dominates(p)))
+            .collect();
+        let mut keep = Vec::new();
+        for (point, dominated) in points.into_iter().zip(dominated) {
+            if point.feasible && !dominated {
+                keep.push(point);
+            }
+        }
+        points = keep;
+    }
+    points.sort_by_key(|p| p.max_degree);
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocsyn_model::{Phase, PhaseSchedule};
+
+    fn pattern8() -> AppPattern {
+        let mut s = PhaseSchedule::new(8);
+        s.push(Phase::from_flows([(0usize, 1usize), (2, 3), (4, 5), (6, 7)]).unwrap())
+            .unwrap();
+        s.push(Phase::from_flows([(0usize, 4usize), (1, 5), (2, 6), (3, 7)]).unwrap())
+            .unwrap();
+        AppPattern::from_schedule(&s)
+    }
+
+    #[test]
+    fn sweep_returns_nondominated_feasible_points() {
+        let config = SynthesisConfig::new().with_seed(5).with_restarts(2);
+        let points = degree_sweep(&pattern8(), [3, 5, 9], &config).unwrap();
+        assert!(!points.is_empty());
+        assert!(points.iter().all(|p| p.feasible));
+        for a in &points {
+            for b in &points {
+                if !std::ptr::eq(a, b) {
+                    assert!(!a.dominates(b), "dominated point survived");
+                }
+            }
+        }
+        // Degree 9 admits the megaswitch (1 switch, 0 links) which
+        // dominates on switches/links; lower degrees survive only if they
+        // are not dominated on every axis — and degree 3's point has a
+        // smaller degree budget, so both may legitimately coexist.
+        assert!(points.iter().map(|p| p.max_degree).is_sorted());
+    }
+
+    #[test]
+    fn dominance_relation() {
+        let config = SynthesisConfig::new().with_seed(1).with_restarts(1);
+        let r = synthesize(&pattern8(), &config).unwrap();
+        let make = |d, s, l, f| ParetoPoint {
+            max_degree: d,
+            n_switches: s,
+            n_links: l,
+            feasible: f,
+            result: r.clone(),
+        };
+        assert!(make(4, 2, 1, true).dominates(&make(5, 2, 1, true)));
+        assert!(make(4, 2, 1, true).dominates(&make(4, 3, 2, true)));
+        assert!(!make(4, 2, 1, true).dominates(&make(4, 2, 1, true)));
+        assert!(!make(5, 2, 1, true).dominates(&make(4, 3, 2, true)));
+        assert!(make(9, 9, 9, true).dominates(&make(3, 1, 0, false)));
+        assert!(!make(3, 1, 0, false).dominates(&make(9, 9, 9, true)));
+    }
+
+    #[test]
+    fn infeasible_everywhere_returns_all_points() {
+        // Degree 0 is never satisfiable; all attempts are reported.
+        let config = SynthesisConfig::new()
+            .with_seed(2)
+            .with_restarts(1)
+            .with_max_rounds(20);
+        let points = degree_sweep(&pattern8(), [0], &config).unwrap();
+        assert_eq!(points.len(), 1);
+        assert!(!points[0].feasible);
+    }
+}

@@ -1,0 +1,96 @@
+//! Synthesis run reporting.
+
+use std::fmt;
+
+/// Summary of a synthesis run: what was built and how the search behaved.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SynthesisReport {
+    /// Switches in the materialized network.
+    pub n_switches: usize,
+    /// Switch-to-switch links in the materialized network (processor
+    /// attachments excluded).
+    pub n_links: usize,
+    /// Largest switch degree in the materialized network (attachments
+    /// included).
+    pub max_degree: usize,
+    /// Whether every switch meets the configured degree constraint after
+    /// formal coloring.
+    pub constraints_met: bool,
+    /// Whether Theorem 1 holds: the application's contention set does not
+    /// intersect the materialized network's conflict set.
+    pub contention_free: bool,
+    /// Links added at finalization solely to restore strong connectivity
+    /// (carry no application traffic).
+    pub connectivity_links: usize,
+    /// Partitioning rounds executed.
+    pub rounds: usize,
+    /// Switch splits performed.
+    pub splits: usize,
+    /// Processor moves evaluated.
+    pub moves_tried: usize,
+    /// Processor moves committed.
+    pub moves_accepted: usize,
+    /// Indirect-route candidates evaluated by `Best_Route`.
+    pub reroutes_tried: usize,
+    /// Indirect-route changes committed.
+    pub reroutes_accepted: usize,
+    /// Total-link estimate at the start of each round.
+    pub cost_history: Vec<usize>,
+}
+
+impl fmt::Display for SynthesisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "synthesized {} switches, {} links (max degree {}), constraints {}",
+            self.n_switches,
+            self.n_links,
+            self.max_degree,
+            if self.constraints_met { "met" } else { "NOT met" }
+        )?;
+        writeln!(
+            f,
+            "contention-free: {}; connectivity links added: {}",
+            self.contention_free, self.connectivity_links
+        )?;
+        write!(
+            f,
+            "search: {} rounds, {} splits, {}/{} moves, {}/{} reroutes",
+            self.rounds,
+            self.splits,
+            self.moves_accepted,
+            self.moves_tried,
+            self.reroutes_accepted,
+            self.reroutes_tried
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let r = SynthesisReport {
+            n_switches: 6,
+            n_links: 7,
+            max_degree: 5,
+            constraints_met: true,
+            contention_free: true,
+            ..Default::default()
+        };
+        let s = r.to_string();
+        assert!(s.contains("6 switches"));
+        assert!(s.contains("7 links"));
+        assert!(s.contains("constraints met"));
+    }
+
+    #[test]
+    fn default_is_all_zero() {
+        let r = SynthesisReport::default();
+        assert_eq!(r.n_switches, 0);
+        assert!(!r.constraints_met);
+        assert!(r.cost_history.is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! The area model and analytic baselines.
+
+use std::fmt;
+
+/// Switch and link area of a floorplanned network, in the paper's units:
+/// one unit of switch area per (5-port) switch, one unit of link area per
+/// tile a link crosses.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AreaReport {
+    /// Total switch area (= number of switches).
+    pub switch_area: f64,
+    /// Total link area (= sum of link manhattan lengths in tiles,
+    /// processor attachments included).
+    pub link_area: f64,
+}
+
+impl AreaReport {
+    /// Both areas normalized against a baseline (the paper's Figure 7
+    /// plots everything relative to the mesh).
+    ///
+    /// A zero-area baseline component normalizes to zero (the quantity is
+    /// "no worse than nothing").
+    #[must_use]
+    pub fn normalized_to(&self, baseline: &AreaReport) -> AreaReport {
+        let ratio = |x: f64, b: f64| if b == 0.0 { 0.0 } else { x / b };
+        AreaReport {
+            switch_area: ratio(self.switch_area, baseline.switch_area),
+            link_area: ratio(self.link_area, baseline.link_area),
+        }
+    }
+
+    /// Sum of both components.
+    pub fn total(&self) -> f64 {
+        self.switch_area + self.link_area
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "switch area {:.2}, link area {:.2}",
+            self.switch_area, self.link_area
+        )
+    }
+}
+
+/// The analytic area of a `rows x cols` mesh: one switch per tile, every
+/// link exactly one tile long (Figure 6(a)).
+pub fn mesh_baseline(rows: usize, cols: usize) -> AreaReport {
+    let links = rows * cols.saturating_sub(1) + cols * rows.saturating_sub(1);
+    AreaReport {
+        switch_area: (rows * cols) as f64,
+        link_area: links as f64,
+    }
+}
+
+/// The analytic area of a `rows x cols` torus under the 2-D layout
+/// constraint: "a torus requires two times the link resources compared to
+/// a mesh network due to the wrap-around links and the 2-D constraint of a
+/// chip" with the same switch area (Section 4.2).
+pub fn torus_baseline(rows: usize, cols: usize) -> AreaReport {
+    let mesh = mesh_baseline(rows, cols);
+    AreaReport {
+        switch_area: mesh.switch_area,
+        link_area: 2.0 * mesh.link_area,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_closed_form() {
+        let m = mesh_baseline(4, 4);
+        assert_eq!(m.switch_area, 16.0);
+        assert_eq!(m.link_area, 24.0);
+        let m33 = mesh_baseline(3, 3);
+        assert_eq!(m33.link_area, 12.0);
+        let line = mesh_baseline(1, 5);
+        assert_eq!(line.link_area, 4.0);
+    }
+
+    #[test]
+    fn torus_doubles_link_area_only() {
+        let t = torus_baseline(4, 4);
+        let m = mesh_baseline(4, 4);
+        assert_eq!(t.switch_area, m.switch_area);
+        assert_eq!(t.link_area, 2.0 * m.link_area);
+    }
+
+    #[test]
+    fn normalization() {
+        let a = AreaReport { switch_area: 8.0, link_area: 10.0 };
+        let b = AreaReport { switch_area: 16.0, link_area: 20.0 };
+        let n = a.normalized_to(&b);
+        assert!((n.switch_area - 0.5).abs() < 1e-12);
+        assert!((n.link_area - 0.5).abs() < 1e-12);
+        let z = a.normalized_to(&AreaReport::default());
+        assert_eq!(z.switch_area, 0.0);
+        assert_eq!(a.total(), 18.0);
+    }
+}

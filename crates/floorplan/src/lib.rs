@@ -1,0 +1,54 @@
+//! Tile-based floorplanning and the paper's on-chip area model.
+//!
+//! Section 4.1 of Ho & Pinkston (HPCA 2003) compares generated networks to
+//! meshes and tori by *chip area* rather than raw element counts, using a
+//! RAW-style tile model:
+//!
+//! * the chip is a grid of processor tiles, one per processor, with the
+//!   network interface at a tile corner;
+//! * every switch has five ports and constant area, placed at a tile
+//!   corner; rotated tiles may *share* a corner switch, which is how a
+//!   generated network attaches several processors to one switch with no
+//!   wiring cost;
+//! * a link between switches at the same or adjacent corners costs zero or
+//!   one units respectively; longer links cost their manhattan distance in
+//!   tiles crossed.
+//!
+//! The paper draws its floorplans by hand; [`place`] automates the same
+//! optimization with simulated annealing over processor-to-tile and
+//! switch-to-corner assignments. [`mesh_baseline`] and [`torus_baseline`]
+//! give the analytic baselines (a torus needs the same switch area as a
+//! mesh but twice the link area). The resulting link lengths also feed the
+//! simulator's per-link delays (delay = length in tiles, minimum one
+//! cycle).
+//!
+//! # Example
+//!
+//! ```
+//! use nocsyn_floorplan::{mesh_baseline, place};
+//! use nocsyn_topo::regular;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (net, _) = regular::mesh(2, 2)?;
+//! let plan = place(&net, 42);
+//! let report = plan.area(&net);
+//! // A mesh placed by the optimizer matches the analytic mesh baseline.
+//! assert_eq!(report.switch_area, mesh_baseline(2, 2).switch_area);
+//! assert!(report.link_area <= mesh_baseline(2, 2).link_area + 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod area;
+mod placement;
+mod power;
+mod tile;
+
+pub use area::{mesh_baseline, torus_baseline, AreaReport};
+pub use placement::{place, place_with_iterations, Floorplan};
+pub use power::{estimate_energy, EnergyReport, PowerParams};
+pub use tile::{Corner, TileGrid};

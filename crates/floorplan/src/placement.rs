@@ -1,0 +1,290 @@
+//! Simulated-annealing placement of a network onto the tile grid.
+
+use std::fmt;
+
+use nocsyn_topo::{LinkId, Network, NodeRef};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{AreaReport, Corner, TileGrid};
+
+/// A concrete placement: which tile hosts each processor and which corner
+/// vertex hosts each switch.
+///
+/// Multiple tiles sharing a corner switch is the paper's rotated-tile
+/// trick; up to four tiles meet at a corner, so up to four processors can
+/// attach to one switch at zero wiring cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Floorplan {
+    grid: TileGrid,
+    proc_tile: Vec<usize>,
+    switch_corner: Vec<Corner>,
+}
+
+impl Floorplan {
+    /// The tile grid this floorplan lives on.
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    /// The tile hosting each processor (indexed by `ProcId`).
+    pub fn proc_tiles(&self) -> &[usize] {
+        &self.proc_tile
+    }
+
+    /// The corner hosting each switch (indexed by `SwitchId`).
+    pub fn switch_corners(&self) -> &[Corner] {
+        &self.switch_corner
+    }
+
+    /// Physical length of a link in tiles: manhattan corner distance for
+    /// switch–switch links, nearest-corner distance for processor
+    /// attachments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is not in `net`.
+    pub fn link_length(&self, net: &Network, link: LinkId) -> usize {
+        let l = net.link(link).expect("link belongs to the floorplanned network");
+        match (l.a(), l.b()) {
+            (NodeRef::Switch(a), NodeRef::Switch(b)) => {
+                self.switch_corner[a.index()].distance(self.switch_corner[b.index()])
+            }
+            (NodeRef::Proc(p), NodeRef::Switch(s)) | (NodeRef::Switch(s), NodeRef::Proc(p)) => {
+                self.grid
+                    .attachment_distance(self.proc_tile[p.index()], self.switch_corner[s.index()])
+            }
+            (NodeRef::Proc(_), NodeRef::Proc(_)) => {
+                unreachable!("networks never link two processors directly")
+            }
+        }
+    }
+
+    /// Per-link lengths in tiles (indexable by `LinkId`), ready to feed
+    /// [`SimConfig::with_link_delays`] (the simulator clamps to ≥ 1 cycle).
+    ///
+    /// [`SimConfig::with_link_delays`]: ../nocsyn_sim/struct.SimConfig.html#method.with_link_delays
+    pub fn link_lengths(&self, net: &Network) -> Vec<u32> {
+        net.link_ids()
+            .map(|l| self.link_length(net, l) as u32)
+            .collect()
+    }
+
+    /// The paper's area accounting for this placement: one unit of switch
+    /// area per switch, link area equal to total tiles crossed.
+    pub fn area(&self, net: &Network) -> AreaReport {
+        let link_area: usize = net.link_ids().map(|l| self.link_length(net, l)).sum();
+        AreaReport {
+            switch_area: net.n_switches() as f64,
+            link_area: link_area as f64,
+        }
+    }
+
+    /// Total wiring cost (the annealing objective).
+    fn cost(&self, net: &Network) -> usize {
+        net.link_ids().map(|l| self.link_length(net, l)).sum()
+    }
+}
+
+impl fmt::Display for Floorplan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "floorplan on {}", self.grid)?;
+        for (s, c) in self.switch_corner.iter().enumerate() {
+            writeln!(f, "  S{s} at corner {c}")?;
+        }
+        for (p, t) in self.proc_tile.iter().enumerate() {
+            let (r, c) = self.grid.tile_coords(*t);
+            writeln!(f, "  P{p} on tile ({r}, {c})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Default annealing effort.
+const DEFAULT_ITERATIONS: usize = 20_000;
+
+/// Floorplans `net` with the default annealing effort (deterministic per
+/// seed).
+pub fn place(net: &Network, seed: u64) -> Floorplan {
+    place_with_iterations(net, seed, DEFAULT_ITERATIONS)
+}
+
+/// Floorplans `net` with an explicit annealing-iteration budget.
+///
+/// Starts from processors laid out in id order and each switch at the
+/// corner nearest its attached processors' centroid, then anneals over two
+/// move kinds: swap two processors' tiles, or move a switch to a random
+/// corner.
+///
+/// # Panics
+///
+/// Panics if the network has no processors or no switches.
+pub fn place_with_iterations(net: &Network, seed: u64, iterations: usize) -> Floorplan {
+    assert!(net.n_procs() > 0, "cannot floorplan a network with no processors");
+    assert!(net.n_switches() > 0, "cannot floorplan a network with no switches");
+    let grid = TileGrid::for_tiles(net.n_procs());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Initial state: processors in id order; switches at the centroid
+    // corner of their attached processors.
+    let proc_tile: Vec<usize> = (0..net.n_procs()).collect();
+    let mut switch_corner = Vec::with_capacity(net.n_switches());
+    for s in net.switch_ids() {
+        let attached = net.switch(s).expect("iterating ids").attached();
+        let corner = if attached.is_empty() {
+            Corner { row: 0, col: 0 }
+        } else {
+            let (mut sum_r, mut sum_c) = (0usize, 0usize);
+            for p in attached {
+                let (r, c) = grid.tile_coords(proc_tile[p.index()]);
+                sum_r += r;
+                sum_c += c;
+            }
+            Corner {
+                row: (sum_r as f64 / attached.len() as f64).round() as usize,
+                col: (sum_c as f64 / attached.len() as f64).round() as usize,
+            }
+        };
+        switch_corner.push(corner);
+    }
+    let mut plan = Floorplan {
+        grid,
+        proc_tile,
+        switch_corner,
+    };
+
+    let mut cost = plan.cost(net);
+    let mut best = plan.clone();
+    let mut best_cost = cost;
+    let mut temperature = 2.0_f64.max(cost as f64 / 8.0);
+    let cooling = 0.999_f64;
+
+    for _ in 0..iterations {
+        // Propose a move.
+        enum Move {
+            SwapProcs(usize, usize, usize, usize),
+            MoveSwitch(usize, Corner, Corner),
+        }
+        let mv = if rng.gen_bool(0.5) && net.n_procs() >= 2 {
+            let a = rng.gen_range(0..net.n_procs());
+            let b = rng.gen_range(0..net.n_procs());
+            Move::SwapProcs(a, b, plan.proc_tile[a], plan.proc_tile[b])
+        } else {
+            let s = rng.gen_range(0..net.n_switches());
+            let old = plan.switch_corner[s];
+            let new = Corner {
+                row: rng.gen_range(0..=grid.rows()),
+                col: rng.gen_range(0..=grid.cols()),
+            };
+            Move::MoveSwitch(s, old, new)
+        };
+
+        match &mv {
+            Move::SwapProcs(a, b, ta, tb) => {
+                plan.proc_tile[*a] = *tb;
+                plan.proc_tile[*b] = *ta;
+            }
+            Move::MoveSwitch(s, _, new) => plan.switch_corner[*s] = *new,
+        }
+
+        let new_cost = plan.cost(net);
+        let accept = new_cost <= cost
+            || rng.gen::<f64>() < (-((new_cost - cost) as f64) / temperature).exp();
+        if accept {
+            cost = new_cost;
+            if cost < best_cost {
+                best_cost = cost;
+                best = plan.clone();
+            }
+        } else {
+            // Undo.
+            match mv {
+                Move::SwapProcs(a, b, ta, tb) => {
+                    plan.proc_tile[a] = ta;
+                    plan.proc_tile[b] = tb;
+                }
+                Move::MoveSwitch(s, old, _) => plan.switch_corner[s] = old,
+            }
+        }
+        temperature = (temperature * cooling).max(1e-3);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocsyn_topo::regular;
+
+    #[test]
+    fn crossbar_places_at_zero_wire_cost_for_four_procs() {
+        // Four tiles meet at the center corner: a 4-proc crossbar can be
+        // wired entirely for free.
+        let (net, _) = regular::crossbar(4).unwrap();
+        let plan = place(&net, 1);
+        assert_eq!(plan.cost(&net), 0);
+        let area = plan.area(&net);
+        assert_eq!(area.switch_area, 1.0);
+        assert_eq!(area.link_area, 0.0);
+    }
+
+    #[test]
+    fn crossbar_of_16_needs_wire() {
+        // Only four tiles share any corner: a 16-proc crossbar must pay
+        // attachment wiring — the megaswitch does not scale, which is why
+        // the methodology partitions it.
+        let (net, _) = regular::crossbar(16).unwrap();
+        let plan = place(&net, 1);
+        assert!(plan.cost(&net) > 0);
+    }
+
+    #[test]
+    fn mesh_matches_analytic_baseline() {
+        for (r, c) in [(2, 2), (3, 3)] {
+            let (net, _) = regular::mesh(r, c).unwrap();
+            let plan = place_with_iterations(&net, 7, 60_000);
+            let area = plan.area(&net);
+            let baseline = crate::mesh_baseline(r, c);
+            assert_eq!(area.switch_area, baseline.switch_area);
+            assert!(
+                area.link_area <= baseline.link_area,
+                "{r}x{c}: placed {} vs analytic {}",
+                area.link_area,
+                baseline.link_area
+            );
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_per_seed() {
+        let (net, _) = regular::mesh(2, 3).unwrap();
+        let a = place(&net, 9);
+        let b = place(&net, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn link_lengths_match_area() {
+        let (net, _) = regular::mesh(2, 2).unwrap();
+        let plan = place(&net, 3);
+        let total: u32 = plan.link_lengths(&net).iter().sum();
+        assert_eq!(total as f64, plan.area(&net).link_area);
+        assert_eq!(plan.link_lengths(&net).len(), net.n_links());
+    }
+
+    #[test]
+    fn more_iterations_never_hurt() {
+        let (net, _) = regular::mesh(3, 3).unwrap();
+        let quick = place_with_iterations(&net, 5, 500);
+        let long = place_with_iterations(&net, 5, 50_000);
+        assert!(long.cost(&net) <= quick.cost(&net));
+    }
+
+    #[test]
+    #[should_panic(expected = "no processors")]
+    fn empty_network_rejected() {
+        let mut net = nocsyn_topo::Network::new(0);
+        net.add_switch();
+        let _ = place(&net, 0);
+    }
+}

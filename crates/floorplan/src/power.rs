@@ -1,0 +1,179 @@
+//! A first-order energy model for generated networks.
+//!
+//! The paper's conclusion names power the next optimization target
+//! ("this work can be extended to include other important optimization
+//! criteria such as power"). This module provides the standard
+//! activity-based estimate used by early NoC power models (à la Orion):
+//!
+//! * every flit traversing a switch costs `switch_energy_per_flit`;
+//! * every flit traversing a link costs `link_energy_per_flit_per_tile ×
+//!   length` (wire capacitance grows with length, and length comes from
+//!   the floorplan);
+//! * idle switches and wires leak per cycle.
+//!
+//! Units are arbitrary ("energy units"); only ratios between candidate
+//! networks are meaningful, exactly like the paper's area units.
+
+use nocsyn_model::Trace;
+use nocsyn_topo::{Network, RouteTable};
+
+use crate::Floorplan;
+
+/// Energy coefficients for [`estimate_energy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerParams {
+    /// Energy per flit per switch traversal.
+    pub switch_energy_per_flit: f64,
+    /// Energy per flit per tile of link length (zero-length shared-corner
+    /// hops cost a minimum of one tile's worth of drive energy).
+    pub link_energy_per_flit_per_tile: f64,
+    /// Leakage energy per switch per cycle.
+    pub switch_leakage_per_cycle: f64,
+    /// Leakage energy per link per cycle (independent of length in this
+    /// first-order model).
+    pub link_leakage_per_cycle: f64,
+    /// Flit payload in bytes (4 = the paper's 32-bit flits).
+    pub flit_bytes: u32,
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        PowerParams {
+            switch_energy_per_flit: 1.0,
+            link_energy_per_flit_per_tile: 0.5,
+            switch_leakage_per_cycle: 0.01,
+            link_leakage_per_cycle: 0.002,
+            flit_bytes: 4,
+        }
+    }
+}
+
+/// An energy estimate broken down by source.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyReport {
+    /// Dynamic energy spent in switch traversals.
+    pub switch_dynamic: f64,
+    /// Dynamic energy spent driving links.
+    pub link_dynamic: f64,
+    /// Leakage over the accounted duration.
+    pub leakage: f64,
+}
+
+impl EnergyReport {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.switch_dynamic + self.link_dynamic + self.leakage
+    }
+}
+
+/// Estimates the energy a network spends carrying `trace`, with link
+/// lengths from `plan` and routes from `routes`, over the trace's
+/// makespan (for leakage).
+///
+/// Flows in the trace without a route are skipped (they carry no energy
+/// on this network); synthesis routes every application flow, so this
+/// only matters for hand-built tables.
+pub fn estimate_energy(
+    net: &Network,
+    plan: &Floorplan,
+    routes: &RouteTable,
+    trace: &Trace,
+    params: &PowerParams,
+) -> EnergyReport {
+    let mut switch_dynamic = 0.0;
+    let mut link_dynamic = 0.0;
+
+    for message in trace.messages() {
+        let Some(route) = routes.route(message.flow()) else {
+            continue;
+        };
+        let flits = f64::from(message.bytes().div_ceil(params.flit_bytes).max(1)) + 1.0;
+        // Each hop crosses one link and enters one node (switch or NI);
+        // count switch traversals as hops - 1 (the final hop lands in the
+        // destination NI, not a switch).
+        let hops = route.len() as f64;
+        switch_dynamic += flits * (hops - 1.0).max(0.0) * params.switch_energy_per_flit;
+        for ch in route.iter() {
+            let tiles = plan.link_length(net, ch.link).max(1) as f64;
+            link_dynamic += flits * tiles * params.link_energy_per_flit_per_tile;
+        }
+    }
+
+    let cycles = trace.makespan().ticks() as f64;
+    let leakage = cycles
+        * (net.n_switches() as f64 * params.switch_leakage_per_cycle
+            + net.n_links() as f64 * params.link_leakage_per_cycle);
+
+    EnergyReport {
+        switch_dynamic,
+        link_dynamic,
+        leakage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place;
+    use nocsyn_model::{Message, ProcId};
+    use nocsyn_topo::regular;
+
+    fn one_message_trace(bytes: u32) -> Trace {
+        let mut t = Trace::new(4);
+        t.push(Message::new(ProcId(0), ProcId(3), 0, 100).unwrap().with_bytes(bytes))
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn energy_scales_with_payload() {
+        let (net, routes) = regular::mesh(2, 2).unwrap();
+        let plan = place(&net, 1);
+        let params = PowerParams::default();
+        let small = estimate_energy(&net, &plan, &routes, &one_message_trace(64), &params);
+        let large = estimate_energy(&net, &plan, &routes, &one_message_trace(4096), &params);
+        assert!(large.switch_dynamic > small.switch_dynamic * 10.0);
+        assert!(large.link_dynamic > small.link_dynamic * 10.0);
+        // Same makespan -> same leakage.
+        assert!((large.leakage - small.leakage).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lean_network_leaks_less() {
+        let (mesh, mesh_routes) = regular::mesh(2, 2).unwrap();
+        let (xbar, xbar_routes) = regular::crossbar(4).unwrap();
+        let params = PowerParams::default();
+        let trace = one_message_trace(256);
+        let m = estimate_energy(&mesh, &place(&mesh, 1), &mesh_routes, &trace, &params);
+        let x = estimate_energy(&xbar, &place(&xbar, 1), &xbar_routes, &trace, &params);
+        assert!(x.leakage < m.leakage, "1 switch must leak less than 4");
+        // And the crossbar's shorter route spends less dynamic energy.
+        assert!(x.total() < m.total());
+    }
+
+    #[test]
+    fn unrouted_flows_cost_nothing() {
+        let (net, _) = regular::mesh(2, 2).unwrap();
+        let plan = place(&net, 1);
+        let report = estimate_energy(
+            &net,
+            &plan,
+            &nocsyn_topo::RouteTable::new(),
+            &one_message_trace(64),
+            &PowerParams::default(),
+        );
+        assert_eq!(report.switch_dynamic, 0.0);
+        assert_eq!(report.link_dynamic, 0.0);
+        assert!(report.leakage > 0.0);
+    }
+
+    #[test]
+    fn total_sums_components() {
+        let r = EnergyReport {
+            switch_dynamic: 1.0,
+            link_dynamic: 2.0,
+            leakage: 3.0,
+        };
+        assert!((r.total() - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,186 @@
+//! The tile grid and its corner lattice.
+
+use std::fmt;
+
+/// A corner of the tile lattice: `(row, col)` on the `(rows+1) x (cols+1)`
+/// vertex grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Corner {
+    /// Vertex row, `0..=rows`.
+    pub row: usize,
+    /// Vertex column, `0..=cols`.
+    pub col: usize,
+}
+
+impl Corner {
+    /// Manhattan distance to another corner, in tile units.
+    pub fn distance(&self, other: Corner) -> usize {
+        self.row.abs_diff(other.row) + self.col.abs_diff(other.col)
+    }
+}
+
+impl fmt::Display for Corner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.row, self.col)
+    }
+}
+
+/// A `rows x cols` grid of processor tiles (one tile per processor, with
+/// spare tiles allowed when the process count is not a perfect rectangle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileGrid {
+    rows: usize,
+    cols: usize,
+}
+
+impl TileGrid {
+    /// The near-square grid with at least `n_tiles` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tiles` is zero.
+    pub fn for_tiles(n_tiles: usize) -> Self {
+        assert!(n_tiles > 0, "a chip needs at least one tile");
+        let rows = (n_tiles as f64).sqrt().floor() as usize;
+        let rows = rows.max(1);
+        let cols = n_tiles.div_ceil(rows);
+        TileGrid { rows, cols }
+    }
+
+    /// An explicit grid shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        TileGrid { rows, cols }
+    }
+
+    /// Rows of tiles.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of tiles.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total tiles.
+    pub fn n_tiles(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Total corner vertices.
+    pub fn n_corners(&self) -> usize {
+        (self.rows + 1) * (self.cols + 1)
+    }
+
+    /// The `(row, col)` of tile index `t` (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn tile_coords(&self, t: usize) -> (usize, usize) {
+        assert!(t < self.n_tiles(), "tile {t} outside grid");
+        (t / self.cols, t % self.cols)
+    }
+
+    /// The four corners of tile `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn corners_of(&self, t: usize) -> [Corner; 4] {
+        let (r, c) = self.tile_coords(t);
+        [
+            Corner { row: r, col: c },
+            Corner { row: r, col: c + 1 },
+            Corner { row: r + 1, col: c },
+            Corner { row: r + 1, col: c + 1 },
+        ]
+    }
+
+    /// All corner vertices in row-major order.
+    pub fn corners(&self) -> impl Iterator<Item = Corner> + '_ {
+        let cols = self.cols + 1;
+        (0..self.n_corners()).map(move |i| Corner {
+            row: i / cols,
+            col: i % cols,
+        })
+    }
+
+    /// Dense index of a corner.
+    pub fn corner_index(&self, c: Corner) -> usize {
+        c.row * (self.cols + 1) + c.col
+    }
+
+    /// Wiring distance from tile `t` to a switch at `corner`: zero when
+    /// the switch sits on one of the tile's own corners, else the nearest
+    /// manhattan distance (the tile's NI wire must cross that many tiles).
+    pub fn attachment_distance(&self, t: usize, corner: Corner) -> usize {
+        self.corners_of(t)
+            .iter()
+            .map(|c| c.distance(corner))
+            .min()
+            .expect("tiles have four corners")
+    }
+}
+
+impl fmt::Display for TileGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} tiles", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_square_shapes() {
+        assert_eq!(TileGrid::for_tiles(16).n_tiles(), 16);
+        assert_eq!(TileGrid::for_tiles(16).rows(), 4);
+        let g9 = TileGrid::for_tiles(9);
+        assert_eq!((g9.rows(), g9.cols()), (3, 3));
+        let g8 = TileGrid::for_tiles(8);
+        assert!(g8.n_tiles() >= 8);
+        assert_eq!((g8.rows(), g8.cols()), (2, 4));
+    }
+
+    #[test]
+    fn corners_and_indices_round_trip() {
+        let g = TileGrid::new(2, 3);
+        assert_eq!(g.n_corners(), 12);
+        for c in g.corners() {
+            assert!(g.corner_index(c) < g.n_corners());
+        }
+        let cs = g.corners_of(4); // tile (1, 1)
+        assert!(cs.contains(&Corner { row: 1, col: 1 }));
+        assert!(cs.contains(&Corner { row: 2, col: 2 }));
+    }
+
+    #[test]
+    fn attachment_distance_zero_on_own_corner() {
+        let g = TileGrid::new(2, 2);
+        assert_eq!(g.attachment_distance(0, Corner { row: 0, col: 0 }), 0);
+        assert_eq!(g.attachment_distance(0, Corner { row: 1, col: 1 }), 0);
+        assert_eq!(g.attachment_distance(0, Corner { row: 2, col: 2 }), 2);
+    }
+
+    #[test]
+    fn corner_distance_is_manhattan() {
+        let a = Corner { row: 0, col: 0 };
+        let b = Corner { row: 2, col: 3 };
+        assert_eq!(a.distance(b), 5);
+        assert_eq!(b.distance(a), 5);
+        assert_eq!(a.distance(a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tile")]
+    fn zero_tiles_rejected() {
+        let _ = TileGrid::for_tiles(0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for communication-pattern construction.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{ProcId, Time};
+
+/// Errors produced while building communication patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// An interval was constructed with `finish < start`.
+    InvertedInterval {
+        /// Requested start time.
+        start: Time,
+        /// Requested finish time.
+        finish: Time,
+    },
+    /// A message names itself as both source and destination.
+    SelfLoop {
+        /// The offending process.
+        proc: ProcId,
+    },
+    /// A message references a process outside the trace's process count.
+    ProcOutOfRange {
+        /// The offending process.
+        proc: ProcId,
+        /// Number of processes in the trace.
+        n_procs: usize,
+    },
+    /// A phase schedule assigned two messages with the same source in one
+    /// phase (a process sends at most one message per library call).
+    DuplicateSourceInPhase {
+        /// The source process appearing twice.
+        proc: ProcId,
+    },
+    /// A phase schedule assigned two messages with the same destination in
+    /// one phase (two simultaneous messages to one end-node necessarily
+    /// contend for its single ejection link).
+    DuplicateDestinationInPhase {
+        /// The destination process appearing twice.
+        proc: ProcId,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvertedInterval { start, finish } => {
+                write!(f, "interval finish {finish} precedes start {start}")
+            }
+            ModelError::SelfLoop { proc } => {
+                write!(f, "message source and destination are both {proc}")
+            }
+            ModelError::ProcOutOfRange { proc, n_procs } => {
+                write!(f, "{proc} is out of range for a {n_procs}-process trace")
+            }
+            ModelError::DuplicateSourceInPhase { proc } => {
+                write!(f, "{proc} appears as source twice in one phase")
+            }
+            ModelError::DuplicateDestinationInPhase { proc } => {
+                write!(f, "{proc} appears as destination twice in one phase")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = ModelError::ProcOutOfRange {
+            proc: ProcId(9),
+            n_procs: 8,
+        };
+        assert_eq!(e.to_string(), "P9 is out of range for a 8-process trace");
+        let e = ModelError::SelfLoop { proc: ProcId(1) };
+        assert!(e.to_string().contains("P1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,164 @@
+//! Identifier newtypes: processes, messages, and flows.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a process / end-node (`P` in Definition 1 of the paper).
+///
+/// The system model attaches exactly one process to each network interface;
+/// `ProcId(i)` names the `i`-th such end-node.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ProcId(pub usize);
+
+impl ProcId {
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for ProcId {
+    fn from(i: usize) -> Self {
+        ProcId(i)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifier of a message within a [`Trace`](crate::Trace).
+///
+/// Assigned densely in insertion order by [`Trace::push`](crate::Trace::push).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct MessageId(pub usize);
+
+impl MessageId {
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for MessageId {
+    fn from(i: usize) -> Self {
+        MessageId(i)
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// An ordered source–destination pair: the *communication* unit of the paper.
+///
+/// Contention sets (Definition 4), cliques (Definition 5) and the network
+/// resource conflict set (Definition 7) are all phrased over flows rather
+/// than individual messages, because repeated messages between the same pair
+/// exercise the same routing path.
+///
+/// ```
+/// use nocsyn_model::{Flow, ProcId};
+/// let f = Flow::new(ProcId(2), ProcId(5));
+/// assert_eq!(f.reversed(), Flow::new(ProcId(5), ProcId(2)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Flow {
+    /// Source end-node.
+    pub src: ProcId,
+    /// Destination end-node.
+    pub dst: ProcId,
+}
+
+impl Flow {
+    /// Creates a flow from `src` to `dst`.
+    pub const fn new(src: ProcId, dst: ProcId) -> Self {
+        Flow { src, dst }
+    }
+
+    /// Convenience constructor from raw indices.
+    pub const fn from_indices(src: usize, dst: usize) -> Self {
+        Flow {
+            src: ProcId(src),
+            dst: ProcId(dst),
+        }
+    }
+
+    /// The flow with source and destination exchanged.
+    #[must_use]
+    pub const fn reversed(self) -> Flow {
+        Flow {
+            src: self.dst,
+            dst: self.src,
+        }
+    }
+
+    /// Whether this flow is a self-loop (source equals destination).
+    pub const fn is_self_loop(self) -> bool {
+        self.src.0 == self.dst.0
+    }
+}
+
+impl From<(usize, usize)> for Flow {
+    fn from((s, d): (usize, usize)) -> Self {
+        Flow::from_indices(s, d)
+    }
+}
+
+impl fmt::Display for Flow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.src.0, self.dst.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_reversal_is_involutive() {
+        let f = Flow::from_indices(3, 9);
+        assert_eq!(f.reversed().reversed(), f);
+    }
+
+    #[test]
+    fn flow_ordering_is_lexicographic() {
+        let a = Flow::from_indices(1, 5);
+        let b = Flow::from_indices(2, 0);
+        let c = Flow::from_indices(1, 6);
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        assert!(Flow::from_indices(4, 4).is_self_loop());
+        assert!(!Flow::from_indices(4, 5).is_self_loop());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcId(3).to_string(), "P3");
+        assert_eq!(MessageId(7).to_string(), "m7");
+        assert_eq!(Flow::from_indices(1, 2).to_string(), "(1, 2)");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ProcId::from(3).index(), 3);
+        assert_eq!(MessageId::from(9).index(), 9);
+        assert_eq!(Flow::from((2, 7)), Flow::from_indices(2, 7));
+    }
+}

@@ -1,0 +1,199 @@
+//! Messages: the atoms of a communication pattern (Definition 2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Flow, ModelError, ProcId, Time, TimeInterval};
+
+/// Default payload size in bytes when none is specified.
+///
+/// The paper (Section 1, citing Vetter & Mueller) observes that scientific
+/// point-to-point payloads run to thousands of bytes; 4 KiB is a
+/// representative default.
+pub const DEFAULT_PAYLOAD_BYTES: u32 = 4096;
+
+/// A single message of a communication pattern.
+///
+/// Per Definition 2 of the paper, a message is characterized by its source
+/// `S(m)`, destination `D(m)`, starting time `T_s(m)` at which it leaves the
+/// source, and finishing time `T_f(m)` at which it is completely absorbed by
+/// the destination. We additionally carry a payload size in bytes, which the
+/// contention model ignores but the flit-level simulator consumes.
+///
+/// ```
+/// use nocsyn_model::{Message, ProcId};
+/// # fn main() -> Result<(), nocsyn_model::ModelError> {
+/// let m = Message::new(ProcId(0), ProcId(3), 10, 25)?.with_bytes(1024);
+/// assert_eq!(m.flow().src, ProcId(0));
+/// assert_eq!(m.interval().duration(), 15);
+/// assert_eq!(m.bytes(), 1024);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Message {
+    flow: Flow,
+    interval: TimeInterval,
+    bytes: u32,
+}
+
+impl Message {
+    /// Creates a message from `src` to `dst` live over `[start, finish]`,
+    /// with the default payload size.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::SelfLoop`] if `src == dst` — the system model routes
+    ///   between distinct end-nodes only.
+    /// * [`ModelError::InvertedInterval`] if `finish < start`.
+    pub fn new(
+        src: ProcId,
+        dst: ProcId,
+        start: impl Into<Time>,
+        finish: impl Into<Time>,
+    ) -> Result<Self, ModelError> {
+        if src == dst {
+            return Err(ModelError::SelfLoop { proc: src });
+        }
+        Ok(Message {
+            flow: Flow::new(src, dst),
+            interval: TimeInterval::new(start, finish)?,
+            bytes: DEFAULT_PAYLOAD_BYTES,
+        })
+    }
+
+    /// Creates a message for an existing flow.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Message::new`].
+    pub fn for_flow(
+        flow: Flow,
+        start: impl Into<Time>,
+        finish: impl Into<Time>,
+    ) -> Result<Self, ModelError> {
+        Message::new(flow.src, flow.dst, start, finish)
+    }
+
+    /// Sets the payload size in bytes.
+    #[must_use]
+    pub fn with_bytes(mut self, bytes: u32) -> Self {
+        self.bytes = bytes;
+        self
+    }
+
+    /// The ordered source–destination pair of this message.
+    pub const fn flow(&self) -> Flow {
+        self.flow
+    }
+
+    /// The source end-node, `S(m)`.
+    pub const fn src(&self) -> ProcId {
+        self.flow.src
+    }
+
+    /// The destination end-node, `D(m)`.
+    pub const fn dst(&self) -> ProcId {
+        self.flow.dst
+    }
+
+    /// The live interval `[T_s(m), T_f(m)]`.
+    pub const fn interval(&self) -> TimeInterval {
+        self.interval
+    }
+
+    /// The starting time `T_s(m)`.
+    pub const fn start(&self) -> Time {
+        self.interval.start()
+    }
+
+    /// The finishing time `T_f(m)`.
+    pub const fn finish(&self) -> Time {
+        self.interval.finish()
+    }
+
+    /// Payload size in bytes.
+    pub const fn bytes(&self) -> u32 {
+        self.bytes
+    }
+
+    /// Whether this message overlaps another in time (Definition 3).
+    pub fn overlaps(&self, other: &Message) -> bool {
+        self.interval.overlaps(&other.interval)
+    }
+
+    /// Returns a copy of this message shifted later in time by `ticks`.
+    #[must_use]
+    pub fn shifted(&self, ticks: u64) -> Message {
+        Message {
+            flow: self.flow,
+            interval: self.interval.shifted(ticks),
+            bytes: self.bytes,
+        }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} over {} ({} B)",
+            self.flow.src, self.flow.dst, self.interval, self.bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        assert!(matches!(
+            Message::new(ProcId(2), ProcId(2), 0, 1),
+            Err(ModelError::SelfLoop { proc: ProcId(2) })
+        ));
+    }
+
+    #[test]
+    fn rejects_inverted_interval() {
+        assert!(Message::new(ProcId(0), ProcId(1), 5, 2).is_err());
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let m = Message::new(ProcId(1), ProcId(4), 3, 9).unwrap().with_bytes(64);
+        assert_eq!(m.src(), ProcId(1));
+        assert_eq!(m.dst(), ProcId(4));
+        assert_eq!(m.start(), Time::new(3));
+        assert_eq!(m.finish(), Time::new(9));
+        assert_eq!(m.bytes(), 64);
+        assert_eq!(m.flow(), Flow::from_indices(1, 4));
+    }
+
+    #[test]
+    fn overlap_matches_interval_semantics() {
+        let a = Message::new(ProcId(0), ProcId(1), 0, 10).unwrap();
+        let b = Message::new(ProcId(2), ProcId(3), 10, 20).unwrap();
+        let c = Message::new(ProcId(4), ProcId(5), 11, 20).unwrap();
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn shifted_preserves_flow_and_payload() {
+        let m = Message::new(ProcId(0), ProcId(1), 0, 10).unwrap().with_bytes(7);
+        let s = m.shifted(5);
+        assert_eq!(s.flow(), m.flow());
+        assert_eq!(s.bytes(), 7);
+        assert_eq!(s.start(), Time::new(5));
+        assert_eq!(s.finish(), Time::new(15));
+    }
+
+    #[test]
+    fn default_payload_applies() {
+        let m = Message::new(ProcId(0), ProcId(1), 0, 1).unwrap();
+        assert_eq!(m.bytes(), DEFAULT_PAYLOAD_BYTES);
+    }
+}

@@ -1,0 +1,406 @@
+//! Phase-parallel communication schedules (Section 3 of the paper).
+//!
+//! Programs written in the phase-parallel model issue the *same*
+//! communication-library call across all processes, separated by local
+//! computation. The paper exploits this: assuming corresponding library
+//! calls are synchronized, **each call is one potential contention period**,
+//! so the clique set can be read off the program structure without timing
+//! analysis. [`PhaseSchedule`] represents that structure and lowers it to a
+//! timed [`Trace`] (optionally with per-process time skew via
+//! [`SkewModel`](crate::SkewModel)).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Clique, CliqueSet, Flow, Message, ModelError, Trace};
+
+/// Default payload for phases that do not specify one (bytes).
+const DEFAULT_PHASE_BYTES: u32 = 4096;
+
+/// One communication-library call: a partial (or full) permutation of
+/// simultaneously-live flows, plus the computation gap that follows it.
+///
+/// A phase is a *partial permutation*: each process sends at most one
+/// message and receives at most one message. Collective operations
+/// (all-to-all, reduction, broadcast) are expressed as a sequence of such
+/// rounds, exactly as message-passing libraries implement them.
+///
+/// ```
+/// use nocsyn_model::{Flow, Phase};
+/// # fn main() -> Result<(), nocsyn_model::ModelError> {
+/// let mut phase = Phase::new();
+/// phase.add(Flow::from_indices(0, 1))?;
+/// phase.add(Flow::from_indices(1, 0))?;
+/// assert!(phase.add(Flow::from_indices(0, 2)).is_err()); // P0 sends twice
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Phase {
+    flows: BTreeSet<Flow>,
+    bytes: u32,
+    compute_ticks: u64,
+}
+
+impl Phase {
+    /// Creates an empty phase with the default payload and no computation
+    /// gap.
+    pub fn new() -> Self {
+        Phase {
+            flows: BTreeSet::new(),
+            bytes: DEFAULT_PHASE_BYTES,
+            compute_ticks: 0,
+        }
+    }
+
+    /// Builds a phase from flows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the partial-permutation violations of [`Phase::add`].
+    pub fn from_flows<I>(flows: I) -> Result<Self, ModelError>
+    where
+        I: IntoIterator,
+        I::Item: Into<Flow>,
+    {
+        let mut phase = Phase::new();
+        for f in flows {
+            phase.add(f.into())?;
+        }
+        Ok(phase)
+    }
+
+    /// Sets the per-message payload size in bytes.
+    #[must_use]
+    pub fn with_bytes(mut self, bytes: u32) -> Self {
+        self.bytes = bytes;
+        self
+    }
+
+    /// Sets the computation gap (in ticks) between this phase and the next.
+    #[must_use]
+    pub fn with_compute(mut self, ticks: u64) -> Self {
+        self.compute_ticks = ticks;
+        self
+    }
+
+    /// Adds a flow to the phase.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::SelfLoop`] for a flow from a process to itself.
+    /// * [`ModelError::DuplicateSourceInPhase`] if the source already sends
+    ///   in this phase.
+    /// * [`ModelError::DuplicateDestinationInPhase`] if the destination
+    ///   already receives in this phase.
+    pub fn add(&mut self, flow: Flow) -> Result<(), ModelError> {
+        if flow.is_self_loop() {
+            return Err(ModelError::SelfLoop { proc: flow.src });
+        }
+        if self.flows.iter().any(|f| f.src == flow.src) {
+            return Err(ModelError::DuplicateSourceInPhase { proc: flow.src });
+        }
+        if self.flows.iter().any(|f| f.dst == flow.dst) {
+            return Err(ModelError::DuplicateDestinationInPhase { proc: flow.dst });
+        }
+        self.flows.insert(flow);
+        Ok(())
+    }
+
+    /// Member flows in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = Flow> + '_ {
+        self.flows.iter().copied()
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the phase carries no communication (pure computation).
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Per-message payload size in bytes.
+    pub fn bytes(&self) -> u32 {
+        self.bytes
+    }
+
+    /// Computation gap after the phase, in ticks.
+    pub fn compute_ticks(&self) -> u64 {
+        self.compute_ticks
+    }
+
+    /// The clique this phase contributes to the communication clique set.
+    pub fn clique(&self) -> Clique {
+        self.flows.iter().copied().collect()
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.clique())?;
+        if self.compute_ticks > 0 {
+            write!(f, " +compute {}", self.compute_ticks)?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered sequence of phases over a fixed process count: the
+/// well-behaved communication structure of a phase-parallel application.
+///
+/// The schedule is both (a) the *input* to the synthesis methodology — its
+/// clique set is exactly one clique per distinct phase — and (b) a generator
+/// of timed [`Trace`]s for the flit-level simulator.
+///
+/// ```
+/// use nocsyn_model::{Phase, PhaseSchedule};
+/// # fn main() -> Result<(), nocsyn_model::ModelError> {
+/// let mut sched = PhaseSchedule::new(4);
+/// sched.push(Phase::from_flows([(0usize, 1usize), (2, 3)])?)?;
+/// sched.push(Phase::from_flows([(1usize, 0usize), (3, 2)])?)?;
+/// let k = sched.maximum_clique_set();
+/// assert_eq!(k.len(), 2);
+/// let trace = sched.to_trace();
+/// assert_eq!(trace.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseSchedule {
+    n_procs: usize,
+    phases: Vec<Phase>,
+}
+
+impl PhaseSchedule {
+    /// Creates an empty schedule over `n_procs` processes.
+    pub fn new(n_procs: usize) -> Self {
+        PhaseSchedule {
+            n_procs,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Appends a phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ProcOutOfRange`] if the phase references a
+    /// process `>= n_procs`.
+    pub fn push(&mut self, phase: Phase) -> Result<(), ModelError> {
+        for flow in phase.iter() {
+            for proc in [flow.src, flow.dst] {
+                if proc.index() >= self.n_procs {
+                    return Err(ModelError::ProcOutOfRange {
+                        proc,
+                        n_procs: self.n_procs,
+                    });
+                }
+            }
+        }
+        self.phases.push(phase);
+        Ok(())
+    }
+
+    /// Number of processes.
+    pub fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    /// Number of phases (repeats included).
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Whether the schedule has no phases.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Iterates over phases in program order.
+    pub fn iter(&self) -> impl Iterator<Item = &Phase> + '_ {
+        self.phases.iter()
+    }
+
+    /// Repeats the whole schedule `times` times (main-loop iteration).
+    #[must_use]
+    pub fn repeated(&self, times: usize) -> PhaseSchedule {
+        let mut out = PhaseSchedule::new(self.n_procs);
+        for _ in 0..times {
+            out.phases.extend(self.phases.iter().cloned());
+        }
+        out
+    }
+
+    /// The communication clique set: one clique per distinct non-empty
+    /// phase (the paper's "one library call = one contention period").
+    pub fn clique_set(&self) -> CliqueSet {
+        CliqueSet::from_cliques(self.phases.iter().map(Phase::clique))
+    }
+
+    /// The maximum clique set (dominated phases removed).
+    pub fn maximum_clique_set(&self) -> CliqueSet {
+        self.clique_set().into_maximal()
+    }
+
+    /// Every distinct flow used anywhere in the schedule.
+    pub fn all_flows(&self) -> BTreeSet<Flow> {
+        self.phases.iter().flat_map(Phase::iter).collect()
+    }
+
+    /// Lowers the schedule to a timed trace with perfectly synchronized
+    /// phases (zero skew): phase `i` occupies one slot, all of its messages
+    /// sharing the slot's interval, followed by its computation gap.
+    ///
+    /// Message duration is `bytes` ticks (a 1-byte-per-tick reference link),
+    /// with a minimum of one tick.
+    pub fn to_trace(&self) -> Trace {
+        let mut trace = Trace::new(self.n_procs);
+        let mut t = 0u64;
+        for phase in &self.phases {
+            let dur = u64::from(phase.bytes().max(1));
+            for flow in phase.iter() {
+                let m = Message::for_flow(flow, t, t + dur)
+                    .expect("phase flows are validated on insert")
+                    .with_bytes(phase.bytes());
+                trace.push(m).expect("schedule procs validated on push");
+            }
+            t += dur + phase.compute_ticks() + 1;
+        }
+        trace
+    }
+
+    /// Aggregate communication-to-computation ratio implied by the
+    /// schedule's slot durations and compute gaps.
+    pub fn comm_to_comp_ratio(&self) -> f64 {
+        let comm: u64 = self
+            .phases
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| u64::from(p.bytes().max(1)))
+            .sum();
+        let comp: u64 = self.phases.iter().map(Phase::compute_ticks).sum();
+        if comp == 0 {
+            f64::INFINITY
+        } else {
+            comm as f64 / comp as f64
+        }
+    }
+}
+
+impl fmt::Display for PhaseSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schedule: {} procs, {} phases", self.n_procs, self.phases.len())?;
+        for (i, p) in self.phases.iter().enumerate() {
+            writeln!(f, "  phase {i}: {p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProcId;
+
+    #[test]
+    fn phase_enforces_partial_permutation() {
+        let mut p = Phase::new();
+        p.add(Flow::from_indices(0, 1)).unwrap();
+        assert!(matches!(
+            p.add(Flow::from_indices(0, 2)),
+            Err(ModelError::DuplicateSourceInPhase { proc: ProcId(0) })
+        ));
+        assert!(matches!(
+            p.add(Flow::from_indices(2, 1)),
+            Err(ModelError::DuplicateDestinationInPhase { proc: ProcId(1) })
+        ));
+        assert!(matches!(
+            p.add(Flow::from_indices(3, 3)),
+            Err(ModelError::SelfLoop { proc: ProcId(3) })
+        ));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn schedule_validates_proc_range() {
+        let mut s = PhaseSchedule::new(2);
+        let p = Phase::from_flows([(0usize, 3usize)]).unwrap();
+        assert!(s.push(p).is_err());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clique_set_merges_repeated_phases() {
+        let mut s = PhaseSchedule::new(4);
+        let p = Phase::from_flows([(0usize, 1usize), (2, 3)]).unwrap();
+        s.push(p.clone()).unwrap();
+        s.push(p).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.clique_set().len(), 1);
+    }
+
+    #[test]
+    fn to_trace_keeps_phases_disjoint_in_time() {
+        let mut s = PhaseSchedule::new(4);
+        s.push(Phase::from_flows([(0usize, 1usize)]).unwrap()).unwrap();
+        s.push(Phase::from_flows([(2usize, 3usize)]).unwrap()).unwrap();
+        let t = s.to_trace();
+        assert_eq!(t.len(), 2);
+        assert!(t.contention_set().is_empty());
+        // With zero skew, trace-level cliques match phase-level cliques.
+        assert_eq!(t.maximum_clique_set().len(), s.maximum_clique_set().len());
+    }
+
+    #[test]
+    fn to_trace_respects_payload_and_compute() {
+        let mut s = PhaseSchedule::new(4);
+        s.push(
+            Phase::from_flows([(0usize, 1usize)])
+                .unwrap()
+                .with_bytes(10)
+                .with_compute(100),
+        )
+        .unwrap();
+        s.push(Phase::from_flows([(2usize, 3usize)]).unwrap().with_bytes(10))
+            .unwrap();
+        let t = s.to_trace();
+        let msgs: Vec<_> = t.messages().collect();
+        assert_eq!(msgs[0].interval().duration(), 10);
+        assert_eq!(msgs[0].bytes(), 10);
+        // Second phase begins after duration + compute + 1 gap.
+        assert_eq!(msgs[1].start().ticks(), 10 + 100 + 1);
+    }
+
+    #[test]
+    fn repeated_multiplies_phase_count() {
+        let mut s = PhaseSchedule::new(2);
+        s.push(Phase::from_flows([(0usize, 1usize)]).unwrap()).unwrap();
+        let r = s.repeated(5);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.clique_set().len(), 1);
+    }
+
+    #[test]
+    fn comm_to_comp_ratio() {
+        let mut s = PhaseSchedule::new(2);
+        s.push(Phase::from_flows([(0usize, 1usize)]).unwrap().with_bytes(100).with_compute(50))
+            .unwrap();
+        assert!((s.comm_to_comp_ratio() - 2.0).abs() < 1e-9);
+        let mut s2 = PhaseSchedule::new(2);
+        s2.push(Phase::from_flows([(0usize, 1usize)]).unwrap()).unwrap();
+        assert!(s2.comm_to_comp_ratio().is_infinite());
+    }
+
+    #[test]
+    fn all_flows_union() {
+        let mut s = PhaseSchedule::new(4);
+        s.push(Phase::from_flows([(0usize, 1usize), (2, 3)]).unwrap()).unwrap();
+        s.push(Phase::from_flows([(1usize, 0usize), (2, 3)]).unwrap()).unwrap();
+        assert_eq!(s.all_flows().len(), 3);
+    }
+}

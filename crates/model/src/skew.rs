@@ -1,0 +1,171 @@
+//! Time-skew injection (Section 4 of the paper).
+//!
+//! The paper's phase extraction assumes corresponding library calls start
+//! and end simultaneously on every process. Real executions skew: processes
+//! reach a call at slightly different times, which can make messages from
+//! adjacent "distinct" contention periods overlap and create contention the
+//! synthesized network did not provision for. The paper accepts this
+//! tradeoff and validates it experimentally; [`SkewModel`] reproduces the
+//! effect so the tradeoff can be measured.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Message, PhaseSchedule, Trace};
+
+/// Deterministic per-process time skew applied when lowering a
+/// [`PhaseSchedule`] to a [`Trace`].
+///
+/// Each `(phase, process)` pair receives a pseudo-random offset drawn
+/// uniformly from `[0, max_skew]` ticks using a seeded SplitMix64 stream, so
+/// results are exactly reproducible. A message's start is shifted by its
+/// *source* offset and its finish by the maximum of source and destination
+/// offsets (the receiver must also arrive at the call before absorbing the
+/// payload).
+///
+/// ```
+/// use nocsyn_model::{Phase, PhaseSchedule, SkewModel};
+/// # fn main() -> Result<(), nocsyn_model::ModelError> {
+/// let mut sched = PhaseSchedule::new(4);
+/// sched.push(Phase::from_flows([(0usize, 1usize), (2, 3)])?.with_bytes(64))?;
+/// sched.push(Phase::from_flows([(1usize, 0usize), (3, 2)])?.with_bytes(64))?;
+///
+/// let zero = SkewModel::none().apply(&sched);
+/// let skewed = SkewModel::new(1_000, 7).apply(&sched);
+/// // Heavy skew can merge adjacent periods into larger cliques.
+/// assert!(skewed.maximum_clique_set().max_clique_size()
+///     >= zero.maximum_clique_set().max_clique_size());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkewModel {
+    max_skew: u64,
+    seed: u64,
+}
+
+impl SkewModel {
+    /// A skew model with offsets in `[0, max_skew]` ticks, seeded for
+    /// reproducibility.
+    pub fn new(max_skew: u64, seed: u64) -> Self {
+        SkewModel { max_skew, seed }
+    }
+
+    /// The idealized zero-skew model (lowering equals
+    /// [`PhaseSchedule::to_trace`]).
+    pub fn none() -> Self {
+        SkewModel {
+            max_skew: 0,
+            seed: 0,
+        }
+    }
+
+    /// Largest offset this model may apply.
+    pub fn max_skew(&self) -> u64 {
+        self.max_skew
+    }
+
+    /// Lowers `schedule` to a timed trace with skewed per-process call
+    /// times.
+    pub fn apply(&self, schedule: &PhaseSchedule) -> Trace {
+        let mut trace = Trace::new(schedule.n_procs());
+        let mut t = 0u64;
+        for (phase_idx, phase) in schedule.iter().enumerate() {
+            let dur = u64::from(phase.bytes().max(1));
+            for flow in phase.iter() {
+                let src_skew = self.offset(phase_idx, flow.src.index());
+                let dst_skew = self.offset(phase_idx, flow.dst.index());
+                let start = t + src_skew;
+                let finish = t + dur + src_skew.max(dst_skew);
+                let m = Message::for_flow(flow, start, finish)
+                    .expect("phase flows are validated on insert")
+                    .with_bytes(phase.bytes());
+                trace.push(m).expect("schedule procs validated on push");
+            }
+            t += dur + phase.compute_ticks() + 1;
+        }
+        trace
+    }
+
+    /// Deterministic offset for a `(phase, process)` pair.
+    fn offset(&self, phase: usize, proc: usize) -> u64 {
+        if self.max_skew == 0 {
+            return 0;
+        }
+        let mut x = self
+            .seed
+            .wrapping_add((phase as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((proc as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        // SplitMix64 finalizer.
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        x % (self.max_skew + 1)
+    }
+}
+
+impl Default for SkewModel {
+    fn default() -> Self {
+        SkewModel::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Phase;
+
+    fn two_phase_schedule() -> PhaseSchedule {
+        let mut s = PhaseSchedule::new(4);
+        s.push(Phase::from_flows([(0usize, 1usize), (2, 3)]).unwrap().with_bytes(100))
+            .unwrap();
+        s.push(Phase::from_flows([(1usize, 0usize), (3, 2)]).unwrap().with_bytes(100))
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn zero_skew_matches_to_trace() {
+        let s = two_phase_schedule();
+        assert_eq!(SkewModel::none().apply(&s), s.to_trace());
+    }
+
+    #[test]
+    fn skew_is_deterministic_per_seed() {
+        let s = two_phase_schedule();
+        let a = SkewModel::new(50, 42).apply(&s);
+        let b = SkewModel::new(50, 42).apply(&s);
+        assert_eq!(a, b);
+        let c = SkewModel::new(50, 43).apply(&s);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn skew_bounded_by_max() {
+        let s = two_phase_schedule();
+        let zero = s.to_trace();
+        let skewed = SkewModel::new(10, 1).apply(&s);
+        for (m0, m1) in zero.messages().zip(skewed.messages()) {
+            assert!(m1.start().ticks() >= m0.start().ticks());
+            assert!(m1.start().ticks() <= m0.start().ticks() + 10);
+            assert!(m1.finish().ticks() >= m0.finish().ticks());
+            assert!(m1.finish().ticks() <= m0.finish().ticks() + 10);
+        }
+    }
+
+    #[test]
+    fn large_skew_can_merge_adjacent_periods() {
+        let s = two_phase_schedule();
+        // Skew far larger than the inter-phase gap guarantees some overlap
+        // across phases for this seed.
+        let skewed = SkewModel::new(5_000, 3).apply(&s);
+        let merged = skewed.maximum_clique_set().max_clique_size();
+        let ideal = s.maximum_clique_set().max_clique_size();
+        assert!(merged >= ideal);
+    }
+
+    #[test]
+    fn message_count_is_preserved() {
+        let s = two_phase_schedule();
+        assert_eq!(SkewModel::new(123, 9).apply(&s).len(), s.to_trace().len());
+    }
+}

@@ -1,0 +1,441 @@
+//! A small plain-text format for phase schedules.
+//!
+//! Lets patterns be written by hand, checked into repositories, and fed
+//! to the `nocsyn` command-line tool without a serialization dependency:
+//!
+//! ```text
+//! # streaming pipeline, 4 cores
+//! procs 4
+//!
+//! phase bytes=4096 compute=500
+//!   0 -> 1
+//!   2 -> 3
+//!
+//! phase                      # defaults: 4096 bytes, no compute gap
+//!   1 -> 2
+//! repeat 3                   # repeat everything above, 3 times total
+//! ```
+//!
+//! Grammar (line oriented; `#` starts a comment anywhere):
+//!
+//! * `procs <n>` — required before the first phase.
+//! * `phase [bytes=<n>] [compute=<n>]` — opens a phase.
+//! * `<src> -> <dst>` — adds a flow to the open phase.
+//! * `repeat <k>` — repeats the schedule parsed so far `k` times total
+//!   (may appear once, last).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Flow, ModelError, Phase, PhaseSchedule};
+
+/// A parse failure, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScheduleError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The kinds of parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// The `procs` header is missing or appears after phases.
+    MissingProcs,
+    /// A directive or flow line could not be parsed.
+    Malformed(String),
+    /// A flow line appeared before any `phase` directive.
+    FlowOutsidePhase,
+    /// A semantic error from the model layer (self-loop, out of range,
+    /// duplicate source...).
+    Model(ModelError),
+    /// `repeat` count must be at least 1.
+    BadRepeat,
+}
+
+impl fmt::Display for ParseScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseErrorKind::MissingProcs => write!(f, "expected a `procs <n>` header first"),
+            ParseErrorKind::Malformed(what) => write!(f, "cannot parse `{what}`"),
+            ParseErrorKind::FlowOutsidePhase => {
+                write!(f, "flow line outside any `phase` block")
+            }
+            ParseErrorKind::Model(e) => write!(f, "{e}"),
+            ParseErrorKind::BadRepeat => write!(f, "repeat count must be at least 1"),
+        }
+    }
+}
+
+impl Error for ParseScheduleError {}
+
+/// Parses the text format described at the [module level](self).
+///
+/// # Errors
+///
+/// [`ParseScheduleError`] with the offending line on any syntactic or
+/// semantic problem.
+pub fn parse_schedule(input: &str) -> Result<PhaseSchedule, ParseScheduleError> {
+    let mut n_procs: Option<usize> = None;
+    let mut schedule: Option<PhaseSchedule> = None;
+    let mut open: Option<Phase> = None;
+    let mut repeat: Option<usize> = None;
+
+    let err = |line: usize, kind: ParseErrorKind| ParseScheduleError { line, kind };
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if repeat.is_some() {
+            return Err(err(line_no, ParseErrorKind::Malformed(
+                "content after `repeat`".into(),
+            )));
+        }
+
+        let mut tokens = line.split_whitespace();
+        let head = tokens.next().expect("non-empty line has a token");
+        match head {
+            "procs" => {
+                if schedule.is_some() {
+                    return Err(err(line_no, ParseErrorKind::Malformed(
+                        "`procs` after phases began".into(),
+                    )));
+                }
+                let n: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(line_no, ParseErrorKind::Malformed(line.into())))?;
+                n_procs = Some(n);
+            }
+            "phase" => {
+                let Some(n) = n_procs else {
+                    return Err(err(line_no, ParseErrorKind::MissingProcs));
+                };
+                let schedule = schedule.get_or_insert_with(|| PhaseSchedule::new(n));
+                if let Some(done) = open.take() {
+                    schedule
+                        .push(done)
+                        .map_err(|e| err(line_no, ParseErrorKind::Model(e)))?;
+                }
+                let mut phase = Phase::new();
+                for opt in tokens {
+                    match opt.split_once('=') {
+                        Some(("bytes", v)) => {
+                            let bytes = v.parse().map_err(|_| {
+                                err(line_no, ParseErrorKind::Malformed(opt.into()))
+                            })?;
+                            phase = phase.with_bytes(bytes);
+                        }
+                        Some(("compute", v)) => {
+                            let ticks = v.parse().map_err(|_| {
+                                err(line_no, ParseErrorKind::Malformed(opt.into()))
+                            })?;
+                            phase = phase.with_compute(ticks);
+                        }
+                        _ => {
+                            return Err(err(line_no, ParseErrorKind::Malformed(opt.into())));
+                        }
+                    }
+                }
+                open = Some(phase);
+            }
+            "repeat" => {
+                let k: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(line_no, ParseErrorKind::Malformed(line.into())))?;
+                if k == 0 {
+                    return Err(err(line_no, ParseErrorKind::BadRepeat));
+                }
+                repeat = Some(k);
+            }
+            _ => {
+                // A flow line: `<src> -> <dst>` (whitespace optional
+                // around the arrow).
+                let joined: String = line.split_whitespace().collect();
+                let Some((s, d)) = joined.split_once("->") else {
+                    return Err(err(line_no, ParseErrorKind::Malformed(line.into())));
+                };
+                let (Ok(src), Ok(dst)) = (s.parse::<usize>(), d.parse::<usize>()) else {
+                    return Err(err(line_no, ParseErrorKind::Malformed(line.into())));
+                };
+                let Some(phase) = open.as_mut() else {
+                    return Err(err(line_no, ParseErrorKind::FlowOutsidePhase));
+                };
+                phase
+                    .add(Flow::from_indices(src, dst))
+                    .map_err(|e| err(line_no, ParseErrorKind::Model(e)))?;
+            }
+        }
+    }
+
+    let n = n_procs.ok_or_else(|| err(input.lines().count().max(1), ParseErrorKind::MissingProcs))?;
+    let mut schedule = schedule.unwrap_or_else(|| PhaseSchedule::new(n));
+    if let Some(done) = open.take() {
+        let last = input.lines().count();
+        schedule
+            .push(done)
+            .map_err(|e| err(last, ParseErrorKind::Model(e)))?;
+    }
+    Ok(match repeat {
+        Some(k) => schedule.repeated(k),
+        None => schedule,
+    })
+}
+
+/// Parses a timed trace in the companion format: a `procs <n>` header
+/// followed by one `msg <src> -> <dst> start=<t> finish=<t> [bytes=<n>]`
+/// line per message.
+///
+/// ```
+/// use nocsyn_model::text::parse_trace;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = parse_trace("procs 2\nmsg 0 -> 1 start=0 finish=100 bytes=64\n")?;
+/// assert_eq!(trace.len(), 1);
+/// assert_eq!(trace.makespan().ticks(), 100);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// [`ParseScheduleError`] with the offending line on any problem.
+pub fn parse_trace(input: &str) -> Result<crate::Trace, ParseScheduleError> {
+    use crate::Message;
+
+    let err = |line: usize, kind: ParseErrorKind| ParseScheduleError { line, kind };
+    let mut trace: Option<crate::Trace> = None;
+
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        match tokens.next().expect("non-empty line has a token") {
+            "procs" => {
+                if trace.is_some() {
+                    return Err(err(line_no, ParseErrorKind::Malformed(
+                        "`procs` after messages began".into(),
+                    )));
+                }
+                let n: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(line_no, ParseErrorKind::Malformed(line.into())))?;
+                trace = Some(crate::Trace::new(n));
+            }
+            "msg" => {
+                let Some(trace) = trace.as_mut() else {
+                    return Err(err(line_no, ParseErrorKind::MissingProcs));
+                };
+                let rest: Vec<&str> = tokens.collect();
+                // Expected shape: <src> -> <dst> start=.. finish=.. [bytes=..]
+                let joined = rest.join(" ");
+                let (endpoints, opts): (Vec<&str>, Vec<&str>) =
+                    rest.iter().partition(|t| !t.contains('='));
+                let ep = endpoints.join("");
+                let Some((src, dst)) = ep.split_once("->") else {
+                    return Err(err(line_no, ParseErrorKind::Malformed(joined)));
+                };
+                let (Ok(src), Ok(dst)) = (src.parse::<usize>(), dst.parse::<usize>()) else {
+                    return Err(err(line_no, ParseErrorKind::Malformed(joined)));
+                };
+                let (mut start, mut finish, mut bytes) = (None, None, None);
+                for opt in opts {
+                    match opt.split_once('=') {
+                        Some(("start", v)) => start = v.parse::<u64>().ok(),
+                        Some(("finish", v)) => finish = v.parse::<u64>().ok(),
+                        Some(("bytes", v)) => bytes = v.parse::<u32>().ok(),
+                        _ => {
+                            return Err(err(line_no, ParseErrorKind::Malformed(opt.into())));
+                        }
+                    }
+                }
+                let (Some(start), Some(finish)) = (start, finish) else {
+                    return Err(err(line_no, ParseErrorKind::Malformed(
+                        "msg needs start= and finish=".into(),
+                    )));
+                };
+                let mut message = Message::new(
+                    crate::ProcId(src),
+                    crate::ProcId(dst),
+                    start,
+                    finish,
+                )
+                .map_err(|e| err(line_no, ParseErrorKind::Model(e)))?;
+                if let Some(b) = bytes {
+                    message = message.with_bytes(b);
+                }
+                trace
+                    .push(message)
+                    .map_err(|e| err(line_no, ParseErrorKind::Model(e)))?;
+            }
+            other => {
+                return Err(err(line_no, ParseErrorKind::Malformed(other.into())));
+            }
+        }
+    }
+    trace.ok_or_else(|| err(input.lines().count().max(1), ParseErrorKind::MissingProcs))
+}
+
+/// Renders a trace in the [`parse_trace`] format.
+pub fn format_trace(trace: &crate::Trace) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("procs {}\n", trace.n_procs());
+    for m in trace.messages() {
+        let _ = writeln!(
+            out,
+            "msg {} -> {} start={} finish={} bytes={}",
+            m.src().index(),
+            m.dst().index(),
+            m.start().ticks(),
+            m.finish().ticks(),
+            m.bytes()
+        );
+    }
+    out
+}
+
+/// Renders a schedule back into the text format ([`parse_schedule`]'s
+/// inverse up to comments and `repeat` folding).
+pub fn format_schedule(schedule: &PhaseSchedule) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("procs {}\n", schedule.n_procs());
+    for phase in schedule.iter() {
+        let _ = write!(out, "\nphase bytes={}", phase.bytes());
+        if phase.compute_ticks() > 0 {
+            let _ = write!(out, " compute={}", phase.compute_ticks());
+        }
+        out.push('\n');
+        for flow in phase.iter() {
+            let _ = writeln!(out, "  {} -> {}", flow.src.index(), flow.dst.index());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a sample pattern
+procs 4
+
+phase bytes=128 compute=50
+  0 -> 1    # with a trailing comment
+  2 -> 3
+
+phase
+  1->0
+repeat 2
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let s = parse_schedule(SAMPLE).unwrap();
+        assert_eq!(s.n_procs(), 4);
+        assert_eq!(s.len(), 4); // 2 phases x repeat 2
+        let phases: Vec<_> = s.iter().collect();
+        assert_eq!(phases[0].bytes(), 128);
+        assert_eq!(phases[0].compute_ticks(), 50);
+        assert_eq!(phases[0].len(), 2);
+        assert_eq!(phases[1].len(), 1);
+        assert_eq!(phases[1].bytes(), 4096); // default
+    }
+
+    #[test]
+    fn round_trips_through_format() {
+        let s = parse_schedule(SAMPLE).unwrap();
+        let text = format_schedule(&s);
+        let reparsed = parse_schedule(&text).unwrap();
+        assert_eq!(s, reparsed);
+    }
+
+    #[test]
+    fn error_reporting_carries_line_numbers() {
+        let e = parse_schedule("procs 4\nphase\n  0 -> 0\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(matches!(e.kind, ParseErrorKind::Model(ModelError::SelfLoop { .. })));
+
+        let e = parse_schedule("phase\n  0 -> 1\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(matches!(e.kind, ParseErrorKind::MissingProcs));
+
+        let e = parse_schedule("procs 4\n  0 -> 1\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::FlowOutsidePhase));
+
+        let e = parse_schedule("procs 4\nphase\n  0 -> 1\nrepeat 0\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::BadRepeat));
+
+        let e = parse_schedule("procs 4\nphase\n  zero -> 1\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::Malformed(_)));
+
+        let e = parse_schedule("procs 4\nphase speed=9\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::Malformed(_)));
+    }
+
+    #[test]
+    fn procs_after_phase_rejected() {
+        let e = parse_schedule("procs 4\nphase\n 0 -> 1\nprocs 8\n").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::Malformed(_)));
+    }
+
+    #[test]
+    fn out_of_range_flow_reports_model_error() {
+        let e = parse_schedule("procs 2\nphase\n  0 -> 5\n").unwrap_err();
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::Model(ModelError::ProcOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_schedule_is_fine() {
+        let s = parse_schedule("procs 3\n").unwrap();
+        assert_eq!(s.n_procs(), 3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn trace_round_trip() {
+        let input = "procs 4\nmsg 0 -> 1 start=0 finish=100 bytes=64\nmsg 2 -> 3 start=50 finish=150\n";
+        let trace = parse_trace(input).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.contention_set().len(), 1);
+        let reparsed = parse_trace(&format_trace(&trace)).unwrap();
+        assert_eq!(trace, reparsed);
+    }
+
+    #[test]
+    fn trace_error_paths() {
+        assert!(matches!(
+            parse_trace("msg 0 -> 1 start=0 finish=1\n").unwrap_err().kind,
+            ParseErrorKind::MissingProcs
+        ));
+        assert!(parse_trace("procs 2\nmsg 0 -> 1 start=5 finish=1\n").is_err());
+        assert!(parse_trace("procs 2\nmsg 0 -> 1 finish=1\n").is_err());
+        assert!(parse_trace("procs 2\nmsg 0 -> 1 start=0 finish=1 wat=2\n").is_err());
+        assert!(parse_trace("procs 2\nblah\n").is_err());
+        assert!(parse_trace("").is_err());
+        // Out-of-range proc surfaces the model error.
+        assert!(matches!(
+            parse_trace("procs 2\nmsg 0 -> 9 start=0 finish=1\n").unwrap_err().kind,
+            ParseErrorKind::Model(_)
+        ));
+    }
+
+    #[test]
+    fn display_of_errors() {
+        let e = parse_schedule("phase\n").unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+    }
+}

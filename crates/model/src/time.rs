@@ -1,0 +1,260 @@
+//! Discrete time values and closed time intervals.
+//!
+//! The paper models message timing with real-valued starting and finishing
+//! times. We use discrete `u64` ticks instead: ticks are exact (hashable,
+//! totally ordered, no NaN corner cases) and every construction in the paper
+//! — overlap tests, contention periods, clique extraction — only compares
+//! times, so any strictly monotone re-timing leaves the model invariant.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::ModelError;
+
+/// A point in time, measured in abstract ticks.
+///
+/// `Time` is a transparent newtype over `u64`; construct it with
+/// [`Time::new`] or via `From<u64>`.
+///
+/// ```
+/// use nocsyn_model::Time;
+/// let t = Time::new(42);
+/// assert_eq!(t + Time::new(8), Time::new(50));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The origin of time.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from a raw tick count.
+    pub const fn new(ticks: u64) -> Self {
+        Time(ticks)
+    }
+
+    /// Returns the raw tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a tick count.
+    #[must_use]
+    pub const fn saturating_add(self, ticks: u64) -> Self {
+        Time(self.0.saturating_add(ticks))
+    }
+
+    /// Saturating subtraction of a tick count.
+    #[must_use]
+    pub const fn saturating_sub(self, ticks: u64) -> Self {
+        Time(self.0.saturating_sub(ticks))
+    }
+}
+
+impl From<u64> for Time {
+    fn from(ticks: u64) -> Self {
+        Time(ticks)
+    }
+}
+
+impl From<Time> for u64 {
+    fn from(t: Time) -> Self {
+        t.0
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A closed time interval `[start, finish]` with `start <= finish`.
+///
+/// Message lifetimes are closed intervals: per Definition 3 of the paper, a
+/// message that finishes exactly when another starts still *overlaps* it
+/// (the boundary instant is shared).
+///
+/// ```
+/// use nocsyn_model::TimeInterval;
+/// # fn main() -> Result<(), nocsyn_model::ModelError> {
+/// let a = TimeInterval::new(0, 10)?;
+/// let b = TimeInterval::new(10, 20)?;
+/// let c = TimeInterval::new(11, 20)?;
+/// assert!(a.overlaps(&b)); // shared endpoint counts
+/// assert!(!a.overlaps(&c));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TimeInterval {
+    start: Time,
+    finish: Time,
+}
+
+impl TimeInterval {
+    /// Creates a closed interval `[start, finish]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvertedInterval`] if `finish < start`.
+    pub fn new(start: impl Into<Time>, finish: impl Into<Time>) -> Result<Self, ModelError> {
+        let (start, finish) = (start.into(), finish.into());
+        if finish < start {
+            return Err(ModelError::InvertedInterval { start, finish });
+        }
+        Ok(TimeInterval { start, finish })
+    }
+
+    /// The instant the interval begins.
+    pub const fn start(&self) -> Time {
+        self.start
+    }
+
+    /// The instant the interval ends (inclusive).
+    pub const fn finish(&self) -> Time {
+        self.finish
+    }
+
+    /// The length of the interval in ticks (zero for an instantaneous one).
+    pub const fn duration(&self) -> u64 {
+        self.finish.0 - self.start.0
+    }
+
+    /// Whether `t` lies within the closed interval.
+    pub fn contains(&self, t: impl Into<Time>) -> bool {
+        let t = t.into();
+        self.start <= t && t <= self.finish
+    }
+
+    /// Whether two closed intervals share at least one instant.
+    ///
+    /// This is exactly the per-message-pair condition of the overlap
+    /// relation `O` in Definition 3 of the paper.
+    pub fn overlaps(&self, other: &TimeInterval) -> bool {
+        self.start <= other.finish && other.start <= self.finish
+    }
+
+    /// Returns the intersection of two intervals, if they overlap.
+    pub fn intersection(&self, other: &TimeInterval) -> Option<TimeInterval> {
+        if self.overlaps(other) {
+            Some(TimeInterval {
+                start: self.start.max(other.start),
+                finish: self.finish.min(other.finish),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Returns this interval shifted later by `ticks`.
+    #[must_use]
+    pub fn shifted(&self, ticks: u64) -> TimeInterval {
+        TimeInterval {
+            start: self.start.saturating_add(ticks),
+            finish: self.finish.saturating_add(ticks),
+        }
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start.0, self.finish.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_rejects_inverted_bounds() {
+        assert!(matches!(
+            TimeInterval::new(5, 4),
+            Err(ModelError::InvertedInterval { .. })
+        ));
+    }
+
+    #[test]
+    fn instantaneous_interval_is_valid() {
+        let i = TimeInterval::new(7, 7).unwrap();
+        assert_eq!(i.duration(), 0);
+        assert!(i.contains(7));
+        assert!(!i.contains(8));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_closed() {
+        let a = TimeInterval::new(0, 10).unwrap();
+        let b = TimeInterval::new(10, 12).unwrap();
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+    }
+
+    #[test]
+    fn disjoint_intervals_do_not_overlap() {
+        let a = TimeInterval::new(0, 9).unwrap();
+        let b = TimeInterval::new(10, 12).unwrap();
+        assert!(!a.overlaps(&b));
+        assert!(b.intersection(&a).is_none());
+    }
+
+    #[test]
+    fn nested_interval_overlap_and_intersection() {
+        let outer = TimeInterval::new(0, 100).unwrap();
+        let inner = TimeInterval::new(40, 60).unwrap();
+        assert!(outer.overlaps(&inner));
+        assert_eq!(outer.intersection(&inner), Some(inner));
+    }
+
+    #[test]
+    fn shifted_moves_both_ends() {
+        let a = TimeInterval::new(3, 8).unwrap();
+        let s = a.shifted(10);
+        assert_eq!(s.start(), Time::new(13));
+        assert_eq!(s.finish(), Time::new(18));
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        assert_eq!(Time::new(4) + Time::new(6), Time::new(10));
+        assert_eq!(Time::new(10) - Time::new(6), Time::new(4));
+        assert_eq!(Time::new(1).saturating_sub(5), Time::ZERO);
+        let mut t = Time::new(1);
+        t += Time::new(2);
+        assert_eq!(t, Time::new(3));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Time::new(5).to_string(), "t5");
+        assert_eq!(TimeInterval::new(1, 2).unwrap().to_string(), "[1, 2]");
+    }
+}

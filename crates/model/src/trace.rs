@@ -1,0 +1,232 @@
+//! Traces: the communication pattern of an application (Definition 2).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    CliqueSet, ContentionSet, Flow, Message, MessageId, ModelError, OverlapRelation, ProcId, Time,
+};
+
+/// The set `M` of all messages of an application, over a fixed process
+/// count.
+///
+/// A `Trace` is the canonical machine-readable form of a *communication
+/// pattern*: the paper obtains it from MPI execution logs; the
+/// `nocsyn-workloads` crate synthesizes it analytically. All of the
+/// contention-model artifacts — the overlap relation, the contention set
+/// `C`, and the clique set `K` — are derived from a trace.
+///
+/// ```
+/// use nocsyn_model::{Message, ProcId, Trace};
+/// # fn main() -> Result<(), nocsyn_model::ModelError> {
+/// let mut trace = Trace::new(8);
+/// trace.push(Message::new(ProcId(0), ProcId(4), 0, 100)?)?;
+/// trace.push(Message::new(ProcId(4), ProcId(0), 0, 100)?)?;
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.flows().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    n_procs: usize,
+    messages: Vec<Message>,
+}
+
+impl Trace {
+    /// Creates an empty trace over `n_procs` processes.
+    pub fn new(n_procs: usize) -> Self {
+        Trace {
+            n_procs,
+            messages: Vec::new(),
+        }
+    }
+
+    /// Appends a message, assigning it the next [`MessageId`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ProcOutOfRange`] if the message references a
+    /// process `>= n_procs`.
+    pub fn push(&mut self, message: Message) -> Result<MessageId, ModelError> {
+        for proc in [message.src(), message.dst()] {
+            if proc.index() >= self.n_procs {
+                return Err(ModelError::ProcOutOfRange {
+                    proc,
+                    n_procs: self.n_procs,
+                });
+            }
+        }
+        let id = MessageId(self.messages.len());
+        self.messages.push(message);
+        Ok(id)
+    }
+
+    /// Number of processes (end-nodes) in the system.
+    pub fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether the trace carries no messages.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Iterates over messages in id order.
+    pub fn messages(&self) -> impl Iterator<Item = Message> + '_ {
+        self.messages.iter().copied()
+    }
+
+    /// Iterates over message ids.
+    pub fn message_ids(&self) -> impl Iterator<Item = MessageId> {
+        (0..self.messages.len()).map(MessageId)
+    }
+
+    /// Returns the message with the given id, if any.
+    pub fn get(&self, id: MessageId) -> Option<&Message> {
+        self.messages.get(id.index())
+    }
+
+    /// The set of distinct flows used by any message.
+    pub fn flows(&self) -> BTreeSet<Flow> {
+        self.messages.iter().map(Message::flow).collect()
+    }
+
+    /// The instant the last message finishes (`Time::ZERO` when empty).
+    pub fn makespan(&self) -> Time {
+        self.messages
+            .iter()
+            .map(Message::finish)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Total payload bytes across all messages.
+    pub fn total_bytes(&self) -> u64 {
+        self.messages.iter().map(|m| u64::from(m.bytes())).sum()
+    }
+
+    /// Computes the overlap relation `O` (Definition 3).
+    pub fn overlap_relation(&self) -> OverlapRelation {
+        OverlapRelation::from_trace(self)
+    }
+
+    /// Computes the potential communication contention set `C`
+    /// (Definition 4).
+    pub fn contention_set(&self) -> ContentionSet {
+        ContentionSet::from_trace(self)
+    }
+
+    /// Computes the communication clique set `K` (Definition 5).
+    pub fn clique_set(&self) -> CliqueSet {
+        CliqueSet::from_trace(self)
+    }
+
+    /// Computes the communication *maximum* clique set: `K` with dominated
+    /// sub-cliques removed.
+    pub fn maximum_clique_set(&self) -> CliqueSet {
+        CliqueSet::from_trace(self).into_maximal()
+    }
+
+    /// Messages sent by `proc`, in id order.
+    pub fn sent_by(&self, proc: ProcId) -> impl Iterator<Item = Message> + '_ {
+        self.messages.iter().copied().filter(move |m| m.src() == proc)
+    }
+
+    /// Messages received by `proc`, in id order.
+    pub fn received_by(&self, proc: ProcId) -> impl Iterator<Item = Message> + '_ {
+        self.messages.iter().copied().filter(move |m| m.dst() == proc)
+    }
+}
+
+impl Index<MessageId> for Trace {
+    type Output = Message;
+    fn index(&self, id: MessageId) -> &Message {
+        &self.messages[id.index()]
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace: {} procs, {} messages, makespan {}",
+            self.n_procs,
+            self.messages.len(),
+            self.makespan()
+        )?;
+        for (i, m) in self.messages.iter().enumerate() {
+            writeln!(f, "  m{i}: {m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_process_range() {
+        let mut t = Trace::new(4);
+        let m = Message::new(ProcId(0), ProcId(4), 0, 1).unwrap();
+        assert!(matches!(
+            t.push(m),
+            Err(ModelError::ProcOutOfRange { proc: ProcId(4), n_procs: 4 })
+        ));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ids_are_dense_and_indexable() {
+        let mut t = Trace::new(4);
+        let a = t.push(Message::new(ProcId(0), ProcId(1), 0, 1).unwrap()).unwrap();
+        let b = t.push(Message::new(ProcId(2), ProcId(3), 0, 1).unwrap()).unwrap();
+        assert_eq!(a, MessageId(0));
+        assert_eq!(b, MessageId(1));
+        assert_eq!(t[b].src(), ProcId(2));
+        assert!(t.get(MessageId(2)).is_none());
+    }
+
+    #[test]
+    fn makespan_and_totals() {
+        let mut t = Trace::new(4);
+        assert_eq!(t.makespan(), Time::ZERO);
+        t.push(Message::new(ProcId(0), ProcId(1), 0, 10).unwrap().with_bytes(100))
+            .unwrap();
+        t.push(Message::new(ProcId(1), ProcId(2), 5, 25).unwrap().with_bytes(50))
+            .unwrap();
+        assert_eq!(t.makespan(), Time::new(25));
+        assert_eq!(t.total_bytes(), 150);
+    }
+
+    #[test]
+    fn per_process_views() {
+        let mut t = Trace::new(4);
+        t.push(Message::new(ProcId(0), ProcId(1), 0, 1).unwrap()).unwrap();
+        t.push(Message::new(ProcId(0), ProcId(2), 2, 3).unwrap()).unwrap();
+        t.push(Message::new(ProcId(1), ProcId(0), 0, 1).unwrap()).unwrap();
+        assert_eq!(t.sent_by(ProcId(0)).count(), 2);
+        assert_eq!(t.received_by(ProcId(0)).count(), 1);
+        assert_eq!(t.sent_by(ProcId(3)).count(), 0);
+    }
+
+    #[test]
+    fn flows_deduplicate_repeats() {
+        let mut t = Trace::new(4);
+        for phase in 0..3u64 {
+            t.push(Message::new(ProcId(0), ProcId(1), phase * 10, phase * 10 + 5).unwrap())
+                .unwrap();
+        }
+        assert_eq!(t.flows().len(), 1);
+        assert_eq!(t.len(), 3);
+    }
+}

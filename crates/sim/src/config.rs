@@ -1,0 +1,281 @@
+//! Simulator configuration.
+
+use nocsyn_topo::{LinkId, Network};
+
+/// Tunable parameters of the flit-level simulator.
+///
+/// [`SimConfig::paper`] reproduces the setup of Section 4.2: 32-bit flits,
+/// 3 virtual channels per physical link, 10-cycle send and receive
+/// overheads, and link delay equal to physical length in tiles (minimum
+/// one cycle — set per link with [`SimConfig::with_link_delays`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    flit_bytes: u32,
+    vcs: usize,
+    send_overhead: u64,
+    recv_overhead: u64,
+    deadlock_timeout: u64,
+    retransmit_delay: u64,
+    max_cycles: u64,
+    link_delays: Vec<u32>,
+    compute_jitter: f64,
+    jitter_seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's simulation parameters.
+    pub fn paper() -> Self {
+        SimConfig {
+            flit_bytes: 4,
+            vcs: 3,
+            send_overhead: 10,
+            recv_overhead: 10,
+            // Generous: a worm legitimately queued behind several kKiB
+            // worms on one VC can stall for thousands of cycles; killing
+            // it would be a false positive. Real deadlock cycles hold
+            // forever, so late detection only delays recovery.
+            deadlock_timeout: 20_000,
+            retransmit_delay: 32,
+            max_cycles: 50_000_000,
+            link_delays: Vec::new(),
+            compute_jitter: 0.0,
+            jitter_seed: 0,
+        }
+    }
+
+    /// Overrides the flit width in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    #[must_use]
+    pub fn with_flit_bytes(mut self, bytes: u32) -> Self {
+        assert!(bytes > 0, "flits carry at least one byte");
+        self.flit_bytes = bytes;
+        self
+    }
+
+    /// Overrides the virtual-channel count per physical link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcs` is zero.
+    #[must_use]
+    pub fn with_vcs(mut self, vcs: usize) -> Self {
+        assert!(vcs > 0, "need at least one virtual channel");
+        self.vcs = vcs;
+        self
+    }
+
+    /// Overrides the send/receive software overheads (cycles).
+    #[must_use]
+    pub fn with_overheads(mut self, send: u64, recv: u64) -> Self {
+        self.send_overhead = send;
+        self.recv_overhead = recv;
+        self
+    }
+
+    /// Overrides the no-progress timeout after which a message is declared
+    /// deadlocked, killed, and retransmitted.
+    #[must_use]
+    pub fn with_deadlock_timeout(mut self, cycles: u64) -> Self {
+        self.deadlock_timeout = cycles;
+        self
+    }
+
+    /// Overrides the simulation cycle cap (safety bound).
+    #[must_use]
+    pub fn with_max_cycles(mut self, cycles: u64) -> Self {
+        self.max_cycles = cycles;
+        self
+    }
+
+    /// Sets the per-process compute-time jitter: each computation gap is
+    /// scaled by a deterministic pseudo-random factor in
+    /// `[1 - jitter, 1 + jitter]`. Real executions skew this way, which
+    /// makes adjacent contention periods overlap — the effect the paper
+    /// credits for the residual gap between generated networks and the
+    /// crossbar (Section 4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is negative or ≥ 1.
+    #[must_use]
+    pub fn with_compute_jitter(mut self, jitter: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        self.compute_jitter = jitter;
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The jittered computation time for process `proc` at phase `step`,
+    /// given the nominal `ticks`.
+    pub fn jittered_compute(&self, ticks: u64, proc: usize, step: usize) -> u64 {
+        if self.compute_jitter == 0.0 || ticks == 0 {
+            return ticks;
+        }
+        // SplitMix64 over (proc, step), mapped to [-1, 1].
+        let mut x = self
+            .jitter_seed
+            .wrapping_add((proc as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((step as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let unit = (x as f64 / u64::MAX as f64) * 2.0 - 1.0;
+        let scaled = ticks as f64 * (1.0 + self.compute_jitter * unit);
+        scaled.max(0.0).round() as u64
+    }
+
+    /// Sets per-link delays in cycles (index = [`LinkId`]); unlisted links
+    /// default to one cycle. Zero entries are clamped to one.
+    #[must_use]
+    pub fn with_link_delays(mut self, delays: Vec<u32>) -> Self {
+        self.link_delays = delays;
+        self
+    }
+
+    /// Flit width in bytes.
+    pub fn flit_bytes(&self) -> u32 {
+        self.flit_bytes
+    }
+
+    /// Virtual channels per physical link.
+    pub fn vcs(&self) -> usize {
+        self.vcs
+    }
+
+    /// Send overhead in cycles.
+    pub fn send_overhead(&self) -> u64 {
+        self.send_overhead
+    }
+
+    /// Receive overhead in cycles.
+    pub fn recv_overhead(&self) -> u64 {
+        self.recv_overhead
+    }
+
+    /// Deadlock detection timeout in cycles.
+    pub fn deadlock_timeout(&self) -> u64 {
+        self.deadlock_timeout
+    }
+
+    /// Delay before a killed message is retransmitted.
+    pub fn retransmit_delay(&self) -> u64 {
+        self.retransmit_delay
+    }
+
+    /// Simulation cycle cap.
+    pub fn max_cycles(&self) -> u64 {
+        self.max_cycles
+    }
+
+    /// The delay of a specific link in cycles (≥ 1).
+    pub fn link_delay(&self, link: LinkId) -> u32 {
+        self.link_delays
+            .get(link.index())
+            .copied()
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// Number of flits a payload of `bytes` occupies, head flit included.
+    pub fn flits_for(&self, bytes: u32) -> u64 {
+        u64::from(bytes.div_ceil(self.flit_bytes)).max(1) + 1
+    }
+
+    /// Convenience: derives per-link delays for `net` from a link-length
+    /// function (lengths in tiles; zero-length links cost one cycle).
+    #[must_use]
+    pub fn with_delays_from<F: FnMut(LinkId) -> u32>(self, net: &Network, mut length: F) -> Self {
+        let delays = net.link_ids().map(|l| length(l).max(1)).collect();
+        self.with_link_delays(delays)
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = SimConfig::paper();
+        assert_eq!(c.flit_bytes(), 4);
+        assert_eq!(c.vcs(), 3);
+        assert_eq!(c.send_overhead(), 10);
+        assert_eq!(c.recv_overhead(), 10);
+        assert_eq!(c, SimConfig::default());
+    }
+
+    #[test]
+    fn flit_accounting() {
+        let c = SimConfig::paper();
+        assert_eq!(c.flits_for(4), 2); // one payload flit + head
+        assert_eq!(c.flits_for(5), 3);
+        assert_eq!(c.flits_for(0), 2); // clamped to one payload flit
+        assert_eq!(c.flits_for(4096), 1025);
+    }
+
+    #[test]
+    fn link_delays_default_and_clamp() {
+        let c = SimConfig::paper().with_link_delays(vec![3, 0]);
+        assert_eq!(c.link_delay(LinkId(0)), 3);
+        assert_eq!(c.link_delay(LinkId(1)), 1); // clamped
+        assert_eq!(c.link_delay(LinkId(9)), 1); // default
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one virtual channel")]
+    fn zero_vcs_rejected() {
+        let _ = SimConfig::paper().with_vcs(0);
+    }
+}
+
+#[cfg(test)]
+mod jitter_tests {
+    use super::*;
+
+    #[test]
+    fn zero_jitter_is_identity() {
+        let c = SimConfig::paper();
+        assert_eq!(c.jittered_compute(1_000, 3, 7), 1_000);
+        assert_eq!(c.jittered_compute(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let c = SimConfig::paper().with_compute_jitter(0.25, 42);
+        for proc in 0..8 {
+            for step in 0..8 {
+                let a = c.jittered_compute(1_000, proc, step);
+                let b = c.jittered_compute(1_000, proc, step);
+                assert_eq!(a, b, "same (proc, step) must repeat");
+                assert!((750..=1250).contains(&a), "out of bounds: {a}");
+            }
+        }
+        // Different seeds give different draws somewhere.
+        let d = SimConfig::paper().with_compute_jitter(0.25, 43);
+        let differs = (0..8).any(|p| d.jittered_compute(1_000, p, 0) != c.jittered_compute(1_000, p, 0));
+        assert!(differs);
+    }
+
+    #[test]
+    fn jitter_actually_varies_across_procs() {
+        let c = SimConfig::paper().with_compute_jitter(0.5, 7);
+        let draws: std::collections::BTreeSet<u64> =
+            (0..16).map(|p| c.jittered_compute(10_000, p, 0)).collect();
+        assert!(draws.len() > 8, "jitter draws look degenerate: {draws:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter must be in [0, 1)")]
+    fn jitter_out_of_range_rejected() {
+        let _ = SimConfig::paper().with_compute_jitter(1.5, 0);
+    }
+}

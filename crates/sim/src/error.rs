@@ -1,0 +1,60 @@
+//! Error type for simulation.
+
+use std::error::Error;
+use std::fmt;
+
+use nocsyn_model::Flow;
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A message was issued for a flow the routing policy cannot route.
+    UnroutedFlow {
+        /// The unrouted flow.
+        flow: Flow,
+    },
+    /// The simulation exceeded its configured cycle cap without settling.
+    CycleCapExceeded {
+        /// The cap that was hit.
+        cycles: u64,
+    },
+    /// The schedule references more processes than the network attaches.
+    ProcCountMismatch {
+        /// Processes in the schedule.
+        schedule: usize,
+        /// Processes in the network.
+        network: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnroutedFlow { flow } => write!(f, "no route for flow {flow}"),
+            SimError::CycleCapExceeded { cycles } => {
+                write!(f, "simulation exceeded the {cycles}-cycle cap")
+            }
+            SimError::ProcCountMismatch { schedule, network } => write!(
+                f,
+                "schedule has {schedule} processes but the network attaches {network}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            SimError::UnroutedFlow { flow: Flow::from_indices(0, 1) }.to_string(),
+            "no route for flow (0, 1)"
+        );
+        assert!(SimError::CycleCapExceeded { cycles: 5 }.to_string().contains("5-cycle"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Flit-level network simulation.
+//!
+//! This crate is the reproduction's stand-in for IRFlexSim, the flit-level
+//! simulator the paper uses for its performance evaluation (Section 4.2).
+//! It models:
+//!
+//! * **Wormhole switching** — each message is a worm of 32-bit flits that
+//!   holds a virtual channel on every link it spans from head to tail;
+//!   physical link bandwidth (one flit per cycle) is multiplexed between
+//!   the virtual channels (3 per link by default, as in the paper).
+//! * **Link delay** — proportional to physical length in tiles (minimum
+//!   one cycle), configurable per link from a floorplan.
+//! * **Send/receive overhead** — ten cycles each, after the LogP-style
+//!   accounting the paper cites.
+//! * **Deadlock handling** — detection by progress timeout and *regressive
+//!   recovery*: deadlocked messages are killed and retransmitted, exactly
+//!   the paper's scheme.
+//! * **Routing** — deterministic source routing from a [`RouteTable`]
+//!   (used for generated networks and DOR on the mesh), or adaptive
+//!   selection among alternate minimal route tables at injection (the
+//!   stand-in for the paper's true fully-adaptive routing on the torus).
+//!
+//! Two front ends share the engine: [`Engine`] for open-loop injection
+//! (inject messages at given cycles, observe latency), and [`AppDriver`]
+//! for closed-loop phase-parallel execution, which reproduces the paper's
+//! trace-driven measurement of *total execution time* and *communication
+//! time* including waiting and overhead.
+//!
+//! [`RouteTable`]: nocsyn_topo::RouteTable
+//!
+//! # Example
+//!
+//! ```
+//! use nocsyn_model::{Phase, PhaseSchedule};
+//! use nocsyn_sim::{AppDriver, RoutePolicy, SimConfig};
+//! use nocsyn_topo::regular;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sched = PhaseSchedule::new(4);
+//! sched.push(Phase::from_flows([(0usize, 3usize), (1, 2)])?.with_bytes(256))?;
+//!
+//! let (net, routes) = regular::mesh(2, 2)?;
+//! let stats = AppDriver::new(&net, RoutePolicy::deterministic(routes), SimConfig::paper())
+//!     .run(&sched)?;
+//! assert!(stats.exec_cycles > 0);
+//! assert_eq!(stats.delivered, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod driver;
+mod engine;
+mod error;
+mod packet;
+mod policy;
+mod stats;
+mod trace_drive;
+
+pub use config::SimConfig;
+pub use driver::AppDriver;
+pub use engine::Engine;
+pub use error::SimError;
+pub use policy::RoutePolicy;
+pub use stats::{ExecutionStats, PacketStats, ProcStats};
+pub use trace_drive::run_trace;

@@ -1,0 +1,189 @@
+//! Internal packet (worm) state.
+
+use nocsyn_model::Flow;
+use nocsyn_topo::Route;
+
+use crate::SimConfig;
+
+/// Identifier of a packet within an engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct PacketId(pub(crate) usize);
+
+/// One channel of a packet's route, expanded to its slot interval.
+///
+/// The route is laid out on a discrete "slot" axis where each slot is one
+/// cycle of head progress at full speed: channel `i` covers slots
+/// `[start, end)` with `end - start` equal to its delay.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Span {
+    /// Dense channel index in the engine's fabric.
+    pub(crate) channel: usize,
+    pub(crate) start: u64,
+    pub(crate) end: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PacketState {
+    /// Waiting for its injection cycle.
+    Pending { inject_at: u64 },
+    /// In the network; `progress` is the head's last completed slot.
+    Active,
+    /// Fully drained into the destination.
+    Delivered { at: u64 },
+}
+
+/// A wormhole packet: a rigid worm of `n_flits` flits advancing along its
+/// expanded route at most one slot per cycle.
+#[derive(Debug, Clone)]
+pub(crate) struct Packet {
+    pub(crate) flow: Flow,
+    /// Caller-chosen tag (the driver uses the phase index).
+    pub(crate) tag: u64,
+    pub(crate) spans: Vec<Span>,
+    /// Slot index one past the final channel; the worm is delivered when
+    /// its tail reaches this.
+    pub(crate) total_slots: u64,
+    pub(crate) n_flits: u64,
+    /// Head position: last slot fully crossed; `-1` before entering.
+    pub(crate) progress: i64,
+    /// Per-span virtual channel currently held.
+    pub(crate) vc_held: Vec<Option<usize>>,
+    pub(crate) state: PacketState,
+    /// Cycle of the last head advance (for deadlock detection).
+    pub(crate) last_progress: u64,
+    /// Cycle originally requested for injection (first attempt).
+    pub(crate) first_inject: u64,
+    /// How many times this packet was killed and retransmitted.
+    pub(crate) kills: u32,
+}
+
+impl Packet {
+    /// Expands `route` into spans using the config's per-link delays.
+    pub(crate) fn new(
+        flow: Flow,
+        tag: u64,
+        bytes: u32,
+        route: &Route,
+        inject_at: u64,
+        config: &SimConfig,
+        channel_index: impl Fn(nocsyn_topo::Channel) -> usize,
+    ) -> Self {
+        let mut spans = Vec::with_capacity(route.len());
+        let mut slot = 0u64;
+        for ch in route.iter() {
+            let delay = u64::from(config.link_delay(ch.link));
+            spans.push(Span {
+                channel: channel_index(ch),
+                start: slot,
+                end: slot + delay,
+            });
+            slot += delay;
+        }
+        let n_flits = config.flits_for(bytes);
+        Packet {
+            flow,
+            tag,
+            total_slots: slot,
+            n_flits,
+            progress: -1,
+            vc_held: vec![None; spans.len()],
+            spans,
+            state: PacketState::Pending { inject_at },
+            last_progress: inject_at,
+            first_inject: inject_at,
+            kills: 0,
+        }
+    }
+
+    /// The tail's position given head `progress` (may be negative while
+    /// the worm is still streaming out of the source).
+    pub(crate) fn tail(&self, progress: i64) -> i64 {
+        progress - (self.n_flits as i64 - 1)
+    }
+
+    /// Whether advancing to `h` delivers the packet (tail past the last
+    /// channel).
+    pub(crate) fn delivered_at(&self, h: i64) -> bool {
+        self.tail(h) >= self.total_slots as i64
+    }
+
+    /// Resets the packet for retransmission after a deadlock kill.
+    pub(crate) fn reset_for_retransmit(&mut self, inject_at: u64) {
+        self.progress = -1;
+        self.vc_held.iter_mut().for_each(|v| *v = None);
+        self.state = PacketState::Pending { inject_at };
+        self.last_progress = inject_at;
+        self.kills += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocsyn_model::ProcId;
+    use nocsyn_topo::Network;
+
+    fn tiny() -> (Network, Route) {
+        let mut net = Network::new(2);
+        let s0 = net.add_switch();
+        let s1 = net.add_switch();
+        net.add_link(s0, s1).unwrap();
+        net.attach(ProcId(0), s0).unwrap();
+        net.attach(ProcId(1), s1).unwrap();
+        let flow = Flow::from_indices(0, 1);
+        let route = crate::engine::tests_support::route_for(&net, flow);
+        (net, route)
+    }
+
+    #[test]
+    fn span_expansion_accumulates_delays() {
+        let (_, route) = tiny();
+        let config = SimConfig::paper().with_link_delays(vec![2, 1, 3]);
+        let p = Packet::new(
+            Flow::from_indices(0, 1),
+            0,
+            8,
+            &route,
+            0,
+            &config,
+            |ch| ch.link.index() * 2 + usize::from(matches!(ch.dir, nocsyn_topo::Direction::Backward)),
+        );
+        // Route: inject (link of proc0), middle link 0, eject (link of
+        // proc1). Link ids: 0 = switch link, 1 = attach p0, 2 = attach p1.
+        assert_eq!(p.spans.len(), 3);
+        assert_eq!(p.spans[0].start, 0);
+        let total: u64 = p.spans.iter().map(|s| s.end - s.start).sum();
+        assert_eq!(p.total_slots, total);
+        assert_eq!(p.n_flits, 3); // 2 payload flits + head
+        assert!(!p.delivered_at(0));
+        assert!(p.delivered_at((p.total_slots + p.n_flits - 1) as i64));
+    }
+
+    #[test]
+    fn retransmit_reset() {
+        let (_, route) = tiny();
+        let config = SimConfig::paper();
+        let mut p = Packet::new(Flow::from_indices(0, 1), 0, 4, &route, 5, &config, |_| 0);
+        p.progress = 3;
+        p.vc_held[0] = Some(1);
+        p.reset_for_retransmit(100);
+        assert_eq!(p.progress, -1);
+        assert!(p.vc_held.iter().all(Option::is_none));
+        assert_eq!(p.kills, 1);
+        assert_eq!(p.state, PacketState::Pending { inject_at: 100 });
+        assert_eq!(p.first_inject, 5);
+    }
+
+    #[test]
+    fn tail_tracks_flit_count() {
+        let (_, route) = tiny();
+        let config = SimConfig::paper();
+        let p = Packet::new(Flow::from_indices(0, 1), 0, 16, &config_route(&route), 0, &config, |_| 0);
+        assert_eq!(p.n_flits, 5);
+        assert_eq!(p.tail(10), 6);
+    }
+
+    fn config_route(r: &Route) -> Route {
+        r.clone()
+    }
+}

@@ -1,0 +1,124 @@
+//! Route selection policy: deterministic source routing or adaptive
+//! selection among alternates.
+
+use nocsyn_model::Flow;
+use nocsyn_topo::{Route, RouteTable};
+
+use crate::{Engine, SimError};
+
+/// How the network interface picks a route at message injection.
+///
+/// * [`RoutePolicy::deterministic`] — one fixed route per flow: source
+///   routing on generated topologies, dimension-order routing on the mesh.
+/// * [`RoutePolicy::adaptive`] — several alternate route tables (e.g. the
+///   X-then-Y and Y-then-X minimal tables of a torus); at injection the
+///   candidate with the fewest virtual channels currently held along it is
+///   chosen. This approximates the paper's "true fully adaptive routing"
+///   on the torus at injection granularity.
+#[derive(Debug, Clone)]
+pub struct RoutePolicy {
+    tables: Vec<RouteTable>,
+}
+
+impl RoutePolicy {
+    /// A fixed, deterministic routing function.
+    pub fn deterministic(table: RouteTable) -> Self {
+        RoutePolicy { tables: vec![table] }
+    }
+
+    /// Adaptive selection among alternate tables (least-congested wins,
+    /// earlier table breaking ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty.
+    pub fn adaptive(tables: Vec<RouteTable>) -> Self {
+        assert!(!tables.is_empty(), "adaptive policy needs at least one table");
+        RoutePolicy { tables }
+    }
+
+    /// Number of alternate tables.
+    pub fn n_alternates(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The route the *first* table assigns to `flow`, ignoring congestion
+    /// — the zero-load choice, useful for static analysis (Theorem 1
+    /// verification) where no engine state exists.
+    pub fn first_route(&self, flow: Flow) -> Option<&Route> {
+        self.tables.iter().find_map(|t| t.route(flow))
+    }
+
+    /// Selects the route for `flow` given current network state.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnroutedFlow`] if no table routes the flow.
+    pub fn choose<'a>(&'a self, engine: &Engine, flow: Flow) -> Result<&'a Route, SimError> {
+        let mut best: Option<(&Route, usize)> = None;
+        for table in &self.tables {
+            if let Some(route) = table.route(flow) {
+                let congestion = engine.congestion(route);
+                match best {
+                    Some((_, c)) if c <= congestion => {}
+                    _ => best = Some((route, congestion)),
+                }
+            }
+        }
+        best.map(|(r, _)| r).ok_or(SimError::UnroutedFlow { flow })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+    use nocsyn_topo::regular;
+
+    #[test]
+    fn deterministic_returns_table_route() {
+        let (net, routes) = regular::mesh(2, 2).unwrap();
+        let engine = Engine::new(&net, SimConfig::paper());
+        let policy = RoutePolicy::deterministic(routes.clone());
+        let flow = Flow::from_indices(0, 3);
+        let chosen = policy.choose(&engine, flow).unwrap();
+        assert_eq!(chosen, routes.route(flow).unwrap());
+    }
+
+    #[test]
+    fn unrouted_flow_errors() {
+        let (net, _) = regular::mesh(2, 2).unwrap();
+        let engine = Engine::new(&net, SimConfig::paper());
+        let policy = RoutePolicy::deterministic(RouteTable::new());
+        assert!(matches!(
+            policy.choose(&engine, Flow::from_indices(0, 1)),
+            Err(SimError::UnroutedFlow { .. })
+        ));
+    }
+
+    #[test]
+    fn adaptive_avoids_congested_alternate() {
+        let (net, xy, yx) = regular::torus_with_alternates(4, 4).unwrap();
+        let mut engine = Engine::new(&net, SimConfig::paper());
+        let policy = RoutePolicy::adaptive(vec![xy.clone(), yx.clone()]);
+        let flow = Flow::from_indices(0, 5);
+        // Untouched network: tie, so the first (XY) table wins.
+        assert_eq!(policy.choose(&engine, flow).unwrap(), xy.route(flow).unwrap());
+        // Congest the XY route by injecting a long message along it.
+        let blocker = Flow::from_indices(0, 1);
+        let blocker_route = xy.route(blocker).unwrap().clone();
+        engine.inject(blocker, 4096, &blocker_route, 0, 0);
+        for _ in 0..8 {
+            engine.step();
+        }
+        // XY for 0->5 shares the 0->1 column/row prefix; YX should now win.
+        let chosen = policy.choose(&engine, flow).unwrap();
+        assert_eq!(chosen, yx.route(flow).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one table")]
+    fn adaptive_requires_tables() {
+        let _ = RoutePolicy::adaptive(Vec::new());
+    }
+}

@@ -1,0 +1,122 @@
+//! Simulation statistics.
+
+use std::fmt;
+
+/// Aggregate packet-level statistics of an [`Engine`](crate::Engine) run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PacketStats {
+    /// Messages fully delivered.
+    pub delivered: u64,
+    /// Mean delivery latency in cycles, measured from the first requested
+    /// injection (so retransmission penalties are included).
+    pub mean_latency: f64,
+    /// Worst delivery latency in cycles.
+    pub max_latency: u64,
+    /// Messages killed by deadlock detection.
+    pub deadlock_kills: u64,
+    /// Retransmissions performed (equals kills unless a message was killed
+    /// multiple times).
+    pub retransmits: u64,
+}
+
+impl fmt::Display for PacketStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} delivered, mean latency {:.1}, max {}, {} deadlock kills",
+            self.delivered, self.mean_latency, self.max_latency, self.deadlock_kills
+        )
+    }
+}
+
+/// Per-process timing from a closed-loop [`AppDriver`](crate::AppDriver)
+/// run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Cycles this process spent communicating: send overheads, receive
+    /// overheads, and time blocked waiting for messages.
+    pub comm_cycles: u64,
+    /// Cycle at which the process finished its last phase.
+    pub finish_cycle: u64,
+}
+
+/// Results of a closed-loop application run — the quantities Figure 8 of
+/// the paper plots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionStats {
+    /// Total execution time: the cycle the last process finishes.
+    pub exec_cycles: u64,
+    /// Mean per-process communication time (waiting and overhead
+    /// included), the paper's "communication time".
+    pub mean_comm_cycles: f64,
+    /// Worst per-process communication time.
+    pub max_comm_cycles: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Per-process detail.
+    pub per_proc: Vec<ProcStats>,
+    /// Network-level packet statistics.
+    pub packets: PacketStats,
+    /// Per-physical-link utilization (busier direction's busy fraction),
+    /// indexed by link id.
+    pub link_utilization: Vec<f64>,
+}
+
+impl ExecutionStats {
+    /// Fraction of execution spent communicating (mean across processes).
+    pub fn comm_fraction(&self) -> f64 {
+        if self.exec_cycles == 0 {
+            0.0
+        } else {
+            self.mean_comm_cycles / self.exec_cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for ExecutionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "exec {} cycles, mean comm {:.0} cycles ({:.1}% of exec), {} messages",
+            self.exec_cycles,
+            self.mean_comm_cycles,
+            100.0 * self.comm_fraction(),
+            self.delivered
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_fraction_handles_zero() {
+        assert_eq!(ExecutionStats::default().comm_fraction(), 0.0);
+        let s = ExecutionStats {
+            exec_cycles: 100,
+            mean_comm_cycles: 25.0,
+            ..Default::default()
+        };
+        assert!((s.comm_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let p = PacketStats {
+            delivered: 3,
+            mean_latency: 10.5,
+            max_latency: 20,
+            deadlock_kills: 1,
+            retransmits: 1,
+        };
+        assert!(p.to_string().contains("3 delivered"));
+        let e = ExecutionStats {
+            exec_cycles: 1000,
+            mean_comm_cycles: 100.0,
+            delivered: 3,
+            ..Default::default()
+        };
+        assert!(e.to_string().contains("exec 1000 cycles"));
+    }
+}

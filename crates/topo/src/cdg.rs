@@ -1,0 +1,214 @@
+//! Channel dependency graph (CDG) analysis: static deadlock freedom.
+//!
+//! The paper handles deadlock dynamically ("detection and regressive
+//! recovery") and reports that none occurred. This module explains *why*
+//! for a concrete routing: wormhole routing is deadlock-free if the
+//! channel dependency graph — a directed graph whose vertices are
+//! directed channels and whose edges connect consecutive channels of some
+//! route — is acyclic (Dally & Seitz's classic condition). Source-routed
+//! tables over tree-like generated topologies usually satisfy it
+//! outright.
+
+use std::collections::BTreeSet;
+
+use crate::{Channel, RouteTable};
+
+/// The channel dependency graph of a route table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChannelDependencyGraph {
+    /// Directed edges between channels, deduplicated and sorted.
+    edges: Vec<(Channel, Channel)>,
+    nodes: BTreeSet<Channel>,
+}
+
+impl ChannelDependencyGraph {
+    /// Builds the CDG of every consecutive channel pair across all routes.
+    pub fn from_routes(routes: &RouteTable) -> Self {
+        let mut edges = BTreeSet::new();
+        let mut nodes = BTreeSet::new();
+        for (_, route) in routes.iter() {
+            let hops = route.hops();
+            nodes.extend(hops.iter().copied());
+            for w in hops.windows(2) {
+                edges.insert((w[0], w[1]));
+            }
+        }
+        ChannelDependencyGraph {
+            edges: edges.into_iter().collect(),
+            nodes,
+        }
+    }
+
+    /// Number of distinct channels appearing in any route.
+    pub fn n_channels(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of distinct dependencies.
+    pub fn n_dependencies(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the dependency graph is acyclic — the sufficient condition
+    /// for deadlock-free wormhole routing.
+    ///
+    /// Returns `Ok(())` when acyclic, or `Err(cycle)` with one offending
+    /// channel cycle (first channel repeated at the end) as a witness.
+    pub fn check_acyclic(&self) -> Result<(), Vec<Channel>> {
+        // Iterative DFS with colors over the (small) channel set.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let nodes: Vec<Channel> = self.nodes.iter().copied().collect();
+        let index = |c: Channel| nodes.binary_search(&c).expect("edges use known nodes");
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for &(a, b) in &self.edges {
+            succ[index(a)].push(index(b));
+        }
+        let mut color = vec![Color::White; nodes.len()];
+        let mut parent: Vec<usize> = vec![usize::MAX; nodes.len()];
+
+        for start in 0..nodes.len() {
+            if color[start] != Color::White {
+                continue;
+            }
+            // DFS stack of (node, next-successor cursor).
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = Color::Gray;
+            while let Some(&mut (v, ref mut cursor)) = stack.last_mut() {
+                if *cursor < succ[v].len() {
+                    let next = succ[v][*cursor];
+                    *cursor += 1;
+                    match color[next] {
+                        Color::White => {
+                            color[next] = Color::Gray;
+                            parent[next] = v;
+                            stack.push((next, 0));
+                        }
+                        Color::Gray => {
+                            // Reconstruct the cycle next -> ... -> v -> next.
+                            let mut cycle = vec![nodes[next]];
+                            let mut at = v;
+                            while at != next {
+                                cycle.push(nodes[at]);
+                                at = parent[at];
+                            }
+                            cycle.push(nodes[next]);
+                            cycle.reverse();
+                            return Err(cycle);
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[v] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: whether `routes` is statically deadlock-free under the
+/// CDG-acyclicity condition.
+///
+/// ```
+/// use nocsyn_topo::{is_deadlock_free, regular};
+/// # fn main() -> Result<(), nocsyn_topo::TopoError> {
+/// // Dimension-order routing on a mesh is the textbook acyclic case.
+/// let (_, routes) = regular::mesh(3, 3)?;
+/// assert!(is_deadlock_free(&routes));
+/// # Ok(())
+/// # }
+/// ```
+pub fn is_deadlock_free(routes: &RouteTable) -> bool {
+    ChannelDependencyGraph::from_routes(routes)
+        .check_acyclic()
+        .is_ok()
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::{regular, Network, Route};
+    use nocsyn_model::{Flow, ProcId};
+
+    #[test]
+    fn dor_mesh_is_acyclic() {
+        for (r, c) in [(2, 2), (3, 3), (2, 4)] {
+            let (_, routes) = regular::mesh(r, c).unwrap();
+            assert!(is_deadlock_free(&routes), "{r}x{c} mesh");
+        }
+    }
+
+    #[test]
+    fn crossbar_is_acyclic() {
+        let (_, routes) = regular::crossbar(6).unwrap();
+        assert!(is_deadlock_free(&routes));
+    }
+
+    #[test]
+    fn torus_wraparound_cycles_are_detected() {
+        // Unrestricted minimal routing on a ≥5-long ring creates the
+        // classic wraparound cycle in the CDG.
+        let (_, routes) = regular::torus(1, 5).unwrap();
+        let cdg = ChannelDependencyGraph::from_routes(&routes);
+        let cycle = cdg.check_acyclic().expect_err("ring must cycle");
+        assert!(cycle.len() >= 3);
+        assert_eq!(cycle.first(), cycle.last());
+    }
+
+    #[test]
+    fn manufactured_three_ring_cycles() {
+        // The same 3-switch ring the simulator deadlock test uses.
+        let mut net = Network::new(6);
+        let s: Vec<_> = (0..3).map(|_| net.add_switch()).collect();
+        let l01 = net.add_link(s[0], s[1]).unwrap();
+        let l12 = net.add_link(s[1], s[2]).unwrap();
+        let l20 = net.add_link(s[2], s[0]).unwrap();
+        for p in 0..3 {
+            net.attach(ProcId(p), s[p]).unwrap();
+        }
+        for p in 3..6 {
+            net.attach(ProcId(p), s[p - 3]).unwrap();
+        }
+        let inj = |p: usize| net.injection_channel(ProcId(p)).unwrap();
+        let ej = |p: usize| net.ejection_channel(ProcId(p)).unwrap();
+        let mut routes = RouteTable::new();
+        routes.insert(
+            Flow::from_indices(0, 5),
+            Route::new(vec![inj(0), Channel::forward(l01), Channel::forward(l12), ej(5)]),
+        );
+        routes.insert(
+            Flow::from_indices(1, 3),
+            Route::new(vec![inj(1), Channel::forward(l12), Channel::forward(l20), ej(3)]),
+        );
+        routes.insert(
+            Flow::from_indices(2, 4),
+            Route::new(vec![inj(2), Channel::forward(l20), Channel::forward(l01), ej(4)]),
+        );
+        assert!(!is_deadlock_free(&routes));
+    }
+
+    #[test]
+    fn empty_table_is_trivially_free() {
+        assert!(is_deadlock_free(&RouteTable::new()));
+        let cdg = ChannelDependencyGraph::from_routes(&RouteTable::new());
+        assert_eq!(cdg.n_channels(), 0);
+        assert_eq!(cdg.n_dependencies(), 0);
+    }
+
+    #[test]
+    fn dependency_counts() {
+        let (_, routes) = regular::crossbar(3).unwrap();
+        let cdg = ChannelDependencyGraph::from_routes(&routes);
+        // 3 procs: 3 injection + 3 ejection channels; each route is one
+        // inject->eject dependency, 6 ordered pairs total.
+        assert_eq!(cdg.n_channels(), 6);
+        assert_eq!(cdg.n_dependencies(), 6);
+    }
+}

@@ -1,0 +1,209 @@
+//! The network resource conflict set `R` (Definition 7).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use nocsyn_model::{Flow, FlowPair};
+use serde::{Deserialize, Serialize};
+
+use crate::{Channel, RouteTable};
+
+/// The set of flow pairs whose routing paths share at least one directed
+/// channel.
+///
+/// The paper defines `R` over all of `P⁴`; materializing it for the flows
+/// an application actually uses is sufficient, because Theorem 1 only ever
+/// intersects `R` with the application's contention set `C`. Pairs of a
+/// flow with itself are included implicitly: a flow always conflicts with
+/// itself (it reuses its own path), so [`ConflictSet::conflicts`] returns
+/// `true` for identical flows without storing them.
+///
+/// Unlike the paper's idealized statement that a crossbar's conflict set is
+/// empty, this implementation also counts the injection/ejection link of
+/// each end-node as a resource: two flows sharing a source (or destination)
+/// conflict on *any* topology. The paper can ignore those because its
+/// contention periods are partial permutations, in which endpoint sharing
+/// never happens simultaneously — Theorem 1's intersection with `C` then
+/// yields the same verdict either way.
+///
+/// ```
+/// use nocsyn_model::Flow;
+/// use nocsyn_topo::{regular, ConflictSet};
+///
+/// # fn main() -> Result<(), nocsyn_topo::TopoError> {
+/// let (_, routes) = regular::crossbar(4)?;
+/// let r = ConflictSet::from_routes(&routes);
+/// // Crossbar: distinct-endpoint flows never conflict...
+/// assert!(!r.conflicts(Flow::from_indices(0, 1), Flow::from_indices(2, 3)));
+/// // ...but a shared source means a shared injection link.
+/// assert!(r.conflicts(Flow::from_indices(0, 1), Flow::from_indices(0, 2)));
+///
+/// let (_, mesh_routes) = regular::mesh(2, 2)?;
+/// let r = ConflictSet::from_routes(&mesh_routes);
+/// // 0->3 (x then y) and 1->3 (straight down) share the column channel.
+/// assert!(r.conflicts(Flow::from_indices(0, 3), Flow::from_indices(1, 3)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictSet {
+    pairs: BTreeSet<FlowPair>,
+}
+
+impl ConflictSet {
+    /// Creates an empty conflict set (that of a non-blocking network).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes `R` over the flows routed by `routes`, by inverting the
+    /// table into a channel → flows index so the cost is proportional to
+    /// actual sharing rather than all flow pairs.
+    pub fn from_routes(routes: &RouteTable) -> Self {
+        let mut by_channel: BTreeMap<Channel, Vec<Flow>> = BTreeMap::new();
+        for (flow, route) in routes.iter() {
+            for ch in route.iter() {
+                by_channel.entry(ch).or_default().push(flow);
+            }
+        }
+        let mut pairs = BTreeSet::new();
+        for flows in by_channel.values() {
+            for i in 0..flows.len() {
+                for j in i + 1..flows.len() {
+                    pairs.insert(FlowPair::new(flows[i], flows[j]));
+                }
+            }
+        }
+        ConflictSet { pairs }
+    }
+
+    /// Whether the routes of `a` and `b` share a channel. Identical flows
+    /// always conflict.
+    pub fn conflicts(&self, a: Flow, b: Flow) -> bool {
+        a == b || self.pairs.contains(&FlowPair::new(a, b))
+    }
+
+    /// Number of distinct conflicting pairs (identical-flow pairs not
+    /// counted).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no two distinct flows conflict.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over the conflicting pairs in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = FlowPair> + '_ {
+        self.pairs.iter().copied()
+    }
+}
+
+impl fmt::Display for ConflictSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "conflict set: {} pairs", self.pairs.len())?;
+        for p in &self.pairs {
+            writeln!(f, "  {p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{regular, Network, Route};
+    use nocsyn_model::ProcId;
+
+    #[test]
+    fn shared_injection_link_conflicts() {
+        // Two flows from the same source must share the injection channel.
+        let mut net = Network::new(3);
+        let s = net.add_switch();
+        for p in 0..3 {
+            net.attach(ProcId(p), s).unwrap();
+        }
+        let mut routes = RouteTable::new();
+        for flow in [Flow::from_indices(0, 1), Flow::from_indices(0, 2)] {
+            routes.insert(flow, crate::shortest_route(&net, flow).unwrap());
+        }
+        let r = ConflictSet::from_routes(&routes);
+        assert!(r.conflicts(Flow::from_indices(0, 1), Flow::from_indices(0, 2)));
+    }
+
+    #[test]
+    fn identical_flows_always_conflict() {
+        let r = ConflictSet::new();
+        let f = Flow::from_indices(0, 1);
+        assert!(r.conflicts(f, f));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn opposite_directions_do_not_conflict() {
+        // p0 <-> p1 over one link: the two directions are separate channels.
+        let (_, routes) = regular::crossbar(2).unwrap();
+        let r = ConflictSet::from_routes(&routes);
+        assert!(!r.conflicts(Flow::from_indices(0, 1), Flow::from_indices(1, 0)));
+    }
+
+    #[test]
+    fn from_routes_matches_pairwise_reference() {
+        let (_, routes) = regular::mesh(2, 2).unwrap();
+        let r = ConflictSet::from_routes(&routes);
+        let flows: Vec<Flow> = routes.flows().collect();
+        for &a in &flows {
+            for &b in &flows {
+                if a == b {
+                    continue;
+                }
+                let expected = routes
+                    .route(a)
+                    .unwrap()
+                    .conflicts_with(routes.route(b).unwrap());
+                assert_eq!(r.conflicts(a, b), expected, "mismatch for {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_table_gives_empty_set() {
+        assert!(ConflictSet::from_routes(&RouteTable::new()).is_empty());
+    }
+
+    #[test]
+    fn manual_route_sharing_is_found() {
+        let mut net = Network::new(4);
+        let s0 = net.add_switch();
+        let s1 = net.add_switch();
+        let mid = net.add_link(s0, s1).unwrap();
+        let a: Vec<_> = (0..4)
+            .map(|p| net.attach(ProcId(p), if p < 2 { s0 } else { s1 }).unwrap())
+            .collect();
+        // Both flows cross the single middle link forward.
+        let f1 = Flow::from_indices(0, 2);
+        let f2 = Flow::from_indices(1, 3);
+        let mut routes = RouteTable::new();
+        routes.insert(
+            f1,
+            Route::new(vec![
+                Channel::forward(a[0]),
+                Channel::forward(mid),
+                Channel::backward(a[2]),
+            ]),
+        );
+        routes.insert(
+            f2,
+            Route::new(vec![
+                Channel::forward(a[1]),
+                Channel::forward(mid),
+                Channel::backward(a[3]),
+            ]),
+        );
+        routes.validate(&net).unwrap();
+        let r = ConflictSet::from_routes(&routes);
+        assert!(r.conflicts(f1, f2));
+        assert_eq!(r.len(), 1);
+    }
+}

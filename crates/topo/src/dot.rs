@@ -1,0 +1,164 @@
+//! Graphviz DOT export for networks and route overlays.
+//!
+//! Generated (irregular) topologies are hard to review as adjacency
+//! lists; `to_dot` renders the system graph — switches as boxes,
+//! processors as circles, parallel links as parallel edges — ready for
+//! `dot -Tsvg`.
+
+use std::fmt::Write as _;
+
+use nocsyn_model::Flow;
+
+use crate::{Network, NodeRef, Route, RouteTable};
+
+/// Renders `net` as an undirected Graphviz graph.
+///
+/// Switches appear as `S<n>` boxes and processors as `P<n>` circles;
+/// every physical link is one edge, so parallel pipe links show as
+/// parallel edges.
+///
+/// ```
+/// use nocsyn_topo::{regular, to_dot};
+/// # fn main() -> Result<(), nocsyn_topo::TopoError> {
+/// let (net, _) = regular::mesh(2, 2)?;
+/// let dot = to_dot(&net);
+/// assert!(dot.starts_with("graph network {"));
+/// assert!(dot.contains("S0 -- S1"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(net: &Network) -> String {
+    let mut out = String::from("graph network {\n");
+    out.push_str("  layout=neato;\n  overlap=false;\n");
+    for s in net.switch_ids() {
+        let _ = writeln!(
+            out,
+            "  S{} [shape=box, style=filled, fillcolor=lightsteelblue, label=\"S{} (d{})\"];",
+            s.index(),
+            s.index(),
+            net.degree(s)
+        );
+    }
+    for p in 0..net.n_procs() {
+        let _ = writeln!(out, "  P{p} [shape=circle, fontsize=10];");
+    }
+    for link in net.link_ids() {
+        let l = net.link(link).expect("iterating live links");
+        let name = |n: NodeRef| match n {
+            NodeRef::Switch(s) => format!("S{}", s.index()),
+            NodeRef::Proc(p) => format!("P{}", p.index()),
+        };
+        let style = if l.a().as_proc().is_some() || l.b().as_proc().is_some() {
+            " [style=dashed, len=0.6]"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  {} -- {}{};", name(l.a()), name(l.b()), style);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders `net` with one flow's route highlighted (directed red edges
+/// over the base graph).
+pub fn route_to_dot(net: &Network, flow: Flow, route: &Route) -> String {
+    let mut out = to_dot(net);
+    out.truncate(out.len() - 2); // drop the closing "}\n"
+    for ch in route.iter() {
+        if let Ok((tail, head)) = net.channel_endpoints(ch) {
+            let name = |n: NodeRef| match n {
+                NodeRef::Switch(s) => format!("S{}", s.index()),
+                NodeRef::Proc(p) => format!("P{}", p.index()),
+            };
+            let _ = writeln!(
+                out,
+                "  {} -- {} [color=red, penwidth=2, label=\"{flow}\", fontcolor=red];",
+                name(tail),
+                name(head)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders `net` with per-link static load annotations (number of routed
+/// flows crossing each link, both directions summed).
+pub fn loaded_to_dot(net: &Network, routes: &RouteTable) -> String {
+    let load = routes.channel_load();
+    let mut out = String::from("graph network {\n  layout=neato;\n  overlap=false;\n");
+    for s in net.switch_ids() {
+        let _ = writeln!(out, "  S{} [shape=box, style=filled, fillcolor=lightsteelblue];", s.index());
+    }
+    for p in 0..net.n_procs() {
+        let _ = writeln!(out, "  P{p} [shape=circle, fontsize=10];");
+    }
+    for link in net.link_ids() {
+        let l = net.link(link).expect("iterating live links");
+        let name = |n: NodeRef| match n {
+            NodeRef::Switch(s) => format!("S{}", s.index()),
+            NodeRef::Proc(p) => format!("P{}", p.index()),
+        };
+        let total: usize = load
+            .iter()
+            .filter(|(ch, _)| ch.link == link)
+            .map(|(_, n)| n)
+            .sum();
+        let _ = writeln!(
+            out,
+            "  {} -- {} [label=\"{total}\", penwidth={}];",
+            name(l.a()),
+            name(l.b()),
+            1 + total.min(4)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regular;
+
+    #[test]
+    fn dot_lists_every_node_and_link() {
+        let (net, _) = regular::mesh(2, 2).unwrap();
+        let dot = to_dot(&net);
+        for s in 0..4 {
+            assert!(dot.contains(&format!("S{s} ")));
+            assert!(dot.contains(&format!("P{s} ")));
+        }
+        // 4 switch links + 4 attachments = 8 edges.
+        assert_eq!(dot.matches(" -- ").count(), 8);
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn route_overlay_adds_red_edges() {
+        let (net, routes) = regular::mesh(2, 2).unwrap();
+        let flow = Flow::from_indices(0, 3);
+        let dot = route_to_dot(&net, flow, routes.route(flow).unwrap());
+        assert_eq!(dot.matches("penwidth=2").count(), routes.route(flow).unwrap().len());
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn loaded_export_sums_directions() {
+        let (net, routes) = regular::crossbar(3).unwrap();
+        let dot = loaded_to_dot(&net, &routes);
+        // Each attachment link carries 2 out + 2 in = 4 flows.
+        assert!(dot.contains("label=\"4\""));
+    }
+
+    #[test]
+    fn parallel_links_render_as_parallel_edges() {
+        let mut net = Network::new(0);
+        let a = net.add_switch();
+        let b = net.add_switch();
+        net.add_link(a, b).unwrap();
+        net.add_link(a, b).unwrap();
+        let dot = to_dot(&net);
+        assert_eq!(dot.matches("S0 -- S1").count(), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type for network construction and routing.
+
+use std::error::Error;
+use std::fmt;
+
+use nocsyn_model::{Flow, ProcId};
+
+use crate::{LinkId, SwitchId};
+
+/// Errors produced while building networks or route tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopoError {
+    /// A switch id does not exist in the network.
+    UnknownSwitch {
+        /// The offending switch.
+        switch: SwitchId,
+    },
+    /// A link id does not exist in the network.
+    UnknownLink {
+        /// The offending link.
+        link: LinkId,
+    },
+    /// A processor id is outside the network's process count.
+    UnknownProc {
+        /// The offending processor.
+        proc: ProcId,
+    },
+    /// A processor was attached to a second switch.
+    AlreadyAttached {
+        /// The processor in question.
+        proc: ProcId,
+        /// The switch it is already attached to.
+        switch: SwitchId,
+    },
+    /// A processor has no switch attachment but one was required.
+    NotAttached {
+        /// The processor in question.
+        proc: ProcId,
+    },
+    /// A route was requested between unconnected nodes.
+    Unreachable {
+        /// The flow that cannot be routed.
+        flow: Flow,
+    },
+    /// A route's channel sequence is not a connected walk from the flow's
+    /// source to its destination.
+    BrokenRoute {
+        /// The flow whose route is malformed.
+        flow: Flow,
+        /// Index of the first offending hop.
+        position: usize,
+    },
+    /// A link would connect a node to itself.
+    SelfLink {
+        /// The switch at both endpoints.
+        switch: SwitchId,
+    },
+    /// A topology generator was asked for an empty or degenerate shape.
+    DegenerateShape {
+        /// Human-readable description of the bad parameter.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for TopoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopoError::UnknownSwitch { switch } => write!(f, "unknown switch {switch}"),
+            TopoError::UnknownLink { link } => write!(f, "unknown link {link}"),
+            TopoError::UnknownProc { proc } => write!(f, "unknown processor {proc}"),
+            TopoError::AlreadyAttached { proc, switch } => {
+                write!(f, "{proc} is already attached to {switch}")
+            }
+            TopoError::NotAttached { proc } => write!(f, "{proc} is not attached to any switch"),
+            TopoError::Unreachable { flow } => write!(f, "no path exists for flow {flow}"),
+            TopoError::BrokenRoute { flow, position } => {
+                write!(f, "route for flow {flow} is disconnected at hop {position}")
+            }
+            TopoError::SelfLink { switch } => {
+                write!(f, "link endpoints are both {switch}")
+            }
+            TopoError::DegenerateShape { what } => write!(f, "degenerate topology shape: {what}"),
+        }
+    }
+}
+
+impl Error for TopoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        let e = TopoError::Unreachable {
+            flow: Flow::from_indices(1, 2),
+        };
+        assert_eq!(e.to_string(), "no path exists for flow (1, 2)");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TopoError>();
+    }
+}

@@ -1,0 +1,212 @@
+//! Identifier newtypes for network elements.
+
+use std::fmt;
+
+use nocsyn_model::ProcId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a switch within a [`Network`](crate::Network).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SwitchId(pub usize);
+
+impl SwitchId {
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for SwitchId {
+    fn from(i: usize) -> Self {
+        SwitchId(i)
+    }
+}
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Identifier of a physical (full-duplex) link within a
+/// [`Network`](crate::Network).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct LinkId(pub usize);
+
+impl LinkId {
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for LinkId {
+    fn from(i: usize) -> Self {
+        LinkId(i)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A vertex of the system graph: either a switch or a processor end-node
+/// (Definition 1 puts both in `N`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NodeRef {
+    /// A switch vertex.
+    Switch(SwitchId),
+    /// A processor / network-interface vertex.
+    Proc(ProcId),
+}
+
+impl NodeRef {
+    /// The switch id, if this vertex is a switch.
+    pub fn as_switch(self) -> Option<SwitchId> {
+        match self {
+            NodeRef::Switch(s) => Some(s),
+            NodeRef::Proc(_) => None,
+        }
+    }
+
+    /// The processor id, if this vertex is a processor.
+    pub fn as_proc(self) -> Option<ProcId> {
+        match self {
+            NodeRef::Proc(p) => Some(p),
+            NodeRef::Switch(_) => None,
+        }
+    }
+}
+
+impl From<SwitchId> for NodeRef {
+    fn from(s: SwitchId) -> Self {
+        NodeRef::Switch(s)
+    }
+}
+
+impl From<ProcId> for NodeRef {
+    fn from(p: ProcId) -> Self {
+        NodeRef::Proc(p)
+    }
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeRef::Switch(s) => write!(f, "{s}"),
+            NodeRef::Proc(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// Traversal direction over a full-duplex link.
+///
+/// Links are stored once with endpoints `(a, b)`; the two directions are
+/// independent resources (the paper colors each pipe direction separately,
+/// footnote 1 assumes full-duplex links).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// From endpoint `a` to endpoint `b`.
+    Forward,
+    /// From endpoint `b` to endpoint `a`.
+    Backward,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[must_use]
+    pub const fn reversed(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+}
+
+/// A directed channel: one direction of one physical link — the unit of
+/// resource over which contention is modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Channel {
+    /// The physical link.
+    pub link: LinkId,
+    /// Which direction of the link.
+    pub dir: Direction,
+}
+
+impl Channel {
+    /// Creates a channel over `link` in `dir`.
+    pub const fn new(link: LinkId, dir: Direction) -> Self {
+        Channel { link, dir }
+    }
+
+    /// The forward channel of `link`.
+    pub const fn forward(link: LinkId) -> Self {
+        Channel::new(link, Direction::Forward)
+    }
+
+    /// The backward channel of `link`.
+    pub const fn backward(link: LinkId) -> Self {
+        Channel::new(link, Direction::Backward)
+    }
+
+    /// The opposite-direction channel of the same link.
+    #[must_use]
+    pub const fn reversed(self) -> Channel {
+        Channel::new(self.link, self.dir.reversed())
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.dir {
+            Direction::Forward => write!(f, "{}+", self.link),
+            Direction::Backward => write!(f, "{}-", self.link),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_reversal_is_involutive() {
+        assert_eq!(Direction::Forward.reversed().reversed(), Direction::Forward);
+        assert_eq!(Channel::forward(LinkId(3)).reversed(), Channel::backward(LinkId(3)));
+    }
+
+    #[test]
+    fn noderef_projections() {
+        let s: NodeRef = SwitchId(2).into();
+        let p: NodeRef = ProcId(5).into();
+        assert_eq!(s.as_switch(), Some(SwitchId(2)));
+        assert_eq!(s.as_proc(), None);
+        assert_eq!(p.as_proc(), Some(ProcId(5)));
+        assert_eq!(p.as_switch(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SwitchId(1).to_string(), "S1");
+        assert_eq!(LinkId(2).to_string(), "L2");
+        assert_eq!(Channel::forward(LinkId(2)).to_string(), "L2+");
+        assert_eq!(Channel::backward(LinkId(2)).to_string(), "L2-");
+        assert_eq!(NodeRef::from(ProcId(0)).to_string(), "P0");
+    }
+
+    #[test]
+    fn channels_of_same_link_differ_by_direction() {
+        let f = Channel::forward(LinkId(0));
+        let b = Channel::backward(LinkId(0));
+        assert_ne!(f, b);
+        assert_eq!(f.link, b.link);
+    }
+}

@@ -1,0 +1,494 @@
+//! The system graph: switches, processors, and full-duplex links.
+
+use std::fmt;
+
+use nocsyn_model::ProcId;
+use serde::{Deserialize, Serialize};
+
+use crate::{Channel, Direction, LinkId, NodeRef, SwitchId, TopoError};
+
+/// A full-duplex physical link joining two vertices of the system graph.
+///
+/// Switch–switch links carry network traffic; processor–switch links are
+/// the injection/ejection attachment of an end-node (created by
+/// [`Network::attach`]). Multiple parallel links between the same switch
+/// pair are allowed — that is precisely how the synthesis methodology widens
+/// a "pipe".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Link {
+    a: NodeRef,
+    b: NodeRef,
+}
+
+impl Link {
+    /// First endpoint (the tail of the [`Direction::Forward`] channel).
+    pub const fn a(&self) -> NodeRef {
+        self.a
+    }
+
+    /// Second endpoint (the head of the [`Direction::Forward`] channel).
+    pub const fn b(&self) -> NodeRef {
+        self.b
+    }
+
+    /// The endpoint opposite to `node`, if `node` is an endpoint.
+    pub fn opposite(&self, node: NodeRef) -> Option<NodeRef> {
+        if node == self.a {
+            Some(self.b)
+        } else if node == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `node` is one of the endpoints.
+    pub fn touches(&self, node: NodeRef) -> bool {
+        self.a == node || self.b == node
+    }
+}
+
+/// A switch vertex and the processors attached to it.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Switch {
+    attached: Vec<ProcId>,
+}
+
+impl Switch {
+    /// Processors attached to this switch, in attachment order.
+    pub fn attached(&self) -> &[ProcId] {
+        &self.attached
+    }
+}
+
+/// A strongly-connected directed multigraph of switches and processors
+/// (Definition 1 of the paper).
+///
+/// The graph is stored undirected (full-duplex links); each link exposes two
+/// independent directed [`Channel`]s. Every processor attaches to exactly
+/// one switch via one link.
+///
+/// ```
+/// use nocsyn_model::ProcId;
+/// use nocsyn_topo::Network;
+///
+/// # fn main() -> Result<(), nocsyn_topo::TopoError> {
+/// let mut net = Network::new(2);
+/// let s0 = net.add_switch();
+/// let s1 = net.add_switch();
+/// net.add_link(s0, s1)?;
+/// net.attach(ProcId(0), s0)?;
+/// net.attach(ProcId(1), s1)?;
+/// assert!(net.is_strongly_connected());
+/// assert_eq!(net.degree(s0), 2); // one network port + one processor port
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Network {
+    n_procs: usize,
+    switches: Vec<Switch>,
+    links: Vec<Link>,
+    /// Per-switch incident links (including processor attachments).
+    switch_links: Vec<Vec<LinkId>>,
+    /// Per-processor attachment: `(switch, attachment link)`.
+    attachment: Vec<Option<(SwitchId, LinkId)>>,
+}
+
+impl Network {
+    /// Creates a network over `n_procs` processors with no switches yet.
+    pub fn new(n_procs: usize) -> Self {
+        Network {
+            n_procs,
+            switches: Vec::new(),
+            links: Vec::new(),
+            switch_links: Vec::new(),
+            attachment: vec![None; n_procs],
+        }
+    }
+
+    /// Number of processors.
+    pub fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    /// Number of switches.
+    pub fn n_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of physical links, processor attachments included.
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of switch-to-switch links (excludes processor attachments).
+    pub fn n_network_links(&self) -> usize {
+        self.links
+            .iter()
+            .filter(|l| l.a.as_switch().is_some() && l.b.as_switch().is_some())
+            .count()
+    }
+
+    /// Adds a new switch and returns its id.
+    pub fn add_switch(&mut self) -> SwitchId {
+        let id = SwitchId(self.switches.len());
+        self.switches.push(Switch::default());
+        self.switch_links.push(Vec::new());
+        id
+    }
+
+    /// Adds a full-duplex link between two distinct switches; parallel links
+    /// are permitted.
+    ///
+    /// # Errors
+    ///
+    /// * [`TopoError::UnknownSwitch`] if either endpoint does not exist.
+    /// * [`TopoError::SelfLink`] if `a == b`.
+    pub fn add_link(&mut self, a: SwitchId, b: SwitchId) -> Result<LinkId, TopoError> {
+        self.check_switch(a)?;
+        self.check_switch(b)?;
+        if a == b {
+            return Err(TopoError::SelfLink { switch: a });
+        }
+        let id = LinkId(self.links.len());
+        self.links.push(Link {
+            a: a.into(),
+            b: b.into(),
+        });
+        self.switch_links[a.index()].push(id);
+        self.switch_links[b.index()].push(id);
+        Ok(id)
+    }
+
+    /// Attaches processor `proc` to `switch` through a new link and returns
+    /// the attachment link id. The processor is the link's `a` endpoint, so
+    /// its injection channel is the link's forward direction.
+    ///
+    /// # Errors
+    ///
+    /// * [`TopoError::UnknownProc`] / [`TopoError::UnknownSwitch`] for bad
+    ///   ids.
+    /// * [`TopoError::AlreadyAttached`] if the processor already has a home
+    ///   switch.
+    pub fn attach(&mut self, proc: ProcId, switch: SwitchId) -> Result<LinkId, TopoError> {
+        self.check_proc(proc)?;
+        self.check_switch(switch)?;
+        if let Some((s, _)) = self.attachment[proc.index()] {
+            return Err(TopoError::AlreadyAttached { proc, switch: s });
+        }
+        let id = LinkId(self.links.len());
+        self.links.push(Link {
+            a: proc.into(),
+            b: switch.into(),
+        });
+        self.switch_links[switch.index()].push(id);
+        self.switches[switch.index()].attached.push(proc);
+        self.attachment[proc.index()] = Some((switch, id));
+        Ok(id)
+    }
+
+    /// The switch a processor is attached to.
+    ///
+    /// # Errors
+    ///
+    /// [`TopoError::NotAttached`] if the processor has no home switch, or
+    /// [`TopoError::UnknownProc`] for a bad id.
+    pub fn switch_of(&self, proc: ProcId) -> Result<SwitchId, TopoError> {
+        self.check_proc(proc)?;
+        self.attachment[proc.index()]
+            .map(|(s, _)| s)
+            .ok_or(TopoError::NotAttached { proc })
+    }
+
+    /// The attachment link of a processor.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::switch_of`].
+    pub fn attachment_link(&self, proc: ProcId) -> Result<LinkId, TopoError> {
+        self.check_proc(proc)?;
+        self.attachment[proc.index()]
+            .map(|(_, l)| l)
+            .ok_or(TopoError::NotAttached { proc })
+    }
+
+    /// The injection channel of a processor (processor → switch).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::switch_of`].
+    pub fn injection_channel(&self, proc: ProcId) -> Result<Channel, TopoError> {
+        Ok(Channel::forward(self.attachment_link(proc)?))
+    }
+
+    /// The ejection channel of a processor (switch → processor).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::switch_of`].
+    pub fn ejection_channel(&self, proc: ProcId) -> Result<Channel, TopoError> {
+        Ok(Channel::backward(self.attachment_link(proc)?))
+    }
+
+    /// The link with the given id.
+    ///
+    /// # Errors
+    ///
+    /// [`TopoError::UnknownLink`] for a bad id.
+    pub fn link(&self, id: LinkId) -> Result<&Link, TopoError> {
+        self.links.get(id.index()).ok_or(TopoError::UnknownLink { link: id })
+    }
+
+    /// The `(tail, head)` vertices of a directed channel.
+    ///
+    /// # Errors
+    ///
+    /// [`TopoError::UnknownLink`] for a bad link id.
+    pub fn channel_endpoints(&self, ch: Channel) -> Result<(NodeRef, NodeRef), TopoError> {
+        let link = self.link(ch.link)?;
+        Ok(match ch.dir {
+            Direction::Forward => (link.a, link.b),
+            Direction::Backward => (link.b, link.a),
+        })
+    }
+
+    /// The switch at the given id.
+    ///
+    /// # Errors
+    ///
+    /// [`TopoError::UnknownSwitch`] for a bad id.
+    pub fn switch(&self, id: SwitchId) -> Result<&Switch, TopoError> {
+        self.switches
+            .get(id.index())
+            .ok_or(TopoError::UnknownSwitch { switch: id })
+    }
+
+    /// Iterates over switch ids.
+    pub fn switch_ids(&self) -> impl Iterator<Item = SwitchId> {
+        (0..self.switches.len()).map(SwitchId)
+    }
+
+    /// Iterates over link ids.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> {
+        (0..self.links.len()).map(LinkId)
+    }
+
+    /// Node degree of a switch: incident link endpoints, processor
+    /// attachments included. This is the quantity the paper's "maximum node
+    /// degree" design constraint bounds (a degree-5 switch is a 5-port
+    /// switch).
+    pub fn degree(&self, switch: SwitchId) -> usize {
+        self.switch_links
+            .get(switch.index())
+            .map_or(0, Vec::len)
+    }
+
+    /// Largest switch degree in the network (`0` with no switches).
+    pub fn max_degree(&self) -> usize {
+        self.switch_ids().map(|s| self.degree(s)).max().unwrap_or(0)
+    }
+
+    /// Links incident to a switch with the neighbor at their far end.
+    pub fn incident(&self, switch: SwitchId) -> impl Iterator<Item = (LinkId, NodeRef)> + '_ {
+        let node: NodeRef = switch.into();
+        self.switch_links
+            .get(switch.index())
+            .into_iter()
+            .flatten()
+            .map(move |&l| {
+                let far = self.links[l.index()]
+                    .opposite(node)
+                    .expect("incident list is consistent with link endpoints");
+                (l, far)
+            })
+    }
+
+    /// Number of parallel links directly joining switches `a` and `b`.
+    pub fn links_between(&self, a: SwitchId, b: SwitchId) -> usize {
+        let (na, nb): (NodeRef, NodeRef) = (a.into(), b.into());
+        self.switch_links
+            .get(a.index())
+            .into_iter()
+            .flatten()
+            .filter(|&&l| {
+                let link = &self.links[l.index()];
+                link.touches(na) && link.touches(nb)
+            })
+            .count()
+    }
+
+    /// Whether the system graph is strongly connected with every processor
+    /// attached (Definition 1 requires strong connectivity; with full-duplex
+    /// links this reduces to undirected connectivity of the switch graph).
+    pub fn is_strongly_connected(&self) -> bool {
+        if self.attachment.iter().any(Option::is_none) {
+            return false;
+        }
+        if self.switches.is_empty() {
+            return self.n_procs == 0;
+        }
+        let mut seen = vec![false; self.switches.len()];
+        let mut stack = vec![SwitchId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(s) = stack.pop() {
+            for (_, far) in self.incident(s) {
+                if let Some(n) = far.as_switch() {
+                    if !seen[n.index()] {
+                        seen[n.index()] = true;
+                        count += 1;
+                        stack.push(n);
+                    }
+                }
+            }
+        }
+        count == self.switches.len()
+    }
+
+    fn check_switch(&self, s: SwitchId) -> Result<(), TopoError> {
+        if s.index() < self.switches.len() {
+            Ok(())
+        } else {
+            Err(TopoError::UnknownSwitch { switch: s })
+        }
+    }
+
+    fn check_proc(&self, p: ProcId) -> Result<(), TopoError> {
+        if p.index() < self.n_procs {
+            Ok(())
+        } else {
+            Err(TopoError::UnknownProc { proc: p })
+        }
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "network: {} procs, {} switches, {} network links",
+            self.n_procs,
+            self.n_switches(),
+            self.n_network_links()
+        )?;
+        for s in self.switch_ids() {
+            let attached: Vec<String> = self.switches[s.index()]
+                .attached
+                .iter()
+                .map(|p| p.to_string())
+                .collect();
+            writeln!(f, "  {s}: procs [{}], degree {}", attached.join(", "), self.degree(s))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_switch_net() -> Network {
+        let mut net = Network::new(2);
+        let s0 = net.add_switch();
+        let s1 = net.add_switch();
+        net.add_link(s0, s1).unwrap();
+        net.attach(ProcId(0), s0).unwrap();
+        net.attach(ProcId(1), s1).unwrap();
+        net
+    }
+
+    #[test]
+    fn degree_counts_procs_and_parallel_links() {
+        let mut net = two_switch_net();
+        assert_eq!(net.degree(SwitchId(0)), 2);
+        net.add_link(SwitchId(0), SwitchId(1)).unwrap();
+        assert_eq!(net.degree(SwitchId(0)), 3);
+        assert_eq!(net.links_between(SwitchId(0), SwitchId(1)), 2);
+        assert_eq!(net.max_degree(), 3);
+    }
+
+    #[test]
+    fn self_link_is_rejected() {
+        let mut net = Network::new(0);
+        let s = net.add_switch();
+        assert!(matches!(net.add_link(s, s), Err(TopoError::SelfLink { .. })));
+    }
+
+    #[test]
+    fn double_attachment_is_rejected() {
+        let mut net = Network::new(1);
+        let s0 = net.add_switch();
+        let s1 = net.add_switch();
+        net.attach(ProcId(0), s0).unwrap();
+        assert!(matches!(
+            net.attach(ProcId(0), s1),
+            Err(TopoError::AlreadyAttached { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let mut net = Network::new(1);
+        let s = net.add_switch();
+        assert!(net.add_link(s, SwitchId(7)).is_err());
+        assert!(net.attach(ProcId(3), s).is_err());
+        assert!(net.link(LinkId(99)).is_err());
+        assert!(net.switch(SwitchId(99)).is_err());
+    }
+
+    #[test]
+    fn injection_and_ejection_channels_are_opposite() {
+        let net = two_switch_net();
+        let inj = net.injection_channel(ProcId(0)).unwrap();
+        let ej = net.ejection_channel(ProcId(0)).unwrap();
+        assert_eq!(inj.reversed(), ej);
+        let (tail, head) = net.channel_endpoints(inj).unwrap();
+        assert_eq!(tail, NodeRef::Proc(ProcId(0)));
+        assert_eq!(head, NodeRef::Switch(SwitchId(0)));
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let net = two_switch_net();
+        assert!(net.is_strongly_connected());
+
+        // Disconnected: two switches, no link between them.
+        let mut net2 = Network::new(2);
+        let s0 = net2.add_switch();
+        let s1 = net2.add_switch();
+        net2.attach(ProcId(0), s0).unwrap();
+        net2.attach(ProcId(1), s1).unwrap();
+        assert!(!net2.is_strongly_connected());
+
+        // Unattached processor.
+        let mut net3 = Network::new(1);
+        net3.add_switch();
+        assert!(!net3.is_strongly_connected());
+
+        // Empty network over zero procs is trivially connected.
+        assert!(Network::new(0).is_strongly_connected());
+    }
+
+    #[test]
+    fn incident_reports_far_ends() {
+        let net = two_switch_net();
+        let far: Vec<NodeRef> = net.incident(SwitchId(0)).map(|(_, n)| n).collect();
+        assert!(far.contains(&NodeRef::Switch(SwitchId(1))));
+        assert!(far.contains(&NodeRef::Proc(ProcId(0))));
+    }
+
+    #[test]
+    fn switch_records_attached_procs() {
+        let net = two_switch_net();
+        assert_eq!(net.switch(SwitchId(0)).unwrap().attached(), &[ProcId(0)]);
+        assert_eq!(net.switch_of(ProcId(1)).unwrap(), SwitchId(1));
+    }
+
+    #[test]
+    fn network_link_count_excludes_attachments() {
+        let net = two_switch_net();
+        assert_eq!(net.n_links(), 3);
+        assert_eq!(net.n_network_links(), 1);
+    }
+}

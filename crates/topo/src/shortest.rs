@@ -1,0 +1,186 @@
+//! Breadth-first shortest-path routing over the switch graph.
+
+use std::collections::VecDeque;
+
+use nocsyn_model::Flow;
+
+use crate::{Channel, Direction, Network, Route, SwitchId, TopoError};
+
+/// Builds a minimal-hop route realizing `flow` in `net` using breadth-first
+/// search over the switch graph, preferring lower-numbered links on ties
+/// (deterministic, as Definition 6 requires).
+///
+/// # Errors
+///
+/// * [`TopoError::NotAttached`] if either end-node lacks a home switch.
+/// * [`TopoError::Unreachable`] if no switch path exists.
+pub fn shortest_route(net: &Network, flow: Flow) -> Result<Route, TopoError> {
+    let src_switch = net.switch_of(flow.src)?;
+    let dst_switch = net.switch_of(flow.dst)?;
+
+    let mut hops = vec![net.injection_channel(flow.src)?];
+
+    if src_switch != dst_switch {
+        // BFS over switches; prev[s] = (switch we came from, channel used).
+        let mut prev: Vec<Option<(SwitchId, Channel)>> = vec![None; net.n_switches()];
+        let mut seen = vec![false; net.n_switches()];
+        seen[src_switch.index()] = true;
+        let mut queue = VecDeque::from([src_switch]);
+        'bfs: while let Some(s) = queue.pop_front() {
+            for (link, far) in net.incident(s) {
+                let Some(n) = far.as_switch() else { continue };
+                if seen[n.index()] {
+                    continue;
+                }
+                seen[n.index()] = true;
+                let link_obj = net.link(link)?;
+                let dir = if link_obj.a() == s.into() {
+                    Direction::Forward
+                } else {
+                    Direction::Backward
+                };
+                prev[n.index()] = Some((s, Channel::new(link, dir)));
+                if n == dst_switch {
+                    break 'bfs;
+                }
+                queue.push_back(n);
+            }
+        }
+        if !seen[dst_switch.index()] {
+            return Err(TopoError::Unreachable { flow });
+        }
+        let mut rev = Vec::new();
+        let mut at = dst_switch;
+        while at != src_switch {
+            let (from, ch) = prev[at.index()].expect("reached switches have predecessors");
+            rev.push(ch);
+            at = from;
+        }
+        hops.extend(rev.into_iter().rev());
+    }
+
+    hops.push(net.ejection_channel(flow.dst)?);
+    Ok(Route::new(hops))
+}
+
+/// All-pairs switch hop distances via repeated BFS.
+///
+/// `result[a][b]` is the minimum number of switch-to-switch links between
+/// switches `a` and `b`, or `usize::MAX` if unreachable.
+pub fn switch_distances(net: &Network) -> Vec<Vec<usize>> {
+    let n = net.n_switches();
+    let mut dist = vec![vec![usize::MAX; n]; n];
+    for start in net.switch_ids() {
+        let row = &mut dist[start.index()];
+        row[start.index()] = 0;
+        let mut queue = VecDeque::from([start]);
+        while let Some(s) = queue.pop_front() {
+            let d = row[s.index()];
+            for (_, far) in net.incident(s) {
+                if let Some(nb) = far.as_switch() {
+                    if row[nb.index()] == usize::MAX {
+                        row[nb.index()] = d + 1;
+                        queue.push_back(nb);
+                    }
+                }
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocsyn_model::ProcId;
+
+    /// A 3-switch line: p0-s0-s1-s2-p1, p2 on s1.
+    fn line3() -> Network {
+        let mut net = Network::new(3);
+        let s: Vec<SwitchId> = (0..3).map(|_| net.add_switch()).collect();
+        net.add_link(s[0], s[1]).unwrap();
+        net.add_link(s[1], s[2]).unwrap();
+        net.attach(ProcId(0), s[0]).unwrap();
+        net.attach(ProcId(1), s[2]).unwrap();
+        net.attach(ProcId(2), s[1]).unwrap();
+        net
+    }
+
+    #[test]
+    fn shortest_route_spans_the_line() {
+        let net = line3();
+        let flow = Flow::from_indices(0, 1);
+        let route = shortest_route(&net, flow).unwrap();
+        route.validate(&net, flow).unwrap();
+        assert_eq!(route.len(), 4); // inject + 2 switch hops + eject
+    }
+
+    #[test]
+    fn same_switch_route_is_inject_eject() {
+        let mut net = Network::new(2);
+        let s = net.add_switch();
+        net.attach(ProcId(0), s).unwrap();
+        net.attach(ProcId(1), s).unwrap();
+        let flow = Flow::from_indices(0, 1);
+        let route = shortest_route(&net, flow).unwrap();
+        route.validate(&net, flow).unwrap();
+        assert_eq!(route.len(), 2);
+    }
+
+    #[test]
+    fn unreachable_pairs_error() {
+        let mut net = Network::new(2);
+        let s0 = net.add_switch();
+        let s1 = net.add_switch();
+        net.attach(ProcId(0), s0).unwrap();
+        net.attach(ProcId(1), s1).unwrap();
+        assert!(matches!(
+            shortest_route(&net, Flow::from_indices(0, 1)),
+            Err(TopoError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn unattached_proc_errors() {
+        let mut net = Network::new(2);
+        let s = net.add_switch();
+        net.attach(ProcId(0), s).unwrap();
+        assert!(shortest_route(&net, Flow::from_indices(0, 1)).is_err());
+    }
+
+    #[test]
+    fn distances_on_line() {
+        let net = line3();
+        let d = switch_distances(&net);
+        assert_eq!(d[0][2], 2);
+        assert_eq!(d[2][0], 2);
+        assert_eq!(d[0][1], 1);
+        assert_eq!(d[1][1], 0);
+    }
+
+    #[test]
+    fn distances_mark_unreachable() {
+        let mut net = Network::new(0);
+        net.add_switch();
+        net.add_switch();
+        let d = switch_distances(&net);
+        assert_eq!(d[0][1], usize::MAX);
+    }
+
+    #[test]
+    fn route_is_minimal_with_shortcut() {
+        // Line of 4 switches plus a direct shortcut s0-s3.
+        let mut net = Network::new(2);
+        let s: Vec<SwitchId> = (0..4).map(|_| net.add_switch()).collect();
+        net.add_link(s[0], s[1]).unwrap();
+        net.add_link(s[1], s[2]).unwrap();
+        net.add_link(s[2], s[3]).unwrap();
+        net.add_link(s[0], s[3]).unwrap();
+        net.attach(ProcId(0), s[0]).unwrap();
+        net.attach(ProcId(1), s[3]).unwrap();
+        let flow = Flow::from_indices(0, 1);
+        let route = shortest_route(&net, flow).unwrap();
+        assert_eq!(route.len(), 3); // inject + shortcut + eject
+        route.validate(&net, flow).unwrap();
+    }
+}

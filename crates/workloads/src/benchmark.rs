@@ -1,0 +1,164 @@
+//! The benchmark suite enumeration and dispatch.
+
+use std::fmt;
+
+use nocsyn_model::PhaseSchedule;
+
+use crate::btsp::{self, Variant};
+use crate::{cg, fft, mg, WorkloadError, WorkloadParams};
+
+/// The five NAS benchmarks of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Benchmark {
+    /// Block Tridiagonal solver (square process counts).
+    Bt,
+    /// Conjugate Gradient (power-of-two process counts).
+    Cg,
+    /// 3-D Fast Fourier Transform (power-of-two process counts).
+    Fft,
+    /// Multi-Grid solver (power-of-two process counts).
+    Mg,
+    /// Scalar Pentadiagonal solver (square process counts).
+    Sp,
+}
+
+impl Benchmark {
+    /// All five benchmarks in the paper's order.
+    pub const ALL: [Benchmark; 5] = [
+        Benchmark::Bt,
+        Benchmark::Cg,
+        Benchmark::Fft,
+        Benchmark::Mg,
+        Benchmark::Sp,
+    ];
+
+    /// Generates the benchmark's phase schedule for `n_procs` processes.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError`] if `n_procs` does not satisfy the benchmark's
+    /// shape requirement (power of two for CG/FFT/MG, perfect square for
+    /// BT/SP) or is too small.
+    pub fn schedule(
+        self,
+        n_procs: usize,
+        params: &WorkloadParams,
+    ) -> Result<PhaseSchedule, WorkloadError> {
+        match self {
+            Benchmark::Bt => btsp::schedule(Variant::Bt, n_procs, params),
+            Benchmark::Sp => btsp::schedule(Variant::Sp, n_procs, params),
+            Benchmark::Cg => cg::schedule(n_procs, params),
+            Benchmark::Fft => fft::schedule(n_procs, params),
+            Benchmark::Mg => mg::schedule(n_procs, params),
+        }
+    }
+
+    /// The process count the paper uses for this benchmark in its small
+    /// (8/9-node) and large (16-node) configurations: "8-node and 16-node
+    /// configurations, except for the BT and SP benchmark on which a
+    /// 9-node configuration is used since these benchmarks require a
+    /// number of processors equal to a perfect square."
+    pub fn paper_procs(self, large: bool) -> usize {
+        if large {
+            16
+        } else {
+            match self {
+                Benchmark::Bt | Benchmark::Sp => 9,
+                _ => 8,
+            }
+        }
+    }
+
+    /// Short uppercase name as the paper prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Bt => "BT",
+            Benchmark::Cg => "CG",
+            Benchmark::Fft => "FFT",
+            Benchmark::Mg => "MG",
+            Benchmark::Sp => "SP",
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The full evaluation suite at the paper's configuration: each benchmark
+/// with its paper process count and default parameters.
+///
+/// # Panics
+///
+/// Never: the paper process counts are valid for every benchmark by
+/// construction.
+pub fn suite(large: bool) -> Vec<(Benchmark, usize, PhaseSchedule)> {
+    Benchmark::ALL
+        .into_iter()
+        .map(|b| {
+            let n = b.paper_procs(large);
+            let sched = b
+                .schedule(n, &WorkloadParams::paper_default(b))
+                .expect("paper process counts are valid");
+            (b, n, sched)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_proc_counts() {
+        assert_eq!(Benchmark::Bt.paper_procs(false), 9);
+        assert_eq!(Benchmark::Sp.paper_procs(false), 9);
+        assert_eq!(Benchmark::Cg.paper_procs(false), 8);
+        for b in Benchmark::ALL {
+            assert_eq!(b.paper_procs(true), 16);
+        }
+    }
+
+    #[test]
+    fn suite_builds_both_configurations() {
+        for large in [false, true] {
+            let s = suite(large);
+            assert_eq!(s.len(), 5);
+            for (b, n, sched) in s {
+                assert_eq!(sched.n_procs(), n);
+                assert!(!sched.is_empty(), "{b} schedule empty");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_requirements_enforced() {
+        let p = WorkloadParams::default();
+        assert!(Benchmark::Bt.schedule(8, &p).is_err());
+        assert!(Benchmark::Cg.schedule(9, &p).is_err());
+        assert!(Benchmark::Fft.schedule(10, &p).is_err());
+        assert!(Benchmark::Mg.schedule(6, &p).is_err());
+        assert!(Benchmark::Sp.schedule(10, &p).is_err());
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Benchmark::Fft.to_string(), "FFT");
+        assert_eq!(Benchmark::ALL.map(|b| b.name()), ["BT", "CG", "FFT", "MG", "SP"]);
+    }
+
+    #[test]
+    fn bt_sp_complexity_exceeds_cg() {
+        // Section 4.1: "The BT and SP benchmarks have more complicated
+        // communication patterns which leads to a higher requirement on
+        // network resources" — at 16 nodes their flow sets dominate CG's.
+        let p = WorkloadParams::default();
+        let cg_flows = Benchmark::Cg.schedule(16, &p).unwrap().all_flows().len();
+        let bt_flows = Benchmark::Bt.schedule(16, &p).unwrap().all_flows().len();
+        let sp_flows = Benchmark::Sp.schedule(16, &p).unwrap().all_flows().len();
+        assert!(bt_flows > cg_flows);
+        assert!(sp_flows > cg_flows);
+    }
+}

@@ -1,0 +1,251 @@
+//! The BT (Block Tridiagonal) and SP (Scalar Pentadiagonal) patterns.
+//!
+//! Both NPB codes run ADI-style line solves over a square process grid
+//! (hence the paper's 9-process configuration) and "exhibit very similar
+//! communication patterns which consist mostly of point-to-point
+//! communications". Per iteration each code:
+//!
+//! * exchanges boundary faces with its four grid neighbors (`copy_faces`),
+//!   one communication call per direction — four cyclic-shift permutation
+//!   periods; and
+//! * sweeps each dimension forward and backward with *pipelined*
+//!   substitution: stage `j` of a sweep passes partial results from grid
+//!   line `j` to `j+1`, so each stage is its own (small) contention period
+//!   rather than one synchronized permutation.
+//!
+//! BT's diagonal cell staggering adds diagonal face exchanges; SP's
+//! pentadiagonal solves send a second round along each axis. The resulting
+//! patterns touch more distinct partners and have more periods than any
+//! other benchmark in the suite — which is why the paper finds BT and SP
+//! "have more complicated communication patterns which leads to a higher
+//! requirement on network resources" (Section 4.1).
+
+use nocsyn_model::{Flow, Phase, PhaseSchedule};
+
+use crate::{Grid, WorkloadError, WorkloadParams};
+
+/// Which of the two sibling benchmarks to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Variant {
+    Bt,
+    Sp,
+}
+
+pub(crate) fn schedule(
+    variant: Variant,
+    n_procs: usize,
+    params: &WorkloadParams,
+) -> Result<PhaseSchedule, WorkloadError> {
+    let grid = Grid::square(n_procs)?;
+    if n_procs < 4 {
+        return Err(WorkloadError::TooFewProcs { n_procs, minimum: 4 });
+    }
+    let mut sched = PhaseSchedule::new(n_procs);
+    let phases = iteration_phases(variant, &grid, params);
+    for _ in 0..params.iterations.max(1) {
+        for phase in &phases {
+            sched.push(phase.clone()).expect("generated flows are in range");
+        }
+    }
+    Ok(sched)
+}
+
+/// A cyclic-shift face exchange, staggered into diagonal waves.
+///
+/// BT and SP schedule their cells multi-partition style: cells on
+/// different grid diagonals work (and therefore communicate) at different
+/// times, so a face exchange is a *sequence* of small contention periods —
+/// wave `d` carries the cells with `(r + c) % n == d` — rather than one
+/// synchronized permutation.
+fn shift_waves(grid: &Grid, dr: usize, dc: usize, params: &WorkloadParams) -> Vec<Phase> {
+    let n = grid.rows(); // square
+    (0..n)
+        .map(|d| {
+            let mut phase =
+                Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+            for r in 0..grid.rows() {
+                for c in 0..grid.cols() {
+                    if (r + c) % n != d {
+                        continue;
+                    }
+                    let dst = grid.at((r + dr) % grid.rows(), (c + dc) % grid.cols());
+                    phase
+                        .add(Flow::new(grid.at(r, c), dst))
+                        .expect("one diagonal of a cyclic shift is a partial permutation");
+                }
+            }
+            phase
+        })
+        .collect()
+}
+
+/// The wave-staggered stages of one directional sweep along the x axis.
+///
+/// Multi-partition scheduling staggers the line solves of different rows
+/// across the grid diagonals: the cell at `(r, j)` passes its partial
+/// result to `(r, j+1)` during wave `(r + j) % n`, so the flows live in a
+/// wave belong to distinct rows *and* distinct column pairs. Sweeps do
+/// not wrap.
+fn x_sweep(grid: &Grid, forward: bool, params: &WorkloadParams) -> Vec<Phase> {
+    let n = grid.rows(); // square
+    (0..n)
+        .filter_map(|d| {
+            let mut phase =
+                Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+            for r in 0..grid.rows() {
+                for j in 0..grid.cols() - 1 {
+                    if (r + j) % n != d {
+                        continue;
+                    }
+                    let (from, to) = if forward {
+                        (grid.at(r, j), grid.at(r, j + 1))
+                    } else {
+                        (grid.at(r, grid.cols() - 1 - j), grid.at(r, grid.cols() - 2 - j))
+                    };
+                    phase.add(Flow::new(from, to)).expect("waves pair distinct cells");
+                }
+            }
+            (!phase.is_empty()).then_some(phase)
+        })
+        .collect()
+}
+
+/// The wave-staggered stages of one directional sweep along the y axis.
+fn y_sweep(grid: &Grid, forward: bool, params: &WorkloadParams) -> Vec<Phase> {
+    let n = grid.rows(); // square
+    (0..n)
+        .filter_map(|d| {
+            let mut phase =
+                Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+            for c in 0..grid.cols() {
+                for j in 0..grid.rows() - 1 {
+                    if (j + c) % n != d {
+                        continue;
+                    }
+                    let (from, to) = if forward {
+                        (grid.at(j, c), grid.at(j + 1, c))
+                    } else {
+                        (grid.at(grid.rows() - 1 - j, c), grid.at(grid.rows() - 2 - j, c))
+                    };
+                    phase.add(Flow::new(from, to)).expect("waves pair distinct cells");
+                }
+            }
+            (!phase.is_empty()).then_some(phase)
+        })
+        .collect()
+}
+
+fn iteration_phases(variant: Variant, grid: &Grid, params: &WorkloadParams) -> Vec<Phase> {
+    let n = grid.rows(); // square
+    let mut phases = Vec::new();
+    phases.extend(shift_waves(grid, 0, 1, params)); // copy_faces east
+    phases.extend(shift_waves(grid, 0, n - 1, params)); // copy_faces west
+    phases.extend(shift_waves(grid, 1, 0, params)); // copy_faces south
+    phases.extend(shift_waves(grid, n - 1, 0, params)); // copy_faces north
+    // ADI sweeps: forward and backward in both dimensions, pipelined.
+    phases.extend(x_sweep(grid, true, params));
+    phases.extend(x_sweep(grid, false, params));
+    phases.extend(y_sweep(grid, true, params));
+    phases.extend(y_sweep(grid, false, params));
+    match variant {
+        Variant::Bt => {
+            // BT's diagonally-staggered cells exchange along diagonals too.
+            phases.extend(shift_waves(grid, 1, 1, params));
+            phases.extend(shift_waves(grid, n - 1, n - 1, params));
+        }
+        Variant::Sp => {
+            // SP's pentadiagonal solves pass a second value along each
+            // axis: one extra forward sweep round per dimension.
+            phases.extend(x_sweep(grid, true, params));
+            phases.extend(y_sweep(grid, true, params));
+        }
+    }
+    phases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> WorkloadParams {
+        WorkloadParams::default()
+    }
+
+    #[test]
+    fn bt9_phase_structure() {
+        let sched = schedule(Variant::Bt, 9, &params()).unwrap();
+        // 6 staggered exchanges x 3 waves + 4 sweeps x 3 waves.
+        assert_eq!(sched.len(), 6 * 3 + 4 * 3);
+        // Every phase is a small partial permutation: one diagonal of an
+        // exchange (3 cells) or one sweep wave (2 cells on a 3x3 grid).
+        assert!(sched.iter().all(|p| p.len() == 2 || p.len() == 3));
+    }
+
+    #[test]
+    fn sp_has_extra_sweep_rounds() {
+        let sched = schedule(Variant::Sp, 9, &params()).unwrap();
+        // 4 faces x 3 waves + 4 sweeps x 3 waves + 2 extra sweeps x 3.
+        assert_eq!(sched.len(), 30);
+        // Extra rounds repeat existing stages, so cliques dedupe.
+        assert!(sched.maximum_clique_set().len() < sched.len());
+    }
+
+    #[test]
+    fn bt_touches_more_partners_than_sp() {
+        let bt = schedule(Variant::Bt, 16, &params()).unwrap();
+        let sp = schedule(Variant::Sp, 16, &params()).unwrap();
+        assert!(bt.all_flows().len() > sp.all_flows().len());
+    }
+
+    #[test]
+    fn sweeps_are_pipelined_not_synchronized() {
+        let sched = schedule(Variant::Bt, 9, &params()).unwrap();
+        // Wave 0 of the forward x-sweep pairs cells (0,0)->(0,1) and
+        // (2,1)->(2,2): flows (0,1) and (7,8). Crucially, no period ever
+        // contains the full synchronized stage {(0,1),(3,4),(6,7)}.
+        let k = sched.clique_set();
+        let wave = k.iter().any(|c| {
+            c.len() == 2
+                && c.contains(Flow::from_indices(0, 1))
+                && c.contains(Flow::from_indices(7, 8))
+        });
+        assert!(wave, "staggered x-sweep wave missing");
+        let synchronized = k.iter().any(|c| {
+            c.contains(Flow::from_indices(0, 1))
+                && c.contains(Flow::from_indices(3, 4))
+                && c.contains(Flow::from_indices(6, 7))
+        });
+        assert!(!synchronized, "sweep stage is synchronized across rows");
+    }
+
+    #[test]
+    fn every_phase_is_displacement_coherent() {
+        // Waves and sweep stages each carry a single grid displacement:
+        // all flows of a phase move by the same (dr, dc) modulo the grid.
+        let grid = Grid::square(9).unwrap();
+        for variant in [Variant::Bt, Variant::Sp] {
+            let sched = schedule(variant, 9, &params()).unwrap();
+            for phase in sched.iter() {
+                let displacements: std::collections::BTreeSet<(usize, usize)> = phase
+                    .iter()
+                    .map(|f| {
+                        let (sr, sc) = grid.coords(f.src);
+                        let (dr, dc) = grid.coords(f.dst);
+                        (((dr + 3) - sr) % 3, ((dc + 3) - sc) % 3)
+                    })
+                    .collect();
+                assert_eq!(displacements.len(), 1, "incoherent phase: {phase}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_square_counts_error() {
+        assert!(schedule(Variant::Bt, 8, &params()).is_err());
+        assert!(schedule(Variant::Sp, 2, &params()).is_err());
+        assert!(matches!(
+            schedule(Variant::Bt, 1, &params()),
+            Err(WorkloadError::TooFewProcs { .. })
+        ));
+    }
+}

@@ -1,0 +1,150 @@
+//! The CG (Conjugate Gradient) communication pattern.
+//!
+//! The paper: "The CG benchmark's communication behavior is dominated by
+//! reduction and matrix transpose communication in the main loop." NPB CG
+//! arranges `2^k` processes in a near-square grid; each iteration performs
+//! recursive-doubling reduction exchanges within grid rows followed by a
+//! transpose exchange. On 16 processes this reproduces the paper's Figure 1
+//! pattern: two row-exchange periods (distance 1 and 2) and the transpose
+//! permutation `{(2,5), (5,2), (3,9), (9,3), ...}`.
+
+use nocsyn_model::{Phase, PhaseSchedule};
+
+use crate::{Grid, WorkloadError, WorkloadParams};
+
+pub(crate) fn schedule(
+    n_procs: usize,
+    params: &WorkloadParams,
+) -> Result<PhaseSchedule, WorkloadError> {
+    let grid = Grid::power_of_two(n_procs)?;
+    if n_procs < 2 {
+        return Err(WorkloadError::TooFewProcs { n_procs, minimum: 2 });
+    }
+    let mut sched = PhaseSchedule::new(n_procs);
+    let iteration = iteration_phases(&grid, params);
+    for _ in 0..params.iterations.max(1) {
+        for phase in &iteration {
+            sched.push(phase.clone()).expect("generated flows are in range");
+        }
+    }
+    Ok(sched)
+}
+
+/// One CG main-loop iteration: row-reduction rounds, then the transpose.
+fn iteration_phases(grid: &Grid, params: &WorkloadParams) -> Vec<Phase> {
+    let mut phases = Vec::new();
+
+    // Recursive-doubling sum reduction within each row: at round `s`,
+    // every process exchanges with the row peer whose column differs in
+    // bit `s`. Each round is a full permutation (an involution).
+    let mut distance = 1;
+    while distance < grid.cols() {
+        let mut phase = Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+        for r in 0..grid.rows() {
+            for c in 0..grid.cols() {
+                let partner = grid.at(r, c ^ distance);
+                phase
+                    .add(nocsyn_model::Flow::new(grid.at(r, c), partner))
+                    .expect("xor exchange is a permutation");
+            }
+        }
+        phases.push(phase);
+        distance <<= 1;
+    }
+
+    // Transpose exchange. On a square grid, (r, c) <-> (c, r); diagonal
+    // processes do not communicate (a partial permutation — exactly the
+    // clique of the paper's Contention Period 3). On NPB's non-square
+    // grids the transpose partner is the process half the machine away,
+    // which is the same involution NPB's `exch_proc` reduces to there.
+    let mut transpose = Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+    if grid.is_square() {
+        for r in 0..grid.rows() {
+            for c in 0..grid.cols() {
+                if r != c {
+                    transpose
+                        .add(nocsyn_model::Flow::new(grid.at(r, c), grid.at(c, r)))
+                        .expect("transpose is a permutation");
+                }
+            }
+        }
+    } else {
+        let n = grid.len();
+        for p in 0..n {
+            transpose
+                .add(nocsyn_model::Flow::from_indices(p, (p + n / 2) % n))
+                .expect("half-shift is a permutation");
+        }
+    }
+    if !transpose.is_empty() {
+        phases.push(transpose);
+    }
+    phases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocsyn_model::Flow;
+
+    fn params() -> WorkloadParams {
+        WorkloadParams::default()
+    }
+
+    #[test]
+    fn cg16_matches_figure1_structure() {
+        let sched = schedule(16, &params()).unwrap();
+        // One iteration: 2 row-reduction rounds (4 cols) + transpose.
+        assert_eq!(sched.len(), 3);
+        let k = sched.maximum_clique_set();
+        assert_eq!(k.len(), 3);
+        // The transpose period has 12 flows (16 minus 4 diagonal procs).
+        assert!(k.iter().any(|c| c.len() == 12));
+        // Row rounds have 16 flows each.
+        assert_eq!(k.iter().filter(|c| c.len() == 16).count(), 2);
+    }
+
+    #[test]
+    fn cg16_transpose_contains_paper_flows() {
+        // The paper lists period 3 as {(2,5),(5,2),(3,9),(9,3),(4,13),
+        // (13,4),(7,10),(10,7),(8,14),(14,8),(12,15),(15,12)} with
+        // 1-indexed processes; 0-indexed: (1,4),(4,1),(2,8),(8,2),...
+        let sched = schedule(16, &params()).unwrap();
+        let k = sched.maximum_clique_set();
+        let transpose = k.iter().find(|c| c.len() == 12).unwrap();
+        for (s, d) in [(1, 4), (4, 1), (2, 8), (8, 2), (3, 12), (12, 3), (6, 9), (9, 6), (7, 13), (13, 7), (11, 14), (14, 11)] {
+            assert!(
+                transpose.contains(Flow::from_indices(s, d)),
+                "transpose missing ({s},{d})"
+            );
+        }
+    }
+
+    #[test]
+    fn cg8_uses_nonsquare_grid() {
+        let sched = schedule(8, &params()).unwrap();
+        // 4x2 grid: one row-reduction round + half-shift transpose.
+        assert_eq!(sched.len(), 2);
+        assert!(sched
+            .all_flows()
+            .contains(&Flow::from_indices(0, 4)));
+    }
+
+    #[test]
+    fn iterations_repeat_without_changing_cliques() {
+        let once = schedule(16, &params()).unwrap();
+        let four = schedule(16, &params().with_iterations(4)).unwrap();
+        assert_eq!(four.len(), 4 * once.len());
+        assert_eq!(
+            four.maximum_clique_set().len(),
+            once.maximum_clique_set().len()
+        );
+    }
+
+    #[test]
+    fn invalid_counts_error() {
+        assert!(schedule(9, &params()).is_err());
+        assert!(schedule(0, &params()).is_err());
+        assert!(schedule(1, &params()).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for workload generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while generating workload schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// The benchmark requires a power-of-two process count.
+    NotPowerOfTwo {
+        /// Requested process count.
+        n_procs: usize,
+    },
+    /// The benchmark requires a perfect-square process count.
+    NotPerfectSquare {
+        /// Requested process count.
+        n_procs: usize,
+    },
+    /// The process count is too small for the benchmark to communicate.
+    TooFewProcs {
+        /// Requested process count.
+        n_procs: usize,
+        /// Smallest supported count.
+        minimum: usize,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::NotPowerOfTwo { n_procs } => {
+                write!(f, "{n_procs} processes is not a power of two")
+            }
+            WorkloadError::NotPerfectSquare { n_procs } => {
+                write!(f, "{n_procs} processes is not a perfect square")
+            }
+            WorkloadError::TooFewProcs { n_procs, minimum } => {
+                write!(f, "{n_procs} processes is below the minimum of {minimum}")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            WorkloadError::NotPowerOfTwo { n_procs: 9 }.to_string(),
+            "9 processes is not a power of two"
+        );
+        assert_eq!(
+            WorkloadError::NotPerfectSquare { n_procs: 8 }.to_string(),
+            "8 processes is not a perfect square"
+        );
+        assert_eq!(
+            WorkloadError::TooFewProcs { n_procs: 1, minimum: 4 }.to_string(),
+            "1 processes is below the minimum of 4"
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Workloads beyond the paper's five: IS and LU from the same NPB suite.
+//!
+//! The paper evaluates BT, CG, FFT, MG and SP; IS (Integer Sort) and LU
+//! (Lower-Upper Gauss-Seidel) are the two remaining well-behaved NPB
+//! codes and exercise communication shapes the original five do not — a
+//! *global* all-to-all over every process (IS) and a strictly
+//! nearest-neighbor 2-D wavefront (LU). They are offered for users
+//! synthesizing networks for broader workloads; no paper figure depends
+//! on them.
+
+use nocsyn_model::{Flow, Phase, PhaseSchedule};
+
+use crate::{Grid, WorkloadError, WorkloadParams};
+
+/// IS (Integer Sort): bucket redistribution as a staggered, serialized
+/// all-to-all over *all* processes, preceded by a short allreduce for the
+/// bucket histograms (binomial reduce + broadcast over everyone).
+///
+/// # Errors
+///
+/// [`WorkloadError::NotPowerOfTwo`] for non-power-of-two counts,
+/// [`WorkloadError::TooFewProcs`] below 2.
+pub fn is_schedule(n_procs: usize, params: &WorkloadParams) -> Result<PhaseSchedule, WorkloadError> {
+    if n_procs == 0 || !n_procs.is_power_of_two() {
+        return Err(WorkloadError::NotPowerOfTwo { n_procs });
+    }
+    if n_procs < 2 {
+        return Err(WorkloadError::TooFewProcs { n_procs, minimum: 2 });
+    }
+    let mut sched = PhaseSchedule::new(n_procs);
+    let rounds = n_procs.trailing_zeros() as usize;
+
+    let mut iteration: Vec<Phase> = Vec::new();
+    // Histogram allreduce: binomial reduce into 0, broadcast back out.
+    // Short messages, like MG.
+    for k in 0..rounds {
+        let mut phase = Phase::new().with_bytes(64).with_compute(params.compute_ticks / 4);
+        let stride = 1usize << (k + 1);
+        let half = 1usize << k;
+        let mut p = half;
+        while p < n_procs {
+            phase
+                .add(Flow::from_indices(p, p - half))
+                .expect("binomial rounds are partial permutations");
+            p += stride;
+        }
+        iteration.push(phase);
+    }
+    for k in (0..rounds).rev() {
+        let mut phase = Phase::new().with_bytes(64).with_compute(params.compute_ticks / 4);
+        let half = 1usize << k;
+        for p in 0..half {
+            phase
+                .add(Flow::from_indices(p, p + half))
+                .expect("binomial rounds are partial permutations");
+        }
+        iteration.push(phase);
+    }
+    // Key redistribution: XOR pairwise exchange rounds over everyone —
+    // each round a full permutation of large payloads.
+    for s in 1..n_procs {
+        let mut phase = Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+        for p in 0..n_procs {
+            phase
+                .add(Flow::from_indices(p, p ^ s))
+                .expect("xor pairing is a permutation");
+        }
+        iteration.push(phase);
+    }
+
+    for _ in 0..params.iterations.max(1) {
+        for phase in &iteration {
+            sched.push(phase.clone()).expect("generated flows are in range");
+        }
+    }
+    Ok(sched)
+}
+
+/// LU (Lower-Upper Gauss-Seidel): a 2-D wavefront over the process grid.
+/// The lower-triangular sweep passes data east and south, one diagonal at
+/// a time; the upper sweep mirrors it west and north. Strictly
+/// nearest-neighbor, very sparse — the friendliest possible pattern for
+/// the synthesis methodology.
+///
+/// # Errors
+///
+/// [`WorkloadError::NotPerfectSquare`] for non-square counts,
+/// [`WorkloadError::TooFewProcs`] below 4.
+pub fn lu_schedule(n_procs: usize, params: &WorkloadParams) -> Result<PhaseSchedule, WorkloadError> {
+    let grid = Grid::square(n_procs)?;
+    if n_procs < 4 {
+        return Err(WorkloadError::TooFewProcs { n_procs, minimum: 4 });
+    }
+    let n = grid.rows();
+    let mut sched = PhaseSchedule::new(n_procs);
+
+    let mut iteration: Vec<Phase> = Vec::new();
+    // Lower sweep: diagonals d = 0 .. 2n-3; cell (r, c) on diagonal r+c
+    // sends east and south (in two separate calls, as the code does).
+    for d in 0..(2 * n - 2) {
+        for (dr, dc) in [(0usize, 1usize), (1, 0)] {
+            let mut phase =
+                Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+            for r in 0..n {
+                for c in 0..n {
+                    if r + c != d || r + dr >= n || c + dc >= n {
+                        continue;
+                    }
+                    phase
+                        .add(Flow::new(grid.at(r, c), grid.at(r + dr, c + dc)))
+                        .expect("one diagonal of a sweep is a partial permutation");
+                }
+            }
+            if !phase.is_empty() {
+                iteration.push(phase);
+            }
+        }
+    }
+    // Upper sweep: mirrored, anti-diagonal order, west and north.
+    for d in (0..(2 * n - 2)).rev() {
+        for (dr, dc) in [(0usize, 1usize), (1, 0)] {
+            let mut phase =
+                Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+            for r in 0..n {
+                for c in 0..n {
+                    if r + c != d || r < dr || c < dc {
+                        continue;
+                    }
+                    phase
+                        .add(Flow::new(grid.at(r, c), grid.at(r - dr, c - dc)))
+                        .expect("one diagonal of a sweep is a partial permutation");
+                }
+            }
+            if !phase.is_empty() {
+                iteration.push(phase);
+            }
+        }
+    }
+
+    for _ in 0..params.iterations.max(1) {
+        for phase in &iteration {
+            sched.push(phase.clone()).expect("generated flows are in range");
+        }
+    }
+    Ok(sched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> WorkloadParams {
+        WorkloadParams::default()
+    }
+
+    #[test]
+    fn is16_structure() {
+        let sched = is_schedule(16, &params()).unwrap();
+        // 4 reduce + 4 broadcast + 15 exchange rounds.
+        assert_eq!(sched.len(), 4 + 4 + 15);
+        // Exchange rounds are full permutations.
+        assert_eq!(sched.iter().filter(|p| p.len() == 16).count(), 15);
+        // All-to-all coverage over all ordered pairs.
+        assert_eq!(sched.all_flows().len(), (16 * 15));
+    }
+
+    #[test]
+    fn is_rejects_bad_counts() {
+        assert!(is_schedule(12, &params()).is_err());
+        assert!(is_schedule(0, &params()).is_err());
+        assert!(is_schedule(1, &params()).is_err());
+    }
+
+    #[test]
+    fn lu9_is_nearest_neighbor_only() {
+        let sched = lu_schedule(9, &params()).unwrap();
+        let grid = Grid::square(9).unwrap();
+        for flow in sched.all_flows() {
+            let (r1, c1) = grid.coords(flow.src);
+            let (r2, c2) = grid.coords(flow.dst);
+            assert_eq!(
+                r1.abs_diff(r2) + c1.abs_diff(c2),
+                1,
+                "non-neighbor flow {flow}"
+            );
+        }
+    }
+
+    #[test]
+    fn lu_wavefront_phases_are_small() {
+        let sched = lu_schedule(16, &params()).unwrap();
+        // No phase exceeds the diagonal length.
+        assert!(sched.iter().all(|p| p.len() <= 4));
+        assert!(!sched.is_empty());
+    }
+
+    #[test]
+    fn lu_rejects_bad_counts() {
+        assert!(lu_schedule(8, &params()).is_err());
+        assert!(lu_schedule(2, &params()).is_err());
+    }
+
+    #[test]
+    fn lu_synthesizes_very_lean() {
+        // LU's nearest-neighbor wavefront with tiny cliques should let
+        // the methodology pack 3-4 procs per switch.
+        use nocsyn_model::PhaseSchedule as _PS;
+        let sched: _PS = lu_schedule(16, &params()).unwrap();
+        assert!(sched.maximum_clique_set().max_clique_size() <= 4);
+    }
+}

@@ -1,0 +1,164 @@
+//! The FFT (3-D fast Fourier transform) pattern.
+//!
+//! The paper: "The FFT benchmark is implemented by a 2-D blocking
+//! algorithm, the communication of which is mainly all-to-all communication
+//! within a row or column." Each all-to-all is realized as a *serialized,
+//! staggered pairwise exchange* — the classic linear-exchange schedule: a
+//! group of `g` processes performs its `g·(g-1)/2` pair exchanges one
+//! call at a time, and parallel groups (the different rows, or the
+//! different columns) start at offset positions in the pair order so that
+//! no two groups hammer the same relative partner simultaneously. Each
+//! call is one contention period carrying one bidirectional exchange per
+//! group.
+
+use nocsyn_model::{Flow, Phase, PhaseSchedule};
+
+use crate::{Grid, WorkloadError, WorkloadParams};
+
+pub(crate) fn schedule(
+    n_procs: usize,
+    params: &WorkloadParams,
+) -> Result<PhaseSchedule, WorkloadError> {
+    let grid = Grid::power_of_two(n_procs)?;
+    if n_procs < 2 {
+        return Err(WorkloadError::TooFewProcs { n_procs, minimum: 2 });
+    }
+    let mut sched = PhaseSchedule::new(n_procs);
+    let phases = iteration_phases(&grid, params);
+    for _ in 0..params.iterations.max(1) {
+        for phase in &phases {
+            sched.push(phase.clone()).expect("generated flows are in range");
+        }
+    }
+    Ok(sched)
+}
+
+/// All unordered pairs of `0..g` in lexicographic order.
+fn pairs(g: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(g * (g - 1) / 2);
+    for a in 0..g {
+        for b in a + 1..g {
+            out.push((a, b));
+        }
+    }
+    out
+}
+
+fn iteration_phases(grid: &Grid, params: &WorkloadParams) -> Vec<Phase> {
+    let mut phases = Vec::new();
+
+    // All-to-all within rows: call k has row r exchanging pair
+    // `row_pairs[(k + r) % len]`.
+    let row_pairs = pairs(grid.cols());
+    for k in 0..row_pairs.len() {
+        let mut phase = Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+        for r in 0..grid.rows() {
+            let (a, b) = row_pairs[(k + r) % row_pairs.len()];
+            phase
+                .add(Flow::new(grid.at(r, a), grid.at(r, b)))
+                .expect("rows exchange disjoint pairs");
+            phase
+                .add(Flow::new(grid.at(r, b), grid.at(r, a)))
+                .expect("exchange is bidirectional");
+        }
+        phases.push(phase);
+    }
+
+    // All-to-all within columns, staggered per column.
+    let col_pairs = pairs(grid.rows());
+    for k in 0..col_pairs.len() {
+        let mut phase = Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+        for c in 0..grid.cols() {
+            let (a, b) = col_pairs[(k + c) % col_pairs.len()];
+            phase
+                .add(Flow::new(grid.at(a, c), grid.at(b, c)))
+                .expect("columns exchange disjoint pairs");
+            phase
+                .add(Flow::new(grid.at(b, c), grid.at(a, c)))
+                .expect("exchange is bidirectional");
+        }
+        phases.push(phase);
+    }
+    phases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> WorkloadParams {
+        WorkloadParams::default()
+    }
+
+    #[test]
+    fn fft16_round_count() {
+        // 4x4 grid: C(4,2) = 6 row calls + 6 column calls.
+        let sched = schedule(16, &params()).unwrap();
+        assert_eq!(sched.len(), 12);
+        assert_eq!(sched.maximum_clique_set().len(), 12);
+        // Each call: one exchange (2 flows) per row/column group of 4.
+        assert!(sched.iter().all(|p| p.len() == 8));
+    }
+
+    #[test]
+    fn fft8_round_count() {
+        // 4x2 grid: 1 row call + 6 column calls.
+        let sched = schedule(8, &params()).unwrap();
+        assert_eq!(sched.len(), 7);
+    }
+
+    #[test]
+    fn all_to_all_coverage_within_rows_and_columns() {
+        let sched = schedule(16, &params()).unwrap();
+        let grid = Grid::power_of_two(16).unwrap();
+        let flows = sched.all_flows();
+        // Every ordered pair within a row or column (src != dst) appears.
+        for r in 0..4 {
+            for c1 in 0..4 {
+                for c2 in 0..4 {
+                    if c1 != c2 {
+                        assert!(flows.contains(&Flow::new(grid.at(r, c1), grid.at(r, c2))));
+                        assert!(flows.contains(&Flow::new(grid.at(c1, r), grid.at(c2, r))));
+                    }
+                }
+            }
+        }
+        // And nothing outside rows/columns does.
+        assert!(!flows.contains(&Flow::from_indices(0, 5)));
+    }
+
+    #[test]
+    fn stagger_spreads_groups_across_pair_orders() {
+        // In any one call, different rows exchange different pairs (for
+        // grids with at least 2 rows and enough pairs to stagger over).
+        let sched = schedule(16, &params()).unwrap();
+        let grid = Grid::power_of_two(16).unwrap();
+        let first = sched.iter().next().unwrap();
+        let mut row_pairs = std::collections::BTreeSet::new();
+        for f in first.iter() {
+            let (r, c1) = grid.coords(f.src);
+            let (_, c2) = grid.coords(f.dst);
+            row_pairs.insert((r, c1.min(c2), c1.max(c2)));
+        }
+        // 4 rows, each a distinct pair.
+        let pairs_used: std::collections::BTreeSet<(usize, usize)> =
+            row_pairs.iter().map(|&(_, a, b)| (a, b)).collect();
+        assert_eq!(pairs_used.len(), 4);
+    }
+
+    #[test]
+    fn complexity_grows_from_8_to_16_nodes() {
+        // The paper notes FFT's relative resource needs increase with node
+        // count because the collectives get more complex.
+        let small = schedule(8, &params()).unwrap();
+        let large = schedule(16, &params()).unwrap();
+        assert!(large.maximum_clique_set().len() > small.maximum_clique_set().len());
+        assert!(large.all_flows().len() > small.all_flows().len());
+    }
+
+    #[test]
+    fn invalid_counts_error() {
+        assert!(schedule(12, &params()).is_err());
+        assert!(schedule(0, &params()).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! The paper's Figure 1: the CG communication pattern on 16 processes.
+//!
+//! Figure 1 shows the contention periods extracted from the CG benchmark
+//! that drive the worked design example of Section 3.4 (Figures 2 and 5).
+//! This module pins that exact pattern as a fixture — it equals one
+//! iteration of [`Benchmark::Cg`](crate::Benchmark) at 16 processes —
+//! together with the two candidate bisections ("Cut 1" and "Cut 2") the
+//! paper analyzes.
+//!
+//! Process indices here are 0-based; the paper's figure is 1-based, so the
+//! paper's communication `(2, 5)` is `(1, 4)` here.
+
+use nocsyn_model::{Flow, PhaseSchedule, ProcId};
+
+use crate::{Benchmark, WorkloadParams};
+
+/// Number of processes in the Figure 1 pattern.
+pub const N_PROCS: usize = 16;
+
+/// The Figure 1 phase schedule: two row-reduction exchange periods
+/// (distance 1, then 2, within rows of the 4x4 process grid) and the
+/// transpose permutation of Contention Period 3.
+pub fn schedule() -> PhaseSchedule {
+    Benchmark::Cg
+        .schedule(
+            N_PROCS,
+            &WorkloadParams::paper_default(Benchmark::Cg).with_iterations(1),
+        )
+        .expect("16 is a valid CG process count")
+}
+
+/// The transpose clique of Contention Period 3, exactly as the paper lists
+/// it (converted to 0-based indices): `{(2,5), (5,2), (3,9), (9,3),
+/// (4,13), (13,4), (7,10), (10,7), (8,14), (14,8), (12,15), (15,12)}`.
+pub fn transpose_clique() -> Vec<Flow> {
+    [
+        (1, 4),
+        (4, 1),
+        (2, 8),
+        (8, 2),
+        (3, 12),
+        (12, 3),
+        (6, 9),
+        (9, 6),
+        (7, 13),
+        (13, 7),
+        (11, 14),
+        (14, 11),
+    ]
+    .into_iter()
+    .map(Flow::from)
+    .collect()
+}
+
+/// Cut 1 of Figure 2: processes 1–8 (paper numbering) on one switch,
+/// 9–16 on the other. Returns the two process sets, 0-based.
+pub fn cut1() -> (Vec<ProcId>, Vec<ProcId>) {
+    ((0..8).map(ProcId).collect(), (8..16).map(ProcId).collect())
+}
+
+/// Cut 2 of Figure 2: the improved bisection reached by moving process 9
+/// (paper numbering) into the first set — processes 1–9 versus 10–16,
+/// 0-based `{0..=8}` versus `{9..=15}`.
+///
+/// The paper reports Cut 1 needs **four** links while Cut 2, despite more
+/// messages crossing it (ten rather than eight), needs only **three** —
+/// the worked demonstration that message *count* across a cut does not
+/// determine link count; concurrent-conflict structure does.
+pub fn cut2() -> (Vec<ProcId>, Vec<ProcId>) {
+    ((0..9).map(ProcId).collect(), (9..16).map(ProcId).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    use nocsyn_coloring::fast_color;
+
+    fn crossing_sets(
+        schedule: &PhaseSchedule,
+        side_a: &[ProcId],
+    ) -> (BTreeSet<Flow>, BTreeSet<Flow>) {
+        let a: BTreeSet<ProcId> = side_a.iter().copied().collect();
+        let mut fwd = BTreeSet::new();
+        let mut bwd = BTreeSet::new();
+        for f in schedule.all_flows() {
+            match (a.contains(&f.src), a.contains(&f.dst)) {
+                (true, false) => {
+                    fwd.insert(f);
+                }
+                (false, true) => {
+                    bwd.insert(f);
+                }
+                _ => {}
+            }
+        }
+        (fwd, bwd)
+    }
+
+    #[test]
+    fn transpose_clique_is_a_contention_period() {
+        let sched = schedule();
+        let k = sched.maximum_clique_set();
+        let expected: BTreeSet<Flow> = transpose_clique().into_iter().collect();
+        assert!(
+            k.iter().any(|c| c.iter().collect::<BTreeSet<_>>() == expected),
+            "Figure 1's transpose period not found in the clique set"
+        );
+    }
+
+    #[test]
+    fn cut1_needs_four_links() {
+        // Paper, Section 3.1: "Eight messages ... pass through the cut ...
+        // the number of colors required to color the graph is four for
+        // both directions. Therefore, four links are required."
+        let sched = schedule();
+        let (a, b) = cut1();
+        assert_eq!(a.len() + b.len(), N_PROCS);
+        let (fwd, bwd) = crossing_sets(&sched, &a);
+        assert_eq!(fwd.len(), 4);
+        assert_eq!(bwd.len(), 4);
+        let k = sched.maximum_clique_set();
+        assert_eq!(fast_color(&k, &fwd, &bwd), 4);
+    }
+
+    #[test]
+    fn cut2_needs_three_links_despite_more_messages() {
+        // Paper: "For Cut 2, ten messages pass through the intersection
+        // ... the number of links required is only three."
+        let sched = schedule();
+        let (a, b) = cut2();
+        assert_eq!(a.len() + b.len(), N_PROCS);
+        let (fwd, bwd) = crossing_sets(&sched, &a);
+        // The paper's five forward communications (1-based (9,10), (9,11),
+        // (8,14), (4,13), (7,10)).
+        for (s, d) in [(8, 9), (8, 10), (7, 13), (3, 12), (6, 9)] {
+            assert!(fwd.contains(&Flow::from_indices(s, d)), "missing ({s},{d})");
+        }
+        let crossing_messages = fwd.len() + bwd.len();
+        assert_eq!(crossing_messages, 10, "ten messages cross Cut 2");
+        let k = sched.maximum_clique_set();
+        let links = fast_color(&k, &fwd, &bwd);
+        let (fwd1, bwd1) = crossing_sets(&sched, &cut1().0);
+        assert!(
+            crossing_messages > fwd1.len() + bwd1.len(),
+            "Cut 2 must carry more messages than Cut 1"
+        );
+        assert_eq!(links, 3, "Cut 2 requires three links");
+    }
+
+    #[test]
+    fn pattern_shape_matches_figure() {
+        let sched = schedule();
+        assert_eq!(sched.n_procs(), 16);
+        assert_eq!(sched.len(), 3);
+        let sizes: Vec<usize> = sched.maximum_clique_set().iter().map(|c| c.len()).collect();
+        assert!(sizes.contains(&12));
+        assert_eq!(sizes.iter().filter(|&&s| s == 16).count(), 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! 2-D logical processor grids used by the benchmark generators.
+
+use std::fmt;
+
+use nocsyn_model::ProcId;
+
+use crate::WorkloadError;
+
+/// A `rows x cols` logical arrangement of processes, row-major: process
+/// `r * cols + c` sits at `(r, c)`.
+///
+/// This is the *logical* layout the algorithms communicate over; the
+/// physical placement onto switches is what synthesis decides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid {
+    rows: usize,
+    cols: usize,
+}
+
+impl Grid {
+    /// A grid with the given shape.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::TooFewProcs`] if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, WorkloadError> {
+        if rows == 0 || cols == 0 {
+            return Err(WorkloadError::TooFewProcs {
+                n_procs: rows * cols,
+                minimum: 1,
+            });
+        }
+        Ok(Grid { rows, cols })
+    }
+
+    /// The square grid for a perfect-square process count.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::NotPerfectSquare`] otherwise.
+    pub fn square(n_procs: usize) -> Result<Self, WorkloadError> {
+        let side = (n_procs as f64).sqrt().round() as usize;
+        if side * side != n_procs || n_procs == 0 {
+            return Err(WorkloadError::NotPerfectSquare { n_procs });
+        }
+        Grid::new(side, side)
+    }
+
+    /// The near-square power-of-two grid NPB uses: `2^floor(k/2)` columns by
+    /// `2^ceil(k/2)` rows for `n = 2^k`.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::NotPowerOfTwo`] if `n_procs` is not a power of two.
+    pub fn power_of_two(n_procs: usize) -> Result<Self, WorkloadError> {
+        if n_procs == 0 || !n_procs.is_power_of_two() {
+            return Err(WorkloadError::NotPowerOfTwo { n_procs });
+        }
+        let k = n_procs.trailing_zeros() as usize;
+        let cols = 1 << (k / 2);
+        let rows = 1 << (k - k / 2);
+        Grid::new(rows, cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total process count.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the grid is empty (never true for a constructed grid).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the grid is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// The process at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the grid.
+    pub fn at(&self, row: usize, col: usize) -> ProcId {
+        assert!(row < self.rows && col < self.cols, "({row},{col}) outside grid");
+        ProcId(row * self.cols + col)
+    }
+
+    /// The `(row, col)` of a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process is outside the grid.
+    pub fn coords(&self, proc: ProcId) -> (usize, usize) {
+        assert!(proc.index() < self.len(), "{proc} outside grid");
+        (proc.index() / self.cols, proc.index() % self.cols)
+    }
+
+    /// Iterates over all processes in row-major order.
+    pub fn procs(&self) -> impl Iterator<Item = ProcId> {
+        (0..self.len()).map(ProcId)
+    }
+}
+
+impl fmt::Display for Grid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} grid", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_grids() {
+        let g = Grid::square(9).unwrap();
+        assert_eq!((g.rows(), g.cols()), (3, 3));
+        assert!(g.is_square());
+        assert!(Grid::square(8).is_err());
+        assert!(Grid::square(0).is_err());
+    }
+
+    #[test]
+    fn power_of_two_grids() {
+        let g8 = Grid::power_of_two(8).unwrap();
+        assert_eq!((g8.rows(), g8.cols()), (4, 2));
+        let g16 = Grid::power_of_two(16).unwrap();
+        assert_eq!((g16.rows(), g16.cols()), (4, 4));
+        assert!(Grid::power_of_two(12).is_err());
+        assert!(Grid::power_of_two(0).is_err());
+    }
+
+    #[test]
+    fn coordinate_round_trip() {
+        let g = Grid::new(3, 5).unwrap();
+        for p in g.procs() {
+            let (r, c) = g.coords(p);
+            assert_eq!(g.at(r, c), p);
+        }
+        assert_eq!(g.len(), 15);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn at_bounds_checked() {
+        let g = Grid::new(2, 2).unwrap();
+        let _ = g.at(2, 0);
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert!(Grid::new(0, 3).is_err());
+        assert!(Grid::new(3, 0).is_err());
+    }
+}

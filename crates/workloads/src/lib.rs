@@ -1,0 +1,69 @@
+//! Synthetic NAS-style communication workloads.
+//!
+//! The paper (Section 4) evaluates its methodology on five NAS Parallel
+//! Benchmarks — BT, CG, FFT, MG and SP — whose execution traces were
+//! collected with MPI profiling on a PC cluster. Those traces are not
+//! available; this crate substitutes **analytic generators** that emit the
+//! *communication structure* the paper describes for each benchmark (see
+//! DESIGN.md §2 for the substitution argument):
+//!
+//! * [`Benchmark::Cg`] — reduction within processor-grid rows (recursive
+//!   doubling rounds) plus a matrix-transpose exchange. The 16-process
+//!   instance reproduces the paper's Figure 1 pattern exactly
+//!   ([`figure1`]).
+//! * [`Benchmark::Bt`] / [`Benchmark::Sp`] — multi-phase point-to-point
+//!   sweeps over a square processor grid (cyclic row and column shifts in
+//!   all four directions), the most complex patterns of the suite.
+//! * [`Benchmark::Fft`] — all-to-all within rows then within columns of a
+//!   2-D processor grid, decomposed into cyclic-rotation rounds.
+//! * [`Benchmark::Mg`] — binomial-tree reduction to process 0 followed by a
+//!   binomial broadcast, with short messages.
+//!
+//! Every generator returns a [`PhaseSchedule`] (one contention period per
+//! communication round, per the paper's phase-parallel extraction), which
+//! lowers to timed [`Trace`]s for simulation via
+//! [`PhaseSchedule::to_trace`] or a skewed
+//! [`SkewModel`](nocsyn_model::SkewModel).
+//!
+//! [`Trace`]: nocsyn_model::Trace
+//! [`PhaseSchedule`]: nocsyn_model::PhaseSchedule
+//! [`PhaseSchedule::to_trace`]: nocsyn_model::PhaseSchedule::to_trace
+//!
+//! # Example
+//!
+//! ```
+//! use nocsyn_workloads::{Benchmark, WorkloadParams};
+//!
+//! # fn main() -> Result<(), nocsyn_workloads::WorkloadError> {
+//! let sched = Benchmark::Cg.schedule(16, &WorkloadParams::paper_default(Benchmark::Cg))?;
+//! assert_eq!(sched.n_procs(), 16);
+//! // CG's main loop: 2 reduction rounds + 1 transpose per iteration.
+//! assert!(sched.maximum_clique_set().len() >= 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod benchmark;
+mod btsp;
+mod cg;
+mod error;
+pub mod extra;
+mod fft;
+pub mod figure1;
+mod grid;
+mod mg;
+mod params;
+mod synthetic;
+pub mod traffic;
+
+pub use benchmark::{suite, Benchmark};
+pub use extra::{is_schedule, lu_schedule};
+pub use error::WorkloadError;
+pub use grid::Grid;
+pub use params::WorkloadParams;
+pub use synthetic::random_permutation_schedule;
+pub use traffic::{open_loop_traffic, TrafficPattern};

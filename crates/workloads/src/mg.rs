@@ -1,0 +1,128 @@
+//! The MG (Multi-Grid) pattern.
+//!
+//! The paper: "MG consists mainly of reduction to all nodes and broadcast
+//! communication of short messages." Both collectives are expressed as
+//! binomial trees, the canonical message-passing implementation: a
+//! `log2(n)`-round reduction into process 0 followed by a `log2(n)`-round
+//! broadcast back out. Every round is a partial permutation (half or fewer
+//! of the processes communicate), so MG's cliques are small even though
+//! its phase count is high — which is why the paper finds MG synthesizes
+//! into a very lean network yet sees little performance change (its short
+//! messages make it latency- rather than contention-bound).
+
+use nocsyn_model::{Flow, Phase, PhaseSchedule};
+
+use crate::{WorkloadError, WorkloadParams};
+
+pub(crate) fn schedule(
+    n_procs: usize,
+    params: &WorkloadParams,
+) -> Result<PhaseSchedule, WorkloadError> {
+    if n_procs == 0 || !n_procs.is_power_of_two() {
+        return Err(WorkloadError::NotPowerOfTwo { n_procs });
+    }
+    if n_procs < 2 {
+        return Err(WorkloadError::TooFewProcs { n_procs, minimum: 2 });
+    }
+    let mut sched = PhaseSchedule::new(n_procs);
+    let phases = iteration_phases(n_procs, params);
+    for _ in 0..params.iterations.max(1) {
+        for phase in &phases {
+            sched.push(phase.clone()).expect("generated flows are in range");
+        }
+    }
+    Ok(sched)
+}
+
+fn iteration_phases(n: usize, params: &WorkloadParams) -> Vec<Phase> {
+    let rounds = n.trailing_zeros() as usize;
+    let mut phases = Vec::new();
+
+    // Binomial reduction into process 0: at round k, every process whose
+    // low k bits are zero and whose bit k is set sends to the peer with
+    // that bit cleared.
+    for k in 0..rounds {
+        let mut phase = Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+        let stride = 1usize << (k + 1);
+        let half = 1usize << k;
+        let mut p = half;
+        while p < n {
+            phase
+                .add(Flow::from_indices(p, p - half))
+                .expect("binomial reduce rounds are partial permutations");
+            p += stride;
+        }
+        phases.push(phase);
+    }
+
+    // Binomial broadcast from process 0: at round k, every process below
+    // 2^k forwards to its peer 2^k above.
+    for k in 0..rounds {
+        let mut phase = Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+        let half = 1usize << k;
+        for p in 0..half {
+            phase
+                .add(Flow::from_indices(p, p + half))
+                .expect("binomial broadcast rounds are partial permutations");
+        }
+        phases.push(phase);
+    }
+    phases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> WorkloadParams {
+        WorkloadParams::default()
+    }
+
+    #[test]
+    fn mg16_phase_structure() {
+        let sched = schedule(16, &params()).unwrap();
+        // 4 reduce rounds + 4 broadcast rounds.
+        assert_eq!(sched.len(), 8);
+        // Largest round involves half the processes.
+        assert_eq!(sched.maximum_clique_set().max_clique_size(), 8);
+    }
+
+    #[test]
+    fn reduce_converges_on_zero() {
+        let sched = schedule(8, &params()).unwrap();
+        // Final reduce round (k=2): only 4 -> 0.
+        let phases: Vec<_> = sched.iter().collect();
+        let last_reduce = phases[2];
+        assert_eq!(last_reduce.len(), 1);
+        assert!(last_reduce.clique().contains(Flow::from_indices(4, 0)));
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let sched = schedule(8, &params()).unwrap();
+        // Union of broadcast-round destinations covers 1..8.
+        let mut reached = [false; 8];
+        reached[0] = true;
+        for phase in sched.iter().skip(3) {
+            for f in phase.iter() {
+                assert!(reached[f.src.index()], "sender {f} not yet reached");
+                reached[f.dst.index()] = true;
+            }
+        }
+        assert!(reached.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn first_broadcast_round_is_single_flow() {
+        let sched = schedule(8, &params()).unwrap();
+        let phases: Vec<_> = sched.iter().collect();
+        assert_eq!(phases[3].len(), 1);
+        assert!(phases[3].clique().contains(Flow::from_indices(0, 1)));
+    }
+
+    #[test]
+    fn invalid_counts_error() {
+        assert!(schedule(9, &params()).is_err());
+        assert!(schedule(0, &params()).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Workload parameterization.
+
+use crate::Benchmark;
+
+/// Parameters shared by every benchmark generator.
+///
+/// * `bytes` — per-message payload (the paper cites multi-KiB scientific
+///   payloads; MG is noted for *short* messages).
+/// * `compute_ticks` — computation gap inserted after each communication
+///   phase, which sets the communication-to-computation ratio the paper's
+///   Section 4.2 discusses.
+/// * `iterations` — how many times the benchmark's main loop repeats.
+///   Repetition does not change the clique set (phases dedupe) but scales
+///   simulated execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadParams {
+    /// Per-message payload in bytes.
+    pub bytes: u32,
+    /// Computation ticks after each phase.
+    pub compute_ticks: u64,
+    /// Main-loop iterations.
+    pub iterations: usize,
+}
+
+impl WorkloadParams {
+    /// Parameters mirroring the paper's qualitative setup for a benchmark:
+    /// 4 KiB payloads for the point-to-point-heavy codes, 256 B for MG's
+    /// short messages; computation gaps chosen so CG/BT/SP are
+    /// communication-bound while FFT and MG have the lower
+    /// communication-to-computation ratio the paper reports.
+    pub fn paper_default(benchmark: Benchmark) -> Self {
+        match benchmark {
+            Benchmark::Cg => WorkloadParams {
+                bytes: 4096,
+                compute_ticks: 2_000,
+                iterations: 4,
+            },
+            Benchmark::Bt | Benchmark::Sp => WorkloadParams {
+                bytes: 4096,
+                compute_ticks: 3_000,
+                iterations: 4,
+            },
+            Benchmark::Fft => WorkloadParams {
+                bytes: 4096,
+                compute_ticks: 12_000,
+                iterations: 4,
+            },
+            Benchmark::Mg => WorkloadParams {
+                bytes: 256,
+                compute_ticks: 4_000,
+                iterations: 4,
+            },
+        }
+    }
+
+    /// Overrides the payload size.
+    #[must_use]
+    pub fn with_bytes(mut self, bytes: u32) -> Self {
+        self.bytes = bytes;
+        self
+    }
+
+    /// Overrides the computation gap.
+    #[must_use]
+    pub fn with_compute(mut self, ticks: u64) -> Self {
+        self.compute_ticks = ticks;
+        self
+    }
+
+    /// Overrides the iteration count.
+    #[must_use]
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            bytes: 4096,
+            compute_ticks: 0,
+            iterations: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mg_uses_short_messages() {
+        assert!(
+            WorkloadParams::paper_default(Benchmark::Mg).bytes
+                < WorkloadParams::paper_default(Benchmark::Cg).bytes
+        );
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let p = WorkloadParams::default().with_bytes(1).with_compute(2).with_iterations(3);
+        assert_eq!((p.bytes, p.compute_ticks, p.iterations), (1, 2, 3));
+    }
+}

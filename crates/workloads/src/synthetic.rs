@@ -1,0 +1,100 @@
+//! Synthetic random well-behaved patterns, for property tests and for
+//! exercising synthesis beyond the five NAS shapes.
+
+use nocsyn_model::{Flow, Phase, PhaseSchedule};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::WorkloadParams;
+
+/// Generates a schedule of `n_phases` random partial permutations over
+/// `n_procs` processes, seeded for reproducibility.
+///
+/// Each phase pairs a random subset of processes (at least two) under a
+/// random permutation with fixed points dropped — a "well-behaved" pattern
+/// in the paper's sense: static, characterizable, one partial permutation
+/// per contention period.
+///
+/// # Panics
+///
+/// Panics if `n_procs < 2`.
+pub fn random_permutation_schedule(
+    n_procs: usize,
+    n_phases: usize,
+    seed: u64,
+    params: &WorkloadParams,
+) -> PhaseSchedule {
+    assert!(n_procs >= 2, "need at least two processes to communicate");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sched = PhaseSchedule::new(n_procs);
+    for _ in 0..n_phases {
+        let mut procs: Vec<usize> = (0..n_procs).collect();
+        procs.shuffle(&mut rng);
+        // Random participant count in [2, n_procs].
+        let take = rng.gen_range(2..=n_procs);
+        let mut participants = procs[..take].to_vec();
+        participants.sort_unstable();
+        let mut targets = participants.clone();
+        targets.shuffle(&mut rng);
+
+        let mut phase = Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+        for (&s, &d) in participants.iter().zip(targets.iter()) {
+            if s != d {
+                phase
+                    .add(Flow::from_indices(s, d))
+                    .expect("permutation pairing is injective both ways");
+            }
+        }
+        if !phase.is_empty() {
+            sched.push(phase).expect("participants are in range");
+        }
+    }
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = WorkloadParams::default();
+        let a = random_permutation_schedule(8, 5, 42, &p);
+        let b = random_permutation_schedule(8, 5, 42, &p);
+        assert_eq!(a, b);
+        let c = random_permutation_schedule(8, 5, 43, &p);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn phases_are_partial_permutations() {
+        let p = WorkloadParams::default();
+        let sched = random_permutation_schedule(12, 20, 7, &p);
+        for phase in sched.iter() {
+            let mut sources = std::collections::BTreeSet::new();
+            let mut dests = std::collections::BTreeSet::new();
+            for f in phase.iter() {
+                assert_ne!(f.src, f.dst);
+                assert!(sources.insert(f.src), "duplicate source in phase");
+                assert!(dests.insert(f.dst), "duplicate destination in phase");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_params() {
+        let p = WorkloadParams::default().with_bytes(128).with_compute(999);
+        let sched = random_permutation_schedule(4, 3, 1, &p);
+        for phase in sched.iter() {
+            assert_eq!(phase.bytes(), 128);
+            assert_eq!(phase.compute_ticks(), 999);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_tiny_systems() {
+        let _ = random_permutation_schedule(1, 1, 0, &WorkloadParams::default());
+    }
+}

@@ -1,0 +1,181 @@
+//! Synthetic open-loop traffic for stress testing: the classic NoC
+//! evaluation patterns (uniform random, transpose, hotspot).
+//!
+//! The paper synthesizes for *known* patterns; these generators produce
+//! the **unknown** traffic that regular topologies are built for, so the
+//! `load_latency` experiment can show the other side of the trade-off: a
+//! specialized network saturates earlier than a mesh once traffic stops
+//! matching its application.
+
+use nocsyn_model::{Message, ProcId, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Destination selection for [`open_loop_traffic`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficPattern {
+    /// Every message picks a destination uniformly at random.
+    UniformRandom,
+    /// Process `i` always sends to `(i + n/2) % n` (a fixed permutation
+    /// far from nearest-neighbor).
+    Complement,
+    /// A fraction of messages target one hot process; the rest are
+    /// uniform.
+    Hotspot {
+        /// The hot destination.
+        hot: usize,
+        /// Fraction of traffic aimed at it, in `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+/// Generates an open-loop trace: each process injects messages as a
+/// Bernoulli process with probability `injection_rate` per cycle slot
+/// (slots of `message_bytes` duration), for `duration` cycles.
+///
+/// Message finish times are nominal (`start + bytes`); only the starts
+/// matter when the trace is replayed through
+/// [`run_trace`](../nocsyn_sim/fn.run_trace.html).
+///
+/// # Panics
+///
+/// Panics if `n_procs < 2`, `injection_rate` is outside `[0, 1]`, or a
+/// hotspot pattern names an out-of-range process.
+pub fn open_loop_traffic(
+    n_procs: usize,
+    pattern: TrafficPattern,
+    injection_rate: f64,
+    duration: u64,
+    message_bytes: u32,
+    seed: u64,
+) -> Trace {
+    assert!(n_procs >= 2, "need at least two processes");
+    assert!(
+        (0.0..=1.0).contains(&injection_rate),
+        "injection rate is a probability"
+    );
+    if let TrafficPattern::Hotspot { hot, fraction } = pattern {
+        assert!(hot < n_procs, "hotspot process out of range");
+        assert!((0.0..=1.0).contains(&fraction), "hotspot fraction is a probability");
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Trace::new(n_procs);
+    let slot = u64::from(message_bytes.max(1));
+    let mut t = 0;
+    while t < duration {
+        for src in 0..n_procs {
+            if !rng.gen_bool(injection_rate) {
+                continue;
+            }
+            let dst = match pattern {
+                TrafficPattern::UniformRandom => {
+                    let mut d = rng.gen_range(0..n_procs - 1);
+                    if d >= src {
+                        d += 1;
+                    }
+                    d
+                }
+                TrafficPattern::Complement => (src + n_procs / 2) % n_procs,
+                TrafficPattern::Hotspot { hot, fraction } => {
+                    if src != hot && rng.gen_bool(fraction) {
+                        hot
+                    } else {
+                        let mut d = rng.gen_range(0..n_procs - 1);
+                        if d >= src {
+                            d += 1;
+                        }
+                        d
+                    }
+                }
+            };
+            if dst == src {
+                continue; // complement pattern with odd n can self-pair
+            }
+            trace
+                .push(
+                    Message::new(ProcId(src), ProcId(dst), t, t + slot)
+                        .expect("src != dst by construction")
+                        .with_bytes(message_bytes),
+                )
+                .expect("procs in range by construction");
+        }
+        t += slot;
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_traffic_is_deterministic_and_in_range() {
+        let a = open_loop_traffic(8, TrafficPattern::UniformRandom, 0.5, 4_096, 128, 7);
+        let b = open_loop_traffic(8, TrafficPattern::UniformRandom, 0.5, 4_096, 128, 7);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for m in a.messages() {
+            assert_ne!(m.src(), m.dst());
+            assert!(m.src().index() < 8 && m.dst().index() < 8);
+        }
+    }
+
+    #[test]
+    fn rate_scales_message_count() {
+        let low = open_loop_traffic(8, TrafficPattern::UniformRandom, 0.1, 8_192, 128, 1);
+        let high = open_loop_traffic(8, TrafficPattern::UniformRandom, 0.8, 8_192, 128, 1);
+        assert!(high.len() > 4 * low.len());
+    }
+
+    #[test]
+    fn complement_is_a_fixed_permutation() {
+        let t = open_loop_traffic(8, TrafficPattern::Complement, 1.0, 1_024, 128, 3);
+        for m in t.messages() {
+            assert_eq!(m.dst().index(), (m.src().index() + 4) % 8);
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let t = open_loop_traffic(
+            8,
+            TrafficPattern::Hotspot { hot: 3, fraction: 0.7 },
+            0.5,
+            8_192,
+            128,
+            9,
+        );
+        let to_hot = t.messages().filter(|m| m.dst().index() == 3).count();
+        assert!(
+            to_hot as f64 > 0.5 * t.len() as f64,
+            "{to_hot} of {} messages hit the hotspot",
+            t.len()
+        );
+    }
+
+    #[test]
+    fn zero_rate_is_empty() {
+        let t = open_loop_traffic(4, TrafficPattern::UniformRandom, 0.0, 1_000, 64, 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_systems_rejected() {
+        let _ = open_loop_traffic(1, TrafficPattern::UniformRandom, 0.5, 100, 64, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hotspot_bounds_checked() {
+        let _ = open_loop_traffic(
+            4,
+            TrafficPattern::Hotspot { hot: 9, fraction: 0.5 },
+            0.5,
+            100,
+            64,
+            0,
+        );
+    }
+}

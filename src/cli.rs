@@ -1,0 +1,438 @@
+//! The `nocsyn` command-line front end, as a library for testability.
+//!
+//! ```text
+//! nocsyn info <pattern.txt>                 inspect a communication pattern
+//! nocsyn synth <pattern.txt> [opts]         synthesize a network for it
+//! nocsyn simulate <pattern.txt> [opts]      run it on a network, closed-loop
+//! nocsyn verify <pattern.txt> [opts]        Theorem 1 check on a baseline
+//! ```
+//!
+//! Patterns use the plain-text format of [`nocsyn_model::text`]. The
+//! binary in `src/main.rs` is a thin wrapper over [`run`].
+
+use std::fmt::Write as _;
+
+use nocsyn_floorplan::{mesh_baseline, place};
+use nocsyn_model::{parse_schedule, parse_trace, PhaseSchedule, Trace};
+use nocsyn_sim::{AppDriver, RoutePolicy, SimConfig};
+use nocsyn_synth::{explain, synthesize, AppPattern, SynthesisConfig};
+use nocsyn_topo::{regular, to_dot, verify_contention_free, Network, RouteTable};
+
+const HELP: &str = "\
+nocsyn — contention-aware synthesis of application-specific interconnects
+
+USAGE:
+    nocsyn <command> <pattern.txt> [options]
+
+COMMANDS:
+    info       print the pattern's flows, contention set and contention periods
+    synth      synthesize a minimal low-contention network for the pattern
+    simulate   run the pattern closed-loop on a network
+    verify     check Theorem 1 for the pattern on a baseline network
+    help       print this message
+
+OPTIONS (synth):
+    --max-degree <n>   switch port budget, processor links included [default 5]
+    --seed <n>         search seed [default 0xC0FFEE]
+    --restarts <n>     independent search restarts [default 8]
+    --explain          per-switch / per-pipe breakdown of the result
+    --dot              print the generated network as Graphviz DOT
+
+OPTIONS (simulate, verify):
+    --network <kind>   generated | mesh | torus | crossbar [default generated]
+    --seed <n>         synthesis seed when kind is generated
+
+PATTERN FORMAT:
+    procs 8
+    phase bytes=4096 compute=1000
+      0 -> 1
+      2 -> 3
+    repeat 4
+";
+
+/// Parsed command-line options.
+struct Options {
+    max_degree: usize,
+    seed: u64,
+    restarts: usize,
+    dot: bool,
+    explain: bool,
+    network: String,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        max_degree: 5,
+        seed: 0xC0FFEE,
+        restarts: 8,
+        dot: false,
+        explain: false,
+        network: "generated".into(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--max-degree" => {
+                opts.max_degree = value("--max-degree")?
+                    .parse()
+                    .map_err(|_| "--max-degree expects an integer".to_string())?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--restarts" => {
+                opts.restarts = value("--restarts")?
+                    .parse()
+                    .map_err(|_| "--restarts expects a positive integer".to_string())?;
+                if opts.restarts == 0 {
+                    return Err("--restarts must be at least 1".into());
+                }
+            }
+            "--dot" => opts.dot = true,
+            "--explain" => opts.explain = true,
+            "--network" => {
+                opts.network = value("--network")?;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Executes the CLI for the given arguments (without the program name)
+/// and returns its stdout text.
+///
+/// # Errors
+///
+/// A human-readable message for any usage, parse, synthesis or
+/// simulation failure.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let Some(command) = args.first() else {
+        return Ok(HELP.to_string());
+    };
+    if command == "help" || command == "--help" || command == "-h" {
+        return Ok(HELP.to_string());
+    }
+    let Some(path) = args.get(1) else {
+        return Err(format!("`{command}` requires a pattern file"));
+    };
+    let opts = parse_options(&args[2..])?;
+    let input = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let parsed = parse_input(path, &input)?;
+
+    match (command.as_str(), parsed) {
+        ("info", Input::Schedule(s)) => cmd_info(&AppPattern::from_schedule(&s), s.len()),
+        ("info", Input::Trace(t)) => cmd_info(&AppPattern::from_trace(&t), t.len()),
+        ("synth", Input::Schedule(s)) => cmd_synth(&AppPattern::from_schedule(&s), &opts),
+        ("synth", Input::Trace(t)) => cmd_synth(&AppPattern::from_trace(&t), &opts),
+        ("simulate", Input::Schedule(s)) => cmd_simulate(&s, &opts),
+        ("simulate", Input::Trace(t)) => cmd_replay(&t, &opts),
+        ("verify", Input::Schedule(s)) => cmd_verify_pattern(&AppPattern::from_schedule(&s), &s, &opts),
+        ("verify", Input::Trace(t)) => {
+            let stand_in = schedule_stand_in(&t);
+            cmd_verify_pattern(&AppPattern::from_trace(&t), &stand_in, &opts)
+        }
+        (other, _) => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// A parsed input file: a phase schedule or a timed trace (detected by
+/// the presence of `msg` lines).
+enum Input {
+    Schedule(PhaseSchedule),
+    Trace(Trace),
+}
+
+fn parse_input(path: &str, input: &str) -> Result<Input, String> {
+    let is_trace = input
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .any(|l| l.starts_with("msg "));
+    if is_trace {
+        Ok(Input::Trace(parse_trace(input).map_err(|e| format!("{path}: {e}"))?))
+    } else {
+        Ok(Input::Schedule(parse_schedule(input).map_err(|e| format!("{path}: {e}"))?))
+    }
+}
+
+/// An empty schedule with the trace's process count, for code paths that
+/// only need the processor count (network construction).
+fn schedule_stand_in(trace: &Trace) -> PhaseSchedule {
+    PhaseSchedule::new(trace.n_procs())
+}
+
+fn cmd_info(pattern: &AppPattern, n_events: usize) -> Result<String, String> {
+    let mut out = String::new();
+    let _ = writeln!(out, "{pattern}");
+    let _ = writeln!(
+        out,
+        "events: {n_events} ({} distinct periods)",
+        pattern.cliques().len()
+    );
+    for (i, clique) in pattern.cliques().iter().enumerate() {
+        let _ = writeln!(out, "  period {}: {clique}", i + 1);
+    }
+    Ok(out)
+}
+
+fn cmd_synth(pattern: &AppPattern, opts: &Options) -> Result<String, String> {
+    let config = SynthesisConfig::new()
+        .with_max_degree(opts.max_degree)
+        .with_seed(opts.seed)
+        .with_restarts(opts.restarts);
+    let result = synthesize(pattern, &config).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", result.report);
+    let _ = writeln!(out, "\n{}", result.network);
+
+    let check = verify_contention_free(pattern.contention(), &result.routes);
+    let _ = writeln!(out, "{check}");
+
+    if opts.explain {
+        let _ = writeln!(out, "\n{}", explain(&result, pattern));
+    }
+
+    let (rows, cols) = near_square(pattern.n_procs());
+    let plan = place(&result.network, opts.seed);
+    let area = plan.area(&result.network);
+    let mesh = mesh_baseline(rows, cols);
+    let _ = writeln!(
+        out,
+        "area vs {rows}x{cols} mesh: switch {:.0}%, link {:.0}%",
+        100.0 * area.switch_area / mesh.switch_area,
+        100.0 * area.link_area / mesh.link_area.max(1.0),
+    );
+    if opts.dot {
+        let _ = writeln!(out, "\n{}", to_dot(&result.network));
+    }
+    Ok(out)
+}
+
+fn cmd_simulate(schedule: &PhaseSchedule, opts: &Options) -> Result<String, String> {
+    let (net, policy) = build_network(schedule, opts)?;
+    let plan = place(&net, opts.seed);
+    let config = SimConfig::paper().with_link_delays(plan.link_lengths(&net));
+    let stats = AppDriver::new(&net, policy, config)
+        .run(schedule)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "network: {} ({} switches, {} links)", opts.network, net.n_switches(), net.n_network_links());
+    let _ = writeln!(out, "{stats}");
+    let _ = writeln!(
+        out,
+        "packet latency: mean {:.1}, max {}; deadlock kills: {}",
+        stats.packets.mean_latency, stats.packets.max_latency, stats.packets.deadlock_kills
+    );
+    Ok(out)
+}
+
+fn cmd_verify_pattern(
+    pattern: &AppPattern,
+    schedule: &PhaseSchedule,
+    opts: &Options,
+) -> Result<String, String> {
+    let (_, policy) = build_network_for(pattern, schedule, opts)?;
+    // Deterministic table: take the first-alternative route per flow.
+    let routes = policy_table(&policy, pattern)?;
+    let report = verify_contention_free(pattern.contention(), &routes);
+    Ok(format!("{report}\n"))
+}
+
+/// Open-loop replay of a timed trace (`simulate` on trace input).
+fn cmd_replay(trace: &Trace, opts: &Options) -> Result<String, String> {
+    let stand_in = schedule_stand_in(trace);
+    let pattern = AppPattern::from_trace(trace);
+    let (net, policy) = build_network_for(&pattern, &stand_in, opts)?;
+    let plan = place(&net, opts.seed);
+    let config = SimConfig::paper().with_link_delays(plan.link_lengths(&net));
+    let stats = nocsyn_sim::run_trace(&net, &policy, config, trace).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "network: {} ({} switches, {} links); open-loop trace replay",
+        opts.network,
+        net.n_switches(),
+        net.n_network_links()
+    );
+    let _ = writeln!(out, "{stats}");
+    Ok(out)
+}
+
+/// Builds the requested comparison network for a schedule.
+fn build_network(
+    schedule: &PhaseSchedule,
+    opts: &Options,
+) -> Result<(Network, RoutePolicy), String> {
+    build_network_for(&AppPattern::from_schedule(schedule), schedule, opts)
+}
+
+/// Builds the requested comparison network for an explicit pattern (the
+/// schedule is only consulted for the process count).
+fn build_network_for(
+    pattern: &AppPattern,
+    schedule: &PhaseSchedule,
+    opts: &Options,
+) -> Result<(Network, RoutePolicy), String> {
+    let n = schedule.n_procs().max(pattern.n_procs());
+    let (rows, cols) = near_square(n);
+    match opts.network.as_str() {
+        "crossbar" => {
+            let (net, routes) = regular::crossbar(n).map_err(|e| e.to_string())?;
+            Ok((net, RoutePolicy::deterministic(routes)))
+        }
+        "mesh" => {
+            let (net, routes) = regular::mesh(rows, cols).map_err(|e| e.to_string())?;
+            Ok((net, RoutePolicy::deterministic(routes)))
+        }
+        "torus" => {
+            let (net, xy, yx) =
+                regular::torus_with_alternates(rows, cols).map_err(|e| e.to_string())?;
+            Ok((net, RoutePolicy::adaptive(vec![xy, yx])))
+        }
+        "generated" => {
+            let config = SynthesisConfig::new()
+                .with_max_degree(opts.max_degree)
+                .with_seed(opts.seed)
+                .with_restarts(opts.restarts);
+            let result = synthesize(pattern, &config).map_err(|e| e.to_string())?;
+            Ok((result.network, RoutePolicy::deterministic(result.routes)))
+        }
+        other => Err(format!(
+            "unknown network `{other}` (expected generated|mesh|torus|crossbar)"
+        )),
+    }
+}
+
+/// Extracts a deterministic route table covering the pattern's flows from
+/// a policy: the zero-load (first-alternative) choice per flow, which is
+/// what a static Theorem 1 check should see.
+fn policy_table(policy: &RoutePolicy, pattern: &AppPattern) -> Result<RouteTable, String> {
+    let mut table = RouteTable::new();
+    for &flow in pattern.flows() {
+        let route = policy
+            .first_route(flow)
+            .ok_or_else(|| format!("no route for flow {flow}"))?;
+        table.insert(flow, route.clone());
+    }
+    Ok(table)
+}
+
+/// Most-square factorization of `n`.
+fn near_square(n: usize) -> (usize, usize) {
+    let mut r = (n as f64).sqrt().floor() as usize;
+    while r > 1 && !n.is_multiple_of(r) {
+        r -= 1;
+    }
+    (r.max(1), n / r.max(1))
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_pattern(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(format!("nocsyn-cli-test-{name}.txt"));
+        std::fs::write(&path, content).expect("temp dir is writable");
+        path.to_string_lossy().into_owned()
+    }
+
+    const PATTERN: &str = "procs 4\nphase bytes=256\n  0 -> 1\n  2 -> 3\nphase bytes=256\n  1 -> 2\n  3 -> 0\n";
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_without_arguments() {
+        let out = run(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(run(&args(&["help"])).unwrap().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn info_reports_periods() {
+        let path = write_pattern("info", PATTERN);
+        let out = run(&args(&["info", &path])).unwrap();
+        assert!(out.contains("4 procs"));
+        assert!(out.contains("period 1"));
+    }
+
+    #[test]
+    fn synth_reports_network_and_theorem1() {
+        let path = write_pattern("synth", PATTERN);
+        let out = run(&args(&["synth", &path, "--restarts", "2", "--seed", "3"])).unwrap();
+        assert!(out.contains("synthesized"));
+        assert!(out.contains("contention-free: C ∩ R = ∅"));
+        assert!(out.contains("area vs 2x2 mesh"));
+    }
+
+    #[test]
+    fn synth_explain_breaks_down_pipes() {
+        let path = write_pattern("explain", PATTERN);
+        let out = run(&args(&["synth", &path, "--restarts", "1", "--explain"])).unwrap();
+        assert!(out.contains("pipes:"));
+        assert!(out.contains("switches:"));
+    }
+
+    #[test]
+    fn synth_dot_emits_graphviz() {
+        let path = write_pattern("dot", PATTERN);
+        let out = run(&args(&["synth", &path, "--restarts", "1", "--dot"])).unwrap();
+        assert!(out.contains("graph network {"));
+    }
+
+    #[test]
+    fn simulate_on_each_network_kind() {
+        let path = write_pattern("sim", PATTERN);
+        for kind in ["crossbar", "mesh", "torus", "generated"] {
+            let out = run(&args(&["simulate", &path, "--network", kind, "--restarts", "1"]))
+                .unwrap();
+            assert!(out.contains("exec"), "{kind}: {out}");
+            assert!(out.contains("deadlock kills: 0"), "{kind}");
+        }
+    }
+
+    #[test]
+    fn verify_flags_contention_on_baselines() {
+        let path = write_pattern("verify", PATTERN);
+        let out = run(&args(&["verify", &path, "--network", "crossbar"])).unwrap();
+        assert!(out.contains("contention-free"));
+    }
+
+    #[test]
+    fn trace_input_is_autodetected() {
+        let trace = "procs 4\nmsg 0 -> 1 start=0 finish=200 bytes=256\nmsg 2 -> 3 start=0 finish=200 bytes=256\n";
+        let path = write_pattern("trace", trace);
+        let info = run(&args(&["info", &path])).unwrap();
+        assert!(info.contains("4 procs"));
+        let synth = run(&args(&["synth", &path, "--restarts", "1"])).unwrap();
+        assert!(synth.contains("contention-free"));
+        let replay = run(&args(&["simulate", &path, "--network", "mesh"])).unwrap();
+        assert!(replay.contains("open-loop trace replay"));
+        assert!(replay.contains("2 delivered"));
+        let verify = run(&args(&["verify", &path, "--network", "crossbar"])).unwrap();
+        assert!(verify.contains("contention-free"));
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(run(&args(&["synth"])).is_err()); // missing file
+        assert!(run(&args(&["bogus", "x"])).is_err());
+        assert!(run(&args(&["info", "/nonexistent-nocsyn-file"])).is_err());
+        let path = write_pattern("badopt", PATTERN);
+        assert!(run(&args(&["synth", &path, "--max-degree", "lots"])).is_err());
+        assert!(run(&args(&["synth", &path, "--restarts", "0"])).is_err());
+        assert!(run(&args(&["simulate", &path, "--network", "hypercube"])).is_err());
+        assert!(run(&args(&["synth", &path, "--wat"])).is_err());
+        let bad = write_pattern("badpattern", "phase\n 0 -> 1\n");
+        assert!(run(&args(&["info", &bad])).is_err());
+    }
+}

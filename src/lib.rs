@@ -1,0 +1,17 @@
+//! `nocsyn` — contention-aware synthesis of application-specific on-chip
+//! interconnects.
+//!
+//! Facade crate re-exporting the whole workspace. See the individual crates
+//! for details; `README.md` has the architecture overview.
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use nocsyn_coloring as coloring;
+pub use nocsyn_floorplan as floorplan;
+pub use nocsyn_model as model;
+pub use nocsyn_sim as sim;
+pub use nocsyn_synth as synth;
+pub use nocsyn_topo as topo;
+pub use nocsyn_workloads as workloads;

@@ -1,0 +1,21 @@
+//! `nocsyn` — command-line front end for the interconnect synthesizer.
+//!
+//! All logic lives in [`nocsyn::cli`]; this wrapper only maps the result
+//! onto the process exit code.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match nocsyn::cli::run(&args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `nocsyn help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! End-to-end integration: workload generation → contention model →
+//! synthesis → verification → floorplan → simulation, across crates.
+
+use nocsyn::floorplan::place;
+use nocsyn::sim::{AppDriver, RoutePolicy, SimConfig};
+use nocsyn::synth::{synthesize, AppPattern, SynthesisConfig};
+use nocsyn::topo::verify_contention_free;
+use nocsyn::workloads::{Benchmark, WorkloadParams};
+
+/// Light parameters so debug-mode simulation stays fast.
+fn light(benchmark: Benchmark) -> WorkloadParams {
+    WorkloadParams::paper_default(benchmark)
+        .with_iterations(1)
+        .with_bytes(256)
+        .with_compute(100)
+}
+
+fn fast_config(seed: u64) -> SynthesisConfig {
+    SynthesisConfig::new().with_seed(seed).with_restarts(2)
+}
+
+#[test]
+fn every_benchmark_synthesizes_and_simulates_small() {
+    for benchmark in Benchmark::ALL {
+        let n = benchmark.paper_procs(false);
+        let schedule = benchmark.schedule(n, &light(benchmark)).unwrap();
+        let pattern = AppPattern::from_schedule(&schedule);
+        let result = synthesize(&pattern, &fast_config(1)).unwrap();
+
+        // Structural validity.
+        assert!(result.network.is_strongly_connected(), "{benchmark}");
+        result.routes.validate(&result.network).unwrap();
+
+        // Theorem 1 (independent re-check, not the report flag).
+        let check = verify_contention_free(pattern.contention(), &result.routes);
+        assert!(
+            check.is_contention_free(),
+            "{benchmark}: {check}"
+        );
+
+        // Simulation delivers every message with no deadlock.
+        let plan = place(&result.network, 2);
+        let sim = SimConfig::paper().with_link_delays(plan.link_lengths(&result.network));
+        let stats = AppDriver::new(
+            &result.network,
+            RoutePolicy::deterministic(result.routes.clone()),
+            sim,
+        )
+        .run(&schedule)
+        .unwrap();
+        let expected: u64 = schedule.iter().map(|p| p.len() as u64).sum();
+        assert_eq!(stats.delivered, expected, "{benchmark}");
+        assert_eq!(stats.packets.deadlock_kills, 0, "{benchmark}");
+    }
+}
+
+#[test]
+fn generated_network_never_uses_more_switches_than_procs() {
+    for benchmark in [Benchmark::Cg, Benchmark::Mg] {
+        let n = benchmark.paper_procs(true);
+        let schedule = benchmark.schedule(n, &light(benchmark)).unwrap();
+        let result = synthesize(
+            &AppPattern::from_schedule(&schedule),
+            &fast_config(3),
+        )
+        .unwrap();
+        assert!(result.network.n_switches() <= n);
+        assert!(result.report.constraints_met);
+    }
+}
+
+#[test]
+fn synthesis_is_deterministic_per_seed_across_the_stack() {
+    let schedule = Benchmark::Cg.schedule(8, &light(Benchmark::Cg)).unwrap();
+    let pattern = AppPattern::from_schedule(&schedule);
+    let a = synthesize(&pattern, &fast_config(7)).unwrap();
+    let b = synthesize(&pattern, &fast_config(7)).unwrap();
+    assert_eq!(a.network, b.network);
+    assert_eq!(a.routes, b.routes);
+    assert_eq!(a.placement, b.placement);
+}
+
+#[test]
+fn tighter_degree_constraints_cost_resources() {
+    // Relaxing the degree bound can only reduce (or keep) the number of
+    // switches needed.
+    let schedule = Benchmark::Cg.schedule(16, &light(Benchmark::Cg)).unwrap();
+    let pattern = AppPattern::from_schedule(&schedule);
+    let tight = synthesize(&pattern, &fast_config(5).with_max_degree(4)).unwrap();
+    let loose = synthesize(&pattern, &fast_config(5).with_max_degree(16)).unwrap();
+    assert!(loose.network.n_switches() <= tight.network.n_switches());
+    // With degree 16, the megaswitch itself satisfies the constraint.
+    assert_eq!(loose.network.n_switches(), 1);
+}
