@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Offline CI gate for the hermetic workspace: formatting, lints, then the
+# tier-1 build-and-test pass. Everything runs with --offline — the
+# workspace has zero external dependencies, so no registry access is
+# needed (or allowed).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "CI gate passed."

@@ -1,10 +1,11 @@
 //! Coloring benchmarks: the `O(KL)` fast bound versus real coloring.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use std::collections::BTreeSet;
 
-use nocsyn_coloring::{exact_chromatic, fast_color_directed, greedy_dsatur, two_color, ConflictGraph};
+use nocsyn_bench::timing::Runner;
+use nocsyn_coloring::{
+    exact_chromatic, fast_color_directed, greedy_dsatur, two_color, ConflictGraph,
+};
 use nocsyn_model::{Clique, CliqueSet, ContentionSet, Flow};
 
 /// Deterministic pseudo-random conflict graph of `n` vertices with edge
@@ -24,27 +25,24 @@ fn random_graph(n: usize, mut seed: u64) -> ConflictGraph {
     ConflictGraph::from_edges(n, &edges)
 }
 
-fn bench_graph_coloring(c: &mut Criterion) {
-    let mut group = c.benchmark_group("coloring/graph");
+fn bench_graph_coloring(runner: &Runner) {
     for n in [8usize, 16, 32] {
         let graph = random_graph(n, 42);
-        group.bench_with_input(BenchmarkId::new("dsatur", n), &graph, |b, g| {
-            b.iter(|| greedy_dsatur(g));
+        runner.case(&format!("coloring/graph/dsatur/{n}"), || {
+            greedy_dsatur(&graph)
         });
-        group.bench_with_input(BenchmarkId::new("exact", n), &graph, |b, g| {
-            b.iter(|| exact_chromatic(g));
+        runner.case(&format!("coloring/graph/exact/{n}"), || {
+            exact_chromatic(&graph)
         });
-        group.bench_with_input(BenchmarkId::new("two-color", n), &graph, |b, g| {
-            b.iter(|| two_color(g));
+        runner.case(&format!("coloring/graph/two-color/{n}"), || {
+            two_color(&graph)
         });
     }
-    group.finish();
 }
 
-fn bench_fast_color(c: &mut Criterion) {
+fn bench_fast_color(runner: &Runner) {
     // K cliques of L flows each, with half the flows crossing the probe
     // set: the paper's O(KL) estimate.
-    let mut group = c.benchmark_group("coloring/fast-bound");
     for (k, l) in [(8usize, 8usize), (32, 16), (128, 16), (32, 64)] {
         let cliques = CliqueSet::from_cliques((0..k).map(|i| {
             (0..l)
@@ -58,19 +56,13 @@ fn bench_fast_color(c: &mut Criterion) {
             .filter(|(i, _)| i % 2 == 0)
             .map(|(_, f)| f)
             .collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("K{k}-L{l}")),
-            &(cliques, crossing),
-            |b, (cliques, crossing)| {
-                b.iter(|| fast_color_directed(cliques, crossing));
-            },
-        );
+        runner.case(&format!("coloring/fast-bound/K{k}-L{l}"), || {
+            fast_color_directed(&cliques, &crossing)
+        });
     }
-    group.finish();
 }
 
-fn bench_conflict_graph_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("coloring/build");
+fn bench_conflict_graph_build(runner: &Runner) {
     for n in [16usize, 64, 256] {
         let flows: Vec<Flow> = (0..n).map(|i| Flow::from_indices(i, i + n)).collect();
         let mut contention = ContentionSet::new();
@@ -81,21 +73,15 @@ fn bench_conflict_graph_build(c: &mut Criterion) {
                 }
             }
         }
-        group.bench_with_input(
-            BenchmarkId::from_parameter(n),
-            &(flows, contention),
-            |b, (flows, contention)| {
-                b.iter(|| ConflictGraph::from_flows(flows.clone(), contention));
-            },
-        );
+        runner.case(&format!("coloring/build/{n}"), || {
+            ConflictGraph::from_flows(flows.clone(), &contention)
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_graph_coloring,
-    bench_fast_color,
-    bench_conflict_graph_build
-);
-criterion_main!(benches);
+fn main() {
+    let runner = Runner::from_env();
+    bench_graph_coloring(&runner);
+    bench_fast_color(&runner);
+    bench_conflict_graph_build(&runner);
+}

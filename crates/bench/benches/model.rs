@@ -1,10 +1,7 @@
 //! Contention-model extraction benchmarks: overlap relation, contention
 //! set and clique set scaling with trace size.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use nocsyn_bench::timing::Runner;
 use nocsyn_model::Trace;
 use nocsyn_workloads::{random_permutation_schedule, Benchmark, WorkloadParams};
 
@@ -18,44 +15,36 @@ fn trace_of_size(n_procs: usize, n_phases: usize) -> Trace {
     .to_trace()
 }
 
-fn bench_extraction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("model/extract");
-    group.sample_size(30).measurement_time(Duration::from_secs(5));
+fn bench_extraction(runner: &Runner) {
     for (n, phases) in [(8usize, 16usize), (16, 64), (32, 128)] {
         let trace = trace_of_size(n, phases);
-        group.bench_with_input(
-            BenchmarkId::new("contention-set", format!("{n}x{phases}")),
-            &trace,
-            |b, t| b.iter(|| t.contention_set()),
+        runner.case(
+            &format!("model/extract/contention-set/{n}x{phases}"),
+            || trace.contention_set(),
         );
-        group.bench_with_input(
-            BenchmarkId::new("max-cliques", format!("{n}x{phases}")),
-            &trace,
-            |b, t| b.iter(|| t.maximum_clique_set()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("overlap", format!("{n}x{phases}")),
-            &trace,
-            |b, t| b.iter(|| t.overlap_relation()),
-        );
+        runner.case(&format!("model/extract/max-cliques/{n}x{phases}"), || {
+            trace.maximum_clique_set()
+        });
+        runner.case(&format!("model/extract/overlap/{n}x{phases}"), || {
+            trace.overlap_relation()
+        });
     }
-    group.finish();
 }
 
-fn bench_benchmark_patterns(c: &mut Criterion) {
-    let mut group = c.benchmark_group("model/benchmark-patterns");
+fn bench_benchmark_patterns(runner: &Runner) {
     for benchmark in Benchmark::ALL {
         let schedule = benchmark
             .schedule(16, &WorkloadParams::paper_default(benchmark))
             .unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(benchmark.name()),
-            &schedule,
-            |b, s| b.iter(|| s.maximum_clique_set()),
+        runner.case(
+            &format!("model/benchmark-patterns/{}", benchmark.name()),
+            || schedule.maximum_clique_set(),
         );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_extraction, bench_benchmark_patterns);
-criterion_main!(benches);
+fn main() {
+    let runner = Runner::from_env();
+    bench_extraction(&runner);
+    bench_benchmark_patterns(&runner);
+}

@@ -1,41 +1,31 @@
 //! Simulator benchmarks: engine throughput and closed-loop run cost.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use nocsyn_bench::timing::Runner;
 use nocsyn_model::Flow;
 use nocsyn_sim::{AppDriver, Engine, RoutePolicy, SimConfig};
 use nocsyn_topo::regular;
 use nocsyn_workloads::{Benchmark, WorkloadParams};
 
-fn bench_open_loop(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim/open-loop-mesh");
-    group.sample_size(20).measurement_time(Duration::from_secs(6));
+fn bench_open_loop(runner: &Runner) {
     for n in [4usize, 16] {
         let side = (n as f64).sqrt() as usize;
         let (net, routes) = regular::mesh(side, side).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(net, routes), |b, (net, routes)| {
-            b.iter(|| {
-                let mut eng = Engine::new(net, SimConfig::paper());
-                // A full random-ish permutation of 1 KiB messages.
-                for s in 0..n {
-                    let flow = Flow::from_indices(s, (s + n / 2 + 1) % n);
-                    if flow.src != flow.dst {
-                        eng.inject(flow, 1024, routes.route(flow).unwrap(), 0, 0);
-                    }
+        runner.case(&format!("sim/open-loop-mesh/{n}"), || {
+            let mut eng = Engine::new(&net, SimConfig::paper());
+            // A full random-ish permutation of 1 KiB messages.
+            for s in 0..n {
+                let flow = Flow::from_indices(s, (s + n / 2 + 1) % n);
+                if flow.src != flow.dst {
+                    eng.inject(flow, 1024, routes.route(flow).unwrap(), 0, 0);
                 }
-                eng.run_until_idle().unwrap();
-                eng.packet_stats().delivered
-            });
+            }
+            eng.run_until_idle().unwrap();
+            eng.packet_stats().delivered
         });
     }
-    group.finish();
 }
 
-fn bench_closed_loop(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim/closed-loop");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+fn bench_closed_loop(runner: &Runner) {
     let schedule = Benchmark::Cg
         .schedule(
             16,
@@ -45,21 +35,21 @@ fn bench_closed_loop(c: &mut Criterion) {
         )
         .unwrap();
     for kind in ["crossbar", "mesh"] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
-            b.iter(|| {
-                let (net, routes) = match kind {
-                    "crossbar" => regular::crossbar(16).unwrap(),
-                    _ => regular::mesh(4, 4).unwrap(),
-                };
-                AppDriver::new(&net, RoutePolicy::deterministic(routes), SimConfig::paper())
-                    .run(&schedule)
-                    .unwrap()
-                    .exec_cycles
-            });
+        runner.case(&format!("sim/closed-loop/{kind}"), || {
+            let (net, routes) = match kind {
+                "crossbar" => regular::crossbar(16).unwrap(),
+                _ => regular::mesh(4, 4).unwrap(),
+            };
+            AppDriver::new(&net, RoutePolicy::deterministic(routes), SimConfig::paper())
+                .run(&schedule)
+                .unwrap()
+                .exec_cycles
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_open_loop, bench_closed_loop);
-criterion_main!(benches);
+fn main() {
+    let runner = Runner::from_env();
+    bench_open_loop(&runner);
+    bench_closed_loop(&runner);
+}

@@ -5,10 +5,7 @@
 //! * fast vs exact coloring during the search (the central complexity
 //!   lever — DESIGN.md ablation 1).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use nocsyn_bench::timing::Runner;
 use nocsyn_synth::{synthesize, AppPattern, ColoringStrategy, SynthesisConfig};
 use nocsyn_workloads::{Benchmark, WorkloadParams};
 
@@ -17,62 +14,57 @@ fn single_run_config(seed: u64) -> SynthesisConfig {
     SynthesisConfig::new().with_seed(seed).with_restarts(1)
 }
 
-fn bench_by_size(c: &mut Criterion) {
-    let mut group = c.benchmark_group("synthesize/cg");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+fn bench_by_size(runner: &Runner) {
     for n in [4usize, 8, 16, 64] {
         let schedule = Benchmark::Cg
-            .schedule(n, &WorkloadParams::paper_default(Benchmark::Cg).with_iterations(1))
+            .schedule(
+                n,
+                &WorkloadParams::paper_default(Benchmark::Cg).with_iterations(1),
+            )
             .expect("powers of two are valid for CG");
         let pattern = AppPattern::from_schedule(&schedule);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &pattern, |b, pattern| {
-            b.iter(|| synthesize(pattern, &single_run_config(1)).unwrap());
+        runner.case(&format!("synthesize/cg/{n}"), || {
+            synthesize(&pattern, &single_run_config(1)).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_by_benchmark(c: &mut Criterion) {
-    let mut group = c.benchmark_group("synthesize/16procs");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+fn bench_by_benchmark(runner: &Runner) {
     for benchmark in Benchmark::ALL {
         let schedule = benchmark
-            .schedule(16, &WorkloadParams::paper_default(benchmark).with_iterations(1))
+            .schedule(
+                16,
+                &WorkloadParams::paper_default(benchmark).with_iterations(1),
+            )
             .expect("16 is valid for every benchmark");
         let pattern = AppPattern::from_schedule(&schedule);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(benchmark.name()),
-            &pattern,
-            |b, pattern| {
-                b.iter(|| synthesize(pattern, &single_run_config(2)).unwrap());
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_coloring_strategy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("synthesize/coloring-strategy");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
-    let schedule = Benchmark::Cg
-        .schedule(16, &WorkloadParams::paper_default(Benchmark::Cg).with_iterations(1))
-        .expect("16 is valid for CG");
-    let pattern = AppPattern::from_schedule(&schedule);
-    for (name, strategy) in [("fast", ColoringStrategy::Fast), ("exact", ColoringStrategy::Exact)]
-    {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &strategy| {
-            b.iter(|| {
-                synthesize(&pattern, &single_run_config(3).with_coloring(strategy)).unwrap()
-            });
+        runner.case(&format!("synthesize/16procs/{}", benchmark.name()), || {
+            synthesize(&pattern, &single_run_config(2)).unwrap()
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_by_size,
-    bench_by_benchmark,
-    bench_coloring_strategy
-);
-criterion_main!(benches);
+fn bench_coloring_strategy(runner: &Runner) {
+    let schedule = Benchmark::Cg
+        .schedule(
+            16,
+            &WorkloadParams::paper_default(Benchmark::Cg).with_iterations(1),
+        )
+        .expect("16 is valid for CG");
+    let pattern = AppPattern::from_schedule(&schedule);
+    for (name, strategy) in [
+        ("fast", ColoringStrategy::Fast),
+        ("exact", ColoringStrategy::Exact),
+    ] {
+        runner.case(&format!("synthesize/coloring-strategy/{name}"), || {
+            synthesize(&pattern, &single_run_config(3).with_coloring(strategy)).unwrap()
+        });
+    }
+}
+
+fn main() {
+    let runner = Runner::from_env();
+    bench_by_size(&runner);
+    bench_by_benchmark(&runner);
+    bench_coloring_strategy(&runner);
+}

@@ -11,9 +11,7 @@
 
 use std::time::Instant;
 
-use nocsyn_synth::{
-    synthesize, AcceptanceRule, AppPattern, ColoringStrategy, SynthesisConfig,
-};
+use nocsyn_synth::{synthesize, AcceptanceRule, AppPattern, ColoringStrategy, SynthesisConfig};
 use nocsyn_workloads::{Benchmark, WorkloadParams};
 
 struct Variant {
@@ -24,7 +22,10 @@ struct Variant {
 fn variants() -> Vec<Variant> {
     let base = SynthesisConfig::new().with_max_degree(5).with_seed(0xAB1A);
     vec![
-        Variant { name: "paper (fast, indirect, bal 2, greedy)", config: base.clone() },
+        Variant {
+            name: "paper (fast, indirect, bal 2, greedy)",
+            config: base.clone(),
+        },
         Variant {
             name: "exact coloring during search",
             config: base.clone().with_coloring(ColoringStrategy::Exact),

@@ -16,10 +16,7 @@ use nocsyn_synth::{synthesize, AppPattern, SynthesisConfig};
 use nocsyn_topo::verify_contention_free;
 use nocsyn_workloads::figure1;
 
-fn crossing(
-    flows: &BTreeSet<Flow>,
-    side_a: &[ProcId],
-) -> (BTreeSet<Flow>, BTreeSet<Flow>) {
+fn crossing(flows: &BTreeSet<Flow>, side_a: &[ProcId]) -> (BTreeSet<Flow>, BTreeSet<Flow>) {
     let a: BTreeSet<ProcId> = side_a.iter().copied().collect();
     let mut fwd = BTreeSet::new();
     let mut bwd = BTreeSet::new();
@@ -75,6 +72,7 @@ fn main() {
     let result = synthesize(&pattern, &config).expect("CG pattern synthesizes");
     println!("synthesis under max node degree 5:");
     println!("{}", result.report);
+    println!("report (JSON): {}", result.report.to_json());
     println!();
     println!("{}", result.network);
 

@@ -1,30 +1,38 @@
 //! Figure 7 reproduction: switch and link area of generated networks
 //! normalized to a mesh (torus link area shown for reference).
 //!
-//! Usage: `fig7 [--nodes small|large|both]` (default: both).
+//! Usage: `fig7 [--nodes small|large|both] [--json]` (default: both,
+//! human-readable table; `--json` emits one machine-readable array of row
+//! records instead).
 
 use nocsyn_bench::{build_instance, grid_dims, Fig7Row, HarnessError, NetworkKind};
 use nocsyn_floorplan::mesh_baseline;
+use nocsyn_model::json::JsonValue;
 use nocsyn_workloads::{Benchmark, WorkloadParams};
 
-fn parse_configs() -> Vec<bool> {
+fn parse_configs() -> (Vec<bool>, bool) {
     let mut args = std::env::args().skip(1);
     let mut which = "both".to_string();
+    let mut json = false;
     while let Some(a) = args.next() {
         if a == "--nodes" {
             which = args.next().unwrap_or_else(|| "both".into());
+        } else if a == "--json" {
+            json = true;
         }
     }
-    match which.as_str() {
+    let configs = match which.as_str() {
         "small" => vec![false],
         "large" => vec![true],
         _ => vec![false, true],
-    }
+    };
+    (configs, json)
 }
 
 fn row_for(benchmark: Benchmark, large: bool) -> Result<Fig7Row, HarnessError> {
     let n = benchmark.paper_procs(large);
-    let sched = benchmark.schedule(n, &WorkloadParams::paper_default(benchmark))
+    let sched = benchmark
+        .schedule(n, &WorkloadParams::paper_default(benchmark))
         .expect("paper process counts are valid");
     let seed = 0x51ED ^ (n as u64) ^ ((benchmark as u64) << 8);
     let generated = build_instance(NetworkKind::Generated, &sched, seed)?;
@@ -41,7 +49,18 @@ fn row_for(benchmark: Benchmark, large: bool) -> Result<Fig7Row, HarnessError> {
 }
 
 fn main() -> Result<(), HarnessError> {
-    for large in parse_configs() {
+    let (configs, json) = parse_configs();
+    if json {
+        let mut rows = Vec::new();
+        for large in configs {
+            for benchmark in Benchmark::ALL {
+                rows.push(row_for(benchmark, large)?.to_json());
+            }
+        }
+        println!("{}", JsonValue::array(rows));
+        return Ok(());
+    }
+    for large in configs {
         let label = if large {
             "Figure 7(b): 16-node configurations"
         } else {

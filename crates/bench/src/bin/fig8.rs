@@ -2,30 +2,39 @@
 //! mesh, torus and generated networks, normalized to a fully-connected
 //! non-blocking crossbar, measured by closed-loop flit-level simulation.
 //!
-//! Usage: `fig8 [--nodes small|large|both]` (default: both). Run in
-//! release mode; the 16-node FFT simulation covers hundreds of thousands
-//! of cycles.
+//! Usage: `fig8 [--nodes small|large|both] [--json]` (default: both,
+//! human-readable table; `--json` emits one machine-readable array of row
+//! records instead). Run in release mode; the 16-node FFT simulation
+//! covers hundreds of thousands of cycles.
 
 use nocsyn_bench::{build_instance, Fig8Row, HarnessError, NetworkKind};
+use nocsyn_model::json::JsonValue;
 use nocsyn_sim::ExecutionStats;
 use nocsyn_workloads::{Benchmark, WorkloadParams};
 
-fn parse_configs() -> Vec<bool> {
+fn parse_configs() -> (Vec<bool>, bool) {
     let mut args = std::env::args().skip(1);
     let mut which = "both".to_string();
+    let mut json = false;
     while let Some(a) = args.next() {
         if a == "--nodes" {
             which = args.next().unwrap_or_else(|| "both".into());
+        } else if a == "--json" {
+            json = true;
         }
     }
-    match which.as_str() {
+    let configs = match which.as_str() {
         "small" => vec![false],
         "large" => vec![true],
         _ => vec![false, true],
-    }
+    };
+    (configs, json)
 }
 
-fn row_for(benchmark: Benchmark, large: bool) -> Result<(Fig8Row, [ExecutionStats; 4]), HarnessError> {
+fn row_for(
+    benchmark: Benchmark,
+    large: bool,
+) -> Result<(Fig8Row, [ExecutionStats; 4]), HarnessError> {
     let n = benchmark.paper_procs(large);
     let sched = benchmark
         .schedule(n, &WorkloadParams::paper_default(benchmark))
@@ -61,7 +70,24 @@ fn row_for(benchmark: Benchmark, large: bool) -> Result<(Fig8Row, [ExecutionStat
 }
 
 fn main() -> Result<(), HarnessError> {
-    for large in parse_configs() {
+    let (configs, json) = parse_configs();
+    if json {
+        let mut rows = Vec::new();
+        for large in configs {
+            for benchmark in Benchmark::ALL {
+                let (row, stats) = row_for(benchmark, large)?;
+                let kills: u64 = stats.iter().map(|s| s.packets.deadlock_kills).sum();
+                let mut record = row.to_json();
+                if let JsonValue::Object(pairs) = &mut record {
+                    pairs.push(("deadlock_kills".into(), JsonValue::from(kills)));
+                }
+                rows.push(record);
+            }
+        }
+        println!("{}", JsonValue::array(rows));
+        return Ok(());
+    }
+    for large in configs {
         let label = if large {
             "Figure 8(b): 16-node configurations"
         } else {

@@ -28,14 +28,7 @@ fn main() -> Result<(), HarnessError> {
         "inj. rate", "mesh", "generated", "gen pays"
     );
     for rate in [0.05f64, 0.20, 0.40, 0.65, 0.90] {
-        let trace = open_loop_traffic(
-            16,
-            TrafficPattern::UniformRandom,
-            rate,
-            30_000,
-            128,
-            0xBEEF,
-        );
+        let trace = open_loop_traffic(16, TrafficPattern::UniformRandom, rate, 30_000, 128, 0xBEEF);
         let mut lat = Vec::new();
         for (_, inst) in &instances {
             let config = SimConfig::paper()

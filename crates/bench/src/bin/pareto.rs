@@ -16,8 +16,8 @@ fn main() -> Result<(), HarnessError> {
         let config = SynthesisConfig::new()
             .with_seed(0x9A_u64 ^ (benchmark as u64))
             .with_restarts(8);
-        let points = degree_sweep(&pattern, [4, 5, 6, 8, 12, 17], &config)
-            .map_err(HarnessError::Synth)?;
+        let points =
+            degree_sweep(&pattern, [4, 5, 6, 8, 12, 17], &config).map_err(HarnessError::Synth)?;
         println!("  {}:", benchmark.name());
         for p in points {
             println!(
@@ -25,7 +25,11 @@ fn main() -> Result<(), HarnessError> {
                 p.max_degree,
                 p.n_switches,
                 p.n_links,
-                if p.feasible { "" } else { "  (constraint NOT met)" }
+                if p.feasible {
+                    ""
+                } else {
+                    "  (constraint NOT met)"
+                }
             );
         }
     }

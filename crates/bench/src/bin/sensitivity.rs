@@ -18,7 +18,10 @@ fn main() -> Result<(), HarnessError> {
         .schedule(n, &WorkloadParams::paper_default(Benchmark::Cg))
         .expect("16 is valid for CG");
     let host = build_instance(NetworkKind::Generated, &cg_sched, 0xC6)?;
-    let synth = host.synthesis.as_ref().expect("generated instances carry synthesis");
+    let synth = host
+        .synthesis
+        .as_ref()
+        .expect("generated instances carry synthesis");
     println!(
         "host network: generated for CG@16 — {} switches, {} links, max degree {}",
         host.network.n_switches(),
@@ -47,15 +50,11 @@ fn main() -> Result<(), HarnessError> {
         let routes = complete_routes(&host.network, &synth.routes)?;
         let floorplan = place(&host.network, 0x711);
         let config = SimConfig::paper().with_link_delays(floorplan.link_lengths(&host.network));
-        let foreign_stats = AppDriver::new(
-            &host.network,
-            RoutePolicy::deterministic(routes),
-            config,
-        )
-        .run(&sched)?;
+        let foreign_stats =
+            AppDriver::new(&host.network, RoutePolicy::deterministic(routes), config)
+                .run(&sched)?;
 
-        let degradation =
-            foreign_stats.exec_cycles as f64 / native_stats.exec_cycles as f64 - 1.0;
+        let degradation = foreign_stats.exec_cycles as f64 / native_stats.exec_cycles as f64 - 1.0;
         println!(
             "  {:<6} | {:>14} | {:>14} | {:>+10.1}%",
             foreign.name(),

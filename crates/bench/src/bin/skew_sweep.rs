@@ -16,10 +16,14 @@ fn main() -> Result<(), HarnessError> {
         .schedule(16, &WorkloadParams::paper_default(Benchmark::Cg))
         .expect("16 is valid for CG");
 
-    let instances: Vec<_> = [NetworkKind::Generated, NetworkKind::Mesh, NetworkKind::Crossbar]
-        .into_iter()
-        .map(|kind| build_instance(kind, &schedule, 0x5EE7).map(|i| (kind, i)))
-        .collect::<Result<_, _>>()?;
+    let instances: Vec<_> = [
+        NetworkKind::Generated,
+        NetworkKind::Mesh,
+        NetworkKind::Crossbar,
+    ]
+    .into_iter()
+    .map(|kind| build_instance(kind, &schedule, 0x5EE7).map(|i| (kind, i)))
+    .collect::<Result<_, _>>()?;
 
     println!("CG@16 open-loop replay: mean message latency (cycles) vs per-process skew");
     println!(
@@ -30,10 +34,14 @@ fn main() -> Result<(), HarnessError> {
         let trace = SkewModel::new(skew, 0xBEE5).apply(&schedule);
         let mut lat = Vec::new();
         for (_, inst) in &instances {
-            let config = SimConfig::paper()
-                .with_link_delays(inst.floorplan.link_lengths(&inst.network));
+            let config =
+                SimConfig::paper().with_link_delays(inst.floorplan.link_lengths(&inst.network));
             let stats = run_trace(&inst.network, &inst.policy, config, &trace)?;
-            assert_eq!(stats.delivered as usize, trace.len(), "message conservation");
+            assert_eq!(
+                stats.delivered as usize,
+                trace.len(),
+                "message conservation"
+            );
             lat.push(stats.mean_latency);
         }
         println!(

@@ -19,7 +19,11 @@ fn main() -> Result<(), HarnessError> {
         "  {:<10} | {:>9} {:>9} {:>9} {:>9} | {:>10}",
         "network", "1 VC", "2 VC", "3 VC", "4 VC", "CDG-free"
     );
-    for kind in [NetworkKind::Mesh, NetworkKind::Torus, NetworkKind::Generated] {
+    for kind in [
+        NetworkKind::Mesh,
+        NetworkKind::Torus,
+        NetworkKind::Generated,
+    ] {
         let inst = build_instance(kind, &schedule, 0x7C)?;
         let mut row = Vec::new();
         let mut kills = 0u64;
@@ -27,8 +31,8 @@ fn main() -> Result<(), HarnessError> {
             let config = SimConfig::paper()
                 .with_vcs(vcs)
                 .with_link_delays(inst.floorplan.link_lengths(&inst.network));
-            let stats = AppDriver::new(&inst.network, inst.policy.clone(), config)
-                .run(&schedule)?;
+            let stats =
+                AppDriver::new(&inst.network, inst.policy.clone(), config).run(&schedule)?;
             kills += stats.packets.deadlock_kills;
             row.push(stats.exec_cycles);
         }

@@ -1,0 +1,534 @@
+//! A minimal, fully deterministic property-testing harness.
+//!
+//! This crate replaces the external `proptest` dependency with the small
+//! subset the workspace actually uses, so the whole build-and-test
+//! pipeline runs offline:
+//!
+//! * composable **generators** ([`Gen`]) for integers, tuples, vectors and
+//!   choices, with **greedy shrinking** of failing inputs;
+//! * a configurable **case count** (default 64, `NOCSYN_CHECK_CASES`
+//!   override);
+//! * **deterministic seeds**: every property derives its base seed from
+//!   its own name, so runs are reproducible with no configuration at all;
+//! * **replay**: a failure report prints the base seed, and setting
+//!   `NOCSYN_CHECK_SEED=<seed>` regenerates the identical case sequence.
+//!
+//! # Writing a property
+//!
+//! ```
+//! use nocsyn_check::{check, vec_of, usize_in, check_assert};
+//!
+//! #[allow(clippy::needless_doctest_main)]
+//! fn reverse_twice_is_identity() {
+//!     check(
+//!         "reverse_twice_is_identity",
+//!         vec_of(usize_in(0..100), 0..20),
+//!         |v| {
+//!             let mut w = v.clone();
+//!             w.reverse();
+//!             w.reverse();
+//!             check_assert!(w == *v, "double reverse changed {v:?}");
+//!             Ok(())
+//!         },
+//!     );
+//! }
+//! # reverse_twice_is_identity();
+//! ```
+//!
+//! Properties return `Result<(), CaseError>`: `Ok(())` passes,
+//! [`CaseError::Fail`] fails (and triggers shrinking), and
+//! [`CaseError::Discard`] (usually via [`check_assume!`]) skips a case
+//! that does not satisfy the property's preconditions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use nocsyn_rng::{hash_str, splitmix64, Rng};
+
+/// Why a single property case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseError {
+    /// The input did not satisfy the property's preconditions; the case
+    /// is skipped, not failed.
+    Discard,
+    /// The property is violated, with an explanation.
+    Fail(String),
+}
+
+/// Outcome of evaluating one generated case.
+pub type CaseResult = Result<(), CaseError>;
+
+/// Fails the current case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! check_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::CaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::CaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! check_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::CaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::CaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Discards the current case unless `cond` holds (precondition filter).
+#[macro_export]
+macro_rules! check_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::CaseError::Discard);
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+/// A reproducible value generator with greedy shrinking.
+///
+/// `generate` must be a pure function of the rng stream, and `shrink`
+/// must propose values strictly "smaller" than its input (the runner
+/// guards against non-terminating shrink loops, but convergence quality
+/// is the generator's job).
+pub trait Gen {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Proposes simpler candidate values; empty when fully shrunk.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Uniform integer in a half-open range, shrinking toward the lower
+/// bound. Built by [`usize_in`], [`u64_in`] and [`u32_in`].
+#[derive(Debug, Clone, Copy)]
+pub struct IntGen<T> {
+    lo: T,
+    hi: T, // exclusive
+}
+
+macro_rules! int_gen {
+    ($t:ty, $ctor:ident) => {
+        /// Uniform integer in `range`, shrinking toward `range.start`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        pub fn $ctor(range: Range<$t>) -> IntGen<$t> {
+            assert!(range.start < range.end, "empty generator range");
+            IntGen {
+                lo: range.start,
+                hi: range.end,
+            }
+        }
+
+        impl Gen for IntGen<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.lo..self.hi)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                if v == self.lo {
+                    return Vec::new();
+                }
+                let mut out = vec![self.lo];
+                let mid = self.lo + (v - self.lo) / 2;
+                if mid != self.lo && mid != v {
+                    out.push(mid);
+                }
+                if v - 1 != self.lo && Some(&(v - 1)) != out.last() {
+                    out.push(v - 1);
+                }
+                out
+            }
+        }
+    };
+}
+
+int_gen!(usize, usize_in);
+int_gen!(u64, u64_in);
+int_gen!(u32, u32_in);
+
+/// Vector of values from `elem`, with length drawn from `len`; shrinks by
+/// dropping elements (toward the minimum length) and then by shrinking
+/// individual elements. Built by [`vec_of`].
+#[derive(Debug, Clone)]
+pub struct VecGen<G> {
+    elem: G,
+    min_len: usize,
+    max_len: usize, // exclusive
+}
+
+/// Vector generator: length uniform in `len`, elements from `elem`.
+///
+/// # Panics
+///
+/// Panics if `len` is empty.
+pub fn vec_of<G: Gen>(elem: G, len: Range<usize>) -> VecGen<G> {
+    assert!(len.start < len.end, "empty length range");
+    VecGen {
+        elem,
+        min_len: len.start,
+        max_len: len.end,
+    }
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        let len = rng.gen_range(self.min_len..self.max_len);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        // Structural shrinks first: halve, then drop single elements.
+        if value.len() > self.min_len {
+            let half = value.len() / 2;
+            if half >= self.min_len && half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            for i in (0..value.len()).rev() {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        // Element-wise shrinks: first candidate per position.
+        for (i, elem) in value.iter().enumerate() {
+            if let Some(smaller) = self.elem.shrink(elem).into_iter().next() {
+                let mut v = value.clone();
+                v[i] = smaller;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// One of a fixed set of alternatives, shrinking toward earlier entries.
+/// Built by [`choice`].
+#[derive(Debug, Clone)]
+pub struct ChoiceGen<T> {
+    items: Vec<T>,
+}
+
+/// Uniformly picks one of `items`; shrinks toward the front of the list,
+/// so order alternatives simplest-first.
+///
+/// # Panics
+///
+/// Panics if `items` is empty.
+pub fn choice<T: Clone + Debug>(items: impl Into<Vec<T>>) -> ChoiceGen<T> {
+    let items = items.into();
+    assert!(!items.is_empty(), "choice over no alternatives");
+    ChoiceGen { items }
+}
+
+impl<T: Clone + Debug + PartialEq> Gen for ChoiceGen<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        rng.choose(&self.items)
+            .expect("non-empty by construction")
+            .clone()
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        match self.items.iter().position(|i| i == value) {
+            Some(0) | None => Vec::new(),
+            Some(i) => self.items[..i].to_vec(),
+        }
+    }
+}
+
+macro_rules! tuple_gen {
+    ($($g:ident => $idx:tt),+) => {
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = candidate;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_gen!(A => 0);
+tuple_gen!(A => 0, B => 1);
+tuple_gen!(A => 0, B => 1, C => 2);
+tuple_gen!(A => 0, B => 1, C => 2, D => 3);
+
+// ---------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------
+
+/// Default number of cases per property (without any override).
+pub const DEFAULT_CASES: usize = 64;
+
+/// Hard cap on greedy shrink steps, to bound worst-case shrink time.
+const MAX_SHRINK_STEPS: usize = 2_000;
+
+/// Runs `prop` against [`DEFAULT_CASES`] generated cases (or the
+/// `NOCSYN_CHECK_CASES` override), panicking with a replay recipe on the
+/// first — greedily shrunk — failure.
+///
+/// The base seed is `hash_str(name)` unless `NOCSYN_CHECK_SEED` is set;
+/// the same base seed always produces the identical case sequence.
+///
+/// # Panics
+///
+/// Panics when the property fails.
+pub fn check<G: Gen>(name: &str, gen: G, prop: impl Fn(&G::Value) -> CaseResult) {
+    check_n(name, DEFAULT_CASES, gen, prop);
+}
+
+/// Like [`check`] with an explicit case count (still subject to the
+/// `NOCSYN_CHECK_CASES` environment override — useful for deep soaks).
+///
+/// # Panics
+///
+/// Panics when the property fails.
+pub fn check_n<G: Gen>(name: &str, cases: usize, gen: G, prop: impl Fn(&G::Value) -> CaseResult) {
+    let cases = match std::env::var("NOCSYN_CHECK_CASES") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("NOCSYN_CHECK_CASES is not a number: {v:?}")),
+        Err(_) => cases,
+    };
+    let base_seed = match std::env::var("NOCSYN_CHECK_SEED") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("NOCSYN_CHECK_SEED is not a u64: {v:?}")),
+        Err(_) => hash_str(name),
+    };
+
+    let mut discarded = 0usize;
+    for case in 0..cases {
+        let mut state = base_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let case_seed = splitmix64(&mut state);
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let value = gen.generate(&mut rng);
+        match prop(&value) {
+            Ok(()) => {}
+            Err(CaseError::Discard) => discarded += 1,
+            Err(CaseError::Fail(msg)) => {
+                let (shrunk, steps, final_msg) = shrink_failure(&gen, value, msg, &prop);
+                panic!(
+                    "property '{name}' failed at case {case}/{cases} \
+                     (base seed {base_seed})\n  \
+                     input (after {steps} shrink steps): {shrunk:?}\n  \
+                     error: {final_msg}\n  \
+                     replay: NOCSYN_CHECK_SEED={base_seed} cargo test {name}"
+                );
+            }
+        }
+    }
+    // A property that discards nearly everything tests nothing; surface
+    // it instead of silently passing.
+    assert!(
+        discarded * 2 <= cases || cases < 4,
+        "property '{name}' discarded {discarded} of {cases} cases; \
+         tighten its generator instead of assuming this much"
+    );
+}
+
+/// Greedy descent: repeatedly replace the failing value with the first
+/// shrink candidate that still fails, until no candidate fails or the
+/// step budget runs out.
+fn shrink_failure<G: Gen>(
+    gen: &G,
+    mut value: G::Value,
+    mut msg: String,
+    prop: &impl Fn(&G::Value) -> CaseResult,
+) -> (G::Value, usize, String) {
+    let mut steps = 0;
+    'outer: while steps < MAX_SHRINK_STEPS {
+        for candidate in gen.shrink(&value) {
+            if let Err(CaseError::Fail(m)) = prop(&candidate) {
+                value = candidate;
+                msg = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, steps, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0usize);
+        check("passing_property", usize_in(0..100), |_| {
+            count.set(count.get() + 1);
+            Ok(())
+        });
+        assert_eq!(count.get(), DEFAULT_CASES);
+    }
+
+    #[test]
+    fn failing_property_panics_with_replay_recipe() {
+        let result = std::panic::catch_unwind(|| {
+            check("failing_property", usize_in(0..1_000), |&v| {
+                check_assert!(v < 10, "value {v} too large");
+                Ok(())
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(
+            msg.contains("NOCSYN_CHECK_SEED="),
+            "no replay recipe: {msg}"
+        );
+        assert!(msg.contains("failing_property"), "no test name: {msg}");
+    }
+
+    #[test]
+    fn shrinking_reaches_the_minimal_counterexample() {
+        // Property: v < 42. The minimal failure is exactly 42, and the
+        // int shrinker must find it from any starting failure.
+        let result = std::panic::catch_unwind(|| {
+            check("shrink_to_42", usize_in(0..100_000), |&v| {
+                check_assert!(v < 42);
+                Ok(())
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains(": 42\n"), "did not shrink to 42: {msg}");
+    }
+
+    #[test]
+    fn vec_shrinking_reduces_length() {
+        // Any vec with >= 3 elements fails; minimal counterexample has
+        // exactly 3.
+        let result = std::panic::catch_unwind(|| {
+            check("vec_shrink", vec_of(usize_in(0..10), 0..50), |v| {
+                check_assert!(v.len() < 3, "too long: {v:?}");
+                Ok(())
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        // The three surviving elements each shrink to 0.
+        assert!(msg.contains("[0, 0, 0]"), "not minimal: {msg}");
+    }
+
+    #[test]
+    fn same_name_same_sequence() {
+        let collect = |name: &str| {
+            // Discard-free property that records every generated input.
+            let vals = std::cell::RefCell::new(Vec::new());
+            check_n(name, 16, (usize_in(0..1_000), u64_in(0..1_000)), |v| {
+                vals.borrow_mut().push(*v);
+                Ok(())
+            });
+            vals.into_inner()
+        };
+        assert_eq!(collect("stable_name"), collect("stable_name"));
+        assert_ne!(collect("stable_name"), collect("other_name"));
+    }
+
+    #[test]
+    fn discards_are_tolerated_in_moderation() {
+        check("moderate_discards", usize_in(0..100), |&v| {
+            check_assume!(v % 3 != 0);
+            check_assert!(v % 3 != 0);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn excessive_discards_are_reported() {
+        let result = std::panic::catch_unwind(|| {
+            check("all_discarded", usize_in(0..100), |_| {
+                Err(CaseError::Discard)
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("discarded"), "unexpected: {msg}");
+    }
+
+    #[test]
+    fn choice_shrinks_toward_front() {
+        let g = choice(["small", "medium", "large"]);
+        assert_eq!(g.shrink(&"large"), vec!["small", "medium"]);
+        assert!(g.shrink(&"small").is_empty());
+    }
+
+    #[test]
+    fn tuple_generation_and_shrinking_compose() {
+        let g = (usize_in(0..10), u32_in(0..10));
+        let mut rng = Rng::seed_from_u64(1);
+        let v = g.generate(&mut rng);
+        assert!(v.0 < 10 && v.1 < 10);
+        for (a, b) in g.shrink(&v) {
+            // Exactly one component changes per candidate.
+            assert!((a != v.0) ^ (b != v.1), "candidate ({a}, {b}) from {v:?}");
+        }
+    }
+
+    #[test]
+    fn int_shrink_proposes_strictly_smaller() {
+        let g = usize_in(5..100);
+        for cand in g.shrink(&50) {
+            assert!((5..50).contains(&cand));
+        }
+        assert!(g.shrink(&5).is_empty());
+    }
+}

@@ -38,7 +38,10 @@ pub fn two_color(graph: &ConflictGraph) -> Option<Coloring> {
         }
     }
     Some(Coloring::new(
-        colors.into_iter().map(|c| c.expect("all components visited")).collect(),
+        colors
+            .into_iter()
+            .map(|c| c.expect("all components visited"))
+            .collect(),
     ))
 }
 
@@ -91,7 +94,9 @@ mod tests {
             let mut edges = Vec::new();
             for i in 0..n {
                 for j in i + 1..n {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     if (x >> 61) == 0 {
                         edges.push((i, j));
                     }

@@ -76,10 +76,7 @@ impl Search<'_> {
         let v = self.order[depth];
         let max_color = (used + 1).min(self.best_count - 1);
         for color in 0..max_color {
-            let conflict = self
-                .graph
-                .neighbors(v)
-                .any(|u| self.assignment[u] == color);
+            let conflict = self.graph.neighbors(v).any(|u| self.assignment[u] == color);
             if conflict {
                 continue;
             }
@@ -117,7 +114,10 @@ mod tests {
             2
         );
         // K4.
-        assert_eq!(chromatic(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]), 4);
+        assert_eq!(
+            chromatic(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]),
+            4
+        );
     }
 
     #[test]
@@ -149,7 +149,9 @@ mod tests {
             let mut edges = Vec::new();
             for i in 0..n {
                 for j in i + 1..n {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     if (x >> 59).is_multiple_of(3) {
                         edges.push((i, j));
                     }

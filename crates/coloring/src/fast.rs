@@ -42,15 +42,19 @@ pub fn fast_color_directed(cliques: &CliqueSet, crossing: &BTreeSet<Flow>) -> us
 /// // Two simultaneous crossings each way -> 2 links suffice at minimum.
 /// assert_eq!(fast_color(&cliques, &forward, &backward), 2);
 /// ```
-pub fn fast_color(cliques: &CliqueSet, forward: &BTreeSet<Flow>, backward: &BTreeSet<Flow>) -> usize {
+pub fn fast_color(
+    cliques: &CliqueSet,
+    forward: &BTreeSet<Flow>,
+    backward: &BTreeSet<Flow>,
+) -> usize {
     fast_color_directed(cliques, forward).max(fast_color_directed(cliques, backward))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nocsyn_model::{Clique, ContentionSet, FlowPair};
     use crate::{exact_chromatic, ConflictGraph};
+    use nocsyn_model::{Clique, ContentionSet, FlowPair};
 
     fn flows(pairs: &[(usize, usize)]) -> BTreeSet<Flow> {
         pairs.iter().map(|&p| Flow::from(p)).collect()
@@ -98,9 +102,11 @@ mod tests {
             vec![(0, 4), (3, 7)],
             vec![(1, 5), (2, 6), (3, 7)],
         ];
-        let k = CliqueSet::from_cliques(periods.iter().map(|p| {
-            p.iter().map(|&q| Flow::from(q)).collect::<Clique>()
-        }));
+        let k = CliqueSet::from_cliques(
+            periods
+                .iter()
+                .map(|p| p.iter().map(|&q| Flow::from(q)).collect::<Clique>()),
+        );
         let crossing: BTreeSet<Flow> = periods.iter().flatten().map(|&q| Flow::from(q)).collect();
 
         // Contention set: pairs co-resident in a period.

@@ -38,7 +38,11 @@ impl ConflictGraph {
                 }
             }
         }
-        ConflictGraph { flows, adj, n_edges }
+        ConflictGraph {
+            flows,
+            adj,
+            n_edges,
+        }
     }
 
     /// Builds a graph from an explicit vertex count and edge list (vertex
@@ -62,7 +66,11 @@ impl ConflictGraph {
                 n_edges += 1;
             }
         }
-        ConflictGraph { flows, adj, n_edges }
+        ConflictGraph {
+            flows,
+            adj,
+            n_edges,
+        }
     }
 
     /// Number of vertices.
@@ -125,7 +133,12 @@ impl ConflictGraph {
 
 impl fmt::Display for ConflictGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "conflict graph: {} vertices, {} edges", self.n(), self.n_edges)?;
+        writeln!(
+            f,
+            "conflict graph: {} vertices, {} edges",
+            self.n(),
+            self.n_edges
+        )?;
         for i in 0..self.n() {
             let nb: Vec<String> = self.neighbors(i).map(|j| j.to_string()).collect();
             writeln!(f, "  {} ({}): [{}]", i, self.flows[i], nb.join(", "))?;
@@ -244,9 +257,12 @@ mod tests {
     #[test]
     fn from_flows_uses_contention_set() {
         let mut t = Trace::new(6);
-        t.push(Message::new(ProcId(0), ProcId(1), 0, 10).unwrap()).unwrap();
-        t.push(Message::new(ProcId(2), ProcId(3), 5, 15).unwrap()).unwrap();
-        t.push(Message::new(ProcId(4), ProcId(5), 20, 30).unwrap()).unwrap();
+        t.push(Message::new(ProcId(0), ProcId(1), 0, 10).unwrap())
+            .unwrap();
+        t.push(Message::new(ProcId(2), ProcId(3), 5, 15).unwrap())
+            .unwrap();
+        t.push(Message::new(ProcId(4), ProcId(5), 20, 30).unwrap())
+            .unwrap();
         let flows: Vec<Flow> = t.flows().into_iter().collect();
         let g = ConflictGraph::from_flows(flows, &t.contention_set());
         assert_eq!(g.n(), 3);

@@ -44,7 +44,12 @@ pub fn greedy_dsatur(graph: &ConflictGraph) -> Coloring {
         }
     }
 
-    Coloring::new(colors.into_iter().map(|c| c.expect("all vertices colored")).collect())
+    Coloring::new(
+        colors
+            .into_iter()
+            .map(|c| c.expect("all vertices colored"))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -106,7 +111,9 @@ mod tests {
             let mut edges = Vec::new();
             for i in 0..n {
                 for j in i + 1..n {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     if (x >> 60).is_multiple_of(2) {
                         edges.push((i, j));
                     }

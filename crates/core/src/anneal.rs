@@ -6,7 +6,7 @@
 //! reproduces the paper; a true annealing schedule is exposed as an
 //! extension and ablation (DESIGN.md §5.2).
 
-use rand::Rng;
+use nocsyn_rng::Rng;
 
 /// Decides whether a candidate move with a given cost delta is accepted.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,7 +47,8 @@ impl Acceptor {
         let temperature = match rule {
             AcceptanceRule::Greedy => 0.0,
             AcceptanceRule::Anneal {
-                initial_temperature, ..
+                initial_temperature,
+                ..
             } => initial_temperature,
         };
         Acceptor { rule, temperature }
@@ -55,7 +56,7 @@ impl Acceptor {
 
     /// Whether a move changing the cost from `old` to `new` is accepted.
     /// Cools the temperature as a side effect when annealing.
-    pub(crate) fn accepts<R: Rng>(&mut self, old: usize, new: usize, rng: &mut R) -> bool {
+    pub(crate) fn accepts(&mut self, old: usize, new: usize, rng: &mut Rng) -> bool {
         match self.rule {
             AcceptanceRule::Greedy => new < old,
             AcceptanceRule::Anneal { cooling, .. } => {
@@ -65,7 +66,7 @@ impl Acceptor {
                     false
                 } else {
                     let delta = (new - old) as f64;
-                    rng.gen::<f64>() < (-delta / self.temperature).exp()
+                    rng.gen_f64() < (-delta / self.temperature).exp()
                 };
                 self.temperature *= cooling;
                 accept
@@ -77,13 +78,11 @@ impl Acceptor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn greedy_accepts_only_improvements() {
         let mut a = Acceptor::new(AcceptanceRule::Greedy);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         assert!(a.accepts(10, 9, &mut rng));
         assert!(!a.accepts(10, 10, &mut rng));
         assert!(!a.accepts(10, 11, &mut rng));
@@ -92,7 +91,7 @@ mod tests {
     #[test]
     fn anneal_always_accepts_improvements() {
         let mut a = Acceptor::new(AcceptanceRule::default_anneal());
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         for _ in 0..50 {
             assert!(a.accepts(10, 9, &mut rng));
         }
@@ -104,7 +103,7 @@ mod tests {
             initial_temperature: 100.0,
             cooling: 1.0,
         });
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let accepted = (0..200).filter(|_| a.accepts(10, 11, &mut rng)).count();
         assert!(accepted > 150, "hot annealer should accept most +1 moves");
     }
@@ -115,7 +114,7 @@ mod tests {
             initial_temperature: 1.0,
             cooling: 0.5,
         });
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         // Burn the temperature down.
         for _ in 0..64 {
             a.accepts(10, 11, &mut rng);

@@ -68,7 +68,9 @@ pub fn explain(result: &SynthesisResult, pattern: &AppPattern) -> String {
     let mut crossing: BTreeMap<(usize, usize), (BTreeSet<Flow>, BTreeSet<Flow>)> = BTreeMap::new();
     for (flow, route) in result.routes.iter() {
         for ch in route.iter() {
-            let Ok((tail, head)) = net.channel_endpoints(ch) else { continue };
+            let Ok((tail, head)) = net.channel_endpoints(ch) else {
+                continue;
+            };
             if let (NodeRef::Switch(a), NodeRef::Switch(b)) = (tail, head) {
                 let key = (a.index().min(b.index()), a.index().max(b.index()));
                 let entry = crossing.entry(key).or_default();
@@ -91,7 +93,10 @@ pub fn explain(result: &SynthesisResult, pattern: &AppPattern) -> String {
             "  S{a} -- S{b}: {links} link(s); worst concurrent demand {demand}"
         );
         let list = |set: &BTreeSet<Flow>| {
-            set.iter().map(Flow::to_string).collect::<Vec<_>>().join(", ")
+            set.iter()
+                .map(Flow::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
         };
         if !fwd.is_empty() {
             let _ = writeln!(out, "      S{a}->S{b}: {}", list(&fwd));
@@ -118,7 +123,10 @@ mod tests {
             .push(Phase::from_flows([(3usize, 0usize), (4, 1), (5, 2)]).unwrap())
             .unwrap();
         let pattern = AppPattern::from_schedule(&sched);
-        let config = SynthesisConfig::new().with_max_degree(4).with_seed(8).with_restarts(2);
+        let config = SynthesisConfig::new()
+            .with_max_degree(4)
+            .with_seed(8)
+            .with_restarts(2);
         (synthesize(&pattern, &config).unwrap(), pattern)
     }
 
@@ -142,8 +150,7 @@ mod tests {
         let text = explain(&result, &pattern);
         let mut checked = 0;
         for line in text.lines() {
-            let Some((head, demand_str)) =
-                line.split_once(" link(s); worst concurrent demand ")
+            let Some((head, demand_str)) = line.split_once(" link(s); worst concurrent demand ")
             else {
                 continue;
             };

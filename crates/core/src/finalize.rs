@@ -285,12 +285,16 @@ mod tests {
         let pattern = AppPattern::from_schedule(&schedule8());
         let fast = synthesize(
             &pattern,
-            &SynthesisConfig::new().with_seed(7).with_coloring(ColoringStrategy::Fast),
+            &SynthesisConfig::new()
+                .with_seed(7)
+                .with_coloring(ColoringStrategy::Fast),
         )
         .unwrap();
         let exact = synthesize(
             &pattern,
-            &SynthesisConfig::new().with_seed(7).with_coloring(ColoringStrategy::Exact),
+            &SynthesisConfig::new()
+                .with_seed(7)
+                .with_coloring(ColoringStrategy::Exact),
         )
         .unwrap();
         // Both contention-free; the exact search sees true costs so its

@@ -70,8 +70,8 @@ pub use anneal::AcceptanceRule;
 pub use config::{ColoringStrategy, SynthesisConfig};
 pub use error::SynthError;
 pub use explain::explain;
-pub use pareto::{degree_sweep, ParetoPoint};
 pub use finalize::SynthesisResult;
+pub use pareto::{degree_sweep, ParetoPoint};
 pub use partition::{Partitioning, PipeKey};
 pub use pattern::AppPattern;
 pub use report::SynthesisReport;

@@ -36,7 +36,9 @@ impl MoveCandidate {
     pub(crate) fn commit(&self, p: &mut Partitioning) {
         match *self {
             MoveCandidate::Single { proc, to, .. } => p.move_proc(proc, to),
-            MoveCandidate::Swap { a, a_to, b, b_to, .. } => {
+            MoveCandidate::Swap {
+                a, a_to, b, b_to, ..
+            } => {
                 p.move_proc(a, a_to);
                 p.move_proc(b, b_to);
             }
@@ -178,7 +180,11 @@ pub(crate) fn refine_move(
         .collect();
     for (proc, to) in singles {
         let score = evaluate_with(p, &[(proc, to)], |p| p.score(config));
-        consider(MoveCandidate::Single { proc, to, cost: 0 }, score, &mut best);
+        consider(
+            MoveCandidate::Single { proc, to, cost: 0 },
+            score,
+            &mut best,
+        );
     }
     let left: Vec<ProcId> = p.members(si).to_vec();
     let right: Vec<ProcId> = p.members(sj).to_vec();
@@ -186,7 +192,13 @@ pub(crate) fn refine_move(
         for &b in &right {
             let score = evaluate_with(p, &[(a, sj), (b, si)], |p| p.score(config));
             consider(
-                MoveCandidate::Swap { a, a_to: sj, b, b_to: si, cost: 0 },
+                MoveCandidate::Swap {
+                    a,
+                    a_to: sj,
+                    b,
+                    b_to: si,
+                    cost: 0,
+                },
                 score,
                 &mut best,
             );
@@ -200,15 +212,16 @@ mod tests {
     use super::*;
     use crate::AppPattern;
     use nocsyn_model::{Phase, PhaseSchedule};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nocsyn_rng::Rng;
 
     /// Pattern where procs {0,1} and {2,3} talk within their group only:
     /// the optimal 2/2 split has zero crossing traffic.
     fn clustered_pattern() -> AppPattern {
         let mut s = PhaseSchedule::new(4);
-        s.push(Phase::from_flows([(0usize, 1usize), (2, 3)]).unwrap()).unwrap();
-        s.push(Phase::from_flows([(1usize, 0usize), (3, 2)]).unwrap()).unwrap();
+        s.push(Phase::from_flows([(0usize, 1usize), (2, 3)]).unwrap())
+            .unwrap();
+        s.push(Phase::from_flows([(1usize, 0usize), (3, 2)]).unwrap())
+            .unwrap();
         AppPattern::from_schedule(&s)
     }
 
@@ -219,7 +232,7 @@ mod tests {
         let pattern = clustered_pattern();
         let config = SynthesisConfig::new();
         let mut p = Partitioning::megaswitch(&pattern).unwrap();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let sj = p.split(0, &mut rng);
         use nocsyn_model::ProcId;
         p.move_proc(ProcId(0), 0);
@@ -243,7 +256,7 @@ mod tests {
         let pattern = clustered_pattern();
         let config = SynthesisConfig::new();
         let mut p = Partitioning::megaswitch(&pattern).unwrap();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let sj = p.split(0, &mut rng);
         // Drain sj down to one member, then confirm no candidate move
         // takes the last one.
@@ -267,7 +280,7 @@ mod tests {
         // only balanced swaps may be offered.
         let config = SynthesisConfig::new().with_balance_tolerance(0);
         let mut p = Partitioning::megaswitch(&pattern).unwrap();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let sj = p.split(0, &mut rng);
         // 2/2 split with tolerance 0: every single move makes it 1/3.
         match best_move(&mut p, 0, sj, &config) {
@@ -282,7 +295,7 @@ mod tests {
         let pattern = clustered_pattern();
         let config = SynthesisConfig::new();
         let mut p = Partitioning::megaswitch(&pattern).unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let sj = p.split(0, &mut rng);
         let before_total = p.total_links();
         let before_members: Vec<Vec<_>> = vec![p.members(0).to_vec(), p.members(sj).to_vec()];

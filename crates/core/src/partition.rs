@@ -14,9 +14,7 @@ use std::fmt;
 
 use nocsyn_coloring::{exact_chromatic, fast_color_directed, ConflictGraph};
 use nocsyn_model::{Flow, ProcId};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use nocsyn_rng::Rng;
 
 use crate::anneal::Acceptor;
 use crate::{moves, route_opt, AppPattern, ColoringStrategy, SynthError, SynthesisConfig};
@@ -223,7 +221,9 @@ impl Partitioning {
     /// The switch path currently assigned to `flow`, if the application
     /// uses that flow.
     pub fn path(&self, flow: Flow) -> Option<&[usize]> {
-        self.flow_index.get(&flow).map(|&i| self.paths[i].as_slice())
+        self.flow_index
+            .get(&flow)
+            .map(|&i| self.paths[i].as_slice())
     }
 
     /// Sum of link estimates over all pipes — the objective the search
@@ -275,9 +275,7 @@ impl Partitioning {
     /// processors or carrying traffic (dead switches are dropped).
     pub fn live_switches(&self) -> usize {
         (0..self.members.len())
-            .filter(|&s| {
-                !self.members[s].is_empty() || self.pipes.keys().any(|k| k.touches(s))
-            })
+            .filter(|&s| !self.members[s].is_empty() || self.pipes.keys().any(|k| k.touches(s)))
             .count()
     }
 
@@ -297,7 +295,10 @@ impl Partitioning {
                 .map(|st| st.links.saturating_sub(w))
                 .sum(),
         };
-        (degree_excess + width_excess, self.total_links + self.live_switches())
+        (
+            degree_excess + width_excess,
+            self.total_links + self.live_switches(),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -341,7 +342,9 @@ impl Partitioning {
     }
 
     fn recompute_pipe(&mut self, key: PipeKey) {
-        let Some(state) = self.pipes.get(&key) else { return };
+        let Some(state) = self.pipes.get(&key) else {
+            return;
+        };
         let new_links = self.pipe_link_estimate(state);
         let state = self.pipes.get_mut(&key).expect("checked above");
         self.total_links = self.total_links - state.links + new_links;
@@ -373,7 +376,10 @@ impl Partitioning {
     /// Installs `path` for flow `idx`, updating pipe crossings and link
     /// estimates.
     pub(crate) fn set_path(&mut self, idx: usize, path: Vec<usize>) {
-        debug_assert!(path.windows(2).all(|w| w[0] != w[1]), "path repeats a switch");
+        debug_assert!(
+            path.windows(2).all(|w| w[0] != w[1]),
+            "path repeats a switch"
+        );
         self.remove_path_crossings(idx);
         let flow = self.pattern.flows()[idx];
         for w in path.windows(2) {
@@ -448,11 +454,11 @@ impl Partitioning {
     /// Splits switch `si` (step 5): creates a new switch, moves half of
     /// `si`'s processors to it (chosen uniformly at random), and resets the
     /// affected flows to direct paths. Returns the new switch's index.
-    pub(crate) fn split(&mut self, si: usize, rng: &mut StdRng) -> usize {
+    pub(crate) fn split(&mut self, si: usize, rng: &mut Rng) -> usize {
         let sj = self.members.len();
         self.members.push(Vec::new());
         let mut movers = self.members[si].clone();
-        movers.shuffle(rng);
+        rng.shuffle(&mut movers);
         movers.truncate(self.members[si].len() / 2);
         for proc in movers {
             self.move_proc(proc, sj);
@@ -489,7 +495,11 @@ impl Partitioning {
             let actual = &self.pipes[key];
             assert_eq!(actual.forward, st.forward, "forward set of {key}");
             assert_eq!(actual.backward, st.backward, "backward set of {key}");
-            assert_eq!(actual.links, self.pipe_link_estimate(actual), "links of {key}");
+            assert_eq!(
+                actual.links,
+                self.pipe_link_estimate(actual),
+                "links of {key}"
+            );
             total += actual.links;
         }
         assert_eq!(self.total_links, total, "total_links out of sync");
@@ -502,7 +512,7 @@ impl Partitioning {
 /// violations by rerouting and refining the feasible result.
 pub(crate) fn run(p: &mut Partitioning, config: &SynthesisConfig) {
     p.set_strategy(config.coloring());
-    let mut rng = StdRng::seed_from_u64(config.seed());
+    let mut rng = Rng::seed_from_u64(config.seed());
     let mut acceptor = Acceptor::new(config.acceptance());
 
     // Outer cycle: splitting, route repair, and refinement feed each
@@ -528,7 +538,7 @@ pub(crate) fn run(p: &mut Partitioning, config: &SynthesisConfig) {
 fn split_loop(
     p: &mut Partitioning,
     config: &SynthesisConfig,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     acceptor: &mut Acceptor,
 ) {
     for _round in 0..config.max_rounds() {
@@ -541,7 +551,7 @@ fn split_loop(
             .into_iter()
             .filter(|&s| p.members(s).len() >= 2)
             .collect();
-        let Some(&si) = splittable.as_slice().choose(rng) else {
+        let Some(&si) = rng.choose(&splittable) else {
             break; // all constraints met, or nothing splittable remains
         };
 
@@ -567,7 +577,7 @@ fn split_loop(
             candidate.commit(p);
             p.stats.moves_accepted += 1;
         }
-        let _ = rng.gen::<u64>(); // decorrelate successive rounds
+        let _ = rng.next_u64(); // decorrelate successive rounds
     }
 }
 
@@ -627,8 +637,10 @@ mod tests {
 
     fn pattern4() -> AppPattern {
         let mut s = PhaseSchedule::new(4);
-        s.push(Phase::from_flows([(0usize, 1usize), (2, 3)]).unwrap()).unwrap();
-        s.push(Phase::from_flows([(0usize, 2usize), (1, 3)]).unwrap()).unwrap();
+        s.push(Phase::from_flows([(0usize, 1usize), (2, 3)]).unwrap())
+            .unwrap();
+        s.push(Phase::from_flows([(0usize, 2usize), (1, 3)]).unwrap())
+            .unwrap();
         AppPattern::from_schedule(&s)
     }
 
@@ -658,7 +670,7 @@ mod tests {
     #[test]
     fn split_moves_half_and_updates_pipes() {
         let mut p = Partitioning::megaswitch(&pattern4()).unwrap();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let sj = p.split(0, &mut rng);
         assert_eq!(sj, 1);
         assert_eq!(p.members(0).len() + p.members(1).len(), 4);
@@ -671,7 +683,7 @@ mod tests {
     #[test]
     fn move_proc_resets_paths_to_direct() {
         let mut p = Partitioning::megaswitch(&pattern4()).unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         p.split(0, &mut rng);
         let proc = p.members(0)[0];
         p.move_proc(proc, 1);
@@ -684,7 +696,7 @@ mod tests {
     #[test]
     fn set_path_with_via_updates_three_pipes() {
         let mut p = Partitioning::megaswitch(&pattern4()).unwrap();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         p.split(0, &mut rng);
         // Force a third switch by moving one proc.
         p.members.push(Vec::new());
@@ -711,7 +723,7 @@ mod tests {
     fn degree_counts_members_and_incident_links() {
         let mut p = Partitioning::megaswitch(&pattern4()).unwrap();
         assert_eq!(p.degree(0), 4);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         p.split(0, &mut rng);
         let link_sum: usize = p.pipes().map(|(_, l)| l).sum();
         assert_eq!(p.degree(0) + p.degree(1), 4 + 2 * link_sum);
@@ -723,7 +735,11 @@ mod tests {
         let mut p = Partitioning::megaswitch(&pattern).unwrap();
         let config = SynthesisConfig::new().with_max_degree(3).with_seed(11);
         run(&mut p, &config);
-        assert!(p.violating(&config).is_empty(), "degrees: {:?}", (0..p.n_switches()).map(|s| p.degree(s)).collect::<Vec<_>>());
+        assert!(
+            p.violating(&config).is_empty(),
+            "degrees: {:?}",
+            (0..p.n_switches()).map(|s| p.degree(s)).collect::<Vec<_>>()
+        );
         p.assert_consistent();
     }
 
@@ -745,7 +761,10 @@ mod tests {
         let pattern = pattern4();
         let mut p = Partitioning::megaswitch(&pattern).unwrap();
         // Degree 0 can never be satisfied; the run must still terminate.
-        let config = SynthesisConfig::new().with_max_degree(0).with_max_rounds(50).with_seed(1);
+        let config = SynthesisConfig::new()
+            .with_max_degree(0)
+            .with_max_rounds(50)
+            .with_seed(1);
         run(&mut p, &config);
         assert!(!p.violating(&config).is_empty());
         assert!(p.stats.rounds <= 50);

@@ -176,9 +176,12 @@ mod tests {
     #[test]
     fn complexity_parameters() {
         let mut t = Trace::new(6);
-        t.push(Message::new(ProcId(0), ProcId(1), 0, 10).unwrap()).unwrap();
-        t.push(Message::new(ProcId(2), ProcId(3), 0, 10).unwrap()).unwrap();
-        t.push(Message::new(ProcId(4), ProcId(5), 20, 30).unwrap()).unwrap();
+        t.push(Message::new(ProcId(0), ProcId(1), 0, 10).unwrap())
+            .unwrap();
+        t.push(Message::new(ProcId(2), ProcId(3), 0, 10).unwrap())
+            .unwrap();
+        t.push(Message::new(ProcId(4), ProcId(5), 20, 30).unwrap())
+            .unwrap();
         let p = AppPattern::from_trace(&t);
         assert_eq!(p.complexity(), (2, 2));
         assert_eq!(p.flows().len(), 3);
@@ -194,9 +197,11 @@ mod tests {
     #[test]
     fn merged_unions_everything() {
         let mut a = PhaseSchedule::new(4);
-        a.push(Phase::from_flows([(0usize, 1usize), (2, 3)]).unwrap()).unwrap();
+        a.push(Phase::from_flows([(0usize, 1usize), (2, 3)]).unwrap())
+            .unwrap();
         let mut b = PhaseSchedule::new(6);
-        b.push(Phase::from_flows([(0usize, 1usize), (4, 5)]).unwrap()).unwrap();
+        b.push(Phase::from_flows([(0usize, 1usize), (4, 5)]).unwrap())
+            .unwrap();
         let pa = AppPattern::from_schedule(&a);
         let pb = AppPattern::from_schedule(&b);
         let merged = AppPattern::merged([&pa, &pb]);
@@ -219,7 +224,8 @@ mod tests {
     #[test]
     fn merged_single_is_identity() {
         let mut a = PhaseSchedule::new(4);
-        a.push(Phase::from_flows([(0usize, 1usize)]).unwrap()).unwrap();
+        a.push(Phase::from_flows([(0usize, 1usize)]).unwrap())
+            .unwrap();
         let pa = AppPattern::from_schedule(&a);
         assert_eq!(AppPattern::merged([&pa]), pa);
     }

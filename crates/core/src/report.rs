@@ -38,6 +38,35 @@ pub struct SynthesisReport {
     pub cost_history: Vec<usize>,
 }
 
+impl SynthesisReport {
+    /// Renders the report as a machine-readable JSON value (see
+    /// `nocsyn_model::json`), one key per field.
+    pub fn to_json(&self) -> nocsyn_model::json::JsonValue {
+        use nocsyn_model::json::JsonValue;
+        JsonValue::object([
+            ("n_switches", JsonValue::from(self.n_switches)),
+            ("n_links", JsonValue::from(self.n_links)),
+            ("max_degree", JsonValue::from(self.max_degree)),
+            ("constraints_met", JsonValue::from(self.constraints_met)),
+            ("contention_free", JsonValue::from(self.contention_free)),
+            (
+                "connectivity_links",
+                JsonValue::from(self.connectivity_links),
+            ),
+            ("rounds", JsonValue::from(self.rounds)),
+            ("splits", JsonValue::from(self.splits)),
+            ("moves_tried", JsonValue::from(self.moves_tried)),
+            ("moves_accepted", JsonValue::from(self.moves_accepted)),
+            ("reroutes_tried", JsonValue::from(self.reroutes_tried)),
+            ("reroutes_accepted", JsonValue::from(self.reroutes_accepted)),
+            (
+                "cost_history",
+                JsonValue::array(self.cost_history.iter().map(|&c| JsonValue::from(c))),
+            ),
+        ])
+    }
+}
+
 impl fmt::Display for SynthesisReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -46,7 +75,11 @@ impl fmt::Display for SynthesisReport {
             self.n_switches,
             self.n_links,
             self.max_degree,
-            if self.constraints_met { "met" } else { "NOT met" }
+            if self.constraints_met {
+                "met"
+            } else {
+                "NOT met"
+            }
         )?;
         writeln!(
             f,
@@ -84,6 +117,23 @@ mod tests {
         assert!(s.contains("6 switches"));
         assert!(s.contains("7 links"));
         assert!(s.contains("constraints met"));
+    }
+
+    #[test]
+    fn json_round_trips_key_fields() {
+        let r = SynthesisReport {
+            n_switches: 6,
+            n_links: 7,
+            max_degree: 5,
+            constraints_met: true,
+            contention_free: true,
+            cost_history: vec![30, 24, 24],
+            ..Default::default()
+        };
+        let json = r.to_json().to_string();
+        assert!(json.starts_with("{\"n_switches\":6,\"n_links\":7,\"max_degree\":5"));
+        assert!(json.contains("\"contention_free\":true"));
+        assert!(json.contains("\"cost_history\":[30,24,24]"));
     }
 
     #[test]

@@ -28,7 +28,11 @@ pub(crate) fn best_route(p: &mut Partitioning, si: usize, sj: usize) {
             .filter(|k| k.touches(switch) && !k.touches(sibling))
             .collect();
         for key in pipe_keys {
-            let k_other = if key.lo() == switch { key.hi() } else { key.lo() };
+            let k_other = if key.lo() == switch {
+                key.hi()
+            } else {
+                key.lo()
+            };
             // Step 3: communications crossing this pipe (both directions).
             let crossing: Vec<Flow> = match p.pipe_flows(key) {
                 Some((fwd, bwd)) => fwd.iter().chain(bwd.iter()).copied().collect(),
@@ -111,8 +115,7 @@ fn greedy_repair(p: &mut Partitioning, config: &crate::SynthesisConfig) {
 /// excess first and chip area second. Restores the best configuration
 /// visited.
 fn anneal_routes(p: &mut Partitioning, config: &crate::SynthesisConfig, round: u64) {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use nocsyn_rng::Rng;
 
     let scalar = |p: &Partitioning| {
         let (excess, area) = p.score(config);
@@ -122,7 +125,7 @@ fn anneal_routes(p: &mut Partitioning, config: &crate::SynthesisConfig, round: u
     if n_flows == 0 || p.n_switches() < 3 {
         return;
     }
-    let mut rng = StdRng::seed_from_u64(config.seed() ^ 0xA11E_A1ED ^ (round << 17));
+    let mut rng = Rng::seed_from_u64(config.seed() ^ 0xA11E_A1ED ^ (round << 17));
     let snapshot = |p: &Partitioning| -> Vec<Vec<usize>> {
         (0..n_flows).map(|i| p.path_of_idx(i).to_vec()).collect()
     };
@@ -153,7 +156,7 @@ fn anneal_routes(p: &mut Partitioning, config: &crate::SynthesisConfig, round: u
         p.stats.reroutes_tried += 1;
         p.set_path(idx, candidate);
         let new = scalar(p);
-        let accept = new <= current || rng.gen::<f64>() < ((current - new) / temperature).exp();
+        let accept = new <= current || rng.gen_f64() < ((current - new) / temperature).exp();
         if accept {
             current = new;
             if new < best {
@@ -262,8 +265,7 @@ mod tests {
     use super::*;
     use crate::{AppPattern, SynthesisConfig};
     use nocsyn_model::{Clique, CliqueSet, ContentionSet};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nocsyn_rng::Rng;
 
     #[test]
     fn hop_position_is_orientation_insensitive() {
@@ -286,14 +288,10 @@ mod tests {
                 contention.insert(flows[i].into(), flows[j].into());
             }
         }
-        let pattern = AppPattern::from_parts(
-            6,
-            flows.iter().map(|&f| f.into()),
-            contention,
-            cliques,
-        );
+        let pattern =
+            AppPattern::from_parts(6, flows.iter().map(|&f| f.into()), contention, cliques);
         let mut p = crate::Partitioning::megaswitch(&pattern).unwrap();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         // Manufacture 3 switches: {0,1,2} on s0, {3,4,5} on s1, nothing on s2.
         p.split(0, &mut rng);
         p.split(0, &mut rng);
@@ -342,14 +340,10 @@ mod tests {
         let mut contention = ContentionSet::new();
         contention.insert((0, 3).into(), (1, 4).into());
         contention.insert((0, 5).into(), (2, 4).into());
-        let pattern = AppPattern::from_parts(
-            6,
-            flows.iter().map(|&f| f.into()),
-            contention,
-            cliques,
-        );
+        let pattern =
+            AppPattern::from_parts(6, flows.iter().map(|&f| f.into()), contention, cliques);
         let mut p = crate::Partitioning::megaswitch(&pattern).unwrap();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         p.split(0, &mut rng);
         p.split(0, &mut rng);
         use nocsyn_model::ProcId;
@@ -370,7 +364,10 @@ mod tests {
         let a_path = p.path(Flow::from_indices(0, 3)).unwrap().to_vec();
         let b_path = p.path(Flow::from_indices(1, 4)).unwrap().to_vec();
         let detoured = [&a_path, &b_path].iter().filter(|p| p.len() == 3).count();
-        assert_eq!(detoured, 1, "exactly one flow detours: {a_path:?} {b_path:?}");
+        assert_eq!(
+            detoured, 1,
+            "exactly one flow detours: {a_path:?} {b_path:?}"
+        );
         p.assert_consistent();
     }
 
@@ -387,7 +384,7 @@ mod tests {
             cliques,
         );
         let mut p = crate::Partitioning::megaswitch(&pattern).unwrap();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         p.split(0, &mut rng);
         p.split(0, &mut rng);
         use nocsyn_model::ProcId;
@@ -409,12 +406,8 @@ mod tests {
         let cliques = CliqueSet::from_cliques([Clique::from(flows)]);
         let mut contention = ContentionSet::new();
         contention.insert((0, 2).into(), (1, 3).into());
-        let pattern = AppPattern::from_parts(
-            4,
-            flows.iter().map(|&f| f.into()),
-            contention,
-            cliques,
-        );
+        let pattern =
+            AppPattern::from_parts(4, flows.iter().map(|&f| f.into()), contention, cliques);
         let mut p = crate::Partitioning::megaswitch(&pattern).unwrap();
         let config = SynthesisConfig::new().with_max_degree(3).with_seed(2);
         crate::partition::run(&mut p, &config);

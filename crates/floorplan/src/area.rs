@@ -92,8 +92,14 @@ mod tests {
 
     #[test]
     fn normalization() {
-        let a = AreaReport { switch_area: 8.0, link_area: 10.0 };
-        let b = AreaReport { switch_area: 16.0, link_area: 20.0 };
+        let a = AreaReport {
+            switch_area: 8.0,
+            link_area: 10.0,
+        };
+        let b = AreaReport {
+            switch_area: 16.0,
+            link_area: 20.0,
+        };
         let n = a.normalized_to(&b);
         assert!((n.switch_area - 0.5).abs() < 1e-12);
         assert!((n.link_area - 0.5).abs() < 1e-12);

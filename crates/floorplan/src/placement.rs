@@ -2,9 +2,8 @@
 
 use std::fmt;
 
+use nocsyn_rng::Rng;
 use nocsyn_topo::{LinkId, Network, NodeRef};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::{AreaReport, Corner, TileGrid};
 
@@ -45,15 +44,16 @@ impl Floorplan {
     ///
     /// Panics if `link` is not in `net`.
     pub fn link_length(&self, net: &Network, link: LinkId) -> usize {
-        let l = net.link(link).expect("link belongs to the floorplanned network");
+        let l = net
+            .link(link)
+            .expect("link belongs to the floorplanned network");
         match (l.a(), l.b()) {
             (NodeRef::Switch(a), NodeRef::Switch(b)) => {
                 self.switch_corner[a.index()].distance(self.switch_corner[b.index()])
             }
-            (NodeRef::Proc(p), NodeRef::Switch(s)) | (NodeRef::Switch(s), NodeRef::Proc(p)) => {
-                self.grid
-                    .attachment_distance(self.proc_tile[p.index()], self.switch_corner[s.index()])
-            }
+            (NodeRef::Proc(p), NodeRef::Switch(s)) | (NodeRef::Switch(s), NodeRef::Proc(p)) => self
+                .grid
+                .attachment_distance(self.proc_tile[p.index()], self.switch_corner[s.index()]),
             (NodeRef::Proc(_), NodeRef::Proc(_)) => {
                 unreachable!("networks never link two processors directly")
             }
@@ -120,10 +120,16 @@ pub fn place(net: &Network, seed: u64) -> Floorplan {
 ///
 /// Panics if the network has no processors or no switches.
 pub fn place_with_iterations(net: &Network, seed: u64, iterations: usize) -> Floorplan {
-    assert!(net.n_procs() > 0, "cannot floorplan a network with no processors");
-    assert!(net.n_switches() > 0, "cannot floorplan a network with no switches");
+    assert!(
+        net.n_procs() > 0,
+        "cannot floorplan a network with no processors"
+    );
+    assert!(
+        net.n_switches() > 0,
+        "cannot floorplan a network with no switches"
+    );
     let grid = TileGrid::for_tiles(net.n_procs());
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     // Initial state: processors in id order; switches at the centroid
     // corner of their attached processors.
@@ -188,8 +194,8 @@ pub fn place_with_iterations(net: &Network, seed: u64, iterations: usize) -> Flo
         }
 
         let new_cost = plan.cost(net);
-        let accept = new_cost <= cost
-            || rng.gen::<f64>() < (-((new_cost - cost) as f64) / temperature).exp();
+        let accept =
+            new_cost <= cost || rng.gen_f64() < (-((new_cost - cost) as f64) / temperature).exp();
         if accept {
             cost = new_cost;
             if cost < best_cost {

@@ -120,8 +120,12 @@ mod tests {
 
     fn one_message_trace(bytes: u32) -> Trace {
         let mut t = Trace::new(4);
-        t.push(Message::new(ProcId(0), ProcId(3), 0, 100).unwrap().with_bytes(bytes))
-            .unwrap();
+        t.push(
+            Message::new(ProcId(0), ProcId(3), 0, 100)
+                .unwrap()
+                .with_bytes(bytes),
+        )
+        .unwrap();
         t
     }
 

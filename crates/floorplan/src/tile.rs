@@ -98,7 +98,10 @@ impl TileGrid {
             Corner { row: r, col: c },
             Corner { row: r, col: c + 1 },
             Corner { row: r + 1, col: c },
-            Corner { row: r + 1, col: c + 1 },
+            Corner {
+                row: r + 1,
+                col: c + 1,
+            },
         ]
     }
 

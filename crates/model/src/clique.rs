@@ -11,13 +11,11 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Flow, Trace};
 
 /// A set of flows that are pairwise live at some common instant — one
 /// partial (or full) permutation required by the application.
-#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Clique {
     flows: BTreeSet<Flow>,
 }
@@ -119,7 +117,7 @@ impl fmt::Display for Clique {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CliqueSet {
     cliques: Vec<Clique>,
 }
@@ -275,9 +273,12 @@ mod tests {
         // m0=[0,10], m1=[5,15], m2=[12,20]:
         // at t=0 live {m0}; t=5 live {m0,m1}; t=12 live {m1,m2}.
         let mut t = Trace::new(6);
-        t.push(Message::new(ProcId(0), ProcId(1), 0, 10).unwrap()).unwrap();
-        t.push(Message::new(ProcId(2), ProcId(3), 5, 15).unwrap()).unwrap();
-        t.push(Message::new(ProcId(4), ProcId(5), 12, 20).unwrap()).unwrap();
+        t.push(Message::new(ProcId(0), ProcId(1), 0, 10).unwrap())
+            .unwrap();
+        t.push(Message::new(ProcId(2), ProcId(3), 5, 15).unwrap())
+            .unwrap();
+        t.push(Message::new(ProcId(4), ProcId(5), 12, 20).unwrap())
+            .unwrap();
         let k = CliqueSet::from_trace(&t);
         assert_eq!(k.len(), 3);
         let maximal = k.into_maximal();
@@ -320,10 +321,14 @@ mod tests {
         // Every pair of flows in an extracted clique must come from
         // messages that overlap — the defining clique property.
         let mut t = Trace::new(8);
-        t.push(Message::new(ProcId(0), ProcId(1), 0, 4).unwrap()).unwrap();
-        t.push(Message::new(ProcId(2), ProcId(3), 2, 8).unwrap()).unwrap();
-        t.push(Message::new(ProcId(4), ProcId(5), 3, 5).unwrap()).unwrap();
-        t.push(Message::new(ProcId(6), ProcId(7), 9, 12).unwrap()).unwrap();
+        t.push(Message::new(ProcId(0), ProcId(1), 0, 4).unwrap())
+            .unwrap();
+        t.push(Message::new(ProcId(2), ProcId(3), 2, 8).unwrap())
+            .unwrap();
+        t.push(Message::new(ProcId(4), ProcId(5), 3, 5).unwrap())
+            .unwrap();
+        t.push(Message::new(ProcId(6), ProcId(7), 9, 12).unwrap())
+            .unwrap();
         let k = CliqueSet::from_trace(&t);
         for clique in k.iter() {
             let members: Vec<Flow> = clique.iter().collect();

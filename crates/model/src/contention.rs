@@ -3,8 +3,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Flow, OverlapRelation, Trace};
 
 /// An unordered pair of flows that potentially collide.
@@ -12,7 +10,7 @@ use crate::{Flow, OverlapRelation, Trace};
 /// Definition 4 phrases each potential contention as a 4-tuple
 /// `(s1, d1, s2, d2)`; since contention is symmetric, we canonicalize the
 /// pair so that `first <= second` under the lexicographic flow order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowPair {
     first: Flow,
     second: Flow,
@@ -22,9 +20,15 @@ impl FlowPair {
     /// Creates a canonicalized pair (argument order does not matter).
     pub fn new(a: Flow, b: Flow) -> Self {
         if a <= b {
-            FlowPair { first: a, second: b }
+            FlowPair {
+                first: a,
+                second: b,
+            }
         } else {
-            FlowPair { first: b, second: a }
+            FlowPair {
+                first: b,
+                second: a,
+            }
         }
     }
 
@@ -68,7 +72,7 @@ impl fmt::Display for FlowPair {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ContentionSet {
     pairs: BTreeSet<FlowPair>,
 }
@@ -174,8 +178,10 @@ mod tests {
     #[test]
     fn same_flow_overlapping_itself_is_recorded() {
         let mut t = Trace::new(2);
-        t.push(Message::new(ProcId(0), ProcId(1), 0, 10).unwrap()).unwrap();
-        t.push(Message::new(ProcId(0), ProcId(1), 5, 12).unwrap()).unwrap();
+        t.push(Message::new(ProcId(0), ProcId(1), 0, 10).unwrap())
+            .unwrap();
+        t.push(Message::new(ProcId(0), ProcId(1), 5, 12).unwrap())
+            .unwrap();
         let c = ContentionSet::from_trace(&t);
         let f = Flow::from_indices(0, 1);
         assert!(c.conflicts(f, f));
@@ -184,8 +190,10 @@ mod tests {
     #[test]
     fn disjoint_messages_produce_empty_set() {
         let mut t = Trace::new(4);
-        t.push(Message::new(ProcId(0), ProcId(1), 0, 9).unwrap()).unwrap();
-        t.push(Message::new(ProcId(2), ProcId(3), 10, 19).unwrap()).unwrap();
+        t.push(Message::new(ProcId(0), ProcId(1), 0, 9).unwrap())
+            .unwrap();
+        t.push(Message::new(ProcId(2), ProcId(3), 10, 19).unwrap())
+            .unwrap();
         assert!(ContentionSet::from_trace(&t).is_empty());
     }
 

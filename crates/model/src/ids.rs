@@ -2,16 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a process / end-node (`P` in Definition 1 of the paper).
 ///
 /// The system model attaches exactly one process to each network interface;
 /// `ProcId(i)` names the `i`-th such end-node.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ProcId(pub usize);
 
 impl ProcId {
@@ -36,10 +31,7 @@ impl fmt::Display for ProcId {
 /// Identifier of a message within a [`Trace`](crate::Trace).
 ///
 /// Assigned densely in insertion order by [`Trace::push`](crate::Trace::push).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct MessageId(pub usize);
 
 impl MessageId {
@@ -73,7 +65,7 @@ impl fmt::Display for MessageId {
 /// let f = Flow::new(ProcId(2), ProcId(5));
 /// assert_eq!(f.reversed(), Flow::new(ProcId(5), ProcId(2)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Flow {
     /// Source end-node.
     pub src: ProcId,

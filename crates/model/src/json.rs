@@ -1,0 +1,206 @@
+//! A minimal hand-rolled JSON emitter.
+//!
+//! The workspace is hermetic — no external crates — so machine-readable
+//! output (traces, synthesis reports, experiment tables) goes through
+//! this tiny value tree instead of a serialization framework. It only
+//! *writes* JSON; nothing in the pipeline needs to parse it back.
+//!
+//! ```
+//! use nocsyn_model::json::JsonValue;
+//! let v = JsonValue::object([
+//!     ("name", JsonValue::from("cg")),
+//!     ("procs", JsonValue::from(16u64)),
+//! ]);
+//! assert_eq!(v.to_string(), r#"{"name":"cg","procs":16}"#);
+//! ```
+
+use std::fmt;
+
+/// A JSON value, built in memory and rendered with [`fmt::Display`].
+///
+/// Numbers are kept in three lossless flavors; non-finite floats render
+/// as `null` (JSON has no representation for them).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Floating point; NaN and infinities render as `null`.
+    Float(f64),
+    /// String (escaped on output).
+    Str(String),
+    /// Ordered array.
+    Array(Vec<JsonValue>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>, I: IntoIterator<Item = (K, JsonValue)>>(pairs: I) -> Self {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array<I: IntoIterator<Item = JsonValue>>(items: I) -> Self {
+        JsonValue::Array(items.into_iter().collect())
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::UInt(v)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::UInt(u64::from(v))
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::UInt(v as u64)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Float(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+/// Writes `s` as a JSON string literal (with surrounding quotes).
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::UInt(n) => write!(f, "{n}"),
+            JsonValue::Int(n) => write!(f, "{n}"),
+            JsonValue::Float(x) if !x.is_finite() => f.write_str("null"),
+            JsonValue::Float(x) => {
+                // Keep integral floats distinguishable from ints so the
+                // field type is stable across rows.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            JsonValue::Str(s) => write_escaped(f, s),
+            JsonValue::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Object(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.to_string(), "null");
+        assert_eq!(JsonValue::from(true).to_string(), "true");
+        assert_eq!(JsonValue::from(42u64).to_string(), "42");
+        assert_eq!(JsonValue::from(-7i64).to_string(), "-7");
+        assert_eq!(JsonValue::from(1.5f64).to_string(), "1.5");
+        assert_eq!(JsonValue::from(2.0f64).to_string(), "2.0");
+        assert_eq!(JsonValue::from(f64::NAN).to_string(), "null");
+        assert_eq!(JsonValue::from(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn strings_escape_specials() {
+        let s = JsonValue::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(s.to_string(), r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn arrays_and_objects_nest() {
+        let v = JsonValue::object([
+            ("xs", JsonValue::array([1u64.into(), 2u64.into()])),
+            ("nested", JsonValue::object([("k", JsonValue::Null)])),
+            ("s", "hi".into()),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"xs":[1,2],"nested":{"k":null},"s":"hi"}"#
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(JsonValue::array([]).to_string(), "[]");
+        assert_eq!(
+            JsonValue::object(Vec::<(String, JsonValue)>::new()).to_string(),
+            "{}"
+        );
+    }
+
+    #[test]
+    fn key_order_is_insertion_order() {
+        let v = JsonValue::object([("z", JsonValue::Null), ("a", JsonValue::Null)]);
+        assert_eq!(v.to_string(), r#"{"z":null,"a":null}"#);
+    }
+}

@@ -57,6 +57,7 @@ mod clique;
 mod contention;
 mod error;
 mod ids;
+pub mod json;
 mod message;
 mod overlap;
 mod phase;
@@ -73,6 +74,8 @@ pub use message::Message;
 pub use overlap::{overlaps, OverlapRelation};
 pub use phase::{Phase, PhaseSchedule};
 pub use skew::SkewModel;
-pub use text::{format_schedule, format_trace, parse_schedule, parse_trace, ParseErrorKind, ParseScheduleError};
+pub use text::{
+    format_schedule, format_trace, parse_schedule, parse_trace, ParseErrorKind, ParseScheduleError,
+};
 pub use time::{Time, TimeInterval};
 pub use trace::Trace;

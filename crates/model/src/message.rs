@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Flow, ModelError, ProcId, Time, TimeInterval};
 
 /// Default payload size in bytes when none is specified.
@@ -31,7 +29,7 @@ pub const DEFAULT_PAYLOAD_BYTES: u32 = 4096;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Message {
     flow: Flow,
     interval: TimeInterval,
@@ -163,7 +161,9 @@ mod tests {
 
     #[test]
     fn accessors_round_trip() {
-        let m = Message::new(ProcId(1), ProcId(4), 3, 9).unwrap().with_bytes(64);
+        let m = Message::new(ProcId(1), ProcId(4), 3, 9)
+            .unwrap()
+            .with_bytes(64);
         assert_eq!(m.src(), ProcId(1));
         assert_eq!(m.dst(), ProcId(4));
         assert_eq!(m.start(), Time::new(3));
@@ -183,7 +183,9 @@ mod tests {
 
     #[test]
     fn shifted_preserves_flow_and_payload() {
-        let m = Message::new(ProcId(0), ProcId(1), 0, 10).unwrap().with_bytes(7);
+        let m = Message::new(ProcId(0), ProcId(1), 0, 10)
+            .unwrap()
+            .with_bytes(7);
         let s = m.shifted(5);
         assert_eq!(s.flow(), m.flow());
         assert_eq!(s.bytes(), 7);

@@ -136,9 +136,13 @@ mod tests {
         let mut intervals = Vec::new();
         let mut x = 12345u64;
         for _ in 0..60 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let s = (x >> 33) % 200;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let d = (x >> 33) % 50;
             intervals.push((s, s + d));
         }

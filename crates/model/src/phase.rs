@@ -12,8 +12,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Clique, CliqueSet, Flow, Message, ModelError, Trace};
 
 /// Default payload for phases that do not specify one (bytes).
@@ -37,7 +35,7 @@ const DEFAULT_PHASE_BYTES: u32 = 4096;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Phase {
     flows: BTreeSet<Flow>,
     bytes: u32,
@@ -170,7 +168,7 @@ impl fmt::Display for Phase {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PhaseSchedule {
     n_procs: usize,
     phases: Vec<Phase>,
@@ -294,7 +292,12 @@ impl PhaseSchedule {
 
 impl fmt::Display for PhaseSchedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "schedule: {} procs, {} phases", self.n_procs, self.phases.len())?;
+        writeln!(
+            f,
+            "schedule: {} procs, {} phases",
+            self.n_procs,
+            self.phases.len()
+        )?;
         for (i, p) in self.phases.iter().enumerate() {
             writeln!(f, "  phase {i}: {p}")?;
         }
@@ -347,8 +350,10 @@ mod tests {
     #[test]
     fn to_trace_keeps_phases_disjoint_in_time() {
         let mut s = PhaseSchedule::new(4);
-        s.push(Phase::from_flows([(0usize, 1usize)]).unwrap()).unwrap();
-        s.push(Phase::from_flows([(2usize, 3usize)]).unwrap()).unwrap();
+        s.push(Phase::from_flows([(0usize, 1usize)]).unwrap())
+            .unwrap();
+        s.push(Phase::from_flows([(2usize, 3usize)]).unwrap())
+            .unwrap();
         let t = s.to_trace();
         assert_eq!(t.len(), 2);
         assert!(t.contention_set().is_empty());
@@ -366,8 +371,12 @@ mod tests {
                 .with_compute(100),
         )
         .unwrap();
-        s.push(Phase::from_flows([(2usize, 3usize)]).unwrap().with_bytes(10))
-            .unwrap();
+        s.push(
+            Phase::from_flows([(2usize, 3usize)])
+                .unwrap()
+                .with_bytes(10),
+        )
+        .unwrap();
         let t = s.to_trace();
         let msgs: Vec<_> = t.messages().collect();
         assert_eq!(msgs[0].interval().duration(), 10);
@@ -379,7 +388,8 @@ mod tests {
     #[test]
     fn repeated_multiplies_phase_count() {
         let mut s = PhaseSchedule::new(2);
-        s.push(Phase::from_flows([(0usize, 1usize)]).unwrap()).unwrap();
+        s.push(Phase::from_flows([(0usize, 1usize)]).unwrap())
+            .unwrap();
         let r = s.repeated(5);
         assert_eq!(r.len(), 5);
         assert_eq!(r.clique_set().len(), 1);
@@ -388,19 +398,27 @@ mod tests {
     #[test]
     fn comm_to_comp_ratio() {
         let mut s = PhaseSchedule::new(2);
-        s.push(Phase::from_flows([(0usize, 1usize)]).unwrap().with_bytes(100).with_compute(50))
-            .unwrap();
+        s.push(
+            Phase::from_flows([(0usize, 1usize)])
+                .unwrap()
+                .with_bytes(100)
+                .with_compute(50),
+        )
+        .unwrap();
         assert!((s.comm_to_comp_ratio() - 2.0).abs() < 1e-9);
         let mut s2 = PhaseSchedule::new(2);
-        s2.push(Phase::from_flows([(0usize, 1usize)]).unwrap()).unwrap();
+        s2.push(Phase::from_flows([(0usize, 1usize)]).unwrap())
+            .unwrap();
         assert!(s2.comm_to_comp_ratio().is_infinite());
     }
 
     #[test]
     fn all_flows_union() {
         let mut s = PhaseSchedule::new(4);
-        s.push(Phase::from_flows([(0usize, 1usize), (2, 3)]).unwrap()).unwrap();
-        s.push(Phase::from_flows([(1usize, 0usize), (2, 3)]).unwrap()).unwrap();
+        s.push(Phase::from_flows([(0usize, 1usize), (2, 3)]).unwrap())
+            .unwrap();
+        s.push(Phase::from_flows([(1usize, 0usize), (2, 3)]).unwrap())
+            .unwrap();
         assert_eq!(s.all_flows().len(), 3);
     }
 }

@@ -8,8 +8,6 @@
 //! tradeoff and validates it experimentally; [`SkewModel`] reproduces the
 //! effect so the tradeoff can be measured.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Message, PhaseSchedule, Trace};
 
 /// Deterministic per-process time skew applied when lowering a
@@ -37,7 +35,7 @@ use crate::{Message, PhaseSchedule, Trace};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SkewModel {
     max_skew: u64,
     seed: u64,
@@ -116,10 +114,18 @@ mod tests {
 
     fn two_phase_schedule() -> PhaseSchedule {
         let mut s = PhaseSchedule::new(4);
-        s.push(Phase::from_flows([(0usize, 1usize), (2, 3)]).unwrap().with_bytes(100))
-            .unwrap();
-        s.push(Phase::from_flows([(1usize, 0usize), (3, 2)]).unwrap().with_bytes(100))
-            .unwrap();
+        s.push(
+            Phase::from_flows([(0usize, 1usize), (2, 3)])
+                .unwrap()
+                .with_bytes(100),
+        )
+        .unwrap();
+        s.push(
+            Phase::from_flows([(1usize, 0usize), (3, 2)])
+                .unwrap()
+                .with_bytes(100),
+        )
+        .unwrap();
         s
     }
 

@@ -93,9 +93,10 @@ pub fn parse_schedule(input: &str) -> Result<PhaseSchedule, ParseScheduleError> 
             continue;
         }
         if repeat.is_some() {
-            return Err(err(line_no, ParseErrorKind::Malformed(
-                "content after `repeat`".into(),
-            )));
+            return Err(err(
+                line_no,
+                ParseErrorKind::Malformed("content after `repeat`".into()),
+            ));
         }
 
         let mut tokens = line.split_whitespace();
@@ -103,9 +104,10 @@ pub fn parse_schedule(input: &str) -> Result<PhaseSchedule, ParseScheduleError> 
         match head {
             "procs" => {
                 if schedule.is_some() {
-                    return Err(err(line_no, ParseErrorKind::Malformed(
-                        "`procs` after phases began".into(),
-                    )));
+                    return Err(err(
+                        line_no,
+                        ParseErrorKind::Malformed("`procs` after phases began".into()),
+                    ));
                 }
                 let n: usize = tokens
                     .next()
@@ -127,15 +129,15 @@ pub fn parse_schedule(input: &str) -> Result<PhaseSchedule, ParseScheduleError> 
                 for opt in tokens {
                     match opt.split_once('=') {
                         Some(("bytes", v)) => {
-                            let bytes = v.parse().map_err(|_| {
-                                err(line_no, ParseErrorKind::Malformed(opt.into()))
-                            })?;
+                            let bytes = v
+                                .parse()
+                                .map_err(|_| err(line_no, ParseErrorKind::Malformed(opt.into())))?;
                             phase = phase.with_bytes(bytes);
                         }
                         Some(("compute", v)) => {
-                            let ticks = v.parse().map_err(|_| {
-                                err(line_no, ParseErrorKind::Malformed(opt.into()))
-                            })?;
+                            let ticks = v
+                                .parse()
+                                .map_err(|_| err(line_no, ParseErrorKind::Malformed(opt.into())))?;
                             phase = phase.with_compute(ticks);
                         }
                         _ => {
@@ -175,7 +177,8 @@ pub fn parse_schedule(input: &str) -> Result<PhaseSchedule, ParseScheduleError> 
         }
     }
 
-    let n = n_procs.ok_or_else(|| err(input.lines().count().max(1), ParseErrorKind::MissingProcs))?;
+    let n =
+        n_procs.ok_or_else(|| err(input.lines().count().max(1), ParseErrorKind::MissingProcs))?;
     let mut schedule = schedule.unwrap_or_else(|| PhaseSchedule::new(n));
     if let Some(done) = open.take() {
         let last = input.lines().count();
@@ -222,9 +225,10 @@ pub fn parse_trace(input: &str) -> Result<crate::Trace, ParseScheduleError> {
         match tokens.next().expect("non-empty line has a token") {
             "procs" => {
                 if trace.is_some() {
-                    return Err(err(line_no, ParseErrorKind::Malformed(
-                        "`procs` after messages began".into(),
-                    )));
+                    return Err(err(
+                        line_no,
+                        ParseErrorKind::Malformed("`procs` after messages began".into()),
+                    ));
                 }
                 let n: usize = tokens
                     .next()
@@ -260,17 +264,14 @@ pub fn parse_trace(input: &str) -> Result<crate::Trace, ParseScheduleError> {
                     }
                 }
                 let (Some(start), Some(finish)) = (start, finish) else {
-                    return Err(err(line_no, ParseErrorKind::Malformed(
-                        "msg needs start= and finish=".into(),
-                    )));
+                    return Err(err(
+                        line_no,
+                        ParseErrorKind::Malformed("msg needs start= and finish=".into()),
+                    ));
                 };
-                let mut message = Message::new(
-                    crate::ProcId(src),
-                    crate::ProcId(dst),
-                    start,
-                    finish,
-                )
-                .map_err(|e| err(line_no, ParseErrorKind::Model(e)))?;
+                let mut message =
+                    Message::new(crate::ProcId(src), crate::ProcId(dst), start, finish)
+                        .map_err(|e| err(line_no, ParseErrorKind::Model(e)))?;
                 if let Some(b) = bytes {
                     message = message.with_bytes(b);
                 }
@@ -364,7 +365,10 @@ repeat 2
     fn error_reporting_carries_line_numbers() {
         let e = parse_schedule("procs 4\nphase\n  0 -> 0\n").unwrap_err();
         assert_eq!(e.line, 3);
-        assert!(matches!(e.kind, ParseErrorKind::Model(ModelError::SelfLoop { .. })));
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::Model(ModelError::SelfLoop { .. })
+        ));
 
         let e = parse_schedule("phase\n  0 -> 1\n").unwrap_err();
         assert_eq!(e.line, 1);
@@ -407,7 +411,8 @@ repeat 2
 
     #[test]
     fn trace_round_trip() {
-        let input = "procs 4\nmsg 0 -> 1 start=0 finish=100 bytes=64\nmsg 2 -> 3 start=50 finish=150\n";
+        let input =
+            "procs 4\nmsg 0 -> 1 start=0 finish=100 bytes=64\nmsg 2 -> 3 start=50 finish=150\n";
         let trace = parse_trace(input).unwrap();
         assert_eq!(trace.len(), 2);
         assert_eq!(trace.contention_set().len(), 1);
@@ -418,7 +423,9 @@ repeat 2
     #[test]
     fn trace_error_paths() {
         assert!(matches!(
-            parse_trace("msg 0 -> 1 start=0 finish=1\n").unwrap_err().kind,
+            parse_trace("msg 0 -> 1 start=0 finish=1\n")
+                .unwrap_err()
+                .kind,
             ParseErrorKind::MissingProcs
         ));
         assert!(parse_trace("procs 2\nmsg 0 -> 1 start=5 finish=1\n").is_err());
@@ -428,7 +435,9 @@ repeat 2
         assert!(parse_trace("").is_err());
         // Out-of-range proc surfaces the model error.
         assert!(matches!(
-            parse_trace("procs 2\nmsg 0 -> 9 start=0 finish=1\n").unwrap_err().kind,
+            parse_trace("procs 2\nmsg 0 -> 9 start=0 finish=1\n")
+                .unwrap_err()
+                .kind,
             ParseErrorKind::Model(_)
         ));
     }

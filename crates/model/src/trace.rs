@@ -4,8 +4,6 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::ops::Index;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{
     CliqueSet, ContentionSet, Flow, Message, MessageId, ModelError, OverlapRelation, ProcId, Time,
 };
@@ -30,7 +28,7 @@ use crate::{
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     n_procs: usize,
     messages: Vec<Message>,
@@ -138,12 +136,41 @@ impl Trace {
 
     /// Messages sent by `proc`, in id order.
     pub fn sent_by(&self, proc: ProcId) -> impl Iterator<Item = Message> + '_ {
-        self.messages.iter().copied().filter(move |m| m.src() == proc)
+        self.messages
+            .iter()
+            .copied()
+            .filter(move |m| m.src() == proc)
     }
 
     /// Messages received by `proc`, in id order.
     pub fn received_by(&self, proc: ProcId) -> impl Iterator<Item = Message> + '_ {
-        self.messages.iter().copied().filter(move |m| m.dst() == proc)
+        self.messages
+            .iter()
+            .copied()
+            .filter(move |m| m.dst() == proc)
+    }
+
+    /// Renders the trace as a machine-readable JSON value (see
+    /// [`crate::json`]): process count, makespan, and one record per
+    /// message in id order.
+    pub fn to_json(&self) -> crate::json::JsonValue {
+        use crate::json::JsonValue;
+        JsonValue::object([
+            ("n_procs", JsonValue::from(self.n_procs)),
+            ("makespan", JsonValue::from(u64::from(self.makespan()))),
+            (
+                "messages",
+                JsonValue::array(self.messages.iter().map(|m| {
+                    JsonValue::object([
+                        ("src", JsonValue::from(m.src().index())),
+                        ("dst", JsonValue::from(m.dst().index())),
+                        ("start", JsonValue::from(u64::from(m.start()))),
+                        ("finish", JsonValue::from(u64::from(m.finish()))),
+                        ("bytes", JsonValue::from(m.bytes())),
+                    ])
+                })),
+            ),
+        ])
     }
 }
 
@@ -180,7 +207,10 @@ mod tests {
         let m = Message::new(ProcId(0), ProcId(4), 0, 1).unwrap();
         assert!(matches!(
             t.push(m),
-            Err(ModelError::ProcOutOfRange { proc: ProcId(4), n_procs: 4 })
+            Err(ModelError::ProcOutOfRange {
+                proc: ProcId(4),
+                n_procs: 4
+            })
         ));
         assert!(t.is_empty());
     }
@@ -188,8 +218,12 @@ mod tests {
     #[test]
     fn ids_are_dense_and_indexable() {
         let mut t = Trace::new(4);
-        let a = t.push(Message::new(ProcId(0), ProcId(1), 0, 1).unwrap()).unwrap();
-        let b = t.push(Message::new(ProcId(2), ProcId(3), 0, 1).unwrap()).unwrap();
+        let a = t
+            .push(Message::new(ProcId(0), ProcId(1), 0, 1).unwrap())
+            .unwrap();
+        let b = t
+            .push(Message::new(ProcId(2), ProcId(3), 0, 1).unwrap())
+            .unwrap();
         assert_eq!(a, MessageId(0));
         assert_eq!(b, MessageId(1));
         assert_eq!(t[b].src(), ProcId(2));
@@ -200,10 +234,18 @@ mod tests {
     fn makespan_and_totals() {
         let mut t = Trace::new(4);
         assert_eq!(t.makespan(), Time::ZERO);
-        t.push(Message::new(ProcId(0), ProcId(1), 0, 10).unwrap().with_bytes(100))
-            .unwrap();
-        t.push(Message::new(ProcId(1), ProcId(2), 5, 25).unwrap().with_bytes(50))
-            .unwrap();
+        t.push(
+            Message::new(ProcId(0), ProcId(1), 0, 10)
+                .unwrap()
+                .with_bytes(100),
+        )
+        .unwrap();
+        t.push(
+            Message::new(ProcId(1), ProcId(2), 5, 25)
+                .unwrap()
+                .with_bytes(50),
+        )
+        .unwrap();
         assert_eq!(t.makespan(), Time::new(25));
         assert_eq!(t.total_bytes(), 150);
     }
@@ -211,12 +253,35 @@ mod tests {
     #[test]
     fn per_process_views() {
         let mut t = Trace::new(4);
-        t.push(Message::new(ProcId(0), ProcId(1), 0, 1).unwrap()).unwrap();
-        t.push(Message::new(ProcId(0), ProcId(2), 2, 3).unwrap()).unwrap();
-        t.push(Message::new(ProcId(1), ProcId(0), 0, 1).unwrap()).unwrap();
+        t.push(Message::new(ProcId(0), ProcId(1), 0, 1).unwrap())
+            .unwrap();
+        t.push(Message::new(ProcId(0), ProcId(2), 2, 3).unwrap())
+            .unwrap();
+        t.push(Message::new(ProcId(1), ProcId(0), 0, 1).unwrap())
+            .unwrap();
         assert_eq!(t.sent_by(ProcId(0)).count(), 2);
         assert_eq!(t.received_by(ProcId(0)).count(), 1);
         assert_eq!(t.sent_by(ProcId(3)).count(), 0);
+    }
+
+    #[test]
+    fn to_json_lists_messages_in_id_order() {
+        let mut t = Trace::new(4);
+        t.push(
+            Message::new(ProcId(0), ProcId(1), 0, 10)
+                .unwrap()
+                .with_bytes(64),
+        )
+        .unwrap();
+        t.push(Message::new(ProcId(2), ProcId(3), 5, 15).unwrap())
+            .unwrap();
+        let json = t.to_json().to_string();
+        assert_eq!(
+            json,
+            "{\"n_procs\":4,\"makespan\":15,\"messages\":[\
+             {\"src\":0,\"dst\":1,\"start\":0,\"finish\":10,\"bytes\":64},\
+             {\"src\":2,\"dst\":3,\"start\":5,\"finish\":15,\"bytes\":4096}]}"
+        );
     }
 
     #[test]

@@ -1,84 +1,108 @@
 //! Property-based tests of the contention model's invariants
-//! (DESIGN.md §6).
+//! (DESIGN.md §6), on the in-repo `nocsyn-check` harness.
 
-use proptest::prelude::*;
+use nocsyn_check::{check, check_assert, check_assert_eq, u64_in, usize_in, vec_of, Gen, VecGen};
 
 use nocsyn_model::{overlaps, CliqueSet, Message, OverlapRelation, ProcId, Trace};
 
-/// Strategy: a trace of up to `max` messages over `n` procs with bounded
-/// times.
-fn trace_strategy(n: usize, max: usize) -> impl Strategy<Value = Trace> {
-    prop::collection::vec(
-        (0..n, 0..n, 0u64..500, 0u64..200),
+/// Raw material for a trace of up to `max` messages over `n` procs with
+/// bounded times: `(src, dst, start, duration)` tuples. Self-messages are
+/// dropped during construction, mirroring the old proptest strategy.
+type RawTrace = Vec<(usize, usize, u64, u64)>;
+
+fn trace_gen(n: usize, max: usize) -> VecGen<impl Gen<Value = (usize, usize, u64, u64)>> {
+    vec_of(
+        (
+            usize_in(0..n),
+            usize_in(0..n),
+            u64_in(0..500),
+            u64_in(0..200),
+        ),
         1..max,
     )
-    .prop_map(move |msgs| {
-        let mut t = Trace::new(n);
-        for (s, d, start, dur) in msgs {
-            if s != d {
-                t.push(Message::new(ProcId(s), ProcId(d), start, start + dur).unwrap())
-                    .unwrap();
-            }
-        }
-        t
-    })
 }
 
-proptest! {
-    /// The overlap relation matches the paper's Definition 3 formula,
-    /// pair by pair, and is symmetric.
-    #[test]
-    fn overlap_matches_definition(trace in trace_strategy(8, 30)) {
+fn build_trace(n: usize, raw: &RawTrace) -> Trace {
+    let mut t = Trace::new(n);
+    for &(s, d, start, dur) in raw {
+        if s != d {
+            t.push(Message::new(ProcId(s), ProcId(d), start, start + dur).unwrap())
+                .unwrap();
+        }
+    }
+    t
+}
+
+/// The overlap relation matches the paper's Definition 3 formula, pair by
+/// pair, and is symmetric.
+#[test]
+fn overlap_matches_definition() {
+    check("overlap_matches_definition", trace_gen(8, 30), |raw| {
+        let trace = build_trace(8, raw);
         let o = OverlapRelation::from_trace(&trace);
         let ids: Vec<_> = trace.message_ids().collect();
         for &a in &ids {
             for &b in &ids {
-                if a == b { continue; }
+                if a == b {
+                    continue;
+                }
                 let (m1, m2) = (&trace[a], &trace[b]);
                 // Definition 3's four disjuncts.
                 let def3 = (m2.start() <= m1.start() && m1.start() <= m2.finish())
                     || (m2.start() <= m1.finish() && m1.finish() <= m2.finish())
                     || (m1.start() <= m2.start() && m2.start() <= m1.finish())
                     || (m1.start() <= m2.finish() && m2.finish() <= m1.finish());
-                prop_assert_eq!(o.contains(a, b), def3);
-                prop_assert_eq!(o.contains(a, b), o.contains(b, a));
-                prop_assert_eq!(o.contains(a, b), overlaps(m1, m2));
+                check_assert_eq!(o.contains(a, b), def3);
+                check_assert_eq!(o.contains(a, b), o.contains(b, a));
+                check_assert_eq!(o.contains(a, b), overlaps(m1, m2));
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Every contention pair comes from two overlapping messages and vice
-    /// versa (Definition 4 compression is lossless on flow pairs).
-    #[test]
-    fn contention_set_is_exact_flow_projection(trace in trace_strategy(6, 24)) {
-        let c = trace.contention_set();
-        let msgs: Vec<_> = trace.messages().collect();
-        for i in 0..msgs.len() {
-            for j in i + 1..msgs.len() {
-                if msgs[i].overlaps(&msgs[j]) {
-                    prop_assert!(c.conflicts(msgs[i].flow(), msgs[j].flow()));
+/// Every contention pair comes from two overlapping messages and vice
+/// versa (Definition 4 compression is lossless on flow pairs).
+#[test]
+fn contention_set_is_exact_flow_projection() {
+    check(
+        "contention_set_is_exact_flow_projection",
+        trace_gen(6, 24),
+        |raw| {
+            let trace = build_trace(6, raw);
+            let c = trace.contention_set();
+            let msgs: Vec<_> = trace.messages().collect();
+            for i in 0..msgs.len() {
+                for j in i + 1..msgs.len() {
+                    if msgs[i].overlaps(&msgs[j]) {
+                        check_assert!(c.conflicts(msgs[i].flow(), msgs[j].flow()));
+                    }
                 }
             }
-        }
-        for pair in c.iter() {
-            let witnessed = msgs.iter().enumerate().any(|(i, a)| {
-                msgs.iter().enumerate().any(|(j, b)| {
-                    i != j
-                        && a.flow() == pair.first()
-                        && b.flow() == pair.second()
-                        && a.overlaps(b)
-                })
-            });
-            prop_assert!(witnessed, "unwitnessed contention pair {}", pair);
-        }
-    }
+            for pair in c.iter() {
+                let witnessed = msgs.iter().enumerate().any(|(i, a)| {
+                    msgs.iter().enumerate().any(|(j, b)| {
+                        i != j
+                            && a.flow() == pair.first()
+                            && b.flow() == pair.second()
+                            && a.overlaps(b)
+                    })
+                });
+                check_assert!(witnessed, "unwitnessed contention pair {}", pair);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Clique-set invariants: members of a clique pairwise overlap at a
-    /// common instant; the maximal set contains no dominated member; the
-    /// largest clique size equals the peak number of concurrently-live
-    /// distinct flows.
-    #[test]
-    fn clique_set_invariants(trace in trace_strategy(8, 24)) {
+/// Clique-set invariants: members of a clique pairwise overlap at a
+/// common instant; the maximal set contains no dominated member; the
+/// largest clique size equals the peak number of concurrently-live
+/// distinct flows.
+#[test]
+fn clique_set_invariants() {
+    check("clique_set_invariants", trace_gen(8, 24), |raw| {
+        let trace = build_trace(8, raw);
         let k = CliqueSet::from_trace(&trace);
         let maximal = k.clone().into_maximal();
 
@@ -87,7 +111,7 @@ proptest! {
         for (i, a) in cliques.iter().enumerate() {
             for (j, b) in cliques.iter().enumerate() {
                 if i != j {
-                    prop_assert!(!a.is_subset(b), "dominated clique survived");
+                    check_assert!(!a.is_subset(b), "dominated clique survived");
                 }
             }
         }
@@ -102,37 +126,50 @@ proptest! {
                 .collect();
             peak = peak.max(live.len());
         }
-        prop_assert_eq!(maximal.max_clique_size(), peak);
+        check_assert_eq!(maximal.max_clique_size(), peak);
 
         // max_overlap_with over a universal predicate is the max size.
-        prop_assert_eq!(maximal.max_overlap_with(|_| true), peak);
-    }
+        check_assert_eq!(maximal.max_overlap_with(|_| true), peak);
+        Ok(())
+    });
+}
 
-    /// The maximum clique set covers the contention set: every contention
-    /// pair appears together in at least one clique.
-    #[test]
-    fn cliques_cover_contention(trace in trace_strategy(6, 20)) {
+/// The maximum clique set covers the contention set: every contention
+/// pair appears together in at least one clique.
+#[test]
+fn cliques_cover_contention() {
+    check("cliques_cover_contention", trace_gen(6, 20), |raw| {
+        let trace = build_trace(6, raw);
         let c = trace.contention_set();
         let k = trace.maximum_clique_set();
         for pair in c.iter() {
             let covered = k
                 .iter()
                 .any(|cl| cl.contains(pair.first()) && cl.contains(pair.second()));
-            prop_assert!(covered, "pair {} not covered by any clique", pair);
+            check_assert!(covered, "pair {} not covered by any clique", pair);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Shifting a whole trace in time changes nothing structural.
-    #[test]
-    fn time_shift_invariance(trace in trace_strategy(6, 20), shift in 0u64..10_000) {
-        let mut shifted = Trace::new(trace.n_procs());
-        for m in trace.messages() {
-            shifted.push(m.shifted(shift)).unwrap();
-        }
-        prop_assert_eq!(trace.contention_set(), shifted.contention_set());
-        prop_assert_eq!(
-            trace.maximum_clique_set().len(),
-            shifted.maximum_clique_set().len()
-        );
-    }
+/// Shifting a whole trace in time changes nothing structural.
+#[test]
+fn time_shift_invariance() {
+    check(
+        "time_shift_invariance",
+        (trace_gen(6, 20), u64_in(0..10_000)),
+        |(raw, shift)| {
+            let trace = build_trace(6, raw);
+            let mut shifted = Trace::new(trace.n_procs());
+            for m in trace.messages() {
+                shifted.push(m.shifted(*shift)).unwrap();
+            }
+            check_assert_eq!(trace.contention_set(), shifted.contention_set());
+            check_assert_eq!(
+                trace.maximum_clique_set().len(),
+                shifted.maximum_clique_set().len()
+            );
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,358 @@
+//! Self-contained deterministic pseudo-random numbers for the whole
+//! workspace.
+//!
+//! Every stochastic component of the methodology — switch splitting,
+//! simulated annealing, floorplanning, synthetic workload generation, and
+//! the `nocsyn-check` property-test harness — draws from this one
+//! generator, so the workspace builds and tests fully offline and a seed
+//! pins an entire run: same seed ⇒ same annealing trajectory ⇒ same
+//! synthesized topology, byte for byte.
+//!
+//! The generator is xoshiro256\*\* (Blackman & Vigna), seeded by expanding
+//! a single `u64` through SplitMix64 — the standard pairing, chosen here
+//! for its tiny implementation, excellent statistical quality for
+//! simulation workloads, and trivial reproducibility. This is **not** a
+//! cryptographic generator and must never be used for secrets.
+//!
+//! ```
+//! use nocsyn_rng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let die = rng.gen_range(1..=6usize);
+//! assert!((1..=6).contains(&die));
+//!
+//! // Identical seeds replay identical streams.
+//! let (mut a, mut b) = (Rng::seed_from_u64(7), Rng::seed_from_u64(7));
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 step: advances `state` and returns the next output.
+///
+/// Exposed because seed-derivation schemes elsewhere in the workspace
+/// (per-test seeds in `nocsyn-check`, per-phase skew offsets) want the
+/// same finalizer without carrying a full generator.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic 64-bit hash of a string (FNV-1a), for deriving stable
+/// per-name seeds (e.g. a property test seeded by its own name).
+#[must_use]
+pub fn hash_str(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A xoshiro256\*\* generator seeded from a single `u64` via SplitMix64.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro256** is ill-defined on the all-zero state; SplitMix64
+        // cannot produce four consecutive zeros, but guard anyway.
+        if s == [0; 4] {
+            s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        Rng { s }
+    }
+
+    /// The next 64 raw bits of the stream.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of [0, 1]: {p}");
+        self.gen_f64() < p
+    }
+
+    /// A uniform value in `range` (half-open `a..b` or inclusive `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Uniform `u64` in `[0, span)` without modulo bias (rejection
+    /// sampling on the top of the stream).
+    #[inline]
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        if span.is_power_of_two() {
+            return self.next_u64() & (span - 1);
+        }
+        // Largest multiple of `span` that fits in u64; values at or above
+        // it would bias the modulo and are re-drawn (expected < 2 draws).
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % span;
+            }
+        }
+    }
+
+    /// Shuffles `slice` in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element of `slice`, or `None` when empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.below(slice.len() as u64) as usize])
+        }
+    }
+
+    /// A child generator whose stream is independent of further draws from
+    /// `self` — for handing out per-subtask randomness reproducibly.
+    #[must_use]
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(123);
+        let mut b = Rng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn reference_vector_xoshiro256starstar() {
+        // First outputs for the state {1, 2, 3, 4} per the reference
+        // implementation (Blackman & Vigna, prng.di.unimi.it).
+        let mut rng = Rng { s: [1, 2, 3, 4] };
+        let expected = [
+            11520u64,
+            0,
+            1509978240,
+            1215971899390074240,
+            1216172134540287360,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn reference_vector_splitmix64() {
+        // Test vector from the SplitMix64 reference: seed 1234567.
+        let mut state = 1234567u64;
+        assert_eq!(splitmix64(&mut state), 6457827717110365317);
+        assert_eq!(splitmix64(&mut state), 3203168211198807973);
+    }
+
+    #[test]
+    fn gen_range_half_open_stays_in_bounds() {
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_hits_both_ends() {
+        let mut rng = Rng::seed_from_u64(10);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..=3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..=3 should appear");
+    }
+
+    #[test]
+    fn gen_range_single_value_range() {
+        let mut rng = Rng::seed_from_u64(11);
+        assert_eq!(rng.gen_range(5usize..6), 5);
+        assert_eq!(rng.gen_range(5usize..=5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Rng::seed_from_u64(0);
+        let _ = rng.gen_range(3usize..3);
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut rng = Rng::seed_from_u64(12);
+        for _ in 0..1_000 {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Rng::seed_from_u64(13);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_rate_is_plausible() {
+        let mut rng = Rng::seed_from_u64(14);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits} of 10000");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let mut a: Vec<usize> = (0..20).collect();
+        let mut b = a.clone();
+        Rng::seed_from_u64(15).shuffle(&mut a);
+        Rng::seed_from_u64(15).shuffle(&mut b);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let items = [10, 20, 30];
+        let mut rng = Rng::seed_from_u64(16);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(*rng.choose(&items).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+        assert_eq!(rng.choose::<usize>(&[]), None);
+    }
+
+    #[test]
+    fn fork_streams_are_decorrelated() {
+        let mut parent = Rng::seed_from_u64(17);
+        let mut child = parent.fork();
+        let same = (0..64)
+            .filter(|_| parent.next_u64() == child.next_u64())
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn hash_str_is_stable_and_distinguishes() {
+        assert_eq!(hash_str("abc"), hash_str("abc"));
+        assert_ne!(hash_str("abc"), hash_str("abd"));
+        assert_ne!(hash_str(""), hash_str("a"));
+    }
+
+    #[test]
+    fn unbiased_below_small_span() {
+        // A span of 3 over u64 would show visible modulo bias only over
+        // astronomically many draws, so instead verify uniformity roughly.
+        let mut rng = Rng::seed_from_u64(18);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.gen_range(0usize..3)] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "skewed counts {counts:?}");
+        }
+    }
+}

@@ -261,7 +261,8 @@ mod jitter_tests {
         }
         // Different seeds give different draws somewhere.
         let d = SimConfig::paper().with_compute_jitter(0.25, 43);
-        let differs = (0..8).any(|p| d.jittered_compute(1_000, p, 0) != c.jittered_compute(1_000, p, 0));
+        let differs =
+            (0..8).any(|p| d.jittered_compute(1_000, p, 0) != c.jittered_compute(1_000, p, 0));
         assert!(differs);
     }
 

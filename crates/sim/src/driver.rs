@@ -57,7 +57,11 @@ impl<'a> AppDriver<'a> {
     /// Creates a driver over `net` with the given routing policy and
     /// simulator configuration.
     pub fn new(net: &'a Network, policy: RoutePolicy, config: SimConfig) -> Self {
-        AppDriver { net, policy, config }
+        AppDriver {
+            net,
+            policy,
+            config,
+        }
     }
 
     /// Runs the application to completion.
@@ -105,9 +109,7 @@ impl<'a> AppDriver<'a> {
             n
         ];
         if phases.is_empty() {
-            procs
-                .iter_mut()
-                .for_each(|p| p.state = ProcState::Done(0));
+            procs.iter_mut().for_each(|p| p.state = ProcState::Done(0));
         }
         let mut deliveries: HashMap<(u64, Flow), u64> = HashMap::new();
         let mut unfinished = if phases.is_empty() { 0 } else { n };
@@ -149,7 +151,14 @@ impl<'a> AppDriver<'a> {
                     let info = &phases[proc.step];
                     if info.recv[pidx] == Some(flow) && proc.step as u64 == tag {
                         let completion = at.max(since) + self.config.recv_overhead();
-                        self.finish_step(pidx, &mut procs, &phases, completion, since, &mut unfinished);
+                        self.finish_step(
+                            pidx,
+                            &mut procs,
+                            &phases,
+                            completion,
+                            since,
+                            &mut unfinished,
+                        );
                     }
                 }
             }
@@ -236,7 +245,9 @@ impl<'a> AppDriver<'a> {
     ) {
         procs[pidx].comm += completion - since;
         let step = procs[pidx].step;
-        let compute = self.config.jittered_compute(phases[step].compute, pidx, step);
+        let compute = self
+            .config
+            .jittered_compute(phases[step].compute, pidx, step);
         self.advance_phase(pidx, procs, phases, completion + compute, unfinished);
     }
 
@@ -285,7 +296,12 @@ mod tests {
         let (net, routes) = regular::crossbar(2).unwrap();
         let mut sched = PhaseSchedule::new(2);
         sched
-            .push(Phase::from_flows([(0usize, 1usize)]).unwrap().with_bytes(4).with_compute(100))
+            .push(
+                Phase::from_flows([(0usize, 1usize)])
+                    .unwrap()
+                    .with_bytes(4)
+                    .with_compute(100),
+            )
             .unwrap();
         let stats = AppDriver::new(&net, RoutePolicy::deterministic(routes), SimConfig::paper())
             .run(&sched)
@@ -330,12 +346,20 @@ mod tests {
         let sched = exchange_schedule(4, 1024, 0, 3);
         let (xbar, xroutes) = regular::crossbar(4).unwrap();
         let (mesh, mroutes) = regular::mesh(2, 2).unwrap();
-        let x = AppDriver::new(&xbar, RoutePolicy::deterministic(xroutes), SimConfig::paper())
-            .run(&sched)
-            .unwrap();
-        let m = AppDriver::new(&mesh, RoutePolicy::deterministic(mroutes), SimConfig::paper())
-            .run(&sched)
-            .unwrap();
+        let x = AppDriver::new(
+            &xbar,
+            RoutePolicy::deterministic(xroutes),
+            SimConfig::paper(),
+        )
+        .run(&sched)
+        .unwrap();
+        let m = AppDriver::new(
+            &mesh,
+            RoutePolicy::deterministic(mroutes),
+            SimConfig::paper(),
+        )
+        .run(&sched)
+        .unwrap();
         assert!(x.exec_cycles <= m.exec_cycles);
         assert_eq!(x.delivered, m.delivered);
     }
@@ -346,8 +370,12 @@ mod tests {
         let fast = exchange_schedule(4, 256, 0, 2);
         let slow = exchange_schedule(4, 256, 5_000, 2);
         let policy = RoutePolicy::deterministic(routes);
-        let a = AppDriver::new(&net, policy.clone(), SimConfig::paper()).run(&fast).unwrap();
-        let b = AppDriver::new(&net, policy, SimConfig::paper()).run(&slow).unwrap();
+        let a = AppDriver::new(&net, policy.clone(), SimConfig::paper())
+            .run(&fast)
+            .unwrap();
+        let b = AppDriver::new(&net, policy, SimConfig::paper())
+            .run(&slow)
+            .unwrap();
         assert!(b.exec_cycles > a.exec_cycles + 9_000);
         // Communication time itself is unchanged by compute.
         assert!((b.mean_comm_cycles - a.mean_comm_cycles).abs() < 64.0);

@@ -144,14 +144,12 @@ impl Engine {
         // Activate packets whose injection time has arrived.
         let cycle = self.cycle;
         let mut newly_active: Vec<PacketId> = Vec::new();
-        self.pending.retain(|&pid| {
-            match self.packets[pid.0].state {
-                PacketState::Pending { inject_at } if inject_at <= cycle => {
-                    newly_active.push(pid);
-                    false
-                }
-                _ => true,
+        self.pending.retain(|&pid| match self.packets[pid.0].state {
+            PacketState::Pending { inject_at } if inject_at <= cycle => {
+                newly_active.push(pid);
+                false
             }
+            _ => true,
         });
         for pid in newly_active {
             self.packets[pid.0].state = PacketState::Active;
@@ -163,9 +161,7 @@ impl Engine {
         let n = self.active.len();
         if n > 0 {
             self.rr %= n;
-            let order: Vec<PacketId> = (0..n)
-                .map(|i| self.active[(self.rr + i) % n])
-                .collect();
+            let order: Vec<PacketId> = (0..n).map(|i| self.active[(self.rr + i) % n]).collect();
             for pid in order {
                 self.try_advance(pid);
             }
@@ -203,9 +199,7 @@ impl Engine {
     pub fn run_until_idle(&mut self) -> Result<(), SimError> {
         while !self.is_idle() {
             if self.cycle >= self.config.max_cycles() {
-                return Err(SimError::CycleCapExceeded {
-                    cycles: self.cycle,
-                });
+                return Err(SimError::CycleCapExceeded { cycles: self.cycle });
             }
             self.step();
         }
@@ -264,7 +258,10 @@ impl Engine {
         // Virtual-channel availability on the channel being entered.
         let mut grant_vc: Option<(usize, usize)> = None;
         if let Some(i) = entering {
-            match self.vc_owner[spans[i].channel].iter().position(Option::is_none) {
+            match self.vc_owner[spans[i].channel]
+                .iter()
+                .position(Option::is_none)
+            {
                 Some(vc) => grant_vc = Some((i, vc)),
                 None => return, // blocked on VC allocation
             }
@@ -435,7 +432,9 @@ mod tests {
             "multiplexing should roughly halve bandwidth: {duo} vs {solo}"
         );
         assert_eq!(
-            Engine::new(&net, SimConfig::paper()).packet_stats().delivered,
+            Engine::new(&net, SimConfig::paper())
+                .packet_stats()
+                .delivered,
             0
         );
     }
@@ -555,11 +554,26 @@ mod tests {
         let inj = |p: usize| net.injection_channel(ProcId(p)).unwrap();
         let ej = |p: usize| net.ejection_channel(ProcId(p)).unwrap();
         let f0 = Flow::from_indices(0, 5); // s0 -> s1 -> s2
-        let r0 = Route::new(vec![inj(0), Channel::forward(l01), Channel::forward(l12), ej(5)]);
+        let r0 = Route::new(vec![
+            inj(0),
+            Channel::forward(l01),
+            Channel::forward(l12),
+            ej(5),
+        ]);
         let f1 = Flow::from_indices(1, 3); // s1 -> s2 -> s0
-        let r1 = Route::new(vec![inj(1), Channel::forward(l12), Channel::forward(l20), ej(3)]);
+        let r1 = Route::new(vec![
+            inj(1),
+            Channel::forward(l12),
+            Channel::forward(l20),
+            ej(3),
+        ]);
         let f2 = Flow::from_indices(2, 4); // s2 -> s0 -> s1
-        let r2 = Route::new(vec![inj(2), Channel::forward(l20), Channel::forward(l01), ej(4)]);
+        let r2 = Route::new(vec![
+            inj(2),
+            Channel::forward(l20),
+            Channel::forward(l01),
+            ej(4),
+        ]);
         for (f, r) in [(f0, &r0), (f1, &r1), (f2, &r2)] {
             r.validate(&net, f).unwrap();
         }
@@ -576,7 +590,10 @@ mod tests {
         eng.run_until_idle().unwrap();
         let stats = eng.packet_stats();
         assert_eq!(stats.delivered, 3, "all messages eventually delivered");
-        assert!(stats.deadlock_kills > 0, "the circular wait must be detected");
+        assert!(
+            stats.deadlock_kills > 0,
+            "the circular wait must be detected"
+        );
     }
 
     #[test]
@@ -598,9 +615,33 @@ mod tests {
         let inj = |p: usize| net.injection_channel(ProcId(p)).unwrap();
         let ej = |p: usize| net.ejection_channel(ProcId(p)).unwrap();
         let routes = [
-            (Flow::from_indices(0, 5), Route::new(vec![inj(0), Channel::forward(l01), Channel::forward(l12), ej(5)])),
-            (Flow::from_indices(1, 3), Route::new(vec![inj(1), Channel::forward(l12), Channel::forward(l20), ej(3)])),
-            (Flow::from_indices(2, 4), Route::new(vec![inj(2), Channel::forward(l20), Channel::forward(l01), ej(4)])),
+            (
+                Flow::from_indices(0, 5),
+                Route::new(vec![
+                    inj(0),
+                    Channel::forward(l01),
+                    Channel::forward(l12),
+                    ej(5),
+                ]),
+            ),
+            (
+                Flow::from_indices(1, 3),
+                Route::new(vec![
+                    inj(1),
+                    Channel::forward(l12),
+                    Channel::forward(l20),
+                    ej(3),
+                ]),
+            ),
+            (
+                Flow::from_indices(2, 4),
+                Route::new(vec![
+                    inj(2),
+                    Channel::forward(l20),
+                    Channel::forward(l01),
+                    ej(4),
+                ]),
+            ),
         ];
         let mut eng = Engine::new(&net, SimConfig::paper().with_deadlock_timeout(100_000));
         for (f, r) in &routes {

@@ -52,9 +52,14 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(
-            SimError::UnroutedFlow { flow: Flow::from_indices(0, 1) }.to_string(),
+            SimError::UnroutedFlow {
+                flow: Flow::from_indices(0, 1)
+            }
+            .to_string(),
             "no route for flow (0, 1)"
         );
-        assert!(SimError::CycleCapExceeded { cycles: 5 }.to_string().contains("5-cycle"));
+        assert!(SimError::CycleCapExceeded { cycles: 5 }
+            .to_string()
+            .contains("5-cycle"));
     }
 }

@@ -139,15 +139,9 @@ mod tests {
     fn span_expansion_accumulates_delays() {
         let (_, route) = tiny();
         let config = SimConfig::paper().with_link_delays(vec![2, 1, 3]);
-        let p = Packet::new(
-            Flow::from_indices(0, 1),
-            0,
-            8,
-            &route,
-            0,
-            &config,
-            |ch| ch.link.index() * 2 + usize::from(matches!(ch.dir, nocsyn_topo::Direction::Backward)),
-        );
+        let p = Packet::new(Flow::from_indices(0, 1), 0, 8, &route, 0, &config, |ch| {
+            ch.link.index() * 2 + usize::from(matches!(ch.dir, nocsyn_topo::Direction::Backward))
+        });
         // Route: inject (link of proc0), middle link 0, eject (link of
         // proc1). Link ids: 0 = switch link, 1 = attach p0, 2 = attach p1.
         assert_eq!(p.spans.len(), 3);
@@ -178,7 +172,15 @@ mod tests {
     fn tail_tracks_flit_count() {
         let (_, route) = tiny();
         let config = SimConfig::paper();
-        let p = Packet::new(Flow::from_indices(0, 1), 0, 16, &config_route(&route), 0, &config, |_| 0);
+        let p = Packet::new(
+            Flow::from_indices(0, 1),
+            0,
+            16,
+            &config_route(&route),
+            0,
+            &config,
+            |_| 0,
+        );
         assert_eq!(p.n_flits, 5);
         assert_eq!(p.tail(10), 6);
     }

@@ -23,7 +23,9 @@ pub struct RoutePolicy {
 impl RoutePolicy {
     /// A fixed, deterministic routing function.
     pub fn deterministic(table: RouteTable) -> Self {
-        RoutePolicy { tables: vec![table] }
+        RoutePolicy {
+            tables: vec![table],
+        }
     }
 
     /// Adaptive selection among alternate tables (least-congested wins,
@@ -33,7 +35,10 @@ impl RoutePolicy {
     ///
     /// Panics if `tables` is empty.
     pub fn adaptive(tables: Vec<RouteTable>) -> Self {
-        assert!(!tables.is_empty(), "adaptive policy needs at least one table");
+        assert!(
+            !tables.is_empty(),
+            "adaptive policy needs at least one table"
+        );
         RoutePolicy { tables }
     }
 
@@ -103,7 +108,10 @@ mod tests {
         let policy = RoutePolicy::adaptive(vec![xy.clone(), yx.clone()]);
         let flow = Flow::from_indices(0, 5);
         // Untouched network: tie, so the first (XY) table wins.
-        assert_eq!(policy.choose(&engine, flow).unwrap(), xy.route(flow).unwrap());
+        assert_eq!(
+            policy.choose(&engine, flow).unwrap(),
+            xy.route(flow).unwrap()
+        );
         // Congest the XY route by injecting a long message along it.
         let blocker = Flow::from_indices(0, 1);
         let blocker_route = xy.route(blocker).unwrap().clone();

@@ -60,10 +60,18 @@ mod tests {
 
     fn trace2() -> Trace {
         let mut t = Trace::new(4);
-        t.push(Message::new(ProcId(0), ProcId(3), 0, 10).unwrap().with_bytes(64))
-            .unwrap();
-        t.push(Message::new(ProcId(1), ProcId(2), 5, 15).unwrap().with_bytes(64))
-            .unwrap();
+        t.push(
+            Message::new(ProcId(0), ProcId(3), 0, 10)
+                .unwrap()
+                .with_bytes(64),
+        )
+        .unwrap();
+        t.push(
+            Message::new(ProcId(1), ProcId(2), 5, 15)
+                .unwrap()
+                .with_bytes(64),
+        )
+        .unwrap();
         t
     }
 
@@ -86,7 +94,12 @@ mod tests {
         let (net, routes) = regular::mesh(2, 2).unwrap();
         let trace = Trace::new(9);
         assert!(matches!(
-            run_trace(&net, &RoutePolicy::deterministic(routes), SimConfig::paper(), &trace),
+            run_trace(
+                &net,
+                &RoutePolicy::deterministic(routes),
+                SimConfig::paper(),
+                &trace
+            ),
             Err(SimError::ProcCountMismatch { .. })
         ));
     }
@@ -97,11 +110,31 @@ mod tests {
         // contends; staggered injection does not.
         let (net, routes) = regular::mesh(2, 2).unwrap();
         let mut hot = Trace::new(4);
-        hot.push(Message::new(ProcId(0), ProcId(3), 0, 1).unwrap().with_bytes(1024)).unwrap();
-        hot.push(Message::new(ProcId(1), ProcId(3), 0, 1).unwrap().with_bytes(1024)).unwrap();
+        hot.push(
+            Message::new(ProcId(0), ProcId(3), 0, 1)
+                .unwrap()
+                .with_bytes(1024),
+        )
+        .unwrap();
+        hot.push(
+            Message::new(ProcId(1), ProcId(3), 0, 1)
+                .unwrap()
+                .with_bytes(1024),
+        )
+        .unwrap();
         let mut cold = Trace::new(4);
-        cold.push(Message::new(ProcId(0), ProcId(3), 0, 1).unwrap().with_bytes(1024)).unwrap();
-        cold.push(Message::new(ProcId(1), ProcId(3), 5_000, 5_001).unwrap().with_bytes(1024)).unwrap();
+        cold.push(
+            Message::new(ProcId(0), ProcId(3), 0, 1)
+                .unwrap()
+                .with_bytes(1024),
+        )
+        .unwrap();
+        cold.push(
+            Message::new(ProcId(1), ProcId(3), 5_000, 5_001)
+                .unwrap()
+                .with_bytes(1024),
+        )
+        .unwrap();
 
         let policy = RoutePolicy::deterministic(routes);
         let hot_stats = run_trace(&net, &policy, SimConfig::paper(), &hot).unwrap();
@@ -115,10 +148,18 @@ mod tests {
         // for measuring the paper's skew tradeoff.
         let mut sched = PhaseSchedule::new(4);
         sched
-            .push(Phase::from_flows([(0usize, 1usize), (2, 3)]).unwrap().with_bytes(128))
+            .push(
+                Phase::from_flows([(0usize, 1usize), (2, 3)])
+                    .unwrap()
+                    .with_bytes(128),
+            )
             .unwrap();
         sched
-            .push(Phase::from_flows([(1usize, 2usize), (3, 0)]).unwrap().with_bytes(128))
+            .push(
+                Phase::from_flows([(1usize, 2usize), (3, 0)])
+                    .unwrap()
+                    .with_bytes(128),
+            )
             .unwrap();
         let trace = SkewModel::new(40, 9).apply(&sched);
         let (net, routes) = regular::crossbar(4).unwrap();

@@ -181,15 +181,30 @@ mod tests {
         let mut routes = RouteTable::new();
         routes.insert(
             Flow::from_indices(0, 5),
-            Route::new(vec![inj(0), Channel::forward(l01), Channel::forward(l12), ej(5)]),
+            Route::new(vec![
+                inj(0),
+                Channel::forward(l01),
+                Channel::forward(l12),
+                ej(5),
+            ]),
         );
         routes.insert(
             Flow::from_indices(1, 3),
-            Route::new(vec![inj(1), Channel::forward(l12), Channel::forward(l20), ej(3)]),
+            Route::new(vec![
+                inj(1),
+                Channel::forward(l12),
+                Channel::forward(l20),
+                ej(3),
+            ]),
         );
         routes.insert(
             Flow::from_indices(2, 4),
-            Route::new(vec![inj(2), Channel::forward(l20), Channel::forward(l01), ej(4)]),
+            Route::new(vec![
+                inj(2),
+                Channel::forward(l20),
+                Channel::forward(l01),
+                ej(4),
+            ]),
         );
         assert!(!is_deadlock_free(&routes));
     }

@@ -3,10 +3,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use nocsyn_model::{Flow, FlowPair};
-use serde::{Deserialize, Serialize};
-
 use crate::{Channel, RouteTable};
+use nocsyn_model::{Flow, FlowPair};
 
 /// The set of flow pairs whose routing paths share at least one directed
 /// channel.
@@ -45,7 +43,7 @@ use crate::{Channel, RouteTable};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ConflictSet {
     pairs: BTreeSet<FlowPair>,
 }

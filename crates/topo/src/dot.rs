@@ -88,7 +88,11 @@ pub fn loaded_to_dot(net: &Network, routes: &RouteTable) -> String {
     let load = routes.channel_load();
     let mut out = String::from("graph network {\n  layout=neato;\n  overlap=false;\n");
     for s in net.switch_ids() {
-        let _ = writeln!(out, "  S{} [shape=box, style=filled, fillcolor=lightsteelblue];", s.index());
+        let _ = writeln!(
+            out,
+            "  S{} [shape=box, style=filled, fillcolor=lightsteelblue];",
+            s.index()
+        );
     }
     for p in 0..net.n_procs() {
         let _ = writeln!(out, "  P{p} [shape=circle, fontsize=10];");
@@ -139,7 +143,10 @@ mod tests {
         let (net, routes) = regular::mesh(2, 2).unwrap();
         let flow = Flow::from_indices(0, 3);
         let dot = route_to_dot(&net, flow, routes.route(flow).unwrap());
-        assert_eq!(dot.matches("penwidth=2").count(), routes.route(flow).unwrap().len());
+        assert_eq!(
+            dot.matches("penwidth=2").count(),
+            routes.route(flow).unwrap().len()
+        );
         assert!(dot.ends_with("}\n"));
     }
 

@@ -3,13 +3,8 @@
 use std::fmt;
 
 use nocsyn_model::ProcId;
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a switch within a [`Network`](crate::Network).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SwitchId(pub usize);
 
 impl SwitchId {
@@ -33,10 +28,7 @@ impl fmt::Display for SwitchId {
 
 /// Identifier of a physical (full-duplex) link within a
 /// [`Network`](crate::Network).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LinkId(pub usize);
 
 impl LinkId {
@@ -60,7 +52,7 @@ impl fmt::Display for LinkId {
 
 /// A vertex of the system graph: either a switch or a processor end-node
 /// (Definition 1 puts both in `N`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum NodeRef {
     /// A switch vertex.
     Switch(SwitchId),
@@ -112,7 +104,7 @@ impl fmt::Display for NodeRef {
 /// Links are stored once with endpoints `(a, b)`; the two directions are
 /// independent resources (the paper colors each pipe direction separately,
 /// footnote 1 assumes full-duplex links).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Direction {
     /// From endpoint `a` to endpoint `b`.
     Forward,
@@ -133,7 +125,7 @@ impl Direction {
 
 /// A directed channel: one direction of one physical link — the unit of
 /// resource over which contention is modeled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Channel {
     /// The physical link.
     pub link: LinkId,
@@ -180,7 +172,10 @@ mod tests {
     #[test]
     fn direction_reversal_is_involutive() {
         assert_eq!(Direction::Forward.reversed().reversed(), Direction::Forward);
-        assert_eq!(Channel::forward(LinkId(3)).reversed(), Channel::backward(LinkId(3)));
+        assert_eq!(
+            Channel::forward(LinkId(3)).reversed(),
+            Channel::backward(LinkId(3))
+        );
     }
 
     #[test]

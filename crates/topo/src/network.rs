@@ -2,10 +2,8 @@
 
 use std::fmt;
 
-use nocsyn_model::ProcId;
-use serde::{Deserialize, Serialize};
-
 use crate::{Channel, Direction, LinkId, NodeRef, SwitchId, TopoError};
+use nocsyn_model::ProcId;
 
 /// A full-duplex physical link joining two vertices of the system graph.
 ///
@@ -14,7 +12,7 @@ use crate::{Channel, Direction, LinkId, NodeRef, SwitchId, TopoError};
 /// [`Network::attach`]). Multiple parallel links between the same switch
 /// pair are allowed — that is precisely how the synthesis methodology widens
 /// a "pipe".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Link {
     a: NodeRef,
     b: NodeRef,
@@ -49,7 +47,7 @@ impl Link {
 }
 
 /// A switch vertex and the processors attached to it.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Switch {
     attached: Vec<ProcId>,
 }
@@ -84,7 +82,7 @@ impl Switch {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Network {
     n_procs: usize,
     switches: Vec<Switch>,
@@ -237,7 +235,9 @@ impl Network {
     ///
     /// [`TopoError::UnknownLink`] for a bad id.
     pub fn link(&self, id: LinkId) -> Result<&Link, TopoError> {
-        self.links.get(id.index()).ok_or(TopoError::UnknownLink { link: id })
+        self.links
+            .get(id.index())
+            .ok_or(TopoError::UnknownLink { link: id })
     }
 
     /// The `(tail, head)` vertices of a directed channel.
@@ -279,9 +279,7 @@ impl Network {
     /// degree" design constraint bounds (a degree-5 switch is a 5-port
     /// switch).
     pub fn degree(&self, switch: SwitchId) -> usize {
-        self.switch_links
-            .get(switch.index())
-            .map_or(0, Vec::len)
+        self.switch_links.get(switch.index()).map_or(0, Vec::len)
     }
 
     /// Largest switch degree in the network (`0` with no switches).
@@ -378,7 +376,12 @@ impl fmt::Display for Network {
                 .iter()
                 .map(|p| p.to_string())
                 .collect();
-            writeln!(f, "  {s}: procs [{}], degree {}", attached.join(", "), self.degree(s))?;
+            writeln!(
+                f,
+                "  {s}: procs [{}], degree {}",
+                attached.join(", "),
+                self.degree(s)
+            )?;
         }
         Ok(())
     }
@@ -412,7 +415,10 @@ mod tests {
     fn self_link_is_rejected() {
         let mut net = Network::new(0);
         let s = net.add_switch();
-        assert!(matches!(net.add_link(s, s), Err(TopoError::SelfLink { .. })));
+        assert!(matches!(
+            net.add_link(s, s),
+            Err(TopoError::SelfLink { .. })
+        ));
     }
 
     #[test]

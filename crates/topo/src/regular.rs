@@ -20,7 +20,9 @@ use crate::{Channel, LinkId, Network, Route, RouteTable, SwitchId, TopoError};
 /// [`TopoError::DegenerateShape`] if `n_procs == 0`.
 pub fn crossbar(n_procs: usize) -> Result<(Network, RouteTable), TopoError> {
     if n_procs == 0 {
-        return Err(TopoError::DegenerateShape { what: "crossbar with zero processors" });
+        return Err(TopoError::DegenerateShape {
+            what: "crossbar with zero processors",
+        });
     }
     let mut net = Network::new(n_procs);
     let hub = net.add_switch();
@@ -41,7 +43,9 @@ pub fn crossbar(n_procs: usize) -> Result<(Network, RouteTable), TopoError> {
 #[allow(clippy::needless_range_loop)] // index symmetry with the pair table
 pub fn fully_connected(n_procs: usize) -> Result<(Network, RouteTable), TopoError> {
     if n_procs == 0 {
-        return Err(TopoError::DegenerateShape { what: "fully-connected with zero processors" });
+        return Err(TopoError::DegenerateShape {
+            what: "fully-connected with zero processors",
+        });
     }
     let mut net = Network::new(n_procs);
     let switches: Vec<SwitchId> = (0..n_procs).map(|_| net.add_switch()).collect();
@@ -60,7 +64,9 @@ pub fn fully_connected(n_procs: usize) -> Result<(Network, RouteTable), TopoErro
         if i < j {
             vec![Channel::forward(pair_link[i][j].expect("all pairs linked"))]
         } else {
-            vec![Channel::backward(pair_link[j][i].expect("all pairs linked"))]
+            vec![Channel::backward(
+                pair_link[j][i].expect("all pairs linked"),
+            )]
         }
     })?;
     Ok((net, routes))
@@ -134,7 +140,9 @@ fn grid(
     wrap: bool,
 ) -> Result<(Network, RouteTable, RouteTable), TopoError> {
     if rows == 0 || cols == 0 {
-        return Err(TopoError::DegenerateShape { what: "grid with a zero dimension" });
+        return Err(TopoError::DegenerateShape {
+            what: "grid with a zero dimension",
+        });
     }
     let n = rows * cols;
     let mut net = Network::new(n);
@@ -277,7 +285,10 @@ mod tests {
         let r = ConflictSet::from_routes(&routes);
         for p in r.iter() {
             let (a, b) = (p.first(), p.second());
-            assert!(a.src == b.src || a.dst == b.dst, "unexpected conflict {a} vs {b}");
+            assert!(
+                a.src == b.src || a.dst == b.dst,
+                "unexpected conflict {a} vs {b}"
+            );
         }
         assert!(!r.conflicts(Flow::from_indices(0, 1), Flow::from_indices(2, 3)));
     }

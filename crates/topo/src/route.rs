@@ -4,10 +4,8 @@ use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use nocsyn_model::Flow;
-use serde::{Deserialize, Serialize};
-
 use crate::{Channel, Network, NodeRef, TopoError};
+use nocsyn_model::Flow;
 
 /// An ordered path of directed channels from a source end-node to a
 /// destination end-node — the value `F(n_s, n_d)` of the paper's
@@ -16,7 +14,7 @@ use crate::{Channel, Network, NodeRef, TopoError};
 /// A valid route starts with the source's injection channel, ends with the
 /// destination's ejection channel, and is link-connected in between (see
 /// [`Route::validate`]).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Route {
     hops: Vec<Channel>,
 }
@@ -136,7 +134,7 @@ impl fmt::Display for Route {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RouteTable {
     routes: BTreeMap<Flow, Route>,
 }
@@ -284,7 +282,9 @@ mod tests {
     #[test]
     fn empty_route_is_broken() {
         let (net, _) = line_net();
-        assert!(Route::default().validate(&net, Flow::from_indices(0, 1)).is_err());
+        assert!(Route::default()
+            .validate(&net, Flow::from_indices(0, 1))
+            .is_err());
     }
 
     #[test]

@@ -64,7 +64,11 @@ impl fmt::Display for ContentionReport {
         if self.is_contention_free() {
             write!(f, "contention-free: C ∩ R = ∅")
         } else {
-            writeln!(f, "{} potential contention(s) mapped to shared links:", self.len())?;
+            writeln!(
+                f,
+                "{} potential contention(s) mapped to shared links:",
+                self.len()
+            )?;
             for w in &self.witnesses {
                 writeln!(f, "  {w}")?;
             }
@@ -102,10 +106,7 @@ impl fmt::Display for ContentionReport {
 /// # Ok(())
 /// # }
 /// ```
-pub fn verify_contention_free(
-    contention: &ContentionSet,
-    routes: &RouteTable,
-) -> ContentionReport {
+pub fn verify_contention_free(contention: &ContentionSet, routes: &RouteTable) -> ContentionReport {
     let mut witnesses = Vec::new();
     for pair in contention.iter() {
         let (a, b) = (pair.first(), pair.second());
@@ -141,7 +142,8 @@ mod tests {
     fn concurrent_trace(flows: &[(usize, usize)], n: usize) -> Trace {
         let mut t = Trace::new(n);
         for &(s, d) in flows {
-            t.push(Message::new(ProcId(s), ProcId(d), 0, 10).unwrap()).unwrap();
+            t.push(Message::new(ProcId(s), ProcId(d), 0, 10).unwrap())
+                .unwrap();
         }
         t
     }
@@ -171,8 +173,10 @@ mod tests {
     #[test]
     fn sequential_messages_never_contend() {
         let mut t = Trace::new(4);
-        t.push(Message::new(ProcId(0), ProcId(3), 0, 10).unwrap()).unwrap();
-        t.push(Message::new(ProcId(1), ProcId(3), 20, 30).unwrap()).unwrap();
+        t.push(Message::new(ProcId(0), ProcId(3), 0, 10).unwrap())
+            .unwrap();
+        t.push(Message::new(ProcId(1), ProcId(3), 20, 30).unwrap())
+            .unwrap();
         let (_, routes) = regular::mesh(2, 2).unwrap();
         let report = verify_contention_free(&t.contention_set(), &routes);
         assert!(report.is_contention_free());

@@ -1,105 +1,160 @@
 #![allow(clippy::needless_range_loop)]
 
 //! Property-based tests of the topology substrate: generator validity,
-//! route minimality, and conflict-set consistency at arbitrary sizes.
+//! route minimality, and conflict-set consistency at arbitrary sizes, on
+//! the in-repo `nocsyn-check` harness.
 
-use proptest::prelude::*;
+use nocsyn_check::{check, check_assert, check_assert_eq, usize_in};
 
 use nocsyn_model::Flow;
 use nocsyn_topo::{regular, shortest_route, switch_distances, ConflictSet};
 
-proptest! {
-    /// Mesh and torus generators produce valid, strongly connected
-    /// networks with fully valid route tables at any reasonable shape.
-    #[test]
-    fn grid_generators_are_valid(rows in 1usize..5, cols in 1usize..5) {
-        for (net, routes) in [regular::mesh(rows, cols).unwrap(), regular::torus(rows, cols).unwrap()] {
-            prop_assert!(net.is_strongly_connected());
-            routes.validate(&net).unwrap();
-            prop_assert_eq!(routes.len(), rows * cols * (rows * cols - 1));
-        }
-    }
-
-    /// DOR mesh routes are minimal: hop count equals manhattan distance
-    /// plus injection and ejection.
-    #[test]
-    fn mesh_routes_are_minimal(rows in 1usize..5, cols in 1usize..5) {
-        let (_, routes) = regular::mesh(rows, cols).unwrap();
-        let n = rows * cols;
-        for s in 0..n {
-            for d in 0..n {
-                if s == d { continue; }
-                let manhattan = (s / cols).abs_diff(d / cols) + (s % cols).abs_diff(d % cols);
-                let route = routes.route(Flow::from_indices(s, d)).unwrap();
-                prop_assert_eq!(route.len(), manhattan + 2);
+/// Mesh and torus generators produce valid, strongly connected networks
+/// with fully valid route tables at any reasonable shape.
+#[test]
+fn grid_generators_are_valid() {
+    check(
+        "grid_generators_are_valid",
+        (usize_in(1..5), usize_in(1..5)),
+        |&(rows, cols)| {
+            for (net, routes) in [
+                regular::mesh(rows, cols).unwrap(),
+                regular::torus(rows, cols).unwrap(),
+            ] {
+                check_assert!(net.is_strongly_connected());
+                routes.validate(&net).unwrap();
+                check_assert_eq!(routes.len(), rows * cols * (rows * cols - 1));
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Torus routes never exceed half the ring in either dimension.
-    #[test]
-    fn torus_routes_take_short_way(rows in 3usize..6, cols in 3usize..6) {
-        let (_, routes) = regular::torus(rows, cols).unwrap();
-        let n = rows * cols;
-        for s in 0..n {
-            for d in 0..n {
-                if s == d { continue; }
-                let ring = |a: usize, b: usize, len: usize| {
-                    let fwd = (b + len - a) % len;
-                    fwd.min(len - fwd)
-                };
-                let dist = ring(s / cols, d / cols, rows) + ring(s % cols, d % cols, cols);
-                let route = routes.route(Flow::from_indices(s, d)).unwrap();
-                prop_assert_eq!(route.len(), dist + 2);
+/// DOR mesh routes are minimal: hop count equals manhattan distance plus
+/// injection and ejection.
+#[test]
+fn mesh_routes_are_minimal() {
+    check(
+        "mesh_routes_are_minimal",
+        (usize_in(1..5), usize_in(1..5)),
+        |&(rows, cols)| {
+            let (_, routes) = regular::mesh(rows, cols).unwrap();
+            let n = rows * cols;
+            for s in 0..n {
+                for d in 0..n {
+                    if s == d {
+                        continue;
+                    }
+                    let manhattan = (s / cols).abs_diff(d / cols) + (s % cols).abs_diff(d % cols);
+                    let route = routes.route(Flow::from_indices(s, d)).unwrap();
+                    check_assert_eq!(route.len(), manhattan + 2);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// BFS shortest routes agree with all-pairs switch distances on
-    /// regular grids.
-    #[test]
-    fn shortest_route_agrees_with_distances(rows in 2usize..4, cols in 2usize..4) {
-        let (net, _) = regular::mesh(rows, cols).unwrap();
-        let dist = switch_distances(&net);
-        let n = rows * cols;
-        for s in 0..n {
-            for d in 0..n {
-                if s == d { continue; }
-                let flow = Flow::from_indices(s, d);
-                let route = shortest_route(&net, flow).unwrap();
-                route.validate(&net, flow).unwrap();
-                // inject + switch hops + eject.
-                prop_assert_eq!(route.len(), dist[s][d] + 2);
+/// Torus routes never exceed half the ring in either dimension.
+#[test]
+fn torus_routes_take_short_way() {
+    check(
+        "torus_routes_take_short_way",
+        (usize_in(3..6), usize_in(3..6)),
+        |&(rows, cols)| {
+            let (_, routes) = regular::torus(rows, cols).unwrap();
+            let n = rows * cols;
+            for s in 0..n {
+                for d in 0..n {
+                    if s == d {
+                        continue;
+                    }
+                    let ring = |a: usize, b: usize, len: usize| {
+                        let fwd = (b + len - a) % len;
+                        fwd.min(len - fwd)
+                    };
+                    let dist = ring(s / cols, d / cols, rows) + ring(s % cols, d % cols, cols);
+                    let route = routes.route(Flow::from_indices(s, d)).unwrap();
+                    check_assert_eq!(route.len(), dist + 2);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// The conflict set from routes equals the pairwise route-intersection
-    /// reference on any grid.
-    #[test]
-    fn conflict_set_matches_pairwise(rows in 1usize..4, cols in 2usize..4) {
-        let (_, routes) = regular::mesh(rows, cols).unwrap();
-        let set = ConflictSet::from_routes(&routes);
-        let flows: Vec<Flow> = routes.flows().collect();
-        for (i, &a) in flows.iter().enumerate() {
-            for &b in &flows[i + 1..] {
-                let expected = routes.route(a).unwrap().conflicts_with(routes.route(b).unwrap());
-                prop_assert_eq!(set.conflicts(a, b), expected);
+/// BFS shortest routes agree with all-pairs switch distances on regular
+/// grids.
+#[test]
+fn shortest_route_agrees_with_distances() {
+    check(
+        "shortest_route_agrees_with_distances",
+        (usize_in(2..4), usize_in(2..4)),
+        |&(rows, cols)| {
+            let (net, _) = regular::mesh(rows, cols).unwrap();
+            let dist = switch_distances(&net);
+            let n = rows * cols;
+            for s in 0..n {
+                for d in 0..n {
+                    if s == d {
+                        continue;
+                    }
+                    let flow = Flow::from_indices(s, d);
+                    let route = shortest_route(&net, flow).unwrap();
+                    route.validate(&net, flow).unwrap();
+                    // inject + switch hops + eject.
+                    check_assert_eq!(route.len(), dist[s][d] + 2);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Fully-connected networks conflict only at shared endpoints.
-    #[test]
-    fn fully_connected_conflicts_only_at_endpoints(n in 2usize..7) {
-        let (_, routes) = regular::fully_connected(n).unwrap();
-        let set = ConflictSet::from_routes(&routes);
-        for pair in set.iter() {
-            let (a, b) = (pair.first(), pair.second());
-            prop_assert!(
-                a.src == b.src || a.dst == b.dst,
-                "non-endpoint conflict {} vs {}", a, b
-            );
-        }
-    }
+/// The conflict set from routes equals the pairwise route-intersection
+/// reference on any grid.
+#[test]
+fn conflict_set_matches_pairwise() {
+    check(
+        "conflict_set_matches_pairwise",
+        (usize_in(1..4), usize_in(2..4)),
+        |&(rows, cols)| {
+            let (_, routes) = regular::mesh(rows, cols).unwrap();
+            let set = ConflictSet::from_routes(&routes);
+            let flows: Vec<Flow> = routes.flows().collect();
+            for (i, &a) in flows.iter().enumerate() {
+                for &b in &flows[i + 1..] {
+                    let expected = routes
+                        .route(a)
+                        .unwrap()
+                        .conflicts_with(routes.route(b).unwrap());
+                    check_assert_eq!(set.conflicts(a, b), expected);
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Fully-connected networks conflict only at shared endpoints.
+#[test]
+fn fully_connected_conflicts_only_at_endpoints() {
+    check(
+        "fully_connected_conflicts_only_at_endpoints",
+        usize_in(2..7),
+        |&n| {
+            let (_, routes) = regular::fully_connected(n).unwrap();
+            let set = ConflictSet::from_routes(&routes);
+            for pair in set.iter() {
+                let (a, b) = (pair.first(), pair.second());
+                check_assert!(
+                    a.src == b.src || a.dst == b.dst,
+                    "non-endpoint conflict {} vs {}",
+                    a,
+                    b
+                );
+            }
+            Ok(())
+        },
+    );
 }

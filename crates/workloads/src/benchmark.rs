@@ -146,7 +146,10 @@ mod tests {
     #[test]
     fn names_and_display() {
         assert_eq!(Benchmark::Fft.to_string(), "FFT");
-        assert_eq!(Benchmark::ALL.map(|b| b.name()), ["BT", "CG", "FFT", "MG", "SP"]);
+        assert_eq!(
+            Benchmark::ALL.map(|b| b.name()),
+            ["BT", "CG", "FFT", "MG", "SP"]
+        );
     }
 
     #[test]

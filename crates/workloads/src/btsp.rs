@@ -38,13 +38,18 @@ pub(crate) fn schedule(
 ) -> Result<PhaseSchedule, WorkloadError> {
     let grid = Grid::square(n_procs)?;
     if n_procs < 4 {
-        return Err(WorkloadError::TooFewProcs { n_procs, minimum: 4 });
+        return Err(WorkloadError::TooFewProcs {
+            n_procs,
+            minimum: 4,
+        });
     }
     let mut sched = PhaseSchedule::new(n_procs);
     let phases = iteration_phases(variant, &grid, params);
     for _ in 0..params.iterations.max(1) {
         for phase in &phases {
-            sched.push(phase.clone()).expect("generated flows are in range");
+            sched
+                .push(phase.clone())
+                .expect("generated flows are in range");
         }
     }
     Ok(sched)
@@ -61,8 +66,9 @@ fn shift_waves(grid: &Grid, dr: usize, dc: usize, params: &WorkloadParams) -> Ve
     let n = grid.rows(); // square
     (0..n)
         .map(|d| {
-            let mut phase =
-                Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+            let mut phase = Phase::new()
+                .with_bytes(params.bytes)
+                .with_compute(params.compute_ticks);
             for r in 0..grid.rows() {
                 for c in 0..grid.cols() {
                     if (r + c) % n != d {
@@ -90,8 +96,9 @@ fn x_sweep(grid: &Grid, forward: bool, params: &WorkloadParams) -> Vec<Phase> {
     let n = grid.rows(); // square
     (0..n)
         .filter_map(|d| {
-            let mut phase =
-                Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+            let mut phase = Phase::new()
+                .with_bytes(params.bytes)
+                .with_compute(params.compute_ticks);
             for r in 0..grid.rows() {
                 for j in 0..grid.cols() - 1 {
                     if (r + j) % n != d {
@@ -100,9 +107,14 @@ fn x_sweep(grid: &Grid, forward: bool, params: &WorkloadParams) -> Vec<Phase> {
                     let (from, to) = if forward {
                         (grid.at(r, j), grid.at(r, j + 1))
                     } else {
-                        (grid.at(r, grid.cols() - 1 - j), grid.at(r, grid.cols() - 2 - j))
+                        (
+                            grid.at(r, grid.cols() - 1 - j),
+                            grid.at(r, grid.cols() - 2 - j),
+                        )
                     };
-                    phase.add(Flow::new(from, to)).expect("waves pair distinct cells");
+                    phase
+                        .add(Flow::new(from, to))
+                        .expect("waves pair distinct cells");
                 }
             }
             (!phase.is_empty()).then_some(phase)
@@ -115,8 +127,9 @@ fn y_sweep(grid: &Grid, forward: bool, params: &WorkloadParams) -> Vec<Phase> {
     let n = grid.rows(); // square
     (0..n)
         .filter_map(|d| {
-            let mut phase =
-                Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+            let mut phase = Phase::new()
+                .with_bytes(params.bytes)
+                .with_compute(params.compute_ticks);
             for c in 0..grid.cols() {
                 for j in 0..grid.rows() - 1 {
                     if (j + c) % n != d {
@@ -125,9 +138,14 @@ fn y_sweep(grid: &Grid, forward: bool, params: &WorkloadParams) -> Vec<Phase> {
                     let (from, to) = if forward {
                         (grid.at(j, c), grid.at(j + 1, c))
                     } else {
-                        (grid.at(grid.rows() - 1 - j, c), grid.at(grid.rows() - 2 - j, c))
+                        (
+                            grid.at(grid.rows() - 1 - j, c),
+                            grid.at(grid.rows() - 2 - j, c),
+                        )
                     };
-                    phase.add(Flow::new(from, to)).expect("waves pair distinct cells");
+                    phase
+                        .add(Flow::new(from, to))
+                        .expect("waves pair distinct cells");
                 }
             }
             (!phase.is_empty()).then_some(phase)
@@ -142,7 +160,7 @@ fn iteration_phases(variant: Variant, grid: &Grid, params: &WorkloadParams) -> V
     phases.extend(shift_waves(grid, 0, n - 1, params)); // copy_faces west
     phases.extend(shift_waves(grid, 1, 0, params)); // copy_faces south
     phases.extend(shift_waves(grid, n - 1, 0, params)); // copy_faces north
-    // ADI sweeps: forward and backward in both dimensions, pipelined.
+                                                        // ADI sweeps: forward and backward in both dimensions, pipelined.
     phases.extend(x_sweep(grid, true, params));
     phases.extend(x_sweep(grid, false, params));
     phases.extend(y_sweep(grid, true, params));

@@ -18,13 +18,18 @@ pub(crate) fn schedule(
 ) -> Result<PhaseSchedule, WorkloadError> {
     let grid = Grid::power_of_two(n_procs)?;
     if n_procs < 2 {
-        return Err(WorkloadError::TooFewProcs { n_procs, minimum: 2 });
+        return Err(WorkloadError::TooFewProcs {
+            n_procs,
+            minimum: 2,
+        });
     }
     let mut sched = PhaseSchedule::new(n_procs);
     let iteration = iteration_phases(&grid, params);
     for _ in 0..params.iterations.max(1) {
         for phase in &iteration {
-            sched.push(phase.clone()).expect("generated flows are in range");
+            sched
+                .push(phase.clone())
+                .expect("generated flows are in range");
         }
     }
     Ok(sched)
@@ -39,7 +44,9 @@ fn iteration_phases(grid: &Grid, params: &WorkloadParams) -> Vec<Phase> {
     // bit `s`. Each round is a full permutation (an involution).
     let mut distance = 1;
     while distance < grid.cols() {
-        let mut phase = Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+        let mut phase = Phase::new()
+            .with_bytes(params.bytes)
+            .with_compute(params.compute_ticks);
         for r in 0..grid.rows() {
             for c in 0..grid.cols() {
                 let partner = grid.at(r, c ^ distance);
@@ -57,7 +64,9 @@ fn iteration_phases(grid: &Grid, params: &WorkloadParams) -> Vec<Phase> {
     // clique of the paper's Contention Period 3). On NPB's non-square
     // grids the transpose partner is the process half the machine away,
     // which is the same involution NPB's `exch_proc` reduces to there.
-    let mut transpose = Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+    let mut transpose = Phase::new()
+        .with_bytes(params.bytes)
+        .with_compute(params.compute_ticks);
     if grid.is_square() {
         for r in 0..grid.rows() {
             for c in 0..grid.cols() {
@@ -112,7 +121,20 @@ mod tests {
         let sched = schedule(16, &params()).unwrap();
         let k = sched.maximum_clique_set();
         let transpose = k.iter().find(|c| c.len() == 12).unwrap();
-        for (s, d) in [(1, 4), (4, 1), (2, 8), (8, 2), (3, 12), (12, 3), (6, 9), (9, 6), (7, 13), (13, 7), (11, 14), (14, 11)] {
+        for (s, d) in [
+            (1, 4),
+            (4, 1),
+            (2, 8),
+            (8, 2),
+            (3, 12),
+            (12, 3),
+            (6, 9),
+            (9, 6),
+            (7, 13),
+            (13, 7),
+            (11, 14),
+            (14, 11),
+        ] {
             assert!(
                 transpose.contains(Flow::from_indices(s, d)),
                 "transpose missing ({s},{d})"
@@ -125,9 +147,7 @@ mod tests {
         let sched = schedule(8, &params()).unwrap();
         // 4x2 grid: one row-reduction round + half-shift transpose.
         assert_eq!(sched.len(), 2);
-        assert!(sched
-            .all_flows()
-            .contains(&Flow::from_indices(0, 4)));
+        assert!(sched.all_flows().contains(&Flow::from_indices(0, 4)));
     }
 
     #[test]

@@ -59,7 +59,11 @@ mod tests {
             "8 processes is not a perfect square"
         );
         assert_eq!(
-            WorkloadError::TooFewProcs { n_procs: 1, minimum: 4 }.to_string(),
+            WorkloadError::TooFewProcs {
+                n_procs: 1,
+                minimum: 4
+            }
+            .to_string(),
             "1 processes is below the minimum of 4"
         );
     }

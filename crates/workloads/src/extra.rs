@@ -20,12 +20,18 @@ use crate::{Grid, WorkloadError, WorkloadParams};
 ///
 /// [`WorkloadError::NotPowerOfTwo`] for non-power-of-two counts,
 /// [`WorkloadError::TooFewProcs`] below 2.
-pub fn is_schedule(n_procs: usize, params: &WorkloadParams) -> Result<PhaseSchedule, WorkloadError> {
+pub fn is_schedule(
+    n_procs: usize,
+    params: &WorkloadParams,
+) -> Result<PhaseSchedule, WorkloadError> {
     if n_procs == 0 || !n_procs.is_power_of_two() {
         return Err(WorkloadError::NotPowerOfTwo { n_procs });
     }
     if n_procs < 2 {
-        return Err(WorkloadError::TooFewProcs { n_procs, minimum: 2 });
+        return Err(WorkloadError::TooFewProcs {
+            n_procs,
+            minimum: 2,
+        });
     }
     let mut sched = PhaseSchedule::new(n_procs);
     let rounds = n_procs.trailing_zeros() as usize;
@@ -34,7 +40,9 @@ pub fn is_schedule(n_procs: usize, params: &WorkloadParams) -> Result<PhaseSched
     // Histogram allreduce: binomial reduce into 0, broadcast back out.
     // Short messages, like MG.
     for k in 0..rounds {
-        let mut phase = Phase::new().with_bytes(64).with_compute(params.compute_ticks / 4);
+        let mut phase = Phase::new()
+            .with_bytes(64)
+            .with_compute(params.compute_ticks / 4);
         let stride = 1usize << (k + 1);
         let half = 1usize << k;
         let mut p = half;
@@ -47,7 +55,9 @@ pub fn is_schedule(n_procs: usize, params: &WorkloadParams) -> Result<PhaseSched
         iteration.push(phase);
     }
     for k in (0..rounds).rev() {
-        let mut phase = Phase::new().with_bytes(64).with_compute(params.compute_ticks / 4);
+        let mut phase = Phase::new()
+            .with_bytes(64)
+            .with_compute(params.compute_ticks / 4);
         let half = 1usize << k;
         for p in 0..half {
             phase
@@ -59,7 +69,9 @@ pub fn is_schedule(n_procs: usize, params: &WorkloadParams) -> Result<PhaseSched
     // Key redistribution: XOR pairwise exchange rounds over everyone —
     // each round a full permutation of large payloads.
     for s in 1..n_procs {
-        let mut phase = Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+        let mut phase = Phase::new()
+            .with_bytes(params.bytes)
+            .with_compute(params.compute_ticks);
         for p in 0..n_procs {
             phase
                 .add(Flow::from_indices(p, p ^ s))
@@ -70,7 +82,9 @@ pub fn is_schedule(n_procs: usize, params: &WorkloadParams) -> Result<PhaseSched
 
     for _ in 0..params.iterations.max(1) {
         for phase in &iteration {
-            sched.push(phase.clone()).expect("generated flows are in range");
+            sched
+                .push(phase.clone())
+                .expect("generated flows are in range");
         }
     }
     Ok(sched)
@@ -86,10 +100,16 @@ pub fn is_schedule(n_procs: usize, params: &WorkloadParams) -> Result<PhaseSched
 ///
 /// [`WorkloadError::NotPerfectSquare`] for non-square counts,
 /// [`WorkloadError::TooFewProcs`] below 4.
-pub fn lu_schedule(n_procs: usize, params: &WorkloadParams) -> Result<PhaseSchedule, WorkloadError> {
+pub fn lu_schedule(
+    n_procs: usize,
+    params: &WorkloadParams,
+) -> Result<PhaseSchedule, WorkloadError> {
     let grid = Grid::square(n_procs)?;
     if n_procs < 4 {
-        return Err(WorkloadError::TooFewProcs { n_procs, minimum: 4 });
+        return Err(WorkloadError::TooFewProcs {
+            n_procs,
+            minimum: 4,
+        });
     }
     let n = grid.rows();
     let mut sched = PhaseSchedule::new(n_procs);
@@ -99,8 +119,9 @@ pub fn lu_schedule(n_procs: usize, params: &WorkloadParams) -> Result<PhaseSched
     // sends east and south (in two separate calls, as the code does).
     for d in 0..(2 * n - 2) {
         for (dr, dc) in [(0usize, 1usize), (1, 0)] {
-            let mut phase =
-                Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+            let mut phase = Phase::new()
+                .with_bytes(params.bytes)
+                .with_compute(params.compute_ticks);
             for r in 0..n {
                 for c in 0..n {
                     if r + c != d || r + dr >= n || c + dc >= n {
@@ -119,8 +140,9 @@ pub fn lu_schedule(n_procs: usize, params: &WorkloadParams) -> Result<PhaseSched
     // Upper sweep: mirrored, anti-diagonal order, west and north.
     for d in (0..(2 * n - 2)).rev() {
         for (dr, dc) in [(0usize, 1usize), (1, 0)] {
-            let mut phase =
-                Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+            let mut phase = Phase::new()
+                .with_bytes(params.bytes)
+                .with_compute(params.compute_ticks);
             for r in 0..n {
                 for c in 0..n {
                     if r + c != d || r < dr || c < dc {
@@ -139,7 +161,9 @@ pub fn lu_schedule(n_procs: usize, params: &WorkloadParams) -> Result<PhaseSched
 
     for _ in 0..params.iterations.max(1) {
         for phase in &iteration {
-            sched.push(phase.clone()).expect("generated flows are in range");
+            sched
+                .push(phase.clone())
+                .expect("generated flows are in range");
         }
     }
     Ok(sched)

@@ -21,13 +21,18 @@ pub(crate) fn schedule(
 ) -> Result<PhaseSchedule, WorkloadError> {
     let grid = Grid::power_of_two(n_procs)?;
     if n_procs < 2 {
-        return Err(WorkloadError::TooFewProcs { n_procs, minimum: 2 });
+        return Err(WorkloadError::TooFewProcs {
+            n_procs,
+            minimum: 2,
+        });
     }
     let mut sched = PhaseSchedule::new(n_procs);
     let phases = iteration_phases(&grid, params);
     for _ in 0..params.iterations.max(1) {
         for phase in &phases {
-            sched.push(phase.clone()).expect("generated flows are in range");
+            sched
+                .push(phase.clone())
+                .expect("generated flows are in range");
         }
     }
     Ok(sched)
@@ -51,7 +56,9 @@ fn iteration_phases(grid: &Grid, params: &WorkloadParams) -> Vec<Phase> {
     // `row_pairs[(k + r) % len]`.
     let row_pairs = pairs(grid.cols());
     for k in 0..row_pairs.len() {
-        let mut phase = Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+        let mut phase = Phase::new()
+            .with_bytes(params.bytes)
+            .with_compute(params.compute_ticks);
         for r in 0..grid.rows() {
             let (a, b) = row_pairs[(k + r) % row_pairs.len()];
             phase
@@ -67,7 +74,9 @@ fn iteration_phases(grid: &Grid, params: &WorkloadParams) -> Vec<Phase> {
     // All-to-all within columns, staggered per column.
     let col_pairs = pairs(grid.rows());
     for k in 0..col_pairs.len() {
-        let mut phase = Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+        let mut phase = Phase::new()
+            .with_bytes(params.bytes)
+            .with_compute(params.compute_ticks);
         for c in 0..grid.cols() {
             let (a, b) = col_pairs[(k + c) % col_pairs.len()];
             phase

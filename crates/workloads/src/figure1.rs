@@ -104,7 +104,8 @@ mod tests {
         let k = sched.maximum_clique_set();
         let expected: BTreeSet<Flow> = transpose_clique().into_iter().collect();
         assert!(
-            k.iter().any(|c| c.iter().collect::<BTreeSet<_>>() == expected),
+            k.iter()
+                .any(|c| c.iter().collect::<BTreeSet<_>>() == expected),
             "Figure 1's transpose period not found in the clique set"
         );
     }

@@ -93,7 +93,10 @@ impl Grid {
     ///
     /// Panics if the coordinate is outside the grid.
     pub fn at(&self, row: usize, col: usize) -> ProcId {
-        assert!(row < self.rows && col < self.cols, "({row},{col}) outside grid");
+        assert!(
+            row < self.rows && col < self.cols,
+            "({row},{col}) outside grid"
+        );
         ProcId(row * self.cols + col)
     }
 

@@ -61,8 +61,8 @@ mod synthetic;
 pub mod traffic;
 
 pub use benchmark::{suite, Benchmark};
-pub use extra::{is_schedule, lu_schedule};
 pub use error::WorkloadError;
+pub use extra::{is_schedule, lu_schedule};
 pub use grid::Grid;
 pub use params::WorkloadParams;
 pub use synthetic::random_permutation_schedule;

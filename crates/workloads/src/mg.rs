@@ -22,13 +22,18 @@ pub(crate) fn schedule(
         return Err(WorkloadError::NotPowerOfTwo { n_procs });
     }
     if n_procs < 2 {
-        return Err(WorkloadError::TooFewProcs { n_procs, minimum: 2 });
+        return Err(WorkloadError::TooFewProcs {
+            n_procs,
+            minimum: 2,
+        });
     }
     let mut sched = PhaseSchedule::new(n_procs);
     let phases = iteration_phases(n_procs, params);
     for _ in 0..params.iterations.max(1) {
         for phase in &phases {
-            sched.push(phase.clone()).expect("generated flows are in range");
+            sched
+                .push(phase.clone())
+                .expect("generated flows are in range");
         }
     }
     Ok(sched)
@@ -42,7 +47,9 @@ fn iteration_phases(n: usize, params: &WorkloadParams) -> Vec<Phase> {
     // low k bits are zero and whose bit k is set sends to the peer with
     // that bit cleared.
     for k in 0..rounds {
-        let mut phase = Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+        let mut phase = Phase::new()
+            .with_bytes(params.bytes)
+            .with_compute(params.compute_ticks);
         let stride = 1usize << (k + 1);
         let half = 1usize << k;
         let mut p = half;
@@ -58,7 +65,9 @@ fn iteration_phases(n: usize, params: &WorkloadParams) -> Vec<Phase> {
     // Binomial broadcast from process 0: at round k, every process below
     // 2^k forwards to its peer 2^k above.
     for k in 0..rounds {
-        let mut phase = Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+        let mut phase = Phase::new()
+            .with_bytes(params.bytes)
+            .with_compute(params.compute_ticks);
         let half = 1usize << k;
         for p in 0..half {
             phase

@@ -99,7 +99,10 @@ mod tests {
 
     #[test]
     fn builder_overrides() {
-        let p = WorkloadParams::default().with_bytes(1).with_compute(2).with_iterations(3);
+        let p = WorkloadParams::default()
+            .with_bytes(1)
+            .with_compute(2)
+            .with_iterations(3);
         assert_eq!((p.bytes, p.compute_ticks, p.iterations), (1, 2, 3));
     }
 }

@@ -2,9 +2,7 @@
 //! exercising synthesis beyond the five NAS shapes.
 
 use nocsyn_model::{Flow, Phase, PhaseSchedule};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use nocsyn_rng::Rng;
 
 use crate::WorkloadParams;
 
@@ -26,19 +24,21 @@ pub fn random_permutation_schedule(
     params: &WorkloadParams,
 ) -> PhaseSchedule {
     assert!(n_procs >= 2, "need at least two processes to communicate");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut sched = PhaseSchedule::new(n_procs);
     for _ in 0..n_phases {
         let mut procs: Vec<usize> = (0..n_procs).collect();
-        procs.shuffle(&mut rng);
+        rng.shuffle(&mut procs);
         // Random participant count in [2, n_procs].
         let take = rng.gen_range(2..=n_procs);
         let mut participants = procs[..take].to_vec();
         participants.sort_unstable();
         let mut targets = participants.clone();
-        targets.shuffle(&mut rng);
+        rng.shuffle(&mut targets);
 
-        let mut phase = Phase::new().with_bytes(params.bytes).with_compute(params.compute_ticks);
+        let mut phase = Phase::new()
+            .with_bytes(params.bytes)
+            .with_compute(params.compute_ticks);
         for (&s, &d) in participants.iter().zip(targets.iter()) {
             if s != d {
                 phase

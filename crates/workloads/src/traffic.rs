@@ -8,8 +8,7 @@
 //! matching its application.
 
 use nocsyn_model::{Message, ProcId, Trace};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nocsyn_rng::Rng;
 
 /// Destination selection for [`open_loop_traffic`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,10 +55,13 @@ pub fn open_loop_traffic(
     );
     if let TrafficPattern::Hotspot { hot, fraction } = pattern {
         assert!(hot < n_procs, "hotspot process out of range");
-        assert!((0.0..=1.0).contains(&fraction), "hotspot fraction is a probability");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "hotspot fraction is a probability"
+        );
     }
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut trace = Trace::new(n_procs);
     let slot = u64::from(message_bytes.max(1));
     let mut t = 0;
@@ -140,7 +142,10 @@ mod tests {
     fn hotspot_concentrates_traffic() {
         let t = open_loop_traffic(
             8,
-            TrafficPattern::Hotspot { hot: 3, fraction: 0.7 },
+            TrafficPattern::Hotspot {
+                hot: 3,
+                fraction: 0.7,
+            },
             0.5,
             8_192,
             128,
@@ -171,7 +176,10 @@ mod tests {
     fn hotspot_bounds_checked() {
         let _ = open_loop_traffic(
             4,
-            TrafficPattern::Hotspot { hot: 9, fraction: 0.5 },
+            TrafficPattern::Hotspot {
+                hot: 9,
+                fraction: 0.5,
+            },
             0.5,
             100,
             64,

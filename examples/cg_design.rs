@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for flow in transpose.iter().take(3) {
         println!(
             "route for {flow}: {}",
-            result.routes.route(*flow).expect("all pattern flows routed")
+            result
+                .routes
+                .route(*flow)
+                .expect("all pattern flows routed")
         );
     }
     let _ = Flow::from_indices(0, 1); // (see quickstart for route queries)

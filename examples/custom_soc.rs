@@ -21,20 +21,52 @@ fn pipeline_schedule() -> Result<PhaseSchedule, Box<dyn std::error::Error>> {
     let mut s = PhaseSchedule::new(12);
     // Stage A: camera feeds the preprocessor while the DRAM controller
     // streams reference frames to the tracker.
-    s.push(Phase::from_flows([(0usize, 1usize), (11, 9)])?.with_bytes(8192).with_compute(500))?;
+    s.push(
+        Phase::from_flows([(0usize, 1usize), (11, 9)])?
+            .with_bytes(8192)
+            .with_compute(500),
+    )?;
     // Stage B: preprocessor fans out to the two denoisers (two calls).
-    s.push(Phase::from_flows([(1usize, 2usize), (11, 10)])?.with_bytes(8192).with_compute(200))?;
-    s.push(Phase::from_flows([(1usize, 3usize)])?.with_bytes(8192).with_compute(200))?;
+    s.push(
+        Phase::from_flows([(1usize, 2usize), (11, 10)])?
+            .with_bytes(8192)
+            .with_compute(200),
+    )?;
+    s.push(
+        Phase::from_flows([(1usize, 3usize)])?
+            .with_bytes(8192)
+            .with_compute(200),
+    )?;
     // Stage C: denoisers feed decode lanes pairwise.
-    s.push(Phase::from_flows([(2usize, 4usize), (3, 6)])?.with_bytes(4096).with_compute(800))?;
-    s.push(Phase::from_flows([(2usize, 5usize), (3, 7)])?.with_bytes(4096).with_compute(800))?;
+    s.push(
+        Phase::from_flows([(2usize, 4usize), (3, 6)])?
+            .with_bytes(4096)
+            .with_compute(800),
+    )?;
+    s.push(
+        Phase::from_flows([(2usize, 5usize), (3, 7)])?
+            .with_bytes(4096)
+            .with_compute(800),
+    )?;
     // Stage D: decode lanes stream into the feature extractor (4 calls).
     for lane in 4..8usize {
-        s.push(Phase::from_flows([(lane, 8usize)])?.with_bytes(2048).with_compute(300))?;
+        s.push(
+            Phase::from_flows([(lane, 8usize)])?
+                .with_bytes(2048)
+                .with_compute(300),
+        )?;
     }
     // Stage E: features to tracker and detector; results to DRAM.
-    s.push(Phase::from_flows([(8usize, 9usize), (10, 11)])?.with_bytes(1024).with_compute(400))?;
-    s.push(Phase::from_flows([(8usize, 10usize), (9, 11)])?.with_bytes(1024).with_compute(400))?;
+    s.push(
+        Phase::from_flows([(8usize, 9usize), (10, 11)])?
+            .with_bytes(1024)
+            .with_compute(400),
+    )?;
+    s.push(
+        Phase::from_flows([(8usize, 10usize), (9, 11)])?
+            .with_bytes(1024)
+            .with_compute(400),
+    )?;
     Ok(s)
 }
 

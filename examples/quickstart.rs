@@ -13,11 +13,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    live simultaneously (one contention period).
     let mut schedule = PhaseSchedule::new(8);
     // A neighbor exchange...
-    schedule.push(Phase::from_flows([(0usize, 1usize), (2, 3), (4, 5), (6, 7)])?)?;
-    schedule.push(Phase::from_flows([(1usize, 0usize), (3, 2), (5, 4), (7, 6)])?)?;
+    schedule.push(Phase::from_flows([
+        (0usize, 1usize),
+        (2, 3),
+        (4, 5),
+        (6, 7),
+    ])?)?;
+    schedule.push(Phase::from_flows([
+        (1usize, 0usize),
+        (3, 2),
+        (5, 4),
+        (7, 6),
+    ])?)?;
     // ...then a butterfly step.
-    schedule.push(Phase::from_flows([(0usize, 4usize), (1, 5), (2, 6), (3, 7)])?)?;
-    schedule.push(Phase::from_flows([(4usize, 0usize), (5, 1), (6, 2), (7, 3)])?)?;
+    schedule.push(Phase::from_flows([
+        (0usize, 4usize),
+        (1, 5),
+        (2, 6),
+        (3, 7),
+    ])?)?;
+    schedule.push(Phase::from_flows([
+        (4usize, 0usize),
+        (5, 1),
+        (6, 2),
+        (7, 3),
+    ])?)?;
 
     // 2. Extract the contention model (Definitions 2-5 of the paper).
     let pattern = AppPattern::from_schedule(&schedule);

@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let contenders: Vec<(&str, &nocsyn::topo::Network, RoutePolicy)> = vec![
         ("crossbar", &xbar, RoutePolicy::deterministic(xbar_routes)),
         ("mesh", &mesh, RoutePolicy::deterministic(mesh_routes)),
-        ("torus", &torus, RoutePolicy::adaptive(vec![torus_xy, torus_yx])),
+        (
+            "torus",
+            &torus,
+            RoutePolicy::adaptive(vec![torus_xy, torus_yx]),
+        ),
         (
             "generated",
             &generated.network,

@@ -134,7 +134,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
         ("synth", Input::Trace(t)) => cmd_synth(&AppPattern::from_trace(&t), &opts),
         ("simulate", Input::Schedule(s)) => cmd_simulate(&s, &opts),
         ("simulate", Input::Trace(t)) => cmd_replay(&t, &opts),
-        ("verify", Input::Schedule(s)) => cmd_verify_pattern(&AppPattern::from_schedule(&s), &s, &opts),
+        ("verify", Input::Schedule(s)) => {
+            cmd_verify_pattern(&AppPattern::from_schedule(&s), &s, &opts)
+        }
         ("verify", Input::Trace(t)) => {
             let stand_in = schedule_stand_in(&t);
             cmd_verify_pattern(&AppPattern::from_trace(&t), &stand_in, &opts)
@@ -156,9 +158,13 @@ fn parse_input(path: &str, input: &str) -> Result<Input, String> {
         .map(|l| l.split('#').next().unwrap_or("").trim())
         .any(|l| l.starts_with("msg "));
     if is_trace {
-        Ok(Input::Trace(parse_trace(input).map_err(|e| format!("{path}: {e}"))?))
+        Ok(Input::Trace(
+            parse_trace(input).map_err(|e| format!("{path}: {e}"))?,
+        ))
     } else {
-        Ok(Input::Schedule(parse_schedule(input).map_err(|e| format!("{path}: {e}"))?))
+        Ok(Input::Schedule(
+            parse_schedule(input).map_err(|e| format!("{path}: {e}"))?,
+        ))
     }
 }
 
@@ -223,7 +229,13 @@ fn cmd_simulate(schedule: &PhaseSchedule, opts: &Options) -> Result<String, Stri
         .run(schedule)
         .map_err(|e| e.to_string())?;
     let mut out = String::new();
-    let _ = writeln!(out, "network: {} ({} switches, {} links)", opts.network, net.n_switches(), net.n_network_links());
+    let _ = writeln!(
+        out,
+        "network: {} ({} switches, {} links)",
+        opts.network,
+        net.n_switches(),
+        net.n_network_links()
+    );
     let _ = writeln!(out, "{stats}");
     let _ = writeln!(
         out,
@@ -333,7 +345,6 @@ fn near_square(n: usize) -> (usize, usize) {
     (r.max(1), n / r.max(1))
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,7 +355,8 @@ mod tests {
         path.to_string_lossy().into_owned()
     }
 
-    const PATTERN: &str = "procs 4\nphase bytes=256\n  0 -> 1\n  2 -> 3\nphase bytes=256\n  1 -> 2\n  3 -> 0\n";
+    const PATTERN: &str =
+        "procs 4\nphase bytes=256\n  0 -> 1\n  2 -> 3\nphase bytes=256\n  1 -> 2\n  3 -> 0\n";
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
@@ -393,8 +405,15 @@ mod tests {
     fn simulate_on_each_network_kind() {
         let path = write_pattern("sim", PATTERN);
         for kind in ["crossbar", "mesh", "torus", "generated"] {
-            let out = run(&args(&["simulate", &path, "--network", kind, "--restarts", "1"]))
-                .unwrap();
+            let out = run(&args(&[
+                "simulate",
+                &path,
+                "--network",
+                kind,
+                "--restarts",
+                "1",
+            ]))
+            .unwrap();
             assert!(out.contains("exec"), "{kind}: {out}");
             assert!(out.contains("deadlock kills: 0"), "{kind}");
         }

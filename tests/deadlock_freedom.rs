@@ -59,9 +59,13 @@ fn cdg_witness_cycles_are_real_cycles() {
     assert_eq!(cycle.first(), cycle.last());
     for w in cycle.windows(2) {
         // Each consecutive pair must be a dependency of some route.
-        let dependent = routes.iter().any(|(_, r)| {
-            r.hops().windows(2).any(|h| h[0] == w[0] && h[1] == w[1])
-        });
-        assert!(dependent, "witness edge {} -> {} is not a dependency", w[0], w[1]);
+        let dependent = routes
+            .iter()
+            .any(|(_, r)| r.hops().windows(2).any(|h| h[0] == w[0] && h[1] == w[1]));
+        assert!(
+            dependent,
+            "witness edge {} -> {} is not a dependency",
+            w[0], w[1]
+        );
     }
 }

@@ -33,10 +33,7 @@ fn every_benchmark_synthesizes_and_simulates_small() {
 
         // Theorem 1 (independent re-check, not the report flag).
         let check = verify_contention_free(pattern.contention(), &result.routes);
-        assert!(
-            check.is_contention_free(),
-            "{benchmark}: {check}"
-        );
+        assert!(check.is_contention_free(), "{benchmark}: {check}");
 
         // Simulation delivers every message with no deadlock.
         let plan = place(&result.network, 2);
@@ -59,11 +56,7 @@ fn generated_network_never_uses_more_switches_than_procs() {
     for benchmark in [Benchmark::Cg, Benchmark::Mg] {
         let n = benchmark.paper_procs(true);
         let schedule = benchmark.schedule(n, &light(benchmark)).unwrap();
-        let result = synthesize(
-            &AppPattern::from_schedule(&schedule),
-            &fast_config(3),
-        )
-        .unwrap();
+        let result = synthesize(&AppPattern::from_schedule(&schedule), &fast_config(3)).unwrap();
         assert!(result.network.n_switches() <= n);
         assert!(result.report.constraints_met);
     }

@@ -13,12 +13,8 @@ fn light(benchmark: Benchmark) -> WorkloadParams {
 
 #[test]
 fn incremental_synthesis_is_valid_and_contention_free() {
-    let cg = AppPattern::from_schedule(
-        &Benchmark::Cg.schedule(16, &light(Benchmark::Cg)).unwrap(),
-    );
-    let mg = AppPattern::from_schedule(
-        &Benchmark::Mg.schedule(16, &light(Benchmark::Mg)).unwrap(),
-    );
+    let cg = AppPattern::from_schedule(&Benchmark::Cg.schedule(16, &light(Benchmark::Cg)).unwrap());
+    let mg = AppPattern::from_schedule(&Benchmark::Mg.schedule(16, &light(Benchmark::Mg)).unwrap());
     let config = SynthesisConfig::new().with_seed(0x1E).with_restarts(2);
 
     let base = synthesize(&cg, &config).unwrap();
@@ -32,12 +28,8 @@ fn incremental_synthesis_is_valid_and_contention_free() {
 
 #[test]
 fn warm_start_changes_less_than_cold_start() {
-    let cg = AppPattern::from_schedule(
-        &Benchmark::Cg.schedule(16, &light(Benchmark::Cg)).unwrap(),
-    );
-    let mg = AppPattern::from_schedule(
-        &Benchmark::Mg.schedule(16, &light(Benchmark::Mg)).unwrap(),
-    );
+    let cg = AppPattern::from_schedule(&Benchmark::Cg.schedule(16, &light(Benchmark::Cg)).unwrap());
+    let mg = AppPattern::from_schedule(&Benchmark::Mg.schedule(16, &light(Benchmark::Mg)).unwrap());
     let config = SynthesisConfig::new().with_seed(0x1F).with_restarts(2);
 
     let base = synthesize(&cg, &config).unwrap();
@@ -60,15 +52,16 @@ fn warm_start_changes_less_than_cold_start() {
     // Sanity: neither edit script is pathological (bounded by rebuilding
     // every link of both networks).
     let bound = base.network.n_network_links()
-        + warm.network.n_network_links().max(cold.network.n_network_links());
+        + warm
+            .network
+            .n_network_links()
+            .max(cold.network.n_network_links());
     assert!(warm_delta.cost() <= bound + 16);
 }
 
 #[test]
 fn identity_reconfiguration_when_pattern_unchanged() {
-    let cg = AppPattern::from_schedule(
-        &Benchmark::Cg.schedule(8, &light(Benchmark::Cg)).unwrap(),
-    );
+    let cg = AppPattern::from_schedule(&Benchmark::Cg.schedule(8, &light(Benchmark::Cg)).unwrap());
     let config = SynthesisConfig::new().with_seed(0x20).with_restarts(2);
     let base = synthesize(&cg, &config).unwrap();
     let again = synthesize_incremental(&cg, &base.placement, &config).unwrap();

@@ -1,104 +1,147 @@
 //! Simulator conservation properties: every injected message is delivered
 //! exactly once, on any topology, with or without deadlock recovery.
 
-use proptest::prelude::*;
+use nocsyn_check::{check_assert_eq, check_n, u32_in, u64_in, usize_in, vec_of};
 
 use nocsyn::model::Flow;
 use nocsyn::sim::{Engine, SimConfig};
 use nocsyn::topo::{regular, shortest_route};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Open-loop injection on a mesh: all messages delivered, none lost or
-    /// duplicated, regardless of injection times and sizes.
-    #[test]
-    fn mesh_delivers_every_message(
-        rows in 2usize..4,
-        cols in 2usize..4,
-        messages in prop::collection::vec(
-            (0usize..16, 0usize..16, 1u32..2_048, 0u64..500),
-            1..24,
+/// Open-loop injection on a mesh: all messages delivered, none lost or
+/// duplicated, regardless of injection times and sizes.
+#[test]
+fn mesh_delivers_every_message() {
+    check_n(
+        "mesh_delivers_every_message",
+        24,
+        (
+            usize_in(2..4),
+            usize_in(2..4),
+            vec_of(
+                (
+                    usize_in(0..16),
+                    usize_in(0..16),
+                    u32_in(1..2_048),
+                    u64_in(0..500),
+                ),
+                1..24,
+            ),
         ),
-    ) {
-        let (net, routes) = regular::mesh(rows, cols).unwrap();
-        let n = rows * cols;
-        let mut eng = Engine::new(&net, SimConfig::paper());
-        let mut injected = 0u64;
-        for (s, d, bytes, at) in messages {
-            let (s, d) = (s % n, d % n);
-            if s == d {
-                continue;
+        |(rows, cols, messages)| {
+            let (net, routes) = regular::mesh(*rows, *cols).unwrap();
+            let n = rows * cols;
+            let mut eng = Engine::new(&net, SimConfig::paper());
+            let mut injected = 0u64;
+            for &(s, d, bytes, at) in messages {
+                let (s, d) = (s % n, d % n);
+                if s == d {
+                    continue;
+                }
+                let flow = Flow::from_indices(s, d);
+                eng.inject(flow, bytes, routes.route(flow).unwrap(), at, 0);
+                injected += 1;
             }
-            let flow = Flow::from_indices(s, d);
-            eng.inject(flow, bytes, routes.route(flow).unwrap(), at, 0);
-            injected += 1;
-        }
-        eng.run_until_idle().unwrap();
-        let stats = eng.packet_stats();
-        prop_assert_eq!(stats.delivered, injected);
-        prop_assert_eq!(stats.deadlock_kills, 0, "DOR meshes cannot deadlock");
-    }
+            eng.run_until_idle().unwrap();
+            let stats = eng.packet_stats();
+            check_assert_eq!(stats.delivered, injected);
+            check_assert_eq!(stats.deadlock_kills, 0, "DOR meshes cannot deadlock");
+            Ok(())
+        },
+    );
+}
 
-    /// Even with a 1-VC configuration engineered to deadlock, regressive
-    /// recovery eventually delivers everything exactly once.
-    #[test]
-    fn recovery_preserves_conservation(seed in 0u64..50) {
-        // Ring of 3 switches with crossing long messages (cf. the unit
-        // test in the engine); vary payloads by seed.
-        use nocsyn::model::ProcId;
-        use nocsyn::topo::{Channel, Network, Route};
-        let mut net = Network::new(6);
-        let s: Vec<_> = (0..3).map(|_| net.add_switch()).collect();
-        let l01 = net.add_link(s[0], s[1]).unwrap();
-        let l12 = net.add_link(s[1], s[2]).unwrap();
-        let l20 = net.add_link(s[2], s[0]).unwrap();
-        for (p, &switch) in s.iter().enumerate() {
-            net.attach(ProcId(p), switch).unwrap();
-        }
-        for p in 3..6 {
-            net.attach(ProcId(p), s[p - 3]).unwrap();
-        }
-        let inj = |p: usize| net.injection_channel(ProcId(p)).unwrap();
-        let ej = |p: usize| net.ejection_channel(ProcId(p)).unwrap();
-        let routes = [
-            (Flow::from_indices(0, 5),
-             Route::new(vec![inj(0), Channel::forward(l01), Channel::forward(l12), ej(5)])),
-            (Flow::from_indices(1, 3),
-             Route::new(vec![inj(1), Channel::forward(l12), Channel::forward(l20), ej(3)])),
-            (Flow::from_indices(2, 4),
-             Route::new(vec![inj(2), Channel::forward(l20), Channel::forward(l01), ej(4)])),
-        ];
-        let bytes = 512 + (seed as u32 % 7) * 256;
-        let config = SimConfig::paper()
-            .with_vcs(1)
-            .with_deadlock_timeout(150)
-            .with_max_cycles(5_000_000);
-        let mut eng = Engine::new(&net, config);
-        for (f, r) in &routes {
-            r.validate(&net, *f).unwrap();
-            eng.inject(*f, bytes, r, 0, 0);
-        }
-        eng.run_until_idle().unwrap();
-        prop_assert_eq!(eng.packet_stats().delivered, 3);
-    }
+/// Even with a 1-VC configuration engineered to deadlock, regressive
+/// recovery eventually delivers everything exactly once.
+#[test]
+fn recovery_preserves_conservation() {
+    check_n(
+        "recovery_preserves_conservation",
+        24,
+        u64_in(0..50),
+        |&seed| {
+            // Ring of 3 switches with crossing long messages (cf. the unit
+            // test in the engine); vary payloads by seed.
+            use nocsyn::model::ProcId;
+            use nocsyn::topo::{Channel, Network, Route};
+            let mut net = Network::new(6);
+            let s: Vec<_> = (0..3).map(|_| net.add_switch()).collect();
+            let l01 = net.add_link(s[0], s[1]).unwrap();
+            let l12 = net.add_link(s[1], s[2]).unwrap();
+            let l20 = net.add_link(s[2], s[0]).unwrap();
+            for (p, &switch) in s.iter().enumerate() {
+                net.attach(ProcId(p), switch).unwrap();
+            }
+            for p in 3..6 {
+                net.attach(ProcId(p), s[p - 3]).unwrap();
+            }
+            let inj = |p: usize| net.injection_channel(ProcId(p)).unwrap();
+            let ej = |p: usize| net.ejection_channel(ProcId(p)).unwrap();
+            let routes = [
+                (
+                    Flow::from_indices(0, 5),
+                    Route::new(vec![
+                        inj(0),
+                        Channel::forward(l01),
+                        Channel::forward(l12),
+                        ej(5),
+                    ]),
+                ),
+                (
+                    Flow::from_indices(1, 3),
+                    Route::new(vec![
+                        inj(1),
+                        Channel::forward(l12),
+                        Channel::forward(l20),
+                        ej(3),
+                    ]),
+                ),
+                (
+                    Flow::from_indices(2, 4),
+                    Route::new(vec![
+                        inj(2),
+                        Channel::forward(l20),
+                        Channel::forward(l01),
+                        ej(4),
+                    ]),
+                ),
+            ];
+            let bytes = 512 + (seed as u32 % 7) * 256;
+            let config = SimConfig::paper()
+                .with_vcs(1)
+                .with_deadlock_timeout(150)
+                .with_max_cycles(5_000_000);
+            let mut eng = Engine::new(&net, config);
+            for (f, r) in &routes {
+                r.validate(&net, *f).unwrap();
+                eng.inject(*f, bytes, r, 0, 0);
+            }
+            eng.run_until_idle().unwrap();
+            check_assert_eq!(eng.packet_stats().delivered, 3);
+            Ok(())
+        },
+    );
+}
 
-    /// Latency on an unloaded path is exactly pipeline depth plus
-    /// serialization: sum of link delays + flits - 1.
-    #[test]
-    fn unloaded_latency_formula(
-        payload in 1u32..4_096,
-        delay in 1u32..6,
-    ) {
-        let (net, _) = regular::crossbar(2).unwrap();
-        let flow = Flow::from_indices(0, 1);
-        let route = shortest_route(&net, flow).unwrap();
-        let config = SimConfig::paper().with_link_delays(vec![delay, delay]);
-        let n_flits = config.flits_for(payload);
-        let mut eng = Engine::new(&net, config);
-        eng.inject(flow, payload, &route, 0, 0);
-        eng.run_until_idle().unwrap();
-        let expected = u64::from(delay) * 2 + n_flits - 1;
-        prop_assert_eq!(eng.packet_stats().max_latency, expected);
-    }
+/// Latency on an unloaded path is exactly pipeline depth plus
+/// serialization: sum of link delays + flits - 1.
+#[test]
+fn unloaded_latency_formula() {
+    check_n(
+        "unloaded_latency_formula",
+        24,
+        (u32_in(1..4_096), u32_in(1..6)),
+        |&(payload, delay)| {
+            let (net, _) = regular::crossbar(2).unwrap();
+            let flow = Flow::from_indices(0, 1);
+            let route = shortest_route(&net, flow).unwrap();
+            let config = SimConfig::paper().with_link_delays(vec![delay, delay]);
+            let n_flits = config.flits_for(payload);
+            let mut eng = Engine::new(&net, config);
+            eng.inject(flow, payload, &route, 0, 0);
+            eng.run_until_idle().unwrap();
+            let expected = u64::from(delay) * 2 + n_flits - 1;
+            check_assert_eq!(eng.packet_stats().max_latency, expected);
+            Ok(())
+        },
+    );
 }

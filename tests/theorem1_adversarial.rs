@@ -1,0 +1,205 @@
+//! Adversarial tests of the Theorem 1 checker on hand-built networks:
+//! routings constructed to violate `C ∩ R = ∅` must be reported contended
+//! with the exact shared channels, and routings constructed to satisfy it
+//! must pass — the checker cannot be fooled in either direction.
+
+use nocsyn::model::{ContentionSet, Flow, Message, ProcId, Trace};
+use nocsyn::topo::{
+    intersects, verify_contention_free, Channel, ConflictSet, Network, Route, RouteTable,
+};
+
+/// Two switches, two processors on each, `n_links` parallel links between
+/// them: the smallest network where pipe width decides contention.
+fn dumbbell(n_links: usize) -> (Network, Vec<nocsyn::topo::LinkId>) {
+    let mut net = Network::new(4);
+    let s0 = net.add_switch();
+    let s1 = net.add_switch();
+    let links = (0..n_links)
+        .map(|_| net.add_link(s0, s1).unwrap())
+        .collect();
+    net.attach(ProcId(0), s0).unwrap();
+    net.attach(ProcId(1), s0).unwrap();
+    net.attach(ProcId(2), s1).unwrap();
+    net.attach(ProcId(3), s1).unwrap();
+    (net, links)
+}
+
+/// Flows 0->2 and 1->3, live at the same time: `C` holds exactly their
+/// pair.
+fn crossing_contention() -> (Trace, Flow, Flow) {
+    let mut t = Trace::new(4);
+    t.push(Message::new(ProcId(0), ProcId(2), 0, 100).unwrap())
+        .unwrap();
+    t.push(Message::new(ProcId(1), ProcId(3), 50, 150).unwrap())
+        .unwrap();
+    (t, Flow::from_indices(0, 2), Flow::from_indices(1, 3))
+}
+
+fn route_over(net: &Network, src: usize, dst: usize, link: nocsyn::topo::LinkId) -> Route {
+    Route::new(vec![
+        net.injection_channel(ProcId(src)).unwrap(),
+        Channel::forward(link),
+        net.ejection_channel(ProcId(dst)).unwrap(),
+    ])
+}
+
+/// Forcing both contending flows onto the same link makes `C ∩ R ≠ ∅`:
+/// the checker must report exactly that pair, with the shared channel as
+/// witness.
+#[test]
+fn shared_link_is_reported_contended() {
+    let (net, links) = dumbbell(1);
+    let (trace, fa, fb) = crossing_contention();
+    let contention = trace.contention_set();
+    assert_eq!(contention.len(), 1, "C is exactly the crossing pair");
+
+    let mut routes = RouteTable::new();
+    routes.insert(fa, route_over(&net, 0, 2, links[0]));
+    routes.insert(fb, route_over(&net, 1, 3, links[0]));
+    routes.validate(&net).unwrap();
+
+    let report = verify_contention_free(&contention, &routes);
+    assert!(!report.is_contention_free());
+    assert_eq!(report.len(), 1);
+    let w = &report.witnesses()[0];
+    assert_eq!((w.flow_a, w.flow_b), (fa, fb));
+    assert_eq!(w.shared, vec![Channel::forward(links[0])]);
+
+    // The materialized conflict-set view agrees.
+    assert!(intersects(&contention, &ConflictSet::from_routes(&routes)));
+}
+
+/// Widening the pipe to two links and splitting the flows across them
+/// makes the same pattern contention-free — the constructed routing must
+/// pass both checker views.
+#[test]
+fn disjoint_links_pass_the_checker() {
+    let (net, links) = dumbbell(2);
+    let (trace, fa, fb) = crossing_contention();
+    let contention = trace.contention_set();
+
+    let mut routes = RouteTable::new();
+    routes.insert(fa, route_over(&net, 0, 2, links[0]));
+    routes.insert(fb, route_over(&net, 1, 3, links[1]));
+    routes.validate(&net).unwrap();
+
+    let report = verify_contention_free(&contention, &routes);
+    assert!(
+        report.is_contention_free(),
+        "unexpected witnesses: {report}"
+    );
+    assert!(!intersects(&contention, &ConflictSet::from_routes(&routes)));
+}
+
+/// Theorem 1 only requires `C ∩ R = ∅`: flows whose routes share a link
+/// but never overlap in time (the pair is outside `C`) must pass even on
+/// the single-link network.
+#[test]
+fn sequential_flows_may_share_a_link() {
+    let (net, links) = dumbbell(1);
+    let mut t = Trace::new(4);
+    t.push(Message::new(ProcId(0), ProcId(2), 0, 100).unwrap())
+        .unwrap();
+    t.push(Message::new(ProcId(1), ProcId(3), 200, 300).unwrap())
+        .unwrap();
+    let contention = t.contention_set();
+    assert!(contention.is_empty(), "sequential messages never enter C");
+
+    let mut routes = RouteTable::new();
+    routes.insert(Flow::from_indices(0, 2), route_over(&net, 0, 2, links[0]));
+    routes.insert(Flow::from_indices(1, 3), route_over(&net, 1, 3, links[0]));
+    routes.validate(&net).unwrap();
+
+    // R is non-empty, but C ∩ R = ∅.
+    assert!(!ConflictSet::from_routes(&routes).is_empty());
+    assert!(verify_contention_free(&contention, &routes).is_contention_free());
+}
+
+/// A contention pair whose flows share only an endpoint switch (not a
+/// channel) is not a resource conflict: switches are not the contended
+/// resource in the paper's model, channels are.
+#[test]
+fn shared_switch_without_shared_channel_is_free() {
+    let (net, links) = dumbbell(2);
+    let mut t = Trace::new(4);
+    // 0->2 and 1->2 overlap: both end at proc 2, but we give 1->2 the
+    // reverse direction of the second link... they still share proc 2's
+    // ejection channel, so use 2->0 and 2->1 sources instead: both start
+    // at switch s1 and fan out to distinct destinations over distinct
+    // links.
+    t.push(Message::new(ProcId(2), ProcId(0), 0, 100).unwrap())
+        .unwrap();
+    t.push(Message::new(ProcId(3), ProcId(1), 0, 100).unwrap())
+        .unwrap();
+    let contention = t.contention_set();
+    assert_eq!(contention.len(), 1);
+
+    let mut routes = RouteTable::new();
+    routes.insert(
+        Flow::from_indices(2, 0),
+        Route::new(vec![
+            net.injection_channel(ProcId(2)).unwrap(),
+            Channel::backward(links[0]),
+            net.ejection_channel(ProcId(0)).unwrap(),
+        ]),
+    );
+    routes.insert(
+        Flow::from_indices(3, 1),
+        Route::new(vec![
+            net.injection_channel(ProcId(3)).unwrap(),
+            Channel::backward(links[1]),
+            net.ejection_channel(ProcId(1)).unwrap(),
+        ]),
+    );
+    routes.validate(&net).unwrap();
+
+    assert!(verify_contention_free(&contention, &routes).is_contention_free());
+}
+
+/// Opposite directions of the *same* physical link are distinct channels:
+/// counter-rotating flows on one link must not be flagged.
+#[test]
+fn opposite_directions_do_not_conflict() {
+    let (net, links) = dumbbell(1);
+    let mut t = Trace::new(4);
+    t.push(Message::new(ProcId(0), ProcId(2), 0, 100).unwrap())
+        .unwrap();
+    t.push(Message::new(ProcId(2), ProcId(0), 0, 100).unwrap())
+        .unwrap();
+    let contention = t.contention_set();
+    assert_eq!(contention.len(), 1);
+
+    let mut routes = RouteTable::new();
+    routes.insert(Flow::from_indices(0, 2), route_over(&net, 0, 2, links[0]));
+    routes.insert(
+        Flow::from_indices(2, 0),
+        Route::new(vec![
+            net.injection_channel(ProcId(2)).unwrap(),
+            Channel::backward(links[0]),
+            net.ejection_channel(ProcId(0)).unwrap(),
+        ]),
+    );
+    routes.validate(&net).unwrap();
+
+    assert!(verify_contention_free(&contention, &routes).is_contention_free());
+}
+
+/// An adversarial contention set naming unrouted flows is ignored, but as
+/// soon as the routes appear the verdict flips: the checker tracks the
+/// route table, not just the pattern.
+#[test]
+fn verdict_follows_the_route_table() {
+    let (net, links) = dumbbell(1);
+    let (_, fa, fb) = crossing_contention();
+    let mut contention = ContentionSet::new();
+    contention.insert(fa, fb);
+
+    let mut routes = RouteTable::new();
+    assert!(verify_contention_free(&contention, &routes).is_contention_free());
+
+    routes.insert(fa, route_over(&net, 0, 2, links[0]));
+    assert!(verify_contention_free(&contention, &routes).is_contention_free());
+
+    routes.insert(fb, route_over(&net, 1, 3, links[0]));
+    assert!(!verify_contention_free(&contention, &routes).is_contention_free());
+}

@@ -3,105 +3,114 @@
 //! the materialized network must be contention-free and structurally
 //! sound.
 
-use proptest::prelude::*;
+use nocsyn_check::{check_assert, check_assert_eq, check_assume, check_n, u64_in, usize_in};
 
 use nocsyn::model::SkewModel;
 use nocsyn::synth::{synthesize, AppPattern, SynthesisConfig};
 use nocsyn::topo::{verify_contention_free, ConflictSet};
 use nocsyn::workloads::{random_permutation_schedule, WorkloadParams};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Synthesized networks satisfy C ∩ R = ∅ for any random pattern.
-    #[test]
-    fn synthesized_networks_are_contention_free(
-        n_procs in 4usize..10,
-        n_phases in 1usize..8,
-        seed in 0u64..1_000,
-    ) {
-        let schedule = random_permutation_schedule(
-            n_procs,
-            n_phases,
-            seed,
-            &WorkloadParams::default().with_bytes(64),
-        );
-        prop_assume!(!schedule.is_empty());
-        let pattern = AppPattern::from_schedule(&schedule);
-        let config = SynthesisConfig::new().with_seed(seed).with_restarts(2);
-        let result = synthesize(&pattern, &config).unwrap();
-
-        // Structure.
-        prop_assert!(result.network.is_strongly_connected());
-        result.routes.validate(&result.network).unwrap();
-        prop_assert_eq!(result.routes.len(), pattern.flows().len());
-
-        // Theorem 1, via witnesses and via the materialized conflict set.
-        let report = verify_contention_free(pattern.contention(), &result.routes);
-        prop_assert!(report.is_contention_free(), "witnesses: {}", report);
-        let conflicts = ConflictSet::from_routes(&result.routes);
-        prop_assert!(!nocsyn::topo::intersects(pattern.contention(), &conflicts));
-    }
-
-    /// The placement maps every processor to its network home switch.
-    #[test]
-    fn placement_is_consistent(
-        n_procs in 4usize..9,
-        seed in 0u64..500,
-    ) {
-        let schedule = random_permutation_schedule(
-            n_procs,
-            3,
-            seed,
-            &WorkloadParams::default(),
-        );
-        prop_assume!(!schedule.is_empty());
-        let pattern = AppPattern::from_schedule(&schedule);
-        let result = synthesize(
-            &pattern,
-            &SynthesisConfig::new().with_seed(seed).with_restarts(1),
-        )
-        .unwrap();
-        for proc in 0..n_procs {
-            let home = result
-                .network
-                .switch_of(nocsyn::model::ProcId(proc))
-                .unwrap();
-            prop_assert_eq!(home.index(), result.placement[proc]);
-        }
-    }
-
-    /// Zero skew reproduces the ideal lowering exactly; *small* skew
-    /// (below any message duration) keeps every intra-phase overlap while
-    /// possibly adding cross-phase ones — the tradeoff the paper accepts
-    /// in Section 4.
-    #[test]
-    fn small_skew_preserves_intra_phase_contention(
-        n_procs in 4usize..9,
-        n_phases in 1usize..6,
-        seed in 0u64..500,
-        skew in 0u64..64,
-    ) {
-        let schedule = random_permutation_schedule(
-            n_procs,
-            n_phases,
-            seed,
-            &WorkloadParams::default().with_bytes(256),
-        );
-        prop_assume!(!schedule.is_empty());
-        let ideal_trace = schedule.to_trace();
-        prop_assert_eq!(&SkewModel::none().apply(&schedule), &ideal_trace);
-
-        // Messages last 256 ticks; skew < 64 cannot pull two same-phase
-        // messages apart.
-        let ideal = ideal_trace.contention_set();
-        let skewed = SkewModel::new(skew, seed).apply(&schedule).contention_set();
-        for pair in ideal.iter() {
-            prop_assert!(
-                skewed.conflicts(pair.first(), pair.second()),
-                "small skew dropped contention pair {}",
-                pair
+/// Synthesized networks satisfy C ∩ R = ∅ for any random pattern.
+#[test]
+fn synthesized_networks_are_contention_free() {
+    check_n(
+        "synthesized_networks_are_contention_free",
+        24,
+        (usize_in(4..10), usize_in(1..8), u64_in(0..1_000)),
+        |&(n_procs, n_phases, seed)| {
+            let schedule = random_permutation_schedule(
+                n_procs,
+                n_phases,
+                seed,
+                &WorkloadParams::default().with_bytes(64),
             );
-        }
-    }
+            check_assume!(!schedule.is_empty());
+            let pattern = AppPattern::from_schedule(&schedule);
+            let config = SynthesisConfig::new().with_seed(seed).with_restarts(2);
+            let result = synthesize(&pattern, &config).unwrap();
+
+            // Structure.
+            check_assert!(result.network.is_strongly_connected());
+            result.routes.validate(&result.network).unwrap();
+            check_assert_eq!(result.routes.len(), pattern.flows().len());
+
+            // Theorem 1, via witnesses and via the materialized conflict set.
+            let report = verify_contention_free(pattern.contention(), &result.routes);
+            check_assert!(report.is_contention_free(), "witnesses: {}", report);
+            let conflicts = ConflictSet::from_routes(&result.routes);
+            check_assert!(!nocsyn::topo::intersects(pattern.contention(), &conflicts));
+            Ok(())
+        },
+    );
+}
+
+/// The placement maps every processor to its network home switch.
+#[test]
+fn placement_is_consistent() {
+    check_n(
+        "placement_is_consistent",
+        24,
+        (usize_in(4..9), u64_in(0..500)),
+        |&(n_procs, seed)| {
+            let schedule =
+                random_permutation_schedule(n_procs, 3, seed, &WorkloadParams::default());
+            check_assume!(!schedule.is_empty());
+            let pattern = AppPattern::from_schedule(&schedule);
+            let result = synthesize(
+                &pattern,
+                &SynthesisConfig::new().with_seed(seed).with_restarts(1),
+            )
+            .unwrap();
+            for proc in 0..n_procs {
+                let home = result
+                    .network
+                    .switch_of(nocsyn::model::ProcId(proc))
+                    .unwrap();
+                check_assert_eq!(home.index(), result.placement[proc]);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Zero skew reproduces the ideal lowering exactly; *small* skew
+/// (below any message duration) keeps every intra-phase overlap while
+/// possibly adding cross-phase ones — the tradeoff the paper accepts
+/// in Section 4.
+#[test]
+fn small_skew_preserves_intra_phase_contention() {
+    check_n(
+        "small_skew_preserves_intra_phase_contention",
+        24,
+        (
+            usize_in(4..9),
+            usize_in(1..6),
+            u64_in(0..500),
+            u64_in(0..64),
+        ),
+        |&(n_procs, n_phases, seed, skew)| {
+            let schedule = random_permutation_schedule(
+                n_procs,
+                n_phases,
+                seed,
+                &WorkloadParams::default().with_bytes(256),
+            );
+            check_assume!(!schedule.is_empty());
+            let ideal_trace = schedule.to_trace();
+            check_assert_eq!(&SkewModel::none().apply(&schedule), &ideal_trace);
+
+            // Messages last 256 ticks; skew < 64 cannot pull two same-phase
+            // messages apart.
+            let ideal = ideal_trace.contention_set();
+            let skewed = SkewModel::new(skew, seed).apply(&schedule).contention_set();
+            for pair in ideal.iter() {
+                check_assert!(
+                    skewed.conflicts(pair.first(), pair.second()),
+                    "small skew dropped contention pair {}",
+                    pair
+                );
+            }
+            Ok(())
+        },
+    );
 }
