@@ -19,4 +19,12 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "==> engine smoke gate: synth --jobs 1 vs --jobs 4 must be bit-identical"
+j1="$(mktemp)"
+j4="$(mktemp)"
+trap 'rm -f "$j1" "$j4"' EXIT
+./target/release/nocsyn synth examples_data/pipeline.txt --restarts 8 --dot --jobs 1 > "$j1"
+./target/release/nocsyn synth examples_data/pipeline.txt --restarts 8 --dot --jobs 4 > "$j4"
+diff "$j1" "$j4"
+
 echo "CI gate passed."

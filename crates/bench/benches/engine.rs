@@ -1,0 +1,103 @@
+//! Engine scaling harness: wall-clock of the batched restart portfolio
+//! over the paper's 16-node workloads at 1/2/4/8 workers.
+//!
+//! Usage: `cargo bench -p nocsyn-bench --bench engine [-- --json]`.
+//!
+//! Every worker count runs the *same* batch — all five paper benchmarks,
+//! each an 8-restart portfolio — and must select bit-identical results
+//! (the harness asserts the selected link/switch totals match the
+//! 1-worker baseline). The `--json` flag emits one row per worker count
+//! with the measured wall time and speedup, plus the machine's hardware
+//! thread count so the numbers are interpretable: speedup saturates at
+//! `min(workers, hardware_threads)`.
+
+use std::time::Instant;
+
+use nocsyn_engine::{Engine, Job, JobStatus};
+use nocsyn_model::json::JsonValue;
+use nocsyn_synth::{AppPattern, SynthesisConfig};
+use nocsyn_workloads::{Benchmark, WorkloadParams};
+
+const RESTARTS: usize = 8;
+
+fn paper_jobs() -> Vec<Job> {
+    Benchmark::ALL
+        .into_iter()
+        .map(|benchmark| {
+            let sched = benchmark
+                .schedule(16, &WorkloadParams::paper_default(benchmark))
+                .expect("16 is valid for all benchmarks");
+            let config = SynthesisConfig::new()
+                .with_seed(0xE9C1 ^ (benchmark as u64))
+                .with_restarts(RESTARTS);
+            Job::new(
+                format!("{}16", benchmark.name()),
+                AppPattern::from_schedule(&sched),
+                config,
+            )
+        })
+        .collect()
+}
+
+/// Selected (links, switches) per job — the portfolio fingerprint that
+/// must not move with the worker count.
+fn fingerprint(outcomes: &[nocsyn_engine::JobOutcome]) -> Vec<(usize, usize)> {
+    outcomes
+        .iter()
+        .map(|o| {
+            assert_eq!(o.status, JobStatus::Completed, "{}", o.name);
+            let r = o.result.as_ref().expect("completed job has a result");
+            (r.report.n_links, r.report.n_switches)
+        })
+        .collect()
+}
+
+fn main() {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut baseline: Option<(Vec<(usize, usize)>, f64)> = None;
+    let mut rows = Vec::new();
+    if !json {
+        println!(
+            "engine scaling: {} jobs x {RESTARTS} restarts, {hardware} hardware thread(s)",
+            Benchmark::ALL.len()
+        );
+        println!(
+            "  {:>7} | {:>12} | {:>8} | {:>12}",
+            "workers", "wall (ms)", "speedup", "total links"
+        );
+    }
+    for workers in [1usize, 2, 4, 8] {
+        let engine = Engine::new().with_workers(workers);
+        let t0 = Instant::now();
+        let outcomes = engine.run(paper_jobs());
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let fp = fingerprint(&outcomes);
+        let (base_fp, base_ms) = baseline.get_or_insert_with(|| (fp.clone(), wall_ms));
+        assert_eq!(
+            &fp, base_fp,
+            "worker count changed the selected results ({workers} workers)"
+        );
+        let speedup = *base_ms / wall_ms.max(1e-9);
+        let total_links: usize = fp.iter().map(|&(l, _)| l).sum();
+        if json {
+            rows.push(JsonValue::object([
+                ("workers", JsonValue::from(workers)),
+                ("hardware_threads", JsonValue::from(hardware)),
+                ("jobs", JsonValue::from(Benchmark::ALL.len())),
+                ("restarts", JsonValue::from(RESTARTS)),
+                ("wall_ms", JsonValue::from(wall_ms)),
+                ("speedup_vs_1", JsonValue::from(speedup)),
+                ("total_links", JsonValue::from(total_links)),
+            ]));
+        } else {
+            println!("  {workers:>7} | {wall_ms:>12.1} | {speedup:>7.2}x | {total_links:>12}");
+        }
+    }
+    if json {
+        println!("{}", JsonValue::array(rows));
+    } else {
+        println!("selected results are bit-identical across worker counts (asserted).");
+    }
+}

@@ -7,10 +7,14 @@
 //! 4. greedy descent vs a true simulated-annealing schedule.
 //!
 //! Each variant synthesizes every 16-node benchmark and reports final
-//! link count, switch count and wall time.
+//! link count, switch count and wall time. Pass `--jobs N` to synthesize
+//! the benchmarks of each variant on N worker threads (per-benchmark
+//! results are independent, so the table is identical for any N; only
+//! the wall-time column changes).
 
 use std::time::Instant;
 
+use nocsyn_engine::par_map;
 use nocsyn_synth::{synthesize, AcceptanceRule, AppPattern, ColoringStrategy, SynthesisConfig};
 use nocsyn_workloads::{Benchmark, WorkloadParams};
 
@@ -50,25 +54,39 @@ fn variants() -> Vec<Variant> {
 }
 
 fn main() {
+    let jobs = std::env::args()
+        .skip(1)
+        .skip_while(|a| a != "--jobs")
+        .nth(1)
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
     println!("ablation over all 16-node benchmarks (max degree 5, fixed seed)");
     println!(
         "  {:<40} | {:>6} | {:>8} | {:>9} | {:>9}",
         "variant", "links", "switches", "cont-free", "time (ms)"
     );
     for v in variants() {
-        let mut links = 0usize;
-        let mut switches = 0usize;
-        let mut all_free = true;
         let start = Instant::now();
-        for benchmark in Benchmark::ALL {
+        let per_benchmark = par_map(Benchmark::ALL.to_vec(), jobs, |benchmark| {
             let sched = benchmark
                 .schedule(16, &WorkloadParams::paper_default(benchmark))
                 .expect("16 is valid for all benchmarks");
             let pattern = AppPattern::from_schedule(&sched);
             let result = synthesize(&pattern, &v.config).expect("synthesis succeeds");
-            links += result.report.n_links;
-            switches += result.report.n_switches;
-            all_free &= result.report.contention_free;
+            (
+                result.report.n_links,
+                result.report.n_switches,
+                result.report.contention_free,
+            )
+        });
+        let mut links = 0usize;
+        let mut switches = 0usize;
+        let mut all_free = true;
+        for (l, s, free) in per_benchmark {
+            links += l;
+            switches += s;
+            all_free &= free;
         }
         let elapsed = start.elapsed().as_millis();
         println!(

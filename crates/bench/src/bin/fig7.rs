@@ -1,24 +1,37 @@
 //! Figure 7 reproduction: switch and link area of generated networks
 //! normalized to a mesh (torus link area shown for reference).
 //!
-//! Usage: `fig7 [--nodes small|large|both] [--json]` (default: both,
-//! human-readable table; `--json` emits one machine-readable array of row
-//! records instead).
+//! Usage: `fig7 [--nodes small|large|both] [--json] [--jobs N]` (default:
+//! both, human-readable table; `--json` emits one machine-readable array
+//! of row records instead; `--jobs` synthesizes the benchmark rows on N
+//! worker threads — the rows are computed independently and printed in
+//! the paper's order, so the output is identical for any N).
 
 use nocsyn_bench::{build_instance, grid_dims, Fig7Row, HarnessError, NetworkKind};
+use nocsyn_engine::par_map;
 use nocsyn_floorplan::mesh_baseline;
 use nocsyn_model::json::JsonValue;
 use nocsyn_workloads::{Benchmark, WorkloadParams};
 
-fn parse_configs() -> (Vec<bool>, bool) {
+fn parse_configs() -> (Vec<bool>, bool, usize) {
     let mut args = std::env::args().skip(1);
     let mut which = "both".to_string();
     let mut json = false;
+    let mut jobs = 1usize;
     while let Some(a) = args.next() {
         if a == "--nodes" {
             which = args.next().unwrap_or_else(|| "both".into());
         } else if a == "--json" {
             json = true;
+        } else if a == "--jobs" {
+            jobs = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("--jobs expects a positive integer");
+                    std::process::exit(2);
+                });
         }
     }
     let configs = match which.as_str() {
@@ -26,7 +39,7 @@ fn parse_configs() -> (Vec<bool>, bool) {
         "large" => vec![true],
         _ => vec![false, true],
     };
-    (configs, json)
+    (configs, json, jobs)
 }
 
 fn row_for(benchmark: Benchmark, large: bool) -> Result<Fig7Row, HarnessError> {
@@ -49,15 +62,23 @@ fn row_for(benchmark: Benchmark, large: bool) -> Result<Fig7Row, HarnessError> {
 }
 
 fn main() -> Result<(), HarnessError> {
-    let (configs, json) = parse_configs();
+    let (configs, json, jobs) = parse_configs();
+    let combos: Vec<(bool, Benchmark)> = configs
+        .iter()
+        .flat_map(|&large| Benchmark::ALL.into_iter().map(move |b| (large, b)))
+        .collect();
+    // Rows are independent synthesis+floorplan runs: fan them across the
+    // worker pool, keeping the paper's row order.
+    let rows = par_map(combos, jobs, |(large, benchmark)| row_for(benchmark, large));
+    let mut rows = rows.into_iter();
     if json {
-        let mut rows = Vec::new();
-        for large in configs {
-            for benchmark in Benchmark::ALL {
-                rows.push(row_for(benchmark, large)?.to_json());
+        let mut out = Vec::new();
+        for _ in &configs {
+            for _ in Benchmark::ALL {
+                out.push(rows.next().expect("one row per combo")?.to_json());
             }
         }
-        println!("{}", JsonValue::array(rows));
+        println!("{}", JsonValue::array(out));
         return Ok(());
     }
     for large in configs {
@@ -72,8 +93,8 @@ fn main() -> Result<(), HarnessError> {
             "  {:<5} {:>5} | {:>13} {:>10} | {:>16} {:>13}",
             "bench", "procs", "switch (gen)", "link (gen)", "link (torus/mesh)", "gen switches"
         );
-        for benchmark in Benchmark::ALL {
-            let row = row_for(benchmark, large)?;
+        for _ in Benchmark::ALL {
+            let row = rows.next().expect("one row per combo")?;
             let n_sw = (row.gen_switch * {
                 let (r, c) = grid_dims(row.n_procs);
                 (r * c) as f64

@@ -2,25 +2,38 @@
 //! mesh, torus and generated networks, normalized to a fully-connected
 //! non-blocking crossbar, measured by closed-loop flit-level simulation.
 //!
-//! Usage: `fig8 [--nodes small|large|both] [--json]` (default: both,
-//! human-readable table; `--json` emits one machine-readable array of row
-//! records instead). Run in release mode; the 16-node FFT simulation
-//! covers hundreds of thousands of cycles.
+//! Usage: `fig8 [--nodes small|large|both] [--json] [--jobs N]` (default:
+//! both, human-readable table; `--json` emits one machine-readable array
+//! of row records instead; `--jobs` runs the per-benchmark
+//! synthesize-and-simulate pipelines on N worker threads, printing in the
+//! paper's order — output identical for any N). Run in release mode; the
+//! 16-node FFT simulation covers hundreds of thousands of cycles.
 
 use nocsyn_bench::{build_instance, Fig8Row, HarnessError, NetworkKind};
+use nocsyn_engine::par_map;
 use nocsyn_model::json::JsonValue;
 use nocsyn_sim::ExecutionStats;
 use nocsyn_workloads::{Benchmark, WorkloadParams};
 
-fn parse_configs() -> (Vec<bool>, bool) {
+fn parse_configs() -> (Vec<bool>, bool, usize) {
     let mut args = std::env::args().skip(1);
     let mut which = "both".to_string();
     let mut json = false;
+    let mut jobs = 1usize;
     while let Some(a) = args.next() {
         if a == "--nodes" {
             which = args.next().unwrap_or_else(|| "both".into());
         } else if a == "--json" {
             json = true;
+        } else if a == "--jobs" {
+            jobs = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("--jobs expects a positive integer");
+                    std::process::exit(2);
+                });
         }
     }
     let configs = match which.as_str() {
@@ -28,7 +41,7 @@ fn parse_configs() -> (Vec<bool>, bool) {
         "large" => vec![true],
         _ => vec![false, true],
     };
-    (configs, json)
+    (configs, json, jobs)
 }
 
 fn row_for(
@@ -70,12 +83,20 @@ fn row_for(
 }
 
 fn main() -> Result<(), HarnessError> {
-    let (configs, json) = parse_configs();
+    let (configs, json, jobs) = parse_configs();
+    let combos: Vec<(bool, Benchmark)> = configs
+        .iter()
+        .flat_map(|&large| Benchmark::ALL.into_iter().map(move |b| (large, b)))
+        .collect();
+    // Each row is an independent synthesize-and-simulate pipeline; fan
+    // them across the worker pool, keeping the paper's row order.
+    let results = par_map(combos, jobs, |(large, benchmark)| row_for(benchmark, large));
+    let mut results = results.into_iter();
     if json {
         let mut rows = Vec::new();
-        for large in configs {
-            for benchmark in Benchmark::ALL {
-                let (row, stats) = row_for(benchmark, large)?;
+        for _ in &configs {
+            for _ in Benchmark::ALL {
+                let (row, stats) = results.next().expect("one row per combo")?;
                 let kills: u64 = stats.iter().map(|s| s.packets.deadlock_kills).sum();
                 let mut record = row.to_json();
                 if let JsonValue::Object(pairs) = &mut record {
@@ -99,8 +120,8 @@ fn main() -> Result<(), HarnessError> {
             "  {:<5} {:>5} | {:>22} | {:>22} | {:>9}",
             "bench", "procs", "exec  (mesh torus gen)", "comm  (mesh torus gen)", "deadlocks"
         );
-        for benchmark in Benchmark::ALL {
-            let (row, stats) = row_for(benchmark, large)?;
+        for _ in Benchmark::ALL {
+            let (row, stats) = results.next().expect("one row per combo")?;
             let kills: u64 = stats.iter().map(|s| s.packets.deadlock_kills).sum();
             println!(
                 "  {:<5} {:>5} |   {:>5.3} {:>5.3} {:>6.3} |   {:>5.3} {:>5.3} {:>6.3} | {:>9}",

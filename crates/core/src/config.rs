@@ -129,13 +129,12 @@ impl SynthesisConfig {
     /// strongly with the random split choices; restarting is the standard
     /// stochastic-search remedy and stays within the paper's framework.
     ///
-    /// # Panics
-    ///
-    /// Panics if `restarts` is zero.
+    /// A zero is clamped to one: at least one run always executes, so
+    /// `synthesize` can never come back empty-handed (this used to panic
+    /// deep in the restart loop instead).
     #[must_use]
     pub fn with_restarts(mut self, restarts: usize) -> Self {
-        assert!(restarts > 0, "need at least one synthesis run");
-        self.restarts = restarts;
+        self.restarts = restarts.max(1);
         self
     }
 
@@ -242,5 +241,11 @@ mod tests {
         assert_eq!(c.restarts(), 2);
         assert_eq!(c.max_pipe_width(), None);
         assert_eq!(c.with_max_pipe_width(2).max_pipe_width(), Some(2));
+    }
+
+    #[test]
+    fn zero_restarts_clamps_to_one() {
+        let c = SynthesisConfig::new().with_restarts(0);
+        assert_eq!(c.restarts(), 1);
     }
 }

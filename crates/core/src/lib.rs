@@ -78,8 +78,54 @@ pub use report::SynthesisReport;
 
 use nocsyn_topo::{Network, RouteTable};
 
+/// The derived seed of restart `attempt` under `config`: the base seed
+/// advanced by the golden-ratio (splitmix) increment per attempt. Exposed
+/// so external schedulers (the `nocsyn-engine` restart portfolio) can
+/// reproduce the exact per-attempt seed schedule of [`synthesize`].
+pub fn attempt_seed(config: &SynthesisConfig, attempt: usize) -> u64 {
+    config
+        .seed()
+        .wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Runs restart `attempt` of the portfolio: one full deterministic pass of
+/// the Main Partitioning Algorithm plus finalization, seeded with
+/// [`attempt_seed`]. The result is a pure function of
+/// `(pattern, config, attempt)` — independent of which thread runs it or
+/// in what order attempts complete, which is what makes the parallel
+/// portfolio in `nocsyn-engine` bit-identical to the sequential loop.
+///
+/// # Errors
+///
+/// Same conditions as [`synthesize`].
+pub fn synthesize_attempt(
+    pattern: &AppPattern,
+    config: &SynthesisConfig,
+    attempt: usize,
+) -> Result<SynthesisResult, SynthError> {
+    let run_config = config.clone().with_seed(attempt_seed(config, attempt));
+    synthesize_once(pattern, &run_config)
+}
+
+/// Portfolio selection rank of a result — lower is better: constraints
+/// met first, then fewest links, then fewest switches. Callers reducing
+/// over attempts must break rank ties on the *attempt index* (lowest
+/// wins) to reproduce [`synthesize`]'s first-best-kept semantics.
+pub fn portfolio_rank(r: &SynthesisResult) -> (bool, usize, usize) {
+    (
+        !r.report.constraints_met, // met first
+        r.report.n_links,
+        r.report.n_switches,
+    )
+}
+
 /// Runs the full design methodology on `pattern` under `config`, producing
 /// a concrete network, a route table, and a synthesis report.
+///
+/// Restarts run sequentially here; the `nocsyn-engine` portfolio fans the
+/// same attempt schedule ([`attempt_seed`]) across threads and reduces
+/// with the same rank ([`portfolio_rank`], ties on attempt index), so
+/// both paths select bit-identical results.
 ///
 /// # Errors
 ///
@@ -92,30 +138,18 @@ pub fn synthesize(
     config: &SynthesisConfig,
 ) -> Result<SynthesisResult, SynthError> {
     let mut best: Option<SynthesisResult> = None;
-    for attempt in 0..config.restarts() {
-        let seed = config
-            .seed()
-            .wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let run_config = config.clone().with_seed(seed);
-        let result = synthesize_once(pattern, &run_config)?;
-        let better = match &best {
-            None => true,
-            Some(b) => {
-                let key = |r: &SynthesisResult| {
-                    (
-                        !r.report.constraints_met, // met first
-                        r.report.n_links,
-                        r.report.n_switches,
-                    )
-                };
-                key(&result) < key(b)
-            }
-        };
-        if better {
+    // `restarts()` is clamped to >= 1 by the builder, but stay panic-free
+    // even for configurations constructed by future code paths.
+    for attempt in 0..config.restarts().max(1) {
+        let result = synthesize_attempt(pattern, config, attempt)?;
+        if best
+            .as_ref()
+            .is_none_or(|b| portfolio_rank(&result) < portfolio_rank(b))
+        {
             best = Some(result);
         }
     }
-    Ok(best.expect("restarts >= 1 guarantees a result"))
+    Ok(best.expect("at least one attempt always runs"))
 }
 
 /// One full pass of the Main Partitioning Algorithm plus finalization.

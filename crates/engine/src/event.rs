@@ -1,0 +1,325 @@
+//! Structured engine telemetry: the [`EngineEvent`] stream and the sinks
+//! that consume it.
+//!
+//! Events describe the engine's execution, not its output: job lifecycle
+//! (started / finished), every completed restart with its cost, and
+//! deadline expiries. Sinks are pluggable through [`EventSink`]; the
+//! engine calls them from its worker threads, so implementations must be
+//! `Send + Sync` and serialize internally.
+//!
+//! Delivery order is *not* deterministic across runs (restarts finish in
+//! whatever order the scheduler lands on); only the engine's reduced
+//! results are. Consumers needing a stable view should key on the
+//! `(job, attempt)` pair, which is unique.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use nocsyn_model::json::JsonValue;
+
+/// One telemetry event from the engine.
+///
+/// The JSON rendering (see [`EngineEvent::to_json`]) carries an `event`
+/// discriminant field followed by the variant's payload, one object per
+/// event — the schema documented in DESIGN.md §8.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineEvent {
+    /// A job claimed its first work unit.
+    JobStarted {
+        /// Job name.
+        job: String,
+        /// Restart attempts the portfolio will run.
+        attempts: usize,
+        /// Deadline budget, if any.
+        deadline_ms: Option<u64>,
+    },
+    /// One restart attempt finished and entered the reduction.
+    RestartCompleted {
+        /// Job name.
+        job: String,
+        /// Attempt index within the portfolio (0-based).
+        attempt: usize,
+        /// Derived seed the attempt ran with.
+        seed: u64,
+        /// Switch-to-switch links in the attempt's network.
+        links: usize,
+        /// Switches in the attempt's network.
+        switches: usize,
+        /// Whether the attempt met the degree constraints.
+        constraints_met: bool,
+        /// Wall time of the attempt, in milliseconds.
+        elapsed_ms: u64,
+    },
+    /// A job's deadline expired; remaining attempts are cancelled and the
+    /// best-so-far result (if any) is reported as degraded output.
+    DeadlineExceeded {
+        /// Job name.
+        job: String,
+        /// Attempts that completed before expiry.
+        completed_attempts: usize,
+    },
+    /// A job drained its last work unit and its outcome is final.
+    JobFinished {
+        /// Job name.
+        job: String,
+        /// Outcome status as a stable lowercase string
+        /// (`completed` / `deadline_exceeded` / `failed`).
+        status: String,
+        /// Attempts that completed.
+        completed_attempts: usize,
+        /// Link count of the selected result, if one exists.
+        links: Option<usize>,
+        /// Switch count of the selected result, if one exists.
+        switches: Option<usize>,
+        /// Wall time from the job's first claim to its last unit.
+        elapsed_ms: u64,
+    },
+}
+
+impl EngineEvent {
+    /// The `event` discriminant used in the JSON rendering.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineEvent::JobStarted { .. } => "job_started",
+            EngineEvent::RestartCompleted { .. } => "restart_completed",
+            EngineEvent::DeadlineExceeded { .. } => "deadline_exceeded",
+            EngineEvent::JobFinished { .. } => "job_finished",
+        }
+    }
+
+    /// Name of the job the event belongs to.
+    pub fn job(&self) -> &str {
+        match self {
+            EngineEvent::JobStarted { job, .. }
+            | EngineEvent::RestartCompleted { job, .. }
+            | EngineEvent::DeadlineExceeded { job, .. }
+            | EngineEvent::JobFinished { job, .. } => job,
+        }
+    }
+
+    /// Renders the event as one JSON object (`nocsyn_model::json`), with
+    /// the `event` discriminant first.
+    pub fn to_json(&self) -> JsonValue {
+        let opt = |v: Option<usize>| v.map_or(JsonValue::Null, JsonValue::from);
+        match self {
+            EngineEvent::JobStarted {
+                job,
+                attempts,
+                deadline_ms,
+            } => JsonValue::object([
+                ("event", JsonValue::from(self.kind())),
+                ("job", JsonValue::from(job.as_str())),
+                ("attempts", JsonValue::from(*attempts)),
+                (
+                    "deadline_ms",
+                    deadline_ms.map_or(JsonValue::Null, JsonValue::from),
+                ),
+            ]),
+            EngineEvent::RestartCompleted {
+                job,
+                attempt,
+                seed,
+                links,
+                switches,
+                constraints_met,
+                elapsed_ms,
+            } => JsonValue::object([
+                ("event", JsonValue::from(self.kind())),
+                ("job", JsonValue::from(job.as_str())),
+                ("attempt", JsonValue::from(*attempt)),
+                ("seed", JsonValue::from(*seed)),
+                ("links", JsonValue::from(*links)),
+                ("switches", JsonValue::from(*switches)),
+                ("constraints_met", JsonValue::from(*constraints_met)),
+                ("elapsed_ms", JsonValue::from(*elapsed_ms)),
+            ]),
+            EngineEvent::DeadlineExceeded {
+                job,
+                completed_attempts,
+            } => JsonValue::object([
+                ("event", JsonValue::from(self.kind())),
+                ("job", JsonValue::from(job.as_str())),
+                ("completed_attempts", JsonValue::from(*completed_attempts)),
+            ]),
+            EngineEvent::JobFinished {
+                job,
+                status,
+                completed_attempts,
+                links,
+                switches,
+                elapsed_ms,
+            } => JsonValue::object([
+                ("event", JsonValue::from(self.kind())),
+                ("job", JsonValue::from(job.as_str())),
+                ("status", JsonValue::from(status.as_str())),
+                ("completed_attempts", JsonValue::from(*completed_attempts)),
+                ("links", opt(*links)),
+                ("switches", opt(*switches)),
+                ("elapsed_ms", JsonValue::from(*elapsed_ms)),
+            ]),
+        }
+    }
+}
+
+/// A consumer of engine telemetry. Called from worker threads, possibly
+/// concurrently; implementations serialize internally.
+pub trait EventSink: Send + Sync {
+    /// Delivers one event. Must not panic; the engine treats the sink as
+    /// fire-and-forget.
+    fn emit(&self, event: &EngineEvent);
+}
+
+/// Discards every event (the engine default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: &EngineEvent) {}
+}
+
+/// Buffers events in memory, for tests and post-run inspection.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    events: Mutex<Vec<EngineEvent>>,
+}
+
+impl CollectSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        CollectSink::default()
+    }
+
+    /// Snapshot of the events delivered so far, in arrival order.
+    pub fn events(&self) -> Vec<EngineEvent> {
+        self.events
+            .lock()
+            .expect("sink lock never poisoned")
+            .clone()
+    }
+}
+
+impl EventSink for CollectSink {
+    fn emit(&self, event: &EngineEvent) {
+        self.events
+            .lock()
+            .expect("sink lock never poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Streams events as JSON Lines (one `EngineEvent::to_json` object per
+/// line) to any writer — the engine's machine-readable telemetry format.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        JsonLinesSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out.into_inner().expect("sink lock never poisoned")
+    }
+}
+
+impl JsonLinesSink<std::io::Stderr> {
+    /// A sink writing to standard error — what `nocsyn synth --events`
+    /// uses so telemetry never mixes with the report on stdout.
+    pub fn stderr() -> Self {
+        JsonLinesSink::new(std::io::stderr())
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonLinesSink<W> {
+    fn emit(&self, event: &EngineEvent) {
+        let mut out = self.out.lock().expect("sink lock never poisoned");
+        // Telemetry is best-effort: a closed pipe must not kill a worker.
+        let _ = writeln!(out, "{}", event.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EngineEvent {
+        EngineEvent::RestartCompleted {
+            job: "cg16".into(),
+            attempt: 3,
+            seed: 42,
+            links: 28,
+            switches: 9,
+            constraints_met: true,
+            elapsed_ms: 12,
+        }
+    }
+
+    #[test]
+    fn json_schema_has_discriminant_first() {
+        let json = sample().to_json().to_string();
+        assert!(json.starts_with(r#"{"event":"restart_completed","job":"cg16""#));
+        assert!(json.contains(r#""attempt":3"#));
+        assert!(json.contains(r#""constraints_met":true"#));
+    }
+
+    #[test]
+    fn finished_event_renders_missing_result_as_null() {
+        let e = EngineEvent::JobFinished {
+            job: "j".into(),
+            status: "deadline_exceeded".into(),
+            completed_attempts: 0,
+            links: None,
+            switches: None,
+            elapsed_ms: 0,
+        };
+        let json = e.to_json().to_string();
+        assert!(json.contains(r#""links":null"#));
+        assert!(json.contains(r#""status":"deadline_exceeded""#));
+    }
+
+    #[test]
+    fn kinds_and_job_names_are_stable() {
+        let e = sample();
+        assert_eq!(e.kind(), "restart_completed");
+        assert_eq!(e.job(), "cg16");
+        let s = EngineEvent::JobStarted {
+            job: "a".into(),
+            attempts: 8,
+            deadline_ms: Some(100),
+        };
+        assert_eq!(s.kind(), "job_started");
+        assert!(s.to_json().to_string().contains(r#""deadline_ms":100"#));
+    }
+
+    #[test]
+    fn collect_sink_preserves_arrival_order() {
+        let sink = CollectSink::new();
+        sink.emit(&sample());
+        sink.emit(&EngineEvent::DeadlineExceeded {
+            job: "x".into(),
+            completed_attempts: 1,
+        });
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind(), "restart_completed");
+        assert_eq!(events[1].kind(), "deadline_exceeded");
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_line_per_event() {
+        let sink = JsonLinesSink::new(Vec::new());
+        sink.emit(&sample());
+        sink.emit(&sample());
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+}

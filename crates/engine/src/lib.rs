@@ -1,0 +1,566 @@
+//! `nocsyn-engine` — a parallel, deterministic execution engine over the
+//! synthesis methodology of `nocsyn-synth`.
+//!
+//! The paper's search is embarrassingly restartable: `synthesize` runs
+//! `restarts()` independent annealing attempts with splitmix-derived
+//! seeds and keeps the best. This crate farms that portfolio — and whole
+//! batches of synthesis jobs — across threads while keeping the *chosen
+//! result bit-identical for any worker count*:
+//!
+//! * every restart attempt is a pure function of
+//!   `(pattern, config, attempt)` (see `nocsyn_synth::synthesize_attempt`),
+//!   so it does not matter which thread runs it;
+//! * the reduction is a stable argmin over
+//!   `(portfolio_rank(result), attempt)` — rank ties break on the lowest
+//!   attempt index, exactly reproducing the sequential loop's
+//!   first-best-kept choice.
+//!
+//! [`Engine::run`] takes a batch of [`Job`]s and returns one
+//! [`JobOutcome`] per job, in job order. Work is scheduled at restart
+//! granularity: the engine materializes the bounded queue of
+//! `(job, attempt)` units up front and its workers claim units through an
+//! atomic cursor, so restarts of one job and jobs of one batch share the
+//! same worker pool with dynamic load balancing.
+//!
+//! Jobs may carry a **deadline**. Expiry is detected when a worker claims
+//! the next unit of the job (granularity: one restart attempt); remaining
+//! attempts are cancelled through a shared flag, and the job degrades
+//! gracefully to its best-so-far result with
+//! [`JobStatus::DeadlineExceeded`] — never a panic. With a deadline of
+//! zero, no attempt runs and the outcome carries no result.
+//!
+//! Execution is observable through a structured [`EngineEvent`] stream
+//! delivered to a pluggable [`EventSink`] ([`JsonLinesSink`] renders
+//! JSON Lines via `nocsyn_model::json`). Telemetry order is not
+//! deterministic; results are.
+//!
+//! ```
+//! use nocsyn_engine::Engine;
+//! use nocsyn_model::{Phase, PhaseSchedule};
+//! use nocsyn_synth::{synthesize, AppPattern, SynthesisConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sched = PhaseSchedule::new(4);
+//! sched.push(Phase::from_flows([(0usize, 1usize), (2, 3)])?)?;
+//! let pattern = AppPattern::from_schedule(&sched);
+//! let config = SynthesisConfig::new().with_seed(7).with_restarts(4);
+//!
+//! // Any worker count selects the same result as the sequential loop.
+//! let outcome = Engine::new().with_workers(4).synthesize(&pattern, &config, None);
+//! let parallel = outcome.result.expect("no deadline, so a result exists");
+//! let sequential = synthesize(&pattern, &config)?;
+//! assert_eq!(parallel.report, sequential.report);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod event;
+mod par;
+
+pub use event::{CollectSink, EngineEvent, EventSink, JsonLinesSink, NullSink};
+pub use par::par_map;
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use nocsyn_synth::{
+    attempt_seed, portfolio_rank, synthesize_attempt, AppPattern, SynthError, SynthesisConfig,
+    SynthesisResult,
+};
+
+/// One synthesis request in a batch: a named pattern/config pair with an
+/// optional deadline.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Name carried through outcomes and telemetry.
+    pub name: String,
+    /// The application pattern to synthesize for.
+    pub pattern: AppPattern,
+    /// Search configuration; `restarts()` sets the portfolio size.
+    pub config: SynthesisConfig,
+    /// Wall-clock budget measured from the job's first claimed unit.
+    /// `None` runs the full portfolio.
+    pub deadline: Option<Duration>,
+}
+
+impl Job {
+    /// Creates a job with no deadline.
+    pub fn new(name: impl Into<String>, pattern: AppPattern, config: SynthesisConfig) -> Self {
+        Job {
+            name: name.into(),
+            pattern,
+            config,
+            deadline: None,
+        }
+    }
+
+    /// Sets the deadline as a duration.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline in milliseconds.
+    #[must_use]
+    pub fn with_deadline_ms(self, ms: u64) -> Self {
+        self.with_deadline(Duration::from_millis(ms))
+    }
+
+    fn attempts(&self) -> usize {
+        self.config.restarts().max(1)
+    }
+}
+
+/// Terminal status of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus {
+    /// The full restart portfolio ran; the result is the deterministic
+    /// argmin over all attempts.
+    Completed,
+    /// The deadline expired before the portfolio finished; the outcome
+    /// carries the best result among the attempts that did complete
+    /// (possibly none, for a zero deadline).
+    DeadlineExceeded,
+    /// Synthesis itself failed (e.g. an empty pattern); remaining
+    /// attempts were cancelled.
+    Failed(SynthError),
+}
+
+impl JobStatus {
+    /// Stable lowercase label used in telemetry (`completed` /
+    /// `deadline_exceeded` / `failed`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Completed => "completed",
+            JobStatus::DeadlineExceeded => "deadline_exceeded",
+            JobStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Result of one job in a batch.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job's name.
+    pub name: String,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Selected synthesis result. `Some` whenever at least one attempt
+    /// completed — including under [`JobStatus::DeadlineExceeded`], where
+    /// it is the degraded best-so-far.
+    pub result: Option<SynthesisResult>,
+    /// Restart attempts that ran to completion.
+    pub attempts_completed: usize,
+    /// Restart attempts the portfolio was scheduled to run.
+    pub attempts_total: usize,
+    /// Wall time from the job's first claimed unit to its last.
+    pub elapsed: Duration,
+}
+
+/// Per-job shared state while the batch executes.
+#[derive(Debug)]
+struct JobState {
+    attempts_total: usize,
+    started: OnceLock<Instant>,
+    cancelled: AtomicBool,
+    deadline_hit: AtomicBool,
+    remaining: AtomicUsize,
+    completed: AtomicUsize,
+    /// Best completed attempt: `(attempt index, result)`, minimal under
+    /// `(portfolio_rank, attempt)`.
+    best: Mutex<Option<(usize, SynthesisResult)>>,
+    error: Mutex<Option<SynthError>>,
+    elapsed: Mutex<Duration>,
+}
+
+impl JobState {
+    fn new(attempts_total: usize) -> Self {
+        JobState {
+            attempts_total,
+            started: OnceLock::new(),
+            cancelled: AtomicBool::new(false),
+            deadline_hit: AtomicBool::new(false),
+            remaining: AtomicUsize::new(attempts_total),
+            completed: AtomicUsize::new(0),
+            best: Mutex::new(None),
+            error: Mutex::new(None),
+            elapsed: Mutex::new(Duration::ZERO),
+        }
+    }
+
+    fn status(&self) -> JobStatus {
+        let error = self.error.lock().expect("engine lock never poisoned");
+        if let Some(e) = error.as_ref() {
+            JobStatus::Failed(e.clone())
+        } else if self.deadline_hit.load(Ordering::Acquire) {
+            JobStatus::DeadlineExceeded
+        } else {
+            JobStatus::Completed
+        }
+    }
+
+    fn into_outcome(self, name: String) -> JobOutcome {
+        let status = self.status();
+        JobOutcome {
+            name,
+            status,
+            result: self
+                .best
+                .into_inner()
+                .expect("engine lock never poisoned")
+                .map(|(_, r)| r),
+            attempts_completed: self.completed.load(Ordering::Acquire),
+            attempts_total: self.attempts_total,
+            elapsed: *self.elapsed.lock().expect("engine lock never poisoned"),
+        }
+    }
+}
+
+/// The execution engine: a worker count and a telemetry sink.
+///
+/// Cheap to construct per batch; holds no threads between runs (workers
+/// are scoped to [`Engine::run`] and always joined before it returns, so
+/// nothing leaks even when deadlines fire).
+#[derive(Clone)]
+pub struct Engine {
+    workers: usize,
+    sink: Arc<dyn EventSink>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// Creates an engine sized to the machine
+    /// (`std::thread::available_parallelism`, 1 if unknown) with telemetry
+    /// discarded.
+    pub fn new() -> Self {
+        let workers = thread::available_parallelism().map_or(1, |n| n.get());
+        Engine {
+            workers,
+            sink: Arc::new(NullSink),
+        }
+    }
+
+    /// Sets the worker count (clamped to at least 1). The worker count
+    /// affects wall time only, never the selected results.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Installs a telemetry sink.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs a batch of jobs and returns their outcomes in job order.
+    ///
+    /// Scheduling unit: one restart attempt. The bounded `(job, attempt)`
+    /// queue is materialized up front and workers claim units through an
+    /// atomic cursor, so a long job's portfolio and its batch neighbors
+    /// share the pool. All workers are joined before this returns.
+    pub fn run(&self, jobs: Vec<Job>) -> Vec<JobOutcome> {
+        let units: Vec<(usize, usize)> = jobs
+            .iter()
+            .enumerate()
+            .flat_map(|(ji, job)| (0..job.attempts()).map(move |attempt| (ji, attempt)))
+            .collect();
+        let states: Vec<JobState> = jobs.iter().map(|j| JobState::new(j.attempts())).collect();
+        let cursor = AtomicUsize::new(0);
+        if !units.is_empty() {
+            thread::scope(|scope| {
+                for _ in 0..self.workers.min(units.len()) {
+                    scope.spawn(|| self.work(&jobs, &states, &units, &cursor));
+                }
+            });
+        }
+        jobs.into_iter()
+            .zip(states)
+            .map(|(job, state)| state.into_outcome(job.name))
+            .collect()
+    }
+
+    /// Convenience for a single unnamed job: the parallel equivalent of
+    /// `nocsyn_synth::synthesize`, with an optional deadline.
+    pub fn synthesize(
+        &self,
+        pattern: &AppPattern,
+        config: &SynthesisConfig,
+        deadline: Option<Duration>,
+    ) -> JobOutcome {
+        let job = Job {
+            name: "synth".into(),
+            pattern: pattern.clone(),
+            config: config.clone(),
+            deadline,
+        };
+        self.run(vec![job])
+            .pop()
+            .expect("one job in, one outcome out")
+    }
+
+    /// Worker loop: claim units until the queue drains.
+    fn work(
+        &self,
+        jobs: &[Job],
+        states: &[JobState],
+        units: &[(usize, usize)],
+        cursor: &AtomicUsize,
+    ) {
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(&(ji, attempt)) = units.get(i) else {
+                break;
+            };
+            let job = &jobs[ji];
+            let state = &states[ji];
+            let started = *state.started.get_or_init(|| {
+                self.sink.emit(&EngineEvent::JobStarted {
+                    job: job.name.clone(),
+                    attempts: state.attempts_total,
+                    deadline_ms: job.deadline.map(|d| d.as_millis() as u64),
+                });
+                Instant::now()
+            });
+            self.check_deadline(job, state, started);
+            if !state.cancelled.load(Ordering::Acquire) {
+                self.run_attempt(job, state, attempt);
+            }
+            if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.finish_job(job, state, started);
+            }
+        }
+    }
+
+    /// Cancels the job once its deadline has passed (checked at unit
+    /// granularity: an in-flight attempt is never interrupted).
+    fn check_deadline(&self, job: &Job, state: &JobState, started: Instant) {
+        let Some(deadline) = job.deadline else { return };
+        if state.cancelled.load(Ordering::Acquire) || started.elapsed() < deadline {
+            return;
+        }
+        state.cancelled.store(true, Ordering::Release);
+        if !state.deadline_hit.swap(true, Ordering::AcqRel) {
+            self.sink.emit(&EngineEvent::DeadlineExceeded {
+                job: job.name.clone(),
+                completed_attempts: state.completed.load(Ordering::Acquire),
+            });
+        }
+    }
+
+    /// Runs one restart attempt and merges it into the job's stable
+    /// argmin reduction.
+    fn run_attempt(&self, job: &Job, state: &JobState, attempt: usize) {
+        let t0 = Instant::now();
+        match synthesize_attempt(&job.pattern, &job.config, attempt) {
+            Ok(result) => {
+                self.sink.emit(&EngineEvent::RestartCompleted {
+                    job: job.name.clone(),
+                    attempt,
+                    seed: attempt_seed(&job.config, attempt),
+                    links: result.report.n_links,
+                    switches: result.report.n_switches,
+                    constraints_met: result.report.constraints_met,
+                    elapsed_ms: t0.elapsed().as_millis() as u64,
+                });
+                state.completed.fetch_add(1, Ordering::AcqRel);
+                let mut best = state.best.lock().expect("engine lock never poisoned");
+                let better = best.as_ref().is_none_or(|(best_attempt, best_result)| {
+                    (portfolio_rank(&result), attempt)
+                        < (portfolio_rank(best_result), *best_attempt)
+                });
+                if better {
+                    *best = Some((attempt, result));
+                }
+            }
+            Err(e) => {
+                state.cancelled.store(true, Ordering::Release);
+                let mut error = state.error.lock().expect("engine lock never poisoned");
+                if error.is_none() {
+                    *error = Some(e);
+                }
+            }
+        }
+    }
+
+    /// Last unit of a job: seal its elapsed time and emit `JobFinished`.
+    fn finish_job(&self, job: &Job, state: &JobState, started: Instant) {
+        let elapsed = started.elapsed();
+        *state.elapsed.lock().expect("engine lock never poisoned") = elapsed;
+        let (links, switches) = {
+            let best = state.best.lock().expect("engine lock never poisoned");
+            best.as_ref().map_or((None, None), |(_, r)| {
+                (Some(r.report.n_links), Some(r.report.n_switches))
+            })
+        };
+        self.sink.emit(&EngineEvent::JobFinished {
+            job: job.name.clone(),
+            status: state.status().label().to_string(),
+            completed_attempts: state.completed.load(Ordering::Acquire),
+            links,
+            switches,
+            elapsed_ms: elapsed.as_millis() as u64,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocsyn_model::{Phase, PhaseSchedule};
+    use nocsyn_synth::synthesize;
+
+    fn pattern(n: usize) -> AppPattern {
+        let mut sched = PhaseSchedule::new(n);
+        let forward: Vec<(usize, usize)> = (0..n).map(|p| (p, (p + 1) % n)).collect();
+        let stride: Vec<(usize, usize)> = (0..n).map(|p| (p, (p + n / 2) % n)).collect();
+        sched
+            .push(Phase::from_flows(forward).expect("valid flows"))
+            .expect("phase fits");
+        sched
+            .push(Phase::from_flows(stride).expect("valid flows"))
+            .expect("phase fits");
+        AppPattern::from_schedule(&sched)
+    }
+
+    fn config() -> SynthesisConfig {
+        SynthesisConfig::new().with_seed(0xE7A1).with_restarts(6)
+    }
+
+    #[test]
+    fn matches_sequential_synthesize_for_any_worker_count() {
+        let pattern = pattern(8);
+        let config = config();
+        let sequential = synthesize(&pattern, &config).expect("synthesis succeeds");
+        for workers in [1usize, 2, 4, 8] {
+            let outcome = Engine::new()
+                .with_workers(workers)
+                .synthesize(&pattern, &config, None);
+            assert_eq!(outcome.status, JobStatus::Completed, "workers={workers}");
+            assert_eq!(outcome.attempts_completed, 6);
+            let result = outcome.result.expect("completed job has a result");
+            assert_eq!(result.report, sequential.report, "workers={workers}");
+            assert_eq!(result.routes, sequential.routes, "workers={workers}");
+            assert_eq!(result.placement, sequential.placement, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn batch_outcomes_come_back_in_job_order() {
+        let jobs = vec![
+            Job::new("a", pattern(4), config()),
+            Job::new("b", pattern(8), config()),
+            Job::new("c", pattern(6), config()),
+        ];
+        let outcomes = Engine::new().with_workers(4).run(jobs);
+        let names: Vec<&str> = outcomes.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        for o in &outcomes {
+            assert_eq!(o.status, JobStatus::Completed, "{}", o.name);
+            assert!(o.result.is_some(), "{}", o.name);
+            assert_eq!(o.attempts_completed, o.attempts_total, "{}", o.name);
+        }
+    }
+
+    #[test]
+    fn zero_deadline_degrades_without_panicking() {
+        let job = Job::new("late", pattern(8), config()).with_deadline_ms(0);
+        let outcome = Engine::new().with_workers(4).run(vec![job]).pop().unwrap();
+        assert_eq!(outcome.status, JobStatus::DeadlineExceeded);
+        assert!(outcome.result.is_none());
+        assert_eq!(outcome.attempts_completed, 0);
+        assert_eq!(outcome.attempts_total, 6);
+    }
+
+    #[test]
+    fn empty_pattern_fails_the_job_but_not_the_batch() {
+        let empty = AppPattern::from_schedule(&PhaseSchedule::new(0));
+        let jobs = vec![
+            Job::new("bad", empty, config()),
+            Job::new("good", pattern(4), config()),
+        ];
+        let outcomes = Engine::new().with_workers(2).run(jobs);
+        assert!(matches!(outcomes[0].status, JobStatus::Failed(_)));
+        assert!(outcomes[0].result.is_none());
+        assert_eq!(outcomes[1].status, JobStatus::Completed);
+        assert!(outcomes[1].result.is_some());
+    }
+
+    #[test]
+    fn telemetry_covers_the_job_lifecycle() {
+        let sink = Arc::new(CollectSink::new());
+        let job = Job::new("cg-ish", pattern(8), config());
+        let outcome = Engine::new()
+            .with_workers(2)
+            .with_sink(sink.clone())
+            .run(vec![job])
+            .pop()
+            .unwrap();
+        assert_eq!(outcome.status, JobStatus::Completed);
+        let events = sink.events();
+        let kinds: Vec<&str> = events.iter().map(EngineEvent::kind).collect();
+        assert_eq!(kinds.iter().filter(|k| **k == "job_started").count(), 1);
+        assert_eq!(kinds.iter().filter(|k| **k == "job_finished").count(), 1);
+        assert_eq!(
+            kinds.iter().filter(|k| **k == "restart_completed").count(),
+            6
+        );
+        assert_eq!(events.first().unwrap().kind(), "job_started");
+        assert_eq!(events.last().unwrap().kind(), "job_finished");
+        // Every restart event carries this job's name and a distinct attempt.
+        let mut attempts: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                EngineEvent::RestartCompleted { job, attempt, .. } => {
+                    assert_eq!(job, "cg-ish");
+                    Some(*attempt)
+                }
+                _ => None,
+            })
+            .collect();
+        attempts.sort_unstable();
+        assert_eq!(attempts, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        assert!(Engine::new().run(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn status_labels_are_stable() {
+        assert_eq!(JobStatus::Completed.label(), "completed");
+        assert_eq!(JobStatus::DeadlineExceeded.label(), "deadline_exceeded");
+        assert_eq!(
+            JobStatus::Failed(SynthError::EmptyPattern).label(),
+            "failed"
+        );
+    }
+}

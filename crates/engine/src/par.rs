@@ -1,0 +1,93 @@
+//! Order-preserving parallel map over scoped threads.
+//!
+//! The engine's general fan-out primitive: the bench binaries use it to
+//! compute per-benchmark rows concurrently while printing them in the
+//! paper's order, independent of completion order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Applies `f` to every item on up to `workers` threads and returns the
+/// results *in input order* — the output is invariant to the worker count
+/// whenever `f` is a pure function of its item.
+///
+/// Items are claimed through a shared cursor (dynamic load balancing:
+/// a slow item does not stall the others). With `workers <= 1`, or a
+/// single item, this degenerates to a plain sequential map on the calling
+/// thread — no threads are spawned.
+///
+/// # Panics
+///
+/// A panic inside `f` propagates to the caller once all other in-flight
+/// items finish (scoped-thread join semantics).
+pub fn par_map<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("slot lock never poisoned")
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                let out = f(item);
+                *results[i].lock().expect("result lock never poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result lock never poisoned")
+                .expect("every item was mapped")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_for_any_worker_count() {
+        let items: Vec<usize> = (0..37).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 2).collect();
+        for workers in [0, 1, 2, 4, 16, 64] {
+            assert_eq!(
+                par_map(items.clone(), workers, |x| x * 2),
+                expect,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(par_map(Vec::<u8>::new(), 4, |x| x), Vec::<u8>::new());
+        assert_eq!(par_map(vec![7], 4, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn moves_non_copy_items_through() {
+        let items = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let lens = par_map(items, 2, |s| s.len());
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+}

@@ -11,7 +11,10 @@
 //! binary in `src/main.rs` is a thin wrapper over [`run`].
 
 use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
 
+use nocsyn_engine::{Engine, EventSink, JobStatus, JsonLinesSink, NullSink};
 use nocsyn_floorplan::{mesh_baseline, place};
 use nocsyn_model::{parse_schedule, parse_trace, PhaseSchedule, Trace};
 use nocsyn_sim::{AppDriver, RoutePolicy, SimConfig};
@@ -35,6 +38,11 @@ OPTIONS (synth):
     --max-degree <n>   switch port budget, processor links included [default 5]
     --seed <n>         search seed [default 0xC0FFEE]
     --restarts <n>     independent search restarts [default 8]
+    --jobs <n>         worker threads for the restart portfolio [default 1];
+                       the result is bit-identical for any worker count
+    --deadline-ms <m>  wall-clock budget; on expiry the best-so-far result
+                       is reported (degraded), never a panic
+    --events           stream engine telemetry to stderr as JSON lines
     --explain          per-switch / per-pipe breakdown of the result
     --dot              print the generated network as Graphviz DOT
 
@@ -55,6 +63,9 @@ struct Options {
     max_degree: usize,
     seed: u64,
     restarts: usize,
+    jobs: usize,
+    deadline_ms: Option<u64>,
+    events: bool,
     dot: bool,
     explain: bool,
     network: String,
@@ -65,6 +76,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         max_degree: 5,
         seed: 0xC0FFEE,
         restarts: 8,
+        jobs: 1,
+        deadline_ms: None,
+        events: false,
         dot: false,
         explain: false,
         network: "generated".into(),
@@ -95,6 +109,22 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     return Err("--restarts must be at least 1".into());
                 }
             }
+            "--jobs" => {
+                opts.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs expects a positive integer".to_string())?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "--deadline-ms expects an integer".to_string())?,
+                );
+            }
+            "--events" => opts.events = true,
             "--dot" => opts.dot = true,
             "--explain" => opts.explain = true,
             "--network" => {
@@ -193,8 +223,32 @@ fn cmd_synth(pattern: &AppPattern, opts: &Options) -> Result<String, String> {
         .with_max_degree(opts.max_degree)
         .with_seed(opts.seed)
         .with_restarts(opts.restarts);
-    let result = synthesize(pattern, &config).map_err(|e| e.to_string())?;
+    let sink: Arc<dyn EventSink> = if opts.events {
+        Arc::new(JsonLinesSink::stderr())
+    } else {
+        Arc::new(NullSink)
+    };
+    let engine = Engine::new().with_workers(opts.jobs).with_sink(sink);
+    let deadline = opts.deadline_ms.map(Duration::from_millis);
+    let outcome = engine.synthesize(pattern, &config, deadline);
+    if let JobStatus::Failed(e) = &outcome.status {
+        return Err(e.to_string());
+    }
+    let result = outcome.result.ok_or_else(|| {
+        format!(
+            "deadline of {} ms expired before any of the {} restarts completed",
+            opts.deadline_ms.unwrap_or(0),
+            outcome.attempts_total
+        )
+    })?;
     let mut out = String::new();
+    if outcome.status == JobStatus::DeadlineExceeded {
+        let _ = writeln!(
+            out,
+            "deadline exceeded after {}/{} restarts; reporting best-so-far",
+            outcome.attempts_completed, outcome.attempts_total
+        );
+    }
     let _ = writeln!(out, "{}", result.report);
     let _ = writeln!(out, "\n{}", result.network);
 
@@ -395,6 +449,45 @@ mod tests {
     }
 
     #[test]
+    fn synth_jobs_worker_count_does_not_change_output() {
+        let path = write_pattern("jobs", PATTERN);
+        let base = args(&["synth", &path, "--restarts", "4", "--seed", "11", "--dot"]);
+        let j1 = run(&[base.clone(), args(&["--jobs", "1"])].concat()).unwrap();
+        let j4 = run(&[base, args(&["--jobs", "4"])].concat()).unwrap();
+        assert_eq!(j1, j4);
+    }
+
+    #[test]
+    fn synth_zero_deadline_fails_gracefully() {
+        let path = write_pattern("deadline", PATTERN);
+        let err = run(&args(&[
+            "synth",
+            &path,
+            "--deadline-ms",
+            "0",
+            "--jobs",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("deadline"), "{err}");
+    }
+
+    #[test]
+    fn synth_generous_deadline_still_reports() {
+        let path = write_pattern("deadline-ok", PATTERN);
+        let out = run(&args(&[
+            "synth",
+            &path,
+            "--restarts",
+            "2",
+            "--deadline-ms",
+            "60000",
+        ]))
+        .unwrap();
+        assert!(out.contains("synthesized"), "{out}");
+    }
+
+    #[test]
     fn synth_dot_emits_graphviz() {
         let path = write_pattern("dot", PATTERN);
         let out = run(&args(&["synth", &path, "--restarts", "1", "--dot"])).unwrap();
@@ -449,6 +542,10 @@ mod tests {
         let path = write_pattern("badopt", PATTERN);
         assert!(run(&args(&["synth", &path, "--max-degree", "lots"])).is_err());
         assert!(run(&args(&["synth", &path, "--restarts", "0"])).is_err());
+        assert!(run(&args(&["synth", &path, "--jobs", "0"])).is_err());
+        assert!(run(&args(&["synth", &path, "--jobs", "many"])).is_err());
+        assert!(run(&args(&["synth", &path, "--jobs"])).is_err());
+        assert!(run(&args(&["synth", &path, "--deadline-ms", "soon"])).is_err());
         assert!(run(&args(&["simulate", &path, "--network", "hypercube"])).is_err());
         assert!(run(&args(&["synth", &path, "--wat"])).is_err());
         let bad = write_pattern("badpattern", "phase\n 0 -> 1\n");

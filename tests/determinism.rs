@@ -2,6 +2,7 @@
 //! synthesis pipeline reproducible — same seed, same annealing
 //! trajectory, same topology, byte for byte.
 
+use nocsyn::engine::{Engine, JobStatus};
 use nocsyn::synth::{synthesize, AppPattern, SynthesisConfig, SynthesisResult};
 use nocsyn::workloads::{Benchmark, WorkloadParams};
 
@@ -92,4 +93,63 @@ fn mg8_same_seed_same_network() {
     let b = synthesize(&pattern, &config).unwrap();
     assert_eq!(fingerprint(&a), fingerprint(&b));
     assert_eq!(a.routes, b.routes);
+}
+
+fn mg8_pattern() -> AppPattern {
+    let sched = Benchmark::Mg
+        .schedule(
+            8,
+            &WorkloadParams::paper_default(Benchmark::Mg).with_iterations(1),
+        )
+        .expect("8 is valid for MG");
+    AppPattern::from_schedule(&sched)
+}
+
+/// The parallel engine's restart portfolio selects the *bit-identical*
+/// golden topology for any worker count — on CG16 and MG8, jobs=1 versus
+/// jobs=4 — and matches the sequential `synthesize` loop exactly.
+#[test]
+fn engine_golden_fingerprints_jobs1_vs_jobs4() {
+    for (name, pattern) in [("cg16", cg16_pattern()), ("mg8", mg8_pattern())] {
+        let config = SynthesisConfig::new().with_seed(0xD5EED).with_restarts(8);
+        let sequential = synthesize(&pattern, &config).unwrap();
+        let golden = fingerprint(&sequential);
+        for workers in [1usize, 4] {
+            let outcome = Engine::new()
+                .with_workers(workers)
+                .synthesize(&pattern, &config, None);
+            assert_eq!(outcome.status, JobStatus::Completed, "{name} x{workers}");
+            let result = outcome.result.expect("completed job has a result");
+            assert_eq!(fingerprint(&result), golden, "{name} x{workers}");
+            assert_eq!(result.routes, sequential.routes, "{name} x{workers}");
+            assert_eq!(result.report, sequential.report, "{name} x{workers}");
+        }
+    }
+}
+
+/// A 0 ms deadline cancels the portfolio before any restart runs: the
+/// outcome degrades to `DeadlineExceeded` with no result — no panic, and
+/// no leaked threads (the engine joins its scoped workers before
+/// returning, so the process exits cleanly).
+#[test]
+fn engine_zero_deadline_cancels_without_panicking() {
+    let outcome = Engine::new().with_workers(4).synthesize(
+        &cg16_pattern(),
+        &SynthesisConfig::new().with_restarts(8),
+        Some(std::time::Duration::ZERO),
+    );
+    assert_eq!(outcome.status, JobStatus::DeadlineExceeded);
+    assert!(outcome.result.is_none());
+    assert_eq!(outcome.attempts_completed, 0);
+    assert_eq!(outcome.attempts_total, 8);
+}
+
+/// Regression: `restarts = 0` used to panic via `best.expect(...)` deep
+/// in the restart loop; the builder now clamps it to one run.
+#[test]
+fn zero_restarts_synthesizes_instead_of_panicking() {
+    let config = SynthesisConfig::new().with_seed(3).with_restarts(0);
+    assert_eq!(config.restarts(), 1);
+    let result = synthesize(&cg16_pattern(), &config).unwrap();
+    assert!(result.network.is_strongly_connected());
 }

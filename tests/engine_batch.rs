@@ -1,0 +1,130 @@
+//! Integration tests of the `nocsyn-engine` batch job API against the
+//! real paper workloads: outcomes in job order, per-job isolation of
+//! failures and deadlines, and full-lifecycle telemetry.
+
+use std::sync::Arc;
+
+use nocsyn::engine::{CollectSink, Engine, EngineEvent, Job, JobStatus};
+use nocsyn::model::PhaseSchedule;
+use nocsyn::synth::{synthesize, AppPattern, SynthesisConfig};
+use nocsyn::workloads::{Benchmark, WorkloadParams};
+
+fn benchmark_job(benchmark: Benchmark, n: usize, restarts: usize) -> Job {
+    let sched = benchmark
+        .schedule(
+            n,
+            &WorkloadParams::paper_default(benchmark).with_iterations(1),
+        )
+        .expect("paper process counts are valid");
+    let config = SynthesisConfig::new()
+        .with_seed(0xBA7C ^ (benchmark as u64))
+        .with_restarts(restarts);
+    Job::new(
+        format!("{}{n}", benchmark.name()),
+        AppPattern::from_schedule(&sched),
+        config,
+    )
+}
+
+/// A multi-benchmark batch: every outcome comes back in job order,
+/// completed, and equal to what the sequential `synthesize` loop selects
+/// for the same job.
+#[test]
+fn batch_across_benchmarks_matches_sequential_per_job() {
+    let jobs: Vec<Job> = [Benchmark::Cg, Benchmark::Mg, Benchmark::Fft]
+        .into_iter()
+        .map(|b| benchmark_job(b, 8, 4))
+        .collect();
+    let expected: Vec<_> = jobs
+        .iter()
+        .map(|j| synthesize(&j.pattern, &j.config).unwrap())
+        .collect();
+
+    let outcomes = Engine::new().with_workers(4).run(jobs);
+    assert_eq!(outcomes.len(), 3);
+    let names: Vec<&str> = outcomes.iter().map(|o| o.name.as_str()).collect();
+    assert_eq!(names, ["CG8", "MG8", "FFT8"]);
+    for (outcome, sequential) in outcomes.iter().zip(&expected) {
+        assert_eq!(outcome.status, JobStatus::Completed, "{}", outcome.name);
+        assert_eq!(outcome.attempts_completed, 4, "{}", outcome.name);
+        let result = outcome.result.as_ref().expect("completed job has result");
+        assert_eq!(result.report, sequential.report, "{}", outcome.name);
+        assert_eq!(result.routes, sequential.routes, "{}", outcome.name);
+    }
+}
+
+/// One poisoned job (empty pattern) and one zero-deadline job do not
+/// disturb a healthy neighbor in the same batch.
+#[test]
+fn failures_and_deadlines_stay_contained_per_job() {
+    let empty = AppPattern::from_schedule(&PhaseSchedule::new(0));
+    let jobs = vec![
+        Job::new("empty", empty, SynthesisConfig::new().with_restarts(2)),
+        benchmark_job(Benchmark::Cg, 8, 2).with_deadline_ms(0),
+        benchmark_job(Benchmark::Mg, 8, 2),
+    ];
+    let outcomes = Engine::new().with_workers(2).run(jobs);
+
+    assert!(matches!(outcomes[0].status, JobStatus::Failed(_)));
+    assert!(outcomes[0].result.is_none());
+
+    assert_eq!(outcomes[1].status, JobStatus::DeadlineExceeded);
+    assert!(outcomes[1].result.is_none());
+    assert_eq!(outcomes[1].attempts_completed, 0);
+
+    assert_eq!(outcomes[2].status, JobStatus::Completed);
+    assert!(outcomes[2].result.is_some());
+    assert_eq!(outcomes[2].attempts_completed, 2);
+}
+
+/// Telemetry over a batch: per job exactly one started and one finished
+/// event, one restart event per completed attempt, and a deadline event
+/// only for the job that expired.
+#[test]
+fn batch_telemetry_is_complete_and_attributed() {
+    let sink = Arc::new(CollectSink::new());
+    let jobs = vec![
+        benchmark_job(Benchmark::Cg, 8, 3),
+        benchmark_job(Benchmark::Mg, 8, 3).with_deadline_ms(0),
+    ];
+    let outcomes = Engine::new()
+        .with_workers(2)
+        .with_sink(sink.clone())
+        .run(jobs);
+    assert_eq!(outcomes[0].status, JobStatus::Completed);
+    assert_eq!(outcomes[1].status, JobStatus::DeadlineExceeded);
+
+    let events = sink.events();
+    let count = |job: &str, kind: &str| {
+        events
+            .iter()
+            .filter(|e| e.job() == job && e.kind() == kind)
+            .count()
+    };
+    assert_eq!(count("CG8", "job_started"), 1);
+    assert_eq!(count("CG8", "restart_completed"), 3);
+    assert_eq!(count("CG8", "job_finished"), 1);
+    assert_eq!(count("CG8", "deadline_exceeded"), 0);
+
+    assert_eq!(count("MG8", "job_started"), 1);
+    assert_eq!(count("MG8", "restart_completed"), 0);
+    assert_eq!(count("MG8", "deadline_exceeded"), 1);
+    assert_eq!(count("MG8", "job_finished"), 1);
+
+    // The finished event for the expired job reports the degraded status
+    // and a null result in its JSON rendering.
+    let finished_mg = events
+        .iter()
+        .find(|e| e.job() == "MG8" && e.kind() == "job_finished")
+        .expect("mg8 finished event exists");
+    match finished_mg {
+        EngineEvent::JobFinished { status, links, .. } => {
+            assert_eq!(status, "deadline_exceeded");
+            assert!(links.is_none());
+        }
+        other => panic!("unexpected event {other:?}"),
+    }
+    let json = finished_mg.to_json().to_string();
+    assert!(json.contains(r#""status":"deadline_exceeded""#), "{json}");
+    assert!(json.contains(r#""links":null"#), "{json}");
+}
