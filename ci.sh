@@ -19,12 +19,21 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "==> no-unwrap gate: clippy -D clippy::unwrap_used on faults + engine"
+cargo clippy --offline -p nocsyn-faults -p nocsyn-engine -- \
+    -D warnings -D clippy::unwrap_used
+
 echo "==> engine smoke gate: synth --jobs 1 vs --jobs 4 must be bit-identical"
 j1="$(mktemp)"
 j4="$(mktemp)"
 trap 'rm -f "$j1" "$j4"' EXIT
 ./target/release/nocsyn synth examples_data/pipeline.txt --restarts 8 --dot --jobs 1 > "$j1"
 ./target/release/nocsyn synth examples_data/pipeline.txt --restarts 8 --dot --jobs 4 > "$j4"
+diff "$j1" "$j4"
+
+echo "==> fault-determinism gate: degradation reports --jobs 1 vs --jobs 4"
+./target/release/nocsyn faults examples_data/pipeline.txt --exhaustive --json --jobs 1 > "$j1"
+./target/release/nocsyn faults examples_data/pipeline.txt --exhaustive --json --jobs 4 > "$j4"
 diff "$j1" "$j4"
 
 echo "CI gate passed."

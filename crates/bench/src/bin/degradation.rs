@@ -1,0 +1,226 @@
+//! Degradation sweep: how gracefully does each comparison network ride
+//! out link failures? For every fault count `k` in `0..=K` we sample
+//! seeded scenarios of `k` failed links, repair the route table over the
+//! surviving subgraph (`nocsyn-faults`), re-run the Theorem 1 check on
+//! the repaired table, and — where every flow still has a route —
+//! re-simulate the benchmark closed-loop with the failed links enforced
+//! by the simulator.
+//!
+//! Usage: `degradation [--procs N] [--max-faults K] [--scenarios S]
+//! [--seed n] [--json] [--jobs N]` (defaults: CG at 16 procs, K=3, S=8).
+//! Output is byte-identical for any `--jobs` value. Run in release mode.
+
+use nocsyn_bench::{build_instance, HarnessError, NetworkKind};
+use nocsyn_engine::par_map;
+use nocsyn_faults::{DegradationReport, FaultScenario};
+use nocsyn_model::json::JsonValue;
+use nocsyn_sim::{AppDriver, RoutePolicy, SimConfig};
+use nocsyn_synth::AppPattern;
+use nocsyn_topo::RouteTable;
+use nocsyn_workloads::{Benchmark, WorkloadParams};
+
+struct Config {
+    procs: usize,
+    max_faults: usize,
+    scenarios: usize,
+    seed: u64,
+    json: bool,
+    jobs: usize,
+}
+
+fn parse_config() -> Config {
+    let mut config = Config {
+        procs: 16,
+        max_faults: 3,
+        scenarios: 8,
+        seed: 0xFA17,
+        json: false,
+        jobs: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    let numeric = |name: &str, raw: Option<String>| -> u64 {
+        raw.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{name} expects an integer");
+            std::process::exit(2);
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--procs" => config.procs = numeric("--procs", args.next()) as usize,
+            "--max-faults" => config.max_faults = numeric("--max-faults", args.next()) as usize,
+            "--scenarios" => config.scenarios = numeric("--scenarios", args.next()).max(1) as usize,
+            "--seed" => config.seed = numeric("--seed", args.next()),
+            "--json" => config.json = true,
+            "--jobs" => config.jobs = numeric("--jobs", args.next()).max(1) as usize,
+            other => {
+                eprintln!("unknown option `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    config
+}
+
+/// One (network kind, fault count) cell of the sweep.
+struct Row {
+    kind: NetworkKind,
+    k: usize,
+    scenarios: usize,
+    clean: usize,
+    disconnected: usize,
+    mean_exec: Option<f64>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn row_for(
+    kind: NetworkKind,
+    k: usize,
+    config: &Config,
+    schedule: &nocsyn_model::PhaseSchedule,
+    pattern: &AppPattern,
+    seed: u64,
+) -> Result<Row, HarnessError> {
+    let inst = build_instance(kind, schedule, seed)?;
+    // Deterministic first-alternative table over the pattern's flows —
+    // exactly what the closed-loop driver will ask the policy for.
+    let mut routes = RouteTable::new();
+    for &flow in pattern.flows() {
+        if let Some(route) = inst.policy.first_route(flow) {
+            routes.insert(flow, route.clone());
+        }
+    }
+    let scenarios: Vec<FaultScenario> = if k == 0 {
+        vec![FaultScenario::none()]
+    } else {
+        (0..config.scenarios as u64)
+            .map(|i| FaultScenario::sample(&inst.network, k, 0, config.seed ^ (i << 8) ^ k as u64))
+            .collect()
+    };
+    let mut clean = 0usize;
+    let mut disconnected = 0usize;
+    let mut execs: Vec<u64> = Vec::new();
+    for scenario in &scenarios {
+        let report = DegradationReport::analyze(
+            &inst.network,
+            pattern.contention(),
+            &routes,
+            scenario.clone(),
+        );
+        if report.still_contention_free() {
+            clean += 1;
+        }
+        if report.n_unroutable() > 0 {
+            disconnected += 1;
+            continue;
+        }
+        // Routable under repair: measure the latency cost closed-loop,
+        // with the failed links enforced by the simulator.
+        let sim_config = SimConfig::paper()
+            .with_link_delays(inst.floorplan.link_lengths(&inst.network))
+            .with_failed_links(scenario.failed_links().iter().copied());
+        let stats = AppDriver::new(
+            &inst.network,
+            RoutePolicy::deterministic(report.repaired_routes().clone()),
+            sim_config,
+        )
+        .run(schedule)?;
+        execs.push(stats.exec_cycles);
+    }
+    let mean_exec = if execs.is_empty() {
+        None
+    } else {
+        Some(execs.iter().sum::<u64>() as f64 / execs.len() as f64)
+    };
+    Ok(Row {
+        kind,
+        k,
+        scenarios: scenarios.len(),
+        clean,
+        disconnected,
+        mean_exec,
+    })
+}
+
+fn main() -> Result<(), HarnessError> {
+    let config = parse_config();
+    let benchmark = Benchmark::Cg;
+    let schedule = benchmark
+        .schedule(
+            config.procs,
+            &WorkloadParams::paper_default(benchmark).with_iterations(1),
+        )
+        .expect("paper process counts are valid");
+    let pattern = AppPattern::from_schedule(&schedule);
+    let seed = 0xF18 ^ (config.procs as u64) ^ ((benchmark as u64) << 8);
+
+    let kinds = [
+        NetworkKind::Mesh,
+        NetworkKind::Torus,
+        NetworkKind::Generated,
+    ];
+    let cells: Vec<(NetworkKind, usize)> = kinds
+        .iter()
+        .flat_map(|&kind| (0..=config.max_faults).map(move |k| (kind, k)))
+        .collect();
+    // Each cell is a pure function of (kind, k, seeds); par_map keeps the
+    // sweep order, so output is identical for any worker count.
+    let rows = par_map(cells, config.jobs, |(kind, k)| {
+        row_for(kind, k, &config, &schedule, &pattern, seed)
+    });
+
+    if config.json {
+        let mut records = Vec::new();
+        for row in rows {
+            let row = row?;
+            records.push(JsonValue::object([
+                ("network", JsonValue::from(row.kind.name())),
+                ("faults", JsonValue::from(row.k)),
+                ("scenarios", JsonValue::from(row.scenarios)),
+                ("contention_free", JsonValue::from(row.clean)),
+                ("disconnected", JsonValue::from(row.disconnected)),
+                (
+                    "mean_exec_cycles",
+                    row.mean_exec.map_or(JsonValue::Null, JsonValue::from),
+                ),
+            ]));
+        }
+        println!("{}", JsonValue::array(records));
+        return Ok(());
+    }
+
+    println!(
+        "degradation sweep: {} at {} procs, {} sampled scenarios per fault count",
+        benchmark.name(),
+        config.procs,
+        config.scenarios
+    );
+    println!(
+        "  {:<9} {:>6} | {:>10} {:>12} | {:>12} {:>8}",
+        "network", "faults", "cont.free", "disconnected", "mean exec", "vs k=0"
+    );
+    let mut baseline = f64::NAN;
+    for row in rows {
+        let row = row?;
+        if row.k == 0 {
+            baseline = row.mean_exec.unwrap_or(f64::NAN);
+        }
+        let (exec, rel) = match row.mean_exec {
+            Some(e) => (format!("{e:.0}"), format!("{:.3}", e / baseline)),
+            None => ("-".into(), "-".into()),
+        };
+        println!(
+            "  {:<9} {:>6} | {:>7}/{:<2} {:>12} | {:>12} {:>8}",
+            row.kind.name(),
+            row.k,
+            row.clean,
+            row.scenarios,
+            row.disconnected,
+            exec,
+            rel
+        );
+    }
+    println!();
+    println!("cont.free = scenarios whose repaired table still satisfies C ∩ R = ∅;");
+    println!("mean exec averages the scenarios where every flow stayed routable.");
+    Ok(())
+}

@@ -88,6 +88,30 @@ pub fn attempt_seed(config: &SynthesisConfig, attempt: usize) -> u64 {
         .wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
+/// The derived seed of `retry` of restart `attempt`: retry 0 is exactly
+/// [`attempt_seed`] (a job with retries configured but none needed is
+/// bit-identical to one without), and each further retry advances a
+/// splitmix64 chain keyed on a *mixed* image of the attempt seed.
+/// Exposed so the `nocsyn-engine` retry policy reruns a faulted attempt
+/// under a fresh but *reproducible* seed — the retried result is still a
+/// pure function of `(pattern, config, attempt, retry)`.
+pub fn retry_seed(config: &SynthesisConfig, attempt: usize, retry: usize) -> u64 {
+    let mut seed = attempt_seed(config, attempt);
+    if retry == 0 {
+        return seed;
+    }
+    // Chain from a mixed image of the attempt seed, not the raw seed:
+    // `attempt_seed` strides attempts by the same golden-ratio constant
+    // splitmix64 advances its state by, so raw chains from neighboring
+    // attempts would alias (attempt a retry r == attempt a+1 retry r-1).
+    let mut state = nocsyn_rng::splitmix64(&mut seed);
+    let mut out = 0;
+    for _ in 0..retry {
+        out = nocsyn_rng::splitmix64(&mut state);
+    }
+    out
+}
+
 /// Runs restart `attempt` of the portfolio: one full deterministic pass of
 /// the Main Partitioning Algorithm plus finalization, seeded with
 /// [`attempt_seed`]. The result is a pure function of
@@ -104,6 +128,22 @@ pub fn synthesize_attempt(
     attempt: usize,
 ) -> Result<SynthesisResult, SynthError> {
     let run_config = config.clone().with_seed(attempt_seed(config, attempt));
+    synthesize_once(pattern, &run_config)
+}
+
+/// Runs `retry` of restart `attempt` — [`synthesize_attempt`] reseeded
+/// with [`retry_seed`]. Retry 0 is identical to the plain attempt.
+///
+/// # Errors
+///
+/// Same conditions as [`synthesize`].
+pub fn synthesize_retry(
+    pattern: &AppPattern,
+    config: &SynthesisConfig,
+    attempt: usize,
+    retry: usize,
+) -> Result<SynthesisResult, SynthError> {
+    let run_config = config.clone().with_seed(retry_seed(config, attempt, retry));
     synthesize_once(pattern, &run_config)
 }
 
@@ -220,4 +260,36 @@ pub fn synthesize_network(
     config: &SynthesisConfig,
 ) -> Result<(Network, RouteTable), SynthError> {
     synthesize(pattern, config).map(|r| (r.network, r.routes))
+}
+
+#[cfg(test)]
+mod seed_tests {
+    use super::*;
+
+    #[test]
+    fn retry_zero_is_the_attempt_seed() {
+        let config = SynthesisConfig::new().with_seed(0xFEED);
+        for attempt in 0..8 {
+            assert_eq!(
+                retry_seed(&config, attempt, 0),
+                attempt_seed(&config, attempt)
+            );
+        }
+    }
+
+    #[test]
+    fn retry_seeds_are_distinct_and_reproducible() {
+        let config = SynthesisConfig::new().with_seed(7);
+        let mut seen = std::collections::BTreeSet::new();
+        for attempt in 0..8 {
+            for retry in 0..8 {
+                let s = retry_seed(&config, attempt, retry);
+                assert_eq!(s, retry_seed(&config, attempt, retry));
+                assert!(
+                    seen.insert(s),
+                    "collision at attempt {attempt} retry {retry}"
+                );
+            }
+        }
+    }
 }

@@ -74,6 +74,28 @@ pub enum EngineEvent {
         /// Wall time from the job's first claim to its last unit.
         elapsed_ms: u64,
     },
+    /// A restart attempt panicked inside the synthesis call. The panic is
+    /// caught at the attempt boundary: the worker survives, sibling jobs
+    /// are untouched, and the job fails (or retries, under a
+    /// `RetryPolicy`) with the payload preserved.
+    AttemptPanicked {
+        /// Job name.
+        job: String,
+        /// Attempt index within the portfolio (0-based).
+        attempt: usize,
+        /// Retry index within the attempt (0 = first execution).
+        retry: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The telemetry sink itself failed (I/O error on emit). This is the
+    /// engine's last event: further telemetry is dropped (Null-sink
+    /// fallback) rather than silently half-written. Results are
+    /// unaffected. Carries no job name.
+    SinkDegraded {
+        /// The I/O error that killed the sink.
+        error: String,
+    },
 }
 
 impl EngineEvent {
@@ -84,16 +106,21 @@ impl EngineEvent {
             EngineEvent::RestartCompleted { .. } => "restart_completed",
             EngineEvent::DeadlineExceeded { .. } => "deadline_exceeded",
             EngineEvent::JobFinished { .. } => "job_finished",
+            EngineEvent::AttemptPanicked { .. } => "attempt_panicked",
+            EngineEvent::SinkDegraded { .. } => "sink_degraded",
         }
     }
 
-    /// Name of the job the event belongs to.
+    /// Name of the job the event belongs to (empty for engine-level
+    /// events such as [`EngineEvent::SinkDegraded`]).
     pub fn job(&self) -> &str {
         match self {
             EngineEvent::JobStarted { job, .. }
             | EngineEvent::RestartCompleted { job, .. }
             | EngineEvent::DeadlineExceeded { job, .. }
-            | EngineEvent::JobFinished { job, .. } => job,
+            | EngineEvent::JobFinished { job, .. }
+            | EngineEvent::AttemptPanicked { job, .. } => job,
+            EngineEvent::SinkDegraded { .. } => "",
         }
     }
 
@@ -157,6 +184,22 @@ impl EngineEvent {
                 ("switches", opt(*switches)),
                 ("elapsed_ms", JsonValue::from(*elapsed_ms)),
             ]),
+            EngineEvent::AttemptPanicked {
+                job,
+                attempt,
+                retry,
+                message,
+            } => JsonValue::object([
+                ("event", JsonValue::from(self.kind())),
+                ("job", JsonValue::from(job.as_str())),
+                ("attempt", JsonValue::from(*attempt)),
+                ("retry", JsonValue::from(*retry)),
+                ("message", JsonValue::from(message.as_str())),
+            ]),
+            EngineEvent::SinkDegraded { error } => JsonValue::object([
+                ("event", JsonValue::from(self.kind())),
+                ("error", JsonValue::from(error.as_str())),
+            ]),
         }
     }
 }
@@ -164,9 +207,17 @@ impl EngineEvent {
 /// A consumer of engine telemetry. Called from worker threads, possibly
 /// concurrently; implementations serialize internally.
 pub trait EventSink: Send + Sync {
-    /// Delivers one event. Must not panic; the engine treats the sink as
-    /// fire-and-forget.
-    fn emit(&self, event: &EngineEvent);
+    /// Delivers one event. Must not panic. An `Err` tells the engine the
+    /// sink is broken: the engine reports it once (a final
+    /// [`EngineEvent::SinkDegraded`] is attempted, plus a stderr notice)
+    /// and stops emitting for the rest of the run — telemetry degrades
+    /// loudly instead of being dropped invisibly mid-stream. Results are
+    /// never affected by sink failures.
+    ///
+    /// # Errors
+    ///
+    /// The I/O error that prevented delivery.
+    fn emit(&self, event: &EngineEvent) -> std::io::Result<()>;
 }
 
 /// Discards every event (the engine default).
@@ -174,7 +225,9 @@ pub trait EventSink: Send + Sync {
 pub struct NullSink;
 
 impl EventSink for NullSink {
-    fn emit(&self, _event: &EngineEvent) {}
+    fn emit(&self, _event: &EngineEvent) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// Buffers events in memory, for tests and post-run inspection.
@@ -199,11 +252,12 @@ impl CollectSink {
 }
 
 impl EventSink for CollectSink {
-    fn emit(&self, event: &EngineEvent) {
+    fn emit(&self, event: &EngineEvent) -> std::io::Result<()> {
         self.events
             .lock()
             .expect("sink lock never poisoned")
             .push(event.clone());
+        Ok(())
     }
 }
 
@@ -237,10 +291,12 @@ impl JsonLinesSink<std::io::Stderr> {
 }
 
 impl<W: Write + Send> EventSink for JsonLinesSink<W> {
-    fn emit(&self, event: &EngineEvent) {
+    fn emit(&self, event: &EngineEvent) -> std::io::Result<()> {
         let mut out = self.out.lock().expect("sink lock never poisoned");
-        // Telemetry is best-effort: a closed pipe must not kill a worker.
-        let _ = writeln!(out, "{}", event.to_json());
+        // Write failures (closed pipe, full disk) surface to the engine,
+        // which degrades the stream loudly instead of dropping lines
+        // invisibly mid-run.
+        writeln!(out, "{}", event.to_json())
     }
 }
 
@@ -300,11 +356,12 @@ mod tests {
     #[test]
     fn collect_sink_preserves_arrival_order() {
         let sink = CollectSink::new();
-        sink.emit(&sample());
+        sink.emit(&sample()).expect("collect sink never fails");
         sink.emit(&EngineEvent::DeadlineExceeded {
             job: "x".into(),
             completed_attempts: 1,
-        });
+        })
+        .expect("collect sink never fails");
         let events = sink.events();
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].kind(), "restart_completed");
@@ -314,12 +371,60 @@ mod tests {
     #[test]
     fn json_lines_sink_writes_one_line_per_event() {
         let sink = JsonLinesSink::new(Vec::new());
-        sink.emit(&sample());
-        sink.emit(&sample());
+        sink.emit(&sample()).expect("vec write never fails");
+        sink.emit(&sample()).expect("vec write never fails");
         let text = String::from_utf8(sink.into_inner()).unwrap();
         assert_eq!(text.lines().count(), 2);
         for line in text.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn panic_and_degradation_events_render_stably() {
+        let p = EngineEvent::AttemptPanicked {
+            job: "cg16".into(),
+            attempt: 2,
+            retry: 1,
+            message: "index out of bounds".into(),
+        };
+        assert_eq!(p.kind(), "attempt_panicked");
+        assert_eq!(p.job(), "cg16");
+        let json = p.to_json().to_string();
+        assert!(json.starts_with(r#"{"event":"attempt_panicked","job":"cg16""#));
+        assert!(json.contains(r#""retry":1"#));
+        assert!(json.contains(r#""message":"index out of bounds""#));
+
+        let d = EngineEvent::SinkDegraded {
+            error: "broken pipe".into(),
+        };
+        assert_eq!(d.kind(), "sink_degraded");
+        assert_eq!(d.job(), "");
+        assert_eq!(
+            d.to_json().to_string(),
+            r#"{"event":"sink_degraded","error":"broken pipe"}"#
+        );
+    }
+
+    /// A writer that always fails, to prove emit propagates I/O errors.
+    struct BrokenWriter;
+
+    impl Write for BrokenWriter {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "broken pipe",
+            ))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn json_lines_sink_propagates_write_failures() {
+        let sink = JsonLinesSink::new(BrokenWriter);
+        let err = sink.emit(&sample()).expect_err("broken writer must error");
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
     }
 }

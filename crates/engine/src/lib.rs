@@ -29,10 +29,22 @@
 //! [`JobStatus::DeadlineExceeded`] — never a panic. With a deadline of
 //! zero, no attempt runs and the outcome carries no result.
 //!
+//! The engine is **panic-isolated**: every attempt runs under
+//! `catch_unwind`, so a panic inside one attempt becomes a structured
+//! [`EngineEvent::AttemptPanicked`] plus
+//! [`JobStatus::Failed`]`(`[`JobError::Panicked`]`)` for that job only —
+//! never a poisoned pool or a lost batch. A bounded [`RetryPolicy`] can
+//! re-run a failed or panicked attempt with a deterministically reseeded
+//! search (`nocsyn_synth::retry_seed`), keeping retried batches
+//! reproducible run-to-run.
+//!
 //! Execution is observable through a structured [`EngineEvent`] stream
 //! delivered to a pluggable [`EventSink`] ([`JsonLinesSink`] renders
-//! JSON Lines via `nocsyn_model::json`). Telemetry order is not
-//! deterministic; results are.
+//! JSON Lines via `nocsyn_model::json`). Sink I/O failures are surfaced,
+//! not swallowed: the first failed emit degrades the stream loudly (a
+//! stderr notice plus a best-effort [`EngineEvent::SinkDegraded`] marker)
+//! and the engine falls back to discarding telemetry; results are never
+//! affected. Telemetry order is not deterministic; results are.
 //!
 //! ```
 //! use nocsyn_engine::Engine;
@@ -64,15 +76,48 @@ mod par;
 pub use event::{CollectSink, EngineEvent, EventSink, JsonLinesSink, NullSink};
 pub use par::par_map;
 
+use std::collections::BTreeSet;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use nocsyn_synth::{
-    attempt_seed, portfolio_rank, synthesize_attempt, AppPattern, SynthError, SynthesisConfig,
+    portfolio_rank, retry_seed, synthesize_retry, AppPattern, SynthError, SynthesisConfig,
     SynthesisResult,
 };
+
+/// Bounded retry policy for failed or panicked attempts.
+///
+/// Each retry re-runs the attempt with a deterministically reseeded
+/// search (`nocsyn_synth::retry_seed`): retry 0 is the attempt's own
+/// seed, and every further retry chains one `splitmix64` step off it, so
+/// a retried batch is still bit-reproducible run-to-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryPolicy {
+    /// Extra tries after the first (0 = fail fast, the default).
+    pub max_retries: usize,
+    /// Sleep between consecutive tries of one attempt.
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy with `max_retries` extra tries and no backoff.
+    pub fn retries(max_retries: usize) -> Self {
+        RetryPolicy {
+            max_retries,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Sets the sleep between consecutive tries of one attempt.
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+}
 
 /// One synthesis request in a batch: a named pattern/config pair with an
 /// optional deadline.
@@ -87,16 +132,23 @@ pub struct Job {
     /// Wall-clock budget measured from the job's first claimed unit.
     /// `None` runs the full portfolio.
     pub deadline: Option<Duration>,
+    /// Bounded retry policy for this job's attempts.
+    pub retry: RetryPolicy,
+    /// Attempts that panic on their first try — fault injection for tests
+    /// and chaos drills. Retries of the same attempt run normally.
+    injected_panics: BTreeSet<usize>,
 }
 
 impl Job {
-    /// Creates a job with no deadline.
+    /// Creates a job with no deadline and a fail-fast retry policy.
     pub fn new(name: impl Into<String>, pattern: AppPattern, config: SynthesisConfig) -> Self {
         Job {
             name: name.into(),
             pattern,
             config,
             deadline: None,
+            retry: RetryPolicy::default(),
+            injected_panics: BTreeSet::new(),
         }
     }
 
@@ -113,8 +165,61 @@ impl Job {
         self.with_deadline(Duration::from_millis(ms))
     }
 
+    /// Sets the retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Makes `attempt` panic on its first try; retries of the attempt run
+    /// normally. A fault-injection hook proving one poisoned attempt
+    /// cannot take down its batch — and, with a [`RetryPolicy`], that the
+    /// job recovers.
+    #[must_use]
+    pub fn with_injected_panic(mut self, attempt: usize) -> Self {
+        self.injected_panics.insert(attempt);
+        self
+    }
+
     fn attempts(&self) -> usize {
         self.config.restarts().max(1)
+    }
+}
+
+/// Why a job failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// Synthesis returned a structured error.
+    Synth(SynthError),
+    /// An attempt panicked; the engine caught it at the attempt boundary.
+    Panicked {
+        /// The panic payload rendered as text.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Synth(e) => write!(f, "{e}"),
+            JobError::Panicked { message } => write!(f, "attempt panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Synth(e) => Some(e),
+            JobError::Panicked { .. } => None,
+        }
+    }
+}
+
+impl From<SynthError> for JobError {
+    fn from(e: SynthError) -> Self {
+        JobError::Synth(e)
     }
 }
 
@@ -128,9 +233,10 @@ pub enum JobStatus {
     /// carries the best result among the attempts that did complete
     /// (possibly none, for a zero deadline).
     DeadlineExceeded,
-    /// Synthesis itself failed (e.g. an empty pattern); remaining
-    /// attempts were cancelled.
-    Failed(SynthError),
+    /// The job failed — a structured synthesis error, or a panic caught
+    /// at the attempt boundary — after its retry budget was exhausted;
+    /// remaining attempts were cancelled. Batch neighbors are unaffected.
+    Failed(JobError),
 }
 
 impl JobStatus {
@@ -154,7 +260,10 @@ pub struct JobOutcome {
     pub status: JobStatus,
     /// Selected synthesis result. `Some` whenever at least one attempt
     /// completed — including under [`JobStatus::DeadlineExceeded`], where
-    /// it is the degraded best-so-far.
+    /// it is the degraded best-so-far. Always `None` under
+    /// [`JobStatus::Failed`]: which sibling attempts happened to finish
+    /// before the failure cancelled the job is a scheduling race, so a
+    /// partial best would not be deterministic across worker counts.
     pub result: Option<SynthesisResult>,
     /// Restart attempts that ran to completion.
     pub attempts_completed: usize,
@@ -176,7 +285,7 @@ struct JobState {
     /// Best completed attempt: `(attempt index, result)`, minimal under
     /// `(portfolio_rank, attempt)`.
     best: Mutex<Option<(usize, SynthesisResult)>>,
-    error: Mutex<Option<SynthError>>,
+    error: Mutex<Option<JobError>>,
     elapsed: Mutex<Duration>,
 }
 
@@ -208,18 +317,77 @@ impl JobState {
 
     fn into_outcome(self, name: String) -> JobOutcome {
         let status = self.status();
+        let result = if matches!(status, JobStatus::Failed(_)) {
+            None
+        } else {
+            self.best
+                .into_inner()
+                .expect("engine lock never poisoned")
+                .map(|(_, r)| r)
+        };
         JobOutcome {
             name,
             status,
-            result: self
-                .best
-                .into_inner()
-                .expect("engine lock never poisoned")
-                .map(|(_, r)| r),
+            result,
             attempts_completed: self.completed.load(Ordering::Acquire),
             attempts_total: self.attempts_total,
             elapsed: *self.elapsed.lock().expect("engine lock never poisoned"),
         }
+    }
+}
+
+/// Wraps the batch's sink for one run: the first emit failure degrades
+/// the stream loudly — a stderr notice plus a best-effort
+/// [`EngineEvent::SinkDegraded`] marker — after which the guard behaves
+/// as a [`NullSink`], so workers never block on broken telemetry I/O and
+/// results are never affected.
+struct SinkGuard<'a> {
+    sink: &'a dyn EventSink,
+    degraded: AtomicBool,
+}
+
+impl std::fmt::Debug for SinkGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SinkGuard")
+            .field("degraded", &self.degraded)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SinkGuard<'a> {
+    fn new(sink: &'a dyn EventSink) -> Self {
+        SinkGuard {
+            sink,
+            degraded: AtomicBool::new(false),
+        }
+    }
+
+    fn emit(&self, event: &EngineEvent) {
+        if self.degraded.load(Ordering::Acquire) {
+            return;
+        }
+        if let Err(e) = self.sink.emit(event) {
+            if !self.degraded.swap(true, Ordering::AcqRel) {
+                // Tell the stream why it is ending (best effort — the
+                // sink may be gone entirely), then drop further events.
+                let _ = self.sink.emit(&EngineEvent::SinkDegraded {
+                    error: e.to_string(),
+                });
+                eprintln!("nocsyn-engine: telemetry sink degraded, events dropped from here: {e}");
+            }
+        }
+    }
+}
+
+/// Renders a panic payload: `&str` and `String` payloads verbatim,
+/// anything else as a fixed placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -294,10 +462,11 @@ impl Engine {
             .collect();
         let states: Vec<JobState> = jobs.iter().map(|j| JobState::new(j.attempts())).collect();
         let cursor = AtomicUsize::new(0);
+        let sink = SinkGuard::new(self.sink.as_ref());
         if !units.is_empty() {
             thread::scope(|scope| {
                 for _ in 0..self.workers.min(units.len()) {
-                    scope.spawn(|| self.work(&jobs, &states, &units, &cursor));
+                    scope.spawn(|| self.work(&sink, &jobs, &states, &units, &cursor));
                 }
             });
         }
@@ -320,6 +489,8 @@ impl Engine {
             pattern: pattern.clone(),
             config: config.clone(),
             deadline,
+            retry: RetryPolicy::default(),
+            injected_panics: BTreeSet::new(),
         };
         self.run(vec![job])
             .pop()
@@ -329,6 +500,7 @@ impl Engine {
     /// Worker loop: claim units until the queue drains.
     fn work(
         &self,
+        sink: &SinkGuard<'_>,
         jobs: &[Job],
         states: &[JobState],
         units: &[(usize, usize)],
@@ -342,76 +514,101 @@ impl Engine {
             let job = &jobs[ji];
             let state = &states[ji];
             let started = *state.started.get_or_init(|| {
-                self.sink.emit(&EngineEvent::JobStarted {
+                sink.emit(&EngineEvent::JobStarted {
                     job: job.name.clone(),
                     attempts: state.attempts_total,
                     deadline_ms: job.deadline.map(|d| d.as_millis() as u64),
                 });
                 Instant::now()
             });
-            self.check_deadline(job, state, started);
+            self.check_deadline(sink, job, state, started);
             if !state.cancelled.load(Ordering::Acquire) {
-                self.run_attempt(job, state, attempt);
+                self.run_attempt(sink, job, state, attempt);
             }
             if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                self.finish_job(job, state, started);
+                self.finish_job(sink, job, state, started);
             }
         }
     }
 
     /// Cancels the job once its deadline has passed (checked at unit
     /// granularity: an in-flight attempt is never interrupted).
-    fn check_deadline(&self, job: &Job, state: &JobState, started: Instant) {
+    fn check_deadline(&self, sink: &SinkGuard<'_>, job: &Job, state: &JobState, started: Instant) {
         let Some(deadline) = job.deadline else { return };
         if state.cancelled.load(Ordering::Acquire) || started.elapsed() < deadline {
             return;
         }
         state.cancelled.store(true, Ordering::Release);
         if !state.deadline_hit.swap(true, Ordering::AcqRel) {
-            self.sink.emit(&EngineEvent::DeadlineExceeded {
+            sink.emit(&EngineEvent::DeadlineExceeded {
                 job: job.name.clone(),
                 completed_attempts: state.completed.load(Ordering::Acquire),
             });
         }
     }
 
-    /// Runs one restart attempt and merges it into the job's stable
-    /// argmin reduction.
-    fn run_attempt(&self, job: &Job, state: &JobState, attempt: usize) {
-        let t0 = Instant::now();
-        match synthesize_attempt(&job.pattern, &job.config, attempt) {
-            Ok(result) => {
-                self.sink.emit(&EngineEvent::RestartCompleted {
-                    job: job.name.clone(),
-                    attempt,
-                    seed: attempt_seed(&job.config, attempt),
-                    links: result.report.n_links,
-                    switches: result.report.n_switches,
-                    constraints_met: result.report.constraints_met,
-                    elapsed_ms: t0.elapsed().as_millis() as u64,
-                });
-                state.completed.fetch_add(1, Ordering::AcqRel);
-                let mut best = state.best.lock().expect("engine lock never poisoned");
-                let better = best.as_ref().is_none_or(|(best_attempt, best_result)| {
-                    (portfolio_rank(&result), attempt)
-                        < (portfolio_rank(best_result), *best_attempt)
-                });
-                if better {
-                    *best = Some((attempt, result));
+    /// Runs one restart attempt — under `catch_unwind`, with the job's
+    /// bounded retry budget — and merges a success into the stable argmin
+    /// reduction. Exhausting the budget fails the job (first error wins)
+    /// and cancels its remaining attempts; the batch carries on.
+    fn run_attempt(&self, sink: &SinkGuard<'_>, job: &Job, state: &JobState, attempt: usize) {
+        // Some after the first loop iteration; the loop always runs once.
+        let mut last_error: Option<JobError> = None;
+        for retry in 0..=job.retry.max_retries {
+            if retry > 0 && !job.retry.backoff.is_zero() {
+                thread::sleep(job.retry.backoff);
+            }
+            let t0 = Instant::now();
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                if retry == 0 && job.injected_panics.contains(&attempt) {
+                    panic!("injected panic (attempt {attempt})");
+                }
+                synthesize_retry(&job.pattern, &job.config, attempt, retry)
+            }));
+            match outcome {
+                Ok(Ok(result)) => {
+                    sink.emit(&EngineEvent::RestartCompleted {
+                        job: job.name.clone(),
+                        attempt,
+                        seed: retry_seed(&job.config, attempt, retry),
+                        links: result.report.n_links,
+                        switches: result.report.n_switches,
+                        constraints_met: result.report.constraints_met,
+                        elapsed_ms: t0.elapsed().as_millis() as u64,
+                    });
+                    state.completed.fetch_add(1, Ordering::AcqRel);
+                    let mut best = state.best.lock().expect("engine lock never poisoned");
+                    let better = best.as_ref().is_none_or(|(best_attempt, best_result)| {
+                        (portfolio_rank(&result), attempt)
+                            < (portfolio_rank(best_result), *best_attempt)
+                    });
+                    if better {
+                        *best = Some((attempt, result));
+                    }
+                    return;
+                }
+                Ok(Err(e)) => last_error = Some(JobError::Synth(e)),
+                Err(payload) => {
+                    let message = panic_message(payload.as_ref());
+                    sink.emit(&EngineEvent::AttemptPanicked {
+                        job: job.name.clone(),
+                        attempt,
+                        retry,
+                        message: message.clone(),
+                    });
+                    last_error = Some(JobError::Panicked { message });
                 }
             }
-            Err(e) => {
-                state.cancelled.store(true, Ordering::Release);
-                let mut error = state.error.lock().expect("engine lock never poisoned");
-                if error.is_none() {
-                    *error = Some(e);
-                }
-            }
+        }
+        state.cancelled.store(true, Ordering::Release);
+        let mut error = state.error.lock().expect("engine lock never poisoned");
+        if error.is_none() {
+            *error = last_error;
         }
     }
 
     /// Last unit of a job: seal its elapsed time and emit `JobFinished`.
-    fn finish_job(&self, job: &Job, state: &JobState, started: Instant) {
+    fn finish_job(&self, sink: &SinkGuard<'_>, job: &Job, state: &JobState, started: Instant) {
         let elapsed = started.elapsed();
         *state.elapsed.lock().expect("engine lock never poisoned") = elapsed;
         let (links, switches) = {
@@ -420,7 +617,7 @@ impl Engine {
                 (Some(r.report.n_links), Some(r.report.n_switches))
             })
         };
-        self.sink.emit(&EngineEvent::JobFinished {
+        sink.emit(&EngineEvent::JobFinished {
             job: job.name.clone(),
             status: state.status().label().to_string(),
             completed_attempts: state.completed.load(Ordering::Acquire),
@@ -559,8 +756,145 @@ mod tests {
         assert_eq!(JobStatus::Completed.label(), "completed");
         assert_eq!(JobStatus::DeadlineExceeded.label(), "deadline_exceeded");
         assert_eq!(
-            JobStatus::Failed(SynthError::EmptyPattern).label(),
+            JobStatus::Failed(SynthError::EmptyPattern.into()).label(),
             "failed"
         );
+        assert_eq!(
+            JobStatus::Failed(JobError::Panicked {
+                message: "boom".into()
+            })
+            .label(),
+            "failed"
+        );
+    }
+
+    #[test]
+    fn job_error_displays_both_causes() {
+        let synth = JobError::from(SynthError::EmptyPattern);
+        assert_eq!(synth.to_string(), SynthError::EmptyPattern.to_string());
+        let panicked = JobError::Panicked {
+            message: "boom".into(),
+        };
+        assert_eq!(panicked.to_string(), "attempt panicked: boom");
+    }
+
+    #[test]
+    fn injected_panic_fails_the_job_in_isolation() {
+        let sink = Arc::new(CollectSink::new());
+        let jobs = vec![
+            Job::new("poisoned", pattern(8), config()).with_injected_panic(2),
+            Job::new("healthy", pattern(8), config()),
+        ];
+        let outcomes = Engine::new()
+            .with_workers(4)
+            .with_sink(sink.clone())
+            .run(jobs);
+        match &outcomes[0].status {
+            JobStatus::Failed(JobError::Panicked { message }) => {
+                assert!(message.contains("injected panic"), "{message}");
+            }
+            other => panic!("expected a panicked failure, got {other:?}"),
+        }
+        // The sibling is bit-identical to a panic-free sequential run.
+        assert_eq!(outcomes[1].status, JobStatus::Completed);
+        let baseline = synthesize(&pattern(8), &config()).expect("synthesis succeeds");
+        let healthy = outcomes[1].result.as_ref().expect("healthy job succeeds");
+        assert_eq!(healthy.report, baseline.report);
+        assert_eq!(healthy.routes, baseline.routes);
+        // The panic is a structured event, attributed to the right unit.
+        let panics: Vec<EngineEvent> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.kind() == "attempt_panicked")
+            .collect();
+        assert_eq!(panics.len(), 1);
+        let EngineEvent::AttemptPanicked {
+            job,
+            attempt,
+            retry,
+            ..
+        } = &panics[0]
+        else {
+            unreachable!("filtered on kind");
+        };
+        assert_eq!(job, "poisoned");
+        assert_eq!((*attempt, *retry), (2, 0));
+    }
+
+    #[test]
+    fn retry_policy_recovers_a_panicking_attempt() {
+        let sink = Arc::new(CollectSink::new());
+        let job = Job::new("flaky", pattern(8), config())
+            .with_injected_panic(1)
+            .with_retry(RetryPolicy::retries(1));
+        let outcome = Engine::new()
+            .with_workers(2)
+            .with_sink(sink.clone())
+            .run(vec![job])
+            .pop()
+            .expect("one outcome");
+        assert_eq!(outcome.status, JobStatus::Completed);
+        assert_eq!(outcome.attempts_completed, 6);
+        let events = sink.events();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.kind() == "attempt_panicked")
+                .count(),
+            1
+        );
+        // The recovered attempt reports its deterministically reseeded run.
+        let retried_seed = events
+            .iter()
+            .find_map(|e| match e {
+                EngineEvent::RestartCompleted {
+                    attempt: 1, seed, ..
+                } => Some(*seed),
+                _ => None,
+            })
+            .expect("attempt 1 completed on retry");
+        assert_eq!(retried_seed, retry_seed(&config(), 1, 1));
+    }
+
+    /// Fails the first emit, accepts everything after — a transient I/O
+    /// error mid-stream.
+    struct FailOnceSink {
+        failed: AtomicBool,
+        inner: CollectSink,
+    }
+
+    impl EventSink for FailOnceSink {
+        fn emit(&self, event: &EngineEvent) -> std::io::Result<()> {
+            if !self.failed.swap(true, Ordering::AcqRel) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "broken pipe",
+                ));
+            }
+            self.inner.emit(event)
+        }
+    }
+
+    #[test]
+    fn broken_sink_degrades_loudly_and_never_affects_results() {
+        let sink = Arc::new(FailOnceSink {
+            failed: AtomicBool::new(false),
+            inner: CollectSink::new(),
+        });
+        let outcome = Engine::new()
+            .with_workers(2)
+            .with_sink(sink.clone())
+            .synthesize(&pattern(8), &config(), None);
+        assert_eq!(outcome.status, JobStatus::Completed);
+        let baseline = synthesize(&pattern(8), &config()).expect("synthesis succeeds");
+        assert_eq!(
+            outcome.result.expect("completed job has a result").report,
+            baseline.report
+        );
+        // The stream ends with a single degradation marker; everything
+        // after the failure is dropped, not half-written.
+        let events = sink.inner.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind(), "sink_degraded");
     }
 }

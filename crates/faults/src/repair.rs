@@ -1,0 +1,268 @@
+//! Route repair over the surviving subgraph.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use nocsyn_model::json::JsonValue;
+use nocsyn_model::Flow;
+use nocsyn_topo::{shortest_route_avoiding, Network, Route, RouteTable};
+
+use crate::FaultScenario;
+
+/// Whether `route` traverses a failed link or passes through a failed
+/// switch of `scenario` (endpoints included: a route whose first hop
+/// leaves a dead switch is affected).
+///
+/// A hop referencing a link unknown to `net` is treated as affected —
+/// conservative, and unreachable for tables validated against `net`.
+pub fn route_is_affected(net: &Network, route: &Route, scenario: &FaultScenario) -> bool {
+    route.hops().iter().any(|&ch| {
+        if scenario.failed_links().contains(&ch.link) {
+            return true;
+        }
+        match net.channel_endpoints(ch) {
+            Ok((a, b)) => [a, b].into_iter().any(|node| {
+                node.as_switch()
+                    .is_some_and(|s| scenario.failed_switches().contains(&s))
+            }),
+            Err(_) => true,
+        }
+    })
+}
+
+/// Why a flow has no surviving route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisconnectCause {
+    /// The flow's source or destination processor is cut off outright:
+    /// its home switch or its attachment link has failed.
+    EndpointFailed,
+    /// Both endpoints survive, but the surviving switch graph has no
+    /// path between their home switches.
+    Partitioned,
+}
+
+impl DisconnectCause {
+    /// Stable lowercase label (`endpoint_failed` / `partitioned`).
+    pub fn label(self) -> &'static str {
+        match self {
+            DisconnectCause::EndpointFailed => "endpoint_failed",
+            DisconnectCause::Partitioned => "partitioned",
+        }
+    }
+}
+
+/// Structured witness that a flow is disconnected under a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisconnectionWitness {
+    /// The flow with no surviving route.
+    pub flow: Flow,
+    /// Why it is disconnected.
+    pub cause: DisconnectCause,
+}
+
+impl DisconnectionWitness {
+    /// Diagnoses why `flow` cannot be routed under `scenario`:
+    /// distinguishes a dead endpoint (home switch or attachment link
+    /// failed) from a partitioned surviving graph.
+    pub fn diagnose(net: &Network, flow: Flow, scenario: &FaultScenario) -> Self {
+        let endpoint_failed = [flow.src, flow.dst].into_iter().any(|proc| {
+            let home_dead = net
+                .switch_of(proc)
+                .is_ok_and(|s| scenario.failed_switches().contains(&s));
+            let nic_dead = net
+                .attachment_link(proc)
+                .is_ok_and(|l| scenario.failed_links().contains(&l));
+            home_dead || nic_dead
+        });
+        DisconnectionWitness {
+            flow,
+            cause: if endpoint_failed {
+                DisconnectCause::EndpointFailed
+            } else {
+                DisconnectCause::Partitioned
+            },
+        }
+    }
+
+    /// JSON rendering (`{"src":..,"dst":..,"cause":".."}`).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("src", JsonValue::from(self.flow.src.index())),
+            ("dst", JsonValue::from(self.flow.dst.index())),
+            ("cause", JsonValue::from(self.cause.label())),
+        ])
+    }
+}
+
+impl fmt::Display for DisconnectionWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flow {} is unroutable ({})",
+            self.flow,
+            self.cause.label()
+        )
+    }
+}
+
+/// Result of a repair pass: the surviving route table plus what changed.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// Routes for every flow that still has a path: unaffected routes
+    /// verbatim, affected ones re-routed over the surviving subgraph.
+    pub routes: RouteTable,
+    /// The flows whose routes were re-routed.
+    pub rerouted: BTreeSet<Flow>,
+    /// Flows with no surviving path, with the reason.
+    pub unroutable: Vec<DisconnectionWitness>,
+}
+
+/// Repairs `routes` for `net` under `scenario`.
+///
+/// Unaffected routes are kept bit-identical (their channels keep the
+/// Theorem-1 assignment the synthesizer chose); affected flows fall back
+/// to the deterministic shortest surviving path. Flows whose endpoints
+/// are cut off or whose endpoints lie in different surviving components
+/// are reported as [`DisconnectionWitness`]es, in flow order.
+///
+/// The repair is a pure function of its arguments — no clocks, no
+/// ambient randomness — so degradation reports built on it are
+/// byte-identical across runs and worker counts.
+pub fn repair_routes(
+    net: &Network,
+    routes: &RouteTable,
+    scenario: &FaultScenario,
+) -> RepairOutcome {
+    let mut out = RouteTable::new();
+    let mut rerouted = BTreeSet::new();
+    let mut unroutable = Vec::new();
+    for (flow, route) in routes.iter() {
+        if !route_is_affected(net, route, scenario) {
+            out.insert(flow, route.clone());
+            continue;
+        }
+        match shortest_route_avoiding(
+            net,
+            flow,
+            scenario.failed_links(),
+            scenario.failed_switches(),
+        ) {
+            Ok(repaired) => {
+                out.insert(flow, repaired);
+                rerouted.insert(flow);
+            }
+            Err(_) => unroutable.push(DisconnectionWitness::diagnose(net, flow, scenario)),
+        }
+    }
+    RepairOutcome {
+        routes: out,
+        rerouted,
+        unroutable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocsyn_model::ProcId;
+    use nocsyn_topo::{regular, LinkId, Network};
+
+    #[test]
+    fn unaffected_routes_survive_verbatim() {
+        let (net, routes) = regular::mesh(2, 2).expect("2x2 mesh builds");
+        let scenario = FaultScenario::none();
+        let outcome = repair_routes(&net, &routes, &scenario);
+        assert_eq!(outcome.routes, routes);
+        assert!(outcome.rerouted.is_empty());
+        assert!(outcome.unroutable.is_empty());
+    }
+
+    #[test]
+    fn mesh_reroutes_around_any_single_link() {
+        let (net, routes) = regular::mesh(3, 3).expect("3x3 mesh builds");
+        for scenario in FaultScenario::enumerate_single_link_faults(&net) {
+            let outcome = repair_routes(&net, &routes, &scenario);
+            assert!(
+                outcome.unroutable.is_empty(),
+                "mesh disconnected by {scenario}"
+            );
+            assert!(!outcome.rerouted.is_empty(), "{scenario} affected no route");
+            outcome
+                .routes
+                .validate(&net)
+                .expect("repaired routes are walks in the original network");
+            for (flow, route) in outcome.routes.iter() {
+                assert!(
+                    !route_is_affected(&net, route, &scenario),
+                    "repaired route for {flow} still crosses {scenario}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dead_endpoint_is_witnessed_as_endpoint_failed() {
+        let (net, routes) = regular::mesh(2, 2).expect("2x2 mesh builds");
+        let home = net.switch_of(ProcId(0)).expect("proc 0 attached");
+        let scenario = FaultScenario::none().with_failed_switch(home);
+        let outcome = repair_routes(&net, &routes, &scenario);
+        assert!(!outcome.unroutable.is_empty());
+        for w in &outcome.unroutable {
+            assert!(w.flow.src == ProcId(0) || w.flow.dst == ProcId(0));
+            assert_eq!(w.cause, DisconnectCause::EndpointFailed);
+        }
+        // Flows not touching proc 0 still have routes.
+        assert!(outcome
+            .routes
+            .iter()
+            .all(|(f, _)| f.src != ProcId(0) && f.dst != ProcId(0)));
+    }
+
+    #[test]
+    fn partition_is_witnessed_as_partitioned() {
+        // p0-s0-s1-p1: the single inter-switch link is a bridge.
+        let mut net = Network::new(2);
+        let s0 = net.add_switch();
+        let s1 = net.add_switch();
+        let bridge = net.add_link(s0, s1).expect("distinct switches");
+        net.attach(ProcId(0), s0).expect("fresh proc");
+        net.attach(ProcId(1), s1).expect("fresh proc");
+        let flow = Flow::from_indices(0, 1);
+        let mut routes = RouteTable::new();
+        routes.insert(
+            flow,
+            nocsyn_topo::shortest_route(&net, flow).expect("line routes"),
+        );
+        let scenario = FaultScenario::none().with_failed_link(bridge);
+        let outcome = repair_routes(&net, &routes, &scenario);
+        assert_eq!(
+            outcome.unroutable,
+            vec![DisconnectionWitness {
+                flow,
+                cause: DisconnectCause::Partitioned
+            }]
+        );
+        assert_eq!(
+            outcome.unroutable[0].to_json().to_string(),
+            r#"{"src":0,"dst":1,"cause":"partitioned"}"#
+        );
+    }
+
+    #[test]
+    fn affectedness_sees_failed_switch_interiors() {
+        // Route through the middle switch of a line is affected when the
+        // middle switch dies, even though its own links were not named.
+        let mut net = Network::new(2);
+        let s: Vec<_> = (0..3).map(|_| net.add_switch()).collect();
+        net.add_link(s[0], s[1]).expect("distinct");
+        net.add_link(s[1], s[2]).expect("distinct");
+        net.attach(ProcId(0), s[0]).expect("fresh");
+        net.attach(ProcId(1), s[2]).expect("fresh");
+        let flow = Flow::from_indices(0, 1);
+        let route = nocsyn_topo::shortest_route(&net, flow).expect("line routes");
+        let scenario = FaultScenario::none().with_failed_switch(s[1]);
+        assert!(route_is_affected(&net, &route, &scenario));
+        let benign = FaultScenario::none().with_failed_link(LinkId(99));
+        assert!(!route_is_affected(&net, &route, &benign));
+    }
+}

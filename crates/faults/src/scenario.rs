@@ -1,0 +1,225 @@
+//! Fault scenarios: deterministic selections of dead network elements.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use nocsyn_model::json::JsonValue;
+use nocsyn_rng::Rng;
+use nocsyn_topo::{LinkId, Network, SwitchId};
+
+/// A set of failed links and switches.
+///
+/// A failed link carries no traffic in either direction; a failed switch
+/// additionally kills every link incident to it. Scenarios are plain
+/// value types — they never mutate the [`Network`], so link and channel
+/// identity is preserved and repaired route tables remain comparable to
+/// the original contention set (Theorem 1) and simulatable on the
+/// original network.
+///
+/// Ordering is canonical (`BTreeSet` storage), so two scenarios with the
+/// same elements render identically regardless of construction order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultScenario {
+    failed_links: BTreeSet<LinkId>,
+    failed_switches: BTreeSet<SwitchId>,
+}
+
+impl FaultScenario {
+    /// The empty scenario: nothing has failed.
+    pub fn none() -> Self {
+        FaultScenario::default()
+    }
+
+    /// Adds a failed link.
+    #[must_use]
+    pub fn with_failed_link(mut self, link: LinkId) -> Self {
+        self.failed_links.insert(link);
+        self
+    }
+
+    /// Adds a failed switch.
+    #[must_use]
+    pub fn with_failed_switch(mut self, switch: SwitchId) -> Self {
+        self.failed_switches.insert(switch);
+        self
+    }
+
+    /// The failed links.
+    pub fn failed_links(&self) -> &BTreeSet<LinkId> {
+        &self.failed_links
+    }
+
+    /// The failed switches.
+    pub fn failed_switches(&self) -> &BTreeSet<SwitchId> {
+        &self.failed_switches
+    }
+
+    /// Whether nothing has failed.
+    pub fn is_empty(&self) -> bool {
+        self.failed_links.is_empty() && self.failed_switches.is_empty()
+    }
+
+    /// Total failed elements (links plus switches).
+    pub fn len(&self) -> usize {
+        self.failed_links.len() + self.failed_switches.len()
+    }
+
+    /// Draws a scenario of `n_links` failed network links and
+    /// `n_switches` failed switches from `net`, deterministically from
+    /// `seed` (sampling without replacement via `nocsyn-rng`).
+    ///
+    /// Only switch-to-switch links are eligible: a dead processor
+    /// attachment link trivially disconnects that processor, which tells
+    /// us nothing about the *network's* resilience. Counts larger than
+    /// the eligible population are clamped.
+    pub fn sample(net: &Network, n_links: usize, n_switches: usize, seed: u64) -> Self {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut links = network_links(net);
+        rng.shuffle(&mut links);
+        links.truncate(n_links.min(links.len()));
+        let mut switches: Vec<SwitchId> = net.switch_ids().collect();
+        rng.shuffle(&mut switches);
+        switches.truncate(n_switches.min(switches.len()));
+        FaultScenario {
+            failed_links: links.into_iter().collect(),
+            failed_switches: switches.into_iter().collect(),
+        }
+    }
+
+    /// One scenario per switch-to-switch link of `net`, in [`LinkId`]
+    /// order — the exhaustive single-link fault model.
+    pub fn enumerate_single_link_faults(net: &Network) -> Vec<FaultScenario> {
+        network_links(net)
+            .into_iter()
+            .map(|l| FaultScenario::none().with_failed_link(l))
+            .collect()
+    }
+
+    /// One scenario per switch of `net`, in [`SwitchId`] order — the
+    /// exhaustive single-switch fault model.
+    pub fn enumerate_single_switch_faults(net: &Network) -> Vec<FaultScenario> {
+        net.switch_ids()
+            .map(|s| FaultScenario::none().with_failed_switch(s))
+            .collect()
+    }
+
+    /// Compact stable label for report rows, e.g. `L3+L7+S1`, or `none`.
+    pub fn label(&self) -> String {
+        if self.is_empty() {
+            return "none".to_string();
+        }
+        let parts: Vec<String> = self
+            .failed_links
+            .iter()
+            .map(|l| l.to_string())
+            .chain(self.failed_switches.iter().map(|s| s.to_string()))
+            .collect();
+        parts.join("+")
+    }
+
+    /// JSON rendering: sorted id arrays, no volatile fields.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            (
+                "failed_links",
+                JsonValue::array(self.failed_links.iter().map(|l| JsonValue::from(l.index()))),
+            ),
+            (
+                "failed_switches",
+                JsonValue::array(
+                    self.failed_switches
+                        .iter()
+                        .map(|s| JsonValue::from(s.index())),
+                ),
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for FaultScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Switch-to-switch links of `net`, in id order (processor attachment
+/// links excluded).
+fn network_links(net: &Network) -> Vec<LinkId> {
+    net.link_ids()
+        .filter(|&id| {
+            net.link(id)
+                .is_ok_and(|link| link.a().as_proc().is_none() && link.b().as_proc().is_none())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocsyn_model::ProcId;
+
+    /// p0-s0 === s1-p1, two parallel links between the switches.
+    fn twin_link() -> Network {
+        let mut net = Network::new(2);
+        let s0 = net.add_switch();
+        let s1 = net.add_switch();
+        net.add_link(s0, s1).expect("distinct switches");
+        net.add_link(s0, s1).expect("distinct switches");
+        net.attach(ProcId(0), s0).expect("fresh proc");
+        net.attach(ProcId(1), s1).expect("fresh proc");
+        net
+    }
+
+    #[test]
+    fn enumeration_covers_network_links_only() {
+        let net = twin_link();
+        let scenarios = FaultScenario::enumerate_single_link_faults(&net);
+        assert_eq!(scenarios.len(), 2); // the two s0-s1 links, not the NICs
+        for s in &scenarios {
+            assert_eq!(s.len(), 1);
+        }
+        assert_eq!(FaultScenario::enumerate_single_switch_faults(&net).len(), 2);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_clamped() {
+        let net = twin_link();
+        let a = FaultScenario::sample(&net, 1, 1, 42);
+        let b = FaultScenario::sample(&net, 1, 1, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        // Requesting more faults than exist clamps to the population.
+        let all = FaultScenario::sample(&net, 99, 99, 7);
+        assert_eq!(all.failed_links().len(), 2);
+        assert_eq!(all.failed_switches().len(), 2);
+        // Sampled links are never processor attachments.
+        for &l in all.failed_links() {
+            let link = net.link(l).expect("sampled links exist");
+            assert!(link.a().as_proc().is_none() && link.b().as_proc().is_none());
+        }
+    }
+
+    #[test]
+    fn seeds_change_draws_somewhere() {
+        let net = twin_link();
+        let draws: BTreeSet<FaultScenario> = (0..16)
+            .map(|seed| FaultScenario::sample(&net, 1, 0, seed))
+            .collect();
+        assert!(draws.len() > 1, "all seeds drew the same link");
+    }
+
+    #[test]
+    fn labels_and_json_are_stable() {
+        let s = FaultScenario::none()
+            .with_failed_switch(SwitchId(1))
+            .with_failed_link(LinkId(3))
+            .with_failed_link(LinkId(0));
+        assert_eq!(s.label(), "L0+L3+S1");
+        assert_eq!(
+            s.to_json().to_string(),
+            r#"{"failed_links":[0,3],"failed_switches":[1]}"#
+        );
+        assert_eq!(FaultScenario::none().label(), "none");
+        assert!(FaultScenario::none().is_empty());
+    }
+}

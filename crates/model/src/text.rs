@@ -100,6 +100,8 @@ pub fn parse_schedule(input: &str) -> Result<PhaseSchedule, ParseScheduleError> 
         }
 
         let mut tokens = line.split_whitespace();
+        // Invariant: `line` is non-empty after trim (checked above), so
+        // split_whitespace yields at least one token.
         let head = tokens.next().expect("non-empty line has a token");
         match head {
             "procs" => {
@@ -222,6 +224,8 @@ pub fn parse_trace(input: &str) -> Result<crate::Trace, ParseScheduleError> {
             continue;
         }
         let mut tokens = line.split_whitespace();
+        // Invariant: `line` is non-empty after trim (checked above), so
+        // split_whitespace yields at least one token.
         match tokens.next().expect("non-empty line has a token") {
             "procs" => {
                 if trace.is_some() {

@@ -176,6 +176,9 @@ impl Trace {
 
 impl Index<MessageId> for Trace {
     type Output = Message;
+    // Panics on a foreign id, like any slice index: `MessageId`s are only
+    // minted by `push` on this trace, so in-range by construction. Use
+    // [`Trace::get`] for ids from untrusted sources.
     fn index(&self, id: MessageId) -> &Message {
         &self.messages[id.index()]
     }

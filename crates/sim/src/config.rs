@@ -1,5 +1,7 @@
 //! Simulator configuration.
 
+use std::collections::BTreeSet;
+
 use nocsyn_topo::{LinkId, Network};
 
 /// Tunable parameters of the flit-level simulator.
@@ -20,6 +22,7 @@ pub struct SimConfig {
     link_delays: Vec<u32>,
     compute_jitter: f64,
     jitter_seed: u64,
+    failed_links: BTreeSet<LinkId>,
 }
 
 impl SimConfig {
@@ -40,6 +43,7 @@ impl SimConfig {
             link_delays: Vec::new(),
             compute_jitter: 0.0,
             jitter_seed: 0,
+            failed_links: BTreeSet::new(),
         }
     }
 
@@ -168,6 +172,21 @@ impl SimConfig {
     /// Simulation cycle cap.
     pub fn max_cycles(&self) -> u64 {
         self.max_cycles
+    }
+
+    /// Marks links as failed for the run. Injection is refused for any
+    /// route that traverses a failed link — the defense-in-depth backstop
+    /// behind `nocsyn-faults` route repair: a table that was repaired for
+    /// the same scenario never trips it.
+    #[must_use]
+    pub fn with_failed_links(mut self, links: impl IntoIterator<Item = LinkId>) -> Self {
+        self.failed_links.extend(links);
+        self
+    }
+
+    /// Links marked failed for this run.
+    pub fn failed_links(&self) -> &BTreeSet<LinkId> {
+        &self.failed_links
     }
 
     /// The delay of a specific link in cycles (≥ 1).

@@ -210,6 +210,21 @@ impl<'a> AppDriver<'a> {
 
         if let Some(flow) = info.send[pidx] {
             let route = self.policy.choose(engine, flow)?.clone();
+            // Defense-in-depth behind `nocsyn-faults` repair: refuse to
+            // drive traffic over a link the config marks failed instead of
+            // simulating a transfer the hardware could not perform.
+            if !self.config.failed_links().is_empty() {
+                if let Some(&ch) = route
+                    .hops()
+                    .iter()
+                    .find(|ch| self.config.failed_links().contains(&ch.link))
+                {
+                    return Err(SimError::FailedLinkUsed {
+                        flow,
+                        link: ch.link,
+                    });
+                }
+            }
             t += self.config.send_overhead();
             procs[pidx].comm += self.config.send_overhead();
             engine.inject(flow, info.bytes, &route, t, step as u64);
@@ -337,6 +352,45 @@ mod tests {
             .run(&sched)
             .unwrap_err();
         assert!(matches!(err, SimError::ProcCountMismatch { .. }));
+    }
+
+    #[test]
+    fn injection_over_a_failed_link_is_refused() {
+        let (net, routes) = regular::crossbar(2).unwrap();
+        let flow = Flow::from_indices(0, 1);
+        let dead = routes.route(flow).unwrap().hops()[0].link;
+        let mut sched = PhaseSchedule::new(2);
+        sched
+            .push(Phase::from_flows([(0usize, 1usize)]).unwrap())
+            .unwrap();
+        let config = SimConfig::paper().with_failed_links([dead]);
+        let err = AppDriver::new(&net, RoutePolicy::deterministic(routes), config)
+            .run(&sched)
+            .unwrap_err();
+        assert_eq!(err, SimError::FailedLinkUsed { flow, link: dead });
+    }
+
+    #[test]
+    fn failed_links_off_route_do_not_disturb_the_run() {
+        let (net, routes) = regular::crossbar(2).unwrap();
+        let mut sched = PhaseSchedule::new(2);
+        sched
+            .push(Phase::from_flows([(0usize, 1usize)]).unwrap())
+            .unwrap();
+        let baseline = AppDriver::new(
+            &net,
+            RoutePolicy::deterministic(routes.clone()),
+            SimConfig::paper(),
+        )
+        .run(&sched)
+        .unwrap();
+        // A failed link no route touches: identical stats to no faults.
+        let config = SimConfig::paper().with_failed_links([nocsyn_topo::LinkId(9999)]);
+        let stats = AppDriver::new(&net, RoutePolicy::deterministic(routes), config)
+            .run(&sched)
+            .unwrap();
+        assert_eq!(stats.exec_cycles, baseline.exec_cycles);
+        assert_eq!(stats.delivered, baseline.delivered);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use nocsyn_model::Flow;
+use nocsyn_topo::LinkId;
 
 /// Errors produced by the simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +27,16 @@ pub enum SimError {
         /// Processes in the network.
         network: usize,
     },
+    /// A message was about to be injected on a route that traverses a
+    /// link marked failed in the [`SimConfig`](crate::SimConfig) —
+    /// the route table was not repaired for the configured fault
+    /// scenario.
+    FailedLinkUsed {
+        /// The flow whose route crosses the failure.
+        flow: Flow,
+        /// The failed link the route traverses.
+        link: LinkId,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -38,6 +49,10 @@ impl fmt::Display for SimError {
             SimError::ProcCountMismatch { schedule, network } => write!(
                 f,
                 "schedule has {schedule} processes but the network attaches {network}"
+            ),
+            SimError::FailedLinkUsed { flow, link } => write!(
+                f,
+                "route for flow {flow} traverses failed link {link} — repair the route table for this fault scenario"
             ),
         }
     }

@@ -61,5 +61,5 @@ pub use error::TopoError;
 pub use ids::{Channel, Direction, LinkId, NodeRef, SwitchId};
 pub use network::{Link, Network, Switch};
 pub use route::{Route, RouteTable};
-pub use shortest::{shortest_route, switch_distances};
+pub use shortest::{shortest_route, shortest_route_avoiding, switch_distances};
 pub use verify::{intersects, verify_contention_free, ContentionReport, ContentionWitness};

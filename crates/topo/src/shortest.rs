@@ -1,10 +1,10 @@
 //! Breadth-first shortest-path routing over the switch graph.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 use nocsyn_model::Flow;
 
-use crate::{Channel, Direction, Network, Route, SwitchId, TopoError};
+use crate::{Channel, Direction, LinkId, Network, Route, SwitchId, TopoError};
 
 /// Builds a minimal-hop route realizing `flow` in `net` using breadth-first
 /// search over the switch graph, preferring lower-numbered links on ties
@@ -15,8 +15,39 @@ use crate::{Channel, Direction, Network, Route, SwitchId, TopoError};
 /// * [`TopoError::NotAttached`] if either end-node lacks a home switch.
 /// * [`TopoError::Unreachable`] if no switch path exists.
 pub fn shortest_route(net: &Network, flow: Flow) -> Result<Route, TopoError> {
+    shortest_route_avoiding(net, flow, &BTreeSet::new(), &BTreeSet::new())
+}
+
+/// Like [`shortest_route`], but over the *surviving* subgraph of `net`:
+/// links in `failed_links` and every link incident to a switch in
+/// `failed_switches` are never traversed. The network itself is not
+/// modified, so [`LinkId`]s and [`Channel`]s of the returned route keep
+/// their original identity — which is what lets a repaired route table be
+/// re-verified against the application's original contention set
+/// (Theorem 1) and simulated on the original network.
+///
+/// # Errors
+///
+/// * [`TopoError::NotAttached`] if either end-node lacks a home switch.
+/// * [`TopoError::Unreachable`] if an endpoint's home switch or attachment
+///   link has failed, or if no surviving switch path exists.
+pub fn shortest_route_avoiding(
+    net: &Network,
+    flow: Flow,
+    failed_links: &BTreeSet<LinkId>,
+    failed_switches: &BTreeSet<SwitchId>,
+) -> Result<Route, TopoError> {
     let src_switch = net.switch_of(flow.src)?;
     let dst_switch = net.switch_of(flow.dst)?;
+    // A dead home switch or attachment link disconnects the processor
+    // outright: no route can avoid its own first or last hop.
+    if failed_switches.contains(&src_switch)
+        || failed_switches.contains(&dst_switch)
+        || failed_links.contains(&net.attachment_link(flow.src)?)
+        || failed_links.contains(&net.attachment_link(flow.dst)?)
+    {
+        return Err(TopoError::Unreachable { flow });
+    }
 
     let mut hops = vec![net.injection_channel(flow.src)?];
 
@@ -29,7 +60,7 @@ pub fn shortest_route(net: &Network, flow: Flow) -> Result<Route, TopoError> {
         'bfs: while let Some(s) = queue.pop_front() {
             for (link, far) in net.incident(s) {
                 let Some(n) = far.as_switch() else { continue };
-                if seen[n.index()] {
+                if seen[n.index()] || failed_links.contains(&link) || failed_switches.contains(&n) {
                     continue;
                 }
                 seen[n.index()] = true;
@@ -165,6 +196,84 @@ mod tests {
         net.add_switch();
         let d = switch_distances(&net);
         assert_eq!(d[0][1], usize::MAX);
+    }
+
+    #[test]
+    fn avoiding_detours_around_a_failed_link() {
+        // Line of 4 switches plus a direct shortcut s0-s3; killing the
+        // shortcut forces the long way round.
+        let mut net = Network::new(2);
+        let s: Vec<SwitchId> = (0..4).map(|_| net.add_switch()).collect();
+        net.add_link(s[0], s[1]).unwrap();
+        net.add_link(s[1], s[2]).unwrap();
+        net.add_link(s[2], s[3]).unwrap();
+        let shortcut = net.add_link(s[0], s[3]).unwrap();
+        net.attach(ProcId(0), s[0]).unwrap();
+        net.attach(ProcId(1), s[3]).unwrap();
+        let flow = Flow::from_indices(0, 1);
+        let failed = BTreeSet::from([shortcut]);
+        let route = shortest_route_avoiding(&net, flow, &failed, &BTreeSet::new()).unwrap();
+        route.validate(&net, flow).unwrap();
+        assert_eq!(route.len(), 5); // inject + 3 line hops + eject
+        assert!(route.hops().iter().all(|ch| ch.link != shortcut));
+    }
+
+    #[test]
+    fn avoiding_detours_around_a_failed_switch() {
+        // Square s0-s1-s3 / s0-s2-s3: killing s1 forces the s2 side.
+        let mut net = Network::new(2);
+        let s: Vec<SwitchId> = (0..4).map(|_| net.add_switch()).collect();
+        net.add_link(s[0], s[1]).unwrap();
+        net.add_link(s[1], s[3]).unwrap();
+        net.add_link(s[0], s[2]).unwrap();
+        net.add_link(s[2], s[3]).unwrap();
+        net.attach(ProcId(0), s[0]).unwrap();
+        net.attach(ProcId(1), s[3]).unwrap();
+        let flow = Flow::from_indices(0, 1);
+        let failed = BTreeSet::from([s[1]]);
+        let route = shortest_route_avoiding(&net, flow, &BTreeSet::new(), &failed).unwrap();
+        route.validate(&net, flow).unwrap();
+        for &ch in route.hops() {
+            let (a, b) = net.channel_endpoints(ch).unwrap();
+            assert_ne!(a, s[1].into());
+            assert_ne!(b, s[1].into());
+        }
+    }
+
+    #[test]
+    fn avoiding_reports_disconnection() {
+        let net = line3();
+        let flow = Flow::from_indices(0, 1);
+        // The only s0-s1 link is the first hop of every 0 -> 1 route.
+        let cut = BTreeSet::from([LinkId(0)]);
+        assert!(matches!(
+            shortest_route_avoiding(&net, flow, &cut, &BTreeSet::new()),
+            Err(TopoError::Unreachable { .. })
+        ));
+        // A failed endpoint home switch is unroutable outright.
+        let dead_home = BTreeSet::from([SwitchId(0)]);
+        assert!(matches!(
+            shortest_route_avoiding(&net, flow, &BTreeSet::new(), &dead_home),
+            Err(TopoError::Unreachable { .. })
+        ));
+        // A failed attachment link, likewise.
+        let nic = BTreeSet::from([net.attachment_link(ProcId(1)).unwrap()]);
+        assert!(matches!(
+            shortest_route_avoiding(&net, flow, &nic, &BTreeSet::new()),
+            Err(TopoError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn avoiding_nothing_matches_shortest_route() {
+        let net = line3();
+        for (a, b) in [(0usize, 1usize), (1, 0), (0, 2), (2, 1)] {
+            let flow = Flow::from_indices(a, b);
+            assert_eq!(
+                shortest_route(&net, flow).unwrap(),
+                shortest_route_avoiding(&net, flow, &BTreeSet::new(), &BTreeSet::new()).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! nocsyn synth <pattern.txt> [opts]         synthesize a network for it
 //! nocsyn simulate <pattern.txt> [opts]      run it on a network, closed-loop
 //! nocsyn verify <pattern.txt> [opts]        Theorem 1 check on a baseline
+//! nocsyn faults <pattern.txt> [opts]        degradation under injected faults
 //! ```
 //!
 //! Patterns use the plain-text format of [`nocsyn_model::text`]. The
@@ -14,7 +15,8 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
 
-use nocsyn_engine::{Engine, EventSink, JobStatus, JsonLinesSink, NullSink};
+use nocsyn_engine::{par_map, Engine, EventSink, JobStatus, JsonLinesSink, NullSink};
+use nocsyn_faults::{DegradationReport, FaultScenario};
 use nocsyn_floorplan::{mesh_baseline, place};
 use nocsyn_model::{parse_schedule, parse_trace, PhaseSchedule, Trace};
 use nocsyn_sim::{AppDriver, RoutePolicy, SimConfig};
@@ -32,6 +34,7 @@ COMMANDS:
     synth      synthesize a minimal low-contention network for the pattern
     simulate   run the pattern closed-loop on a network
     verify     check Theorem 1 for the pattern on a baseline network
+    faults     inject fault scenarios, repair routes, re-check Theorem 1
     help       print this message
 
 OPTIONS (synth):
@@ -46,9 +49,19 @@ OPTIONS (synth):
     --explain          per-switch / per-pipe breakdown of the result
     --dot              print the generated network as Graphviz DOT
 
-OPTIONS (simulate, verify):
+OPTIONS (simulate, verify, faults):
     --network <kind>   generated | mesh | torus | crossbar [default generated]
     --seed <n>         synthesis seed when kind is generated
+
+OPTIONS (faults):
+    --exhaustive         every single-link and single-switch fault scenario
+    --scenarios <n>      sampled scenarios when not exhaustive [default 8]
+    --fault-links <k>    failed links per sampled scenario [default 1]
+    --fault-switches <k> failed switches per sampled scenario [default 0]
+    --scenario-seed <n>  sampling seed [default 0xFA07]
+    --json               one degradation report per scenario as JSON lines
+    --jobs <n>           analyze scenarios in parallel; output is
+                         byte-identical for any worker count
 
 PATTERN FORMAT:
     procs 8
@@ -69,6 +82,12 @@ struct Options {
     dot: bool,
     explain: bool,
     network: String,
+    exhaustive: bool,
+    scenarios: usize,
+    fault_links: usize,
+    fault_switches: usize,
+    scenario_seed: u64,
+    json: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -82,6 +101,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         dot: false,
         explain: false,
         network: "generated".into(),
+        exhaustive: false,
+        scenarios: 8,
+        fault_links: 1,
+        fault_switches: 0,
+        scenario_seed: 0xFA07,
+        json: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -130,6 +155,31 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--network" => {
                 opts.network = value("--network")?;
             }
+            "--exhaustive" => opts.exhaustive = true,
+            "--json" => opts.json = true,
+            "--scenarios" => {
+                opts.scenarios = value("--scenarios")?
+                    .parse()
+                    .map_err(|_| "--scenarios expects a positive integer".to_string())?;
+                if opts.scenarios == 0 {
+                    return Err("--scenarios must be at least 1".into());
+                }
+            }
+            "--fault-links" => {
+                opts.fault_links = value("--fault-links")?
+                    .parse()
+                    .map_err(|_| "--fault-links expects an integer".to_string())?;
+            }
+            "--fault-switches" => {
+                opts.fault_switches = value("--fault-switches")?
+                    .parse()
+                    .map_err(|_| "--fault-switches expects an integer".to_string())?;
+            }
+            "--scenario-seed" => {
+                opts.scenario_seed = value("--scenario-seed")?
+                    .parse()
+                    .map_err(|_| "--scenario-seed expects an integer".to_string())?;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -170,6 +220,11 @@ pub fn run(args: &[String]) -> Result<String, String> {
         ("verify", Input::Trace(t)) => {
             let stand_in = schedule_stand_in(&t);
             cmd_verify_pattern(&AppPattern::from_trace(&t), &stand_in, &opts)
+        }
+        ("faults", Input::Schedule(s)) => cmd_faults(&AppPattern::from_schedule(&s), &s, &opts),
+        ("faults", Input::Trace(t)) => {
+            let stand_in = schedule_stand_in(&t);
+            cmd_faults(&AppPattern::from_trace(&t), &stand_in, &opts)
         }
         (other, _) => Err(format!("unknown command `{other}`")),
     }
@@ -309,6 +364,70 @@ fn cmd_verify_pattern(
     let routes = policy_table(&policy, pattern)?;
     let report = verify_contention_free(pattern.contention(), &routes);
     Ok(format!("{report}\n"))
+}
+
+/// Fault-injection sweep: build (or synthesize) the network, inject each
+/// scenario, repair the route table over the surviving subgraph, and
+/// re-run the Theorem 1 check on the repaired table.
+fn cmd_faults(
+    pattern: &AppPattern,
+    schedule: &PhaseSchedule,
+    opts: &Options,
+) -> Result<String, String> {
+    let (net, policy) = build_network_for(pattern, schedule, opts)?;
+    let routes = policy_table(&policy, pattern)?;
+    let scenarios: Vec<FaultScenario> = if opts.exhaustive {
+        FaultScenario::enumerate_single_link_faults(&net)
+            .into_iter()
+            .chain(FaultScenario::enumerate_single_switch_faults(&net))
+            .collect()
+    } else {
+        (0..opts.scenarios as u64)
+            .map(|k| {
+                FaultScenario::sample(
+                    &net,
+                    opts.fault_links,
+                    opts.fault_switches,
+                    opts.scenario_seed.wrapping_add(k),
+                )
+            })
+            .collect()
+    };
+    if scenarios.is_empty() {
+        return Err("no fault scenarios to analyze (network has no failable elements)".into());
+    }
+    // Each analysis is a pure function of its scenario, and par_map
+    // returns results in input order, so the rendered report is
+    // byte-identical for any --jobs value.
+    let reports: Vec<DegradationReport> = par_map(scenarios, opts.jobs, |scenario| {
+        DegradationReport::analyze(&net, pattern.contention(), &routes, scenario)
+    });
+    let mut out = String::new();
+    if opts.json {
+        for report in &reports {
+            let _ = writeln!(out, "{}", report.to_json());
+        }
+        return Ok(out);
+    }
+    let _ = writeln!(
+        out,
+        "network: {} ({} switches, {} links); {} flows, {} scenarios",
+        opts.network,
+        net.n_switches(),
+        net.n_network_links(),
+        routes.len(),
+        reports.len()
+    );
+    for report in &reports {
+        let _ = writeln!(out, "{report}");
+    }
+    let clean = reports.iter().filter(|r| r.still_contention_free()).count();
+    let _ = writeln!(
+        out,
+        "contention-free after repair: {clean}/{} scenarios",
+        reports.len()
+    );
+    Ok(out)
 }
 
 /// Open-loop replay of a timed trace (`simulate` on trace input).
@@ -517,6 +636,72 @@ mod tests {
         let path = write_pattern("verify", PATTERN);
         let out = run(&args(&["verify", &path, "--network", "crossbar"])).unwrap();
         assert!(out.contains("contention-free"));
+    }
+
+    #[test]
+    fn faults_classifies_every_scenario() {
+        let path = write_pattern("faults", PATTERN);
+        let out = run(&args(&[
+            "faults",
+            &path,
+            "--network",
+            "mesh",
+            "--exhaustive",
+        ]))
+        .unwrap();
+        assert!(out.contains("scenarios"), "{out}");
+        assert!(out.contains("contention-free after repair:"), "{out}");
+        assert!(out.contains("faults L0:"), "{out}");
+    }
+
+    #[test]
+    fn faults_json_is_identical_across_worker_counts() {
+        let path = write_pattern("faults-jobs", PATTERN);
+        let base = args(&[
+            "faults",
+            &path,
+            "--network",
+            "mesh",
+            "--exhaustive",
+            "--json",
+        ]);
+        let j1 = run(&[base.clone(), args(&["--jobs", "1"])].concat()).unwrap();
+        let j4 = run(&[base, args(&["--jobs", "4"])].concat()).unwrap();
+        assert_eq!(j1, j4);
+        for line in j1.lines() {
+            assert!(line.starts_with(r#"{"scenario":"#), "{line}");
+            assert!(line.contains(r#""contention_free":"#), "{line}");
+        }
+    }
+
+    #[test]
+    fn faults_sampled_scenarios_are_seeded() {
+        let path = write_pattern("faults-seed", PATTERN);
+        let base = args(&[
+            "faults",
+            &path,
+            "--network",
+            "generated",
+            "--restarts",
+            "1",
+            "--scenarios",
+            "3",
+            "--fault-links",
+            "2",
+            "--json",
+        ]);
+        let a = run(&[base.clone(), args(&["--scenario-seed", "7"])].concat()).unwrap();
+        let b = run(&[base, args(&["--scenario-seed", "7"])].concat()).unwrap();
+        assert_eq!(a, b, "same sampling seed must reproduce the sweep");
+        assert_eq!(a.lines().count(), 3);
+    }
+
+    #[test]
+    fn faults_rejects_bad_options() {
+        let path = write_pattern("faults-bad", PATTERN);
+        assert!(run(&args(&["faults", &path, "--scenarios", "0"])).is_err());
+        assert!(run(&args(&["faults", &path, "--fault-links", "some"])).is_err());
+        assert!(run(&args(&["faults", &path, "--scenario-seed"])).is_err());
     }
 
     #[test]

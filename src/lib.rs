@@ -10,6 +10,7 @@ pub mod cli;
 
 pub use nocsyn_coloring as coloring;
 pub use nocsyn_engine as engine;
+pub use nocsyn_faults as faults;
 pub use nocsyn_floorplan as floorplan;
 pub use nocsyn_model as model;
 pub use nocsyn_sim as sim;

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use nocsyn::engine::{CollectSink, Engine, EngineEvent, Job, JobStatus};
+use nocsyn::engine::{CollectSink, Engine, EngineEvent, Job, JobError, JobStatus, RetryPolicy};
 use nocsyn::model::PhaseSchedule;
 use nocsyn::synth::{synthesize, AppPattern, SynthesisConfig};
 use nocsyn::workloads::{Benchmark, WorkloadParams};
@@ -75,6 +75,77 @@ fn failures_and_deadlines_stay_contained_per_job() {
     assert_eq!(outcomes[2].status, JobStatus::Completed);
     assert!(outcomes[2].result.is_some());
     assert_eq!(outcomes[2].attempts_completed, 2);
+}
+
+/// A panic injected into one attempt of one job fails that job alone —
+/// its siblings complete with results bit-identical to a panic-free run
+/// of the same batch.
+#[test]
+fn injected_panic_is_isolated_and_siblings_are_bit_identical() {
+    let build_jobs = |poison: bool| {
+        let mut jobs = vec![
+            benchmark_job(Benchmark::Cg, 8, 3),
+            benchmark_job(Benchmark::Mg, 8, 3),
+            benchmark_job(Benchmark::Fft, 8, 3),
+        ];
+        if poison {
+            jobs[1] = benchmark_job(Benchmark::Mg, 8, 3).with_injected_panic(1);
+        }
+        jobs
+    };
+    let clean = Engine::new().with_workers(4).run(build_jobs(false));
+    let sink = Arc::new(CollectSink::new());
+    let poisoned = Engine::new()
+        .with_workers(4)
+        .with_sink(sink.clone())
+        .run(build_jobs(true));
+
+    // The poisoned job fails with the structured panic payload...
+    match &poisoned[1].status {
+        JobStatus::Failed(JobError::Panicked { message }) => {
+            assert!(message.contains("injected panic"), "{message}");
+        }
+        other => panic!("expected a panicked failure, got {other:?}"),
+    }
+    assert!(poisoned[1].result.is_none());
+
+    // ...and each sibling's result is bit-identical to the clean batch.
+    for i in [0usize, 2] {
+        assert_eq!(poisoned[i].status, JobStatus::Completed, "job {i}");
+        let (a, b) = (
+            clean[i].result.as_ref().expect("clean job completed"),
+            poisoned[i].result.as_ref().expect("sibling completed"),
+        );
+        assert_eq!(a.report, b.report, "job {i}");
+        assert_eq!(a.routes, b.routes, "job {i}");
+        assert_eq!(a.placement, b.placement, "job {i}");
+    }
+
+    // The panic surfaced as exactly one structured event on the MG job.
+    let events = sink.events();
+    let panics: Vec<&EngineEvent> = events
+        .iter()
+        .filter(|e| e.kind() == "attempt_panicked")
+        .collect();
+    assert_eq!(panics.len(), 1);
+    assert_eq!(panics[0].job(), "MG8");
+}
+
+/// A retry policy turns the same injected panic into a completed job:
+/// the attempt re-runs with a deterministically reseeded search.
+#[test]
+fn retry_policy_recovers_an_injected_panic() {
+    let job = benchmark_job(Benchmark::Cg, 8, 3)
+        .with_injected_panic(0)
+        .with_retry(RetryPolicy::retries(2));
+    let outcome = Engine::new()
+        .with_workers(2)
+        .run(vec![job])
+        .pop()
+        .expect("one outcome");
+    assert_eq!(outcome.status, JobStatus::Completed);
+    assert_eq!(outcome.attempts_completed, 3);
+    assert!(outcome.result.is_some());
 }
 
 /// Telemetry over a batch: per job exactly one started and one finished

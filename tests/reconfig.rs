@@ -1,6 +1,8 @@
 //! Run-time reconfiguration: warm-started synthesis keeps the new network
-//! close to the old one, and `NetworkDelta` prices the change.
+//! close to the old one, `NetworkDelta` prices the change, and fault
+//! repair restores service after failures.
 
+use nocsyn::faults::{repair_routes, route_is_affected, DegradationReport, FaultScenario};
 use nocsyn::synth::{synthesize, synthesize_incremental, AppPattern, SynthesisConfig};
 use nocsyn::topo::{verify_contention_free, NetworkDelta};
 use nocsyn::workloads::{Benchmark, WorkloadParams};
@@ -57,6 +59,54 @@ fn warm_start_changes_less_than_cold_start() {
             .n_network_links()
             .max(cold.network.n_network_links());
     assert!(warm_delta.cost() <= bound + 16);
+}
+
+/// Single-link-failure → repair → Theorem-1 round-trip on a synthesized
+/// benchmark network: every flow is classified, repaired routes never
+/// touch the failed link, and clean repairs re-verify `C ∩ R = ∅`.
+fn repair_round_trip(benchmark: Benchmark, n: usize, seed: u64) {
+    let pattern = AppPattern::from_schedule(&benchmark.schedule(n, &light(benchmark)).unwrap());
+    let config = SynthesisConfig::new().with_seed(seed).with_restarts(2);
+    let result = synthesize(&pattern, &config).unwrap();
+
+    for scenario in FaultScenario::enumerate_single_link_faults(&result.network) {
+        let outcome = repair_routes(&result.network, &result.routes, &scenario);
+        assert_eq!(
+            outcome.routes.len() + outcome.unroutable.len(),
+            result.routes.len(),
+            "{benchmark:?} {scenario}: repair lost flows"
+        );
+        for (flow, route) in outcome.routes.iter() {
+            assert!(
+                !route_is_affected(&result.network, route, &scenario),
+                "{benchmark:?} {scenario}: repaired {flow} crosses the fault"
+            );
+            route.validate(&result.network, flow).unwrap();
+        }
+        // The degradation report agrees with a direct re-verification.
+        let report = DegradationReport::analyze(
+            &result.network,
+            pattern.contention(),
+            &result.routes,
+            scenario.clone(),
+        );
+        let recheck = verify_contention_free(pattern.contention(), &outcome.routes);
+        assert_eq!(
+            report.still_contention_free(),
+            recheck.is_contention_free() && outcome.unroutable.is_empty(),
+            "{benchmark:?} {scenario}"
+        );
+    }
+}
+
+#[test]
+fn cg16_single_link_failures_repair_and_reverify() {
+    repair_round_trip(Benchmark::Cg, 16, 0x21);
+}
+
+#[test]
+fn mg8_single_link_failures_repair_and_reverify() {
+    repair_round_trip(Benchmark::Mg, 8, 0x22);
 }
 
 #[test]
