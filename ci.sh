@@ -19,8 +19,8 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
-echo "==> no-unwrap gate: clippy -D clippy::unwrap_used on faults + engine"
-cargo clippy --offline -p nocsyn-faults -p nocsyn-engine -- \
+echo "==> no-unwrap gate: clippy -D clippy::unwrap_used on faults + engine + model + fuzz"
+cargo clippy --offline -p nocsyn-faults -p nocsyn-engine -p nocsyn-model -p nocsyn-fuzz -- \
     -D warnings -D clippy::unwrap_used
 
 echo "==> engine smoke gate: synth --jobs 1 vs --jobs 4 must be bit-identical"
@@ -35,5 +35,11 @@ echo "==> fault-determinism gate: degradation reports --jobs 1 vs --jobs 4"
 ./target/release/nocsyn faults examples_data/pipeline.txt --exhaustive --json --jobs 1 > "$j1"
 ./target/release/nocsyn faults examples_data/pipeline.txt --exhaustive --json --jobs 4 > "$j4"
 diff "$j1" "$j4"
+
+echo "==> fuzz smoke gate: 2000 cases/target, clean and byte-identical across runs"
+./target/release/nocsyn fuzz --target all --iters 2000 --seed 1 --json > "$j1"
+./target/release/nocsyn fuzz --target all --iters 2000 --seed 1 --json > "$j4"
+diff "$j1" "$j4"
+grep -q '"unique_crashes":0,"unique_budget_violations":0' "$j1"
 
 echo "CI gate passed."

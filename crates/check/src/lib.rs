@@ -283,6 +283,165 @@ impl<T: Clone + Debug + PartialEq> Gen for ChoiceGen<T> {
     }
 }
 
+/// Arbitrary byte vectors with length drawn from `len`; shrinks by
+/// dropping bytes and then by zeroing them. Built by [`bytes_of`].
+///
+/// The workhorse generator for fuzz-style properties ("no input
+/// byte-sequence panics this parser") written as ordinary `check` tests.
+#[derive(Debug, Clone, Copy)]
+pub struct BytesGen {
+    min_len: usize,
+    max_len: usize, // exclusive
+}
+
+/// Arbitrary bytes: length uniform in `len`, each byte uniform in
+/// `0..=255`.
+///
+/// # Panics
+///
+/// Panics if `len` is empty.
+pub fn bytes_of(len: Range<usize>) -> BytesGen {
+    assert!(len.start < len.end, "empty length range");
+    BytesGen {
+        min_len: len.start,
+        max_len: len.end,
+    }
+}
+
+impl Gen for BytesGen {
+    type Value = Vec<u8>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<u8> {
+        let len = rng.gen_range(self.min_len..self.max_len);
+        (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect()
+    }
+
+    fn shrink(&self, value: &Vec<u8>) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        if value.len() > self.min_len {
+            let half = value.len() / 2;
+            if half >= self.min_len && half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            for i in (0..value.len()).rev() {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        for (i, &b) in value.iter().enumerate() {
+            if b != 0 {
+                let mut v = value.clone();
+                v[i] = 0;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Arbitrary UTF-8 strings with a char count drawn from `len`; shrinks by
+/// dropping chars and then by simplifying them to `'a'`. Built by
+/// [`string_of`].
+///
+/// The character mix is deliberately parser-hostile: raw grammar tokens
+/// (`procs`, `phase`, `->`, `=`), digits, whitespace including `\r` and
+/// `\n`, comment markers, and occasional multi-byte scalars — so
+/// properties over text parsers explore both near-valid and wild inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct StringGen {
+    min_len: usize,
+    max_len: usize, // exclusive
+}
+
+/// Arbitrary UTF-8 and raw-token strings: length (in chars) uniform in
+/// `len`.
+///
+/// # Panics
+///
+/// Panics if `len` is empty.
+pub fn string_of(len: Range<usize>) -> StringGen {
+    assert!(len.start < len.end, "empty length range");
+    StringGen {
+        min_len: len.start,
+        max_len: len.end,
+    }
+}
+
+/// Grammar-ish fragments `StringGen` splices between random characters.
+const STRING_TOKENS: &[&str] = &[
+    "procs",
+    "phase",
+    "repeat",
+    "msg",
+    "->",
+    "=",
+    "bytes",
+    "compute",
+    "start",
+    "finish",
+    "#",
+    " ",
+    "\n",
+    "\r\n",
+    "\t",
+    "0",
+    "1",
+    "9",
+    "18446744073709551615",
+    "99999999999999999999",
+    "-1",
+];
+
+impl Gen for StringGen {
+    type Value = String;
+
+    fn generate(&self, rng: &mut Rng) -> String {
+        let len = rng.gen_range(self.min_len..self.max_len);
+        let mut out = String::new();
+        for _ in 0..len {
+            match rng.gen_range(0u32..10) {
+                // Whole grammar-ish tokens, to reach deep parser states.
+                0..=3 => out.push_str(STRING_TOKENS[rng.gen_range(0..STRING_TOKENS.len())]),
+                // Printable ASCII.
+                4..=7 => out.push(char::from(rng.gen_range(0x20u32..0x7f) as u8)),
+                // Arbitrary non-surrogate scalar (multi-byte UTF-8).
+                _ => loop {
+                    if let Some(c) = char::from_u32(rng.gen_range(0u32..0x11_0000)) {
+                        out.push(c);
+                        break;
+                    }
+                },
+            }
+        }
+        out
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let chars: Vec<char> = value.chars().collect();
+        let mut out = Vec::new();
+        if chars.len() > self.min_len {
+            let half = chars.len() / 2;
+            if half >= self.min_len && half < chars.len() {
+                out.push(chars[..half].iter().collect());
+            }
+            for i in (0..chars.len()).rev() {
+                let mut v = chars.clone();
+                v.remove(i);
+                out.push(v.into_iter().collect());
+            }
+        }
+        for (i, &c) in chars.iter().enumerate() {
+            if c != 'a' {
+                let mut v = chars.clone();
+                v[i] = 'a';
+                out.push(v.into_iter().collect());
+            }
+        }
+        out
+    }
+}
+
 macro_rules! tuple_gen {
     ($($g:ident => $idx:tt),+) => {
         impl<$($g: Gen),+> Gen for ($($g,)+) {
@@ -521,6 +680,58 @@ mod tests {
             // Exactly one component changes per candidate.
             assert!((a != v.0) ^ (b != v.1), "candidate ({a}, {b}) from {v:?}");
         }
+    }
+
+    #[test]
+    fn bytes_generation_and_shrinking() {
+        let g = bytes_of(0..64);
+        let mut rng = Rng::seed_from_u64(2);
+        let v = g.generate(&mut rng);
+        assert!(v.len() < 64);
+        // Shrinking a minimal-length all-zero vector proposes nothing.
+        assert!(g.shrink(&Vec::new()).is_empty());
+        // Deterministic across identically seeded rngs.
+        let mut rng2 = Rng::seed_from_u64(2);
+        assert_eq!(v, g.generate(&mut rng2));
+        // A failing byte property shrinks to a small witness.
+        let result = std::panic::catch_unwind(|| {
+            check("bytes_shrink", bytes_of(0..64), |v| {
+                check_assert!(v.len() < 4, "too long: {v:?}");
+                Ok(())
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("[0, 0, 0, 0]"), "not minimal: {msg}");
+    }
+
+    #[test]
+    fn strings_are_valid_utf8_and_deterministic() {
+        let g = string_of(0..40);
+        let mut a = Rng::seed_from_u64(3);
+        let mut b = Rng::seed_from_u64(3);
+        let s = g.generate(&mut a);
+        assert_eq!(s, g.generate(&mut b));
+        // Shrink candidates stay valid UTF-8 and get no longer (in chars).
+        for cand in g.shrink(&s) {
+            assert!(cand.chars().count() <= s.chars().count());
+        }
+        assert!(g.shrink(&String::new()).is_empty());
+    }
+
+    #[test]
+    fn string_of_reaches_grammar_tokens() {
+        // Over many draws the token splice path must fire: some output
+        // contains a multi-char grammar token verbatim.
+        let g = string_of(5..30);
+        let mut rng = Rng::seed_from_u64(4);
+        let hit = (0..200).any(|_| {
+            let s = g.generate(&mut rng);
+            STRING_TOKENS
+                .iter()
+                .filter(|t| t.len() > 2)
+                .any(|t| s.contains(*t))
+        });
+        assert!(hit, "token splicing never fired in 200 draws");
     }
 
     #[test]

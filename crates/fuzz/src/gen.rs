@@ -1,0 +1,421 @@
+//! Deterministic fuzz-input generators.
+//!
+//! Three complementary strategies, all driven by a single seeded
+//! [`Rng`] so a case seed fully determines the input:
+//!
+//! * **raw byte mutation** — bit flips, byte stomps, span
+//!   deletion/duplication and cross-entry splicing over a corpus entry,
+//!   or fresh random bytes; explores the lexical layer (invalid UTF-8,
+//!   truncation, garbage).
+//! * **token-level mutation** — a valid corpus entry is tokenized and
+//!   individual tokens are replaced with boundary numbers, grammar
+//!   keywords or each other; explores the syntactic layer with inputs
+//!   that are *almost* valid.
+//! * **grammar-aware generation** — schedules and traces are produced
+//!   from the actual grammar with occasional rule violations injected;
+//!   explores deep semantic states (limits, model errors, `repeat`
+//!   expansion) that random bytes essentially never reach.
+
+use nocsyn_rng::Rng;
+
+/// Numbers that sit on implementation boundaries: zero, one, `u32`/`u64`
+/// edges, values one past them (which fail `parse::<u64>`), and a
+/// negative.
+pub const INTERESTING_NUMBERS: &[&str] = &[
+    "0",
+    "1",
+    "2",
+    "15",
+    "65535",
+    "65536",
+    "4294967295",
+    "4294967296",
+    "18446744073709551615",
+    "18446744073709551616",
+    "99999999999",
+    "99999999999999999999",
+    "-1",
+];
+
+/// Grammar keywords and separators of the schedule/trace formats.
+pub const KEYWORDS: &[&str] = &[
+    "procs", "phase", "repeat", "msg", "->", "bytes=", "compute=", "start=", "finish=", "#",
+];
+
+/// The built-in seed corpus: small valid schedules and traces covering
+/// every directive, plus edge-of-grammar entries (comments, CRLF, BOM,
+/// empty phase). Callers may extend it via `--corpus-dir`.
+pub fn default_corpus() -> Vec<Vec<u8>> {
+    [
+        // Canonical schedule with everything on.
+        "# sample\nprocs 4\n\nphase bytes=128 compute=50\n  0 -> 1\n  2 -> 3\n\nphase\n  1->0\nrepeat 2\n",
+        // Minimal schedule.
+        "procs 2\nphase\n 0 -> 1\n",
+        // Empty (computation-only) schedule.
+        "procs 3\n",
+        // CRLF line endings and a BOM.
+        "\u{feff}procs 4\r\nphase bytes=64\r\n  0 -> 1\r\n",
+        // Canonical trace.
+        "procs 4\nmsg 0 -> 1 start=0 finish=100 bytes=64\nmsg 2 -> 3 start=50 finish=150\n",
+        // Trace with defaulted bytes and touching intervals.
+        "procs 2\nmsg 0 -> 1 start=0 finish=10\nmsg 1 -> 0 start=10 finish=20\n",
+    ]
+    .iter()
+    .map(|s| s.as_bytes().to_vec())
+    .collect()
+}
+
+/// Generates one fuzz input from the case rng: picks one of the three
+/// strategies, then caps the result at `max_len` bytes (the generators
+/// aim below the cap; the truncation is a hard guarantee).
+pub fn generate_case(rng: &mut Rng, corpus: &[Vec<u8>], max_len: usize) -> Vec<u8> {
+    let mut out = match rng.gen_range(0u32..4) {
+        0 => byte_mutation(rng, corpus, max_len),
+        1 => token_mutation(rng, corpus),
+        2 => grammar_schedule(rng),
+        _ => grammar_trace(rng),
+    };
+    out.truncate(max_len);
+    out
+}
+
+// -----------------------------------------------------------------
+// Strategy 1: raw byte mutation
+// -----------------------------------------------------------------
+
+fn random_bytes(rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len.clamp(1, 256));
+    (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect()
+}
+
+/// Byte-level mutation of a corpus entry (or fresh random bytes when the
+/// corpus is empty / the dice say so).
+pub fn byte_mutation(rng: &mut Rng, corpus: &[Vec<u8>], max_len: usize) -> Vec<u8> {
+    let Some(base) = rng.choose(corpus) else {
+        return random_bytes(rng, max_len);
+    };
+    if rng.gen_bool(0.15) {
+        return random_bytes(rng, max_len);
+    }
+    let mut v = base.clone();
+    let rounds = rng.gen_range(1usize..=4);
+    for _ in 0..rounds {
+        if v.is_empty() {
+            v = random_bytes(rng, max_len);
+            continue;
+        }
+        match rng.gen_range(0u32..6) {
+            // Flip one bit.
+            0 => {
+                let i = rng.gen_range(0..v.len());
+                v[i] ^= 1 << rng.gen_range(0u32..8);
+            }
+            // Stomp one byte.
+            1 => {
+                let i = rng.gen_range(0..v.len());
+                v[i] = rng.gen_range(0u32..256) as u8;
+            }
+            // Delete a span.
+            2 => {
+                let start = rng.gen_range(0..v.len());
+                let len = rng.gen_range(1..=(v.len() - start).min(16));
+                v.drain(start..start + len);
+            }
+            // Duplicate a span.
+            3 => {
+                let start = rng.gen_range(0..v.len());
+                let len = rng.gen_range(1..=(v.len() - start).min(16));
+                let span: Vec<u8> = v[start..start + len].to_vec();
+                let at = rng.gen_range(0..=v.len());
+                v.splice(at..at, span);
+            }
+            // Truncate.
+            4 => {
+                let keep = rng.gen_range(0..=v.len());
+                v.truncate(keep);
+            }
+            // Splice with another corpus entry.
+            _ => {
+                if let Some(other) = rng.choose(corpus) {
+                    let cut_a = rng.gen_range(0..=v.len());
+                    let cut_b = rng.gen_range(0..=other.len());
+                    v.truncate(cut_a);
+                    v.extend_from_slice(&other[cut_b..]);
+                }
+            }
+        }
+    }
+    v
+}
+
+// -----------------------------------------------------------------
+// Strategy 2: token-level mutation
+// -----------------------------------------------------------------
+
+/// Token-level mutation: tokenize a corpus entry line by line and swap,
+/// drop, duplicate or replace whitespace-separated tokens, preserving
+/// the line structure the parsers key on.
+pub fn token_mutation(rng: &mut Rng, corpus: &[Vec<u8>]) -> Vec<u8> {
+    let Some(base) = rng.choose(corpus) else {
+        return Vec::new();
+    };
+    let text = String::from_utf8_lossy(base);
+    let mut lines: Vec<Vec<String>> = text
+        .lines()
+        .map(|l| l.split_whitespace().map(str::to_string).collect())
+        .collect();
+    if lines.is_empty() {
+        lines.push(Vec::new());
+    }
+    let rounds = rng.gen_range(1usize..=3);
+    for _ in 0..rounds {
+        let li = rng.gen_range(0..lines.len());
+        let line_count = lines.len();
+        let line = &mut lines[li];
+        match rng.gen_range(0u32..6) {
+            // Replace a token with a boundary number.
+            0 => {
+                if !line.is_empty() {
+                    let ti = rng.gen_range(0..line.len());
+                    line[ti] = (*rng.choose(INTERESTING_NUMBERS).unwrap_or(&"0")).to_string();
+                }
+            }
+            // Replace a token with a grammar keyword.
+            1 => {
+                if !line.is_empty() {
+                    let ti = rng.gen_range(0..line.len());
+                    line[ti] = (*rng.choose(KEYWORDS).unwrap_or(&"procs")).to_string();
+                }
+            }
+            // Delete a token.
+            2 => {
+                if !line.is_empty() {
+                    let ti = rng.gen_range(0..line.len());
+                    line.remove(ti);
+                }
+            }
+            // Duplicate a token in place.
+            3 => {
+                if !line.is_empty() {
+                    let ti = rng.gen_range(0..line.len());
+                    let t = line[ti].clone();
+                    line.insert(ti, t);
+                }
+            }
+            // Swap two tokens.
+            4 => {
+                if line.len() >= 2 {
+                    let a = rng.gen_range(0..line.len());
+                    let b = rng.gen_range(0..line.len());
+                    line.swap(a, b);
+                }
+            }
+            // Duplicate or drop a whole line.
+            _ => {
+                if rng.gen_bool(0.5) {
+                    let l = lines[li].clone();
+                    lines.insert(li, l);
+                } else if line_count > 1 {
+                    lines.remove(li);
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    for line in &lines {
+        out.push_str(&line.join(" "));
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+// -----------------------------------------------------------------
+// Strategy 3: grammar-aware generation
+// -----------------------------------------------------------------
+
+fn number(rng: &mut Rng, small_hi: u64) -> String {
+    if rng.gen_bool(0.15) {
+        (*rng.choose(INTERESTING_NUMBERS).unwrap_or(&"0")).to_string()
+    } else {
+        rng.gen_range(0..=small_hi).to_string()
+    }
+}
+
+fn newline(rng: &mut Rng) -> &'static str {
+    if rng.gen_bool(0.1) {
+        "\r\n"
+    } else {
+        "\n"
+    }
+}
+
+fn maybe_comment(rng: &mut Rng, out: &mut String) {
+    if rng.gen_bool(0.15) {
+        out.push_str(" # c");
+    }
+}
+
+/// Grammar-aware schedule text: structurally plausible `procs` / `phase`
+/// / flow / `repeat` programs with occasional deliberate violations
+/// (missing header, out-of-range flows, huge counts, garbage lines).
+pub fn grammar_schedule(rng: &mut Rng) -> Vec<u8> {
+    let mut out = String::new();
+    if rng.gen_bool(0.05) {
+        out.push('\u{feff}');
+    }
+    let n = 1 + rng.gen_range(0u64..16);
+    if rng.gen_bool(0.9) {
+        out.push_str("procs ");
+        out.push_str(&number(rng, 16));
+        maybe_comment(rng, &mut out);
+        out.push_str(newline(rng));
+    }
+    let phases = rng.gen_range(0usize..5);
+    for _ in 0..phases {
+        out.push_str("phase");
+        if rng.gen_bool(0.5) {
+            out.push_str(" bytes=");
+            out.push_str(&number(rng, 8192));
+        }
+        if rng.gen_bool(0.4) {
+            out.push_str(" compute=");
+            out.push_str(&number(rng, 10_000));
+        }
+        maybe_comment(rng, &mut out);
+        out.push_str(newline(rng));
+        let flows = rng.gen_range(0usize..5);
+        for _ in 0..flows {
+            let src = rng.gen_range(0..n + 2); // may exceed procs
+            let dst = rng.gen_range(0..n + 2); // may self-loop
+            out.push_str("  ");
+            out.push_str(&src.to_string());
+            out.push_str(if rng.gen_bool(0.8) { " -> " } else { "->" });
+            out.push_str(&dst.to_string());
+            maybe_comment(rng, &mut out);
+            out.push_str(newline(rng));
+        }
+        if rng.gen_bool(0.08) {
+            out.push_str("garbage line here");
+            out.push_str(newline(rng));
+        }
+    }
+    if rng.gen_bool(0.3) {
+        out.push_str("repeat ");
+        out.push_str(&number(rng, 8));
+        out.push_str(newline(rng));
+    }
+    out.into_bytes()
+}
+
+/// Grammar-aware trace text: `procs` + `msg` lines with boundary times,
+/// missing/duplicated options and occasional violations.
+pub fn grammar_trace(rng: &mut Rng) -> Vec<u8> {
+    let mut out = String::new();
+    let n = 1 + rng.gen_range(0u64..16);
+    if rng.gen_bool(0.9) {
+        out.push_str("procs ");
+        out.push_str(&number(rng, 16));
+        out.push_str(newline(rng));
+    }
+    let msgs = rng.gen_range(0usize..8);
+    for _ in 0..msgs {
+        let src = rng.gen_range(0..n + 2);
+        let dst = rng.gen_range(0..n + 2);
+        out.push_str("msg ");
+        out.push_str(&src.to_string());
+        out.push_str(" -> ");
+        out.push_str(&dst.to_string());
+        if rng.gen_bool(0.95) {
+            out.push_str(" start=");
+            out.push_str(&number(rng, 1_000));
+        }
+        if rng.gen_bool(0.95) {
+            out.push_str(" finish=");
+            out.push_str(&number(rng, 1_000));
+        }
+        if rng.gen_bool(0.4) {
+            out.push_str(" bytes=");
+            out.push_str(&number(rng, 8192));
+        }
+        maybe_comment(rng, &mut out);
+        out.push_str(newline(rng));
+    }
+    out.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let corpus = default_corpus();
+        for seed in 0..50u64 {
+            let mut a = Rng::seed_from_u64(seed);
+            let mut b = Rng::seed_from_u64(seed);
+            assert_eq!(
+                generate_case(&mut a, &corpus, 4096),
+                generate_case(&mut b, &corpus, 4096)
+            );
+        }
+    }
+
+    #[test]
+    fn generation_respects_the_length_cap() {
+        let corpus = default_corpus();
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..500 {
+            assert!(generate_case(&mut rng, &corpus, 128).len() <= 128);
+        }
+    }
+
+    #[test]
+    fn empty_corpus_still_generates() {
+        let mut rng = Rng::seed_from_u64(11);
+        for _ in 0..100 {
+            // Must not panic; byte/token strategies fall back gracefully.
+            let _ = generate_case(&mut rng, &[], 512);
+        }
+    }
+
+    #[test]
+    fn grammar_schedules_often_parse() {
+        // The grammar generator must reach deep parser states: a healthy
+        // fraction of its outputs are accepted by the real parser.
+        let mut rng = Rng::seed_from_u64(3);
+        let ok = (0..200)
+            .filter(|_| {
+                let bytes = grammar_schedule(&mut rng);
+                let text = String::from_utf8_lossy(&bytes);
+                nocsyn_model::parse_schedule(&text).is_ok()
+            })
+            .count();
+        assert!(ok > 20, "only {ok}/200 grammar schedules parsed");
+    }
+
+    #[test]
+    fn grammar_traces_often_parse() {
+        let mut rng = Rng::seed_from_u64(4);
+        let ok = (0..200)
+            .filter(|_| {
+                let bytes = grammar_trace(&mut rng);
+                let text = String::from_utf8_lossy(&bytes);
+                nocsyn_model::parse_trace(&text).is_ok()
+            })
+            .count();
+        assert!(ok > 20, "only {ok}/200 grammar traces parsed");
+    }
+
+    #[test]
+    fn default_corpus_entries_are_valid() {
+        for entry in default_corpus() {
+            let text = String::from_utf8(entry).expect("corpus is UTF-8");
+            let is_trace = text.contains("msg ");
+            if is_trace {
+                nocsyn_model::parse_trace(&text).expect("corpus trace parses");
+            } else {
+                nocsyn_model::parse_schedule(&text).expect("corpus schedule parses");
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Panic capture and crash triage.
+//!
+//! Targets run under [`std::panic::catch_unwind`]; while a fuzz run is
+//! active a process-wide silent panic hook suppresses the default
+//! "thread panicked at ..." stderr spam (50 000 cases would otherwise
+//! drown the terminal). The hook is reference-counted and restored when
+//! the last concurrent run finishes, so surrounding test harnesses keep
+//! their reporting.
+//!
+//! Crashes deduplicate by a *normalized fingerprint* of the panic
+//! message: digit runs collapse to `#` so `index out of bounds: the len
+//! is 4 but the index is 7` and `... len is 9 but the index is 12` are
+//! one bug, not two.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Serializes hook installation across concurrently fuzzing threads.
+static HOOK_DEPTH: Mutex<usize> = Mutex::new(0);
+
+/// RAII guard that silences the global panic hook for the duration of a
+/// fuzz run (re-entrant across threads via a depth count).
+#[derive(Debug)]
+pub(crate) struct SilentPanicGuard;
+
+impl SilentPanicGuard {
+    pub(crate) fn install() -> Self {
+        let mut depth = HOOK_DEPTH.lock().unwrap_or_else(|e| e.into_inner());
+        if *depth == 0 {
+            panic::set_hook(Box::new(|_| {}));
+        }
+        *depth += 1;
+        SilentPanicGuard
+    }
+}
+
+impl Drop for SilentPanicGuard {
+    fn drop(&mut self) {
+        let mut depth = HOOK_DEPTH.lock().unwrap_or_else(|e| e.into_inner());
+        *depth -= 1;
+        if *depth == 0 {
+            let _ = panic::take_hook();
+        }
+    }
+}
+
+/// Runs `f`, converting a panic into its payload message.
+pub(crate) fn run_caught<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    match panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => Err(panic_message(payload.as_ref())),
+    }
+}
+
+/// Extracts the human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Collapses digit runs to `#` and truncates, so messages that differ
+/// only in embedded values share one fingerprint.
+pub fn normalize_fingerprint(message: &str) -> String {
+    let mut out = String::with_capacity(message.len().min(160));
+    let mut in_digits = false;
+    for c in message.chars() {
+        if c.is_ascii_digit() {
+            if !in_digits {
+                out.push('#');
+                in_digits = true;
+            }
+        } else {
+            in_digits = false;
+            out.push(c);
+        }
+        if out.len() >= 160 {
+            break;
+        }
+    }
+    out
+}
+
+/// One deduplicated crash: the normalized fingerprint, the first seed
+/// that triggered it (replayable via `NOCSYN_FUZZ_SEED`), an exemplar
+/// message, and how many cases hit it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Crash {
+    /// Normalized panic-message fingerprint (dedup key).
+    pub fingerprint: String,
+    /// Case seed of the first occurrence; `NOCSYN_FUZZ_SEED=<seed>`
+    /// replays it deterministically.
+    pub first_seed: u64,
+    /// The first occurrence's verbatim panic message.
+    pub message: String,
+    /// Number of cases that collapsed onto this fingerprint.
+    pub count: u64,
+}
+
+impl Crash {
+    /// The one-line replay recipe, mirroring `nocsyn-check`'s contract.
+    pub fn replay_line(&self, target: &str) -> String {
+        format!(
+            "NOCSYN_FUZZ_SEED={} nocsyn fuzz --target {target} --iters 1  # {}",
+            self.first_seed, self.fingerprint
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_collapse_values() {
+        let a = normalize_fingerprint("index out of bounds: the len is 4 but the index is 7");
+        let b = normalize_fingerprint("index out of bounds: the len is 9 but the index is 1200");
+        assert_eq!(a, b);
+        assert!(a.contains("len is #"));
+    }
+
+    #[test]
+    fn fingerprints_truncate_long_messages() {
+        let long = "x".repeat(10_000);
+        assert!(normalize_fingerprint(&long).len() <= 161);
+    }
+
+    #[test]
+    fn run_caught_returns_values_and_messages() {
+        assert_eq!(run_caught(|| 42), Ok(42));
+        let _guard = SilentPanicGuard::install();
+        let err = run_caught(|| -> u32 { panic!("boom {}", 7) }).unwrap_err();
+        assert_eq!(err, "boom 7");
+        let err = run_caught(|| -> u32 { panic!("static boom") }).unwrap_err();
+        assert_eq!(err, "static boom");
+    }
+
+    #[test]
+    fn replay_line_names_seed_and_target() {
+        let c = Crash {
+            fingerprint: "boom #".into(),
+            first_seed: 99,
+            message: "boom 7".into(),
+            count: 3,
+        };
+        let line = c.replay_line("parse_schedule");
+        assert!(line.starts_with("NOCSYN_FUZZ_SEED=99 "));
+        assert!(line.contains("--target parse_schedule"));
+    }
+}

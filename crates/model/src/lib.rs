@@ -75,7 +75,8 @@ pub use overlap::{overlaps, OverlapRelation};
 pub use phase::{Phase, PhaseSchedule};
 pub use skew::SkewModel;
 pub use text::{
-    format_schedule, format_trace, parse_schedule, parse_trace, ParseErrorKind, ParseScheduleError,
+    format_schedule, format_trace, parse_schedule, parse_schedule_with, parse_trace,
+    parse_trace_with, ParseErrorKind, ParseLimits, ParseScheduleError,
 };
 pub use time::{Time, TimeInterval};
 pub use trace::Trace;

@@ -122,6 +122,10 @@ impl Message {
     }
 
     /// Returns a copy of this message shifted later in time by `ticks`.
+    ///
+    /// Both endpoints saturate at [`Time::MAX`], so shifting a message
+    /// whose times came from untrusted input (e.g. `finish=` near
+    /// `u64::MAX`) clamps to the horizon instead of overflowing.
     #[must_use]
     pub fn shifted(&self, ticks: u64) -> Message {
         Message {
@@ -197,5 +201,16 @@ mod tests {
     fn default_payload_applies() {
         let m = Message::new(ProcId(0), ProcId(1), 0, 1).unwrap();
         assert_eq!(m.bytes(), DEFAULT_PAYLOAD_BYTES);
+    }
+
+    #[test]
+    fn boundary_times_shift_without_overflow() {
+        // Times straight off the trust boundary: finish at the horizon.
+        let m = Message::new(ProcId(0), ProcId(1), u64::MAX - 1, u64::MAX).unwrap();
+        let s = m.shifted(u64::MAX);
+        assert_eq!(s.start(), Time::MAX);
+        assert_eq!(s.finish(), Time::MAX);
+        assert_eq!(s.interval().duration(), 0);
+        assert!(s.overlaps(&m.shifted(5)));
     }
 }

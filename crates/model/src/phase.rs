@@ -225,9 +225,17 @@ impl PhaseSchedule {
     }
 
     /// Repeats the whole schedule `times` times (main-loop iteration).
+    ///
+    /// Runs in `O(times * phases)` *output* work: repeating an empty
+    /// schedule is free regardless of `times`, so a parsed
+    /// `repeat 99999999999` with no phases cannot spin here.
     #[must_use]
     pub fn repeated(&self, times: usize) -> PhaseSchedule {
         let mut out = PhaseSchedule::new(self.n_procs);
+        if self.phases.is_empty() {
+            return out;
+        }
+        out.phases.reserve(self.phases.len().saturating_mul(times));
         for _ in 0..times {
             out.phases.extend(self.phases.iter().cloned());
         }
@@ -256,18 +264,26 @@ impl PhaseSchedule {
     ///
     /// Message duration is `bytes` ticks (a 1-byte-per-tick reference link),
     /// with a minimum of one tick.
+    ///
+    /// The virtual clock saturates at [`crate::Time::MAX`]: schedules with
+    /// adversarial `compute=` gaps near `u64::MAX` (reachable from parsed
+    /// input) degenerate into phases pinned at the time horizon instead of
+    /// overflowing.
     pub fn to_trace(&self) -> Trace {
         let mut trace = Trace::new(self.n_procs);
         let mut t = 0u64;
         for phase in &self.phases {
             let dur = u64::from(phase.bytes().max(1));
             for flow in phase.iter() {
-                let m = Message::for_flow(flow, t, t + dur)
+                let m = Message::for_flow(flow, t, t.saturating_add(dur))
                     .expect("phase flows are validated on insert")
                     .with_bytes(phase.bytes());
                 trace.push(m).expect("schedule procs validated on push");
             }
-            t += dur + phase.compute_ticks() + 1;
+            t = t
+                .saturating_add(dur)
+                .saturating_add(phase.compute_ticks())
+                .saturating_add(1);
         }
         trace
     }
@@ -280,8 +296,12 @@ impl PhaseSchedule {
             .iter()
             .filter(|p| !p.is_empty())
             .map(|p| u64::from(p.bytes().max(1)))
-            .sum();
-        let comp: u64 = self.phases.iter().map(Phase::compute_ticks).sum();
+            .fold(0, u64::saturating_add);
+        let comp: u64 = self
+            .phases
+            .iter()
+            .map(Phase::compute_ticks)
+            .fold(0, u64::saturating_add);
         if comp == 0 {
             f64::INFINITY
         } else {
@@ -327,6 +347,14 @@ mod tests {
             Err(ModelError::SelfLoop { proc: ProcId(3) })
         ));
         assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn repeating_an_empty_schedule_is_constant_time() {
+        // Must not iterate `times` times over zero phases.
+        let s = PhaseSchedule::new(8).repeated(usize::MAX);
+        assert!(s.is_empty());
+        assert_eq!(s.n_procs(), 8);
     }
 
     #[test]

@@ -72,14 +72,19 @@ impl SkewModel {
             for flow in phase.iter() {
                 let src_skew = self.offset(phase_idx, flow.src.index());
                 let dst_skew = self.offset(phase_idx, flow.dst.index());
-                let start = t + src_skew;
-                let finish = t + dur + src_skew.max(dst_skew);
+                // Saturating like `PhaseSchedule::to_trace`: adversarial
+                // compute gaps pin phases at the horizon, never overflow.
+                let start = t.saturating_add(src_skew);
+                let finish = t.saturating_add(dur).saturating_add(src_skew.max(dst_skew));
                 let m = Message::for_flow(flow, start, finish)
                     .expect("phase flows are validated on insert")
                     .with_bytes(phase.bytes());
                 trace.push(m).expect("schedule procs validated on push");
             }
-            t += dur + phase.compute_ticks() + 1;
+            t = t
+                .saturating_add(dur)
+                .saturating_add(phase.compute_ticks())
+                .saturating_add(1);
         }
         trace
     }
@@ -97,7 +102,11 @@ impl SkewModel {
         x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         x ^= x >> 31;
-        x % (self.max_skew + 1)
+        match self.max_skew.checked_add(1) {
+            Some(span) => x % span,
+            // max_skew == u64::MAX: every offset is already in range.
+            None => x,
+        }
     }
 }
 

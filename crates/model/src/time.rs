@@ -65,23 +65,29 @@ impl From<Time> for u64 {
     }
 }
 
+// Operator arithmetic on `Time` saturates at the representable bounds
+// instead of panicking: tick values can originate from untrusted parsed
+// input (`start=`/`finish=`/`compute=` near `u64::MAX`), and the model's
+// constructions only ever *compare* times, so clamping to the horizon is
+// semantically safe where wrapping or aborting is not.
+
 impl Add for Time {
     type Output = Time;
     fn add(self, rhs: Time) -> Time {
-        Time(self.0 + rhs.0)
+        Time(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for Time {
     fn add_assign(&mut self, rhs: Time) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
 impl Sub for Time {
     type Output = Time;
     fn sub(self, rhs: Time) -> Time {
-        Time(self.0 - rhs.0)
+        Time(self.0.saturating_sub(rhs.0))
     }
 }
 
@@ -245,6 +251,24 @@ mod tests {
         let mut t = Time::new(1);
         t += Time::new(2);
         assert_eq!(t, Time::new(3));
+    }
+
+    #[test]
+    fn operator_arithmetic_saturates_at_the_bounds() {
+        assert_eq!(Time::MAX + Time::new(1), Time::MAX);
+        assert_eq!(Time::new(1) - Time::new(5), Time::ZERO);
+        let mut t = Time::MAX;
+        t += Time::new(7);
+        assert_eq!(t, Time::MAX);
+        assert_eq!(Time::MAX.saturating_add(u64::MAX), Time::MAX);
+    }
+
+    #[test]
+    fn interval_at_the_time_horizon_is_valid() {
+        let i = TimeInterval::new(u64::MAX, u64::MAX).unwrap();
+        assert_eq!(i.duration(), 0);
+        assert!(i.contains(u64::MAX));
+        assert_eq!(i.shifted(10), i);
     }
 
     #[test]

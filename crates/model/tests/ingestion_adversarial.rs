@@ -1,0 +1,213 @@
+//! Adversarial corpus for the text ingestion boundary (DESIGN.md §10):
+//! hand-written hostile inputs assert a typed `Err` with the right line
+//! (or a valid value) and never a panic, and `nocsyn-check` properties
+//! pin the render/parse round trip as a fixpoint.
+
+use nocsyn_check::{check_n, string_of, CaseError};
+use nocsyn_model::{
+    format_schedule, format_trace, parse_schedule, parse_schedule_with, parse_trace,
+    parse_trace_with, ParseErrorKind, ParseLimits,
+};
+
+// --- hand-written corpus -------------------------------------------------
+
+#[test]
+fn empty_and_comment_only_inputs_are_missing_procs() {
+    for input in ["", "\n\n", "# only a comment\n", "  \t \n# x\n\n"] {
+        let e = parse_schedule(input).unwrap_err();
+        assert!(
+            matches!(e.kind, ParseErrorKind::MissingProcs),
+            "{input:?}: {e:?}"
+        );
+        let e = parse_trace(input).unwrap_err();
+        assert!(
+            matches!(e.kind, ParseErrorKind::MissingProcs),
+            "{input:?}: {e:?}"
+        );
+    }
+}
+
+#[test]
+fn bom_and_crlf_parse_to_the_same_value_as_plain_text() {
+    let plain = "procs 4\nphase bytes=64\n 0 -> 1\n";
+    let bom_crlf = "\u{FEFF}procs 4\r\nphase bytes=64\r\n 0 -> 1\r\n";
+    let a = parse_schedule(plain).expect("plain parses");
+    let b = parse_schedule(bom_crlf).expect("BOM + CRLF parses");
+    assert_eq!(format_schedule(&a), format_schedule(&b));
+}
+
+#[test]
+fn duplicate_and_zero_procs_report_the_offending_line() {
+    let e = parse_schedule("procs 4\nprocs 8\n").unwrap_err();
+    assert!(matches!(e.kind, ParseErrorKind::DuplicateProcs));
+    assert_eq!(e.line, 2);
+
+    let e = parse_schedule("# header\nprocs 0\n").unwrap_err();
+    assert!(matches!(e.kind, ParseErrorKind::ZeroProcs));
+    assert_eq!(e.line, 2);
+
+    let e = parse_trace("procs 2\nmsg 0 -> 1 start=0 finish=1\nprocs 2\n").unwrap_err();
+    assert!(matches!(e.kind, ParseErrorKind::Malformed(_)));
+    assert_eq!(e.line, 3);
+}
+
+#[test]
+fn usize_max_numbers_hit_limits_or_malformed_never_the_allocator() {
+    // usize::MAX procs: limit, reported on the `procs` line.
+    let e = parse_schedule("procs 18446744073709551615\n").unwrap_err();
+    assert!(matches!(
+        e.kind,
+        ParseErrorKind::LimitExceeded { what: "procs", .. }
+    ));
+    assert_eq!(e.line, 1);
+
+    // Beyond u64: not a number at all.
+    let e = parse_schedule("procs 99999999999999999999\n").unwrap_err();
+    assert!(matches!(e.kind, ParseErrorKind::Malformed(_)));
+
+    // Inverted interval at the u64 boundary: model error carried with
+    // the line, no overflow on the way there.
+    let e = parse_trace("procs 2\nmsg 0 -> 1 start=18446744073709551615 finish=0\n").unwrap_err();
+    assert!(matches!(
+        e.kind,
+        ParseErrorKind::Model(nocsyn_model::ModelError::InvertedInterval { .. })
+    ));
+    assert_eq!(e.line, 2);
+
+    // Interval touching the horizon is valid, and survives a round trip.
+    let t =
+        parse_trace("procs 2\nmsg 0 -> 1 start=18446744073709551614 finish=18446744073709551615\n")
+            .expect("horizon interval is valid");
+    assert_eq!(
+        format_trace(&t),
+        format_trace(&parse_trace(&format_trace(&t)).unwrap())
+    );
+}
+
+#[test]
+fn truncated_last_line_is_rejected_with_its_line_number() {
+    let e = parse_schedule("procs 4\nphase\n 0 ->").unwrap_err();
+    assert!(matches!(e.kind, ParseErrorKind::Malformed(_)));
+    assert_eq!(e.line, 3);
+
+    let e = parse_trace("procs 4\nmsg 0 -> 1 start=0").unwrap_err();
+    assert!(matches!(e.kind, ParseErrorKind::Malformed(_)));
+    assert_eq!(e.line, 2);
+}
+
+#[test]
+fn interleaved_garbage_is_rejected_at_the_first_bad_line() {
+    let e = parse_schedule("procs 4\nphase\n 0 -> 1\n\u{0}\u{1}garbage\n 2 -> 3\n").unwrap_err();
+    assert!(matches!(e.kind, ParseErrorKind::Malformed(_)));
+    assert_eq!(e.line, 4);
+
+    let e = parse_trace("procs 4\nmsg 0 -> 1 start=0 finish=1\n<<<>>>\n").unwrap_err();
+    assert!(matches!(e.kind, ParseErrorKind::Malformed(_)));
+    assert_eq!(e.line, 3);
+}
+
+#[test]
+fn hostile_sizes_are_rejected_before_allocation() {
+    // Tight limits so the test is fast; the point is *which* check fires.
+    let limits = ParseLimits::default()
+        .with_max_procs(64)
+        .with_max_phases(4)
+        .with_max_messages(4);
+
+    let e = parse_schedule_with("procs 65\n", &limits).unwrap_err();
+    assert!(matches!(
+        e.kind,
+        ParseErrorKind::LimitExceeded { what: "procs", .. }
+    ));
+
+    let e = parse_schedule_with(
+        "procs 4\nphase\n 0 -> 1\nphase\n 0 -> 1\nrepeat 3\n",
+        &limits,
+    )
+    .unwrap_err();
+    assert!(matches!(
+        e.kind,
+        ParseErrorKind::LimitExceeded { what: "phases", .. }
+    ));
+
+    let e = parse_trace_with(
+        "procs 4\nmsg 0 -> 1 start=0 finish=1\nmsg 0 -> 1 start=0 finish=1\nmsg 0 -> 1 start=0 finish=1\nmsg 0 -> 1 start=0 finish=1\nmsg 0 -> 1 start=0 finish=1\n",
+        &limits,
+    )
+    .unwrap_err();
+    assert!(matches!(
+        e.kind,
+        ParseErrorKind::LimitExceeded {
+            what: "messages",
+            ..
+        }
+    ));
+}
+
+// --- properties ----------------------------------------------------------
+
+/// Arbitrary UTF-8 (biased toward grammar tokens) never panics either
+/// parser; it either parses or yields a typed error with a line number.
+#[test]
+fn parsers_never_panic_on_arbitrary_text() {
+    check_n(
+        "parsers_never_panic_on_arbitrary_text",
+        400,
+        string_of(0..2048),
+        |s| {
+            match parse_schedule(s) {
+                Ok(_) => {}
+                Err(e) => {
+                    if e.line == 0 || e.kind.fingerprint().is_empty() {
+                        return Err(CaseError::Fail(format!("degenerate schedule error: {e:?}")));
+                    }
+                }
+            }
+            match parse_trace(s) {
+                Ok(_) => {}
+                Err(e) => {
+                    if e.line == 0 || e.kind.fingerprint().is_empty() {
+                        return Err(CaseError::Fail(format!("degenerate trace error: {e:?}")));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Whatever parses renders to a *fixpoint*: render -> parse -> render is
+/// identity on the rendered text, for schedules and traces alike.
+#[test]
+fn render_parse_render_is_a_fixpoint() {
+    check_n(
+        "render_parse_render_is_a_fixpoint",
+        400,
+        string_of(0..2048),
+        |s| {
+            if let Ok(schedule) = parse_schedule(s) {
+                let rendered = format_schedule(&schedule);
+                let reparsed = parse_schedule(&rendered).map_err(|e| {
+                    CaseError::Fail(format!("rendered schedule failed to re-parse: {e}"))
+                })?;
+                if format_schedule(&reparsed) != rendered {
+                    return Err(CaseError::Fail(
+                        "schedule render/parse is not a fixpoint".into(),
+                    ));
+                }
+            }
+            if let Ok(trace) = parse_trace(s) {
+                let rendered = format_trace(&trace);
+                let reparsed = parse_trace(&rendered).map_err(|e| {
+                    CaseError::Fail(format!("rendered trace failed to re-parse: {e}"))
+                })?;
+                if format_trace(&reparsed) != rendered {
+                    return Err(CaseError::Fail(
+                        "trace render/parse is not a fixpoint".into(),
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}

@@ -6,6 +6,7 @@
 //! nocsyn simulate <pattern.txt> [opts]      run it on a network, closed-loop
 //! nocsyn verify <pattern.txt> [opts]        Theorem 1 check on a baseline
 //! nocsyn faults <pattern.txt> [opts]        degradation under injected faults
+//! nocsyn fuzz [opts]                        deterministic ingestion fuzzing
 //! ```
 //!
 //! Patterns use the plain-text format of [`nocsyn_model::text`]. The
@@ -18,6 +19,7 @@ use std::time::Duration;
 use nocsyn_engine::{par_map, Engine, EventSink, JobStatus, JsonLinesSink, NullSink};
 use nocsyn_faults::{DegradationReport, FaultScenario};
 use nocsyn_floorplan::{mesh_baseline, place};
+use nocsyn_fuzz::{CaseReport, FuzzConfig, FuzzTarget, Registry};
 use nocsyn_model::{parse_schedule, parse_trace, PhaseSchedule, Trace};
 use nocsyn_sim::{AppDriver, RoutePolicy, SimConfig};
 use nocsyn_synth::{explain, synthesize, AppPattern, SynthesisConfig};
@@ -35,6 +37,7 @@ COMMANDS:
     simulate   run the pattern closed-loop on a network
     verify     check Theorem 1 for the pattern on a baseline network
     faults     inject fault scenarios, repair routes, re-check Theorem 1
+    fuzz       run the deterministic ingestion fuzzer (takes no pattern file)
     help       print this message
 
 OPTIONS (synth):
@@ -63,6 +66,14 @@ OPTIONS (faults):
     --jobs <n>           analyze scenarios in parallel; output is
                          byte-identical for any worker count
 
+OPTIONS (fuzz):
+    --target <name>    all | parse_schedule | parse_trace | cli [default all]
+    --iters <n>        cases per target [default 10000]
+    --seed <n>         base seed; same seed => byte-identical summary
+    --corpus-dir <d>   extra corpus files to mutate (read sorted by name)
+    --json             print the run summary as one deterministic JSON object
+    (set NOCSYN_FUZZ_SEED=<case-seed> to replay a single reported case)
+
 PATTERN FORMAT:
     procs 8
     phase bytes=4096 compute=1000
@@ -88,6 +99,9 @@ struct Options {
     fault_switches: usize,
     scenario_seed: u64,
     json: bool,
+    target: String,
+    iters: u64,
+    corpus_dir: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -107,6 +121,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         fault_switches: 0,
         scenario_seed: 0xFA07,
         json: false,
+        target: "all".into(),
+        iters: 10_000,
+        corpus_dir: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -180,6 +197,20 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--scenario-seed expects an integer".to_string())?;
             }
+            "--target" => {
+                opts.target = value("--target")?;
+            }
+            "--iters" => {
+                opts.iters = value("--iters")?
+                    .parse()
+                    .map_err(|_| "--iters expects a positive integer".to_string())?;
+                if opts.iters == 0 {
+                    return Err("--iters must be at least 1".into());
+                }
+            }
+            "--corpus-dir" => {
+                opts.corpus_dir = Some(value("--corpus-dir")?);
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -199,6 +230,11 @@ pub fn run(args: &[String]) -> Result<String, String> {
     };
     if command == "help" || command == "--help" || command == "-h" {
         return Ok(HELP.to_string());
+    }
+    if command == "fuzz" {
+        // The fuzzer takes no pattern file; everything after `fuzz` is
+        // options.
+        return cmd_fuzz(&parse_options(&args[1..])?);
     }
     let Some(path) = args.get(1) else {
         return Err(format!("`{command}` requires a pattern file"));
@@ -428,6 +464,99 @@ fn cmd_faults(
         reports.len()
     );
     Ok(out)
+}
+
+/// The commands `dispatch_probe` recognizes (everything `run` accepts).
+const COMMANDS: &[&str] = &[
+    "info", "synth", "simulate", "verify", "faults", "fuzz", "help",
+];
+
+/// The pure slice of the CLI that the `cli` fuzz target exercises:
+/// command lookup, option parsing and input-layer parsing, with no
+/// filesystem access and no synthesis. Input layout: first line is the
+/// argument vector (whitespace-split), the rest is the pattern body.
+fn dispatch_probe(input: &[u8]) -> CaseReport {
+    let ticks = input.len() as u64;
+    let text = String::from_utf8_lossy(input);
+    let (arg_line, body) = match text.split_once('\n') {
+        Some((a, b)) => (a, b),
+        None => (text.as_ref(), ""),
+    };
+    let argv: Vec<String> = arg_line.split_whitespace().map(str::to_string).collect();
+    let Some(command) = argv.first() else {
+        return CaseReport::rejected(ticks, "empty-argv");
+    };
+    if !COMMANDS.contains(&command.as_str()) {
+        return CaseReport::rejected(ticks, "unknown-command");
+    }
+    if parse_options(&argv[1..]).is_err() {
+        return CaseReport::rejected(ticks, "options-rejected");
+    }
+    match parse_input("<fuzz>", body) {
+        Ok(Input::Schedule(s)) => {
+            let pattern = AppPattern::from_schedule(&s);
+            CaseReport::accepted(ticks, pattern.flows().len() as u64)
+        }
+        Ok(Input::Trace(t)) => {
+            let pattern = AppPattern::from_trace(&t);
+            CaseReport::accepted(ticks, pattern.flows().len() as u64)
+        }
+        Err(_) => CaseReport::rejected(ticks, "input-rejected"),
+    }
+}
+
+/// Corpus entries shaped like fuzzed CLI invocations (argument line +
+/// pattern body), so the mutators reach deep into `dispatch_probe`.
+fn cli_corpus() -> Vec<Vec<u8>> {
+    [
+        "synth --seed 3 --restarts 2 --jobs 2\nprocs 4\nphase bytes=64\n 0 -> 1\n 2 -> 3\n",
+        "info\nprocs 2\nphase\n 0 -> 1\n",
+        "faults --network mesh --exhaustive --json\nprocs 4\nphase\n 1 -> 2\n",
+        "simulate --network torus\nprocs 4\nmsg 0 -> 1 start=0 finish=10\n",
+    ]
+    .iter()
+    .map(|s| s.as_bytes().to_vec())
+    .collect()
+}
+
+fn cmd_fuzz(opts: &Options) -> Result<String, String> {
+    let mut registry = Registry::with_builtin_targets();
+    registry.register(FuzzTarget::new("cli", dispatch_probe));
+
+    let mut corpus = nocsyn_fuzz::gen::default_corpus();
+    corpus.extend(cli_corpus());
+    if let Some(dir) = &opts.corpus_dir {
+        // Sorted read order keeps the corpus (and thus the whole run)
+        // deterministic regardless of directory enumeration order.
+        let mut paths: Vec<_> = std::fs::read_dir(dir)
+            .map_err(|e| format!("reading corpus dir {dir}: {e}"))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.is_file())
+            .collect();
+        paths.sort();
+        for path in paths {
+            corpus.push(
+                std::fs::read(&path).map_err(|e| format!("reading {}: {e}", path.display()))?,
+            );
+        }
+    }
+
+    let config = FuzzConfig {
+        iters: opts.iters,
+        seed: opts.seed,
+        ..FuzzConfig::default()
+    }
+    .from_env();
+    let summary = nocsyn_fuzz::run(&registry, &opts.target, &corpus, &config)?;
+    if !summary.clean() {
+        // Non-zero exit with replay lines on stderr, so CI fails loudly.
+        return Err(summary.render_human());
+    }
+    if opts.json {
+        Ok(format!("{}\n", summary.to_json()))
+    } else {
+        Ok(summary.render_human())
+    }
 }
 
 /// Open-loop replay of a timed trace (`simulate` on trace input).
@@ -717,6 +846,74 @@ mod tests {
         assert!(replay.contains("2 delivered"));
         let verify = run(&args(&["verify", &path, "--network", "crossbar"])).unwrap();
         assert!(verify.contains("contention-free"));
+    }
+
+    #[test]
+    fn fuzz_smoke_runs_clean() {
+        let out = run(&args(&["fuzz", "--iters", "200", "--seed", "1"])).unwrap();
+        assert!(
+            out.contains("ok: zero crashes, zero budget violations"),
+            "{out}"
+        );
+        assert!(out.contains("cli:"), "{out}");
+        assert!(out.contains("parse_schedule:"), "{out}");
+        assert!(out.contains("parse_trace:"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_json_is_deterministic_per_seed() {
+        let base = args(&["fuzz", "--iters", "150", "--seed", "9", "--json"]);
+        let a = run(&base).unwrap();
+        let b = run(&base).unwrap();
+        assert_eq!(a, b, "same seed must give a byte-identical summary");
+        assert!(a.starts_with("{\"seed\":9,\"iters\":150,"), "{a}");
+        let c = run(&args(&["fuzz", "--iters", "150", "--seed", "10", "--json"])).unwrap();
+        assert_ne!(a, c, "different seeds must explore different inputs");
+    }
+
+    #[test]
+    fn fuzz_single_target_and_corpus_dir() {
+        let dir = std::env::temp_dir().join("nocsyn-cli-test-corpus");
+        std::fs::create_dir_all(&dir).expect("temp dir is writable");
+        std::fs::write(dir.join("a.txt"), PATTERN).expect("writable");
+        let out = run(&args(&[
+            "fuzz",
+            "--target",
+            "parse_schedule",
+            "--iters",
+            "100",
+            "--corpus-dir",
+            &dir.to_string_lossy(),
+        ]))
+        .unwrap();
+        assert!(out.contains("parse_schedule:"), "{out}");
+        assert!(!out.contains("parse_trace:"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_rejects_bad_usage() {
+        let err = run(&args(&["fuzz", "--target", "bogus", "--iters", "5"])).unwrap_err();
+        assert!(err.contains("unknown fuzz target `bogus`"), "{err}");
+        assert!(err.contains("parse_schedule"), "{err}");
+        assert!(run(&args(&["fuzz", "--iters", "0"])).is_err());
+        assert!(run(&args(&["fuzz", "--corpus-dir", "/nonexistent-nocsyn-dir"])).is_err());
+    }
+
+    #[test]
+    fn dispatch_probe_covers_accept_and_reject_paths() {
+        assert_eq!(dispatch_probe(b"").rejected, Some("empty-argv"));
+        assert_eq!(dispatch_probe(b"bogus\n").rejected, Some("unknown-command"));
+        assert_eq!(
+            dispatch_probe(b"synth --wat\nprocs 2\n").rejected,
+            Some("options-rejected")
+        );
+        assert_eq!(
+            dispatch_probe(b"synth\nprocs 0\n").rejected,
+            Some("input-rejected")
+        );
+        let ok = dispatch_probe(b"synth --seed 1\nprocs 4\nphase\n 0 -> 1\n");
+        assert_eq!(ok.rejected, None);
+        assert_eq!(ok.output_units, 1);
     }
 
     #[test]
