@@ -19,8 +19,9 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
-echo "==> no-unwrap gate: clippy -D clippy::unwrap_used on faults + engine + model + fuzz"
-cargo clippy --offline -p nocsyn-faults -p nocsyn-engine -p nocsyn-model -p nocsyn-fuzz -- \
+echo "==> no-unwrap gate: clippy -D clippy::unwrap_used on faults + engine + model + fuzz + coloring + bench"
+cargo clippy --offline -p nocsyn-faults -p nocsyn-engine -p nocsyn-model -p nocsyn-fuzz \
+    -p nocsyn-coloring -p nocsyn-bench -- \
     -D warnings -D clippy::unwrap_used
 
 echo "==> engine smoke gate: synth --jobs 1 vs --jobs 4 must be bit-identical"
@@ -41,5 +42,13 @@ echo "==> fuzz smoke gate: 2000 cases/target, clean and byte-identical across ru
 ./target/release/nocsyn fuzz --target all --iters 2000 --seed 1 --json > "$j4"
 diff "$j1" "$j4"
 grep -q '"unique_crashes":0,"unique_budget_violations":0' "$j1"
+
+echo "==> bench smoke gate: perf --iters 1 counters byte-identical across runs"
+# The perf harness must separate measurement (stderr) from counters
+# (stdout): two runs of the same seed produce byte-identical JSON.
+cargo build --release --offline -p nocsyn-bench
+./target/release/perf --iters 1 --seed 1 --json > "$j1" 2> /dev/null
+./target/release/perf --iters 1 --seed 1 --json > "$j4" 2> /dev/null
+diff "$j1" "$j4"
 
 echo "CI gate passed."

@@ -130,7 +130,29 @@ impl std::fmt::Display for HarnessError {
     }
 }
 
-impl std::error::Error for HarnessError {}
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HarnessError::Topo(e) => Some(e),
+            HarnessError::Synth(e) => Some(e),
+            HarnessError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl HarnessError {
+    /// A short, stable, kebab-case identifier for the error class, never
+    /// embedding input-derived values (same convention as
+    /// `ModelError::fingerprint`). Wrapped errors keep their own
+    /// fingerprint.
+    pub fn fingerprint(&self) -> &'static str {
+        match self {
+            HarnessError::Topo(e) => e.fingerprint(),
+            HarnessError::Synth(e) => e.fingerprint(),
+            HarnessError::Sim(e) => e.fingerprint(),
+        }
+    }
+}
 
 impl From<TopoError> for HarnessError {
     fn from(e: TopoError) -> Self {
@@ -430,6 +452,22 @@ pub mod timing {
 mod tests {
     use super::*;
     use nocsyn_workloads::WorkloadParams;
+
+    #[test]
+    fn harness_error_delegates_fingerprint_and_keeps_source() {
+        use std::error::Error as _;
+        let inner = SynthError::EmptyPattern;
+        let e = HarnessError::from(inner.clone());
+        assert_eq!(e.fingerprint(), inner.fingerprint());
+        assert!(e
+            .fingerprint()
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c == '-'));
+        let src = e.source().expect("wrapped error is the source");
+        assert_eq!(src.to_string(), inner.to_string());
+        let boxed: Box<dyn std::error::Error + Send + Sync> = Box::new(e);
+        assert!(boxed.to_string().starts_with("synthesis:"));
+    }
 
     #[test]
     fn grid_dims_match_paper_configs() {

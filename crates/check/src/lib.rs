@@ -59,6 +59,29 @@ pub enum CaseError {
     Fail(String),
 }
 
+impl std::fmt::Display for CaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaseError::Discard => write!(f, "case discarded by a precondition"),
+            CaseError::Fail(msg) => write!(f, "property violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CaseError {}
+
+impl CaseError {
+    /// A short, stable, kebab-case identifier for the error class, never
+    /// embedding input-derived values (same convention as
+    /// `ModelError::fingerprint` in `nocsyn-model`).
+    pub fn fingerprint(&self) -> &'static str {
+        match self {
+            CaseError::Discard => "discard",
+            CaseError::Fail(_) => "fail",
+        }
+    }
+}
+
 /// Outcome of evaluating one generated case.
 pub type CaseResult = Result<(), CaseError>;
 

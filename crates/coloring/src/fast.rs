@@ -11,7 +11,7 @@
 
 use std::collections::BTreeSet;
 
-use nocsyn_model::{CliqueSet, Flow};
+use nocsyn_model::{CliqueSet, Flow, FlowSet};
 
 /// Lower-bounds the links needed by *one direction* of a pipe carrying
 /// `crossing`: the maximum, over every maximum clique, of how many clique
@@ -48,6 +48,29 @@ pub fn fast_color(
     backward: &BTreeSet<Flow>,
 ) -> usize {
     fast_color_directed(cliques, forward).max(fast_color_directed(cliques, backward))
+}
+
+/// Bitset form of [`fast_color_directed`]: the clique masks come from
+/// [`CliqueSet::compile_masks`] and `crossing` is a [`FlowSet`] over the
+/// same interner, so each clique costs one AND + popcount pass instead of
+/// a tree probe per member.
+///
+/// Computes the identical integer as the predicate form — `|mask ∩
+/// crossing|` is the same count whichever representation holds the sets —
+/// which is what keeps bitset-backed synthesis bit-identical.
+pub fn fast_color_directed_masks(clique_masks: &[FlowSet], crossing: &FlowSet) -> usize {
+    clique_masks
+        .iter()
+        .map(|m| m.intersection_len(crossing))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Bitset form of [`fast_color`]: per-direction [`fast_color_directed_masks`],
+/// maximum of the two.
+pub fn fast_color_masks(clique_masks: &[FlowSet], forward: &FlowSet, backward: &FlowSet) -> usize {
+    fast_color_directed_masks(clique_masks, forward)
+        .max(fast_color_directed_masks(clique_masks, backward))
 }
 
 #[cfg(test)]
@@ -135,5 +158,37 @@ mod tests {
         let k = CliqueSet::from_cliques([Clique::from([(0, 1), (2, 3), (4, 5), (6, 7)])]);
         let crossing = flows(&[(0, 1), (4, 5)]);
         assert_eq!(fast_color_directed(&k, &crossing), 2);
+    }
+
+    #[test]
+    fn mask_form_matches_predicate_form() {
+        use nocsyn_model::FlowInterner;
+
+        let k = CliqueSet::from_cliques([
+            Clique::from([(9, 10), (1, 2)]),
+            Clique::from([(9, 11), (3, 4)]),
+            Clique::from([(8, 14), (4, 13), (7, 10)]),
+        ]);
+        let interner = FlowInterner::from_flows(k.all_flows());
+        let masks = k.compile_masks(&interner);
+
+        let fwd = flows(&[(9, 10), (9, 11), (8, 14), (4, 13), (7, 10)]);
+        let bwd = flows(&[(1, 2), (3, 4)]);
+        let fwd_mask = interner.set_of(fwd.iter().copied());
+        let bwd_mask = interner.set_of(bwd.iter().copied());
+
+        assert_eq!(
+            fast_color_directed_masks(&masks, &fwd_mask),
+            fast_color_directed(&k, &fwd)
+        );
+        assert_eq!(
+            fast_color_directed_masks(&masks, &bwd_mask),
+            fast_color_directed(&k, &bwd)
+        );
+        assert_eq!(
+            fast_color_masks(&masks, &fwd_mask, &bwd_mask),
+            fast_color(&k, &fwd, &bwd)
+        );
+        assert_eq!(fast_color_directed_masks(&[], &fwd_mask), 0);
     }
 }

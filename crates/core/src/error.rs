@@ -34,6 +34,18 @@ impl Error for SynthError {
     }
 }
 
+impl SynthError {
+    /// A short, stable, kebab-case identifier for the error class, never
+    /// embedding input-derived values (same convention as
+    /// `ModelError::fingerprint`).
+    pub fn fingerprint(&self) -> &'static str {
+        match self {
+            SynthError::EmptyPattern => "empty-pattern",
+            SynthError::Materialize(_) => "materialize",
+        }
+    }
+}
+
 impl From<TopoError> for SynthError {
     fn from(e: TopoError) -> Self {
         SynthError::Materialize(e)

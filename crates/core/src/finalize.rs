@@ -51,11 +51,13 @@ pub(crate) fn materialize(
     let mut final_pipes: BTreeMap<PipeKey, FinalPipe> = BTreeMap::new();
     for (key, _) in p.pipes() {
         let (fwd, bwd) = p.pipe_flows(key).expect("pipes() yields live keys");
-        let color_dir = |set: &std::collections::BTreeSet<Flow>| -> (usize, BTreeMap<Flow, usize>) {
+        let color_dir = |set: &nocsyn_model::FlowSet| -> (usize, BTreeMap<Flow, usize>) {
             if set.is_empty() {
                 return (0, BTreeMap::new());
             }
-            let flows: Vec<Flow> = set.iter().copied().collect();
+            // Ascending-id iteration is lexicographic flow order, so the
+            // conflict graph and its coloring match the sorted-set era.
+            let flows: Vec<Flow> = p.interner().flows_of(set).collect();
             let graph = ConflictGraph::from_flows(flows.clone(), pattern.contention());
             let coloring = exact_chromatic(&graph);
             let map = flows

@@ -136,7 +136,7 @@ fn evaluate_with<T>(
     let mut saved: Vec<(usize, Vec<usize>)> = Vec::new();
     for &(proc, to) in relocations {
         undo.push((proc, p.home(proc)));
-        for i in p.flows_of_proc(proc) {
+        for &i in p.flows_of_proc(proc) {
             if !saved.iter().any(|(j, _)| *j == i) {
                 saved.push((i, p.path_of_idx(i).to_vec()));
             }

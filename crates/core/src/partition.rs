@@ -12,8 +12,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use nocsyn_coloring::{exact_chromatic, fast_color_directed, ConflictGraph};
-use nocsyn_model::{Flow, ProcId};
+use nocsyn_coloring::{exact_chromatic, fast_color_directed_masks, ConflictGraph};
+use nocsyn_model::{Flow, FlowInterner, FlowSet, ProcId};
 use nocsyn_rng::Rng;
 
 use crate::anneal::Acceptor;
@@ -69,15 +69,24 @@ impl fmt::Display for PipeKey {
     }
 }
 
-/// The communications crossing one pipe, with its current link estimate.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// The communications crossing one pipe (as [`FlowSet`] bitmasks over the
+/// pattern's interned flow ids), with its current link estimate.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct PipeState {
-    pub(crate) forward: BTreeSet<Flow>,
-    pub(crate) backward: BTreeSet<Flow>,
+    pub(crate) forward: FlowSet,
+    pub(crate) backward: FlowSet,
     pub(crate) links: usize,
 }
 
 impl PipeState {
+    fn new(universe: usize) -> Self {
+        PipeState {
+            forward: FlowSet::new(universe),
+            backward: FlowSet::new(universe),
+            links: 0,
+        }
+    }
+
     fn is_empty(&self) -> bool {
         self.forward.is_empty() && self.backward.is_empty()
     }
@@ -110,10 +119,47 @@ pub struct Partitioning {
     /// at the source's home switch and ends at the destination's; adjacent
     /// entries are distinct and the path is simple.
     paths: Vec<Vec<usize>>,
-    flow_index: BTreeMap<Flow, usize>,
+    /// Interner over `pattern.flows()`: a flow's id equals its index in
+    /// the (sorted, deduplicated) flow list, so paths, crossing bitsets
+    /// and the pattern share one id space.
+    interner: FlowInterner,
+    /// `pattern.cliques()` compiled to bitmasks over `interner`, once per
+    /// partitioning — the `Fast_Color` hot path is AND + popcount against
+    /// these.
+    clique_masks: Vec<FlowSet>,
+    /// Processor index → flow indices with that processor as an endpoint
+    /// (ascending), precomputed so moves don't rescan the flow list.
+    proc_flows: Vec<Vec<usize>>,
     pipes: BTreeMap<PipeKey, PipeState>,
+    /// Switch index → sum of link estimates of incident pipes, maintained
+    /// by [`Partitioning::recompute_pipe`] so [`Partitioning::degree`] is
+    /// O(1) instead of a scan over the pipe map.
+    incident_links: Vec<usize>,
+    /// Switch index → number of live incident pipes (for
+    /// [`Partitioning::live_switches`] without a pipe-map scan).
+    incident_pipes: Vec<usize>,
+    /// Reused buffer of pipes touched by the current path-change batch.
+    touched_scratch: Vec<PipeKey>,
+    /// Memoized exact chromatic numbers per crossing set. χ is a pure
+    /// function of the set (the contention relation is fixed per
+    /// pattern), so caching changes no computed value — it only spares
+    /// the branch-and-bound when the search revisits a set, which the
+    /// annealed reroute loop does constantly.
+    chi_cache: std::collections::HashMap<FlowSet, usize>,
     total_links: usize,
     pub(crate) stats: SearchStats,
+}
+
+/// Flow indices incident to each processor, in ascending index order.
+fn proc_flow_table(pattern: &AppPattern) -> Vec<Vec<usize>> {
+    let mut table = vec![Vec::new(); pattern.n_procs()];
+    for (i, f) in pattern.flows().iter().enumerate() {
+        table[f.src.index()].push(i);
+        if f.dst != f.src {
+            table[f.dst.index()].push(i);
+        }
+    }
+    table
 }
 
 impl Partitioning {
@@ -128,13 +174,9 @@ impl Partitioning {
             return Err(SynthError::EmptyPattern);
         }
         let n = pattern.n_procs();
-        let flow_index: BTreeMap<Flow, usize> = pattern
-            .flows()
-            .iter()
-            .copied()
-            .enumerate()
-            .map(|(i, f)| (f, i))
-            .collect();
+        let interner = FlowInterner::from_sorted_flows(pattern.flows().to_vec());
+        let clique_masks = pattern.cliques().compile_masks(&interner);
+        let proc_flows = proc_flow_table(pattern);
         let paths = vec![vec![0]; pattern.flows().len()];
         Ok(Partitioning {
             pattern: pattern.clone(),
@@ -142,8 +184,14 @@ impl Partitioning {
             home: vec![0; n],
             members: vec![(0..n).map(ProcId).collect()],
             paths,
-            flow_index,
+            interner,
+            clique_masks,
+            proc_flows,
             pipes: BTreeMap::new(),
+            incident_links: vec![0],
+            incident_pipes: vec![0],
+            touched_scratch: Vec::new(),
+            chi_cache: std::collections::HashMap::new(),
             total_links: 0,
             stats: SearchStats::default(),
         })
@@ -166,18 +214,19 @@ impl Partitioning {
         for (p, &h) in homes.iter().enumerate() {
             members[h].push(ProcId(p));
         }
+        let interner = FlowInterner::from_sorted_flows(pattern.flows().to_vec());
         let mut partitioning = Partitioning {
-            flow_index: pattern
-                .flows()
-                .iter()
-                .copied()
-                .enumerate()
-                .map(|(i, f)| (f, i))
-                .collect(),
+            clique_masks: pattern.cliques().compile_masks(&interner),
+            interner,
+            proc_flows: proc_flow_table(pattern),
             paths: vec![Vec::new(); pattern.flows().len()],
             pattern: pattern.clone(),
             strategy: ColoringStrategy::Fast,
             home: homes.to_vec(),
+            incident_links: vec![0; n_switches],
+            incident_pipes: vec![0; n_switches],
+            touched_scratch: Vec::new(),
+            chi_cache: std::collections::HashMap::new(),
             members,
             pipes: BTreeMap::new(),
             total_links: 0,
@@ -221,9 +270,14 @@ impl Partitioning {
     /// The switch path currently assigned to `flow`, if the application
     /// uses that flow.
     pub fn path(&self, flow: Flow) -> Option<&[usize]> {
-        self.flow_index
-            .get(&flow)
-            .map(|&i| self.paths[i].as_slice())
+        self.interner.id(flow).map(|i| self.paths[i].as_slice())
+    }
+
+    /// The interner mapping this pattern's flows to the contiguous ids
+    /// used by [`Partitioning::pipe_flows`] bitsets (a flow's id is its
+    /// index in [`AppPattern::flows`]).
+    pub fn interner(&self) -> &FlowInterner {
+        &self.interner
     }
 
     /// Sum of link estimates over all pipes — the objective the search
@@ -237,21 +291,17 @@ impl Partitioning {
         self.pipes.iter().map(|(k, s)| (*k, s.links))
     }
 
-    /// The flows crossing `pipe` in its forward and backward directions.
-    pub fn pipe_flows(&self, pipe: PipeKey) -> Option<(&BTreeSet<Flow>, &BTreeSet<Flow>)> {
+    /// The flows crossing `pipe` in its forward and backward directions,
+    /// as bitsets over [`Partitioning::interner`] ids (iterating a set
+    /// yields ids in ascending order — lexicographic flow order).
+    pub fn pipe_flows(&self, pipe: PipeKey) -> Option<(&FlowSet, &FlowSet)> {
         self.pipes.get(&pipe).map(|s| (&s.forward, &s.backward))
     }
 
     /// Estimated node degree of switch `s`: attached processors plus the
-    /// link estimates of every incident pipe.
+    /// link estimates of every incident pipe (cached incrementally; O(1)).
     pub fn degree(&self, s: usize) -> usize {
-        let pipe_links: usize = self
-            .pipes
-            .iter()
-            .filter(|(k, _)| k.touches(s))
-            .map(|(_, st)| st.links)
-            .sum();
-        self.members[s].len() + pipe_links
+        self.members[s].len() + self.incident_links[s]
     }
 
     /// Switches violating any design constraint: degree over the maximum,
@@ -275,7 +325,7 @@ impl Partitioning {
     /// processors or carrying traffic (dead switches are dropped).
     pub fn live_switches(&self) -> usize {
         (0..self.members.len())
-            .filter(|&s| !self.members[s].is_empty() || self.pipes.keys().any(|k| k.touches(s)))
+            .filter(|&s| !self.members[s].is_empty() || self.incident_pipes[s] > 0)
             .count()
     }
 
@@ -320,17 +370,17 @@ impl Partitioning {
     fn pipe_link_estimate(&self, state: &PipeState) -> usize {
         match self.strategy {
             ColoringStrategy::Fast => {
-                let f = fast_color_directed(self.pattern.cliques(), &state.forward);
-                let b = fast_color_directed(self.pattern.cliques(), &state.backward);
+                let f = fast_color_directed_masks(&self.clique_masks, &state.forward);
+                let b = fast_color_directed_masks(&self.clique_masks, &state.backward);
                 f.max(b)
             }
             ColoringStrategy::Exact => {
-                let chi = |set: &BTreeSet<Flow>| {
+                let chi = |set: &FlowSet| {
                     if set.is_empty() {
                         0
                     } else {
                         let g = ConflictGraph::from_flows(
-                            set.iter().copied().collect(),
+                            self.interner.flows_of(set).collect(),
                             self.pattern.contention(),
                         );
                         exact_chromatic(&g).n_colors()
@@ -341,64 +391,107 @@ impl Partitioning {
         }
     }
 
+    /// Exact chromatic number of a crossing set, memoized. The memo stores
+    /// exactly what the branch-and-bound would return, so repeated sets —
+    /// the common case while the route anneal toggles the same few flows —
+    /// yield identical integers without re-solving.
+    fn exact_chi_cached(&mut self, set: &FlowSet) -> usize {
+        if set.is_empty() {
+            return 0;
+        }
+        if let Some(&chi) = self.chi_cache.get(set) {
+            return chi;
+        }
+        let g = ConflictGraph::from_flows(
+            self.interner.flows_of(set).collect(),
+            self.pattern.contention(),
+        );
+        let chi = exact_chromatic(&g).n_colors();
+        self.chi_cache.insert(set.clone(), chi);
+        chi
+    }
+
     fn recompute_pipe(&mut self, key: PipeKey) {
         let Some(state) = self.pipes.get(&key) else {
             return;
         };
-        let new_links = self.pipe_link_estimate(state);
+        let new_links = match self.strategy {
+            ColoringStrategy::Fast => self.pipe_link_estimate(state),
+            ColoringStrategy::Exact => {
+                let (fwd, bwd) = (state.forward.clone(), state.backward.clone());
+                self.exact_chi_cached(&fwd).max(self.exact_chi_cached(&bwd))
+            }
+        };
         let state = self.pipes.get_mut(&key).expect("checked above");
-        self.total_links = self.total_links - state.links + new_links;
+        let old_links = state.links;
         state.links = new_links;
-        if state.is_empty() {
+        let empty = state.is_empty();
+        self.total_links = self.total_links - old_links + new_links;
+        for s in [key.lo, key.hi] {
+            // Add before subtracting: the sum never transiently underflows.
+            self.incident_links[s] = self.incident_links[s] + new_links - old_links;
+        }
+        if empty {
             debug_assert_eq!(new_links, 0);
             self.pipes.remove(&key);
+            self.incident_pipes[key.lo] -= 1;
+            self.incident_pipes[key.hi] -= 1;
         }
     }
 
-    /// Removes `flow`'s crossings for its current path from the pipe maps.
-    fn remove_path_crossings(&mut self, idx: usize) {
-        let path = std::mem::take(&mut self.paths[idx]);
-        let flow = self.pattern.flows()[idx];
-        for w in path.windows(2) {
-            let key = PipeKey::new(w[0], w[1]);
-            if let Some(state) = self.pipes.get_mut(&key) {
-                if key.forward_from(w[0]) {
-                    state.forward.remove(&flow);
-                } else {
-                    state.backward.remove(&flow);
+    /// Applies a batch of path changes (flow index → new path)
+    /// incrementally: the old and new crossings of every changed flow are
+    /// XOR-toggled into the per-pipe bitsets in place (a flow crossing the
+    /// same pipe and direction both before and after cancels out), and
+    /// each touched pipe's link estimate is recomputed exactly once —
+    /// however many flows of the batch cross it. Allocation-free apart
+    /// from a reused touched-keys scratch buffer.
+    fn apply_path_changes<I>(&mut self, changes: I)
+    where
+        I: IntoIterator<Item = (usize, Vec<usize>)>,
+    {
+        let universe = self.paths.len();
+        let mut touched = std::mem::take(&mut self.touched_scratch);
+        touched.clear();
+        for (idx, new_path) in changes {
+            debug_assert!(
+                new_path.windows(2).all(|w| w[0] != w[1]),
+                "path repeats a switch"
+            );
+            let old_path = std::mem::replace(&mut self.paths[idx], new_path);
+            for path in [old_path.as_slice(), self.paths[idx].as_slice()] {
+                for w in path.windows(2) {
+                    let key = PipeKey::new(w[0], w[1]);
+                    let mut created = false;
+                    let state = self.pipes.entry(key).or_insert_with(|| {
+                        created = true;
+                        PipeState::new(universe)
+                    });
+                    if key.forward_from(w[0]) {
+                        state.forward.toggle(idx);
+                    } else {
+                        state.backward.toggle(idx);
+                    }
+                    if created {
+                        self.incident_pipes[key.lo] += 1;
+                        self.incident_pipes[key.hi] += 1;
+                    }
+                    touched.push(key);
                 }
-                self.recompute_pipe(key);
             }
         }
-        self.paths[idx] = path; // restored (caller overwrites next)
+        touched.sort_unstable();
+        touched.dedup();
+        for &key in &touched {
+            self.recompute_pipe(key);
+        }
+        self.touched_scratch = touched;
     }
 
     /// Installs `path` for flow `idx`, updating pipe crossings and link
     /// estimates.
     pub(crate) fn set_path(&mut self, idx: usize, path: Vec<usize>) {
-        debug_assert!(
-            path.windows(2).all(|w| w[0] != w[1]),
-            "path repeats a switch"
-        );
-        self.remove_path_crossings(idx);
-        let flow = self.pattern.flows()[idx];
-        for w in path.windows(2) {
-            let key = PipeKey::new(w[0], w[1]);
-            let state = self.pipes.entry(key).or_default();
-            if key.forward_from(w[0]) {
-                state.forward.insert(flow);
-            } else {
-                state.backward.insert(flow);
-            }
-        }
-        self.paths[idx] = path;
-        let keys: Vec<PipeKey> = self.paths[idx]
-            .windows(2)
-            .map(|w| PipeKey::new(w[0], w[1]))
-            .collect();
-        for key in keys {
-            self.recompute_pipe(key);
-        }
+        self.apply_path_changes([(idx, path)]);
     }
 
     /// The direct path for flow `idx` under current homes.
@@ -415,7 +508,7 @@ impl Partitioning {
 
     /// Index of `flow` in the pattern's flow list.
     pub(crate) fn flow_idx(&self, flow: Flow) -> usize {
-        self.flow_index[&flow]
+        self.interner.id(flow).expect("flow belongs to the pattern")
     }
 
     /// The switch path of the flow at index `idx`.
@@ -423,19 +516,16 @@ impl Partitioning {
         &self.paths[idx]
     }
 
-    /// All flow indices with `proc` as an endpoint.
-    pub(crate) fn flows_of_proc(&self, proc: ProcId) -> Vec<usize> {
-        self.pattern
-            .flows()
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| f.src == proc || f.dst == proc)
-            .map(|(i, _)| i)
-            .collect()
+    /// All flow indices with `proc` as an endpoint (precomputed,
+    /// ascending).
+    pub(crate) fn flows_of_proc(&self, proc: ProcId) -> &[usize] {
+        &self.proc_flows[proc.index()]
     }
 
     /// Moves `proc` to switch `to`, resetting its flows to direct paths
-    /// (the paper evaluates and commits moves under direct routing).
+    /// (the paper evaluates and commits moves under direct routing). All
+    /// of the processor's flows are re-pathed in one delta batch, so each
+    /// pipe they touch is recolored once.
     pub(crate) fn move_proc(&mut self, proc: ProcId, to: usize) {
         let from = self.home[proc.index()];
         if from == to {
@@ -445,18 +535,27 @@ impl Partitioning {
         let pos = self.members[to].partition_point(|&p| p < proc);
         self.members[to].insert(pos, proc);
         self.home[proc.index()] = to;
-        for idx in self.flows_of_proc(proc) {
-            let direct = self.direct_path(idx);
-            self.set_path(idx, direct);
-        }
+        let changes: Vec<(usize, Vec<usize>)> = self.proc_flows[proc.index()]
+            .iter()
+            .map(|&idx| (idx, self.direct_path(idx)))
+            .collect();
+        self.apply_path_changes(changes);
+    }
+
+    /// Adds an empty switch (growing the incident caches with it) and
+    /// returns its index.
+    pub(crate) fn add_switch(&mut self) -> usize {
+        self.members.push(Vec::new());
+        self.incident_links.push(0);
+        self.incident_pipes.push(0);
+        self.members.len() - 1
     }
 
     /// Splits switch `si` (step 5): creates a new switch, moves half of
     /// `si`'s processors to it (chosen uniformly at random), and resets the
     /// affected flows to direct paths. Returns the new switch's index.
     pub(crate) fn split(&mut self, si: usize, rng: &mut Rng) -> usize {
-        let sj = self.members.len();
-        self.members.push(Vec::new());
+        let sj = self.add_switch();
         let mut movers = self.members[si].clone();
         rng.shuffle(&mut movers);
         movers.truncate(self.members[si].len() / 2);
@@ -470,6 +569,7 @@ impl Partitioning {
     /// estimates.
     #[cfg(test)]
     pub(crate) fn assert_consistent(&self) {
+        let universe = self.paths.len();
         let mut expect: BTreeMap<PipeKey, PipeState> = BTreeMap::new();
         for (idx, path) in self.paths.iter().enumerate() {
             let flow = self.pattern.flows()[idx];
@@ -481,11 +581,13 @@ impl Partitioning {
             );
             for w in path.windows(2) {
                 let key = PipeKey::new(w[0], w[1]);
-                let st = expect.entry(key).or_default();
+                let st = expect
+                    .entry(key)
+                    .or_insert_with(|| PipeState::new(universe));
                 if key.forward_from(w[0]) {
-                    st.forward.insert(flow);
+                    st.forward.insert(idx);
                 } else {
-                    st.backward.insert(flow);
+                    st.backward.insert(idx);
                 }
             }
         }
@@ -503,6 +605,17 @@ impl Partitioning {
             total += actual.links;
         }
         assert_eq!(self.total_links, total, "total_links out of sync");
+        for s in 0..self.members.len() {
+            let links: usize = self
+                .pipes
+                .iter()
+                .filter(|(k, _)| k.touches(s))
+                .map(|(_, st)| st.links)
+                .sum();
+            let count = self.pipes.keys().filter(|k| k.touches(s)).count();
+            assert_eq!(self.incident_links[s], links, "incident_links of {s}");
+            assert_eq!(self.incident_pipes[s], count, "incident_pipes of {s}");
+        }
     }
 }
 
@@ -688,7 +801,7 @@ mod tests {
         let proc = p.members(0)[0];
         p.move_proc(proc, 1);
         p.assert_consistent();
-        for idx in p.flows_of_proc(proc) {
+        for &idx in p.flows_of_proc(proc) {
             assert_eq!(p.paths[idx], p.direct_path(idx));
         }
     }
@@ -699,7 +812,7 @@ mod tests {
         let mut rng = Rng::seed_from_u64(2);
         p.split(0, &mut rng);
         // Force a third switch by moving one proc.
-        p.members.push(Vec::new());
+        p.add_switch();
         let proc = p.members(0)[0];
         p.move_proc(proc, 2);
         p.assert_consistent();

@@ -33,9 +33,15 @@ pub(crate) fn best_route(p: &mut Partitioning, si: usize, sj: usize) {
             } else {
                 key.lo()
             };
-            // Step 3: communications crossing this pipe (both directions).
+            // Step 3: communications crossing this pipe (both directions;
+            // bitset iteration yields ids in flow order, matching the old
+            // sorted-set order).
             let crossing: Vec<Flow> = match p.pipe_flows(key) {
-                Some((fwd, bwd)) => fwd.iter().chain(bwd.iter()).copied().collect(),
+                Some((fwd, bwd)) => fwd
+                    .iter()
+                    .chain(bwd.iter())
+                    .map(|id| p.interner().flow(id))
+                    .collect(),
                 None => continue,
             };
             for flow in crossing {
@@ -92,12 +98,12 @@ fn greedy_repair(p: &mut Partitioning, config: &crate::SynthesisConfig) {
         let mut improved = false;
         for v in p.violating(config) {
             // Flows crossing any pipe of v.
-            let crossing: Vec<Flow> = p
-                .pipes()
-                .map(|(k, _)| k)
-                .filter(|k| k.touches(v))
-                .filter_map(|k| p.pipe_flows(k).map(|(f, b)| (f.clone(), b.clone())))
-                .flat_map(|(f, b)| f.into_iter().chain(b))
+            let keys: Vec<PipeKey> = p.pipes().map(|(k, _)| k).filter(|k| k.touches(v)).collect();
+            let crossing: Vec<Flow> = keys
+                .iter()
+                .filter_map(|&k| p.pipe_flows(k))
+                .flat_map(|(f, b)| f.iter().chain(b.iter()))
+                .map(|id| p.interner().flow(id))
                 .collect();
             for flow in crossing {
                 if reroute_best(p, flow, config) {

@@ -47,6 +47,9 @@ pub enum EngineEvent {
         switches: usize,
         /// Whether the attempt met the degree constraints.
         constraints_met: bool,
+        /// Partitioning moves the attempt evaluated (its search effort;
+        /// divide by `elapsed_ms` for the attempt's moves/sec).
+        moves: usize,
         /// Wall time of the attempt, in milliseconds.
         elapsed_ms: u64,
     },
@@ -71,6 +74,9 @@ pub enum EngineEvent {
         links: Option<usize>,
         /// Switch count of the selected result, if one exists.
         switches: Option<usize>,
+        /// Partitioning moves evaluated across every completed attempt —
+        /// the job's total search effort, not the winner's alone.
+        moves: usize,
         /// Wall time from the job's first claim to its last unit.
         elapsed_ms: u64,
     },
@@ -149,6 +155,7 @@ impl EngineEvent {
                 links,
                 switches,
                 constraints_met,
+                moves,
                 elapsed_ms,
             } => JsonValue::object([
                 ("event", JsonValue::from(self.kind())),
@@ -158,6 +165,7 @@ impl EngineEvent {
                 ("links", JsonValue::from(*links)),
                 ("switches", JsonValue::from(*switches)),
                 ("constraints_met", JsonValue::from(*constraints_met)),
+                ("moves", JsonValue::from(*moves)),
                 ("elapsed_ms", JsonValue::from(*elapsed_ms)),
             ]),
             EngineEvent::DeadlineExceeded {
@@ -174,6 +182,7 @@ impl EngineEvent {
                 completed_attempts,
                 links,
                 switches,
+                moves,
                 elapsed_ms,
             } => JsonValue::object([
                 ("event", JsonValue::from(self.kind())),
@@ -182,6 +191,7 @@ impl EngineEvent {
                 ("completed_attempts", JsonValue::from(*completed_attempts)),
                 ("links", opt(*links)),
                 ("switches", opt(*switches)),
+                ("moves", JsonValue::from(*moves)),
                 ("elapsed_ms", JsonValue::from(*elapsed_ms)),
             ]),
             EngineEvent::AttemptPanicked {
@@ -312,6 +322,7 @@ mod tests {
             links: 28,
             switches: 9,
             constraints_met: true,
+            moves: 1026,
             elapsed_ms: 12,
         }
     }
@@ -322,6 +333,7 @@ mod tests {
         assert!(json.starts_with(r#"{"event":"restart_completed","job":"cg16""#));
         assert!(json.contains(r#""attempt":3"#));
         assert!(json.contains(r#""constraints_met":true"#));
+        assert!(json.contains(r#""moves":1026"#));
     }
 
     #[test]
@@ -332,6 +344,7 @@ mod tests {
             completed_attempts: 0,
             links: None,
             switches: None,
+            moves: 0,
             elapsed_ms: 0,
         };
         let json = e.to_json().to_string();

@@ -223,6 +223,19 @@ impl From<SynthError> for JobError {
     }
 }
 
+impl JobError {
+    /// A short, stable, kebab-case identifier for the error class, never
+    /// embedding input-derived values (same convention as
+    /// `ModelError::fingerprint`). Wrapped synthesis errors keep their own
+    /// fingerprint.
+    pub fn fingerprint(&self) -> &'static str {
+        match self {
+            JobError::Synth(e) => e.fingerprint(),
+            JobError::Panicked { .. } => "panicked",
+        }
+    }
+}
+
 /// Terminal status of a job.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobStatus {
@@ -282,6 +295,8 @@ struct JobState {
     deadline_hit: AtomicBool,
     remaining: AtomicUsize,
     completed: AtomicUsize,
+    /// Partitioning moves evaluated across every completed attempt.
+    moves: AtomicUsize,
     /// Best completed attempt: `(attempt index, result)`, minimal under
     /// `(portfolio_rank, attempt)`.
     best: Mutex<Option<(usize, SynthesisResult)>>,
@@ -298,6 +313,7 @@ impl JobState {
             deadline_hit: AtomicBool::new(false),
             remaining: AtomicUsize::new(attempts_total),
             completed: AtomicUsize::new(0),
+            moves: AtomicUsize::new(0),
             best: Mutex::new(None),
             error: Mutex::new(None),
             elapsed: Mutex::new(Duration::ZERO),
@@ -574,9 +590,13 @@ impl Engine {
                         links: result.report.n_links,
                         switches: result.report.n_switches,
                         constraints_met: result.report.constraints_met,
+                        moves: result.report.moves_tried,
                         elapsed_ms: t0.elapsed().as_millis() as u64,
                     });
                     state.completed.fetch_add(1, Ordering::AcqRel);
+                    state
+                        .moves
+                        .fetch_add(result.report.moves_tried, Ordering::AcqRel);
                     let mut best = state.best.lock().expect("engine lock never poisoned");
                     let better = best.as_ref().is_none_or(|(best_attempt, best_result)| {
                         (portfolio_rank(&result), attempt)
@@ -623,6 +643,7 @@ impl Engine {
             completed_attempts: state.completed.load(Ordering::Acquire),
             links,
             switches,
+            moves: state.moves.load(Ordering::Acquire),
             elapsed_ms: elapsed.as_millis() as u64,
         });
     }
@@ -744,6 +765,44 @@ mod tests {
             .collect();
         attempts.sort_unstable();
         assert_eq!(attempts, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    /// Regression pin for the search-effort telemetry: every restart and
+    /// job-finished event must carry a `moves` counter, both in the typed
+    /// event and in its JSON rendering, and the job total must be the sum
+    /// over its restarts (all attempts' effort, not the winner's alone).
+    #[test]
+    fn moves_telemetry_is_pinned_in_event_json() {
+        let sink = Arc::new(CollectSink::new());
+        let outcome = Engine::new()
+            .with_workers(2)
+            .with_sink(sink.clone())
+            .synthesize(&pattern(8), &config(), None);
+        assert_eq!(outcome.status, JobStatus::Completed);
+        let events = sink.events();
+        let mut restart_sum = 0usize;
+        let mut finished_moves = None;
+        for e in &events {
+            match e {
+                EngineEvent::RestartCompleted { moves, .. } => {
+                    assert!(*moves > 0, "a restart that searched reports its moves");
+                    restart_sum += moves;
+                    let json = e.to_json().to_string();
+                    assert!(json.contains("\"moves\":"), "{json}");
+                }
+                EngineEvent::JobFinished { moves, .. } => {
+                    finished_moves = Some(*moves);
+                    let json = e.to_json().to_string();
+                    assert!(json.contains("\"moves\":"), "{json}");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(
+            finished_moves.expect("job_finished event is emitted"),
+            restart_sum,
+            "job moves must aggregate every restart's effort"
+        );
     }
 
     #[test]

@@ -19,9 +19,7 @@
 
 use std::collections::BTreeMap;
 
-use nocsyn_model::{
-    format_schedule, format_trace, parse_schedule_with, parse_trace_with, ParseLimits,
-};
+use nocsyn_model::{format_schedule, format_trace, ParseOptions};
 
 /// What one fuzz case did, as reported by the target itself.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -142,8 +140,8 @@ pub fn parse_schedule_target() -> FuzzTarget {
     FuzzTarget::new("parse_schedule", |input| {
         let ticks = input.len() as u64;
         let text = String::from_utf8_lossy(input);
-        let limits = ParseLimits::default();
-        match parse_schedule_with(&text, &limits) {
+        let opts = ParseOptions::new();
+        match opts.parse_schedule(&text) {
             Ok(schedule) => {
                 let phases = schedule.len() as u64;
                 let flows: u64 = schedule.iter().map(|p| p.len() as u64).sum();
@@ -151,7 +149,8 @@ pub fn parse_schedule_target() -> FuzzTarget {
                 // an identical rendering. A mismatch is a parser bug and
                 // panics, which the runner records as a crash.
                 let rendered = format_schedule(&schedule);
-                let reparsed = parse_schedule_with(&rendered, &limits)
+                let reparsed = opts
+                    .parse_schedule(&rendered)
                     .expect("rendered schedule must re-parse");
                 assert_eq!(
                     rendered,
@@ -171,12 +170,13 @@ pub fn parse_trace_target() -> FuzzTarget {
     FuzzTarget::new("parse_trace", |input| {
         let ticks = input.len() as u64;
         let text = String::from_utf8_lossy(input);
-        let limits = ParseLimits::default();
-        match parse_trace_with(&text, &limits) {
+        let opts = ParseOptions::new();
+        match opts.parse_trace(&text) {
             Ok(trace) => {
                 let rendered = format_trace(&trace);
-                let reparsed =
-                    parse_trace_with(&rendered, &limits).expect("rendered trace must re-parse");
+                let reparsed = opts
+                    .parse_trace(&rendered)
+                    .expect("rendered trace must re-parse");
                 assert_eq!(
                     rendered,
                     format_trace(&reparsed),

@@ -11,7 +11,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use crate::{Flow, Trace};
+use crate::{Flow, FlowInterner, FlowSet, Trace};
 
 /// A set of flows that are pairwise live at some common instant — one
 /// partial (or full) permutation required by the application.
@@ -64,6 +64,21 @@ impl Clique {
     /// links that pipe needs.
     pub fn count_matching<F: FnMut(Flow) -> bool>(&self, mut pred: F) -> usize {
         self.flows.iter().filter(|&&f| pred(f)).count()
+    }
+
+    /// Compiles this clique to a bitmask over `interner`'s universe.
+    ///
+    /// Flows not interned are silently dropped: a flow outside the
+    /// universe can never appear in a crossing set drawn from that
+    /// universe, so its absence cannot change any overlap count.
+    pub fn mask(&self, interner: &FlowInterner) -> FlowSet {
+        let mut mask = interner.empty_set();
+        for &f in &self.flows {
+            if let Some(id) = interner.id(f) {
+                mask.insert(id);
+            }
+        }
+        mask
     }
 }
 
@@ -227,6 +242,17 @@ impl CliqueSet {
             .max()
             .unwrap_or(0)
     }
+
+    /// Compiles every clique to a bitmask over `interner`'s universe, in
+    /// clique order (see [`Clique::mask`] for the treatment of flows
+    /// outside the universe).
+    ///
+    /// Pre-compiling the masks turns [`CliqueSet::max_overlap_with`] into
+    /// word-wise AND + popcount against a crossing [`FlowSet`] — the
+    /// hot-path form of `Fast_Color` used by the synthesis inner loop.
+    pub fn compile_masks(&self, interner: &FlowInterner) -> Vec<FlowSet> {
+        self.cliques.iter().map(|c| c.mask(interner)).collect()
+    }
 }
 
 impl FromIterator<Clique> for CliqueSet {
@@ -307,6 +333,37 @@ mod tests {
             Clique::from([(2, 3), (4, 5)]),
         ]);
         assert_eq!(k.all_flows().len(), 3);
+    }
+
+    #[test]
+    fn compiled_masks_agree_with_count_matching() {
+        let k = CliqueSet::from_cliques([
+            Clique::from([(0, 1), (2, 3)]),
+            Clique::from([(0, 1), (4, 5), (6, 7)]),
+        ]);
+        let interner = FlowInterner::from_flows(k.all_flows());
+        let masks = k.compile_masks(&interner);
+        assert_eq!(masks.len(), k.len());
+        // The crossing set {(0,1), (4,5)} overlaps clique 0 once, clique 1
+        // twice — both via popcount and via the predicate form.
+        let crossing = interner.set_of([Flow::from_indices(0, 1), Flow::from_indices(4, 5)]);
+        let by_mask = masks
+            .iter()
+            .map(|m| m.intersection_len(&crossing))
+            .max()
+            .unwrap();
+        let by_pred = k.max_overlap_with(|f| crossing.contains(interner.id(f).unwrap()));
+        assert_eq!(by_mask, 2);
+        assert_eq!(by_mask, by_pred);
+    }
+
+    #[test]
+    fn mask_drops_flows_outside_the_universe() {
+        let clique = Clique::from([(0, 1), (8, 9)]);
+        let interner = FlowInterner::from_flows([Flow::from_indices(0, 1)]);
+        let mask = clique.mask(&interner);
+        assert_eq!(mask.len(), 1);
+        assert!(mask.contains(0));
     }
 
     #[test]

@@ -67,6 +67,22 @@ impl fmt::Display for ModelError {
 
 impl Error for ModelError {}
 
+impl ModelError {
+    /// A short, stable, kebab-case identifier for the error class, never
+    /// embedding input-derived values — the id telemetry and triage
+    /// deduplicate by. Every public error type in the workspace exposes
+    /// the same method.
+    pub fn fingerprint(&self) -> &'static str {
+        match self {
+            ModelError::InvertedInterval { .. } => "inverted-interval",
+            ModelError::SelfLoop { .. } => "self-loop",
+            ModelError::ProcOutOfRange { .. } => "proc-out-of-range",
+            ModelError::DuplicateSourceInPhase { .. } => "duplicate-source",
+            ModelError::DuplicateDestinationInPhase { .. } => "duplicate-destination",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,503 @@
+//! Dense bitset kernel over interned flows.
+//!
+//! The synthesis inner loop spends nearly all of its time asking one
+//! question: *how many members of a clique cross this pipe?* Answering it
+//! over `BTreeSet<Flow>` costs a tree probe per clique member. This module
+//! provides the flat representation that turns the question into machine
+//! words: a [`FlowInterner`] assigns every distinct flow of a pattern a
+//! contiguous id (its rank in the sorted flow list), and a [`FlowSet`] is
+//! a dense `Vec<u64>` bitset over those ids, so clique-overlap becomes
+//! word-wise AND + popcount.
+//!
+//! Iteration over a `FlowSet` yields ids in ascending order; because ids
+//! are sorted-flow ranks, that is exactly the lexicographic flow order a
+//! `BTreeSet<Flow>` iterates in. Every algorithm that swaps one for the
+//! other therefore visits elements in the identical order — the keystone
+//! of the bit-identical-results guarantee (DESIGN.md §11).
+
+use std::fmt;
+
+use crate::Flow;
+
+/// Word size of the backing storage.
+const BITS: usize = u64::BITS as usize;
+
+/// Interns the distinct flows of a pattern to contiguous ids `0..len`.
+///
+/// Ids are assigned by lexicographic flow order, so `id` / `flow` are
+/// order-preserving bijections between ids and member flows.
+///
+/// ```
+/// use nocsyn_model::{Flow, FlowInterner};
+///
+/// let interner = FlowInterner::from_flows([
+///     Flow::from_indices(2, 3),
+///     Flow::from_indices(0, 1),
+///     Flow::from_indices(2, 3), // duplicates collapse
+/// ]);
+/// assert_eq!(interner.len(), 2);
+/// assert_eq!(interner.id(Flow::from_indices(0, 1)), Some(0));
+/// assert_eq!(interner.flow(1), Flow::from_indices(2, 3));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlowInterner {
+    /// Sorted, deduplicated member flows; a flow's index is its id.
+    flows: Vec<Flow>,
+}
+
+impl FlowInterner {
+    /// Interns the given flows (sorted and deduplicated internally).
+    pub fn from_flows<I: IntoIterator<Item = Flow>>(flows: I) -> Self {
+        let mut flows: Vec<Flow> = flows.into_iter().collect();
+        flows.sort_unstable();
+        flows.dedup();
+        FlowInterner { flows }
+    }
+
+    /// Wraps an already strictly sorted flow list without re-sorting.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `flows` is not strictly ascending.
+    pub fn from_sorted_flows(flows: Vec<Flow>) -> Self {
+        debug_assert!(
+            flows.windows(2).all(|w| w[0] < w[1]),
+            "flows must be strictly sorted"
+        );
+        FlowInterner { flows }
+    }
+
+    /// Number of interned flows — the universe size of compatible
+    /// [`FlowSet`]s.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether no flow is interned.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// The id of `flow`, if it is a member.
+    pub fn id(&self, flow: Flow) -> Option<usize> {
+        self.flows.binary_search(&flow).ok()
+    }
+
+    /// The flow with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= len()`.
+    pub fn flow(&self, id: usize) -> Flow {
+        self.flows[id]
+    }
+
+    /// The member flows in id (= lexicographic) order.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// An empty [`FlowSet`] sized to this interner's universe.
+    pub fn empty_set(&self) -> FlowSet {
+        FlowSet::new(self.flows.len())
+    }
+
+    /// Builds the [`FlowSet`] of the given member flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow is not interned — sets only make sense over the
+    /// universe they were interned against.
+    pub fn set_of<I: IntoIterator<Item = Flow>>(&self, flows: I) -> FlowSet {
+        let mut set = self.empty_set();
+        for f in flows {
+            let id = self.id(f).expect("flow not interned in this universe");
+            set.insert(id);
+        }
+        set
+    }
+
+    /// Iterates the flows named by `set`'s ids, in lexicographic order.
+    pub fn flows_of<'a>(&'a self, set: &'a FlowSet) -> impl Iterator<Item = Flow> + 'a {
+        set.iter().map(|id| self.flows[id])
+    }
+}
+
+/// A dense bitset over interned flow ids: `Vec<u64>` words, one bit per
+/// id of a fixed universe.
+///
+/// All binary operations require both operands to share a universe size
+/// (debug-asserted). Iteration yields set ids in ascending order.
+///
+/// ```
+/// use nocsyn_model::FlowSet;
+///
+/// let mut a = FlowSet::new(130);
+/// a.insert(0);
+/// a.insert(65);
+/// a.insert(129);
+/// let mut b = FlowSet::new(130);
+/// b.insert(65);
+/// assert_eq!(a.len(), 3);
+/// assert_eq!(a.intersection_len(&b), 1);
+/// a.xor_with(&b);
+/// assert_eq!(a.iter().collect::<Vec<_>>(), [0, 129]);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowSet {
+    words: Vec<u64>,
+    universe: usize,
+}
+
+impl FlowSet {
+    /// An empty set over ids `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        FlowSet {
+            words: vec![0; universe.div_ceil(BITS)],
+            universe,
+        }
+    }
+
+    /// Builds a set from ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of the universe.
+    pub fn from_ids<I: IntoIterator<Item = usize>>(universe: usize, ids: I) -> Self {
+        let mut set = FlowSet::new(universe);
+        for id in ids {
+            set.insert(id);
+        }
+        set
+    }
+
+    /// The universe size fixed at construction.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of set ids (population count).
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no id is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Clears every id.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Whether `id` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of the universe.
+    pub fn contains(&self, id: usize) -> bool {
+        assert!(
+            id < self.universe,
+            "id {id} outside universe {}",
+            self.universe
+        );
+        self.words[id / BITS] & (1 << (id % BITS)) != 0
+    }
+
+    /// Sets `id`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of the universe.
+    pub fn insert(&mut self, id: usize) -> bool {
+        assert!(
+            id < self.universe,
+            "id {id} outside universe {}",
+            self.universe
+        );
+        let word = &mut self.words[id / BITS];
+        let mask = 1 << (id % BITS);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Clears `id`; returns whether it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of the universe.
+    pub fn remove(&mut self, id: usize) -> bool {
+        assert!(
+            id < self.universe,
+            "id {id} outside universe {}",
+            self.universe
+        );
+        let word = &mut self.words[id / BITS];
+        let mask = 1 << (id % BITS);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
+    /// Flips `id`; returns whether it is set afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of the universe.
+    pub fn toggle(&mut self, id: usize) -> bool {
+        assert!(
+            id < self.universe,
+            "id {id} outside universe {}",
+            self.universe
+        );
+        let word = &mut self.words[id / BITS];
+        let mask = 1 << (id % BITS);
+        *word ^= mask;
+        *word & mask != 0
+    }
+
+    /// `self |= other`.
+    pub fn union_with(&mut self, other: &FlowSet) {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// `self &= other`.
+    pub fn intersect_with(&mut self, other: &FlowSet) {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// `self ^= other` — the incremental-move primitive: XOR-ing a delta
+    /// mask removes the ids present in both and adds the ids only in
+    /// `other`, in one word-wise pass.
+    pub fn xor_with(&mut self, other: &FlowSet) {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w ^= o;
+        }
+    }
+
+    /// `self &= !other`.
+    pub fn difference_with(&mut self, other: &FlowSet) {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+    }
+
+    /// `|self ∩ other|` without materializing the intersection — the
+    /// `Fast_Color` kernel (AND + popcount per word).
+    pub fn intersection_len(&self, other: &FlowSet) -> usize {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(w, o)| (w & o).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates set ids in ascending order.
+    pub fn iter(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for FlowSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl Extend<usize> for FlowSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, ids: I) {
+        for id in ids {
+            self.insert(id);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a FlowSet {
+    type Item = usize;
+    type IntoIter = Ones<'a>;
+
+    fn into_iter(self) -> Ones<'a> {
+        self.iter()
+    }
+}
+
+/// Ascending iterator over the set ids of a [`FlowSet`].
+#[derive(Debug, Clone)]
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            self.current = *self.words.get(self.word_idx)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn interner_assigns_sorted_ranks() {
+        let interner = FlowInterner::from_flows([
+            Flow::from_indices(3, 1),
+            Flow::from_indices(0, 2),
+            Flow::from_indices(0, 1),
+        ]);
+        assert_eq!(interner.len(), 3);
+        let in_order: Vec<Flow> = (0..3).map(|i| interner.flow(i)).collect();
+        let mut sorted = in_order.clone();
+        sorted.sort();
+        assert_eq!(in_order, sorted);
+        for (i, &f) in interner.flows().iter().enumerate() {
+            assert_eq!(interner.id(f), Some(i));
+        }
+        assert_eq!(interner.id(Flow::from_indices(7, 8)), None);
+    }
+
+    #[test]
+    fn set_roundtrips_through_interner() {
+        let flows = [
+            Flow::from_indices(0, 1),
+            Flow::from_indices(2, 3),
+            Flow::from_indices(4, 5),
+        ];
+        let interner = FlowInterner::from_flows(flows);
+        let set = interner.set_of([flows[2], flows[0]]);
+        let back: Vec<Flow> = interner.flows_of(&set).collect();
+        assert_eq!(back, [flows[0], flows[2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not interned")]
+    fn foreign_flow_is_rejected() {
+        let interner = FlowInterner::from_flows([Flow::from_indices(0, 1)]);
+        let _ = interner.set_of([Flow::from_indices(5, 6)]);
+    }
+
+    #[test]
+    fn insert_remove_contains_across_word_boundaries() {
+        let mut s = FlowSet::new(200);
+        for id in [0, 63, 64, 127, 128, 199] {
+            assert!(!s.contains(id));
+            assert!(s.insert(id));
+            assert!(!s.insert(id), "double insert of {id}");
+            assert!(s.contains(id));
+        }
+        assert_eq!(s.len(), 6);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.iter().collect::<Vec<_>>(), [0, 63, 127, 128, 199]);
+    }
+
+    #[test]
+    fn algebra_matches_btreeset_reference() {
+        // Deterministic pseudo-random id sets, checked against BTreeSet.
+        let mut x = 9_876_543_210u64;
+        let mut next = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as usize % 150
+        };
+        for _ in 0..20 {
+            let a_ids: BTreeSet<usize> = (0..40).map(|_| next()).collect();
+            let b_ids: BTreeSet<usize> = (0..40).map(|_| next()).collect();
+            let a = FlowSet::from_ids(150, a_ids.iter().copied());
+            let b = FlowSet::from_ids(150, b_ids.iter().copied());
+
+            let mut u = a.clone();
+            u.union_with(&b);
+            let expect: Vec<usize> = a_ids.union(&b_ids).copied().collect();
+            assert_eq!(u.iter().collect::<Vec<_>>(), expect);
+
+            let mut i = a.clone();
+            i.intersect_with(&b);
+            let expect: Vec<usize> = a_ids.intersection(&b_ids).copied().collect();
+            assert_eq!(i.iter().collect::<Vec<_>>(), expect);
+            assert_eq!(a.intersection_len(&b), expect.len());
+
+            let mut d = a.clone();
+            d.difference_with(&b);
+            let expect: Vec<usize> = a_ids.difference(&b_ids).copied().collect();
+            assert_eq!(d.iter().collect::<Vec<_>>(), expect);
+
+            let mut s = a.clone();
+            s.xor_with(&b);
+            let expect: Vec<usize> = a_ids.symmetric_difference(&b_ids).copied().collect();
+            assert_eq!(s.iter().collect::<Vec<_>>(), expect);
+        }
+    }
+
+    #[test]
+    fn xor_applies_and_undoes_a_delta() {
+        let mut base = FlowSet::from_ids(100, [1, 2, 3, 70]);
+        let delta = FlowSet::from_ids(100, [2, 4, 70, 99]);
+        let original = base.clone();
+        base.xor_with(&delta);
+        assert_eq!(base.iter().collect::<Vec<_>>(), [1, 3, 4, 99]);
+        base.xor_with(&delta); // self-inverse
+        assert_eq!(base, original);
+    }
+
+    #[test]
+    fn empty_and_zero_universe() {
+        let s = FlowSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        let mut t = FlowSet::new(1);
+        assert!(t.is_empty());
+        t.insert(0);
+        assert!(!t.is_empty());
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_insert_panics() {
+        FlowSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn toggle_flips() {
+        let mut s = FlowSet::new(70);
+        assert!(s.toggle(69));
+        assert!(s.contains(69));
+        assert!(!s.toggle(69));
+        assert!(!s.contains(69));
+    }
+
+    #[test]
+    fn debug_renders_as_set() {
+        let s = FlowSet::from_ids(10, [1, 4]);
+        assert_eq!(format!("{s:?}"), "{1, 4}");
+    }
+}

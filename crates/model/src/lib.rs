@@ -56,6 +56,7 @@
 mod clique;
 mod contention;
 mod error;
+mod flowset;
 mod ids;
 pub mod json;
 mod message;
@@ -69,14 +70,17 @@ mod trace;
 pub use clique::{Clique, CliqueSet};
 pub use contention::{ContentionSet, FlowPair};
 pub use error::ModelError;
+pub use flowset::{FlowInterner, FlowSet, Ones};
 pub use ids::{Flow, MessageId, ProcId};
 pub use message::Message;
 pub use overlap::{overlaps, OverlapRelation};
 pub use phase::{Phase, PhaseSchedule};
 pub use skew::SkewModel;
 pub use text::{
-    format_schedule, format_trace, parse_schedule, parse_schedule_with, parse_trace,
-    parse_trace_with, ParseErrorKind, ParseLimits, ParseScheduleError,
+    format_schedule, format_trace, parse_schedule, parse_trace, ParseErrorKind, ParseLimits,
+    ParseOptions, ParseScheduleError,
 };
+#[allow(deprecated)]
+pub use text::{parse_schedule_with, parse_trace_with};
 pub use time::{Time, TimeInterval};
 pub use trace::Trace;

@@ -35,8 +35,8 @@
 //! typed [`ParseScheduleError`] carrying the 1-based offending line.
 //!
 //! Resource consumption is bounded by [`ParseLimits`] (serving-grade
-//! defaults; override with [`parse_schedule_with`] /
-//! [`parse_trace_with`]): input size, line length, process count, phase
+//! defaults; override through the [`ParseOptions`] builder): input
+//! size, line length, process count, phase
 //! count (after `repeat` expansion), and message/flow count are all
 //! capped *before* the corresponding allocation happens, so a hostile
 //! `procs 99999999999` or a `repeat`-bomb is rejected with
@@ -58,9 +58,9 @@ use crate::{Flow, ModelError, Phase, PhaseSchedule};
 /// the guarded allocation or expansion is performed.
 ///
 /// ```
-/// use nocsyn_model::{parse_schedule_with, ParseErrorKind, ParseLimits};
-/// let tight = ParseLimits::default().with_max_procs(8);
-/// let err = parse_schedule_with("procs 9\n", &tight).unwrap_err();
+/// use nocsyn_model::{ParseErrorKind, ParseLimits, ParseOptions};
+/// let tight = ParseOptions::new().with_limits(ParseLimits::default().with_max_procs(8));
+/// let err = tight.parse_schedule("procs 9\n").unwrap_err();
 /// assert!(matches!(err.kind, ParseErrorKind::LimitExceeded { .. }));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,6 +124,71 @@ impl ParseLimits {
     pub fn with_max_input_bytes(mut self, n: usize) -> Self {
         self.max_input_bytes = n;
         self
+    }
+}
+
+/// Configured entry point for parsing untrusted schedule and trace
+/// text — the single builder that replaces the old
+/// `parse_*` / `parse_*_with` function pairs.
+///
+/// The zero-configuration calls stay as the free functions
+/// [`parse_schedule`] and [`parse_trace`]; anything beyond the default
+/// [`ParseLimits`] goes through here:
+///
+/// ```
+/// use nocsyn_model::{ParseLimits, ParseOptions};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let opts = ParseOptions::new().with_limits(ParseLimits::default().with_max_procs(64));
+/// let schedule = opts.parse_schedule("procs 4\nphase\n  0 -> 1\n")?;
+/// let trace = opts.parse_trace("procs 2\nmsg 0 -> 1 start=0 finish=9\n")?;
+/// assert_eq!(schedule.len(), 1);
+/// assert_eq!(trace.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParseOptions {
+    limits: ParseLimits,
+}
+
+impl ParseOptions {
+    /// Options with the default [`ParseLimits`].
+    pub fn new() -> Self {
+        ParseOptions::default()
+    }
+
+    /// Replaces the resource limits enforced while parsing.
+    #[must_use]
+    pub fn with_limits(mut self, limits: ParseLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The limits these options enforce.
+    pub fn limits(&self) -> &ParseLimits {
+        &self.limits
+    }
+
+    /// Parses a phase schedule (the format described at the
+    /// [module level](self)) under these options.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseScheduleError`] with the offending line on any syntactic,
+    /// semantic or resource-limit problem. Never panics.
+    pub fn parse_schedule(&self, input: &str) -> Result<PhaseSchedule, ParseScheduleError> {
+        parse_schedule_impl(input, &self.limits)
+    }
+
+    /// Parses a timed trace (the companion `msg` format, see
+    /// [`parse_trace`]) under these options.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseScheduleError`] with the offending line on any problem.
+    /// Never panics.
+    pub fn parse_trace(&self, input: &str) -> Result<crate::Trace, ParseScheduleError> {
+        parse_trace_impl(input, &self.limits)
     }
 }
 
@@ -194,6 +259,15 @@ impl fmt::Display for ParseScheduleError {
 }
 
 impl Error for ParseScheduleError {}
+
+impl ParseScheduleError {
+    /// The [`ParseErrorKind::fingerprint`] of this error's kind — the
+    /// stable, value-free class id shared by every public error type in
+    /// the workspace.
+    pub fn fingerprint(&self) -> &'static str {
+        self.kind.fingerprint()
+    }
+}
 
 impl ParseErrorKind {
     /// A short, stable identifier for the error class — the fingerprint
@@ -290,7 +364,7 @@ fn parse_procs_value(
 /// [`ParseScheduleError`] with the offending line on any syntactic,
 /// semantic or resource-limit problem. Never panics.
 pub fn parse_schedule(input: &str) -> Result<PhaseSchedule, ParseScheduleError> {
-    parse_schedule_with(input, &ParseLimits::default())
+    parse_schedule_impl(input, &ParseLimits::default())
 }
 
 /// [`parse_schedule`] with caller-supplied resource limits.
@@ -299,7 +373,18 @@ pub fn parse_schedule(input: &str) -> Result<PhaseSchedule, ParseScheduleError> 
 ///
 /// As [`parse_schedule`]; limit violations surface as
 /// [`ParseErrorKind::LimitExceeded`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ParseOptions::new().with_limits(..).parse_schedule(..)` instead"
+)]
 pub fn parse_schedule_with(
+    input: &str,
+    limits: &ParseLimits,
+) -> Result<PhaseSchedule, ParseScheduleError> {
+    parse_schedule_impl(input, limits)
+}
+
+fn parse_schedule_impl(
     input: &str,
     limits: &ParseLimits,
 ) -> Result<PhaseSchedule, ParseScheduleError> {
@@ -492,7 +577,7 @@ pub fn parse_schedule_with(
 /// [`ParseScheduleError`] with the offending line on any problem. Never
 /// panics.
 pub fn parse_trace(input: &str) -> Result<crate::Trace, ParseScheduleError> {
-    parse_trace_with(input, &ParseLimits::default())
+    parse_trace_impl(input, &ParseLimits::default())
 }
 
 /// [`parse_trace`] with caller-supplied resource limits.
@@ -501,10 +586,18 @@ pub fn parse_trace(input: &str) -> Result<crate::Trace, ParseScheduleError> {
 ///
 /// As [`parse_trace`]; limit violations surface as
 /// [`ParseErrorKind::LimitExceeded`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ParseOptions::new().with_limits(..).parse_trace(..)` instead"
+)]
 pub fn parse_trace_with(
     input: &str,
     limits: &ParseLimits,
 ) -> Result<crate::Trace, ParseScheduleError> {
+    parse_trace_impl(input, limits)
+}
+
+fn parse_trace_impl(input: &str, limits: &ParseLimits) -> Result<crate::Trace, ParseScheduleError> {
     use crate::Message;
 
     let input = strip_bom(input);
@@ -758,10 +851,13 @@ repeat 2
         ));
         // A small phase count but huge flow amplification trips the
         // message budget instead.
-        let limits = ParseLimits::default()
-            .with_max_phases(usize::MAX)
-            .with_max_messages(10);
-        let e = parse_schedule_with("procs 4\nphase\n 0 -> 1\n 2 -> 3\nrepeat 6\n", &limits)
+        let opts = ParseOptions::new().with_limits(
+            ParseLimits::default()
+                .with_max_phases(usize::MAX)
+                .with_max_messages(10),
+        );
+        let e = opts
+            .parse_schedule("procs 4\nphase\n 0 -> 1\n 2 -> 3\nrepeat 6\n")
             .unwrap_err();
         assert!(matches!(
             e.kind,
@@ -784,9 +880,9 @@ repeat 2
 
     #[test]
     fn per_line_and_whole_input_budgets() {
-        let limits = ParseLimits::default().with_max_line_len(16);
+        let opts = ParseOptions::new().with_limits(ParseLimits::default().with_max_line_len(16));
         let long = format!("procs 4 {}\n", "#".repeat(64));
-        let e = parse_schedule_with(&long, &limits).unwrap_err();
+        let e = opts.parse_schedule(&long).unwrap_err();
         assert_eq!(e.line, 1);
         assert!(matches!(
             e.kind,
@@ -796,8 +892,10 @@ repeat 2
             }
         ));
 
-        let limits = ParseLimits::default().with_max_input_bytes(8);
-        let e = parse_trace_with("procs 2\nmsg 0 -> 1 start=0 finish=1\n", &limits).unwrap_err();
+        let opts = ParseOptions::new().with_limits(ParseLimits::default().with_max_input_bytes(8));
+        let e = opts
+            .parse_trace("procs 2\nmsg 0 -> 1 start=0 finish=1\n")
+            .unwrap_err();
         assert!(matches!(
             e.kind,
             ParseErrorKind::LimitExceeded {
@@ -809,9 +907,9 @@ repeat 2
 
     #[test]
     fn message_budget_applies_per_msg_line() {
-        let limits = ParseLimits::default().with_max_messages(1);
+        let opts = ParseOptions::new().with_limits(ParseLimits::default().with_max_messages(1));
         let input = "procs 4\nmsg 0 -> 1 start=0 finish=1\nmsg 2 -> 3 start=0 finish=1\n";
-        let e = parse_trace_with(input, &limits).unwrap_err();
+        let e = opts.parse_trace(input).unwrap_err();
         assert_eq!(e.line, 3);
         assert!(matches!(
             e.kind,
@@ -888,6 +986,28 @@ repeat 2
         assert_eq!(e.kind.fingerprint(), "model-self-loop");
         let e = parse_schedule("wat\n").unwrap_err();
         assert_eq!(e.kind.fingerprint(), "malformed");
+    }
+
+    #[test]
+    fn deprecated_shims_still_delegate() {
+        // The old function pair must keep working until removal.
+        #[allow(deprecated)]
+        let s = parse_schedule_with(SAMPLE, &ParseLimits::default()).unwrap();
+        assert_eq!(s, parse_schedule(SAMPLE).unwrap());
+        #[allow(deprecated)]
+        let t = parse_trace_with(
+            "procs 2\nmsg 0 -> 1 start=0 finish=1\n",
+            &ParseLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn options_expose_their_limits() {
+        let opts = ParseOptions::new().with_limits(ParseLimits::default().with_max_procs(7));
+        assert_eq!(opts.limits().max_procs, 7);
+        assert_eq!(ParseOptions::default(), ParseOptions::new());
     }
 
     #[test]

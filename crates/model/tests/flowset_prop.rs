@@ -1,0 +1,160 @@
+//! Property tests for the FlowSet bitset kernel (DESIGN.md §11): the
+//! bitset algebra must agree with the reference `BTreeSet` semantics the
+//! synthesis search was originally written against, and the interner must
+//! be an order-preserving bijection — these two facts are what make the
+//! kernel swap bit-identical.
+
+use std::collections::BTreeSet;
+
+use nocsyn_check::{check, check_assert, check_assert_eq, usize_in, vec_of};
+use nocsyn_model::{Flow, FlowInterner, FlowSet};
+
+/// Generator material: a universe size and raw ids to be reduced mod the
+/// universe (so every id is in range whatever the size drawn).
+fn ids_in_universe(universe: usize, raw: &[usize]) -> Vec<usize> {
+    raw.iter().map(|&x| x % universe).collect()
+}
+
+fn model_of(set: &FlowSet) -> BTreeSet<usize> {
+    set.iter().collect()
+}
+
+/// Union, intersection, xor, difference and popcounts all agree with the
+/// `BTreeSet` reference, and iteration is ascending.
+#[test]
+fn flowset_algebra_matches_btreeset() {
+    let gen = (
+        usize_in(1..300),
+        vec_of(usize_in(0..300), 0..40),
+        vec_of(usize_in(0..300), 0..40),
+    );
+    check(
+        "flowset_algebra_matches_btreeset",
+        gen,
+        |(n, raw_a, raw_b)| {
+            let (a_ids, b_ids) = (ids_in_universe(*n, raw_a), ids_in_universe(*n, raw_b));
+            let a = FlowSet::from_ids(*n, a_ids.iter().copied());
+            let b = FlowSet::from_ids(*n, b_ids.iter().copied());
+            let ma: BTreeSet<usize> = a_ids.iter().copied().collect();
+            let mb: BTreeSet<usize> = b_ids.iter().copied().collect();
+
+            check_assert_eq!(a.len(), ma.len());
+            check_assert_eq!(a.is_empty(), ma.is_empty());
+            check_assert_eq!(a.intersection_len(&b), ma.intersection(&mb).count());
+
+            // Iteration order is ascending — the keystone determinism fact.
+            let order: Vec<usize> = a.iter().collect();
+            check_assert!(order.windows(2).all(|w| w[0] < w[1]));
+            check_assert_eq!(model_of(&a), ma.clone());
+
+            let mut u = a.clone();
+            u.union_with(&b);
+            check_assert_eq!(
+                model_of(&u),
+                ma.union(&mb).copied().collect::<BTreeSet<_>>()
+            );
+
+            let mut i = a.clone();
+            i.intersect_with(&b);
+            check_assert_eq!(
+                model_of(&i),
+                ma.intersection(&mb).copied().collect::<BTreeSet<_>>()
+            );
+
+            let mut x = a.clone();
+            x.xor_with(&b);
+            check_assert_eq!(
+                model_of(&x),
+                ma.symmetric_difference(&mb)
+                    .copied()
+                    .collect::<BTreeSet<_>>()
+            );
+
+            let mut d = a.clone();
+            d.difference_with(&b);
+            check_assert_eq!(
+                model_of(&d),
+                ma.difference(&mb).copied().collect::<BTreeSet<_>>()
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Mutation sequences (insert / remove / toggle / clear) track the
+/// reference model exactly, including the "did anything change" returns.
+#[test]
+fn flowset_mutation_matches_btreeset() {
+    let gen = (
+        usize_in(1..200),
+        vec_of((usize_in(0..4), usize_in(0..200)), 1..60),
+    );
+    check("flowset_mutation_matches_btreeset", gen, |(n, ops)| {
+        let mut set = FlowSet::new(*n);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for &(op, raw_id) in ops {
+            let id = raw_id % *n;
+            match op {
+                0 => check_assert_eq!(set.insert(id), model.insert(id)),
+                1 => check_assert_eq!(set.remove(id), model.remove(&id)),
+                2 => {
+                    let now_present = set.toggle(id);
+                    let model_present = if model.contains(&id) {
+                        model.remove(&id);
+                        false
+                    } else {
+                        model.insert(id);
+                        true
+                    };
+                    check_assert_eq!(now_present, model_present);
+                }
+                _ => {
+                    set.clear();
+                    model.clear();
+                }
+            }
+            check_assert_eq!(set.len(), model.len());
+            check_assert_eq!(set.contains(id), model.contains(&id));
+        }
+        check_assert_eq!(model_of(&set), model.clone());
+        Ok(())
+    });
+}
+
+/// The interner is an order-preserving bijection: ids are sorted-flow
+/// ranks, `id` / `flow` invert each other, and `set_of` / `flows_of`
+/// round-trip any member subset in lexicographic order.
+#[test]
+fn interner_round_trip() {
+    let gen = vec_of((usize_in(0..12), usize_in(0..12)), 1..50);
+    check("interner_round_trip", gen, |raw| {
+        let flows: Vec<Flow> = raw
+            .iter()
+            .filter(|(s, d)| s != d)
+            .map(|&(s, d)| Flow::from_indices(s, d))
+            .collect();
+        let interner = FlowInterner::from_flows(flows.iter().copied());
+
+        // Sorted + deduplicated member list.
+        let expected: BTreeSet<Flow> = flows.iter().copied().collect();
+        check_assert_eq!(
+            interner.flows().to_vec(),
+            expected.iter().copied().collect::<Vec<_>>()
+        );
+
+        // id and flow are inverse bijections.
+        for (i, &f) in interner.flows().iter().enumerate() {
+            check_assert_eq!(interner.id(f), Some(i));
+            check_assert_eq!(interner.flow(i), f);
+        }
+
+        // set_of / flows_of round-trip an arbitrary member subset: take
+        // every other member.
+        let subset: Vec<Flow> = interner.flows().iter().copied().step_by(2).collect();
+        let set = interner.set_of(subset.iter().copied());
+        check_assert_eq!(set.universe(), interner.len());
+        let back: Vec<Flow> = interner.flows_of(&set).collect();
+        check_assert_eq!(back, subset.clone());
+        Ok(())
+    });
+}

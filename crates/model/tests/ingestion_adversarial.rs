@@ -5,8 +5,8 @@
 
 use nocsyn_check::{check_n, string_of, CaseError};
 use nocsyn_model::{
-    format_schedule, format_trace, parse_schedule, parse_schedule_with, parse_trace,
-    parse_trace_with, ParseErrorKind, ParseLimits,
+    format_schedule, format_trace, parse_schedule, parse_trace, ParseErrorKind, ParseLimits,
+    ParseOptions,
 };
 
 // --- hand-written corpus -------------------------------------------------
@@ -109,32 +109,32 @@ fn interleaved_garbage_is_rejected_at_the_first_bad_line() {
 #[test]
 fn hostile_sizes_are_rejected_before_allocation() {
     // Tight limits so the test is fast; the point is *which* check fires.
-    let limits = ParseLimits::default()
-        .with_max_procs(64)
-        .with_max_phases(4)
-        .with_max_messages(4);
+    let opts = ParseOptions::new().with_limits(
+        ParseLimits::default()
+            .with_max_procs(64)
+            .with_max_phases(4)
+            .with_max_messages(4),
+    );
 
-    let e = parse_schedule_with("procs 65\n", &limits).unwrap_err();
+    let e = opts.parse_schedule("procs 65\n").unwrap_err();
     assert!(matches!(
         e.kind,
         ParseErrorKind::LimitExceeded { what: "procs", .. }
     ));
 
-    let e = parse_schedule_with(
-        "procs 4\nphase\n 0 -> 1\nphase\n 0 -> 1\nrepeat 3\n",
-        &limits,
-    )
-    .unwrap_err();
+    let e = opts
+        .parse_schedule("procs 4\nphase\n 0 -> 1\nphase\n 0 -> 1\nrepeat 3\n")
+        .unwrap_err();
     assert!(matches!(
         e.kind,
         ParseErrorKind::LimitExceeded { what: "phases", .. }
     ));
 
-    let e = parse_trace_with(
-        "procs 4\nmsg 0 -> 1 start=0 finish=1\nmsg 0 -> 1 start=0 finish=1\nmsg 0 -> 1 start=0 finish=1\nmsg 0 -> 1 start=0 finish=1\nmsg 0 -> 1 start=0 finish=1\n",
-        &limits,
-    )
-    .unwrap_err();
+    let e = opts
+        .parse_trace(
+            "procs 4\nmsg 0 -> 1 start=0 finish=1\nmsg 0 -> 1 start=0 finish=1\nmsg 0 -> 1 start=0 finish=1\nmsg 0 -> 1 start=0 finish=1\nmsg 0 -> 1 start=0 finish=1\n",
+        )
+        .unwrap_err();
     assert!(matches!(
         e.kind,
         ParseErrorKind::LimitExceeded {

@@ -60,6 +60,20 @@ impl fmt::Display for SimError {
 
 impl Error for SimError {}
 
+impl SimError {
+    /// A short, stable, kebab-case identifier for the error class, never
+    /// embedding input-derived values (same convention as
+    /// `ModelError::fingerprint`).
+    pub fn fingerprint(&self) -> &'static str {
+        match self {
+            SimError::UnroutedFlow { .. } => "unrouted-flow",
+            SimError::CycleCapExceeded { .. } => "cycle-cap-exceeded",
+            SimError::ProcCountMismatch { .. } => "proc-count-mismatch",
+            SimError::FailedLinkUsed { .. } => "failed-link-used",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -87,6 +87,25 @@ impl fmt::Display for TopoError {
 
 impl Error for TopoError {}
 
+impl TopoError {
+    /// A short, stable, kebab-case identifier for the error class, never
+    /// embedding input-derived values (same convention as
+    /// `ModelError::fingerprint`).
+    pub fn fingerprint(&self) -> &'static str {
+        match self {
+            TopoError::UnknownSwitch { .. } => "unknown-switch",
+            TopoError::UnknownLink { .. } => "unknown-link",
+            TopoError::UnknownProc { .. } => "unknown-proc",
+            TopoError::AlreadyAttached { .. } => "already-attached",
+            TopoError::NotAttached { .. } => "not-attached",
+            TopoError::Unreachable { .. } => "unreachable",
+            TopoError::BrokenRoute { .. } => "broken-route",
+            TopoError::SelfLink { .. } => "self-link",
+            TopoError::DegenerateShape { .. } => "degenerate-shape",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,6 +44,19 @@ impl fmt::Display for WorkloadError {
 
 impl Error for WorkloadError {}
 
+impl WorkloadError {
+    /// A short, stable, kebab-case identifier for the error class, never
+    /// embedding input-derived values (same convention as
+    /// `ModelError::fingerprint`).
+    pub fn fingerprint(&self) -> &'static str {
+        match self {
+            WorkloadError::NotPowerOfTwo { .. } => "not-power-of-two",
+            WorkloadError::NotPerfectSquare { .. } => "not-perfect-square",
+            WorkloadError::TooFewProcs { .. } => "too-few-procs",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

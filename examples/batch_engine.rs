@@ -7,9 +7,7 @@
 
 use std::sync::Arc;
 
-use nocsyn::engine::{CollectSink, Engine, EngineEvent, Job, JobStatus};
-use nocsyn::synth::{AppPattern, SynthesisConfig};
-use nocsyn::workloads::{Benchmark, WorkloadParams};
+use nocsyn::prelude::*;
 
 fn jobs() -> Result<Vec<Job>, Box<dyn std::error::Error>> {
     Benchmark::ALL

@@ -7,9 +7,8 @@
 use std::collections::BTreeSet;
 
 use nocsyn::coloring::fast_color;
-use nocsyn::floorplan::{mesh_baseline, place};
-use nocsyn::model::Flow;
-use nocsyn::synth::{synthesize, AppPattern, SynthesisConfig};
+use nocsyn::floorplan::mesh_baseline;
+use nocsyn::prelude::*;
 use nocsyn::workloads::figure1;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -12,10 +12,7 @@
 //!
 //! Run with `cargo run --example custom_soc`.
 
-use nocsyn::model::{Phase, PhaseSchedule};
-use nocsyn::sim::{AppDriver, RoutePolicy, SimConfig};
-use nocsyn::synth::{synthesize, AppPattern, SynthesisConfig};
-use nocsyn::topo::verify_contention_free;
+use nocsyn::prelude::*;
 
 fn pipeline_schedule() -> Result<PhaseSchedule, Box<dyn std::error::Error>> {
     let mut s = PhaseSchedule::new(12);

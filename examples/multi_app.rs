@@ -4,10 +4,9 @@
 //!
 //! Run with `cargo run --release --example multi_app`.
 
-use nocsyn::floorplan::{estimate_energy, place, PowerParams};
-use nocsyn::synth::{synthesize, AppPattern, SynthesisConfig};
-use nocsyn::topo::{to_dot, verify_contention_free};
-use nocsyn::workloads::{Benchmark, WorkloadParams};
+use nocsyn::floorplan::{estimate_energy, PowerParams};
+use nocsyn::prelude::*;
+use nocsyn::topo::to_dot;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cg = Benchmark::Cg.schedule(16, &WorkloadParams::paper_default(Benchmark::Cg))?;

@@ -3,9 +3,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use nocsyn::model::{Phase, PhaseSchedule};
-use nocsyn::synth::{synthesize, AppPattern, SynthesisConfig};
-use nocsyn::topo::verify_contention_free;
+use nocsyn::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe the application's communication as phases: each phase is

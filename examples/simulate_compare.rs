@@ -4,11 +4,8 @@
 //!
 //! Run with `cargo run --release --example simulate_compare`.
 
-use nocsyn::floorplan::place;
-use nocsyn::sim::{AppDriver, RoutePolicy, SimConfig};
-use nocsyn::synth::{synthesize, AppPattern, SynthesisConfig};
+use nocsyn::prelude::*;
 use nocsyn::topo::regular;
-use nocsyn::workloads::{Benchmark, WorkloadParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 16;

@@ -20,6 +20,7 @@ use nocsyn_engine::{par_map, Engine, EventSink, JobStatus, JsonLinesSink, NullSi
 use nocsyn_faults::{DegradationReport, FaultScenario};
 use nocsyn_floorplan::{mesh_baseline, place};
 use nocsyn_fuzz::{CaseReport, FuzzConfig, FuzzTarget, Registry};
+use nocsyn_model::json::JsonValue;
 use nocsyn_model::{parse_schedule, parse_trace, PhaseSchedule, Trace};
 use nocsyn_sim::{AppDriver, RoutePolicy, SimConfig};
 use nocsyn_synth::{explain, synthesize, AppPattern, SynthesisConfig};
@@ -40,9 +41,13 @@ COMMANDS:
     fuzz       run the deterministic ingestion fuzzer (takes no pattern file)
     help       print this message
 
+OPTIONS (every command):
+    --json             machine-readable output: deterministic counters only,
+                       no wall-clock fields (same seed => identical bytes)
+    --seed <n>         search / synthesis seed [default 0xC0FFEE]
+
 OPTIONS (synth):
     --max-degree <n>   switch port budget, processor links included [default 5]
-    --seed <n>         search seed [default 0xC0FFEE]
     --restarts <n>     independent search restarts [default 8]
     --jobs <n>         worker threads for the restart portfolio [default 1];
                        the result is bit-identical for any worker count
@@ -54,7 +59,6 @@ OPTIONS (synth):
 
 OPTIONS (simulate, verify, faults):
     --network <kind>   generated | mesh | torus | crossbar [default generated]
-    --seed <n>         synthesis seed when kind is generated
 
 OPTIONS (faults):
     --exhaustive         every single-link and single-switch fault scenario
@@ -62,16 +66,13 @@ OPTIONS (faults):
     --fault-links <k>    failed links per sampled scenario [default 1]
     --fault-switches <k> failed switches per sampled scenario [default 0]
     --scenario-seed <n>  sampling seed [default 0xFA07]
-    --json               one degradation report per scenario as JSON lines
     --jobs <n>           analyze scenarios in parallel; output is
                          byte-identical for any worker count
 
 OPTIONS (fuzz):
     --target <name>    all | parse_schedule | parse_trace | cli [default all]
     --iters <n>        cases per target [default 10000]
-    --seed <n>         base seed; same seed => byte-identical summary
     --corpus-dir <d>   extra corpus files to mutate (read sorted by name)
-    --json             print the run summary as one deterministic JSON object
     (set NOCSYN_FUZZ_SEED=<case-seed> to replay a single reported case)
 
 PATTERN FORMAT:
@@ -104,6 +105,23 @@ struct Options {
     corpus_dir: Option<String>,
 }
 
+/// Parses one numeric flag value, naming the flag in any error — the
+/// shared helper behind every `--flag <n>` option so messages stay
+/// uniform across commands.
+fn num_flag<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{name} expects an integer"))
+}
+
+/// Rejects zero for count-valued flags where "none" is meaningless.
+fn at_least_one<T: Default + PartialOrd>(name: &str, n: T) -> Result<T, String> {
+    if n > T::default() {
+        Ok(n)
+    } else {
+        Err(format!("{name} must be at least 1"))
+    }
+}
+
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         max_degree: 5,
@@ -133,38 +151,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 .ok_or_else(|| format!("{name} requires a value"))
         };
         match a.as_str() {
-            "--max-degree" => {
-                opts.max_degree = value("--max-degree")?
-                    .parse()
-                    .map_err(|_| "--max-degree expects an integer".to_string())?;
-            }
-            "--seed" => {
-                opts.seed = value("--seed")?
-                    .parse()
-                    .map_err(|_| "--seed expects an integer".to_string())?;
-            }
+            "--max-degree" => opts.max_degree = num_flag("--max-degree", &value("--max-degree")?)?,
+            "--seed" => opts.seed = num_flag("--seed", &value("--seed")?)?,
             "--restarts" => {
-                opts.restarts = value("--restarts")?
-                    .parse()
-                    .map_err(|_| "--restarts expects a positive integer".to_string())?;
-                if opts.restarts == 0 {
-                    return Err("--restarts must be at least 1".into());
-                }
+                opts.restarts =
+                    at_least_one("--restarts", num_flag("--restarts", &value("--restarts")?)?)?;
             }
             "--jobs" => {
-                opts.jobs = value("--jobs")?
-                    .parse()
-                    .map_err(|_| "--jobs expects a positive integer".to_string())?;
-                if opts.jobs == 0 {
-                    return Err("--jobs must be at least 1".into());
-                }
+                opts.jobs = at_least_one("--jobs", num_flag("--jobs", &value("--jobs")?)?)?;
             }
             "--deadline-ms" => {
-                opts.deadline_ms = Some(
-                    value("--deadline-ms")?
-                        .parse()
-                        .map_err(|_| "--deadline-ms expects an integer".to_string())?,
-                );
+                opts.deadline_ms = Some(num_flag("--deadline-ms", &value("--deadline-ms")?)?);
             }
             "--events" => opts.events = true,
             "--dot" => opts.dot = true,
@@ -175,38 +172,25 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--exhaustive" => opts.exhaustive = true,
             "--json" => opts.json = true,
             "--scenarios" => {
-                opts.scenarios = value("--scenarios")?
-                    .parse()
-                    .map_err(|_| "--scenarios expects a positive integer".to_string())?;
-                if opts.scenarios == 0 {
-                    return Err("--scenarios must be at least 1".into());
-                }
+                opts.scenarios = at_least_one(
+                    "--scenarios",
+                    num_flag("--scenarios", &value("--scenarios")?)?,
+                )?;
             }
             "--fault-links" => {
-                opts.fault_links = value("--fault-links")?
-                    .parse()
-                    .map_err(|_| "--fault-links expects an integer".to_string())?;
+                opts.fault_links = num_flag("--fault-links", &value("--fault-links")?)?;
             }
             "--fault-switches" => {
-                opts.fault_switches = value("--fault-switches")?
-                    .parse()
-                    .map_err(|_| "--fault-switches expects an integer".to_string())?;
+                opts.fault_switches = num_flag("--fault-switches", &value("--fault-switches")?)?;
             }
             "--scenario-seed" => {
-                opts.scenario_seed = value("--scenario-seed")?
-                    .parse()
-                    .map_err(|_| "--scenario-seed expects an integer".to_string())?;
+                opts.scenario_seed = num_flag("--scenario-seed", &value("--scenario-seed")?)?;
             }
             "--target" => {
                 opts.target = value("--target")?;
             }
             "--iters" => {
-                opts.iters = value("--iters")?
-                    .parse()
-                    .map_err(|_| "--iters expects a positive integer".to_string())?;
-                if opts.iters == 0 {
-                    return Err("--iters must be at least 1".into());
-                }
+                opts.iters = at_least_one("--iters", num_flag("--iters", &value("--iters")?)?)?;
             }
             "--corpus-dir" => {
                 opts.corpus_dir = Some(value("--corpus-dir")?);
@@ -244,8 +228,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
     let parsed = parse_input(path, &input)?;
 
     match (command.as_str(), parsed) {
-        ("info", Input::Schedule(s)) => cmd_info(&AppPattern::from_schedule(&s), s.len()),
-        ("info", Input::Trace(t)) => cmd_info(&AppPattern::from_trace(&t), t.len()),
+        ("info", Input::Schedule(s)) => cmd_info(&AppPattern::from_schedule(&s), s.len(), &opts),
+        ("info", Input::Trace(t)) => cmd_info(&AppPattern::from_trace(&t), t.len(), &opts),
         ("synth", Input::Schedule(s)) => cmd_synth(&AppPattern::from_schedule(&s), &opts),
         ("synth", Input::Trace(t)) => cmd_synth(&AppPattern::from_trace(&t), &opts),
         ("simulate", Input::Schedule(s)) => cmd_simulate(&s, &opts),
@@ -295,7 +279,23 @@ fn schedule_stand_in(trace: &Trace) -> PhaseSchedule {
     PhaseSchedule::new(trace.n_procs())
 }
 
-fn cmd_info(pattern: &AppPattern, n_events: usize) -> Result<String, String> {
+fn cmd_info(pattern: &AppPattern, n_events: usize, opts: &Options) -> Result<String, String> {
+    if opts.json {
+        let (periods, max_clique) = pattern.complexity();
+        let obj = JsonValue::object([
+            ("command", JsonValue::from("info")),
+            ("procs", JsonValue::from(pattern.n_procs())),
+            ("flows", JsonValue::from(pattern.flows().len())),
+            ("events", JsonValue::from(n_events)),
+            (
+                "contention_pairs",
+                JsonValue::from(pattern.contention().len()),
+            ),
+            ("periods", JsonValue::from(periods)),
+            ("max_clique", JsonValue::from(max_clique)),
+        ]);
+        return Ok(format!("{obj}\n"));
+    }
     let mut out = String::new();
     let _ = writeln!(out, "{pattern}");
     let _ = writeln!(
@@ -332,6 +332,36 @@ fn cmd_synth(pattern: &AppPattern, opts: &Options) -> Result<String, String> {
             outcome.attempts_total
         )
     })?;
+    if opts.json {
+        let check = verify_contention_free(pattern.contention(), &result.routes);
+        let status = if outcome.status == JobStatus::DeadlineExceeded {
+            "deadline-exceeded"
+        } else {
+            "ok"
+        };
+        let r = &result.report;
+        let obj = JsonValue::object([
+            ("command", JsonValue::from("synth")),
+            ("status", JsonValue::from(status)),
+            ("seed", JsonValue::from(opts.seed)),
+            ("switches", JsonValue::from(r.n_switches)),
+            ("links", JsonValue::from(r.n_links)),
+            ("max_degree", JsonValue::from(r.max_degree)),
+            ("constraints_met", JsonValue::from(r.constraints_met)),
+            (
+                "contention_free",
+                JsonValue::from(check.is_contention_free()),
+            ),
+            ("connectivity_links", JsonValue::from(r.connectivity_links)),
+            ("rounds", JsonValue::from(r.rounds)),
+            ("splits", JsonValue::from(r.splits)),
+            ("moves_tried", JsonValue::from(r.moves_tried)),
+            ("moves_accepted", JsonValue::from(r.moves_accepted)),
+            ("reroutes_tried", JsonValue::from(r.reroutes_tried)),
+            ("reroutes_accepted", JsonValue::from(r.reroutes_accepted)),
+        ]);
+        return Ok(format!("{obj}\n"));
+    }
     let mut out = String::new();
     if outcome.status == JobStatus::DeadlineExceeded {
         let _ = writeln!(
@@ -373,6 +403,12 @@ fn cmd_simulate(schedule: &PhaseSchedule, opts: &Options) -> Result<String, Stri
     let stats = AppDriver::new(&net, policy, config)
         .run(schedule)
         .map_err(|e| e.to_string())?;
+    if opts.json {
+        return Ok(format!(
+            "{}\n",
+            sim_stats_json("simulate", &net, &stats, opts)
+        ));
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -399,7 +435,48 @@ fn cmd_verify_pattern(
     // Deterministic table: take the first-alternative route per flow.
     let routes = policy_table(&policy, pattern)?;
     let report = verify_contention_free(pattern.contention(), &routes);
+    if opts.json {
+        let obj = JsonValue::object([
+            ("command", JsonValue::from("verify")),
+            ("network", JsonValue::from(opts.network.as_str())),
+            (
+                "contention_free",
+                JsonValue::from(report.is_contention_free()),
+            ),
+            ("witnesses", JsonValue::from(report.witnesses().len())),
+        ]);
+        return Ok(format!("{obj}\n"));
+    }
     Ok(format!("{report}\n"))
+}
+
+/// Renders simulation statistics as one deterministic JSON object —
+/// counters and cycle counts only, never wall-clock time.
+fn sim_stats_json(
+    command: &str,
+    net: &Network,
+    stats: &nocsyn_sim::ExecutionStats,
+    opts: &Options,
+) -> JsonValue {
+    JsonValue::object([
+        ("command", JsonValue::from(command)),
+        ("network", JsonValue::from(opts.network.as_str())),
+        ("switches", JsonValue::from(net.n_switches())),
+        ("links", JsonValue::from(net.n_network_links())),
+        ("exec_cycles", JsonValue::from(stats.exec_cycles)),
+        ("delivered", JsonValue::from(stats.delivered)),
+        ("max_comm_cycles", JsonValue::from(stats.max_comm_cycles)),
+        (
+            "packets_delivered",
+            JsonValue::from(stats.packets.delivered),
+        ),
+        ("max_latency", JsonValue::from(stats.packets.max_latency)),
+        (
+            "deadlock_kills",
+            JsonValue::from(stats.packets.deadlock_kills),
+        ),
+        ("retransmits", JsonValue::from(stats.packets.retransmits)),
+    ])
 }
 
 /// Fault-injection sweep: build (or synthesize) the network, inject each
@@ -567,6 +644,19 @@ fn cmd_replay(trace: &Trace, opts: &Options) -> Result<String, String> {
     let plan = place(&net, opts.seed);
     let config = SimConfig::paper().with_link_delays(plan.link_lengths(&net));
     let stats = nocsyn_sim::run_trace(&net, &policy, config, trace).map_err(|e| e.to_string())?;
+    if opts.json {
+        let obj = JsonValue::object([
+            ("command", JsonValue::from("replay")),
+            ("network", JsonValue::from(opts.network.as_str())),
+            ("switches", JsonValue::from(net.n_switches())),
+            ("links", JsonValue::from(net.n_network_links())),
+            ("delivered", JsonValue::from(stats.delivered)),
+            ("max_latency", JsonValue::from(stats.max_latency)),
+            ("deadlock_kills", JsonValue::from(stats.deadlock_kills)),
+            ("retransmits", JsonValue::from(stats.retransmits)),
+        ]);
+        return Ok(format!("{obj}\n"));
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -703,6 +793,55 @@ mod tests {
         let j1 = run(&[base.clone(), args(&["--jobs", "1"])].concat()).unwrap();
         let j4 = run(&[base, args(&["--jobs", "4"])].concat()).unwrap();
         assert_eq!(j1, j4);
+    }
+
+    #[test]
+    fn info_json_is_one_deterministic_object() {
+        let path = write_pattern("info-json", PATTERN);
+        let a = run(&args(&["info", &path, "--json"])).unwrap();
+        let b = run(&args(&["info", &path, "--json"])).unwrap();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"command\":\"info\""), "{a}");
+        assert!(a.contains("\"procs\":4"), "{a}");
+        assert!(a.contains("\"contention_pairs\":"), "{a}");
+        assert!(a.contains("\"max_clique\":"), "{a}");
+        assert_eq!(a.lines().count(), 1);
+    }
+
+    #[test]
+    fn synth_json_reports_counters_and_is_jobs_invariant() {
+        let path = write_pattern("synth-json", PATTERN);
+        let base = args(&["synth", &path, "--restarts", "4", "--seed", "11", "--json"]);
+        let j1 = run(&[base.clone(), args(&["--jobs", "1"])].concat()).unwrap();
+        let j4 = run(&[base, args(&["--jobs", "4"])].concat()).unwrap();
+        assert_eq!(j1, j4, "synth --json must be worker-count invariant");
+        assert!(j1.starts_with("{\"command\":\"synth\""), "{j1}");
+        assert!(j1.contains("\"status\":\"ok\""), "{j1}");
+        assert!(j1.contains("\"contention_free\":true"), "{j1}");
+        assert!(j1.contains("\"moves_tried\":"), "{j1}");
+        // No wall-clock fields ever — the object must be byte-stable.
+        assert!(!j1.contains("elapsed"), "{j1}");
+    }
+
+    #[test]
+    fn simulate_json_reports_cycle_counters() {
+        let path = write_pattern("sim-json", PATTERN);
+        let a = run(&args(&["simulate", &path, "--network", "mesh", "--json"])).unwrap();
+        let b = run(&args(&["simulate", &path, "--network", "mesh", "--json"])).unwrap();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"command\":\"simulate\""), "{a}");
+        assert!(a.contains("\"network\":\"mesh\""), "{a}");
+        assert!(a.contains("\"exec_cycles\":"), "{a}");
+        assert!(a.contains("\"deadlock_kills\":"), "{a}");
+    }
+
+    #[test]
+    fn verify_json_reports_theorem1_outcome() {
+        let path = write_pattern("verify-json", PATTERN);
+        let out = run(&args(&["verify", &path, "--json"])).unwrap();
+        assert!(out.starts_with("{\"command\":\"verify\""), "{out}");
+        assert!(out.contains("\"contention_free\":"), "{out}");
+        assert!(out.contains("\"witnesses\":"), "{out}");
     }
 
     #[test]

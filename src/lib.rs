@@ -8,6 +8,34 @@
 
 pub mod cli;
 
+pub mod prelude {
+    //! The curated single-import surface for typical programs:
+    //! `use nocsyn::prelude::*;` covers characterizing an application,
+    //! synthesizing a network for it, verifying contention-freedom,
+    //! simulating it, and batching jobs through the engine. Specialized
+    //! items (Graphviz rendering, regular topologies, energy models,
+    //! fuzzing) stay behind their module paths.
+    //!
+    //! Where two crates export the same name (`Engine` exists in both the
+    //! batch engine and the simulator core), the prelude carries the
+    //! batch [`Engine`]; reach the other as `nocsyn::sim::Engine`.
+    pub use nocsyn_engine::{
+        CollectSink, Engine, EngineEvent, EventSink, Job, JobOutcome, JobStatus, JsonLinesSink,
+    };
+    pub use nocsyn_floorplan::place;
+    pub use nocsyn_model::{
+        parse_schedule, parse_trace, Flow, FlowInterner, FlowSet, ParseLimits, ParseOptions, Phase,
+        PhaseSchedule, ProcId, Trace,
+    };
+    pub use nocsyn_sim::{AppDriver, RoutePolicy, SimConfig};
+    pub use nocsyn_synth::{
+        synthesize, synthesize_network, AppPattern, ColoringStrategy, SynthesisConfig,
+        SynthesisResult,
+    };
+    pub use nocsyn_topo::{verify_contention_free, Network};
+    pub use nocsyn_workloads::{Benchmark, WorkloadParams};
+}
+
 pub use nocsyn_coloring as coloring;
 pub use nocsyn_engine as engine;
 pub use nocsyn_faults as faults;
