@@ -19,9 +19,9 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
-echo "==> no-unwrap gate: clippy -D clippy::unwrap_used on faults + engine + model + fuzz + coloring + bench"
+echo "==> no-unwrap gate: clippy -D clippy::unwrap_used on faults + engine + model + fuzz + coloring + bench + synth + topo"
 cargo clippy --offline -p nocsyn-faults -p nocsyn-engine -p nocsyn-model -p nocsyn-fuzz \
-    -p nocsyn-coloring -p nocsyn-bench -- \
+    -p nocsyn-coloring -p nocsyn-bench -p nocsyn-synth -p nocsyn-topo -- \
     -D warnings -D clippy::unwrap_used
 
 echo "==> engine smoke gate: synth --jobs 1 vs --jobs 4 must be bit-identical"
@@ -50,5 +50,17 @@ cargo build --release --offline -p nocsyn-bench
 ./target/release/perf --iters 1 --seed 1 --json > "$j1" 2> /dev/null
 ./target/release/perf --iters 1 --seed 1 --json > "$j4" 2> /dev/null
 diff "$j1" "$j4"
+# The score-neutral reroute counter must stay in the pinned artifact:
+# it is what distinguishes "no improvement found" from "never tried".
+grep -q '"reroutes_neutral":' "$j1"
+
+echo "==> BENCH_6 gate: perf --iters 3 counters match the checked-in artifact"
+# Same contract as the smoke gate at the recorded iteration count: two
+# fresh runs must be byte-identical to each other AND to BENCH_6.json,
+# so the checked-in speedup record can never drift from the code.
+./target/release/perf --iters 3 --seed 1 --json > "$j1" 2> /dev/null
+./target/release/perf --iters 3 --seed 1 --json > "$j4" 2> /dev/null
+diff "$j1" "$j4"
+diff "$j1" BENCH_6.json
 
 echo "CI gate passed."

@@ -64,6 +64,7 @@ struct Outcome {
     moves_accepted: usize,
     reroutes_tried: usize,
     reroutes_accepted: usize,
+    reroutes_neutral: usize,
     elapsed: Duration,
 }
 
@@ -116,6 +117,7 @@ fn run_case(case: &Case, config: &SynthesisConfig, iters: usize) -> Outcome {
     let mut moves_accepted = 0;
     let mut reroutes_tried = 0;
     let mut reroutes_accepted = 0;
+    let mut reroutes_neutral = 0;
     let mut best = None;
     let started = Instant::now();
     for _ in 0..iters {
@@ -126,6 +128,7 @@ fn run_case(case: &Case, config: &SynthesisConfig, iters: usize) -> Outcome {
             moves_accepted += result.report.moves_accepted;
             reroutes_tried += result.report.reroutes_tried;
             reroutes_accepted += result.report.reroutes_accepted;
+            reroutes_neutral += result.report.reroutes_neutral;
             let rank = (portfolio_rank(&result), attempt);
             if best
                 .as_ref()
@@ -148,6 +151,7 @@ fn run_case(case: &Case, config: &SynthesisConfig, iters: usize) -> Outcome {
         moves_accepted,
         reroutes_tried,
         reroutes_accepted,
+        reroutes_neutral,
         elapsed,
     }
 }
@@ -182,6 +186,7 @@ fn main() {
                 ("moves_accepted", JsonValue::from(o.moves_accepted)),
                 ("reroutes_tried", JsonValue::from(o.reroutes_tried)),
                 ("reroutes_accepted", JsonValue::from(o.reroutes_accepted)),
+                ("reroutes_neutral", JsonValue::from(o.reroutes_neutral)),
             ])
         }));
         let doc = JsonValue::object([

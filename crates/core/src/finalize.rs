@@ -174,6 +174,7 @@ pub(crate) fn materialize(
         moves_accepted: p.stats.moves_accepted,
         reroutes_tried: p.stats.reroutes_tried,
         reroutes_accepted: p.stats.reroutes_accepted,
+        reroutes_neutral: p.stats.reroutes_neutral,
         cost_history: p.stats.cost_history.clone(),
     };
 

@@ -7,13 +7,26 @@
 //! communications crossing it, per direction. The concrete [`Network`]
 //! (with real parallel links) is only materialized at finalization.
 //!
+//! Pipes live in append-only *slots* addressed through a
+//! [`ResourceInterner`], and every flow carries a [`RouteSet`] footprint
+//! of the directed pipe resources its path crosses (resource id =
+//! `slot * 2 + direction`). A candidate reroute therefore never walks the
+//! pipe map: its old crossings come straight from the footprint, its new
+//! crossings from the candidate path, and the two lists cancel by parity —
+//! the delta-update invariant of DESIGN.md §12. [`Partitioning::probe_score`]
+//! evaluates a reroute from those toggles alone, with the full recompute
+//! demoted to a debug-assert oracle.
+//!
 //! [`Network`]: nocsyn_topo::Network
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 use nocsyn_coloring::{exact_chromatic, fast_color_directed_masks, ConflictGraph};
-use nocsyn_model::{Flow, FlowInterner, FlowSet, ProcId};
+use nocsyn_model::{
+    ContentionSet, Flow, FlowInterner, FlowSet, FxBuildHasher, ProcId, ResourceInterner, RouteSet,
+};
 use nocsyn_rng::Rng;
 
 use crate::anneal::Acceptor;
@@ -69,26 +82,53 @@ impl fmt::Display for PipeKey {
     }
 }
 
+/// The opaque resource key a pipe interns under (switch indices packed
+/// into one word; switch counts never approach 2^32).
+fn pipe_key_code(key: PipeKey) -> u64 {
+    ((key.lo as u64) << 32) | key.hi as u64
+}
+
 /// The communications crossing one pipe (as [`FlowSet`] bitmasks over the
-/// pattern's interned flow ids), with its current link estimate.
+/// pattern's interned flow ids), with its current per-direction link
+/// estimates. Slots persist after a pipe drains (empty sets, zero links)
+/// so footprint resource ids stay stable for the whole search.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct PipeState {
+    pub(crate) key: PipeKey,
     pub(crate) forward: FlowSet,
     pub(crate) backward: FlowSet,
+    /// Population counts of `forward` / `backward`, maintained on every
+    /// toggle so emptiness tests never scan the bitset words.
+    fwd_n: usize,
+    bwd_n: usize,
+    /// Per-direction edit generations (bumped on every toggle), versioning
+    /// the probe memo: a memoized flipped-direction estimate is valid only
+    /// while its direction's generation is unchanged.
+    fwd_gen: u64,
+    bwd_gen: u64,
+    pub(crate) fwd_links: usize,
+    pub(crate) bwd_links: usize,
     pub(crate) links: usize,
 }
 
 impl PipeState {
-    fn new(universe: usize) -> Self {
+    fn new(key: PipeKey, universe: usize) -> Self {
         PipeState {
+            key,
             forward: FlowSet::new(universe),
             backward: FlowSet::new(universe),
+            fwd_n: 0,
+            bwd_n: 0,
+            fwd_gen: 0,
+            bwd_gen: 0,
+            fwd_links: 0,
+            bwd_links: 0,
             links: 0,
         }
     }
 
     fn is_empty(&self) -> bool {
-        self.forward.is_empty() && self.backward.is_empty()
+        self.fwd_n == 0 && self.bwd_n == 0
     }
 }
 
@@ -102,8 +142,17 @@ pub(crate) struct SearchStats {
     pub(crate) moves_accepted: usize,
     pub(crate) reroutes_tried: usize,
     pub(crate) reroutes_accepted: usize,
+    /// Reroutes whose evaluated score exactly matched the incumbent:
+    /// tried, scored, and found neither better nor worse. Distinguishes
+    /// "no improvement existed" from "never evaluated" when
+    /// `reroutes_accepted` is zero.
+    pub(crate) reroutes_neutral: usize,
     pub(crate) cost_history: Vec<usize>,
 }
+
+/// Memoized committed score: the config knobs it was computed under, and
+/// the `(excess, area)` pair.
+type ScoreMemo = ((usize, Option<usize>), (usize, usize));
 
 /// The evolving partition of processors into switches, with per-flow switch
 /// paths and per-pipe link estimates.
@@ -130,22 +179,59 @@ pub struct Partitioning {
     /// Processor index → flow indices with that processor as an endpoint
     /// (ascending), precomputed so moves don't rescan the flow list.
     proc_flows: Vec<Vec<usize>>,
-    pipes: BTreeMap<PipeKey, PipeState>,
+    /// Pipe key (packed) → slot id, in first-seen order. Append-only.
+    pipe_ids: ResourceInterner,
+    /// Dense mirror of `pipe_ids`: `lo * pipe_stride + hi` → slot (or
+    /// `u32::MAX`), so the probe loop resolves a pipe with one indexed
+    /// load instead of a hash lookup. Rebuilt when a switch is added.
+    pipe_lookup: Vec<u32>,
+    pipe_stride: usize,
+    /// Slot id → pipe state. A drained pipe keeps its slot zeroed rather
+    /// than being removed, so resource ids in footprints never dangle.
+    pipe_slots: Vec<PipeState>,
+    /// The *live* (non-empty) pipes in sorted key order — the view every
+    /// deterministic iteration ([`Partitioning::pipes`]) walks.
+    live_pipes: BTreeMap<PipeKey, usize>,
+    /// Flow index → footprint of directed pipe resources its path crosses
+    /// (resource id = `slot * 2 + direction`), maintained by XOR-toggle in
+    /// lock-step with `paths`.
+    footprints: Vec<RouteSet>,
     /// Switch index → sum of link estimates of incident pipes, maintained
-    /// by [`Partitioning::recompute_pipe`] so [`Partitioning::degree`] is
-    /// O(1) instead of a scan over the pipe map.
+    /// by [`Partitioning::recompute_pipe_slot`] so [`Partitioning::degree`]
+    /// is O(1) instead of a scan over the pipe map.
     incident_links: Vec<usize>,
     /// Switch index → number of live incident pipes (for
     /// [`Partitioning::live_switches`] without a pipe-map scan).
     incident_pipes: Vec<usize>,
-    /// Reused buffer of pipes touched by the current path-change batch.
-    touched_scratch: Vec<PipeKey>,
-    /// Memoized exact chromatic numbers per crossing set. χ is a pure
-    /// function of the set (the contention relation is fixed per
-    /// pattern), so caching changes no computed value — it only spares
-    /// the branch-and-bound when the search revisits a set, which the
-    /// annealed reroute loop does constantly.
-    chi_cache: std::collections::HashMap<FlowSet, usize>,
+    /// Switch index → whether it would survive materialization, with the
+    /// live count maintained alongside so `score` never rescans.
+    switch_live: Vec<bool>,
+    live_switch_count: usize,
+    /// Reused buffer of pipe slots touched by the current path-change
+    /// batch.
+    touched_scratch: Vec<usize>,
+    /// Reused buffers for [`Partitioning::probe_score`]: parity-filtered
+    /// directed-resource toggles and per-switch delta accumulators.
+    probe_toggles: Vec<usize>,
+    probe_switches: Vec<(usize, isize, isize)>,
+    /// Reused bitset holding a probed direction's crossing set.
+    dir_scratch: FlowSet,
+    /// Generation-checked memo of flipped-direction estimates, keyed by
+    /// `(slot, direction, flow)` packed into one word. Entries are valid
+    /// while the direction's edit generation matches; stale entries are
+    /// overwritten on the next miss.
+    probe_cache: HashMap<u64, (u64, u32), FxBuildHasher>,
+    /// Memoized fast-coloring bounds per crossing set. The bound is a pure
+    /// function of the set (clique masks are fixed per pattern), so caching
+    /// changes no computed value — it only spares the mask sweep when the
+    /// annealed reroute loop revisits a set, which it does constantly.
+    fast_cache: HashMap<FlowSet, usize, FxBuildHasher>,
+    /// Memoized exact chromatic numbers per crossing set (same purity
+    /// argument as `fast_cache`, for the branch-and-bound).
+    chi_cache: HashMap<FlowSet, usize, FxBuildHasher>,
+    /// Committed score memo, invalidated by every mutation; `Cell` so the
+    /// historically-`&self` [`Partitioning::score`] can fill it.
+    score_memo: Cell<Option<ScoreMemo>>,
     total_links: usize,
     pub(crate) stats: SearchStats,
 }
@@ -162,6 +248,66 @@ fn proc_flow_table(pattern: &AppPattern) -> Vec<Vec<usize>> {
     table
 }
 
+/// Looks up (or creates) the slot of `key`. Free function over the
+/// storage fields so callers can hold disjoint borrows of the rest of the
+/// partitioning. The dense mirror answers repeat lookups; the interner is
+/// only consulted (and the mirror filled) the first time a pipe appears.
+fn intern_pipe_slot(
+    pipe_ids: &mut ResourceInterner,
+    pipe_slots: &mut Vec<PipeState>,
+    pipe_lookup: &mut [u32],
+    pipe_stride: usize,
+    universe: usize,
+    key: PipeKey,
+) -> usize {
+    let cell = &mut pipe_lookup[key.lo * pipe_stride + key.hi];
+    if *cell != u32::MAX {
+        return *cell as usize;
+    }
+    let slot = pipe_ids.intern(pipe_key_code(key));
+    if slot == pipe_slots.len() {
+        pipe_slots.push(PipeState::new(key, universe));
+    }
+    *cell = slot as u32;
+    slot
+}
+
+/// Link estimate of one pipe direction under `strategy`, memoized per
+/// crossing set. Both caches store exactly what the uncached computation
+/// returns, so hits change no computed value.
+fn estimate_dir(
+    strategy: ColoringStrategy,
+    clique_masks: &[FlowSet],
+    interner: &FlowInterner,
+    contention: &ContentionSet,
+    fast_cache: &mut HashMap<FlowSet, usize, FxBuildHasher>,
+    chi_cache: &mut HashMap<FlowSet, usize, FxBuildHasher>,
+    set: &FlowSet,
+) -> usize {
+    if set.is_empty() {
+        return 0;
+    }
+    match strategy {
+        ColoringStrategy::Fast => {
+            if let Some(&links) = fast_cache.get(set) {
+                return links;
+            }
+            let links = fast_color_directed_masks(clique_masks, set);
+            fast_cache.insert(set.clone(), links);
+            links
+        }
+        ColoringStrategy::Exact => {
+            if let Some(&chi) = chi_cache.get(set) {
+                return chi;
+            }
+            let g = ConflictGraph::from_flows(interner.flows_of(set).collect(), contention);
+            let chi = exact_chromatic(&g).n_colors();
+            chi_cache.insert(set.clone(), chi);
+            chi
+        }
+    }
+}
+
 impl Partitioning {
     /// Builds the initial single-"mega-switch" partitioning (step 1 of the
     /// main algorithm).
@@ -174,10 +320,11 @@ impl Partitioning {
             return Err(SynthError::EmptyPattern);
         }
         let n = pattern.n_procs();
+        let n_flows = pattern.flows().len();
         let interner = FlowInterner::from_sorted_flows(pattern.flows().to_vec());
         let clique_masks = pattern.cliques().compile_masks(&interner);
         let proc_flows = proc_flow_table(pattern);
-        let paths = vec![vec![0]; pattern.flows().len()];
+        let paths = vec![vec![0]; n_flows];
         Ok(Partitioning {
             pattern: pattern.clone(),
             strategy: ColoringStrategy::Fast,
@@ -187,11 +334,24 @@ impl Partitioning {
             interner,
             clique_masks,
             proc_flows,
-            pipes: BTreeMap::new(),
+            pipe_ids: ResourceInterner::new(),
+            pipe_lookup: vec![u32::MAX],
+            pipe_stride: 1,
+            pipe_slots: Vec::new(),
+            live_pipes: BTreeMap::new(),
+            footprints: vec![RouteSet::new(); n_flows],
             incident_links: vec![0],
             incident_pipes: vec![0],
+            switch_live: vec![true],
+            live_switch_count: 1,
             touched_scratch: Vec::new(),
-            chi_cache: std::collections::HashMap::new(),
+            probe_toggles: Vec::new(),
+            probe_switches: Vec::new(),
+            dir_scratch: FlowSet::new(n_flows),
+            probe_cache: HashMap::default(),
+            fast_cache: HashMap::default(),
+            chi_cache: HashMap::default(),
+            score_memo: Cell::new(None),
             total_links: 0,
             stats: SearchStats::default(),
         })
@@ -210,25 +370,41 @@ impl Partitioning {
             return Err(SynthError::EmptyPattern);
         }
         let n_switches = homes.iter().copied().max().unwrap_or(0) + 1;
+        let n_flows = pattern.flows().len();
         let mut members: Vec<Vec<ProcId>> = vec![Vec::new(); n_switches];
         for (p, &h) in homes.iter().enumerate() {
             members[h].push(ProcId(p));
         }
+        let switch_live: Vec<bool> = members.iter().map(|m| !m.is_empty()).collect();
+        let live_switch_count = switch_live.iter().filter(|&&b| b).count();
         let interner = FlowInterner::from_sorted_flows(pattern.flows().to_vec());
         let mut partitioning = Partitioning {
             clique_masks: pattern.cliques().compile_masks(&interner),
             interner,
             proc_flows: proc_flow_table(pattern),
-            paths: vec![Vec::new(); pattern.flows().len()],
+            paths: vec![Vec::new(); n_flows],
             pattern: pattern.clone(),
             strategy: ColoringStrategy::Fast,
             home: homes.to_vec(),
             incident_links: vec![0; n_switches],
             incident_pipes: vec![0; n_switches],
+            switch_live,
+            live_switch_count,
             touched_scratch: Vec::new(),
-            chi_cache: std::collections::HashMap::new(),
+            probe_toggles: Vec::new(),
+            probe_switches: Vec::new(),
+            dir_scratch: FlowSet::new(n_flows),
+            probe_cache: HashMap::default(),
+            fast_cache: HashMap::default(),
+            chi_cache: HashMap::default(),
+            score_memo: Cell::new(None),
             members,
-            pipes: BTreeMap::new(),
+            pipe_ids: ResourceInterner::new(),
+            pipe_lookup: vec![u32::MAX; n_switches * n_switches],
+            pipe_stride: n_switches,
+            pipe_slots: Vec::new(),
+            live_pipes: BTreeMap::new(),
+            footprints: vec![RouteSet::new(); n_flows],
             total_links: 0,
             stats: SearchStats::default(),
         };
@@ -286,16 +462,22 @@ impl Partitioning {
         self.total_links
     }
 
-    /// Iterates over `(pipe, link estimate)` for every non-empty pipe.
+    /// Iterates over `(pipe, link estimate)` for every non-empty pipe, in
+    /// sorted key order.
     pub fn pipes(&self) -> impl Iterator<Item = (PipeKey, usize)> + '_ {
-        self.pipes.iter().map(|(k, s)| (*k, s.links))
+        self.live_pipes
+            .iter()
+            .map(|(k, &slot)| (*k, self.pipe_slots[slot].links))
     }
 
     /// The flows crossing `pipe` in its forward and backward directions,
     /// as bitsets over [`Partitioning::interner`] ids (iterating a set
     /// yields ids in ascending order — lexicographic flow order).
     pub fn pipe_flows(&self, pipe: PipeKey) -> Option<(&FlowSet, &FlowSet)> {
-        self.pipes.get(&pipe).map(|s| (&s.forward, &s.backward))
+        self.live_pipes.get(&pipe).map(|&slot| {
+            let st = &self.pipe_slots[slot];
+            (&st.forward, &st.backward)
+        })
     }
 
     /// Estimated node degree of switch `s`: attached processors plus the
@@ -310,9 +492,9 @@ impl Partitioning {
         let wide: BTreeSet<usize> = match config.max_pipe_width() {
             None => BTreeSet::new(),
             Some(w) => self
-                .pipes
+                .live_pipes
                 .iter()
-                .filter(|(_, st)| st.links > w)
+                .filter(|(_, &slot)| self.pipe_slots[slot].links > w)
                 .flat_map(|(k, _)| [k.lo, k.hi])
                 .collect(),
         };
@@ -323,32 +505,40 @@ impl Partitioning {
 
     /// Switches that would survive materialization: those hosting
     /// processors or carrying traffic (dead switches are dropped).
+    /// Maintained incrementally; O(1).
     pub fn live_switches(&self) -> usize {
-        (0..self.members.len())
-            .filter(|&s| !self.members[s].is_empty() || self.incident_pipes[s] > 0)
-            .count()
+        self.live_switch_count
     }
 
     /// Lexicographic optimization score: total degree excess over the
     /// constraint first (0 when all constraints hold), then chip area
     /// (links + live switches). Strictly decreasing accepts make every
-    /// repair/refinement loop terminate.
+    /// repair/refinement loop terminate. Memoized between mutations, so
+    /// re-reading the committed score inside the reroute loop is O(1).
     pub fn score(&self, config: &SynthesisConfig) -> (usize, usize) {
+        let params = (config.max_degree(), config.max_pipe_width());
+        if let Some((memo_params, memo_score)) = self.score_memo.get() {
+            if memo_params == params {
+                return memo_score;
+            }
+        }
         let degree_excess: usize = (0..self.members.len())
             .map(|s| self.degree(s).saturating_sub(config.max_degree()))
             .sum();
         let width_excess: usize = match config.max_pipe_width() {
             None => 0,
             Some(w) => self
-                .pipes
+                .live_pipes
                 .values()
-                .map(|st| st.links.saturating_sub(w))
+                .map(|&slot| self.pipe_slots[slot].links.saturating_sub(w))
                 .sum(),
         };
-        (
+        let score = (
             degree_excess + width_excess,
-            self.total_links + self.live_switches(),
-        )
+            self.total_links + self.live_switch_count,
+        );
+        self.score_memo.set(Some((params, score)));
+        score
     }
 
     // ------------------------------------------------------------------
@@ -358,98 +548,95 @@ impl Partitioning {
     pub(crate) fn set_strategy(&mut self, strategy: ColoringStrategy) {
         if self.strategy != strategy {
             self.strategy = strategy;
-            let keys: Vec<PipeKey> = self.pipes.keys().copied().collect();
-            for k in keys {
-                self.recompute_pipe(k);
+            self.score_memo.set(None);
+            // Memoized flip estimates were computed under the old strategy.
+            self.probe_cache.clear();
+            let slots: Vec<usize> = self.live_pipes.values().copied().collect();
+            for slot in slots {
+                self.recompute_pipe_slot(slot);
             }
         }
     }
 
-    /// Computes the link requirement of one pipe under the active
-    /// strategy.
-    fn pipe_link_estimate(&self, state: &PipeState) -> usize {
-        match self.strategy {
-            ColoringStrategy::Fast => {
-                let f = fast_color_directed_masks(&self.clique_masks, &state.forward);
-                let b = fast_color_directed_masks(&self.clique_masks, &state.backward);
-                f.max(b)
-            }
-            ColoringStrategy::Exact => {
-                let chi = |set: &FlowSet| {
-                    if set.is_empty() {
-                        0
-                    } else {
-                        let g = ConflictGraph::from_flows(
-                            self.interner.flows_of(set).collect(),
-                            self.pattern.contention(),
-                        );
-                        exact_chromatic(&g).n_colors()
-                    }
-                };
-                chi(&state.forward).max(chi(&state.backward))
-            }
-        }
-    }
-
-    /// Exact chromatic number of a crossing set, memoized. The memo stores
-    /// exactly what the branch-and-bound would return, so repeated sets —
-    /// the common case while the route anneal toggles the same few flows —
-    /// yield identical integers without re-solving.
-    fn exact_chi_cached(&mut self, set: &FlowSet) -> usize {
-        if set.is_empty() {
-            return 0;
-        }
-        if let Some(&chi) = self.chi_cache.get(set) {
-            return chi;
-        }
-        let g = ConflictGraph::from_flows(
-            self.interner.flows_of(set).collect(),
+    /// Re-derives one slot's per-direction link estimates from its
+    /// (already-updated) crossing sets, then reconciles every aggregate
+    /// hanging off it: total links, per-switch incident sums, the live
+    /// pipe view, and switch liveness.
+    fn recompute_pipe_slot(&mut self, slot: usize) {
+        let new_fwd = estimate_dir(
+            self.strategy,
+            &self.clique_masks,
+            &self.interner,
             self.pattern.contention(),
+            &mut self.fast_cache,
+            &mut self.chi_cache,
+            &self.pipe_slots[slot].forward,
         );
-        let chi = exact_chromatic(&g).n_colors();
-        self.chi_cache.insert(set.clone(), chi);
-        chi
-    }
-
-    fn recompute_pipe(&mut self, key: PipeKey) {
-        let Some(state) = self.pipes.get(&key) else {
-            return;
-        };
-        let new_links = match self.strategy {
-            ColoringStrategy::Fast => self.pipe_link_estimate(state),
-            ColoringStrategy::Exact => {
-                let (fwd, bwd) = (state.forward.clone(), state.backward.clone());
-                self.exact_chi_cached(&fwd).max(self.exact_chi_cached(&bwd))
-            }
-        };
-        let state = self.pipes.get_mut(&key).expect("checked above");
-        let old_links = state.links;
-        state.links = new_links;
-        let empty = state.is_empty();
+        let new_bwd = estimate_dir(
+            self.strategy,
+            &self.clique_masks,
+            &self.interner,
+            self.pattern.contention(),
+            &mut self.fast_cache,
+            &mut self.chi_cache,
+            &self.pipe_slots[slot].backward,
+        );
+        let st = &mut self.pipe_slots[slot];
+        let key = st.key;
+        let old_links = st.links;
+        let new_links = new_fwd.max(new_bwd);
+        st.fwd_links = new_fwd;
+        st.bwd_links = new_bwd;
+        st.links = new_links;
+        let now_empty = st.is_empty();
         self.total_links = self.total_links - old_links + new_links;
         for s in [key.lo, key.hi] {
             // Add before subtracting: the sum never transiently underflows.
             self.incident_links[s] = self.incident_links[s] + new_links - old_links;
         }
-        if empty {
+        let was_live = self.live_pipes.contains_key(&key);
+        if was_live && now_empty {
             debug_assert_eq!(new_links, 0);
-            self.pipes.remove(&key);
+            self.live_pipes.remove(&key);
             self.incident_pipes[key.lo] -= 1;
             self.incident_pipes[key.hi] -= 1;
+            self.refresh_switch_live(key.lo);
+            self.refresh_switch_live(key.hi);
+        } else if !was_live && !now_empty {
+            self.live_pipes.insert(key, slot);
+            self.incident_pipes[key.lo] += 1;
+            self.incident_pipes[key.hi] += 1;
+            self.refresh_switch_live(key.lo);
+            self.refresh_switch_live(key.hi);
+        }
+    }
+
+    /// Reconciles `switch_live[s]` (and the live count) after a change to
+    /// switch `s`'s members or incident pipes.
+    fn refresh_switch_live(&mut self, s: usize) {
+        let live = !self.members[s].is_empty() || self.incident_pipes[s] > 0;
+        if live != self.switch_live[s] {
+            self.switch_live[s] = live;
+            if live {
+                self.live_switch_count += 1;
+            } else {
+                self.live_switch_count -= 1;
+            }
         }
     }
 
     /// Applies a batch of path changes (flow index → new path)
     /// incrementally: the old and new crossings of every changed flow are
-    /// XOR-toggled into the per-pipe bitsets in place (a flow crossing the
-    /// same pipe and direction both before and after cancels out), and
-    /// each touched pipe's link estimate is recomputed exactly once —
-    /// however many flows of the batch cross it. Allocation-free apart
-    /// from a reused touched-keys scratch buffer.
+    /// XOR-toggled into the per-pipe bitsets — and the flow's footprint —
+    /// in place (a flow crossing the same pipe and direction both before
+    /// and after cancels out), and each touched pipe's link estimate is
+    /// recomputed exactly once — however many flows of the batch cross it.
+    /// Allocation-free apart from a reused touched-slots scratch buffer.
     fn apply_path_changes<I>(&mut self, changes: I)
     where
         I: IntoIterator<Item = (usize, Vec<usize>)>,
     {
+        self.score_memo.set(None);
         let universe = self.paths.len();
         let mut touched = std::mem::take(&mut self.touched_scratch);
         touched.clear();
@@ -462,28 +649,36 @@ impl Partitioning {
             for path in [old_path.as_slice(), self.paths[idx].as_slice()] {
                 for w in path.windows(2) {
                     let key = PipeKey::new(w[0], w[1]);
-                    let mut created = false;
-                    let state = self.pipes.entry(key).or_insert_with(|| {
-                        created = true;
-                        PipeState::new(universe)
-                    });
-                    if key.forward_from(w[0]) {
-                        state.forward.toggle(idx);
+                    let slot = intern_pipe_slot(
+                        &mut self.pipe_ids,
+                        &mut self.pipe_slots,
+                        &mut self.pipe_lookup,
+                        self.pipe_stride,
+                        universe,
+                        key,
+                    );
+                    let forward = key.forward_from(w[0]);
+                    let st = &mut self.pipe_slots[slot];
+                    let (set, count, gen) = if forward {
+                        (&mut st.forward, &mut st.fwd_n, &mut st.fwd_gen)
                     } else {
-                        state.backward.toggle(idx);
+                        (&mut st.backward, &mut st.bwd_n, &mut st.bwd_gen)
+                    };
+                    if set.toggle(idx) {
+                        *count += 1;
+                    } else {
+                        *count -= 1;
                     }
-                    if created {
-                        self.incident_pipes[key.lo] += 1;
-                        self.incident_pipes[key.hi] += 1;
-                    }
-                    touched.push(key);
+                    *gen += 1;
+                    self.footprints[idx].toggle(slot * 2 + usize::from(!forward));
+                    touched.push(slot);
                 }
             }
         }
         touched.sort_unstable();
         touched.dedup();
-        for &key in &touched {
-            self.recompute_pipe(key);
+        for &slot in &touched {
+            self.recompute_pipe_slot(slot);
         }
         self.touched_scratch = touched;
     }
@@ -494,11 +689,235 @@ impl Partitioning {
         self.apply_path_changes([(idx, path)]);
     }
 
+    // ------------------------------------------------------------------
+    // Probes: score a candidate reroute without committing it.
+    // ------------------------------------------------------------------
+
+    /// Gathers the directed pipe resources whose crossing sets would flip
+    /// if flow `idx` moved to `new_path`: the flow's current footprint
+    /// XOR the candidate's crossings, computed by sort + parity-cancel
+    /// (a resource crossed both before and after appears twice and drops
+    /// out). Interns candidate pipes on the fly — an interned-but-empty
+    /// slot is indistinguishable from an absent pipe.
+    fn collect_probe_toggles(&mut self, idx: usize, new_path: &[usize]) {
+        let universe = self.paths.len();
+        let mut toggles = std::mem::take(&mut self.probe_toggles);
+        toggles.clear();
+        toggles.extend(self.footprints[idx].iter());
+        for w in new_path.windows(2) {
+            let key = PipeKey::new(w[0], w[1]);
+            let slot = intern_pipe_slot(
+                &mut self.pipe_ids,
+                &mut self.pipe_slots,
+                &mut self.pipe_lookup,
+                self.pipe_stride,
+                universe,
+                key,
+            );
+            toggles.push(slot * 2 + usize::from(!key.forward_from(w[0])));
+        }
+        toggles.sort_unstable();
+        // The footprint is a set and the candidate path is simple, so a
+        // resource's multiplicity is at most 2; keep odd occurrences.
+        let mut keep = 0;
+        let mut i = 0;
+        while i < toggles.len() {
+            if i + 1 < toggles.len() && toggles[i + 1] == toggles[i] {
+                i += 2;
+            } else {
+                toggles[keep] = toggles[i];
+                keep += 1;
+                i += 1;
+            }
+        }
+        toggles.truncate(keep);
+        self.probe_toggles = toggles;
+    }
+
+    /// Link estimate of one direction of `slot` with flow `idx` flipped,
+    /// plus whether that direction would then be empty. Reads the
+    /// committed set into a scratch bitset; commits nothing.
+    fn flipped_dir_links(&mut self, slot: usize, backward: bool, idx: usize) -> (usize, bool) {
+        let st = &self.pipe_slots[slot];
+        let (set, count, gen) = if backward {
+            (&st.backward, st.bwd_n, st.bwd_gen)
+        } else {
+            (&st.forward, st.fwd_n, st.fwd_gen)
+        };
+        let flipped_n = if set.contains(idx) {
+            count - 1
+        } else {
+            count + 1
+        };
+        if flipped_n == 0 {
+            return (0, true);
+        }
+        // The anneal re-probes the same (pipe, direction, flow) flips over
+        // and over between commits; a generation-checked memo answers those
+        // without touching the bitset or the set-keyed caches.
+        let memo_key = (((slot * 2 + usize::from(backward)) as u64) << 32) | idx as u64;
+        if let Some(&(g, links)) = self.probe_cache.get(&memo_key) {
+            if g == gen {
+                return (links as usize, false);
+            }
+        }
+        self.dir_scratch.clone_from(set);
+        self.dir_scratch.toggle(idx);
+        let links = estimate_dir(
+            self.strategy,
+            &self.clique_masks,
+            &self.interner,
+            self.pattern.contention(),
+            &mut self.fast_cache,
+            &mut self.chi_cache,
+            &self.dir_scratch,
+        );
+        self.probe_cache.insert(memo_key, (gen, links as u32));
+        (links, false)
+    }
+
+    /// The total link estimate the partitioning would have after rerouting
+    /// flow `idx` onto `new_path`, computed from the toggled footprints
+    /// alone — no committed state changes. In debug builds the result is
+    /// checked against a real apply-score-revert.
+    pub(crate) fn probe_total_links(&mut self, idx: usize, new_path: &[usize]) -> usize {
+        self.collect_probe_toggles(idx, new_path);
+        let toggles = std::mem::take(&mut self.probe_toggles);
+        let mut total = self.total_links as isize;
+        let mut i = 0;
+        while i < toggles.len() {
+            let slot = toggles[i] / 2;
+            let flip_fwd = toggles[i].is_multiple_of(2);
+            let flip_both = flip_fwd && i + 1 < toggles.len() && toggles[i + 1] == slot * 2 + 1;
+            let new_fwd = if flip_fwd {
+                self.flipped_dir_links(slot, false, idx).0
+            } else {
+                self.pipe_slots[slot].fwd_links
+            };
+            let new_bwd = if !flip_fwd || flip_both {
+                self.flipped_dir_links(slot, true, idx).0
+            } else {
+                self.pipe_slots[slot].bwd_links
+            };
+            total += new_fwd.max(new_bwd) as isize - self.pipe_slots[slot].links as isize;
+            i += if flip_both { 2 } else { 1 };
+        }
+        self.probe_toggles = toggles;
+        let probed = total as usize;
+        #[cfg(debug_assertions)]
+        {
+            let old_path = self.paths[idx].clone();
+            self.set_path(idx, new_path.to_vec());
+            let actual = self.total_links;
+            self.set_path(idx, old_path);
+            debug_assert_eq!(
+                probed, actual,
+                "probe_total_links diverged from full recompute"
+            );
+        }
+        probed
+    }
+
+    /// The exact [`Partitioning::score`] the partitioning would have after
+    /// rerouting flow `idx` onto `new_path`, assembled as committed score
+    /// plus per-touched-pipe deltas (links, width excess, switch degree
+    /// excess, pipe and switch liveness) — O(footprint), no committed
+    /// state changes. In debug builds the result is checked against a real
+    /// apply-score-revert (the full `C ∩ R` recompute demoted to oracle).
+    pub(crate) fn probe_score(
+        &mut self,
+        idx: usize,
+        new_path: &[usize],
+        config: &SynthesisConfig,
+    ) -> (usize, usize) {
+        let (base_excess, base_area) = self.score(config);
+        self.collect_probe_toggles(idx, new_path);
+        let toggles = std::mem::take(&mut self.probe_toggles);
+        let mut switches = std::mem::take(&mut self.probe_switches);
+        switches.clear();
+        let max_degree = config.max_degree() as isize;
+        let width_cap = config.max_pipe_width();
+        let mut d_links_total = 0isize;
+        let mut d_excess = 0isize;
+        let mut i = 0;
+        while i < toggles.len() {
+            let slot = toggles[i] / 2;
+            let flip_fwd = toggles[i].is_multiple_of(2);
+            let flip_both = flip_fwd && i + 1 < toggles.len() && toggles[i + 1] == slot * 2 + 1;
+            let was_nonempty = !self.pipe_slots[slot].is_empty();
+            let (new_fwd, fwd_empty) = if flip_fwd {
+                self.flipped_dir_links(slot, false, idx)
+            } else {
+                let st = &self.pipe_slots[slot];
+                (st.fwd_links, st.fwd_n == 0)
+            };
+            let (new_bwd, bwd_empty) = if !flip_fwd || flip_both {
+                self.flipped_dir_links(slot, true, idx)
+            } else {
+                let st = &self.pipe_slots[slot];
+                (st.bwd_links, st.bwd_n == 0)
+            };
+            let old_links = self.pipe_slots[slot].links;
+            let new_links = new_fwd.max(new_bwd);
+            let d_links = new_links as isize - old_links as isize;
+            d_links_total += d_links;
+            if let Some(w) = width_cap {
+                d_excess +=
+                    new_links.saturating_sub(w) as isize - old_links.saturating_sub(w) as isize;
+            }
+            let now_nonempty = !(fwd_empty && bwd_empty);
+            let d_pipes = match (was_nonempty, now_nonempty) {
+                (false, true) => 1isize,
+                (true, false) => -1,
+                _ => 0,
+            };
+            let key = self.pipe_slots[slot].key;
+            for s in [key.lo, key.hi] {
+                if let Some(entry) = switches.iter_mut().find(|e| e.0 == s) {
+                    entry.1 += d_links;
+                    entry.2 += d_pipes;
+                } else {
+                    switches.push((s, d_links, d_pipes));
+                }
+            }
+            i += if flip_both { 2 } else { 1 };
+        }
+        let mut d_live = 0isize;
+        for &(s, d_links, d_pipes) in &switches {
+            let deg_old = (self.members[s].len() + self.incident_links[s]) as isize;
+            let deg_new = deg_old + d_links;
+            d_excess += (deg_new - max_degree).max(0) - (deg_old - max_degree).max(0);
+            let now_live =
+                !self.members[s].is_empty() || self.incident_pipes[s] as isize + d_pipes > 0;
+            d_live += isize::from(now_live) - isize::from(self.switch_live[s]);
+        }
+        self.probe_toggles = toggles;
+        self.probe_switches = switches;
+        let probed = (
+            (base_excess as isize + d_excess) as usize,
+            (base_area as isize + d_links_total + d_live) as usize,
+        );
+        #[cfg(debug_assertions)]
+        {
+            let old_path = self.paths[idx].clone();
+            self.set_path(idx, new_path.to_vec());
+            let actual = self.score(config);
+            self.set_path(idx, old_path);
+            debug_assert_eq!(probed, actual, "probe_score diverged from full recompute");
+        }
+        probed
+    }
+
+    /// The endpoint home switches of flow `idx` — its direct path is
+    /// `[hs]` (same switch) or `[hs, hd]`.
+    pub(crate) fn direct_endpoints(&self, idx: usize) -> (usize, usize) {
+        let flow = self.pattern.flows()[idx];
+        (self.home[flow.src.index()], self.home[flow.dst.index()])
+    }
+
     /// The direct path for flow `idx` under current homes.
     pub(crate) fn direct_path(&self, idx: usize) -> Vec<usize> {
-        let flow = self.pattern.flows()[idx];
-        let hs = self.home[flow.src.index()];
-        let hd = self.home[flow.dst.index()];
+        let (hs, hd) = self.direct_endpoints(idx);
         if hs == hd {
             vec![hs]
         } else {
@@ -535,6 +954,8 @@ impl Partitioning {
         let pos = self.members[to].partition_point(|&p| p < proc);
         self.members[to].insert(pos, proc);
         self.home[proc.index()] = to;
+        self.refresh_switch_live(from);
+        self.refresh_switch_live(to);
         let changes: Vec<(usize, Vec<usize>)> = self.proc_flows[proc.index()]
             .iter()
             .map(|&idx| (idx, self.direct_path(idx)))
@@ -548,7 +969,18 @@ impl Partitioning {
         self.members.push(Vec::new());
         self.incident_links.push(0);
         self.incident_pipes.push(0);
-        self.members.len() - 1
+        self.switch_live.push(false);
+        self.score_memo.set(None);
+        // The dense pipe-lookup stride changed; re-project every known
+        // slot into the wider matrix (rare: once per split).
+        let n = self.members.len();
+        self.pipe_stride = n;
+        self.pipe_lookup.clear();
+        self.pipe_lookup.resize(n * n, u32::MAX);
+        for (slot, st) in self.pipe_slots.iter().enumerate() {
+            self.pipe_lookup[st.key.lo * n + st.key.hi] = slot as u32;
+        }
+        n - 1
     }
 
     /// Splits switch `si` (step 5): creates a new switch, moves half of
@@ -565,12 +997,33 @@ impl Partitioning {
         sj
     }
 
-    /// Debug-only consistency check: pipe sets match paths, totals match
-    /// estimates.
+    /// From-scratch link estimate of one direction (no caches) — the
+    /// reference the consistency oracle compares incremental state against.
+    #[cfg(test)]
+    fn estimate_dir_uncached(&self, set: &FlowSet) -> usize {
+        match self.strategy {
+            ColoringStrategy::Fast => fast_color_directed_masks(&self.clique_masks, set),
+            ColoringStrategy::Exact => {
+                if set.is_empty() {
+                    0
+                } else {
+                    let g = ConflictGraph::from_flows(
+                        self.interner.flows_of(set).collect(),
+                        self.pattern.contention(),
+                    );
+                    exact_chromatic(&g).n_colors()
+                }
+            }
+        }
+    }
+
+    /// Debug-only consistency check: pipe sets match paths, footprints
+    /// match crossings, totals match from-scratch estimates, liveness
+    /// caches match scans.
     #[cfg(test)]
     pub(crate) fn assert_consistent(&self) {
         let universe = self.paths.len();
-        let mut expect: BTreeMap<PipeKey, PipeState> = BTreeMap::new();
+        let mut expect: BTreeMap<PipeKey, (FlowSet, FlowSet)> = BTreeMap::new();
         for (idx, path) in self.paths.iter().enumerate() {
             let flow = self.pattern.flows()[idx];
             assert_eq!(path[0], self.home[flow.src.index()], "path start mismatch");
@@ -581,41 +1034,100 @@ impl Partitioning {
             );
             for w in path.windows(2) {
                 let key = PipeKey::new(w[0], w[1]);
-                let st = expect
+                let e = expect
                     .entry(key)
-                    .or_insert_with(|| PipeState::new(universe));
+                    .or_insert_with(|| (FlowSet::new(universe), FlowSet::new(universe)));
                 if key.forward_from(w[0]) {
-                    st.forward.insert(idx);
+                    e.0.insert(idx);
                 } else {
-                    st.backward.insert(idx);
+                    e.1.insert(idx);
                 }
             }
         }
-        assert_eq!(self.pipes.len(), expect.len(), "pipe key sets differ");
+        assert_eq!(self.live_pipes.len(), expect.len(), "live pipe sets differ");
         let mut total = 0;
-        for (key, st) in &expect {
-            let actual = &self.pipes[key];
-            assert_eq!(actual.forward, st.forward, "forward set of {key}");
-            assert_eq!(actual.backward, st.backward, "backward set of {key}");
+        for (key, (fwd, bwd)) in &expect {
+            let slot = *self
+                .live_pipes
+                .get(key)
+                .unwrap_or_else(|| panic!("pipe {key} missing from live view"));
+            let st = &self.pipe_slots[slot];
+            assert_eq!(st.key, *key, "slot key of {key}");
+            assert_eq!(&st.forward, fwd, "forward set of {key}");
+            assert_eq!(&st.backward, bwd, "backward set of {key}");
+            assert_eq!(st.fwd_n, fwd.len(), "forward count of {key}");
+            assert_eq!(st.bwd_n, bwd.len(), "backward count of {key}");
             assert_eq!(
-                actual.links,
-                self.pipe_link_estimate(actual),
-                "links of {key}"
+                st.fwd_links,
+                self.estimate_dir_uncached(&st.forward),
+                "fwd links of {key}"
             );
-            total += actual.links;
+            assert_eq!(
+                st.bwd_links,
+                self.estimate_dir_uncached(&st.backward),
+                "bwd links of {key}"
+            );
+            assert_eq!(st.links, st.fwd_links.max(st.bwd_links), "links of {key}");
+            total += st.links;
         }
+        for (slot, st) in self.pipe_slots.iter().enumerate() {
+            if self.live_pipes.get(&st.key) != Some(&slot) {
+                assert!(
+                    st.is_empty() && st.links == 0,
+                    "drained slot {slot} not zeroed"
+                );
+            }
+            assert_eq!(
+                self.pipe_ids.id(pipe_key_code(st.key)),
+                Some(slot),
+                "slot {slot} not mirrored in the interner"
+            );
+            assert_eq!(
+                self.pipe_lookup[st.key.lo * self.pipe_stride + st.key.hi],
+                slot as u32,
+                "slot {slot} not mirrored in the dense lookup"
+            );
+        }
+        assert_eq!(self.pipe_stride, self.members.len(), "stale pipe stride");
+        assert_eq!(
+            self.pipe_lookup.iter().filter(|&&c| c != u32::MAX).count(),
+            self.pipe_slots.len(),
+            "dense lookup has stray entries"
+        );
         assert_eq!(self.total_links, total, "total_links out of sync");
+        for (idx, path) in self.paths.iter().enumerate() {
+            let mut fp = RouteSet::new();
+            for w in path.windows(2) {
+                let key = PipeKey::new(w[0], w[1]);
+                let slot = self
+                    .pipe_ids
+                    .id(pipe_key_code(key))
+                    .expect("crossed pipe is interned");
+                fp.insert(slot * 2 + usize::from(!key.forward_from(w[0])));
+            }
+            assert_eq!(self.footprints[idx], fp, "footprint of flow {idx}");
+        }
         for s in 0..self.members.len() {
             let links: usize = self
-                .pipes
+                .live_pipes
                 .iter()
                 .filter(|(k, _)| k.touches(s))
-                .map(|(_, st)| st.links)
+                .map(|(_, &slot)| self.pipe_slots[slot].links)
                 .sum();
-            let count = self.pipes.keys().filter(|k| k.touches(s)).count();
+            let count = self.live_pipes.keys().filter(|k| k.touches(s)).count();
             assert_eq!(self.incident_links[s], links, "incident_links of {s}");
             assert_eq!(self.incident_pipes[s], count, "incident_pipes of {s}");
+            assert_eq!(
+                self.switch_live[s],
+                !self.members[s].is_empty() || count > 0,
+                "switch_live of {s}"
+            );
         }
+        assert_eq!(
+            self.live_switch_count,
+            self.switch_live.iter().filter(|&&b| b).count(),
+            "live_switch_count out of sync"
+        );
     }
 }
 
@@ -763,6 +1275,7 @@ mod tests {
         assert_eq!(p.n_switches(), 1);
         assert_eq!(p.total_links(), 0);
         assert_eq!(p.members(0).len(), 4);
+        assert_eq!(p.live_switches(), 1);
         p.assert_consistent();
     }
 
@@ -828,6 +1341,48 @@ mod tests {
             assert_eq!(p.path(p.pattern.flows()[flow_idx]).unwrap().len(), 3);
             // And back.
             p.set_path(flow_idx, direct);
+            p.assert_consistent();
+        }
+    }
+
+    #[test]
+    fn probe_score_matches_apply_for_random_reroutes() {
+        // Exercise the probe against apply-and-score over a mix of
+        // detours, straightenings and no-op-adjacent shapes. (The probe's
+        // own debug oracle re-checks every call too; this keeps the
+        // guarantee alive even with debug assertions disabled.)
+        let mut p = Partitioning::megaswitch(&pattern4()).unwrap();
+        let config = SynthesisConfig::new().with_max_degree(2);
+        let mut rng = Rng::seed_from_u64(9);
+        p.split(0, &mut rng);
+        p.split(0, &mut rng);
+        p.add_switch();
+        for trial in 0..200 {
+            let idx = rng.gen_range(0..p.paths.len());
+            let direct = p.direct_path(idx);
+            let candidate = if direct.len() == 2 && rng.gen_bool(0.6) {
+                let via = rng.gen_range(0..p.n_switches());
+                if via == direct[0] || via == direct[1] {
+                    direct
+                } else {
+                    vec![direct[0], via, direct[1]]
+                }
+            } else {
+                direct
+            };
+            if candidate == p.path_of_idx(idx) {
+                continue;
+            }
+            let probed_links = p.probe_total_links(idx, &candidate);
+            let probed_score = p.probe_score(idx, &candidate, &config);
+            let original = p.path_of_idx(idx).to_vec();
+            p.set_path(idx, candidate.clone());
+            assert_eq!(probed_links, p.total_links(), "links, trial {trial}");
+            assert_eq!(probed_score, p.score(&config), "score, trial {trial}");
+            // Commit some candidates, revert others, to vary the base.
+            if rng.gen_bool(0.5) {
+                p.set_path(idx, original);
+            }
             p.assert_consistent();
         }
     }

@@ -34,6 +34,11 @@ pub struct SynthesisReport {
     pub reroutes_tried: usize,
     /// Indirect-route changes committed.
     pub reroutes_accepted: usize,
+    /// Indirect-route candidates evaluated whose score exactly matched the
+    /// incumbent — neither better nor worse. Distinguishes "the search
+    /// found no improvement" from "the search never looked" when
+    /// `reroutes_accepted` is zero.
+    pub reroutes_neutral: usize,
     /// Total-link estimate at the start of each round.
     pub cost_history: Vec<usize>,
 }
@@ -59,6 +64,7 @@ impl SynthesisReport {
             ("moves_accepted", JsonValue::from(self.moves_accepted)),
             ("reroutes_tried", JsonValue::from(self.reroutes_tried)),
             ("reroutes_accepted", JsonValue::from(self.reroutes_accepted)),
+            ("reroutes_neutral", JsonValue::from(self.reroutes_neutral)),
             (
                 "cost_history",
                 JsonValue::array(self.cost_history.iter().map(|&c| JsonValue::from(c))),
@@ -88,13 +94,14 @@ impl fmt::Display for SynthesisReport {
         )?;
         write!(
             f,
-            "search: {} rounds, {} splits, {}/{} moves, {}/{} reroutes",
+            "search: {} rounds, {} splits, {}/{} moves, {}/{} reroutes ({} neutral)",
             self.rounds,
             self.splits,
             self.moves_accepted,
             self.moves_tried,
             self.reroutes_accepted,
-            self.reroutes_tried
+            self.reroutes_tried,
+            self.reroutes_neutral
         )
     }
 }

@@ -56,15 +56,15 @@ pub(crate) fn best_route(p: &mut Partitioning, si: usize, sj: usize) {
         .filter(|&i| p.path_of_idx(i).len() > 2)
         .collect();
     for idx in detoured {
-        let old = p.path_of_idx(idx).to_vec();
         let direct = p.direct_path(idx);
         let before = p.total_links();
-        p.set_path(idx, direct);
         p.stats.reroutes_tried += 1;
-        if p.total_links() < before {
+        let after = p.probe_total_links(idx, &direct);
+        if after < before {
+            p.set_path(idx, direct);
             p.stats.reroutes_accepted += 1;
-        } else {
-            p.set_path(idx, old);
+        } else if after == before {
+            p.stats.reroutes_neutral += 1;
         }
     }
 }
@@ -144,34 +144,46 @@ fn anneal_routes(p: &mut Partitioning, config: &crate::SynthesisConfig, round: u
 
     for _ in 0..iterations {
         let idx = rng.gen_range(0..n_flows);
-        let old_path = p.path_of_idx(idx).to_vec();
-        let direct = p.direct_path(idx);
-        let candidate = if direct.len() == 2 && rng.gen_bool(0.7) {
+        // Build the candidate on the stack; the common case (probe and
+        // reject or skip) allocates nothing.
+        let (hs, hd) = p.direct_endpoints(idx);
+        let mut buf = [0usize; 3];
+        let candidate: &[usize] = if hs != hd && rng.gen_bool(0.7) {
             let via = rng.gen_range(0..p.n_switches());
-            if via == direct[0] || via == direct[1] {
-                direct.clone()
+            if via == hs || via == hd {
+                buf[0] = hs;
+                buf[1] = hd;
+                &buf[..2]
             } else {
-                vec![direct[0], via, direct[1]]
+                buf = [hs, via, hd];
+                &buf[..3]
             }
+        } else if hs == hd {
+            buf[0] = hs;
+            &buf[..1]
         } else {
-            direct.clone()
+            buf[0] = hs;
+            buf[1] = hd;
+            &buf[..2]
         };
-        if candidate == old_path {
+        if candidate == p.path_of_idx(idx) {
             continue;
         }
         p.stats.reroutes_tried += 1;
-        p.set_path(idx, candidate);
-        let new = scalar(p);
+        let (excess, area) = p.probe_score(idx, candidate, config);
+        let new = excess as f64 * 1000.0 + area as f64;
+        if new == current {
+            p.stats.reroutes_neutral += 1;
+        }
         let accept = new <= current || rng.gen_f64() < ((current - new) / temperature).exp();
         if accept {
+            p.set_path(idx, candidate.to_vec());
             current = new;
             if new < best {
                 best = new;
                 best_paths = snapshot(p);
             }
             p.stats.reroutes_accepted += 1;
-        } else {
-            p.set_path(idx, old_path);
         }
         temperature = (temperature * 0.999).max(0.05);
     }
@@ -219,9 +231,10 @@ fn reroute_best(p: &mut Partitioning, flow: Flow, config: &crate::SynthesisConfi
             continue;
         }
         p.stats.reroutes_tried += 1;
-        p.set_path(idx, cand.clone());
-        let score = p.score(config);
-        p.set_path(idx, original.clone());
+        let score = p.probe_score(idx, &cand, config);
+        if score == current_score {
+            p.stats.reroutes_neutral += 1;
+        }
         if score < current_score && best.as_ref().is_none_or(|(_, s)| score < *s) {
             best = Some((cand, score));
         }
@@ -251,11 +264,12 @@ fn try_detour(p: &mut Partitioning, flow: Flow, a: usize, b: usize, via: usize) 
 
     p.stats.reroutes_tried += 1;
     let before = p.total_links();
-    p.set_path(idx, new);
-    if p.total_links() < before {
+    let after = p.probe_total_links(idx, &new);
+    if after < before {
+        p.set_path(idx, new);
         p.stats.reroutes_accepted += 1;
-    } else {
-        p.set_path(idx, old);
+    } else if after == before {
+        p.stats.reroutes_neutral += 1;
     }
 }
 

@@ -1,0 +1,155 @@
+//! Incremental degradation analysis: one Theorem-1 checker, many
+//! scenarios.
+//!
+//! [`DegradationReport::analyze`] re-verifies the whole repaired table
+//! per scenario — `O(|C| · route length)` every time, even though a
+//! typical fault scenario reroutes a handful of flows and leaves the
+//! rest of the table untouched. [`DegradationAnalyzer`] keeps a single
+//! [`IncrementalChecker`] seeded with the baseline table and, per
+//! scenario, applies only the repair's *delta* (the rerouted flows and
+//! the flows that lost their path), reads the verdict, and rolls the
+//! edits back — so consecutive scenarios pay for what they change, not
+//! for what they share.
+//!
+//! The reports produced are identical to [`DegradationReport::analyze`]
+//! (debug builds assert this against the exact checker per scenario),
+//! so callers can switch per call site without any output churn.
+
+use nocsyn_model::ContentionSet;
+use nocsyn_topo::{IncrementalChecker, Network, Route, RouteTable};
+
+use crate::{repair_routes, DegradationReport, FaultScenario};
+
+/// Re-usable degradation analyzer over one `(network, contention,
+/// baseline routes)` triple.
+///
+/// ```
+/// use nocsyn_faults::{DegradationAnalyzer, FaultScenario};
+/// use nocsyn_model::{ContentionSet, Flow};
+/// use nocsyn_topo::regular;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (net, routes) = regular::mesh(2, 2)?;
+/// let mut contention = ContentionSet::new();
+/// contention.insert(Flow::from_indices(0, 3), Flow::from_indices(1, 2));
+///
+/// let mut analyzer = DegradationAnalyzer::new(&net, &contention, &routes);
+/// for scenario in FaultScenario::enumerate_single_link_faults(&net) {
+///     let report = analyzer.analyze(scenario);
+///     assert_eq!(report.n_unroutable(), 0);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DegradationAnalyzer<'a> {
+    net: &'a Network,
+    baseline: &'a RouteTable,
+    checker: IncrementalChecker,
+}
+
+impl<'a> DegradationAnalyzer<'a> {
+    /// Seeds the checker with the fault-free baseline table.
+    pub fn new(net: &'a Network, contention: &'a ContentionSet, baseline: &'a RouteTable) -> Self {
+        DegradationAnalyzer {
+            net,
+            baseline,
+            checker: IncrementalChecker::with_routes(contention, baseline),
+        }
+    }
+
+    /// Analyzes one scenario, byte-identical to
+    /// [`DegradationReport::analyze`] on the same inputs.
+    ///
+    /// Repair edits are applied to the shared checker, the verdict is
+    /// read, and the edits are undone — the checker is back at the
+    /// baseline when this returns, whatever the scenario did.
+    pub fn analyze(&mut self, scenario: FaultScenario) -> DegradationReport {
+        let outcome = repair_routes(self.net, self.baseline, &scenario);
+        // Each edited flow appears in exactly one of `rerouted` /
+        // `unroutable`, so one undo entry per flow restores the
+        // baseline regardless of replay order.
+        let mut undo: Vec<(nocsyn_model::Flow, Option<Route>)> = Vec::new();
+        for &flow in &outcome.rerouted {
+            let repaired = outcome
+                .routes
+                .route(flow)
+                .expect("rerouted flows are routed in the repaired table")
+                .clone();
+            undo.push((flow, self.checker.set_route(flow, repaired)));
+        }
+        for witness in &outcome.unroutable {
+            undo.push((witness.flow, self.checker.clear_route(witness.flow)));
+        }
+        let check = self.checker.report();
+        #[cfg(debug_assertions)]
+        {
+            self.checker.assert_consistent();
+            assert_eq!(
+                check,
+                nocsyn_topo::verify_contention_free(self.checker.contention(), &outcome.routes),
+                "incremental degradation verdict diverged from the exact checker"
+            );
+        }
+        let report = DegradationReport::from_parts(scenario, outcome, check);
+        for (flow, previous) in undo.into_iter().rev() {
+            match previous {
+                Some(route) => {
+                    self.checker.set_route(flow, route);
+                }
+                None => {
+                    self.checker.clear_route(flow);
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocsyn_model::Flow;
+    use nocsyn_topo::regular;
+
+    fn crossing_contention() -> ContentionSet {
+        let mut c = ContentionSet::new();
+        c.insert(Flow::from_indices(0, 3), Flow::from_indices(1, 2));
+        c
+    }
+
+    #[test]
+    fn matches_one_shot_analysis_over_every_single_fault() {
+        let (net, routes) = regular::mesh(2, 2).expect("mesh builds");
+        let contention = crossing_contention();
+        let mut analyzer = DegradationAnalyzer::new(&net, &contention, &routes);
+        let scenarios: Vec<FaultScenario> = FaultScenario::enumerate_single_link_faults(&net)
+            .into_iter()
+            .chain(FaultScenario::enumerate_single_switch_faults(&net))
+            .collect();
+        for scenario in scenarios {
+            let incremental = analyzer.analyze(scenario.clone());
+            let exact = DegradationReport::analyze(&net, &contention, &routes, scenario);
+            assert_eq!(
+                incremental.to_json().to_string(),
+                exact.to_json().to_string()
+            );
+            assert_eq!(incremental.contention(), exact.contention());
+        }
+    }
+
+    #[test]
+    fn checker_state_is_restored_between_scenarios() {
+        // Analyzing the same disruptive scenario twice (with a benign
+        // one in between) must give identical reports — any leaked edit
+        // would show up in the second pass.
+        let (net, routes) = regular::mesh(3, 3).expect("mesh builds");
+        let contention = crossing_contention();
+        let mut analyzer = DegradationAnalyzer::new(&net, &contention, &routes);
+        let scenario = FaultScenario::sample(&net, 2, 1, 0xFA);
+        let first = analyzer.analyze(scenario.clone()).to_json().to_string();
+        analyzer.analyze(FaultScenario::none());
+        let second = analyzer.analyze(scenario).to_json().to_string();
+        assert_eq!(first, second);
+    }
+}

@@ -10,9 +10,11 @@
 //!   byte mutation of a corpus entry, token-level mutation of valid
 //!   corpora, and grammar-aware construction of schedules/traces — so
 //!   both the happy path and the error paths stay exercised.
-//! * **Targets** ([`target`]) are named entry points ( `parse_schedule`,
-//!   `parse_trace`, plus whatever callers register, e.g. the CLI
-//!   dispatch path) that report accepted/rejected/work-done per case.
+//! * **Targets** ([`target`]) are named entry points (`parse_schedule`,
+//!   `parse_trace`, the `route_edit_probe` differential oracle over the
+//!   incremental Theorem-1 checker, plus whatever callers register,
+//!   e.g. the CLI dispatch path) that report accepted/rejected/work-done
+//!   per case.
 //! * **Budgets** ([`CaseBudget`]) bound each case: input size is capped
 //!   before the target runs, and the target's self-reported tick and
 //!   output counts are checked after. A violation is recorded, not
@@ -32,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod gen;
+pub mod route_probe;
 pub mod target;
 pub mod triage;
 

@@ -109,12 +109,14 @@ impl Registry {
         Registry::default()
     }
 
-    /// A registry preloaded with the built-in model targets
-    /// (`parse_schedule`, `parse_trace`).
+    /// A registry preloaded with the built-in targets: the model
+    /// parsers (`parse_schedule`, `parse_trace`) and the incremental
+    /// Theorem-1 differential probe (`route_edit_probe`).
     pub fn with_builtin_targets() -> Self {
         let mut r = Registry::new();
         r.register(parse_schedule_target());
         r.register(parse_trace_target());
+        r.register(crate::route_probe::route_edit_probe_target());
         r
     }
 
@@ -194,10 +196,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn builtin_registry_has_sorted_parse_targets() {
+    fn builtin_registry_has_sorted_targets() {
         let r = Registry::with_builtin_targets();
-        assert_eq!(r.names(), vec!["parse_schedule", "parse_trace"]);
+        assert_eq!(
+            r.names(),
+            vec!["parse_schedule", "parse_trace", "route_edit_probe"]
+        );
         assert!(r.get("parse_schedule").is_some());
+        assert!(r.get("route_edit_probe").is_some());
         assert!(r.get("nope").is_none());
     }
 

@@ -57,11 +57,13 @@ mod clique;
 mod contention;
 mod error;
 mod flowset;
+mod hash;
 mod ids;
 pub mod json;
 mod message;
 mod overlap;
 mod phase;
+mod routeset;
 mod skew;
 pub mod text;
 mod time;
@@ -71,10 +73,12 @@ pub use clique::{Clique, CliqueSet};
 pub use contention::{ContentionSet, FlowPair};
 pub use error::ModelError;
 pub use flowset::{FlowInterner, FlowSet, Ones};
+pub use hash::{FxBuildHasher, FxHasher};
 pub use ids::{Flow, MessageId, ProcId};
 pub use message::Message;
 pub use overlap::{overlaps, OverlapRelation};
 pub use phase::{Phase, PhaseSchedule};
+pub use routeset::{ResourceInterner, ResourceOnes, RouteSet};
 pub use skew::SkewModel;
 pub use text::{
     format_schedule, format_trace, parse_schedule, parse_trace, ParseErrorKind, ParseLimits,

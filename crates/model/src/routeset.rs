@@ -1,0 +1,428 @@
+//! Dense bitset kernel over interned *network resources*.
+//!
+//! [`flowset`](crate::FlowSet) flattened the contention side of Theorem 1
+//! (`C`) into machine words; this module does the same for the resource
+//! side (`R`). A [`ResourceInterner`] maps the opaque identities of
+//! shareable resources — directed channels, switch-pair pipes, ports —
+//! to contiguous ids in first-seen order, and a [`RouteSet`] is a dense
+//! `Vec<u64>` bitset over those ids: the *footprint* of one flow's route.
+//!
+//! Two deliberate differences from the flow kernel:
+//!
+//! * Resource identities are opaque `u64` keys encoded by the owning
+//!   layer (e.g. `link * 2 + direction` for channels, `lo << 32 | hi`
+//!   for switch pipes). The interner never inspects them, so one kernel
+//!   serves every resource vocabulary.
+//! * The universe *grows*: synthesis discovers pipes as routes move, so
+//!   a [`RouteSet`] widens on demand instead of being sized up front.
+//!   Binary operations align the shorter operand with implicit zeros.
+//!
+//! With footprints in this form, the Theorem-1 delta check for a
+//! single-flow edit is `footprint XOR` (toggle the edited route) plus
+//! `AND + popcount` against per-resource occupancy — O(words touched)
+//! instead of a full `C ∩ R` recomputation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::hash::FxBuildHasher;
+
+/// Word size of the backing storage.
+const BITS: usize = u64::BITS as usize;
+
+/// Interns opaque resource keys to contiguous ids `0..len`, in
+/// first-seen order.
+///
+/// Unlike [`FlowInterner`](crate::FlowInterner) (whose ids are sorted
+/// ranks over a closed universe), resources are discovered incrementally,
+/// so ids reflect interning order and the mapping is append-only: an id,
+/// once assigned, never changes or disappears. `id` / `key` are inverse
+/// bijections over the interned set.
+///
+/// ```
+/// use nocsyn_model::ResourceInterner;
+///
+/// let mut interner = ResourceInterner::new();
+/// assert_eq!(interner.intern(42), 0);
+/// assert_eq!(interner.intern(7), 1);
+/// assert_eq!(interner.intern(42), 0); // duplicates collapse
+/// assert_eq!(interner.id(7), Some(1));
+/// assert_eq!(interner.key(1), 7);
+/// assert_eq!(interner.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ResourceInterner {
+    // Keys are search-generated, never attacker-controlled, so the
+    // deterministic Fx hash is safe and much cheaper than SipHash.
+    ids: HashMap<u64, usize, FxBuildHasher>,
+    keys: Vec<u64>,
+}
+
+impl ResourceInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id of `key`, interning it if unseen.
+    pub fn intern(&mut self, key: u64) -> usize {
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = self.keys.len();
+        self.ids.insert(key, id);
+        self.keys.push(key);
+        id
+    }
+
+    /// The id of `key`, if it has been interned.
+    pub fn id(&self, key: u64) -> Option<usize> {
+        self.ids.get(&key).copied()
+    }
+
+    /// The key with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= len()`.
+    pub fn key(&self, id: usize) -> u64 {
+        self.keys[id]
+    }
+
+    /// Number of interned resources.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no resource is interned.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The interned keys in id (= first-seen) order.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+}
+
+/// A growable dense bitset over interned resource ids — one flow's route
+/// footprint.
+///
+/// Ids have no fixed universe: inserting or toggling an id beyond the
+/// current width widens the set, and binary operations treat missing
+/// high words as zero. Equality ignores trailing zero words, so a set
+/// that grew and then emptied equals a fresh empty set.
+///
+/// ```
+/// use nocsyn_model::RouteSet;
+///
+/// let mut footprint = RouteSet::new();
+/// footprint.insert(3);
+/// footprint.insert(130); // grows on demand
+/// let mut occupancy = RouteSet::new();
+/// occupancy.insert(130);
+/// assert_eq!(footprint.intersection_len(&occupancy), 1);
+/// footprint.toggle(3);
+/// footprint.toggle(130);
+/// assert!(footprint.is_empty());
+/// assert_eq!(footprint, RouteSet::new());
+/// ```
+#[derive(Clone, Default)]
+pub struct RouteSet {
+    words: Vec<u64>,
+}
+
+impl RouteSet {
+    /// Creates an empty footprint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a footprint from ids.
+    pub fn from_ids<I: IntoIterator<Item = usize>>(ids: I) -> Self {
+        let mut set = RouteSet::new();
+        for id in ids {
+            set.insert(id);
+        }
+        set
+    }
+
+    fn grow_for(&mut self, id: usize) {
+        let need = id / BITS + 1;
+        if self.words.len() < need {
+            self.words.resize(need, 0);
+        }
+    }
+
+    /// Number of set ids (population count).
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no id is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Clears every id (capacity is retained).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Whether `id` is set. Ids beyond the current width are absent.
+    pub fn contains(&self, id: usize) -> bool {
+        self.words
+            .get(id / BITS)
+            .is_some_and(|w| w & (1 << (id % BITS)) != 0)
+    }
+
+    /// Sets `id`, widening if needed; returns whether it was newly
+    /// inserted.
+    pub fn insert(&mut self, id: usize) -> bool {
+        self.grow_for(id);
+        let word = &mut self.words[id / BITS];
+        let mask = 1 << (id % BITS);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Clears `id`; returns whether it was present.
+    pub fn remove(&mut self, id: usize) -> bool {
+        let Some(word) = self.words.get_mut(id / BITS) else {
+            return false;
+        };
+        let mask = 1 << (id % BITS);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
+    /// Flips `id`, widening if needed; returns whether it is set
+    /// afterwards.
+    pub fn toggle(&mut self, id: usize) -> bool {
+        self.grow_for(id);
+        let word = &mut self.words[id / BITS];
+        let mask = 1 << (id % BITS);
+        *word ^= mask;
+        *word & mask != 0
+    }
+
+    /// `self |= other`, widening to cover `other`.
+    pub fn union_with(&mut self, other: &RouteSet) {
+        if self.words.len() < other.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// `self &= other`; ids beyond `other`'s width are cleared.
+    pub fn intersect_with(&mut self, other: &RouteSet) {
+        for (i, w) in self.words.iter_mut().enumerate() {
+            *w &= other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// `self ^= other`, widening to cover `other` — the footprint-toggle
+    /// primitive: XOR-ing a route's resource mask installs it if absent
+    /// and removes it if present, in one word-wise pass.
+    pub fn xor_with(&mut self, other: &RouteSet) {
+        if self.words.len() < other.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w ^= o;
+        }
+    }
+
+    /// `self &= !other`.
+    pub fn difference_with(&mut self, other: &RouteSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+    }
+
+    /// `|self ∩ other|` without materializing the intersection — the
+    /// Theorem-1 delta-check kernel (AND + popcount per word over the
+    /// shorter operand).
+    pub fn intersection_len(&self, other: &RouteSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(w, o)| (w & o).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether the footprints share at least one resource (early-exits on
+    /// the first overlapping word).
+    pub fn intersects(&self, other: &RouteSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(w, o)| w & o != 0)
+    }
+
+    /// Iterates set ids in ascending order.
+    pub fn iter(&self) -> ResourceOnes<'_> {
+        ResourceOnes {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl PartialEq for RouteSet {
+    fn eq(&self, other: &RouteSet) -> bool {
+        let common = self.words.len().min(other.words.len());
+        self.words[..common] == other.words[..common]
+            && self.words[common..].iter().all(|&w| w == 0)
+            && other.words[common..].iter().all(|&w| w == 0)
+    }
+}
+
+impl Eq for RouteSet {}
+
+impl fmt::Debug for RouteSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl Extend<usize> for RouteSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, ids: I) {
+        for id in ids {
+            self.insert(id);
+        }
+    }
+}
+
+impl FromIterator<usize> for RouteSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(ids: I) -> Self {
+        RouteSet::from_ids(ids)
+    }
+}
+
+impl<'a> IntoIterator for &'a RouteSet {
+    type Item = usize;
+    type IntoIter = ResourceOnes<'a>;
+
+    fn into_iter(self) -> ResourceOnes<'a> {
+        self.iter()
+    }
+}
+
+/// Ascending iterator over the set ids of a [`RouteSet`].
+#[derive(Debug, Clone)]
+pub struct ResourceOnes<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for ResourceOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            self.current = *self.words.get(self.word_idx)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_is_first_seen_order() {
+        let mut i = ResourceInterner::new();
+        assert_eq!(i.intern(900), 0);
+        assert_eq!(i.intern(3), 1);
+        assert_eq!(i.intern(900), 0);
+        assert_eq!(i.intern(u64::MAX), 2);
+        assert_eq!(i.keys(), &[900, 3, u64::MAX]);
+        assert_eq!(i.id(3), Some(1));
+        assert_eq!(i.id(4), None);
+        assert_eq!(i.key(2), u64::MAX);
+        assert_eq!(i.len(), 3);
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn insert_remove_toggle_grow_on_demand() {
+        let mut s = RouteSet::new();
+        assert!(s.is_empty());
+        assert!(!s.contains(500));
+        assert!(s.insert(500));
+        assert!(!s.insert(500));
+        assert!(s.contains(500));
+        assert!(!s.remove(501));
+        assert!(s.remove(500));
+        assert!(s.is_empty());
+        assert!(s.toggle(63));
+        assert!(s.toggle(64));
+        assert!(!s.toggle(63));
+        assert_eq!(s.iter().collect::<Vec<_>>(), [64]);
+    }
+
+    #[test]
+    fn equality_ignores_trailing_zero_words() {
+        let mut grown = RouteSet::new();
+        grown.insert(300);
+        grown.remove(300);
+        assert_eq!(grown, RouteSet::new());
+        let narrow = RouteSet::from_ids([5]);
+        let mut wide = RouteSet::from_ids([5, 400]);
+        wide.remove(400);
+        assert_eq!(narrow, wide);
+        wide.insert(400);
+        assert_ne!(narrow, wide);
+    }
+
+    #[test]
+    fn mixed_width_algebra() {
+        let a = RouteSet::from_ids([1, 70, 200]);
+        let b = RouteSet::from_ids([1, 2]);
+
+        let mut u = b.clone();
+        u.union_with(&a);
+        assert_eq!(u.iter().collect::<Vec<_>>(), [1, 2, 70, 200]);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), [1]);
+        assert_eq!(a.intersection_len(&b), 1);
+        assert_eq!(b.intersection_len(&a), 1);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&RouteSet::from_ids([3])));
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), [70, 200]);
+
+        let mut x = b.clone();
+        x.xor_with(&a);
+        assert_eq!(x.iter().collect::<Vec<_>>(), [2, 70, 200]);
+        x.xor_with(&a); // self-inverse
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut s: RouteSet = [9, 1].into_iter().collect();
+        s.extend([1, 130]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), [1, 9, 130]);
+        assert_eq!(s.len(), 3);
+        assert_eq!((&s).into_iter().count(), 3);
+    }
+
+    #[test]
+    fn debug_renders_as_set() {
+        let s = RouteSet::from_ids([1, 65]);
+        assert_eq!(format!("{s:?}"), "{1, 65}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests for the RouteSet resource-bitset kernel (DESIGN.md
+//! §12): the growable bitset algebra must agree with the reference
+//! `BTreeSet` semantics, the resource interner must be a first-seen
+//! bijection, and toggling must be an involution down to the empty set —
+//! the facts that make the incremental Theorem-1 delta check exact.
+
+use std::collections::BTreeSet;
+
+use nocsyn_check::{check, check_assert, check_assert_eq, u64_in, usize_in, vec_of};
+use nocsyn_model::{ResourceInterner, RouteSet};
+
+fn model_of(set: &RouteSet) -> BTreeSet<usize> {
+    set.iter().collect()
+}
+
+/// Union, intersection, xor, difference, popcounts and intersection
+/// tests all agree with the `BTreeSet` reference across mixed widths,
+/// and iteration is ascending.
+#[test]
+fn routeset_algebra_matches_btreeset() {
+    // Ids up to 400 span multiple words and force width mismatches
+    // between operands (RouteSet grows on demand; there is no universe).
+    let gen = (
+        vec_of(usize_in(0..400), 0..40),
+        vec_of(usize_in(0..400), 0..40),
+    );
+    check(
+        "routeset_algebra_matches_btreeset",
+        gen,
+        |(a_ids, b_ids)| {
+            let a = RouteSet::from_ids(a_ids.iter().copied());
+            let b = RouteSet::from_ids(b_ids.iter().copied());
+            let ma: BTreeSet<usize> = a_ids.iter().copied().collect();
+            let mb: BTreeSet<usize> = b_ids.iter().copied().collect();
+
+            check_assert_eq!(a.len(), ma.len());
+            check_assert_eq!(a.is_empty(), ma.is_empty());
+            check_assert_eq!(a.intersection_len(&b), ma.intersection(&mb).count());
+            check_assert_eq!(a.intersects(&b), ma.intersection(&mb).next().is_some());
+
+            // Iteration order is ascending — the determinism keystone.
+            let order: Vec<usize> = a.iter().collect();
+            check_assert!(order.windows(2).all(|w| w[0] < w[1]));
+            check_assert_eq!(model_of(&a), ma.clone());
+
+            let mut u = a.clone();
+            u.union_with(&b);
+            check_assert_eq!(
+                model_of(&u),
+                ma.union(&mb).copied().collect::<BTreeSet<_>>()
+            );
+
+            let mut i = a.clone();
+            i.intersect_with(&b);
+            check_assert_eq!(
+                model_of(&i),
+                ma.intersection(&mb).copied().collect::<BTreeSet<_>>()
+            );
+
+            let mut x = a.clone();
+            x.xor_with(&b);
+            check_assert_eq!(
+                model_of(&x),
+                ma.symmetric_difference(&mb)
+                    .copied()
+                    .collect::<BTreeSet<_>>()
+            );
+
+            let mut d = a.clone();
+            d.difference_with(&b);
+            check_assert_eq!(
+                model_of(&d),
+                ma.difference(&mb).copied().collect::<BTreeSet<_>>()
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Mutation sequences (insert / remove / toggle / clear) track the
+/// reference model exactly, including the "did anything change"
+/// returns, with equality ignoring how wide the backing storage grew.
+#[test]
+fn routeset_mutation_matches_btreeset() {
+    let gen = vec_of((usize_in(0..4), usize_in(0..400)), 1..60);
+    check("routeset_mutation_matches_btreeset", gen, |ops| {
+        let mut set = RouteSet::new();
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for &(op, id) in ops {
+            match op {
+                0 => check_assert_eq!(set.insert(id), model.insert(id)),
+                1 => check_assert_eq!(set.remove(id), model.remove(&id)),
+                2 => {
+                    let now_present = set.toggle(id);
+                    let model_present = if model.contains(&id) {
+                        model.remove(&id);
+                        false
+                    } else {
+                        model.insert(id);
+                        true
+                    };
+                    check_assert_eq!(now_present, model_present);
+                }
+                _ => {
+                    set.clear();
+                    model.clear();
+                }
+            }
+            check_assert_eq!(set.len(), model.len());
+            check_assert_eq!(set.contains(id), model.contains(&id));
+        }
+        check_assert_eq!(model_of(&set), model.clone());
+        // Equality must see through trailing zero words: a set that
+        // grew and emptied again equals a set that never grew.
+        check_assert_eq!(
+            set == RouteSet::new(),
+            model.is_empty(),
+            "grown-then-emptied set must equal a fresh one (model: {model:?})"
+        );
+        check_assert_eq!(set.clone(), RouteSet::from_ids(model.iter().copied()));
+        Ok(())
+    });
+}
+
+/// Toggling a multiset of ids an even number of times each lands back
+/// on the empty set — the involution the reroute footprint-toggle
+/// discipline relies on (apply route, revert route, nothing sticks).
+#[test]
+fn routeset_double_toggle_is_identity() {
+    let gen = vec_of(usize_in(0..400), 0..50);
+    check("routeset_double_toggle_is_identity", gen, |ids| {
+        let mut set = RouteSet::new();
+        for &id in ids {
+            set.toggle(id);
+        }
+        let after_one_pass = set.clone();
+        for &id in ids {
+            set.toggle(id);
+        }
+        check_assert!(set.is_empty(), "double toggle left residue: {set:?}");
+        check_assert_eq!(set.clone(), RouteSet::new());
+        // One pass leaves exactly the odd-multiplicity ids.
+        let mut odd: BTreeSet<usize> = BTreeSet::new();
+        for &id in ids {
+            if !odd.insert(id) {
+                odd.remove(&id);
+            }
+        }
+        check_assert_eq!(model_of(&after_one_pass), odd.clone());
+        Ok(())
+    });
+}
+
+/// The interner is a first-seen-order bijection: `intern` is idempotent
+/// per key, `id` / `key` invert each other, and `keys()` lists every
+/// distinct key in the order it first appeared.
+#[test]
+fn resource_interner_round_trip() {
+    let gen = vec_of(u64_in(0..60), 0..80);
+    check("resource_interner_round_trip", gen, |raw| {
+        let mut interner = ResourceInterner::new();
+        let mut first_seen: Vec<u64> = Vec::new();
+        for &key in raw {
+            let id = interner.intern(key);
+            if !first_seen.contains(&key) {
+                check_assert_eq!(id, first_seen.len(), "fresh key got a non-dense id");
+                first_seen.push(key);
+            }
+            check_assert_eq!(interner.id(key), Some(id));
+            check_assert_eq!(interner.key(id), key);
+        }
+        check_assert_eq!(interner.len(), first_seen.len());
+        check_assert_eq!(interner.is_empty(), first_seen.is_empty());
+        check_assert_eq!(interner.keys().to_vec(), first_seen.clone());
+        // id and key are inverse bijections over the interned set.
+        for (id, &key) in first_seen.iter().enumerate() {
+            check_assert_eq!(interner.id(key), Some(id));
+            check_assert_eq!(interner.key(id), key);
+        }
+        // Never-interned keys have no id.
+        check_assert_eq!(interner.id(u64::MAX), None);
+        Ok(())
+    });
+}

@@ -359,6 +359,7 @@ fn cmd_synth(pattern: &AppPattern, opts: &Options) -> Result<String, String> {
             ("moves_accepted", JsonValue::from(r.moves_accepted)),
             ("reroutes_tried", JsonValue::from(r.reroutes_tried)),
             ("reroutes_accepted", JsonValue::from(r.reroutes_accepted)),
+            ("reroutes_neutral", JsonValue::from(r.reroutes_neutral)),
         ]);
         return Ok(format!("{obj}\n"));
     }

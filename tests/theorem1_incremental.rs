@@ -1,0 +1,170 @@
+//! Differential test of the incremental Theorem-1 checker: long random
+//! route-edit sequences over real workload contention sets, with the
+//! incremental state compared against a from-scratch `C ∩ R` recompute
+//! (`verify_contention_free`) **after every single step**.
+//!
+//! Each workload runs `CASES × STEPS_PER_CASE = 64 × 160 = 10,240`
+//! randomized edit steps through `nocsyn-check`, so a divergence panics
+//! with a `NOCSYN_CHECK_SEED=<seed>` replay recipe and a shrunk edit
+//! script.
+
+use std::collections::BTreeSet;
+
+use nocsyn_check::{check_assert_eq, check_n, usize_in, vec_of};
+use nocsyn_model::Flow;
+use nocsyn_synth::AppPattern;
+use nocsyn_topo::{
+    regular, shortest_route_avoiding, verify_contention_free, IncrementalChecker, LinkId, Network,
+    RouteTable, SwitchId,
+};
+use nocsyn_workloads::{Benchmark, WorkloadParams};
+
+/// Edit scripts per workload (the `nocsyn-check` case count).
+const CASES: usize = 64;
+/// Edits per script; `CASES * STEPS_PER_CASE` must stay >= 10_000.
+const STEPS_PER_CASE: usize = 160;
+
+/// One encoded edit: `(op, raw_flow, raw_param)`, reduced modulo the
+/// workload's flow and link counts when applied.
+type RawEdit = (usize, usize, usize);
+
+/// Applies one edit to both the incremental checker and the mirror
+/// table, keeping the two in lock-step.
+fn apply_edit(
+    net: &Network,
+    baseline: &RouteTable,
+    flows: &[Flow],
+    checker: &mut IncrementalChecker,
+    mirror: &mut RouteTable,
+    (op, raw_flow, raw_param): RawEdit,
+) {
+    let flow = flows[raw_flow % flows.len()];
+    match op % 4 {
+        // Re-install the baseline (dimension-order) route.
+        0 => {
+            let route = baseline
+                .route(flow)
+                .expect("baseline routes every workload flow")
+                .clone();
+            checker.set_route(flow, route.clone());
+            mirror.insert(flow, route);
+        }
+        // Detour: shortest path avoiding one link. When avoidance
+        // disconnects the flow (e.g. its attachment link), the edit
+        // degrades to a route removal — still a valid table state.
+        1 => {
+            let avoid: BTreeSet<LinkId> = [LinkId(raw_param % net.n_links())].into();
+            match shortest_route_avoiding(net, flow, &avoid, &BTreeSet::new()) {
+                Ok(route) => {
+                    checker.set_route(flow, route.clone());
+                    mirror.insert(flow, route);
+                }
+                Err(_) => {
+                    checker.clear_route(flow);
+                    mirror.remove(flow);
+                }
+            }
+        }
+        // Unroute the flow outright.
+        2 => {
+            checker.clear_route(flow);
+            mirror.remove(flow);
+        }
+        // Detour around a switch — longer reroutes than op 1, and a
+        // guaranteed-removal path for flows homed on that switch.
+        _ => {
+            let avoid: BTreeSet<SwitchId> = [SwitchId(raw_param % net.n_switches())].into();
+            match shortest_route_avoiding(net, flow, &BTreeSet::new(), &avoid) {
+                Ok(route) => {
+                    checker.set_route(flow, route.clone());
+                    mirror.insert(flow, route);
+                }
+                Err(_) => {
+                    checker.clear_route(flow);
+                    mirror.remove(flow);
+                }
+            }
+        }
+    }
+}
+
+/// Runs the differential property for one workload pattern on one
+/// network: every edit step must leave the incremental checker equal to
+/// the exact checker on the mirrored table.
+fn differential_suite(
+    name: &'static str,
+    benchmark: Benchmark,
+    n_procs: usize,
+    net: Network,
+    baseline: RouteTable,
+) {
+    let schedule = benchmark
+        .schedule(
+            n_procs,
+            &WorkloadParams::paper_default(benchmark).with_iterations(1),
+        )
+        .expect("paper process counts are valid");
+    let pattern = AppPattern::from_schedule(&schedule);
+    let contention = pattern.contention();
+    let flows: Vec<Flow> = pattern.flows().to_vec();
+    assert!(!flows.is_empty(), "{name}: workload pattern has no flows");
+
+    let gen = vec_of(
+        (usize_in(0..4), usize_in(0..4096), usize_in(0..4096)),
+        STEPS_PER_CASE..STEPS_PER_CASE + 1,
+    );
+    check_n(name, CASES, gen, |edits| {
+        // Start from the full baseline table so scripts mutate a live,
+        // mostly-routed network rather than an empty one.
+        let mut checker = IncrementalChecker::with_routes(contention, &baseline);
+        let mut mirror = baseline.clone();
+        for &edit in edits {
+            apply_edit(&net, &baseline, &flows, &mut checker, &mut mirror, edit);
+            check_assert_eq!(
+                checker.report(),
+                verify_contention_free(contention, &mirror),
+                "incremental state diverged from the from-scratch C ∩ R \
+                 recompute after edit {edit:?}"
+            );
+        }
+        // The checker's own table must have tracked the mirror too.
+        check_assert_eq!(*checker.routes(), mirror.clone());
+        Ok(())
+    });
+}
+
+#[test]
+fn cg16_incremental_matches_exact_checker() {
+    let (net, routes) = regular::mesh(4, 4).expect("4x4 mesh builds");
+    differential_suite(
+        "cg16_incremental_matches_exact_checker",
+        Benchmark::Cg,
+        16,
+        net,
+        routes,
+    );
+}
+
+#[test]
+fn mg8_incremental_matches_exact_checker() {
+    let (net, routes) = regular::crossbar(8).expect("8-proc crossbar builds");
+    differential_suite(
+        "mg8_incremental_matches_exact_checker",
+        Benchmark::Mg,
+        8,
+        net,
+        routes,
+    );
+}
+
+#[test]
+fn fft16_incremental_matches_exact_checker() {
+    let (net, routes) = regular::torus(4, 4).expect("4x4 torus builds");
+    differential_suite(
+        "fft16_incremental_matches_exact_checker",
+        Benchmark::Fft,
+        16,
+        net,
+        routes,
+    );
+}
