@@ -10,8 +10,11 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --offline --workspace --all-targets -- -D warnings
+echo "==> cargo clippy --all-targets -- -D warnings -D deprecated"
+# -D deprecated is pinned explicitly: the workspace carries no
+# #[deprecated] shims (PR 7 removed the last ones) and none may creep
+# back in silently.
+cargo clippy --offline --workspace --all-targets -- -D warnings -D deprecated
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
@@ -19,9 +22,9 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
-echo "==> no-unwrap gate: clippy -D clippy::unwrap_used on faults + engine + model + fuzz + coloring + bench + synth + topo"
+echo "==> no-unwrap gate: clippy -D clippy::unwrap_used on faults + engine + model + fuzz + coloring + bench + synth + topo + serve"
 cargo clippy --offline -p nocsyn-faults -p nocsyn-engine -p nocsyn-model -p nocsyn-fuzz \
-    -p nocsyn-coloring -p nocsyn-bench -p nocsyn-synth -p nocsyn-topo -- \
+    -p nocsyn-coloring -p nocsyn-bench -p nocsyn-synth -p nocsyn-topo -p nocsyn-serve -- \
     -D warnings -D clippy::unwrap_used
 
 echo "==> engine smoke gate: synth --jobs 1 vs --jobs 4 must be bit-identical"
@@ -62,5 +65,31 @@ echo "==> BENCH_6 gate: perf --iters 3 counters match the checked-in artifact"
 ./target/release/perf --iters 3 --seed 1 --json > "$j4" 2> /dev/null
 diff "$j1" "$j4"
 diff "$j1" BENCH_6.json
+
+echo "==> serve cache gate: same job twice -> miss then byte-identical hit"
+# The daemon in --drain mode is fully scriptable: two copies of the same
+# request must come back as a miss then a hit, identical except for the
+# cache marker, and the embedded report must be byte-identical to a
+# direct `nocsyn synth --json` run of the same job.
+req='{"op":"synth","pattern":"procs 4\nphase\n  0 -> 1\n  2 -> 3\n"}'
+printf '%s\n%s\n' "$req" "$req" | ./target/release/nocsyn serve --drain > "$j1"
+test "$(wc -l < "$j1")" -eq 2
+head -n 1 "$j1" | grep -q '"cache":"miss"'
+tail -n 1 "$j1" | grep -q '"cache":"hit"'
+head -n 1 "$j1" | sed 's/"cache":"miss"/"cache":"hit"/' > "$j4"
+tail -n 1 "$j1" | diff "$j4" -
+pat="$(mktemp)"
+printf 'procs 4\nphase\n  0 -> 1\n  2 -> 3\n' > "$pat"
+direct="$(./target/release/nocsyn synth "$pat" --json)"
+rm -f "$pat"
+grep -qF "\"report\":${direct}}" "$j1"
+
+echo "==> BENCH_7 gate: serve cache counters match the checked-in artifact"
+# Cold-miss / warm-hit facts of the result cache on the CG16/MG8/FFT16
+# mix: deterministic, so two runs must match each other and the artifact.
+./target/release/serve --seed 1 --json > "$j1" 2> /dev/null
+./target/release/serve --seed 1 --json > "$j4" 2> /dev/null
+diff "$j1" "$j4"
+diff "$j1" BENCH_7.json
 
 echo "CI gate passed."

@@ -1,0 +1,215 @@
+//! Serve-daemon cache harness: cold-miss vs warm-hit behavior of the
+//! content-addressed result cache on the CG16 / MG8 / FFT16 mix.
+//!
+//! Usage: `serve [--json] [--seed S]`.
+//!
+//! Same two-channel contract as `perf`:
+//!
+//! * `--json` (stdout): **deterministic** facts only — per-case job
+//!   fingerprint, cache tier of each pass, winner counters, and whether
+//!   the warm reply was byte-identical to the cold one (modulo the
+//!   `cache` marker). Same seed => identical bytes; CI byte-diffs this
+//!   against the checked-in BENCH_7.json and against a rerun.
+//! * human mode (stdout) / `--json` companion (stderr): cold and warm
+//!   wall times and the speedup ratio, which vary run to run.
+
+use std::time::{Duration, Instant};
+
+use nocsyn_model::format_schedule;
+use nocsyn_model::json::JsonValue;
+use nocsyn_serve::{CacheTier, ReplyKind, ServeOptions, Server};
+use nocsyn_workloads::{Benchmark, WorkloadParams};
+
+/// One benchmark case of the harness.
+struct Case {
+    name: &'static str,
+    benchmark: Benchmark,
+    n_procs: usize,
+}
+
+const CASES: [Case; 3] = [
+    Case {
+        name: "CG16",
+        benchmark: Benchmark::Cg,
+        n_procs: 16,
+    },
+    Case {
+        name: "MG8",
+        benchmark: Benchmark::Mg,
+        n_procs: 8,
+    },
+    Case {
+        name: "FFT16",
+        benchmark: Benchmark::Fft,
+        n_procs: 16,
+    },
+];
+
+struct Outcome {
+    name: &'static str,
+    fingerprint: String,
+    cold_tier: &'static str,
+    warm_tier: &'static str,
+    switches: u64,
+    links: u64,
+    byte_identical: bool,
+    cold: Duration,
+    warm: Duration,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: serve [--json] [--seed S]");
+    std::process::exit(2);
+}
+
+struct Options {
+    json: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        json: false,
+        seed: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => opts.seed = s,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+/// Classifies a reply, panicking on anything but a report (a benchmark
+/// request failing is a harness bug, not a measurement).
+fn tier(kind: &ReplyKind) -> &'static str {
+    match kind {
+        ReplyKind::Report(t) => t.label(),
+        other => panic!("benchmark request was not served a report: {other:?}"),
+    }
+}
+
+fn field_u64(line: &str, key: &str) -> u64 {
+    nocsyn_model::json::parse(line)
+        .expect("reply lines are well-formed")
+        .get("report")
+        .and_then(|r| r.get(key))
+        .and_then(|v| v.as_u64())
+        .expect("report carries the counter")
+}
+
+fn run_case(server: &Server, case: &Case, seed: u64) -> Outcome {
+    let sched = case
+        .benchmark
+        .schedule(
+            case.n_procs,
+            &WorkloadParams::paper_default(case.benchmark).with_iterations(1),
+        )
+        .expect("harness process counts are valid");
+    let request = JsonValue::object([
+        ("op", JsonValue::from("synth")),
+        ("pattern", JsonValue::from(format_schedule(&sched))),
+        ("seed", JsonValue::from(seed)),
+    ])
+    .to_string();
+
+    let started = Instant::now();
+    let cold = server.handle_line(&request);
+    let cold_elapsed = started.elapsed();
+    let started = Instant::now();
+    let warm = server.handle_line(&request);
+    let warm_elapsed = started.elapsed();
+
+    let fingerprint = nocsyn_model::json::parse(&cold.line)
+        .expect("reply lines are well-formed")
+        .get("fingerprint")
+        .and_then(|v| v.as_str().map(str::to_string))
+        .expect("synth replies carry the job fingerprint");
+    Outcome {
+        name: case.name,
+        fingerprint,
+        cold_tier: tier(&cold.kind),
+        warm_tier: tier(&warm.kind),
+        switches: field_u64(&cold.line, "switches"),
+        links: field_u64(&cold.line, "links"),
+        byte_identical: cold.line.replace("\"cache\":\"miss\"", "\"cache\":\"hit\"") == warm.line,
+        cold: cold_elapsed,
+        warm: warm_elapsed,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let server = Server::new(ServeOptions::default());
+    let outcomes: Vec<Outcome> = CASES
+        .iter()
+        .map(|c| run_case(&server, c, opts.seed))
+        .collect();
+    // The warm pass must have been pure cache traffic.
+    assert!(
+        outcomes
+            .iter()
+            .all(|o| o.warm_tier == CacheTier::Hit.label()),
+        "warm pass fell through the cache"
+    );
+
+    if opts.json {
+        let cases = JsonValue::array(outcomes.iter().map(|o| {
+            JsonValue::object([
+                ("name", JsonValue::from(o.name)),
+                ("fingerprint", JsonValue::from(o.fingerprint.as_str())),
+                ("cold", JsonValue::from(o.cold_tier)),
+                ("warm", JsonValue::from(o.warm_tier)),
+                ("switches", JsonValue::from(o.switches)),
+                ("links", JsonValue::from(o.links)),
+                ("byte_identical", JsonValue::from(o.byte_identical)),
+            ])
+        }));
+        let doc = JsonValue::object([
+            ("bench", JsonValue::from("serve")),
+            ("seed", JsonValue::from(opts.seed)),
+            ("cases", cases),
+        ]);
+        println!("{doc}");
+        // Timings go to stderr so the byte-compared artifact stays
+        // deterministic.
+        for o in &outcomes {
+            eprintln!(
+                "# {}: cold {:.1} ms, warm {:.3} ms",
+                o.name,
+                o.cold.as_secs_f64() * 1e3,
+                o.warm.as_secs_f64() * 1e3,
+            );
+        }
+    } else {
+        println!("serve cache (seed {})", opts.seed);
+        println!(
+            "{:<6} {:>6} {:>6} {:>12} {:>12} {:>10} {:>10}",
+            "case", "links", "switch", "cold ms", "warm ms", "speedup", "identical"
+        );
+        for o in &outcomes {
+            let cold_ms = o.cold.as_secs_f64() * 1e3;
+            let warm_ms = o.warm.as_secs_f64() * 1e3;
+            println!(
+                "{:<6} {:>6} {:>6} {:>12.1} {:>12.3} {:>9.0}x {:>10}",
+                o.name,
+                o.links,
+                o.switches,
+                cold_ms,
+                warm_ms,
+                if warm_ms > 0.0 {
+                    cold_ms / warm_ms
+                } else {
+                    0.0
+                },
+                if o.byte_identical { "yes" } else { "NO" }
+            );
+        }
+    }
+}

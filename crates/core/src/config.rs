@@ -1,5 +1,7 @@
 //! Synthesis configuration and design constraints.
 
+use nocsyn_model::CanonicalForm;
+
 use crate::AcceptanceRule;
 
 /// Which coloring backend sizes pipes *during the search*.
@@ -197,6 +199,53 @@ impl SynthesisConfig {
     pub fn restarts(&self) -> usize {
         self.restarts
     }
+
+    /// The configuration's canonical form for content-addressed caching.
+    ///
+    /// Every field that influences the synthesis result appears as a
+    /// named field (including the seed — the whole flow is a pure
+    /// function of `(pattern, config, seed)`, and this form is the
+    /// `(config, seed)` half of the cache key). Enum variants get stable
+    /// lowercase labels; the annealing schedule's parameters are emitted
+    /// only when the annealing rule is selected, so `greedy` can never
+    /// collide with an `anneal` at some temperature.
+    ///
+    /// Two configs compare equal iff their canonical forms digest
+    /// equally; anything *not* in this form (e.g. a job deadline) must
+    /// not change the synthesis output.
+    pub fn canonical_form(&self) -> CanonicalForm {
+        let mut form = CanonicalForm::new()
+            .field("max_degree", self.max_degree)
+            .field("balance_tolerance", self.balance_tolerance)
+            .field("seed", self.seed)
+            .field(
+                "coloring",
+                match self.coloring {
+                    ColoringStrategy::Fast => "fast",
+                    ColoringStrategy::Exact => "exact",
+                },
+            )
+            .field("indirect_routing", self.indirect_routing)
+            .field("max_rounds", self.max_rounds)
+            .field("max_move_rounds", self.max_move_rounds)
+            .field("restarts", self.restarts);
+        match self.acceptance {
+            AcceptanceRule::Greedy => form.push_field("acceptance", "greedy"),
+            AcceptanceRule::Anneal {
+                initial_temperature,
+                cooling,
+            } => {
+                form.push_field("acceptance", "anneal");
+                form.push_field("anneal_initial_temperature", initial_temperature);
+                form.push_field("anneal_cooling", cooling);
+            }
+        }
+        match self.max_pipe_width {
+            None => form.push_field("max_pipe_width", "none"),
+            Some(w) => form.push_field("max_pipe_width", w),
+        }
+        form
+    }
 }
 
 impl Default for SynthesisConfig {
@@ -247,5 +296,53 @@ mod tests {
     fn zero_restarts_clamps_to_one() {
         let c = SynthesisConfig::new().with_restarts(0);
         assert_eq!(c.restarts(), 1);
+    }
+
+    #[test]
+    fn canonical_form_distinguishes_every_field() {
+        let base = SynthesisConfig::new();
+        let d0 = base.canonical_form().digest();
+        let variants = [
+            base.clone().with_max_degree(4),
+            base.clone().with_balance_tolerance(1),
+            base.clone().with_seed(1),
+            base.clone().with_coloring(ColoringStrategy::Exact),
+            base.clone()
+                .with_acceptance(AcceptanceRule::default_anneal()),
+            base.clone().with_indirect_routing(false),
+            base.clone().with_max_rounds(99),
+            base.clone().with_max_move_rounds(3),
+            base.clone().with_restarts(2),
+            base.clone().with_max_pipe_width(2),
+        ];
+        let mut digests = vec![d0];
+        for v in &variants {
+            digests.push(v.canonical_form().digest());
+        }
+        for i in 0..digests.len() {
+            for j in (i + 1)..digests.len() {
+                assert_ne!(digests[i], digests[j], "variants {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_stable_for_equal_configs() {
+        let a = SynthesisConfig::new().with_seed(7).with_restarts(4);
+        let b = SynthesisConfig::new().with_restarts(4).with_seed(7);
+        assert_eq!(a.canonical_form().digest(), b.canonical_form().digest());
+        // Anneal parameters surface in the form.
+        let t1 = SynthesisConfig::new().with_acceptance(AcceptanceRule::Anneal {
+            initial_temperature: 2.0,
+            cooling: 0.95,
+        });
+        let t2 = SynthesisConfig::new().with_acceptance(AcceptanceRule::Anneal {
+            initial_temperature: 3.0,
+            cooling: 0.95,
+        });
+        assert_ne!(t1.canonical_form().digest(), t2.canonical_form().digest());
+        let render = t1.canonical_form().render();
+        assert!(render.contains("acceptance=anneal\n"));
+        assert!(render.contains("anneal_initial_temperature=2\n"));
     }
 }

@@ -102,6 +102,20 @@ pub enum EngineEvent {
         /// The I/O error that killed the sink.
         error: String,
     },
+    /// One request handled by the `nocsyn serve` daemon (emitted by
+    /// `nocsyn-serve`, which reuses this telemetry stream so daemon and
+    /// batch runs share one event pipeline). Carries no job name — serve
+    /// requests are identified by their content fingerprint instead.
+    ServeRequest {
+        /// Protocol operation (`synth` / `stats` / `status`).
+        op: String,
+        /// How the request resolved: a cache tier (`miss` / `hit` /
+        /// `disk`), `ok` for non-synthesis ops, or an error fingerprint.
+        outcome: String,
+        /// Content fingerprint of the job (empty for non-synthesis ops
+        /// and rejected requests).
+        fingerprint: String,
+    },
 }
 
 impl EngineEvent {
@@ -114,6 +128,7 @@ impl EngineEvent {
             EngineEvent::JobFinished { .. } => "job_finished",
             EngineEvent::AttemptPanicked { .. } => "attempt_panicked",
             EngineEvent::SinkDegraded { .. } => "sink_degraded",
+            EngineEvent::ServeRequest { .. } => "serve_request",
         }
     }
 
@@ -126,7 +141,7 @@ impl EngineEvent {
             | EngineEvent::DeadlineExceeded { job, .. }
             | EngineEvent::JobFinished { job, .. }
             | EngineEvent::AttemptPanicked { job, .. } => job,
-            EngineEvent::SinkDegraded { .. } => "",
+            EngineEvent::SinkDegraded { .. } | EngineEvent::ServeRequest { .. } => "",
         }
     }
 
@@ -209,6 +224,16 @@ impl EngineEvent {
             EngineEvent::SinkDegraded { error } => JsonValue::object([
                 ("event", JsonValue::from(self.kind())),
                 ("error", JsonValue::from(error.as_str())),
+            ]),
+            EngineEvent::ServeRequest {
+                op,
+                outcome,
+                fingerprint,
+            } => JsonValue::object([
+                ("event", JsonValue::from(self.kind())),
+                ("op", JsonValue::from(op.as_str())),
+                ("outcome", JsonValue::from(outcome.as_str())),
+                ("fingerprint", JsonValue::from(fingerprint.as_str())),
             ]),
         }
     }
@@ -416,6 +441,21 @@ mod tests {
         assert_eq!(
             d.to_json().to_string(),
             r#"{"event":"sink_degraded","error":"broken pipe"}"#
+        );
+    }
+
+    #[test]
+    fn serve_request_event_renders_stably() {
+        let e = EngineEvent::ServeRequest {
+            op: "synth".into(),
+            outcome: "hit".into(),
+            fingerprint: "abc123".into(),
+        };
+        assert_eq!(e.kind(), "serve_request");
+        assert_eq!(e.job(), "");
+        assert_eq!(
+            e.to_json().to_string(),
+            r#"{"event":"serve_request","op":"synth","outcome":"hit","fingerprint":"abc123"}"#
         );
     }
 

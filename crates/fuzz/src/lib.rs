@@ -35,6 +35,7 @@
 
 pub mod gen;
 pub mod route_probe;
+pub mod serve_probe;
 pub mod target;
 pub mod triage;
 

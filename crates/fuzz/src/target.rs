@@ -110,13 +110,15 @@ impl Registry {
     }
 
     /// A registry preloaded with the built-in targets: the model
-    /// parsers (`parse_schedule`, `parse_trace`) and the incremental
-    /// Theorem-1 differential probe (`route_edit_probe`).
+    /// parsers (`parse_schedule`, `parse_trace`), the incremental
+    /// Theorem-1 differential probe (`route_edit_probe`), and the serve
+    /// daemon's line protocol (`serve_request`).
     pub fn with_builtin_targets() -> Self {
         let mut r = Registry::new();
         r.register(parse_schedule_target());
         r.register(parse_trace_target());
         r.register(crate::route_probe::route_edit_probe_target());
+        r.register(crate::serve_probe::serve_request_target());
         r
     }
 
@@ -200,7 +202,12 @@ mod tests {
         let r = Registry::with_builtin_targets();
         assert_eq!(
             r.names(),
-            vec!["parse_schedule", "parse_trace", "route_edit_probe"]
+            vec![
+                "parse_schedule",
+                "parse_trace",
+                "route_edit_probe",
+                "serve_request"
+            ]
         );
         assert!(r.get("parse_schedule").is_some());
         assert!(r.get("route_edit_probe").is_some());

@@ -17,7 +17,8 @@ fn config(iters: u64, seed: u64) -> FuzzConfig {
 #[test]
 fn builtin_targets_survive_two_thousand_cases() {
     let registry = Registry::with_builtin_targets();
-    let corpus = gen::default_corpus();
+    let mut corpus = gen::default_corpus();
+    corpus.extend(nocsyn_fuzz::serve_probe::serve_corpus());
     let summary = run(&registry, "all", &corpus, &config(2000, 1)).expect("known target");
     assert!(
         summary.clean(),
@@ -28,18 +29,18 @@ fn builtin_targets_survive_two_thousand_cases() {
     // inputs parse, some are rejected through typed error paths. The
     // differential probe target has no reject path by design (every
     // byte string decodes to a valid edit script), so the rejection
-    // check applies to the parse targets only.
+    // check applies to the parse and serve targets only.
     for t in &summary.targets {
         assert_eq!(t.cases, 2000);
         assert!(t.accepted > 0, "{}: nothing parsed", t.name);
-        if t.name.starts_with("parse_") {
-            assert!(!t.rejections.is_empty(), "{}: nothing rejected", t.name);
-        } else {
+        if t.name == "route_edit_probe" {
             assert!(
                 t.rejections.is_empty(),
                 "{}: unexpected reject path",
                 t.name
             );
+        } else {
+            assert!(!t.rejections.is_empty(), "{}: nothing rejected", t.name);
         }
     }
 }

@@ -1,19 +1,25 @@
-//! A minimal hand-rolled JSON emitter.
+//! A minimal hand-rolled JSON emitter and bounded parser.
 //!
 //! The workspace is hermetic — no external crates — so machine-readable
 //! output (traces, synthesis reports, experiment tables) goes through
-//! this tiny value tree instead of a serialization framework. It only
-//! *writes* JSON; nothing in the pipeline needs to parse it back.
+//! this tiny value tree instead of a serialization framework. The serve
+//! protocol also *reads* JSON from untrusted sockets, so [`parse`] is a
+//! bounded recursive-descent parser with the same contract as the text
+//! ingestion layer: never panics, depth-capped, and every failure maps
+//! to a stable [`JsonParseError::fingerprint`].
 //!
 //! ```
-//! use nocsyn_model::json::JsonValue;
+//! use nocsyn_model::json::{parse, JsonValue};
 //! let v = JsonValue::object([
 //!     ("name", JsonValue::from("cg")),
 //!     ("procs", JsonValue::from(16u64)),
 //! ]);
 //! assert_eq!(v.to_string(), r#"{"name":"cg","procs":16}"#);
+//! let back = parse(&v.to_string()).expect("round trip");
+//! assert_eq!(back.get("procs").and_then(|p| p.as_u64()), Some(16));
 //! ```
 
+use std::error::Error;
 use std::fmt;
 
 /// A JSON value, built in memory and rendered with [`fmt::Display`].
@@ -49,6 +55,76 @@ impl JsonValue {
     /// Builds an array from values.
     pub fn array<I: IntoIterator<Item = JsonValue>>(items: I) -> Self {
         JsonValue::Array(items.into_iter().collect())
+    }
+
+    /// The value under `key` if this is an object with that key (first
+    /// occurrence wins, matching insertion order).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// An unsigned integer view: `UInt` directly, or a non-negative
+    /// `Int`. Floats never coerce (the writer keeps the flavors apart).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(n) => Some(*n),
+            JsonValue::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// A signed integer view: `Int` directly, or a `UInt` that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(n) => Some(*n),
+            JsonValue::UInt(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// A float view of any numeric flavor.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Float(x) => Some(*x),
+            JsonValue::UInt(n) => Some(*n as f64),
+            JsonValue::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The `(key, value)` pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(pairs) => Some(pairs),
+            _ => None,
+        }
     }
 }
 
@@ -154,6 +230,372 @@ impl fmt::Display for JsonValue {
     }
 }
 
+/// Maximum nesting depth [`parse`] accepts before bailing out with
+/// `json-too-deep`. Deep enough for any protocol frame this workspace
+/// emits, shallow enough that hostile input cannot blow the stack.
+pub const MAX_JSON_DEPTH: usize = 64;
+
+/// What went wrong while parsing (see [`JsonParseError`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonErrorKind {
+    /// Input ended inside a value, string, or escape.
+    UnexpectedEnd,
+    /// A byte that no JSON production allows at this position.
+    UnexpectedChar,
+    /// Nesting exceeded [`MAX_JSON_DEPTH`].
+    TooDeep,
+    /// A malformed number token.
+    BadNumber,
+    /// A malformed `\` escape or invalid `\u` surrogate sequence.
+    BadEscape,
+    /// Well-formed value followed by trailing non-whitespace bytes.
+    TrailingData,
+}
+
+impl JsonErrorKind {
+    /// Stable kebab-case identifier, value-free, for log aggregation and
+    /// fuzz-oracle dedup (same convention as
+    /// [`ParseErrorKind::fingerprint`](crate::ParseErrorKind::fingerprint)).
+    pub fn fingerprint(&self) -> &'static str {
+        match self {
+            JsonErrorKind::UnexpectedEnd => "json-unexpected-end",
+            JsonErrorKind::UnexpectedChar => "json-unexpected-char",
+            JsonErrorKind::TooDeep => "json-too-deep",
+            JsonErrorKind::BadNumber => "json-bad-number",
+            JsonErrorKind::BadEscape => "json-bad-escape",
+            JsonErrorKind::TrailingData => "json-trailing-data",
+        }
+    }
+}
+
+/// Error from [`parse`]: the failure kind plus the byte offset where
+/// parsing stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input where the problem was detected.
+    pub offset: usize,
+    /// What went wrong.
+    pub kind: JsonErrorKind,
+}
+
+impl JsonParseError {
+    /// Stable kebab-case identifier for the failure kind.
+    pub fn fingerprint(&self) -> &'static str {
+        self.kind.fingerprint()
+    }
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset,
+            self.fingerprint()
+        )
+    }
+}
+
+impl Error for JsonParseError {}
+
+/// Parses one complete JSON value from `input`.
+///
+/// Bounded and total: never panics on any byte sequence, refuses nesting
+/// past [`MAX_JSON_DEPTH`], and rejects trailing non-whitespace after the
+/// value. Numbers keep the emitter's flavors — unsigned integers parse
+/// as `UInt`, negative integers as `Int`, anything with a fraction or
+/// exponent as `Float` — so `parse(v.to_string()) == v` for values the
+/// emitter produces (modulo non-finite floats, which render as `null`).
+///
+/// # Errors
+///
+/// [`JsonParseError`] with a stable fingerprint on any malformed input.
+pub fn parse(input: &str) -> Result<JsonValue, JsonParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err(JsonErrorKind::TrailingData));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, kind: JsonErrorKind) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            kind,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        match self.peek() {
+            Some(c) if c == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(_) => Err(self.err(JsonErrorKind::UnexpectedChar)),
+            None => Err(self.err(JsonErrorKind::UnexpectedEnd)),
+        }
+    }
+
+    fn literal(&mut self, word: &[u8], value: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else if self.bytes.len() - self.pos < word.len() {
+            Err(self.err(JsonErrorKind::UnexpectedEnd))
+        } else {
+            Err(self.err(JsonErrorKind::UnexpectedChar))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        if depth > MAX_JSON_DEPTH {
+            return Err(self.err(JsonErrorKind::TooDeep));
+        }
+        match self.peek() {
+            None => Err(self.err(JsonErrorKind::UnexpectedEnd)),
+            Some(b'n') => self.literal(b"null", JsonValue::Null),
+            Some(b't') => self.literal(b"true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal(b"false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array_value(depth),
+            Some(b'{') => self.object_value(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err(JsonErrorKind::UnexpectedChar)),
+        }
+    }
+
+    fn array_value(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                Some(_) => return Err(self.err(JsonErrorKind::UnexpectedChar)),
+                None => return Err(self.err(JsonErrorKind::UnexpectedEnd)),
+            }
+        }
+    }
+
+    fn object_value(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                Some(_) => return Err(self.err(JsonErrorKind::UnexpectedChar)),
+                None => return Err(self.err(JsonErrorKind::UnexpectedEnd)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy a run of plain bytes in one slice op; the input is
+            // &str, so non-escape runs are valid UTF-8 by construction.
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                if let Ok(chunk) = std::str::from_utf8(&self.bytes[start..self.pos]) {
+                    out.push_str(chunk);
+                } else {
+                    // Unreachable for &str input; kept total anyway.
+                    return Err(self.err(JsonErrorKind::UnexpectedChar));
+                }
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => return Err(self.err(JsonErrorKind::UnexpectedChar)),
+                None => return Err(self.err(JsonErrorKind::UnexpectedEnd)),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), JsonParseError> {
+        let c = self
+            .peek()
+            .ok_or_else(|| self.err(JsonErrorKind::UnexpectedEnd))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: require a low-surrogate partner.
+                    if self.peek() != Some(b'\\') {
+                        return Err(self.err(JsonErrorKind::BadEscape));
+                    }
+                    self.pos += 1;
+                    if self.peek() != Some(b'u') {
+                        return Err(self.err(JsonErrorKind::BadEscape));
+                    }
+                    self.pos += 1;
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err(JsonErrorKind::BadEscape));
+                    }
+                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    // Lone low surrogate.
+                    return Err(self.err(JsonErrorKind::BadEscape));
+                } else {
+                    hi
+                };
+                match char::from_u32(code) {
+                    Some(ch) => out.push(ch),
+                    None => return Err(self.err(JsonErrorKind::BadEscape)),
+                }
+            }
+            _ => return Err(self.err(JsonErrorKind::BadEscape)),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut code: u32 = 0;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err(JsonErrorKind::UnexpectedEnd))?;
+            let digit = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err(JsonErrorKind::BadEscape))?;
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        // Integer part: one zero, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            Some(_) => return Err(self.err(JsonErrorKind::BadNumber)),
+            None => return Err(self.err(JsonErrorKind::UnexpectedEnd)),
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(JsonErrorKind::BadNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(JsonErrorKind::BadNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        // The token was scanned over ASCII digits/signs only, so the
+        // slice is valid UTF-8; fall back to an error rather than panic.
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err(JsonErrorKind::BadNumber))?;
+        if integral {
+            if negative {
+                if let Ok(n) = token.parse::<i64>() {
+                    return Ok(JsonValue::Int(n));
+                }
+            } else if let Ok(n) = token.parse::<u64>() {
+                return Ok(JsonValue::UInt(n));
+            }
+            // Integer overflow: fall through to the float flavor.
+        }
+        token
+            .parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|_| self.err(JsonErrorKind::BadNumber))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +644,127 @@ mod tests {
     fn key_order_is_insertion_order() {
         let v = JsonValue::object([("z", JsonValue::Null), ("a", JsonValue::Null)]);
         assert_eq!(v.to_string(), r#"{"z":null,"a":null}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_emitter_output() {
+        let v = JsonValue::object([
+            ("name", JsonValue::from("cg\n\"x\"")),
+            ("procs", JsonValue::from(16u64)),
+            ("delta", JsonValue::from(-3i64)),
+            ("ratio", JsonValue::from(2.5f64)),
+            ("whole", JsonValue::from(4.0f64)),
+            ("ok", JsonValue::from(true)),
+            ("none", JsonValue::Null),
+            ("xs", JsonValue::array([1u64.into(), JsonValue::array([])])),
+            ("obj", JsonValue::object([("k", JsonValue::from("v"))])),
+        ]);
+        let text = v.to_string();
+        let back = parse(&text).expect("round trip");
+        assert_eq!(back, v);
+        // Render of the reparse is byte-identical too.
+        assert_eq!(back.to_string(), text);
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_escapes() {
+        let v = parse(" { \"a\" : [ 1 , 2 ] , \"b\" : \"\\u0041\\u00e9\\t\" } ").expect("valid");
+        assert_eq!(v.get("b").and_then(JsonValue::as_str), Some("Aé\t"));
+        assert_eq!(
+            v.get("a").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(2)
+        );
+        // Surrogate pair via \u escapes, and a literal emoji.
+        let v = parse("\"\\ud83d\\ude00 😀\"").expect("valid");
+        assert_eq!(v.as_str(), Some("\u{1F600} \u{1F600}"));
+    }
+
+    #[test]
+    fn parse_rejects_with_stable_fingerprints() {
+        let cases: &[(&str, &str)] = &[
+            ("", "json-unexpected-end"),
+            ("{", "json-unexpected-end"),
+            ("\"abc", "json-unexpected-end"),
+            ("tru", "json-unexpected-end"),
+            ("truX", "json-unexpected-char"),
+            ("{]", "json-unexpected-char"),
+            ("[1,]", "json-unexpected-char"),
+            ("{\"a\":1,}", "json-unexpected-char"),
+            ("x", "json-unexpected-char"),
+            ("1 2", "json-trailing-data"),
+            ("01", "json-trailing-data"),
+            ("-", "json-unexpected-end"),
+            ("1.", "json-bad-number"),
+            ("1e", "json-bad-number"),
+            ("-x", "json-bad-number"),
+            (r#""\q""#, "json-bad-escape"),
+            (r#""\u12g4""#, "json-bad-escape"),
+            (r#""\ud800x""#, "json-bad-escape"),
+            (r#""\udc00""#, "json-bad-escape"),
+        ];
+        for (input, want) in cases {
+            let err = parse(input).expect_err(input);
+            assert_eq!(err.fingerprint(), *want, "input {input:?}");
+            // Display mentions both offset and fingerprint.
+            assert!(err.to_string().contains(want));
+        }
+    }
+
+    #[test]
+    fn parse_depth_is_bounded() {
+        let deep_ok = format!(
+            "{}0{}",
+            "[".repeat(MAX_JSON_DEPTH),
+            "]".repeat(MAX_JSON_DEPTH)
+        );
+        assert!(parse(&deep_ok).is_ok());
+        let too_deep = format!(
+            "{}0{}",
+            "[".repeat(MAX_JSON_DEPTH + 1),
+            "]".repeat(MAX_JSON_DEPTH + 1)
+        );
+        assert_eq!(
+            parse(&too_deep).expect_err("too deep").fingerprint(),
+            "json-too-deep"
+        );
+        // Hostile: many opens, never closed — must not blow the stack.
+        let hostile = "[".repeat(100_000);
+        assert!(parse(&hostile).is_err());
+    }
+
+    #[test]
+    fn parse_number_flavors() {
+        assert_eq!(parse("42").expect("u"), JsonValue::UInt(42));
+        assert_eq!(parse("-7").expect("i"), JsonValue::Int(-7));
+        assert_eq!(parse("2.5").expect("f"), JsonValue::Float(2.5));
+        assert_eq!(parse("1e3").expect("f"), JsonValue::Float(1000.0));
+        assert_eq!(parse("-0").expect("i"), JsonValue::Int(0));
+        // u64::MAX round-trips as UInt; one past it falls back to float.
+        assert_eq!(
+            parse("18446744073709551615").expect("max"),
+            JsonValue::UInt(u64::MAX)
+        );
+        assert!(matches!(
+            parse("18446744073709551616").expect("overflow"),
+            JsonValue::Float(_)
+        ));
+    }
+
+    #[test]
+    fn accessors_view_the_right_flavors() {
+        let v = parse(r#"{"u":5,"i":-5,"s":"x","b":false,"f":1.5,"a":[],"o":{}}"#).expect("valid");
+        assert_eq!(v.get("u").and_then(JsonValue::as_u64), Some(5));
+        assert_eq!(v.get("u").and_then(JsonValue::as_i64), Some(5));
+        assert_eq!(v.get("i").and_then(JsonValue::as_i64), Some(-5));
+        assert_eq!(v.get("i").and_then(JsonValue::as_u64), None);
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(JsonValue::as_bool), Some(false));
+        assert_eq!(v.get("f").and_then(JsonValue::as_f64), Some(1.5));
+        assert_eq!(v.get("u").and_then(JsonValue::as_f64), Some(5.0));
+        assert!(v.get("a").and_then(JsonValue::as_array).is_some());
+        assert!(v.get("o").and_then(JsonValue::as_object).is_some());
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(JsonValue::Null.get("k"), None);
+        assert_eq!(v.get("s").and_then(JsonValue::as_u64), None);
     }
 }

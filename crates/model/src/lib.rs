@@ -56,6 +56,7 @@
 mod clique;
 mod contention;
 mod error;
+pub mod fingerprint;
 mod flowset;
 mod hash;
 mod ids;
@@ -72,6 +73,7 @@ mod trace;
 pub use clique::{Clique, CliqueSet};
 pub use contention::{ContentionSet, FlowPair};
 pub use error::ModelError;
+pub use fingerprint::{canonical_schedule, canonical_trace, sha256, CanonicalForm, Digest, Sha256};
 pub use flowset::{FlowInterner, FlowSet, Ones};
 pub use hash::{FxBuildHasher, FxHasher};
 pub use ids::{Flow, MessageId, ProcId};
@@ -84,7 +86,5 @@ pub use text::{
     format_schedule, format_trace, parse_schedule, parse_trace, ParseErrorKind, ParseLimits,
     ParseOptions, ParseScheduleError,
 };
-#[allow(deprecated)]
-pub use text::{parse_schedule_with, parse_trace_with};
 pub use time::{Time, TimeInterval};
 pub use trace::Trace;

@@ -367,23 +367,6 @@ pub fn parse_schedule(input: &str) -> Result<PhaseSchedule, ParseScheduleError> 
     parse_schedule_impl(input, &ParseLimits::default())
 }
 
-/// [`parse_schedule`] with caller-supplied resource limits.
-///
-/// # Errors
-///
-/// As [`parse_schedule`]; limit violations surface as
-/// [`ParseErrorKind::LimitExceeded`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ParseOptions::new().with_limits(..).parse_schedule(..)` instead"
-)]
-pub fn parse_schedule_with(
-    input: &str,
-    limits: &ParseLimits,
-) -> Result<PhaseSchedule, ParseScheduleError> {
-    parse_schedule_impl(input, limits)
-}
-
 fn parse_schedule_impl(
     input: &str,
     limits: &ParseLimits,
@@ -578,23 +561,6 @@ fn parse_schedule_impl(
 /// panics.
 pub fn parse_trace(input: &str) -> Result<crate::Trace, ParseScheduleError> {
     parse_trace_impl(input, &ParseLimits::default())
-}
-
-/// [`parse_trace`] with caller-supplied resource limits.
-///
-/// # Errors
-///
-/// As [`parse_trace`]; limit violations surface as
-/// [`ParseErrorKind::LimitExceeded`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ParseOptions::new().with_limits(..).parse_trace(..)` instead"
-)]
-pub fn parse_trace_with(
-    input: &str,
-    limits: &ParseLimits,
-) -> Result<crate::Trace, ParseScheduleError> {
-    parse_trace_impl(input, limits)
 }
 
 fn parse_trace_impl(input: &str, limits: &ParseLimits) -> Result<crate::Trace, ParseScheduleError> {
@@ -986,21 +952,6 @@ repeat 2
         assert_eq!(e.kind.fingerprint(), "model-self-loop");
         let e = parse_schedule("wat\n").unwrap_err();
         assert_eq!(e.kind.fingerprint(), "malformed");
-    }
-
-    #[test]
-    fn deprecated_shims_still_delegate() {
-        // The old function pair must keep working until removal.
-        #[allow(deprecated)]
-        let s = parse_schedule_with(SAMPLE, &ParseLimits::default()).unwrap();
-        assert_eq!(s, parse_schedule(SAMPLE).unwrap());
-        #[allow(deprecated)]
-        let t = parse_trace_with(
-            "procs 2\nmsg 0 -> 1 start=0 finish=1\n",
-            &ParseLimits::default(),
-        )
-        .unwrap();
-        assert_eq!(t.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! The content-addressed result cache: bounded in-memory LRU over an
+//! optional on-disk store.
+//!
+//! Keys are [`Digest`]s of the canonical job form
+//! ([`job_fingerprint`](crate::job_fingerprint)); values are the exact
+//! rendered synth-report JSON object strings a fresh run would produce.
+//! Because synthesis is deterministic, a cached value is not an
+//! approximation of a fresh run — it is byte-for-byte *the* result, which
+//! is what makes hits verifiable (and what the cache-correctness property
+//! tests check).
+//!
+//! The disk tier stores one `<hex-digest>.json` file per entry. Disk
+//! contents are treated as untrusted: a file that fails to re-parse as
+//! JSON is ignored (counted in [`CacheStats::disk_errors`]) rather than
+//! served. Only *completed* results are ever inserted, so a deadline can
+//! never poison the cache with a degraded best-so-far report.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs;
+use std::path::PathBuf;
+
+use nocsyn_model::json;
+use nocsyn_model::Digest;
+
+/// Where a lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// Not cached anywhere; the engine ran.
+    Miss,
+    /// Served from the in-memory LRU.
+    Hit,
+    /// Served from the on-disk store (and promoted into memory).
+    Disk,
+}
+
+impl CacheTier {
+    /// Stable lowercase label used in reply envelopes and telemetry.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheTier::Miss => "miss",
+            CacheTier::Hit => "hit",
+            CacheTier::Disk => "disk",
+        }
+    }
+}
+
+/// Monotonic cache counters (all since server start).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from memory.
+    pub hits: u64,
+    /// Lookups that found nothing and fell through to the engine.
+    pub misses: u64,
+    /// Lookups served from the disk tier.
+    pub disk_hits: u64,
+    /// Entries inserted after fresh synthesis.
+    pub insertions: u64,
+    /// In-memory entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Disk files that failed to read, parse, or write.
+    pub disk_errors: u64,
+}
+
+/// A bounded two-tier (memory + optional disk) result cache.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    map: HashMap<Digest, String>,
+    /// Recency order, least-recent first. Bounded by `capacity`, so the
+    /// O(len) reshuffle on a hit stays small.
+    recency: VecDeque<Digest>,
+    dir: Option<PathBuf>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// An in-memory cache holding at most `capacity` entries (clamped to
+    /// at least 1).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            recency: VecDeque::new(),
+            dir: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Adds an on-disk tier under `dir` (created on first insertion).
+    #[must_use]
+    pub fn with_dir(mut self, dir: PathBuf) -> Self {
+        self.dir = Some(dir);
+        self
+    }
+
+    /// Entries currently held in memory.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the in-memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `key`, promoting disk entries into memory and refreshing
+    /// LRU recency. Returns the cached report string and the tier that
+    /// satisfied the lookup; `None` counts as a miss.
+    pub fn lookup(&mut self, key: &Digest) -> Option<(String, CacheTier)> {
+        if let Some(report) = self.map.get(key) {
+            let report = report.clone();
+            self.touch(key);
+            self.stats.hits += 1;
+            return Some((report, CacheTier::Hit));
+        }
+        if let Some(report) = self.read_disk(key) {
+            self.stats.disk_hits += 1;
+            self.insert_memory(*key, report.clone());
+            return Some((report, CacheTier::Disk));
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Inserts a freshly synthesized report under `key`, in memory and —
+    /// when a disk tier is configured — on disk. Disk write failures are
+    /// counted, not fatal: the request that produced the result already
+    /// has its answer.
+    pub fn insert(&mut self, key: Digest, report: String) {
+        self.stats.insertions += 1;
+        if let Some(dir) = &self.dir {
+            let path = dir.join(format!("{}.json", key.to_hex()));
+            let write = fs::create_dir_all(dir).and_then(|()| fs::write(&path, &report));
+            if write.is_err() {
+                self.stats.disk_errors += 1;
+            }
+        }
+        self.insert_memory(key, report);
+    }
+
+    /// Moves `key` to the most-recent end of the recency queue.
+    fn touch(&mut self, key: &Digest) {
+        if let Some(pos) = self.recency.iter().position(|k| k == key) {
+            self.recency.remove(pos);
+        }
+        self.recency.push_back(*key);
+    }
+
+    fn insert_memory(&mut self, key: Digest, report: String) {
+        if self.map.insert(key, report).is_none() {
+            self.recency.push_back(key);
+            while self.map.len() > self.capacity {
+                if let Some(old) = self.recency.pop_front() {
+                    self.map.remove(&old);
+                    self.stats.evictions += 1;
+                } else {
+                    break;
+                }
+            }
+        } else {
+            self.touch(&key);
+        }
+    }
+
+    /// Reads and validates a disk entry; anything unreadable or not
+    /// well-formed JSON is treated as absent.
+    fn read_disk(&mut self, key: &Digest) -> Option<String> {
+        let dir = self.dir.as_ref()?;
+        let path = dir.join(format!("{}.json", key.to_hex()));
+        if !path.exists() {
+            return None;
+        }
+        match fs::read_to_string(&path) {
+            Ok(text) if json::parse(&text).is_ok() => Some(text),
+            _ => {
+                self.stats.disk_errors += 1;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocsyn_model::sha256;
+
+    fn key(n: u8) -> Digest {
+        sha256(&[n])
+    }
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let mut cache = ResultCache::new(4);
+        let k = key(1);
+        assert_eq!(cache.lookup(&k), None);
+        cache.insert(k, "{\"a\":1}".into());
+        assert_eq!(
+            cache.lookup(&k),
+            Some(("{\"a\":1}".to_string(), CacheTier::Hit))
+        );
+        let s = cache.stats();
+        assert_eq!((s.misses, s.hits, s.insertions), (1, 1, 1));
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(key(1), "{}".into());
+        cache.insert(key(2), "{}".into());
+        // Touch 1 so 2 becomes the eviction victim.
+        assert!(cache.lookup(&key(1)).is_some());
+        cache.insert(key(3), "{}".into());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&key(1)).is_some());
+        assert!(cache.lookup(&key(2)).is_none());
+        assert!(cache.lookup(&key(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let mut cache = ResultCache::new(0);
+        cache.insert(key(1), "{}".into());
+        cache.insert(key(2), "{}".into());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn reinserting_updates_without_growth() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(key(1), "{\"v\":1}".into());
+        cache.insert(key(1), "{\"v\":2}".into());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.lookup(&key(1)),
+            Some(("{\"v\":2}".to_string(), CacheTier::Hit))
+        );
+    }
+
+    #[test]
+    fn disk_tier_round_trips_and_rejects_garbage() {
+        let dir =
+            std::env::temp_dir().join(format!("nocsyn-serve-cache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        let mut warm = ResultCache::new(2).with_dir(dir.clone());
+        warm.insert(key(1), "{\"a\":1}".into());
+
+        // A fresh cache (cold memory) finds the entry on disk.
+        let mut cold = ResultCache::new(2).with_dir(dir.clone());
+        assert_eq!(
+            cold.lookup(&key(1)),
+            Some(("{\"a\":1}".to_string(), CacheTier::Disk))
+        );
+        // Promoted: second lookup is a memory hit.
+        assert_eq!(
+            cold.lookup(&key(1)),
+            Some(("{\"a\":1}".to_string(), CacheTier::Hit))
+        );
+        assert_eq!(cold.stats().disk_hits, 1);
+
+        // Corrupt file -> treated as absent, counted.
+        fs::write(dir.join(format!("{}.json", key(2).to_hex())), "not json")
+            .expect("test dir writable");
+        let mut c = ResultCache::new(2).with_dir(dir.clone());
+        assert_eq!(c.lookup(&key(2)), None);
+        assert_eq!(c.stats().disk_errors, 1);
+        assert_eq!(c.stats().misses, 1);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tier_labels_are_stable() {
+        assert_eq!(CacheTier::Miss.label(), "miss");
+        assert_eq!(CacheTier::Hit.label(), "hit");
+        assert_eq!(CacheTier::Disk.label(), "disk");
+    }
+}

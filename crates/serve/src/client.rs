@@ -1,0 +1,91 @@
+//! A minimal blocking client for the line protocol — what the
+//! `nocsyn client` subcommand and the integration tests use.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected protocol client. One request in flight at a time: the
+/// server replies exactly one line per request and flushes per line, so
+/// a blocking write-then-read round trip is safe.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serve daemon at `addr` (e.g. `127.0.0.1:7733`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one request line and reads one reply line (trailing newline
+    /// stripped). The request must not contain embedded newlines — the
+    /// protocol frames on them.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the socket, or `UnexpectedEof` if the server
+    /// closes the connection without replying.
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection without replying",
+            ));
+        }
+        while reply.ends_with('\n') || reply.ends_with('\r') {
+            reply.pop();
+        }
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServeOptions, Server};
+    use std::net::TcpListener;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn round_trips_requests_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+        let addr = listener.local_addr().expect("bound address");
+        let server = Arc::new(Server::new(ServeOptions::default()));
+        let background = {
+            let server = Arc::clone(&server);
+            thread::spawn(move || server.serve_listener(&listener, true))
+        };
+
+        let mut client = Client::connect(addr).expect("connect");
+        let status = client.request("{\"op\":\"status\"}").expect("status reply");
+        assert!(status.starts_with("{\"reply\":\"status\""));
+
+        let pattern = "procs 4\\nphase\\n  0 -> 1\\n  2 -> 3\\n";
+        let req = format!("{{\"op\":\"synth\",\"pattern\":\"{pattern}\",\"restarts\":1}}");
+        let miss = client.request(&req).expect("miss reply");
+        let hit = client.request(&req).expect("hit reply");
+        assert!(miss.contains("\"cache\":\"miss\""));
+        assert!(hit.contains("\"cache\":\"hit\""));
+        assert_eq!(miss.replace("\"cache\":\"miss\"", "\"cache\":\"hit\""), hit);
+
+        drop(client);
+        background
+            .join()
+            .expect("listener thread")
+            .expect("listener I/O");
+    }
+}

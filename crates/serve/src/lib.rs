@@ -1,0 +1,72 @@
+//! Synthesis-as-a-service: the `nocsyn serve` daemon.
+//!
+//! The whole synthesis flow is a pure function of
+//! `(pattern, config, seed)` — PRs 5/6 pinned that operationally with
+//! byte-identical golden trajectories. This crate exploits the purity at
+//! service scale: a long-running daemon accepts synthesis jobs over a
+//! newline-delimited JSON line protocol, runs them through the existing
+//! [`nocsyn_engine`] batch machinery (deadlines, panic isolation,
+//! telemetry all reused), and fronts the engine with a
+//! **content-addressed result cache** keyed on the canonical fingerprint
+//! of the job ([`job_fingerprint`]): identical patterns from any number
+//! of clients cost one anneal, and every cache hit is byte-verifiable
+//! against a fresh run because the cached value *is* the deterministic
+//! JSON report a fresh run would produce.
+//!
+//! # Protocol
+//!
+//! One JSON object per line in, one JSON object per line out
+//! (DESIGN.md §13 has the grammar):
+//!
+//! ```text
+//! -> {"op":"synth","pattern":"procs 4\nphase\n  0 -> 1\n","seed":1}
+//! <- {"reply":"synth","status":"ok","fingerprint":"…","cache":"miss","report":{…}}
+//! -> {"op":"stats"}
+//! <- {"reply":"stats","requests":1,"hits":0,"misses":1,…}
+//! ```
+//!
+//! Ingress is admission-controlled: request lines are length-capped,
+//! pattern text goes through [`nocsyn_model::ParseOptions`] resource
+//! limits, connections have a request cap, and a queue-depth bound
+//! produces a structured `queue-full` backpressure reply instead of
+//! unbounded buffering. Every failure mode answers with a well-formed
+//! JSON error carrying a stable kebab-case fingerprint — the same
+//! contract as the text ingestion layer, and the oracle the
+//! `serve_request` fuzz target checks.
+//!
+//! # Example (in-process, no socket)
+//!
+//! ```
+//! use nocsyn_serve::{ReplyKind, Server, ServeOptions};
+//!
+//! let server = Server::new(ServeOptions::default());
+//! let req = r#"{"op":"synth","pattern":"procs 4\nphase\n  0 -> 1\n  2 -> 3\n","restarts":1}"#;
+//! let miss = server.handle_line(req);
+//! let hit = server.handle_line(req);
+//! assert!(matches!(miss.kind, ReplyKind::Report(nocsyn_serve::CacheTier::Miss)));
+//! assert!(matches!(hit.kind, ReplyKind::Report(nocsyn_serve::CacheTier::Hit)));
+//! // Byte-identical up to the cache marker.
+//! assert_eq!(
+//!     miss.line.replace("\"cache\":\"miss\"", "\"cache\":\"hit\""),
+//!     hit.line
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod client;
+mod proto;
+mod report;
+mod server;
+
+pub use cache::{CacheStats, CacheTier, ResultCache};
+pub use client::Client;
+pub use proto::{parse_request, Request, RequestError};
+pub use report::synth_json_object;
+pub use server::{
+    job_fingerprint, parse_pattern, ParsedPattern, PatternKind, Reply, ReplyKind, ServeOptions,
+    Server,
+};

@@ -1,0 +1,226 @@
+//! The request half of the line protocol: strict parsing of one JSON
+//! object into a typed [`Request`].
+//!
+//! Parsing is *strict*: unknown operations, unknown fields, and
+//! wrong-typed fields are all rejected. Strictness is a cache-integrity
+//! property, not pedantry — a field this version ignored but a future
+//! version acts on would let two servers disagree about what a request
+//! means while computing the same fingerprint.
+
+use std::fmt;
+
+use nocsyn_model::json::{self, JsonValue};
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Synthesize a network for an inline pattern text.
+    Synth {
+        /// Schedule or trace text (autodetected, same rule as the CLI:
+        /// any `msg ` line makes it a trace).
+        pattern: String,
+        /// RNG seed; defaults to the config default.
+        seed: Option<u64>,
+        /// Restart portfolio size; defaults to the config default.
+        restarts: Option<u64>,
+        /// Maximum switch degree; defaults to the config default.
+        max_degree: Option<u64>,
+        /// Wall-clock budget. Deliberately **not** part of the cache
+        /// fingerprint: a deadline changes how long the search may run,
+        /// never what a completed search returns, and only completed
+        /// results are cached.
+        deadline_ms: Option<u64>,
+    },
+    /// Report cache and request counters.
+    Stats,
+    /// Liveness / readiness probe.
+    Status,
+}
+
+/// A rejected request: a stable kebab-case fingerprint naming the
+/// failure class, plus a human-readable detail string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// Stable identifier (`bad-json`, `not-an-object`, `missing-op`,
+    /// `unknown-op`, `missing-pattern`, `bad-field`).
+    pub fingerprint: &'static str,
+    /// Human-readable detail; never required to be stable.
+    pub detail: String,
+}
+
+impl RequestError {
+    fn new(fingerprint: &'static str, detail: impl Into<String>) -> Self {
+        RequestError {
+            fingerprint,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.fingerprint, self.detail)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Fields the `synth` operation accepts.
+const SYNTH_FIELDS: &[&str] = &[
+    "op",
+    "pattern",
+    "seed",
+    "restarts",
+    "max_degree",
+    "deadline_ms",
+];
+
+/// Parses one protocol line into a [`Request`].
+///
+/// # Errors
+///
+/// [`RequestError`] with a stable fingerprint on any malformed frame;
+/// never panics on any input (the JSON layer is bounded and total).
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let value = json::parse(line).map_err(|e| RequestError::new("bad-json", e.to_string()))?;
+    let Some(pairs) = value.as_object() else {
+        return Err(RequestError::new(
+            "not-an-object",
+            "request frame must be a JSON object",
+        ));
+    };
+    let Some(op) = value.get("op").and_then(JsonValue::as_str) else {
+        return Err(RequestError::new(
+            "missing-op",
+            "request object needs a string \"op\" field",
+        ));
+    };
+    match op {
+        "synth" => {
+            for (key, _) in pairs {
+                if !SYNTH_FIELDS.contains(&key.as_str()) {
+                    return Err(RequestError::new(
+                        "bad-field",
+                        format!("unknown field {key:?} in synth request"),
+                    ));
+                }
+            }
+            let Some(pattern) = value.get("pattern").and_then(JsonValue::as_str) else {
+                return Err(RequestError::new(
+                    "missing-pattern",
+                    "synth request needs a string \"pattern\" field",
+                ));
+            };
+            Ok(Request::Synth {
+                pattern: pattern.to_string(),
+                seed: u64_field(&value, "seed")?,
+                restarts: u64_field(&value, "restarts")?,
+                max_degree: u64_field(&value, "max_degree")?,
+                deadline_ms: u64_field(&value, "deadline_ms")?,
+            })
+        }
+        "stats" => {
+            only_op(pairs, "stats")?;
+            Ok(Request::Stats)
+        }
+        "status" => {
+            only_op(pairs, "status")?;
+            Ok(Request::Status)
+        }
+        other => Err(RequestError::new(
+            "unknown-op",
+            format!("unknown op {other:?}"),
+        )),
+    }
+}
+
+/// Rejects any field besides `op` for payload-free operations.
+fn only_op(pairs: &[(String, JsonValue)], op: &str) -> Result<(), RequestError> {
+    for (key, _) in pairs {
+        if key != "op" {
+            return Err(RequestError::new(
+                "bad-field",
+                format!("unknown field {key:?} in {op} request"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Reads an optional unsigned-integer field; present-but-wrong-typed is
+/// an error, absent is `None`.
+fn u64_field(value: &JsonValue, key: &str) -> Result<Option<u64>, RequestError> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            RequestError::new(
+                "bad-field",
+                format!("field {key:?} must be an unsigned integer"),
+            )
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_synth_request() {
+        let req = parse_request(
+            r#"{"op":"synth","pattern":"procs 2\n","seed":7,"restarts":2,"max_degree":4,"deadline_ms":100}"#,
+        )
+        .expect("valid");
+        assert_eq!(
+            req,
+            Request::Synth {
+                pattern: "procs 2\n".into(),
+                seed: Some(7),
+                restarts: Some(2),
+                max_degree: Some(4),
+                deadline_ms: Some(100),
+            }
+        );
+    }
+
+    #[test]
+    fn optional_fields_default_to_none() {
+        let req = parse_request(r#"{"op":"synth","pattern":"procs 2\n"}"#).expect("valid");
+        assert_eq!(
+            req,
+            Request::Synth {
+                pattern: "procs 2\n".into(),
+                seed: None,
+                restarts: None,
+                max_degree: None,
+                deadline_ms: None,
+            }
+        );
+        assert_eq!(parse_request(r#"{"op":"stats"}"#), Ok(Request::Stats));
+        assert_eq!(parse_request(r#"{"op":"status"}"#), Ok(Request::Status));
+    }
+
+    #[test]
+    fn rejections_carry_stable_fingerprints() {
+        let cases: &[(&str, &str)] = &[
+            ("not json", "bad-json"),
+            ("[1,2]", "not-an-object"),
+            ("{}", "missing-op"),
+            (r#"{"op":7}"#, "missing-op"),
+            (r#"{"op":"frobnicate"}"#, "unknown-op"),
+            (r#"{"op":"synth"}"#, "missing-pattern"),
+            (r#"{"op":"synth","pattern":42}"#, "missing-pattern"),
+            (r#"{"op":"synth","pattern":"p","seed":"x"}"#, "bad-field"),
+            (r#"{"op":"synth","pattern":"p","seed":-1}"#, "bad-field"),
+            (r#"{"op":"synth","pattern":"p","seed":1.5}"#, "bad-field"),
+            (r#"{"op":"synth","pattern":"p","bogus":1}"#, "bad-field"),
+            (r#"{"op":"stats","extra":1}"#, "bad-field"),
+            (r#"{"op":"status","extra":1}"#, "bad-field"),
+        ];
+        for (input, want) in cases {
+            let err = parse_request(input).expect_err(input);
+            assert_eq!(err.fingerprint, *want, "input {input:?}");
+            assert!(err.to_string().starts_with(want));
+        }
+    }
+}

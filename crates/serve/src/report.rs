@@ -1,0 +1,88 @@
+//! The canonical synth-report JSON object — the one rendering shared by
+//! `nocsyn synth --json`, the serve daemon's replies, and the cache.
+//!
+//! Byte-identity between a cache hit, the miss that populated it, and a
+//! direct CLI run is a *construction* property, not a test-only
+//! coincidence: all three paths call [`synth_json_object`] and store or
+//! splice the returned string verbatim.
+
+use nocsyn_engine::{JobOutcome, JobStatus};
+use nocsyn_model::json::JsonValue;
+use nocsyn_synth::AppPattern;
+use nocsyn_topo::verify_contention_free;
+
+/// Renders the deterministic synth-report object for a completed (or
+/// deadline-degraded) outcome, exactly as `nocsyn synth --json` prints
+/// it (sans trailing newline).
+///
+/// The `contention_free` field re-runs the Theorem-1 check against the
+/// pattern rather than trusting the report's own flag — the same
+/// belt-and-braces the CLI has always done.
+///
+/// # Panics
+///
+/// Panics if the outcome carries no result; callers dispatch on
+/// `outcome.result` first (a failed job has nothing to render).
+pub fn synth_json_object(pattern: &AppPattern, outcome: &JobOutcome, seed: u64) -> String {
+    let result = outcome
+        .result
+        .as_ref()
+        .expect("synth_json_object requires an outcome with a result");
+    let check = verify_contention_free(pattern.contention(), &result.routes);
+    let status = if outcome.status == JobStatus::DeadlineExceeded {
+        "deadline-exceeded"
+    } else {
+        "ok"
+    };
+    let r = &result.report;
+    let obj = JsonValue::object([
+        ("command", JsonValue::from("synth")),
+        ("status", JsonValue::from(status)),
+        ("seed", JsonValue::from(seed)),
+        ("switches", JsonValue::from(r.n_switches)),
+        ("links", JsonValue::from(r.n_links)),
+        ("max_degree", JsonValue::from(r.max_degree)),
+        ("constraints_met", JsonValue::from(r.constraints_met)),
+        (
+            "contention_free",
+            JsonValue::from(check.is_contention_free()),
+        ),
+        ("connectivity_links", JsonValue::from(r.connectivity_links)),
+        ("rounds", JsonValue::from(r.rounds)),
+        ("splits", JsonValue::from(r.splits)),
+        ("moves_tried", JsonValue::from(r.moves_tried)),
+        ("moves_accepted", JsonValue::from(r.moves_accepted)),
+        ("reroutes_tried", JsonValue::from(r.reroutes_tried)),
+        ("reroutes_accepted", JsonValue::from(r.reroutes_accepted)),
+        ("reroutes_neutral", JsonValue::from(r.reroutes_neutral)),
+    ]);
+    obj.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocsyn_engine::Engine;
+    use nocsyn_model::parse_schedule;
+    use nocsyn_synth::SynthesisConfig;
+
+    #[test]
+    fn object_is_deterministic_and_well_formed() {
+        let schedule =
+            parse_schedule("procs 4\nphase\n  0 -> 1\n  2 -> 3\nphase\n  0 -> 2\n").expect("valid");
+        let pattern = AppPattern::from_schedule(&schedule);
+        let config = SynthesisConfig::new().with_seed(5).with_restarts(2);
+        let engine = Engine::new().with_workers(1);
+        let a = engine.synthesize(&pattern, &config, None);
+        let b = engine.synthesize(&pattern, &config, None);
+        let ja = synth_json_object(&pattern, &a, config.seed());
+        let jb = synth_json_object(&pattern, &b, config.seed());
+        assert_eq!(ja, jb, "same inputs must render byte-identically");
+        assert!(ja.starts_with(r#"{"command":"synth","status":"ok","seed":5,"#));
+        let parsed = nocsyn_model::json::parse(&ja).expect("well-formed");
+        assert_eq!(
+            parsed.get("contention_free").and_then(|v| v.as_bool()),
+            Some(true)
+        );
+    }
+}

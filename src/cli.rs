@@ -7,12 +7,15 @@
 //! nocsyn verify <pattern.txt> [opts]        Theorem 1 check on a baseline
 //! nocsyn faults <pattern.txt> [opts]        degradation under injected faults
 //! nocsyn fuzz [opts]                        deterministic ingestion fuzzing
+//! nocsyn serve [opts]                       synthesis daemon with result cache
+//! nocsyn client <addr> <op> [opts]          talk to a running daemon
 //! ```
 //!
 //! Patterns use the plain-text format of [`nocsyn_model::text`]. The
 //! binary in `src/main.rs` is a thin wrapper over [`run`].
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -21,7 +24,8 @@ use nocsyn_faults::{DegradationReport, FaultScenario};
 use nocsyn_floorplan::{mesh_baseline, place};
 use nocsyn_fuzz::{CaseReport, FuzzConfig, FuzzTarget, Registry};
 use nocsyn_model::json::JsonValue;
-use nocsyn_model::{parse_schedule, parse_trace, PhaseSchedule, Trace};
+use nocsyn_model::{parse_schedule, parse_trace, ParseLimits, PhaseSchedule, Trace};
+use nocsyn_serve::{synth_json_object, Client, ServeOptions, Server};
 use nocsyn_sim::{AppDriver, RoutePolicy, SimConfig};
 use nocsyn_synth::{explain, synthesize, AppPattern, SynthesisConfig};
 use nocsyn_topo::{regular, to_dot, verify_contention_free, Network, RouteTable};
@@ -39,6 +43,8 @@ COMMANDS:
     verify     check Theorem 1 for the pattern on a baseline network
     faults     inject fault scenarios, repair routes, re-check Theorem 1
     fuzz       run the deterministic ingestion fuzzer (takes no pattern file)
+    serve      run the synthesis daemon (line protocol + result cache)
+    client     send one request to a running daemon and print the reply
     help       print this message
 
 OPTIONS (every command):
@@ -75,6 +81,26 @@ OPTIONS (fuzz):
     --corpus-dir <d>   extra corpus files to mutate (read sorted by name)
     (set NOCSYN_FUZZ_SEED=<case-seed> to replay a single reported case)
 
+OPTIONS (serve):
+    --listen <addr>       accept TCP connections on <addr> (e.g. 127.0.0.1:7733)
+    --drain               read requests from stdin, write replies to stdout,
+                          exit at end of input (scriptable / CI mode)
+    --once                with --listen: exit after the first connection closes
+    --cache-dir <d>       persist completed results as <fingerprint>.json files
+    --cache-capacity <n>  in-memory cache entries [default 256]
+    --max-requests <n>    requests allowed per connection [default 1024]
+    --queue-depth <n>     in-flight synthesis bound; beyond it requests get a
+                          structured queue-full reply [default 64]
+    --max-restarts <n>    clamp client-requested restarts (admission control)
+    --jobs <n>            engine worker threads [default 1]
+    --events              stream serve + engine telemetry to stderr
+
+OPTIONS (client):
+    nocsyn client <addr> submit <pattern.txt> [--seed ...] [--restarts ...]
+                                [--max-degree ...] [--deadline-ms ...]
+    nocsyn client <addr> status
+    nocsyn client <addr> stats
+
 PATTERN FORMAT:
     procs 8
     phase bytes=4096 compute=1000
@@ -103,6 +129,14 @@ struct Options {
     target: String,
     iters: u64,
     corpus_dir: Option<String>,
+    listen: Option<String>,
+    drain: bool,
+    once: bool,
+    cache_dir: Option<String>,
+    cache_capacity: usize,
+    max_requests: usize,
+    queue_depth: usize,
+    max_restarts: Option<u64>,
 }
 
 /// Parses one numeric flag value, naming the flag in any error — the
@@ -142,6 +176,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         target: "all".into(),
         iters: 10_000,
         corpus_dir: None,
+        listen: None,
+        drain: false,
+        once: false,
+        cache_dir: None,
+        cache_capacity: 256,
+        max_requests: 1024,
+        queue_depth: 64,
+        max_restarts: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -195,6 +237,38 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--corpus-dir" => {
                 opts.corpus_dir = Some(value("--corpus-dir")?);
             }
+            "--listen" => {
+                opts.listen = Some(value("--listen")?);
+            }
+            "--drain" => opts.drain = true,
+            "--once" => opts.once = true,
+            "--cache-dir" => {
+                opts.cache_dir = Some(value("--cache-dir")?);
+            }
+            "--cache-capacity" => {
+                opts.cache_capacity = at_least_one(
+                    "--cache-capacity",
+                    num_flag("--cache-capacity", &value("--cache-capacity")?)?,
+                )?;
+            }
+            "--max-requests" => {
+                opts.max_requests = at_least_one(
+                    "--max-requests",
+                    num_flag("--max-requests", &value("--max-requests")?)?,
+                )?;
+            }
+            "--queue-depth" => {
+                opts.queue_depth = at_least_one(
+                    "--queue-depth",
+                    num_flag("--queue-depth", &value("--queue-depth")?)?,
+                )?;
+            }
+            "--max-restarts" => {
+                opts.max_restarts = Some(at_least_one(
+                    "--max-restarts",
+                    num_flag("--max-restarts", &value("--max-restarts")?)?,
+                )?);
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -219,6 +293,14 @@ pub fn run(args: &[String]) -> Result<String, String> {
         // The fuzzer takes no pattern file; everything after `fuzz` is
         // options.
         return cmd_fuzz(&parse_options(&args[1..])?);
+    }
+    if command == "serve" {
+        // The daemon takes no pattern file; patterns arrive inline over
+        // the protocol.
+        return cmd_serve(&parse_options(&args[1..])?);
+    }
+    if command == "client" {
+        return cmd_client(&args[1..]);
     }
     let Some(path) = args.get(1) else {
         return Err(format!("`{command}` requires a pattern file"));
@@ -325,43 +407,20 @@ fn cmd_synth(pattern: &AppPattern, opts: &Options) -> Result<String, String> {
     if let JobStatus::Failed(e) = &outcome.status {
         return Err(e.to_string());
     }
-    let result = outcome.result.ok_or_else(|| {
-        format!(
+    let Some(result) = &outcome.result else {
+        return Err(format!(
             "deadline of {} ms expired before any of the {} restarts completed",
             opts.deadline_ms.unwrap_or(0),
             outcome.attempts_total
-        )
-    })?;
+        ));
+    };
     if opts.json {
-        let check = verify_contention_free(pattern.contention(), &result.routes);
-        let status = if outcome.status == JobStatus::DeadlineExceeded {
-            "deadline-exceeded"
-        } else {
-            "ok"
-        };
-        let r = &result.report;
-        let obj = JsonValue::object([
-            ("command", JsonValue::from("synth")),
-            ("status", JsonValue::from(status)),
-            ("seed", JsonValue::from(opts.seed)),
-            ("switches", JsonValue::from(r.n_switches)),
-            ("links", JsonValue::from(r.n_links)),
-            ("max_degree", JsonValue::from(r.max_degree)),
-            ("constraints_met", JsonValue::from(r.constraints_met)),
-            (
-                "contention_free",
-                JsonValue::from(check.is_contention_free()),
-            ),
-            ("connectivity_links", JsonValue::from(r.connectivity_links)),
-            ("rounds", JsonValue::from(r.rounds)),
-            ("splits", JsonValue::from(r.splits)),
-            ("moves_tried", JsonValue::from(r.moves_tried)),
-            ("moves_accepted", JsonValue::from(r.moves_accepted)),
-            ("reroutes_tried", JsonValue::from(r.reroutes_tried)),
-            ("reroutes_accepted", JsonValue::from(r.reroutes_accepted)),
-            ("reroutes_neutral", JsonValue::from(r.reroutes_neutral)),
-        ]);
-        return Ok(format!("{obj}\n"));
+        // One rendering shared with the serve daemon and its cache, so a
+        // cache hit is byte-comparable against a direct CLI run.
+        return Ok(format!(
+            "{}\n",
+            synth_json_object(pattern, &outcome, opts.seed)
+        ));
     }
     let mut out = String::new();
     if outcome.status == JobStatus::DeadlineExceeded {
@@ -378,7 +437,7 @@ fn cmd_synth(pattern: &AppPattern, opts: &Options) -> Result<String, String> {
     let _ = writeln!(out, "{check}");
 
     if opts.explain {
-        let _ = writeln!(out, "\n{}", explain(&result, pattern));
+        let _ = writeln!(out, "\n{}", explain(result, pattern));
     }
 
     let (rows, cols) = near_square(pattern.n_procs());
@@ -603,6 +662,7 @@ fn cmd_fuzz(opts: &Options) -> Result<String, String> {
 
     let mut corpus = nocsyn_fuzz::gen::default_corpus();
     corpus.extend(cli_corpus());
+    corpus.extend(nocsyn_fuzz::serve_probe::serve_corpus());
     if let Some(dir) = &opts.corpus_dir {
         // Sorted read order keeps the corpus (and thus the whole run)
         // deterministic regardless of directory enumeration order.
@@ -635,6 +695,102 @@ fn cmd_fuzz(opts: &Options) -> Result<String, String> {
     } else {
         Ok(summary.render_human())
     }
+}
+
+/// Builds a [`Server`] from the CLI options (shared by both serve
+/// modes).
+fn build_server(opts: &Options) -> Server {
+    let serve_opts = ServeOptions {
+        limits: ParseLimits::default(),
+        cache_capacity: opts.cache_capacity,
+        cache_dir: opts.cache_dir.clone().map(PathBuf::from),
+        max_requests_per_conn: opts.max_requests,
+        max_queue_depth: opts.queue_depth,
+        max_restarts: opts.max_restarts,
+        workers: opts.jobs,
+    };
+    let sink: Arc<dyn EventSink> = if opts.events {
+        Arc::new(JsonLinesSink::stderr())
+    } else {
+        Arc::new(NullSink)
+    };
+    Server::new(serve_opts).with_sink(sink)
+}
+
+fn cmd_serve(opts: &Options) -> Result<String, String> {
+    let server = build_server(opts);
+    if let Some(addr) = &opts.listen {
+        let listener = std::net::TcpListener::bind(addr.as_str())
+            .map_err(|e| format!("binding {addr}: {e}"))?;
+        let local = listener.local_addr().map_err(|e| e.to_string())?;
+        // Stderr so scripts capturing stdout see only protocol output;
+        // printed before the accept loop so callers binding port 0 can
+        // learn the ephemeral port.
+        eprintln!("nocsyn serve: listening on {local}");
+        server
+            .serve_listener(&listener, opts.once)
+            .map_err(|e| e.to_string())?;
+        Ok(String::new())
+    } else if opts.drain {
+        // Scriptable mode: requests on stdin, replies on stdout, exit at
+        // end of input. `nocsyn serve --drain < jobs.jsonl` needs no
+        // daemon lifecycle management at all.
+        let stdin = std::io::stdin();
+        let mut out: Vec<u8> = Vec::new();
+        server
+            .serve_stream(stdin.lock(), &mut out)
+            .map_err(|e| e.to_string())?;
+        String::from_utf8(out).map_err(|e| format!("reply stream was not UTF-8: {e}"))
+    } else {
+        Err("serve requires --listen <addr> or --drain".into())
+    }
+}
+
+fn cmd_client(args: &[String]) -> Result<String, String> {
+    let usage = "usage: nocsyn client <addr> submit <pattern.txt> [opts] | status | stats";
+    let Some(addr) = args.first() else {
+        return Err(usage.into());
+    };
+    let Some(op) = args.get(1) else {
+        return Err(usage.into());
+    };
+    let request = match op.as_str() {
+        "status" => {
+            parse_options(&args[2..])?;
+            r#"{"op":"status"}"#.to_string()
+        }
+        "stats" => {
+            parse_options(&args[2..])?;
+            r#"{"op":"stats"}"#.to_string()
+        }
+        "submit" => {
+            let Some(path) = args.get(2) else {
+                return Err("client submit requires a pattern file".into());
+            };
+            let opts = parse_options(&args[3..])?;
+            let pattern =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            // Seed, restarts and max-degree are always sent explicitly
+            // (CLI defaults match the daemon's), so the submitted job is
+            // exactly the one `nocsyn synth` would run locally.
+            let mut fields = vec![
+                ("op", JsonValue::from("synth")),
+                ("pattern", JsonValue::from(pattern)),
+                ("seed", JsonValue::from(opts.seed)),
+                ("restarts", JsonValue::from(opts.restarts)),
+                ("max_degree", JsonValue::from(opts.max_degree)),
+            ];
+            if let Some(d) = opts.deadline_ms {
+                fields.push(("deadline_ms", JsonValue::from(d)));
+            }
+            JsonValue::object(fields).to_string()
+        }
+        other => return Err(format!("unknown client operation `{other}`; {usage}")),
+    };
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let reply = client.request(&request).map_err(|e| e.to_string())?;
+    Ok(format!("{reply}\n"))
 }
 
 /// Open-loop replay of a timed trace (`simulate` on trace input).

@@ -41,6 +41,7 @@ pub use nocsyn_engine as engine;
 pub use nocsyn_faults as faults;
 pub use nocsyn_floorplan as floorplan;
 pub use nocsyn_model as model;
+pub use nocsyn_serve as serve;
 pub use nocsyn_sim as sim;
 pub use nocsyn_synth as synth;
 pub use nocsyn_topo as topo;

@@ -1,0 +1,166 @@
+//! Cache-correctness properties of the serve daemon: the fingerprint is
+//! injective on the corpus of distinct jobs, invariant under
+//! presentation (field order, comments, whitespace), and a cached report
+//! is byte-identical to what a fresh synthesis — served or direct —
+//! would produce.
+
+use nocsyn_check::{check_assert, check_assert_eq, check_n, u64_in, usize_in};
+
+use nocsyn::engine::Engine;
+use nocsyn::model::{CanonicalForm, ParseOptions};
+use nocsyn::serve::{
+    job_fingerprint, parse_pattern, synth_json_object, CacheTier, ReplyKind, ServeOptions, Server,
+};
+use nocsyn::synth::SynthesisConfig;
+use nocsyn::workloads::{random_permutation_schedule, WorkloadParams};
+
+fn pattern_text(n_procs: usize, n_phases: usize, seed: u64) -> String {
+    nocsyn::model::format_schedule(&random_permutation_schedule(
+        n_procs,
+        n_phases,
+        seed,
+        &WorkloadParams::default().with_bytes(64),
+    ))
+}
+
+/// Distinct (pattern, config, seed) triples get distinct fingerprints.
+#[test]
+fn fingerprint_is_injective_on_distinct_jobs() {
+    let opts = ParseOptions::new();
+    let mut seen: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    // A corpus that varies each fingerprint ingredient one at a time.
+    let mut jobs: Vec<(String, SynthesisConfig)> = Vec::new();
+    for pat_seed in 0..4 {
+        jobs.push((pattern_text(6, 2, pat_seed), SynthesisConfig::new()));
+    }
+    for seed in [1, 2, 3] {
+        jobs.push((
+            pattern_text(6, 2, 0),
+            SynthesisConfig::new().with_seed(seed),
+        ));
+    }
+    for degree in [3, 4, 6] {
+        jobs.push((
+            pattern_text(6, 2, 0),
+            SynthesisConfig::new().with_max_degree(degree),
+        ));
+    }
+    for restarts in [1, 2] {
+        jobs.push((
+            pattern_text(6, 2, 0),
+            SynthesisConfig::new().with_restarts(restarts),
+        ));
+    }
+    for (text, config) in &jobs {
+        let parsed = parse_pattern(text, &opts).expect("generated patterns are valid");
+        let fp = job_fingerprint(parsed.kind, &parsed.canonical, config).to_hex();
+        let description = format!("{text} + {:?}", config.canonical_form().render());
+        if let Some(previous) = seen.insert(fp, description.clone()) {
+            panic!("fingerprint collision between jobs:\n{previous}\n{description}");
+        }
+    }
+    assert_eq!(seen.len(), jobs.len());
+}
+
+/// The canonical form digests identically however its fields are
+/// (re)ordered — the property that makes the fingerprint independent of
+/// config-field presentation order.
+#[test]
+fn canonical_form_is_permutation_stable() {
+    check_n(
+        "canonical_form_is_permutation_stable",
+        48,
+        (u64_in(0..u64::MAX), usize_in(2..9)),
+        |&(seed, n_fields)| {
+            let fields: Vec<(String, String)> = (0..n_fields)
+                .map(|i| {
+                    (
+                        format!("k{i}"),
+                        format!("v{}", seed.rotate_left(i as u32) % 1000),
+                    )
+                })
+                .collect();
+            let mut forward = CanonicalForm::new();
+            let mut reversed = CanonicalForm::new();
+            let mut interleaved = CanonicalForm::new();
+            for f in &fields {
+                forward.push_field(&f.0, &f.1);
+            }
+            for f in fields.iter().rev() {
+                reversed.push_field(&f.0, &f.1);
+            }
+            for f in fields.iter().skip(1).chain(fields.iter().take(1)) {
+                interleaved.push_field(&f.0, &f.1);
+            }
+            check_assert_eq!(forward.digest(), reversed.digest());
+            check_assert_eq!(forward.digest(), interleaved.digest());
+            Ok(())
+        },
+    );
+}
+
+/// Equivalent pattern presentations (comments, blank lines, spacing)
+/// produce the same fingerprint; genuinely different patterns don't.
+#[test]
+fn fingerprint_is_invariant_under_pattern_presentation() {
+    let opts = ParseOptions::new();
+    let config = SynthesisConfig::new();
+    let fp = |text: &str| {
+        let parsed = parse_pattern(text, &opts).expect("valid pattern");
+        job_fingerprint(parsed.kind, &parsed.canonical, &config)
+    };
+    let plain = "procs 4\nphase\n  0 -> 1\n  2 -> 3\n";
+    let noisy = "# comment\nprocs 4\n\nphase\n  0->1\n  2 ->   3\n";
+    let other = "procs 4\nphase\n  0 -> 1\n  3 -> 2\n";
+    assert_eq!(fp(plain), fp(noisy));
+    assert_ne!(fp(plain), fp(other));
+}
+
+/// A served cache hit is byte-identical (modulo the cache marker) to the
+/// miss that populated it, and its embedded report is byte-identical to
+/// a direct engine run rendered through the same `synth_json_object`.
+#[test]
+fn cached_report_matches_fresh_synthesis_bytes() {
+    check_n(
+        "cached_report_matches_fresh_synthesis_bytes",
+        6,
+        (usize_in(4..8), u64_in(0..50)),
+        |&(n_procs, seed)| {
+            let text = pattern_text(n_procs, 2, seed);
+            let server = Server::new(ServeOptions::default());
+            let request = nocsyn::model::json::JsonValue::object([
+                ("op", nocsyn::model::json::JsonValue::from("synth")),
+                (
+                    "pattern",
+                    nocsyn::model::json::JsonValue::from(text.as_str()),
+                ),
+                ("seed", nocsyn::model::json::JsonValue::from(seed)),
+                ("restarts", nocsyn::model::json::JsonValue::from(2u64)),
+            ])
+            .to_string();
+            let miss = server.handle_line(&request);
+            let hit = server.handle_line(&request);
+            check_assert!(matches!(miss.kind, ReplyKind::Report(CacheTier::Miss)));
+            check_assert!(matches!(hit.kind, ReplyKind::Report(CacheTier::Hit)));
+            check_assert_eq!(
+                miss.line.replace("\"cache\":\"miss\"", "\"cache\":\"hit\""),
+                hit.line
+            );
+
+            // Direct run through the same engine API and renderer.
+            let parsed =
+                parse_pattern(&text, &ParseOptions::new()).expect("generated patterns are valid");
+            let config = SynthesisConfig::new().with_seed(seed).with_restarts(2);
+            let outcome = Engine::new().synthesize(&parsed.pattern, &config, None);
+            let direct = synth_json_object(&parsed.pattern, &outcome, config.seed());
+            let embedded = hit
+                .line
+                .split("\"report\":")
+                .nth(1)
+                .and_then(|s| s.strip_suffix('}'))
+                .expect("reply embeds the report object last");
+            check_assert_eq!(embedded, direct.as_str());
+            Ok(())
+        },
+    );
+}
