@@ -22,9 +22,10 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
-echo "==> no-unwrap gate: clippy -D clippy::unwrap_used on faults + engine + model + fuzz + coloring + bench + synth + topo + serve"
+echo "==> no-unwrap gate: clippy -D clippy::unwrap_used on faults + engine + model + fuzz + coloring + bench + synth + topo + serve + certify"
 cargo clippy --offline -p nocsyn-faults -p nocsyn-engine -p nocsyn-model -p nocsyn-fuzz \
-    -p nocsyn-coloring -p nocsyn-bench -p nocsyn-synth -p nocsyn-topo -p nocsyn-serve -- \
+    -p nocsyn-coloring -p nocsyn-bench -p nocsyn-synth -p nocsyn-topo -p nocsyn-serve \
+    -p nocsyn-certify -- \
     -D warnings -D clippy::unwrap_used
 
 echo "==> engine smoke gate: synth --jobs 1 vs --jobs 4 must be bit-identical"
@@ -65,6 +66,31 @@ echo "==> BENCH_6 gate: perf --iters 3 counters match the checked-in artifact"
 ./target/release/perf --iters 3 --seed 1 --json > "$j4" 2> /dev/null
 diff "$j1" "$j4"
 diff "$j1" BENCH_6.json
+
+echo "==> certify gate: synth --emit-cert round-trips through the independent checker"
+# Two golden workloads: the bundled pipeline example and an MG8-shaped
+# schedule. Each synthesis emits a proof, `nocsyn certify` accepts it,
+# a tampered copy is rejected with its stable fingerprint, and same-seed
+# re-emission is byte-identical.
+cert1="$(mktemp)"
+cert2="$(mktemp)"
+pat2="$(mktemp)"
+trap 'rm -f "$j1" "$j4" "$cert1" "$cert2" "$pat2"' EXIT
+printf 'procs 8\nphase bytes=256\n  0 -> 1\n  2 -> 3\n  4 -> 5\n  6 -> 7\nphase bytes=256\n  1 -> 2\n  3 -> 4\n  5 -> 6\n  7 -> 0\n' > "$pat2"
+./target/release/nocsyn synth examples_data/pipeline.txt --restarts 2 --seed 9 --emit-cert "$cert1" > /dev/null
+./target/release/nocsyn certify examples_data/pipeline.txt "$cert1" --json | grep -q '"valid":true'
+./target/release/nocsyn synth "$pat2" --restarts 2 --seed 9 --emit-cert "$cert2" > /dev/null
+./target/release/nocsyn certify "$pat2" "$cert2" --json | grep -q '"valid":true'
+# Same seed, fresh emission: certificates are byte-deterministic.
+./target/release/nocsyn synth examples_data/pipeline.txt --restarts 2 --seed 9 --emit-cert "$j1" > /dev/null
+diff "$j1" "$cert1"
+# Tampering must be caught (non-zero exit, stable fingerprint on stderr).
+sed 's/"contention_free":true/"contention_free":false/' "$cert1" > "$j4"
+if ./target/release/nocsyn certify examples_data/pipeline.txt "$j4" > /dev/null 2> "$j1"; then
+    echo "tampered certificate was accepted" >&2
+    exit 1
+fi
+grep -q 'cert-binding-mismatch' "$j1"
 
 echo "==> serve cache gate: same job twice -> miss then byte-identical hit"
 # The daemon in --drain mode is fully scriptable: two copies of the same

@@ -4,10 +4,12 @@
 use std::collections::BTreeMap;
 
 use nocsyn_coloring::{exact_chromatic, ConflictGraph};
-use nocsyn_model::{Flow, ProcId};
-use nocsyn_topo::{verify_contention_free, Channel, LinkId, Network, Route, RouteTable};
+use nocsyn_model::{Certificate, Digest, Flow, ProcId};
+use nocsyn_topo::{
+    build_certificate, verify_contention_free, Channel, LinkId, Network, Route, RouteTable,
+};
 
-use crate::{Partitioning, PipeKey, SynthError, SynthesisConfig, SynthesisReport};
+use crate::{AppPattern, Partitioning, PipeKey, SynthError, SynthesisConfig, SynthesisReport};
 
 /// The output of [`synthesize`](crate::synthesize): the materialized
 /// network, its source-routing table, the per-processor switch placement,
@@ -23,6 +25,22 @@ pub struct SynthesisResult {
     pub placement: Vec<usize>,
     /// Run summary.
     pub report: SynthesisReport,
+}
+
+impl SynthesisResult {
+    /// Emits the contention-freedom certificate for this result: the
+    /// Theorem-1 evidence object an independent checker (`nocsyn
+    /// certify`) can validate without any synthesis code. `job`
+    /// optionally binds the certificate to a serve-cache key.
+    pub fn certificate(&self, pattern: &AppPattern, job: Option<Digest>) -> Certificate {
+        build_certificate(
+            pattern.n_procs(),
+            pattern.cliques(),
+            pattern.contention(),
+            &self.routes,
+            job,
+        )
+    }
 }
 
 /// Per-pipe finalized sizing: exact colorings of both directions.

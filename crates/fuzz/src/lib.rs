@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod certify_probe;
 pub mod gen;
 pub mod route_probe;
 pub mod serve_probe;

@@ -111,14 +111,16 @@ impl Registry {
 
     /// A registry preloaded with the built-in targets: the model
     /// parsers (`parse_schedule`, `parse_trace`), the incremental
-    /// Theorem-1 differential probe (`route_edit_probe`), and the serve
-    /// daemon's line protocol (`serve_request`).
+    /// Theorem-1 differential probe (`route_edit_probe`), the serve
+    /// daemon's line protocol (`serve_request`), and the certificate
+    /// checker (`certify_input`).
     pub fn with_builtin_targets() -> Self {
         let mut r = Registry::new();
         r.register(parse_schedule_target());
         r.register(parse_trace_target());
         r.register(crate::route_probe::route_edit_probe_target());
         r.register(crate::serve_probe::serve_request_target());
+        r.register(crate::certify_probe::certify_input_target());
         r
     }
 
@@ -203,6 +205,7 @@ mod tests {
         assert_eq!(
             r.names(),
             vec![
+                "certify_input",
                 "parse_schedule",
                 "parse_trace",
                 "route_edit_probe",

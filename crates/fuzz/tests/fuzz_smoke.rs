@@ -19,6 +19,7 @@ fn builtin_targets_survive_two_thousand_cases() {
     let registry = Registry::with_builtin_targets();
     let mut corpus = gen::default_corpus();
     corpus.extend(nocsyn_fuzz::serve_probe::serve_corpus());
+    corpus.extend(nocsyn_fuzz::certify_probe::certify_corpus());
     let summary = run(&registry, "all", &corpus, &config(2000, 1)).expect("known target");
     assert!(
         summary.clean(),

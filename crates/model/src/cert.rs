@@ -1,0 +1,625 @@
+//! Contention-freedom certificates: the machine-checkable evidence object
+//! behind Theorem 1 verdicts.
+//!
+//! A [`Certificate`] packages everything an *independent* checker needs to
+//! re-derive `C ∩ R = ∅` by set arithmetic alone: the maximum clique set
+//! `K`, the explicit contention obligations (pairs of `C` whose routes
+//! must be link-disjoint), the per-route resource sets (channel labels),
+//! the per-channel crossing flow sets, and — when verification failed — a
+//! concrete [`CertWitness`] per violated obligation. The whole payload is
+//! self-bound by a [`CanonicalForm`] digest (the `binding` field), so any
+//! tamper that does not recompute the digest is detected before any
+//! semantic check runs, and optionally bound to a synthesis job by the
+//! job-fingerprint digest of the serve cache.
+//!
+//! The schema is versioned (`nocsyn-cert-v1`), rendered deterministically
+//! (same certificate value ⇒ same bytes), and parsed under the same
+//! [`ParseLimits`] resource budget as pattern text — certificates cross
+//! trust boundaries (disk caches, remote replies), so parsing is total
+//! and bounded.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::{self, JsonValue};
+use crate::text::ParseLimits;
+use crate::{CanonicalForm, Digest, Flow, FlowPair};
+
+/// Schema tag accepted by this version of the certificate format.
+pub const CERT_SCHEMA: &str = "nocsyn-cert-v1";
+
+/// One violated obligation: a contention pair whose routes share channels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertWitness {
+    /// The contention pair that collides.
+    pub pair: FlowPair,
+    /// The shared channel labels (sorted, deduplicated).
+    pub shared: Vec<String>,
+}
+
+/// A deterministic, self-bound contention-freedom certificate.
+///
+/// Field order in memory is irrelevant: rendering and the binding digest
+/// both normalize (sort) every collection, so two equal certificate
+/// values always produce identical bytes and identical digests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Process count of the pattern the certificate speaks about.
+    pub n_procs: usize,
+    /// The verdict the certificate claims to prove.
+    pub contention_free: bool,
+    /// The maximum clique set `K` (each clique a set of flows).
+    pub cliques: Vec<Vec<Flow>>,
+    /// The `C ∩ R = ∅` obligations: contention pairs with both ends routed.
+    pub obligations: Vec<FlowPair>,
+    /// Per-route resource sets: sorted channel labels each flow crosses.
+    pub routes: BTreeMap<Flow, Vec<String>>,
+    /// Per-channel crossing flow sets (the inverse of `routes`).
+    pub crossings: BTreeMap<String, Vec<Flow>>,
+    /// Concrete collisions, non-empty iff `contention_free` is false.
+    pub witnesses: Vec<CertWitness>,
+    /// Hex digest of the synthesis job this certificate is bound to, if
+    /// it was emitted for a cacheable job.
+    pub job: Option<String>,
+    /// The binding digest claimed by the parsed text (`None` on freshly
+    /// built certificates; rendering always recomputes).
+    pub claimed_binding: Option<String>,
+}
+
+fn flow_key(f: Flow) -> String {
+    format!("{}>{}", f.src.index(), f.dst.index())
+}
+
+fn pair_key(p: FlowPair) -> String {
+    format!("{}|{}", flow_key(p.first()), flow_key(p.second()))
+}
+
+impl Certificate {
+    /// The payload digest binding every semantic field together.
+    ///
+    /// Computed over a [`CanonicalForm`] whose fields are normalized
+    /// renderings of each collection, so it is independent of in-memory
+    /// ordering and of JSON whitespace.
+    pub fn binding(&self) -> Digest {
+        let mut cliques: Vec<String> = self
+            .cliques
+            .iter()
+            .map(|c| {
+                let mut flows: Vec<String> = c.iter().map(|f| flow_key(*f)).collect();
+                flows.sort();
+                flows.join(",")
+            })
+            .collect();
+        cliques.sort();
+        let mut obligations: Vec<String> = self.obligations.iter().map(|p| pair_key(*p)).collect();
+        obligations.sort();
+        let routes: Vec<String> = self
+            .routes
+            .iter()
+            .map(|(f, chans)| format!("{}:{}", flow_key(*f), chans.join(",")))
+            .collect();
+        let crossings: Vec<String> = self
+            .crossings
+            .iter()
+            .map(|(ch, flows)| {
+                let keys: Vec<String> = flows.iter().map(|f| flow_key(*f)).collect();
+                format!("{}:{}", ch, keys.join(","))
+            })
+            .collect();
+        let mut witnesses: Vec<String> = self
+            .witnesses
+            .iter()
+            .map(|w| format!("{}:{}", pair_key(w.pair), w.shared.join(",")))
+            .collect();
+        witnesses.sort();
+        CanonicalForm::new()
+            .field("schema", CERT_SCHEMA)
+            .field("n_procs", self.n_procs)
+            .field("contention_free", self.contention_free)
+            .field("cliques", cliques.join(";"))
+            .field("obligations", obligations.join(";"))
+            .field("routes", routes.join(";"))
+            .field("crossings", crossings.join(";"))
+            .field("witnesses", witnesses.join(";"))
+            .field("job", self.job.as_deref().unwrap_or("none"))
+            .digest()
+    }
+
+    /// Renders the certificate as a deterministic single-line JSON object
+    /// with a freshly computed `binding` digest.
+    pub fn to_json(&self) -> String {
+        let flow_json = |f: &Flow| {
+            JsonValue::array([
+                JsonValue::from(f.src.index()),
+                JsonValue::from(f.dst.index()),
+            ])
+        };
+        let mut cliques: Vec<Vec<Flow>> = self
+            .cliques
+            .iter()
+            .map(|c| {
+                let mut c = c.clone();
+                c.sort();
+                c
+            })
+            .collect();
+        cliques.sort();
+        let mut obligations = self.obligations.clone();
+        obligations.sort();
+        let mut witnesses = self.witnesses.clone();
+        witnesses.sort_by_key(|w| w.pair);
+        let mut fields = vec![
+            ("schema", JsonValue::from(CERT_SCHEMA)),
+            ("n_procs", JsonValue::from(self.n_procs)),
+            ("contention_free", JsonValue::from(self.contention_free)),
+            (
+                "cliques",
+                JsonValue::array(
+                    cliques
+                        .iter()
+                        .map(|c| JsonValue::array(c.iter().map(flow_json))),
+                ),
+            ),
+            (
+                "obligations",
+                JsonValue::array(
+                    obligations
+                        .iter()
+                        .map(|p| JsonValue::array([flow_json(&p.first()), flow_json(&p.second())])),
+                ),
+            ),
+            (
+                "routes",
+                JsonValue::array(self.routes.iter().map(|(f, chans)| {
+                    JsonValue::object([
+                        ("flow", flow_json(f)),
+                        (
+                            "channels",
+                            JsonValue::array(chans.iter().map(|c| JsonValue::from(c.as_str()))),
+                        ),
+                    ])
+                })),
+            ),
+            (
+                "crossings",
+                JsonValue::array(self.crossings.iter().map(|(ch, flows)| {
+                    JsonValue::object([
+                        ("channel", JsonValue::from(ch.as_str())),
+                        ("flows", JsonValue::array(flows.iter().map(flow_json))),
+                    ])
+                })),
+            ),
+            (
+                "witnesses",
+                JsonValue::array(witnesses.iter().map(|w| {
+                    JsonValue::object([
+                        ("flow_a", flow_json(&w.pair.first())),
+                        ("flow_b", flow_json(&w.pair.second())),
+                        (
+                            "shared",
+                            JsonValue::array(w.shared.iter().map(|c| JsonValue::from(c.as_str()))),
+                        ),
+                    ])
+                })),
+            ),
+        ];
+        if let Some(job) = &self.job {
+            fields.push(("job", JsonValue::from(job.as_str())));
+        }
+        fields.push(("binding", JsonValue::from(self.binding().to_hex())));
+        JsonValue::object(fields).to_string()
+    }
+
+    /// Whether the binding digest claimed by the parsed text matches a
+    /// recomputation over the parsed payload. Freshly built certificates
+    /// (no claimed binding) verify trivially.
+    pub fn verify_binding(&self) -> bool {
+        match &self.claimed_binding {
+            None => true,
+            Some(claimed) => *claimed == self.binding().to_hex(),
+        }
+    }
+
+    /// Parses certificate text under the given resource limits.
+    ///
+    /// Total and bounded: any input — hostile, truncated, or garbage —
+    /// yields a typed [`CertError`] with a stable fingerprint, never a
+    /// panic. Semantic validation (binding, obligations, disjointness)
+    /// is the checker's job; this only enforces shape and budgets.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError`] on oversized input, malformed JSON, an unsupported
+    /// schema tag, or a missing/ill-typed field.
+    pub fn parse(text: &str, limits: &ParseLimits) -> Result<Certificate, CertError> {
+        if text.len() > limits.max_input_bytes {
+            return Err(CertError::LimitExceeded("input bytes"));
+        }
+        let value = json::parse(text).map_err(|e| CertError::Json {
+            fingerprint: e.fingerprint(),
+            detail: e.to_string(),
+        })?;
+        if value.as_object().is_none() {
+            return Err(CertError::BadField("certificate"));
+        }
+        let schema = str_field(&value, "schema")?;
+        if schema != CERT_SCHEMA {
+            return Err(CertError::SchemaUnsupported);
+        }
+        let n_procs = usize_field(&value, "n_procs")?;
+        if n_procs == 0 || n_procs > limits.max_procs {
+            return Err(CertError::LimitExceeded("n_procs"));
+        }
+        let contention_free = value
+            .get("contention_free")
+            .ok_or(CertError::MissingField("contention_free"))?
+            .as_bool()
+            .ok_or(CertError::BadField("contention_free"))?;
+        // Every flow or channel mention costs input bytes, so the input
+        // budget already bounds memory; the message budget additionally
+        // bounds element counts the way pattern parsing does.
+        let mut mentions = Budget {
+            left: limits.max_messages,
+        };
+
+        let mut cliques = Vec::new();
+        for c in array_field(&value, "cliques")? {
+            let members = c.as_array().ok_or(CertError::BadField("cliques"))?;
+            let mut clique = Vec::new();
+            for m in members {
+                clique.push(parse_flow(m, n_procs, &mut mentions)?);
+            }
+            cliques.push(clique);
+        }
+
+        let mut obligations = Vec::new();
+        for o in array_field(&value, "obligations")? {
+            let ends = o.as_array().ok_or(CertError::BadField("obligations"))?;
+            if ends.len() != 2 {
+                return Err(CertError::BadField("obligations"));
+            }
+            let a = parse_flow(&ends[0], n_procs, &mut mentions)?;
+            let b = parse_flow(&ends[1], n_procs, &mut mentions)?;
+            obligations.push(FlowPair::new(a, b));
+        }
+
+        let mut routes = BTreeMap::new();
+        for r in array_field(&value, "routes")? {
+            let flow = parse_flow(
+                r.get("flow").ok_or(CertError::MissingField("flow"))?,
+                n_procs,
+                &mut mentions,
+            )?;
+            let chans = parse_channels(r.get("channels"), "channels", &mut mentions)?;
+            if routes.insert(flow, chans).is_some() {
+                return Err(CertError::BadField("routes"));
+            }
+        }
+
+        let mut crossings = BTreeMap::new();
+        for x in array_field(&value, "crossings")? {
+            let ch = x
+                .get("channel")
+                .and_then(|v| v.as_str())
+                .ok_or(CertError::BadField("crossings"))?;
+            check_channel(ch)?;
+            let mut flows = Vec::new();
+            for f in x
+                .get("flows")
+                .and_then(|v| v.as_array())
+                .ok_or(CertError::BadField("crossings"))?
+            {
+                flows.push(parse_flow(f, n_procs, &mut mentions)?);
+            }
+            if crossings.insert(ch.to_string(), flows).is_some() {
+                return Err(CertError::BadField("crossings"));
+            }
+        }
+
+        let mut witnesses = Vec::new();
+        for w in array_field(&value, "witnesses")? {
+            let a = parse_flow(
+                w.get("flow_a").ok_or(CertError::MissingField("flow_a"))?,
+                n_procs,
+                &mut mentions,
+            )?;
+            let b = parse_flow(
+                w.get("flow_b").ok_or(CertError::MissingField("flow_b"))?,
+                n_procs,
+                &mut mentions,
+            )?;
+            let shared = parse_channels(w.get("shared"), "shared", &mut mentions)?;
+            witnesses.push(CertWitness {
+                pair: FlowPair::new(a, b),
+                shared,
+            });
+        }
+
+        let job = match value.get("job") {
+            None => None,
+            Some(v) => {
+                let hex = v.as_str().ok_or(CertError::BadField("job"))?;
+                if Digest::from_hex(hex).is_none() {
+                    return Err(CertError::BadField("job"));
+                }
+                Some(hex.to_string())
+            }
+        };
+        let binding = str_field(&value, "binding")?;
+        if Digest::from_hex(binding).is_none() {
+            return Err(CertError::BadField("binding"));
+        }
+
+        Ok(Certificate {
+            n_procs,
+            contention_free,
+            cliques,
+            obligations,
+            routes,
+            crossings,
+            witnesses,
+            job,
+            claimed_binding: Some(binding.to_string()),
+        })
+    }
+}
+
+/// Remaining element-mention budget during parsing.
+struct Budget {
+    left: usize,
+}
+
+impl Budget {
+    fn spend(&mut self) -> Result<(), CertError> {
+        if self.left == 0 {
+            return Err(CertError::LimitExceeded("elements"));
+        }
+        self.left -= 1;
+        Ok(())
+    }
+}
+
+fn str_field<'a>(value: &'a JsonValue, name: &'static str) -> Result<&'a str, CertError> {
+    value
+        .get(name)
+        .ok_or(CertError::MissingField(name))?
+        .as_str()
+        .ok_or(CertError::BadField(name))
+}
+
+fn usize_field(value: &JsonValue, name: &'static str) -> Result<usize, CertError> {
+    let raw = value
+        .get(name)
+        .ok_or(CertError::MissingField(name))?
+        .as_u64()
+        .ok_or(CertError::BadField(name))?;
+    usize::try_from(raw).map_err(|_| CertError::BadField(name))
+}
+
+fn array_field<'a>(value: &'a JsonValue, name: &'static str) -> Result<&'a [JsonValue], CertError> {
+    value
+        .get(name)
+        .ok_or(CertError::MissingField(name))?
+        .as_array()
+        .ok_or(CertError::BadField(name))
+}
+
+fn parse_flow(v: &JsonValue, n_procs: usize, budget: &mut Budget) -> Result<Flow, CertError> {
+    budget.spend()?;
+    let ends = v.as_array().ok_or(CertError::BadField("flow"))?;
+    if ends.len() != 2 {
+        return Err(CertError::BadField("flow"));
+    }
+    let src = ends[0]
+        .as_u64()
+        .and_then(|n| usize::try_from(n).ok())
+        .ok_or(CertError::BadField("flow"))?;
+    let dst = ends[1]
+        .as_u64()
+        .and_then(|n| usize::try_from(n).ok())
+        .ok_or(CertError::BadField("flow"))?;
+    if src >= n_procs || dst >= n_procs {
+        return Err(CertError::BadField("flow"));
+    }
+    Ok(Flow::from_indices(src, dst))
+}
+
+fn check_channel(label: &str) -> Result<(), CertError> {
+    if label.is_empty() || label.len() > 64 || label.contains([',', ';', ':']) {
+        return Err(CertError::BadField("channel"));
+    }
+    Ok(())
+}
+
+fn parse_channels(
+    v: Option<&JsonValue>,
+    name: &'static str,
+    budget: &mut Budget,
+) -> Result<Vec<String>, CertError> {
+    let items = v
+        .and_then(|v| v.as_array())
+        .ok_or(CertError::BadField(name))?;
+    let mut chans = Vec::new();
+    for item in items {
+        budget.spend()?;
+        let label = item.as_str().ok_or(CertError::BadField(name))?;
+        check_channel(label)?;
+        chans.push(label.to_string());
+    }
+    Ok(chans)
+}
+
+/// Why certificate text was rejected at the parsing boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertError {
+    /// The text is not well-formed JSON; carries the JSON parser's own
+    /// stable fingerprint.
+    Json {
+        /// The JSON parser's stable error class.
+        fingerprint: &'static str,
+        /// Human-readable position/cause.
+        detail: String,
+    },
+    /// A required field is absent.
+    MissingField(&'static str),
+    /// A field is present but ill-typed or out of range.
+    BadField(&'static str),
+    /// The schema tag is not `nocsyn-cert-v1`.
+    SchemaUnsupported,
+    /// A resource budget from [`ParseLimits`] was exceeded.
+    LimitExceeded(&'static str),
+}
+
+impl CertError {
+    /// Stable kebab-case class id (shared namespace with every other
+    /// public error type; fuzzing dedups crashes by this).
+    pub fn fingerprint(&self) -> &'static str {
+        match self {
+            CertError::Json { fingerprint, .. } => fingerprint,
+            CertError::MissingField(_) => "cert-missing-field",
+            CertError::BadField(_) => "cert-bad-field",
+            CertError::SchemaUnsupported => "cert-schema-unsupported",
+            CertError::LimitExceeded(_) => "limit-exceeded",
+        }
+    }
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertError::Json { detail, .. } => write!(f, "certificate is not JSON: {detail}"),
+            CertError::MissingField(name) => write!(f, "certificate field `{name}` is missing"),
+            CertError::BadField(name) => write!(f, "certificate field `{name}` is invalid"),
+            CertError::SchemaUnsupported => {
+                write!(f, "certificate schema is not `{CERT_SCHEMA}`")
+            }
+            CertError::LimitExceeded(what) => {
+                write!(f, "certificate exceeds the `{what}` budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Certificate {
+        let f01 = Flow::from_indices(0, 1);
+        let f23 = Flow::from_indices(2, 3);
+        let mut routes = BTreeMap::new();
+        routes.insert(f01, vec!["L0+".to_string()]);
+        routes.insert(f23, vec!["L1-".to_string()]);
+        let mut crossings = BTreeMap::new();
+        crossings.insert("L0+".to_string(), vec![f01]);
+        crossings.insert("L1-".to_string(), vec![f23]);
+        Certificate {
+            n_procs: 4,
+            contention_free: true,
+            cliques: vec![vec![f01, f23]],
+            obligations: vec![FlowPair::new(f01, f23)],
+            routes,
+            crossings,
+            witnesses: Vec::new(),
+            job: None,
+            claimed_binding: None,
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_value_and_binding() {
+        let cert = sample();
+        let text = cert.to_json();
+        let parsed = Certificate::parse(&text, &ParseLimits::default()).expect("round trip");
+        assert!(parsed.verify_binding());
+        assert_eq!(parsed.binding(), cert.binding());
+        assert_eq!(parsed.to_json(), text, "render is a fixed point");
+    }
+
+    #[test]
+    fn rendering_is_order_invariant() {
+        let mut shuffled = sample();
+        shuffled.cliques[0].reverse();
+        shuffled.obligations.reverse();
+        assert_eq!(shuffled.to_json(), sample().to_json());
+        assert_eq!(shuffled.binding(), sample().binding());
+    }
+
+    #[test]
+    fn any_payload_tamper_changes_the_binding() {
+        let base = sample().binding();
+        let mut a = sample();
+        a.contention_free = false;
+        let mut b = sample();
+        b.obligations.clear();
+        let mut c = sample();
+        c.routes
+            .insert(Flow::from_indices(1, 2), vec!["L9+".to_string()]);
+        let mut d = sample();
+        d.job = Some(crate::sha256(b"job").to_hex());
+        for (i, cert) in [a, b, c, d].iter().enumerate() {
+            assert_ne!(cert.binding(), base, "tamper {i} not caught");
+        }
+    }
+
+    #[test]
+    fn textual_tamper_fails_binding_verification() {
+        let text = sample().to_json();
+        let tampered = text.replace("\"contention_free\":true", "\"contention_free\":false");
+        assert_ne!(text, tampered);
+        let parsed = Certificate::parse(&tampered, &ParseLimits::default()).expect("parses");
+        assert!(!parsed.verify_binding());
+    }
+
+    #[test]
+    fn parse_rejections_have_stable_fingerprints() {
+        let limits = ParseLimits::default();
+        let cases: Vec<(String, &str)> = vec![
+            ("{".to_string(), "json-unexpected-end"),
+            ("[]".to_string(), "cert-bad-field"),
+            ("{}".to_string(), "cert-missing-field"),
+            (
+                "{\"schema\":\"nocsyn-cert-v0\"}".to_string(),
+                "cert-schema-unsupported",
+            ),
+            (
+                sample().to_json().replace("nocsyn-cert-v1", "other-v9"),
+                "cert-schema-unsupported",
+            ),
+            (
+                sample().to_json().replace("[2,3]", "[2,99]"),
+                "cert-bad-field",
+            ),
+            (
+                sample().to_json().replace("\"n_procs\":4", "\"n_procs\":0"),
+                "limit-exceeded",
+            ),
+        ];
+        for (text, want) in cases {
+            let err = Certificate::parse(&text, &limits).expect_err("must reject");
+            assert_eq!(err.fingerprint(), want, "input {text:?} -> {err}");
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn input_and_element_budgets_are_enforced() {
+        let limits = ParseLimits::default().with_max_input_bytes(16);
+        let err = Certificate::parse(&sample().to_json(), &limits).expect_err("too big");
+        assert_eq!(err.fingerprint(), "limit-exceeded");
+        let limits = ParseLimits::default().with_max_messages(1);
+        let err = Certificate::parse(&sample().to_json(), &limits).expect_err("too many");
+        assert_eq!(err.fingerprint(), "limit-exceeded");
+    }
+
+    #[test]
+    fn parse_never_accepts_bad_digest_fields() {
+        let text = sample().to_json();
+        let hex = sample().binding().to_hex();
+        let bad = text.replace(&hex, "zz");
+        let err = Certificate::parse(&bad, &ParseLimits::default()).expect_err("bad binding");
+        assert_eq!(err.fingerprint(), "cert-bad-field");
+    }
+}

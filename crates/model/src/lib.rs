@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cert;
 mod clique;
 mod contention;
 mod error;
@@ -70,6 +71,7 @@ pub mod text;
 mod time;
 mod trace;
 
+pub use cert::{CertError, CertWitness, Certificate, CERT_SCHEMA};
 pub use clique::{Clique, CliqueSet};
 pub use contention::{ContentionSet, FlowPair};
 pub use error::ModelError;

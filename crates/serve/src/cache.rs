@@ -9,11 +9,16 @@
 //! is what makes hits verifiable (and what the cache-correctness property
 //! tests check).
 //!
-//! The disk tier stores one `<hex-digest>.json` file per entry. Disk
-//! contents are treated as untrusted: a file that fails to re-parse as
-//! JSON is ignored (counted in [`CacheStats::disk_errors`]) rather than
-//! served. Only *completed* results are ever inserted, so a deadline can
-//! never poison the cache with a degraded best-so-far report.
+//! The disk tier stores one `<hex-digest>.json` file per entry, plus a
+//! companion `<hex-digest>.cert.json` contention-freedom certificate.
+//! Disk contents are treated as untrusted: a file that fails to re-parse
+//! as JSON is ignored (counted in [`CacheStats::disk_errors`]) rather
+//! than served, and [`ResultCache::lookup_certified`] additionally
+//! refuses to serve a disk entry whose certificate is missing or fails
+//! the caller's validator (counted in [`CacheStats::cert_errors`] — the
+//! entry is re-synthesized instead). Only *completed* results are ever
+//! inserted, so a deadline can never poison the cache with a degraded
+//! best-so-far report.
 
 use std::collections::{HashMap, VecDeque};
 use std::fs;
@@ -59,6 +64,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Disk files that failed to read, parse, or write.
     pub disk_errors: u64,
+    /// Disk entries refused because their contention-freedom certificate
+    /// was missing, unreadable, or failed validation.
+    pub cert_errors: u64,
 }
 
 /// A bounded two-tier (memory + optional disk) result cache.
@@ -127,17 +135,65 @@ impl ResultCache {
         None
     }
 
+    /// Looks up `key` with certificate validation on the untrusted disk
+    /// tier. Memory entries are trusted (they were validated or freshly
+    /// synthesized in this process); a disk entry is served only when its
+    /// companion certificate exists and `validate` accepts it, otherwise
+    /// it counts as a [`CacheStats::cert_errors`] miss and the caller
+    /// re-synthesizes.
+    pub fn lookup_certified<F: FnOnce(&str) -> bool>(
+        &mut self,
+        key: &Digest,
+        validate: F,
+    ) -> Option<(String, CacheTier)> {
+        if let Some(report) = self.map.get(key) {
+            let report = report.clone();
+            self.touch(key);
+            self.stats.hits += 1;
+            return Some((report, CacheTier::Hit));
+        }
+        if let Some(report) = self.read_disk(key) {
+            let certified = self
+                .read_cert(key)
+                .map(|cert| validate(&cert))
+                .unwrap_or(false);
+            if !certified {
+                self.stats.cert_errors += 1;
+                self.stats.misses += 1;
+                return None;
+            }
+            self.stats.disk_hits += 1;
+            self.insert_memory(*key, report.clone());
+            return Some((report, CacheTier::Disk));
+        }
+        self.stats.misses += 1;
+        None
+    }
+
     /// Inserts a freshly synthesized report under `key`, in memory and —
     /// when a disk tier is configured — on disk. Disk write failures are
     /// counted, not fatal: the request that produced the result already
     /// has its answer.
     pub fn insert(&mut self, key: Digest, report: String) {
+        self.insert_with_cert(key, report, None);
+    }
+
+    /// Like [`ResultCache::insert`], but also persists the result's
+    /// contention-freedom certificate next to the report on the disk
+    /// tier, where [`ResultCache::lookup_certified`] will demand it.
+    pub fn insert_with_cert(&mut self, key: Digest, report: String, cert: Option<String>) {
         self.stats.insertions += 1;
         if let Some(dir) = &self.dir {
             let path = dir.join(format!("{}.json", key.to_hex()));
             let write = fs::create_dir_all(dir).and_then(|()| fs::write(&path, &report));
             if write.is_err() {
                 self.stats.disk_errors += 1;
+            }
+            if let Some(cert) = &cert {
+                let cert_path = dir.join(format!("{}.cert.json", key.to_hex()));
+                if fs::write(&cert_path, cert).is_err() {
+                    self.stats.disk_errors += 1;
+                }
             }
         }
         self.insert_memory(key, report);
@@ -182,6 +238,13 @@ impl ResultCache {
                 None
             }
         }
+    }
+
+    /// Reads the companion certificate of a disk entry, if present.
+    fn read_cert(&self, key: &Digest) -> Option<String> {
+        let dir = self.dir.as_ref()?;
+        let path = dir.join(format!("{}.cert.json", key.to_hex()));
+        fs::read_to_string(path).ok()
     }
 }
 
@@ -274,6 +337,46 @@ mod tests {
         assert_eq!(c.lookup(&key(2)), None);
         assert_eq!(c.stats().disk_errors, 1);
         assert_eq!(c.stats().misses, 1);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn certified_lookup_trusts_memory_but_demands_disk_certificates() {
+        let dir = std::env::temp_dir().join(format!(
+            "nocsyn-serve-cert-cache-test-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+
+        let mut warm = ResultCache::new(2).with_dir(dir.clone());
+        warm.insert_with_cert(key(1), "{\"a\":1}".into(), Some("CERT".into()));
+        // Memory tier: served without consulting the validator.
+        assert_eq!(
+            warm.lookup_certified(&key(1), |_| false),
+            Some(("{\"a\":1}".to_string(), CacheTier::Hit))
+        );
+
+        // Cold cache: disk entry served only when the validator accepts.
+        let mut cold = ResultCache::new(2).with_dir(dir.clone());
+        assert_eq!(
+            cold.lookup_certified(&key(1), |cert| cert == "CERT"),
+            Some(("{\"a\":1}".to_string(), CacheTier::Disk))
+        );
+        assert_eq!(cold.stats().cert_errors, 0);
+
+        // Validator rejection: refused, counted, treated as a miss.
+        let mut reject = ResultCache::new(2).with_dir(dir.clone());
+        assert_eq!(reject.lookup_certified(&key(1), |_| false), None);
+        let s = reject.stats();
+        assert_eq!((s.cert_errors, s.misses, s.disk_hits), (1, 1, 0));
+
+        // Missing certificate file: same refusal.
+        fs::write(dir.join(format!("{}.json", key(2).to_hex())), "{\"b\":2}")
+            .expect("test dir writable");
+        let mut missing = ResultCache::new(2).with_dir(dir.clone());
+        assert_eq!(missing.lookup_certified(&key(2), |_| true), None);
+        assert_eq!(missing.stats().cert_errors, 1);
 
         let _ = fs::remove_dir_all(&dir);
     }

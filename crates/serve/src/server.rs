@@ -8,6 +8,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use nocsyn_certify::{check_certificate, CheckOptions};
 use nocsyn_engine::{Engine, EngineEvent, EventSink, JobStatus, NullSink};
 use nocsyn_model::json::JsonValue;
 use nocsyn_model::{
@@ -324,7 +325,7 @@ impl Server {
         }
         let fp = job_fingerprint(parsed.kind, &parsed.canonical, &config);
 
-        if let Some((report, tier)) = self.cache_lookup(&fp) {
+        if let Some((report, tier)) = self.cache_lookup(&fp, &parsed.canonical) {
             return self.report_reply(&fp, tier, "ok", &report);
         }
 
@@ -344,13 +345,17 @@ impl Server {
                 "deadline-exceeded",
                 "deadline expired before any restart completed",
             ),
-            (status, Some(_)) => {
+            (status, Some(result)) => {
                 let report = synth_json_object(&parsed.pattern, &outcome, config.seed());
                 if *status == JobStatus::Completed {
                     // Only fully completed portfolios are cached: a
                     // deadline-degraded best-so-far under the same key
-                    // would poison future exact answers.
-                    self.cache_insert(fp, report.clone());
+                    // would poison future exact answers. Each cached
+                    // result carries its contention-freedom certificate,
+                    // bound to the cache key, so a later disk load can be
+                    // independently re-validated before it is served.
+                    let cert = result.certificate(&parsed.pattern, Some(fp)).to_json();
+                    self.cache_insert(fp, report.clone(), Some(cert));
                     self.report_reply(&fp, CacheTier::Miss, "ok", &report)
                 } else {
                     self.report_reply(&fp, CacheTier::Miss, "deadline-exceeded", &report)
@@ -390,6 +395,7 @@ impl Server {
             ("insertions", JsonValue::from(stats.insertions)),
             ("evictions", JsonValue::from(stats.evictions)),
             ("disk_errors", JsonValue::from(stats.disk_errors)),
+            ("cert_errors", JsonValue::from(stats.cert_errors)),
             ("entries", JsonValue::from(entries)),
         ]);
         Reply {
@@ -414,18 +420,25 @@ impl Server {
         }
     }
 
-    fn cache_lookup(&self, fp: &Digest) -> Option<(String, CacheTier)> {
+    /// Cache lookup with the certificate gate on the untrusted disk
+    /// tier: a disk entry is served only if its companion certificate
+    /// validates against the canonical pattern *and* is bound to exactly
+    /// this cache key.
+    fn cache_lookup(&self, fp: &Digest, canonical: &str) -> Option<(String, CacheTier)> {
+        let check = CheckOptions::new().with_limits(self.opts.limits.clone());
         self.cache
             .lock()
             .expect("cache lock never poisoned")
-            .lookup(fp)
+            .lookup_certified(fp, |cert| {
+                check_certificate(canonical, cert, Some(fp), &check).is_ok()
+            })
     }
 
-    fn cache_insert(&self, fp: Digest, report: String) {
+    fn cache_insert(&self, fp: Digest, report: String, cert: Option<String>) {
         self.cache
             .lock()
             .expect("cache lock never poisoned")
-            .insert(fp, report);
+            .insert_with_cert(fp, report, cert);
     }
 
     /// Emits a `serve_request` telemetry event; a broken sink degrades

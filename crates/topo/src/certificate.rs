@@ -1,0 +1,157 @@
+//! Certificate emission: extracting the Theorem-1 evidence object from a
+//! routed network.
+//!
+//! [`build_certificate`] is the one place the per-route resource sets,
+//! per-channel crossing flow sets, obligations, and contention witnesses
+//! of a [`Certificate`](nocsyn_model::Certificate) are derived from real
+//! routes. The emitted certificate agrees with
+//! [`verify_contention_free`](crate::verify_contention_free) by
+//! construction: its witness list is exactly the report's witness list,
+//! rendered into channel labels.
+
+use std::collections::BTreeMap;
+
+use nocsyn_model::{CertWitness, Certificate, CliqueSet, ContentionSet, Digest, Flow};
+
+use crate::RouteTable;
+
+/// Builds the contention-freedom certificate for `routes` against an
+/// application with clique set `cliques` and potential contention set
+/// `contention`.
+///
+/// Obligations are the contention pairs with *both* ends routed — the
+/// same restriction [`verify_contention_free`](crate::verify_contention_free)
+/// applies — and a witness is recorded for every obligation whose resource
+/// sets intersect, so `contention_free` matches the verifier's verdict on
+/// the same inputs. `job` optionally binds the certificate to a serve
+/// cache key (the job-fingerprint digest).
+pub fn build_certificate(
+    n_procs: usize,
+    cliques: &CliqueSet,
+    contention: &ContentionSet,
+    routes: &RouteTable,
+    job: Option<Digest>,
+) -> Certificate {
+    let mut route_map: BTreeMap<Flow, Vec<String>> = BTreeMap::new();
+    for (flow, route) in routes.iter() {
+        let chans: Vec<String> = route
+            .channel_set()
+            .iter()
+            .map(|ch| ch.to_string())
+            .collect();
+        let mut chans = chans;
+        chans.sort();
+        chans.dedup();
+        route_map.insert(flow, chans);
+    }
+
+    let mut crossings: BTreeMap<String, Vec<Flow>> = BTreeMap::new();
+    for (flow, chans) in &route_map {
+        for ch in chans {
+            // Flows arrive in BTreeMap order, so each crossing list is
+            // already sorted and duplicate-free.
+            crossings.entry(ch.clone()).or_default().push(*flow);
+        }
+    }
+
+    let mut obligations = Vec::new();
+    let mut witnesses = Vec::new();
+    for pair in contention.iter() {
+        let (Some(ra), Some(rb)) = (route_map.get(&pair.first()), route_map.get(&pair.second()))
+        else {
+            continue;
+        };
+        obligations.push(pair);
+        let shared: Vec<String> = ra
+            .iter()
+            .filter(|ch| rb.binary_search(ch).is_ok())
+            .cloned()
+            .collect();
+        if !shared.is_empty() {
+            witnesses.push(CertWitness { pair, shared });
+        }
+    }
+
+    Certificate {
+        n_procs,
+        contention_free: witnesses.is_empty(),
+        cliques: cliques.iter().map(|c| c.iter().collect()).collect(),
+        obligations,
+        routes: route_map,
+        crossings,
+        witnesses,
+        job: job.map(|d| d.to_hex()),
+        claimed_binding: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{regular, verify_contention_free};
+    use nocsyn_model::{Message, ProcId, Trace};
+
+    fn concurrent_trace(flows: &[(usize, usize)], n: usize) -> Trace {
+        let mut t = Trace::new(n);
+        for &(s, d) in flows {
+            t.push(Message::new(ProcId(s), ProcId(d), 0, 10).unwrap())
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn certificate_verdict_matches_the_verifier() {
+        for flows in [
+            vec![(0usize, 1usize), (1, 0), (2, 3), (3, 2)],
+            vec![(0, 3), (1, 3)],
+        ] {
+            let t = concurrent_trace(&flows, 4);
+            let (_, routes) = regular::mesh(2, 2).unwrap();
+            let contention = t.contention_set();
+            let report = verify_contention_free(&contention, &routes);
+            let cert = build_certificate(4, &t.maximum_clique_set(), &contention, &routes, None);
+            assert_eq!(cert.contention_free, report.is_contention_free());
+            assert_eq!(cert.witnesses.len(), report.len());
+            assert!(cert.verify_binding());
+        }
+    }
+
+    #[test]
+    fn crossings_invert_routes_exactly() {
+        let t = concurrent_trace(&[(0, 3), (1, 2)], 4);
+        let (_, routes) = regular::torus(2, 2).unwrap();
+        let cert = build_certificate(
+            4,
+            &t.maximum_clique_set(),
+            &t.contention_set(),
+            &routes,
+            None,
+        );
+        let mut rebuilt: BTreeMap<String, Vec<Flow>> = BTreeMap::new();
+        for (flow, chans) in &cert.routes {
+            for ch in chans {
+                rebuilt.entry(ch.clone()).or_default().push(*flow);
+            }
+        }
+        assert_eq!(rebuilt, cert.crossings);
+        // Only routed flows appear, and their resource sets are sorted.
+        for chans in cert.routes.values() {
+            assert!(chans.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn unrouted_contention_pairs_produce_no_obligation() {
+        let t = concurrent_trace(&[(0, 3), (1, 3)], 4);
+        let cert = build_certificate(
+            4,
+            &t.maximum_clique_set(),
+            &t.contention_set(),
+            &RouteTable::new(),
+            None,
+        );
+        assert!(cert.obligations.is_empty());
+        assert!(cert.contention_free);
+    }
+}

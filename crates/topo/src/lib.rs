@@ -45,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 mod cdg;
+mod certificate;
 mod conflict;
 mod diff;
 pub mod dot;
@@ -58,6 +59,7 @@ mod shortest;
 mod verify;
 
 pub use cdg::{is_deadlock_free, ChannelDependencyGraph};
+pub use certificate::build_certificate;
 pub use conflict::ConflictSet;
 pub use diff::NetworkDelta;
 pub use dot::{loaded_to_dot, route_to_dot, to_dot};

@@ -6,6 +6,7 @@
 //! nocsyn simulate <pattern.txt> [opts]      run it on a network, closed-loop
 //! nocsyn verify <pattern.txt> [opts]        Theorem 1 check on a baseline
 //! nocsyn faults <pattern.txt> [opts]        degradation under injected faults
+//! nocsyn certify <pattern.txt> <cert.json>  independent certificate check
 //! nocsyn fuzz [opts]                        deterministic ingestion fuzzing
 //! nocsyn serve [opts]                       synthesis daemon with result cache
 //! nocsyn client <addr> <op> [opts]          talk to a running daemon
@@ -19,16 +20,23 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
+use nocsyn_certify::{check_certificate, CheckOptions, Rejection};
 use nocsyn_engine::{par_map, Engine, EventSink, JobStatus, JsonLinesSink, NullSink};
 use nocsyn_faults::{DegradationReport, FaultScenario};
 use nocsyn_floorplan::{mesh_baseline, place};
 use nocsyn_fuzz::{CaseReport, FuzzConfig, FuzzTarget, Registry};
 use nocsyn_model::json::JsonValue;
-use nocsyn_model::{parse_schedule, parse_trace, ParseLimits, PhaseSchedule, Trace};
-use nocsyn_serve::{synth_json_object, Client, ServeOptions, Server};
+use nocsyn_model::{
+    parse_schedule, parse_trace, Digest, Flow, ParseLimits, ParseOptions, PhaseSchedule, Trace,
+};
+use nocsyn_serve::{
+    job_fingerprint, parse_pattern, synth_json_object, Client, ServeOptions, Server,
+};
 use nocsyn_sim::{AppDriver, RoutePolicy, SimConfig};
 use nocsyn_synth::{explain, synthesize, AppPattern, SynthesisConfig};
-use nocsyn_topo::{regular, to_dot, verify_contention_free, Network, RouteTable};
+use nocsyn_topo::{
+    build_certificate, regular, to_dot, verify_contention_free, Network, RouteTable,
+};
 
 const HELP: &str = "\
 nocsyn — contention-aware synthesis of application-specific interconnects
@@ -42,6 +50,7 @@ COMMANDS:
     simulate   run the pattern closed-loop on a network
     verify     check Theorem 1 for the pattern on a baseline network
     faults     inject fault scenarios, repair routes, re-check Theorem 1
+    certify    validate a contention-freedom certificate (independent checker)
     fuzz       run the deterministic ingestion fuzzer (takes no pattern file)
     serve      run the synthesis daemon (line protocol + result cache)
     client     send one request to a running daemon and print the reply
@@ -62,6 +71,15 @@ OPTIONS (synth):
     --events           stream engine telemetry to stderr as JSON lines
     --explain          per-switch / per-pipe breakdown of the result
     --dot              print the generated network as Graphviz DOT
+    --emit-cert <f>    write the contention-freedom certificate (JSON) to <f>;
+                       bound to the job fingerprint `nocsyn serve` would use
+
+OPTIONS (certify):
+    nocsyn certify <pattern.txt> <cert.json> [--job <hex64>] [--json]
+                       exits non-zero with a stable kebab-case fingerprint
+                       (and typed obligation violations) on any rejection;
+                       --job additionally demands the certificate be bound
+                       to that job fingerprint
 
 OPTIONS (simulate, verify, faults):
     --network <kind>   generated | mesh | torus | crossbar [default generated]
@@ -137,6 +155,8 @@ struct Options {
     max_requests: usize,
     queue_depth: usize,
     max_restarts: Option<u64>,
+    emit_cert: Option<String>,
+    job: Option<String>,
 }
 
 /// Parses one numeric flag value, naming the flag in any error — the
@@ -184,6 +204,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         max_requests: 1024,
         queue_depth: 64,
         max_restarts: None,
+        emit_cert: None,
+        job: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -263,6 +285,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     num_flag("--queue-depth", &value("--queue-depth")?)?,
                 )?;
             }
+            "--emit-cert" => {
+                opts.emit_cert = Some(value("--emit-cert")?);
+            }
+            "--job" => {
+                opts.job = Some(value("--job")?);
+            }
             "--max-restarts" => {
                 opts.max_restarts = Some(at_least_one(
                     "--max-restarts",
@@ -302,6 +330,11 @@ pub fn run(args: &[String]) -> Result<String, String> {
     if command == "client" {
         return cmd_client(&args[1..]);
     }
+    if command == "certify" {
+        // The checker takes two files (pattern, certificate); everything
+        // after them is options.
+        return cmd_certify(&args[1..]);
+    }
     let Some(path) = args.get(1) else {
         return Err(format!("`{command}` requires a pattern file"));
     };
@@ -312,8 +345,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
     match (command.as_str(), parsed) {
         ("info", Input::Schedule(s)) => cmd_info(&AppPattern::from_schedule(&s), s.len(), &opts),
         ("info", Input::Trace(t)) => cmd_info(&AppPattern::from_trace(&t), t.len(), &opts),
-        ("synth", Input::Schedule(s)) => cmd_synth(&AppPattern::from_schedule(&s), &opts),
-        ("synth", Input::Trace(t)) => cmd_synth(&AppPattern::from_trace(&t), &opts),
+        ("synth", Input::Schedule(s)) => cmd_synth(&AppPattern::from_schedule(&s), &input, &opts),
+        ("synth", Input::Trace(t)) => cmd_synth(&AppPattern::from_trace(&t), &input, &opts),
         ("simulate", Input::Schedule(s)) => cmd_simulate(&s, &opts),
         ("simulate", Input::Trace(t)) => cmd_replay(&t, &opts),
         ("verify", Input::Schedule(s)) => {
@@ -323,10 +356,12 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let stand_in = schedule_stand_in(&t);
             cmd_verify_pattern(&AppPattern::from_trace(&t), &stand_in, &opts)
         }
-        ("faults", Input::Schedule(s)) => cmd_faults(&AppPattern::from_schedule(&s), &s, &opts),
+        ("faults", Input::Schedule(s)) => {
+            cmd_faults(&AppPattern::from_schedule(&s), &s, &input, &opts)
+        }
         ("faults", Input::Trace(t)) => {
             let stand_in = schedule_stand_in(&t);
-            cmd_faults(&AppPattern::from_trace(&t), &stand_in, &opts)
+            cmd_faults(&AppPattern::from_trace(&t), &stand_in, &input, &opts)
         }
         (other, _) => Err(format!("unknown command `{other}`")),
     }
@@ -391,7 +426,7 @@ fn cmd_info(pattern: &AppPattern, n_events: usize, opts: &Options) -> Result<Str
     Ok(out)
 }
 
-fn cmd_synth(pattern: &AppPattern, opts: &Options) -> Result<String, String> {
+fn cmd_synth(pattern: &AppPattern, raw: &str, opts: &Options) -> Result<String, String> {
     let config = SynthesisConfig::new()
         .with_max_degree(opts.max_degree)
         .with_seed(opts.seed)
@@ -414,6 +449,17 @@ fn cmd_synth(pattern: &AppPattern, opts: &Options) -> Result<String, String> {
             outcome.attempts_total
         ));
     };
+    if let Some(cert_path) = &opts.emit_cert {
+        // Bind the certificate to the same job fingerprint the serve
+        // cache would use for this (pattern, config) pair, so the file is
+        // interchangeable with a daemon's cached certificate.
+        let parsed = parse_pattern(raw, &ParseOptions::new())
+            .map_err(|e| format!("canonicalizing pattern for certificate: {e}"))?;
+        let fp = job_fingerprint(parsed.kind, &parsed.canonical, &config);
+        let cert = result.certificate(pattern, Some(fp)).to_json();
+        std::fs::write(cert_path, format!("{cert}\n"))
+            .map_err(|e| format!("writing {cert_path}: {e}"))?;
+    }
     if opts.json {
         // One rendering shared with the serve daemon and its cache, so a
         // cache hit is byte-comparable against a direct CLI run.
@@ -545,6 +591,7 @@ fn sim_stats_json(
 fn cmd_faults(
     pattern: &AppPattern,
     schedule: &PhaseSchedule,
+    raw: &str,
     opts: &Options,
 ) -> Result<String, String> {
     let (net, policy) = build_network_for(pattern, schedule, opts)?;
@@ -577,8 +624,39 @@ fn cmd_faults(
     });
     let mut out = String::new();
     if opts.json {
+        // Re-certify every repaired route table: each line carries a
+        // `cert` delta with the certificate's binding and the verdict of
+        // the independent checker. The report object itself is unchanged
+        // (`DegradationReport::to_json` stays byte-stable); the delta is
+        // appended here at the CLI layer.
+        let check_opts = CheckOptions::new();
         for report in &reports {
-            let _ = writeln!(out, "{}", report.to_json());
+            let cert = build_certificate(
+                pattern.n_procs(),
+                pattern.cliques(),
+                pattern.contention(),
+                report.repaired_routes(),
+                None,
+            );
+            let delta = match check_certificate(raw, &cert.to_json(), None, &check_opts) {
+                Ok(summary) => JsonValue::object([
+                    ("valid", JsonValue::from(true)),
+                    ("contention_free", JsonValue::from(summary.contention_free)),
+                    ("routes", JsonValue::from(summary.n_routes)),
+                    ("binding", JsonValue::from(summary.binding)),
+                ]),
+                Err(rej) => JsonValue::object([
+                    ("valid", JsonValue::from(false)),
+                    ("fingerprint", JsonValue::from(rej.fingerprint())),
+                ]),
+            };
+            let base = report.to_json();
+            let mut fields: Vec<(String, JsonValue)> = base
+                .as_object()
+                .map(<[(String, JsonValue)]>::to_vec)
+                .unwrap_or_default();
+            fields.push(("cert".to_string(), delta));
+            let _ = writeln!(out, "{}", JsonValue::object(fields));
         }
         return Ok(out);
     }
@@ -603,9 +681,115 @@ fn cmd_faults(
     Ok(out)
 }
 
+/// Renders a flow as the `[src, dst]` JSON pair used throughout the
+/// certificate schema.
+fn flow_json(flow: Flow) -> JsonValue {
+    JsonValue::array([
+        JsonValue::from(flow.src.index()),
+        JsonValue::from(flow.dst.index()),
+    ])
+}
+
+/// The independent certificate checker: validates `<cert.json>` against
+/// `<pattern.txt>` with `nocsyn-certify` (set arithmetic over the model
+/// crate only — no synthesis code in the loop). Rejections are returned
+/// as errors, so the process exits non-zero; with `--json` the error text
+/// is a machine-readable object carrying the stable fingerprint and any
+/// typed obligation violations.
+fn cmd_certify(args: &[String]) -> Result<String, String> {
+    let usage = "usage: nocsyn certify <pattern.txt> <cert.json> [--job <hex64>] [--json]";
+    let (Some(pattern_path), Some(cert_path)) = (args.first(), args.get(1)) else {
+        return Err(usage.into());
+    };
+    if pattern_path.starts_with('-') || cert_path.starts_with('-') {
+        return Err(usage.into());
+    }
+    let opts = parse_options(&args[2..])?;
+    let expected_job = match &opts.job {
+        Some(hex) => Some(
+            Digest::from_hex(hex)
+                .ok_or_else(|| "--job expects a 64-hex-digit job fingerprint".to_string())?,
+        ),
+        None => None,
+    };
+    let pattern = std::fs::read_to_string(pattern_path)
+        .map_err(|e| format!("reading {pattern_path}: {e}"))?;
+    let cert =
+        std::fs::read_to_string(cert_path).map_err(|e| format!("reading {cert_path}: {e}"))?;
+    match check_certificate(&pattern, &cert, expected_job.as_ref(), &CheckOptions::new()) {
+        Ok(summary) => {
+            if opts.json {
+                let obj = JsonValue::object([
+                    ("command", JsonValue::from("certify")),
+                    ("valid", JsonValue::from(true)),
+                    ("contention_free", JsonValue::from(summary.contention_free)),
+                    ("binding", JsonValue::from(summary.binding)),
+                    ("obligations", JsonValue::from(summary.n_obligations)),
+                    ("routes", JsonValue::from(summary.n_routes)),
+                    ("flows", JsonValue::from(summary.n_flows)),
+                    ("cliques", JsonValue::from(summary.n_cliques)),
+                    ("witnesses", JsonValue::from(summary.n_witnesses)),
+                ]);
+                Ok(format!("{obj}\n"))
+            } else {
+                let verdict = if summary.contention_free {
+                    "contention-free proof accepted"
+                } else {
+                    "non-freedom proof accepted (witnesses confirmed)"
+                };
+                let mut out = String::new();
+                let _ = writeln!(out, "certificate: {verdict}");
+                let _ = writeln!(out, "binding: {}", summary.binding);
+                let _ = writeln!(
+                    out,
+                    "obligations: {} checked over {}/{} routed flows; {} cliques, {} witnesses",
+                    summary.n_obligations,
+                    summary.n_routes,
+                    summary.n_flows,
+                    summary.n_cliques,
+                    summary.n_witnesses
+                );
+                Ok(out)
+            }
+        }
+        Err(rej) => Err(render_rejection(&rej, opts.json)),
+    }
+}
+
+/// Renders a certificate rejection for `cmd_certify`'s error path.
+fn render_rejection(rej: &Rejection, json: bool) -> String {
+    if !json {
+        return format!("certificate rejected ({}): {rej}", rej.fingerprint());
+    }
+    let violations: Vec<JsonValue> = rej
+        .violations()
+        .iter()
+        .map(|v| {
+            JsonValue::object([
+                (
+                    "pair",
+                    JsonValue::array([flow_json(v.pair.first()), flow_json(v.pair.second())]),
+                ),
+                (
+                    "shared",
+                    JsonValue::array(v.shared.iter().map(|s| JsonValue::from(s.as_str()))),
+                ),
+            ])
+        })
+        .collect();
+    JsonValue::object([
+        ("command", JsonValue::from("certify")),
+        ("valid", JsonValue::from(false)),
+        ("fingerprint", JsonValue::from(rej.fingerprint())),
+        ("detail", JsonValue::from(rej.to_string())),
+        ("violations", JsonValue::array(violations)),
+    ])
+    .to_string()
+}
+
 /// The commands `dispatch_probe` recognizes (everything `run` accepts).
 const COMMANDS: &[&str] = &[
-    "info", "synth", "simulate", "verify", "faults", "fuzz", "help",
+    "info", "synth", "simulate", "verify", "faults", "certify", "fuzz", "help",
 ];
 
 /// The pure slice of the CLI that the `cli` fuzz target exercises:
@@ -663,6 +847,7 @@ fn cmd_fuzz(opts: &Options) -> Result<String, String> {
     let mut corpus = nocsyn_fuzz::gen::default_corpus();
     corpus.extend(cli_corpus());
     corpus.extend(nocsyn_fuzz::serve_probe::serve_corpus());
+    corpus.extend(nocsyn_fuzz::certify_probe::certify_corpus());
     if let Some(dir) = &opts.corpus_dir {
         // Sorted read order keeps the corpus (and thus the whole run)
         // deterministic regardless of directory enumeration order.
@@ -1127,6 +1312,115 @@ mod tests {
         assert!(run(&args(&["faults", &path, "--scenarios", "0"])).is_err());
         assert!(run(&args(&["faults", &path, "--fault-links", "some"])).is_err());
         assert!(run(&args(&["faults", &path, "--scenario-seed"])).is_err());
+    }
+
+    #[test]
+    fn synth_emit_cert_round_trips_through_certify() {
+        let path = write_pattern("emit-cert", PATTERN);
+        let cert = std::env::temp_dir().join("nocsyn-cli-test-emit-cert.json");
+        let cert = cert.to_string_lossy().into_owned();
+        run(&args(&[
+            "synth",
+            &path,
+            "--restarts",
+            "1",
+            "--seed",
+            "5",
+            "--emit-cert",
+            &cert,
+        ]))
+        .unwrap();
+        let human = run(&args(&["certify", &path, &cert])).unwrap();
+        assert!(human.contains("contention-free proof accepted"), "{human}");
+        let json = run(&args(&["certify", &path, &cert, "--json"])).unwrap();
+        assert!(
+            json.starts_with("{\"command\":\"certify\",\"valid\":true"),
+            "{json}"
+        );
+        assert!(json.contains("\"contention_free\":true"), "{json}");
+        assert!(json.contains("\"binding\":"), "{json}");
+    }
+
+    #[test]
+    fn certify_enforces_the_job_binding() {
+        let path = write_pattern("cert-job", PATTERN);
+        let cert = std::env::temp_dir().join("nocsyn-cli-test-cert-job.json");
+        let cert = cert.to_string_lossy().into_owned();
+        run(&args(&[
+            "synth",
+            &path,
+            "--restarts",
+            "1",
+            "--seed",
+            "5",
+            "--emit-cert",
+            &cert,
+        ]))
+        .unwrap();
+        // The emitted certificate is bound to the job fingerprint serve
+        // would compute; a wrong expected digest must be rejected.
+        let wrong = "0".repeat(64);
+        let err = run(&args(&["certify", &path, &cert, "--job", &wrong])).unwrap_err();
+        assert!(err.contains("cert-job-mismatch"), "{err}");
+        assert!(run(&args(&["certify", &path, &cert, "--job", "zz"])).is_err());
+    }
+
+    #[test]
+    fn certify_rejects_tampered_certificates_with_a_fingerprint() {
+        let path = write_pattern("cert-tamper", PATTERN);
+        let cert = std::env::temp_dir().join("nocsyn-cli-test-cert-tamper.json");
+        let cert = cert.to_string_lossy().into_owned();
+        run(&args(&[
+            "synth",
+            &path,
+            "--restarts",
+            "1",
+            "--seed",
+            "5",
+            "--emit-cert",
+            &cert,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&cert).unwrap();
+        let tampered = text.replacen("\"contention_free\":true", "\"contention_free\":false", 1);
+        assert_ne!(text, tampered, "tamper site must exist");
+        std::fs::write(&cert, tampered).unwrap();
+        let err = run(&args(&["certify", &path, &cert, "--json"])).unwrap_err();
+        assert!(err.contains("\"valid\":false"), "{err}");
+        assert!(
+            err.contains("\"fingerprint\":\"cert-binding-mismatch\""),
+            "{err}"
+        );
+        std::fs::write(&cert, "not a certificate").unwrap();
+        let err = run(&args(&["certify", &path, &cert])).unwrap_err();
+        assert!(err.contains("certificate rejected ("), "{err}");
+    }
+
+    #[test]
+    fn certify_rejects_bad_usage() {
+        let path = write_pattern("cert-usage", PATTERN);
+        assert!(run(&args(&["certify"])).is_err());
+        assert!(run(&args(&["certify", &path])).is_err());
+        assert!(run(&args(&["certify", &path, "--json"])).is_err());
+        assert!(run(&args(&["certify", &path, "/nonexistent-nocsyn-cert"])).is_err());
+    }
+
+    #[test]
+    fn faults_json_carries_a_cert_delta_per_scenario() {
+        let path = write_pattern("faults-cert", PATTERN);
+        let out = run(&args(&[
+            "faults",
+            &path,
+            "--network",
+            "mesh",
+            "--exhaustive",
+            "--json",
+        ]))
+        .unwrap();
+        for line in out.lines() {
+            assert!(line.contains("\"cert\":{\"valid\":true"), "{line}");
+            assert!(line.contains("\"binding\":"), "{line}");
+        }
     }
 
     #[test]

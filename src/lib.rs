@@ -36,6 +36,7 @@ pub mod prelude {
     pub use nocsyn_workloads::{Benchmark, WorkloadParams};
 }
 
+pub use nocsyn_certify as certify;
 pub use nocsyn_coloring as coloring;
 pub use nocsyn_engine as engine;
 pub use nocsyn_faults as faults;

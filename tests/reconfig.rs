@@ -2,9 +2,11 @@
 //! close to the old one, `NetworkDelta` prices the change, and fault
 //! repair restores service after failures.
 
+use nocsyn::certify::{check_certificate, CheckOptions};
 use nocsyn::faults::{repair_routes, route_is_affected, DegradationReport, FaultScenario};
+use nocsyn::model::format_schedule;
 use nocsyn::synth::{synthesize, synthesize_incremental, AppPattern, SynthesisConfig};
-use nocsyn::topo::{verify_contention_free, NetworkDelta};
+use nocsyn::topo::{build_certificate, verify_contention_free, NetworkDelta};
 use nocsyn::workloads::{Benchmark, WorkloadParams};
 
 fn light(benchmark: Benchmark) -> WorkloadParams {
@@ -65,9 +67,12 @@ fn warm_start_changes_less_than_cold_start() {
 /// benchmark network: every flow is classified, repaired routes never
 /// touch the failed link, and clean repairs re-verify `C ∩ R = ∅`.
 fn repair_round_trip(benchmark: Benchmark, n: usize, seed: u64) {
-    let pattern = AppPattern::from_schedule(&benchmark.schedule(n, &light(benchmark)).unwrap());
+    let schedule = benchmark.schedule(n, &light(benchmark)).unwrap();
+    let pattern_text = format_schedule(&schedule);
+    let pattern = AppPattern::from_schedule(&schedule);
     let config = SynthesisConfig::new().with_seed(seed).with_restarts(2);
     let result = synthesize(&pattern, &config).unwrap();
+    let check_opts = CheckOptions::new();
 
     for scenario in FaultScenario::enumerate_single_link_faults(&result.network) {
         let outcome = repair_routes(&result.network, &result.routes, &scenario);
@@ -96,7 +101,67 @@ fn repair_round_trip(benchmark: Benchmark, n: usize, seed: u64) {
             recheck.is_contention_free() && outcome.unroutable.is_empty(),
             "{benchmark:?} {scenario}"
         );
+        // Every repaired route table re-certifies through the
+        // independent checker, and the certificate's verdict agrees
+        // with the direct Theorem-1 re-check.
+        let cert = build_certificate(
+            pattern.n_procs(),
+            pattern.cliques(),
+            pattern.contention(),
+            report.repaired_routes(),
+            None,
+        );
+        let summary = check_certificate(&pattern_text, &cert.to_json(), None, &check_opts)
+            .unwrap_or_else(|rej| {
+                panic!("{benchmark:?} {scenario}: repaired certificate rejected ({rej})")
+            });
+        assert_eq!(
+            summary.contention_free,
+            recheck.is_contention_free(),
+            "{benchmark:?} {scenario}: certificate verdict disagrees with re-verification"
+        );
     }
+}
+
+/// A deliberately corrupted repair — two contending flows forced onto a
+/// shared channel behind a freedom claim — is caught by the checker.
+#[test]
+fn corrupted_repair_is_caught_by_the_checker() {
+    let benchmark = Benchmark::Mg;
+    let schedule = benchmark.schedule(8, &light(benchmark)).unwrap();
+    let pattern_text = format_schedule(&schedule);
+    let pattern = AppPattern::from_schedule(&schedule);
+    let config = SynthesisConfig::new().with_seed(0x23).with_restarts(2);
+    let result = synthesize(&pattern, &config).unwrap();
+
+    let mut cert = build_certificate(
+        pattern.n_procs(),
+        pattern.cliques(),
+        pattern.contention(),
+        &result.routes,
+        None,
+    );
+    assert!(cert.contention_free, "baseline synthesis certifies clean");
+
+    // "Repair" a contending pair onto one shared channel but keep the
+    // freedom claim — the shape of a buggy repair path.
+    let pair = *cert.obligations.first().expect("MG8 has contention");
+    cert.routes.insert(pair.first(), vec!["SHARED".to_string()]);
+    cert.routes
+        .insert(pair.second(), vec!["SHARED".to_string()]);
+    cert.crossings.clear();
+    let route_entries: Vec<(nocsyn::model::Flow, Vec<String>)> =
+        cert.routes.iter().map(|(f, c)| (*f, c.clone())).collect();
+    for (flow, chans) in route_entries {
+        for ch in chans {
+            cert.crossings.entry(ch).or_default().push(flow);
+        }
+    }
+    let err = check_certificate(&pattern_text, &cert.to_json(), None, &CheckOptions::new())
+        .expect_err("a false freedom claim must be rejected");
+    assert_eq!(err.fingerprint(), "obligation-violated");
+    let violations = err.violations();
+    assert!(violations.iter().any(|v| v.pair == pair), "{violations:?}");
 }
 
 #[test]

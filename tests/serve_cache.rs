@@ -116,6 +116,88 @@ fn fingerprint_is_invariant_under_pattern_presentation() {
     assert_ne!(fp(plain), fp(other));
 }
 
+/// The disk tier is untrusted: an entry whose companion certificate is
+/// corrupted (or deleted) is never served — the daemon counts a
+/// `cert_errors`, re-synthesizes, and rewrites the entry.
+#[test]
+fn disk_entries_with_bad_certificates_are_recertified_not_served() {
+    let dir = std::env::temp_dir().join("nocsyn-serve-cache-cert-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let text = pattern_text(6, 2, 77);
+    let request = nocsyn::model::json::JsonValue::object([
+        ("op", nocsyn::model::json::JsonValue::from("synth")),
+        (
+            "pattern",
+            nocsyn::model::json::JsonValue::from(text.as_str()),
+        ),
+        ("seed", nocsyn::model::json::JsonValue::from(77u64)),
+        ("restarts", nocsyn::model::json::JsonValue::from(1u64)),
+    ])
+    .to_string();
+    let with_dir = || {
+        Server::new(ServeOptions {
+            cache_dir: Some(dir.clone()),
+            ..ServeOptions::default()
+        })
+    };
+
+    // Populate the disk store, and record the fingerprint + reply bytes.
+    let first = with_dir().handle_line(&request);
+    assert!(matches!(first.kind, ReplyKind::Report(CacheTier::Miss)));
+    let parsed = parse_pattern(&text, &ParseOptions::new()).expect("valid pattern");
+    let config = SynthesisConfig::new().with_seed(77).with_restarts(1);
+    let fp = job_fingerprint(parsed.kind, &parsed.canonical, &config).to_hex();
+    let cert_path = dir.join(format!("{fp}.cert.json"));
+    assert!(cert_path.exists(), "a certificate rides along on disk");
+
+    // A fresh daemon trusts the disk entry only because the certificate
+    // validates.
+    let disk = with_dir().handle_line(&request);
+    assert!(
+        matches!(disk.kind, ReplyKind::Report(CacheTier::Disk)),
+        "{}",
+        disk.line
+    );
+
+    // Corrupt the certificate: the entry must be re-synthesized, never
+    // served from disk, and the stats must count the bad certificate.
+    std::fs::write(&cert_path, "garbage, not a certificate").expect("test dir writable");
+    let server = with_dir();
+    let recert = server.handle_line(&request);
+    assert!(
+        matches!(recert.kind, ReplyKind::Report(CacheTier::Miss)),
+        "a bad certificate must force re-synthesis, got {}",
+        recert.line
+    );
+    assert_eq!(
+        recert
+            .line
+            .replace("\"cache\":\"miss\"", "\"cache\":\"disk\""),
+        disk.line,
+        "re-synthesis reproduces the same bytes"
+    );
+    let stats = server.handle_line(r#"{"op":"stats"}"#);
+    assert!(matches!(stats.kind, ReplyKind::Stats));
+    assert!(stats.line.contains("\"cert_errors\":1"), "{}", stats.line);
+
+    // The re-synthesis rewrote a valid certificate; a deleted one is
+    // the same refusal.
+    let healed = with_dir().handle_line(&request);
+    assert!(matches!(healed.kind, ReplyKind::Report(CacheTier::Disk)));
+    std::fs::remove_file(&cert_path).expect("test dir writable");
+    let server = with_dir();
+    let missing = server.handle_line(&request);
+    assert!(matches!(missing.kind, ReplyKind::Report(CacheTier::Miss)));
+    assert!(
+        server
+            .handle_line(r#"{"op":"stats"}"#)
+            .line
+            .contains("\"cert_errors\":1"),
+        "missing certificates are counted too"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A served cache hit is byte-identical (modulo the cache marker) to the
 /// miss that populated it, and its embedded report is byte-identical to
 /// a direct engine run rendered through the same `synth_json_object`.
