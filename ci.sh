@@ -110,6 +110,17 @@ direct="$(./target/release/nocsyn synth "$pat" --json)"
 rm -f "$pat"
 grep -qF "\"report\":${direct}}" "$j1"
 
+echo "==> chaos gate: seeded fault schedule, zero violations, byte-identical across runs"
+# Deterministic chaos harness over the in-process serve stack: injected
+# disk/socket/engine faults must never tear a served entry or produce a
+# malformed reply, the cache must heal byte-identically once faults
+# stop, and the summary itself is a pure function of the seed.
+# (Injected engine panics print backtraces on stderr by design.)
+./target/release/nocsyn chaos --seed 1 --iters 500 --json > "$j1" 2> /dev/null
+./target/release/nocsyn chaos --seed 1 --iters 500 --json > "$j4" 2> /dev/null
+diff "$j1" "$j4"
+grep -q '"violations":0' "$j1"
+
 echo "==> BENCH_7 gate: serve cache counters match the checked-in artifact"
 # Cold-miss / warm-hit facts of the result cache on the CG16/MG8/FFT16
 # mix: deterministic, so two runs must match each other and the artifact.

@@ -34,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod certify_probe;
+pub mod chaos_probe;
 pub mod gen;
 pub mod route_probe;
 pub mod serve_probe;

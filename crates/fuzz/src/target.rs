@@ -112,8 +112,9 @@ impl Registry {
     /// A registry preloaded with the built-in targets: the model
     /// parsers (`parse_schedule`, `parse_trace`), the incremental
     /// Theorem-1 differential probe (`route_edit_probe`), the serve
-    /// daemon's line protocol (`serve_request`), and the certificate
-    /// checker (`certify_input`).
+    /// daemon's line protocol (`serve_request`), the certificate
+    /// checker (`certify_input`), and the crash-safety shadow-model
+    /// probe over the fault-injected result cache (`chaos_plan`).
     pub fn with_builtin_targets() -> Self {
         let mut r = Registry::new();
         r.register(parse_schedule_target());
@@ -121,6 +122,7 @@ impl Registry {
         r.register(crate::route_probe::route_edit_probe_target());
         r.register(crate::serve_probe::serve_request_target());
         r.register(crate::certify_probe::certify_input_target());
+        r.register(crate::chaos_probe::chaos_plan_target());
         r
     }
 
@@ -206,6 +208,7 @@ mod tests {
             r.names(),
             vec![
                 "certify_input",
+                "chaos_plan",
                 "parse_schedule",
                 "parse_trace",
                 "route_edit_probe",

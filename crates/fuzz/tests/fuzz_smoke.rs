@@ -28,13 +28,14 @@ fn builtin_targets_survive_two_thousand_cases() {
     );
     // The generators must exercise both sides of the boundary: some
     // inputs parse, some are rejected through typed error paths. The
-    // differential probe target has no reject path by design (every
-    // byte string decodes to a valid edit script), so the rejection
-    // check applies to the parse and serve targets only.
+    // differential probe and the chaos shadow-model probe have no
+    // reject path by design (every byte string decodes to a valid edit
+    // or op script), so the rejection check applies to the parse and
+    // serve targets only.
     for t in &summary.targets {
         assert_eq!(t.cases, 2000);
         assert!(t.accepted > 0, "{}: nothing parsed", t.name);
-        if t.name == "route_edit_probe" {
+        if t.name == "route_edit_probe" || t.name == "chaos_plan" {
             assert!(
                 t.rejections.is_empty(),
                 "{}: unexpected reject path",

@@ -1,0 +1,280 @@
+//! The disk I/O seam: every filesystem touch the serve stack makes goes
+//! through [`DiskIo`], so production runs on the real filesystem
+//! ([`RealDisk`]) while tests, benches, and the chaos harness run on an
+//! in-memory store ([`MemDisk`]) — optionally wrapped in a
+//! fault-injecting [`ChaosDisk`](crate::ChaosDisk).
+//!
+//! The surface is deliberately tiny: exactly the calls the result cache's
+//! commit protocol and recovery scan need (`write`, `rename`, `read`,
+//! `exists`, `remove_file`, `create_dir_all`, `list_dir`). Keeping the
+//! seam this narrow is what makes the chaos layer's coverage claim
+//! meaningful — there is no second path to the disk to slip past it.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A minimal filesystem facade. Implementations must be shareable across
+/// threads (the cache sits behind a mutex in a multi-connection server).
+pub trait DiskIo: Send + Sync + std::fmt::Debug {
+    /// Creates `dir` and any missing parents.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying store.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Writes `bytes` to `path`, replacing any existing file. Not atomic —
+    /// callers that need atomicity write to a temp path and [`DiskIo::rename`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying store; a failed write may leave a
+    /// partial file behind (that is the failure mode the commit protocol
+    /// defends against).
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to` (replacing `to` if present).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying store, including `from` not existing.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Reads the full contents of `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying store, including `path` not existing.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Whether `path` currently exists as a file.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Removes the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying store, including `path` not existing.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Lists the files directly inside `dir`, sorted by path so every
+    /// caller iterates deterministically. Subdirectories are not listed
+    /// and not descended into.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying store, including `dir` not existing.
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+}
+
+/// The production implementation: straight passthrough to `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealDisk;
+
+impl DiskIo for RealDisk {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.is_file()
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.is_file())
+            .collect();
+        files.sort();
+        Ok(files)
+    }
+}
+
+/// An in-memory filesystem: a sorted map from path to bytes. Hermetic
+/// (no temp dirs to clean up), deterministic (`list_dir` order is the
+/// map order), and shared-by-`Arc` so a "restarted" cache can reopen the
+/// same surviving store — which is exactly how the chaos harness models
+/// a process crash.
+#[derive(Debug, Default)]
+pub struct MemDisk {
+    files: Mutex<BTreeMap<PathBuf, Vec<u8>>>,
+}
+
+impl MemDisk {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        MemDisk::default()
+    }
+
+    /// Number of files currently stored.
+    pub fn file_count(&self) -> usize {
+        self.files
+            .lock()
+            .expect("mem disk lock never poisoned")
+            .len()
+    }
+
+    /// Direct snapshot of a file's bytes, bypassing the trait (test
+    /// helper for asserting on-disk state).
+    pub fn snapshot(&self, path: &Path) -> Option<Vec<u8>> {
+        self.files
+            .lock()
+            .expect("mem disk lock never poisoned")
+            .get(path)
+            .cloned()
+    }
+
+    /// Directly installs a file, bypassing the trait (test helper for
+    /// staging torn or hostile on-disk states).
+    pub fn install(&self, path: &Path, bytes: &[u8]) {
+        self.files
+            .lock()
+            .expect("mem disk lock never poisoned")
+            .insert(path.to_path_buf(), bytes.to_vec());
+    }
+}
+
+fn not_found(path: &Path) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("no such file: {}", path.display()),
+    )
+}
+
+impl DiskIo for MemDisk {
+    fn create_dir_all(&self, _dir: &Path) -> io::Result<()> {
+        // Directories are implicit: a file exists iff it was written.
+        Ok(())
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.files
+            .lock()
+            .expect("mem disk lock never poisoned")
+            .insert(path.to_path_buf(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut files = self.files.lock().expect("mem disk lock never poisoned");
+        let Some(bytes) = files.remove(from) else {
+            return Err(not_found(from));
+        };
+        files.insert(to.to_path_buf(), bytes);
+        Ok(())
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.files
+            .lock()
+            .expect("mem disk lock never poisoned")
+            .get(path)
+            .cloned()
+            .ok_or_else(|| not_found(path))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.files
+            .lock()
+            .expect("mem disk lock never poisoned")
+            .contains_key(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.files
+            .lock()
+            .expect("mem disk lock never poisoned")
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| not_found(path))
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        Ok(self
+            .files
+            .lock()
+            .expect("mem disk lock never poisoned")
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .cloned()
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_disk_round_trips_and_errors_on_missing() {
+        let disk = MemDisk::new();
+        let dir = PathBuf::from("d");
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        assert!(!disk.exists(&a));
+        assert!(disk.read(&a).is_err());
+        assert!(disk.remove_file(&a).is_err());
+        assert!(disk.rename(&a, &b).is_err());
+
+        disk.write(&a, b"hello").expect("mem write");
+        assert!(disk.exists(&a));
+        assert_eq!(disk.read(&a).expect("mem read"), b"hello");
+
+        disk.rename(&a, &b).expect("mem rename");
+        assert!(!disk.exists(&a));
+        assert_eq!(disk.read(&b).expect("mem read"), b"hello");
+
+        disk.remove_file(&b).expect("mem remove");
+        assert_eq!(disk.file_count(), 0);
+    }
+
+    #[test]
+    fn mem_list_dir_is_sorted_and_shallow() {
+        let disk = MemDisk::new();
+        let dir = PathBuf::from("store");
+        disk.write(&dir.join("b.json"), b"{}").expect("write");
+        disk.write(&dir.join("a.json"), b"{}").expect("write");
+        disk.write(&dir.join("quarantine").join("c.json"), b"{}")
+            .expect("write");
+        disk.write(&PathBuf::from("elsewhere").join("d.json"), b"{}")
+            .expect("write");
+        let listed = disk.list_dir(&dir).expect("list");
+        assert_eq!(listed, vec![dir.join("a.json"), dir.join("b.json")]);
+    }
+
+    #[test]
+    fn real_disk_round_trips() {
+        let dir = std::env::temp_dir().join(format!("nocsyn-io-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let disk = RealDisk;
+        disk.create_dir_all(&dir).expect("mkdir");
+        let tmp = dir.join("x.tmp");
+        let fin = dir.join("x.json");
+        disk.write(&tmp, b"{}").expect("write");
+        disk.rename(&tmp, &fin).expect("rename");
+        assert!(disk.exists(&fin));
+        assert!(!disk.exists(&tmp));
+        assert_eq!(disk.read(&fin).expect("read"), b"{}");
+        assert_eq!(disk.list_dir(&dir).expect("list"), vec![fin.clone()]);
+        disk.remove_file(&fin).expect("remove");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

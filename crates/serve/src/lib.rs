@@ -57,13 +57,20 @@
 #![warn(missing_debug_implementations)]
 
 mod cache;
+mod chaos;
 mod client;
+mod io;
 mod proto;
 mod report;
 mod server;
 
 pub use cache::{CacheStats, CacheTier, ResultCache};
-pub use client::Client;
+pub use chaos::{
+    run_chaos, ChaosConfig, ChaosDisk, ChaosReader, ChaosSummary, FaultPlan, FaultPoint,
+    InjectedFault,
+};
+pub use client::{Client, ClientError, RetryPolicy};
+pub use io::{DiskIo, MemDisk, RealDisk};
 pub use proto::{parse_request, Request, RequestError};
 pub use report::synth_json_object;
 pub use server::{

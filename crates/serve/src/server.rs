@@ -9,14 +9,16 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use nocsyn_certify::{check_certificate, CheckOptions};
-use nocsyn_engine::{Engine, EngineEvent, EventSink, JobStatus, NullSink};
+use nocsyn_engine::{Engine, EngineEvent, EventSink, Job, JobStatus, NullSink};
 use nocsyn_model::json::JsonValue;
 use nocsyn_model::{
     canonical_schedule, canonical_trace, Digest, ParseLimits, ParseOptions, ParseScheduleError,
 };
 use nocsyn_synth::{AppPattern, SynthesisConfig};
 
-use crate::cache::{CacheTier, ResultCache};
+use crate::cache::{CacheStats, CacheTier, ResultCache};
+use crate::chaos::{FaultPlan, FaultPoint, InjectedFault};
+use crate::io::DiskIo;
 use crate::proto::{parse_request, Request};
 use crate::report::synth_json_object;
 
@@ -45,6 +47,14 @@ pub struct ServeOptions {
     pub max_restarts: Option<u64>,
     /// Engine worker threads (affects wall time only, never results).
     pub workers: usize,
+    /// Read/write deadline applied to accepted sockets (slowloris
+    /// defense): a peer that stalls longer than this gets its connection
+    /// dropped instead of wedging the accept loop. `None` blocks forever.
+    pub io_timeout: Option<Duration>,
+    /// Disk backend for the cache's on-disk tier. `None` uses the real
+    /// filesystem; tests and the chaos harness install
+    /// [`MemDisk`](crate::io::MemDisk) / [`ChaosDisk`](crate::ChaosDisk).
+    pub disk_io: Option<Arc<dyn DiskIo>>,
 }
 
 impl Default for ServeOptions {
@@ -57,6 +67,8 @@ impl Default for ServeOptions {
             max_queue_depth: 64,
             max_restarts: None,
             workers: 1,
+            io_timeout: None,
+            disk_io: None,
         }
     }
 }
@@ -189,6 +201,9 @@ pub struct Server {
     sink_degraded: AtomicBool,
     in_flight: AtomicUsize,
     requests: AtomicU64,
+    conn_errors: AtomicU64,
+    shutdown: AtomicBool,
+    fault_plan: Option<Arc<Mutex<FaultPlan>>>,
 }
 
 impl std::fmt::Debug for Server {
@@ -203,8 +218,14 @@ impl Server {
     /// Creates a server with telemetry discarded.
     pub fn new(opts: ServeOptions) -> Self {
         let mut cache = ResultCache::new(opts.cache_capacity);
+        if let Some(io) = &opts.disk_io {
+            cache = cache.with_io(io.clone());
+        }
         if let Some(dir) = &opts.cache_dir {
             cache = cache.with_dir(dir.clone());
+            // Startup scan: quarantine whatever a previous crash left
+            // behind before the first lookup can trip over it.
+            cache.recover();
         }
         let engine = Engine::new().with_workers(opts.workers);
         Server {
@@ -215,7 +236,47 @@ impl Server {
             sink_degraded: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
             requests: AtomicU64::new(0),
+            conn_errors: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            fault_plan: None,
         }
+    }
+
+    /// Installs a chaos fault plan; the engine-panic fault point consults
+    /// it on every cache-miss synthesis.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: Arc<Mutex<FaultPlan>>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Asks the server to stop: the connection being served drains
+    /// normally (in-flight jobs complete, their replies flush), further
+    /// synth requests are refused with `shutting-down`, and the accept
+    /// loop exits after the current connection instead of blocking on
+    /// another accept.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`Server::begin_shutdown`] has been called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the cache counters (the chaos harness accumulates
+    /// these across simulated process restarts).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+            .lock()
+            .expect("cache lock never poisoned")
+            .stats()
+    }
+
+    /// The stats reply line, for flushing final counters at shutdown
+    /// without synthesizing a request.
+    pub fn stats_line(&self) -> String {
+        self.stats_reply().line
     }
 
     /// Installs a telemetry sink; `serve_request` events flow through it
@@ -290,6 +351,12 @@ impl Server {
         max_degree: Option<u64>,
         deadline_ms: Option<u64>,
     ) -> Reply {
+        if self.shutdown.load(Ordering::Relaxed) {
+            return Reply::error(
+                "shutting-down",
+                "server is draining; no new synthesis accepted",
+            );
+        }
         if self.in_flight.load(Ordering::Relaxed) >= self.opts.max_queue_depth {
             return Reply::error("queue-full", "synthesis queue is at capacity; retry later");
         }
@@ -334,7 +401,34 @@ impl Server {
         // synthesis pressure rather than protocol chatter.
         self.in_flight.fetch_add(1, Ordering::Relaxed);
         let deadline = deadline_ms.map(Duration::from_millis);
-        let outcome = self.engine.synthesize(&parsed.pattern, &config, deadline);
+        // The engine-panic fault point: when a chaos plan says this
+        // synthesis panics, run the job with an injected attempt-0 panic
+        // and let the engine's isolation turn it into a Failed outcome.
+        let inject_panic = self
+            .fault_plan
+            .as_ref()
+            .map(|plan| {
+                matches!(
+                    plan.lock()
+                        .expect("fault plan lock never poisoned")
+                        .decide(FaultPoint::Engine, 0),
+                    Some(InjectedFault::Panic)
+                )
+            })
+            .unwrap_or(false);
+        let outcome = if inject_panic {
+            let mut job =
+                Job::new("synth", parsed.pattern.clone(), config.clone()).with_injected_panic(0);
+            if let Some(d) = deadline {
+                job = job.with_deadline(d);
+            }
+            self.engine
+                .run(vec![job])
+                .pop()
+                .expect("one job in, one outcome out")
+        } else {
+            self.engine.synthesize(&parsed.pattern, &config, deadline)
+        };
         self.in_flight.fetch_sub(1, Ordering::Relaxed);
 
         match (&outcome.status, &outcome.result) {
@@ -396,6 +490,12 @@ impl Server {
             ("evictions", JsonValue::from(stats.evictions)),
             ("disk_errors", JsonValue::from(stats.disk_errors)),
             ("cert_errors", JsonValue::from(stats.cert_errors)),
+            ("recovered", JsonValue::from(stats.recovered)),
+            ("quarantined", JsonValue::from(stats.quarantined)),
+            (
+                "conn_errors",
+                JsonValue::from(self.conn_errors.load(Ordering::Relaxed)),
+            ),
             ("entries", JsonValue::from(entries)),
         ]);
         Reply {
@@ -499,6 +599,12 @@ impl Server {
                 writeln!(writer, "{}", reply.line)?;
                 return writer.flush();
             }
+            if !buf.ends_with(b"\n") {
+                // The peer disconnected mid-line. The fragment was never
+                // a committed request, so the clean-drop contract applies:
+                // no reply is synthesized from half a line.
+                return Ok(());
+            }
             let text = String::from_utf8_lossy(&buf);
             let line = text.trim_end_matches(['\n', '\r']);
             if line.trim().is_empty() {
@@ -525,15 +631,29 @@ impl Server {
     /// which is what the CI gate and tests use to keep daemons from
     /// outliving their scripts.
     ///
+    /// One bad connection never takes the daemon down: per-connection
+    /// I/O errors (including the `io_timeout` deadline tripping on a
+    /// stalled peer) are counted in the `conn_errors` stat and the loop
+    /// moves on to the next accept. The loop also exits after the
+    /// current connection once [`Server::begin_shutdown`] is called.
+    ///
     /// # Errors
     ///
-    /// Propagates accept and per-connection I/O errors.
+    /// Propagates accept errors (the listener itself is broken).
     pub fn serve_listener(&self, listener: &TcpListener, once: bool) -> io::Result<()> {
         for conn in listener.incoming() {
             let stream = conn?;
-            let reader = BufReader::new(stream.try_clone()?);
-            self.serve_stream(reader, &stream)?;
-            if once {
+            let served = stream
+                .set_read_timeout(self.opts.io_timeout)
+                .and_then(|()| stream.set_write_timeout(self.opts.io_timeout))
+                .and_then(|()| {
+                    let reader = BufReader::new(stream.try_clone()?);
+                    self.serve_stream(reader, &stream)
+                });
+            if served.is_err() {
+                self.conn_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            if once || self.shutdown.load(Ordering::Relaxed) {
                 return Ok(());
             }
         }
@@ -771,6 +891,37 @@ mod tests {
         if let EngineEvent::ServeRequest { fingerprint, .. } = &events[0] {
             assert_eq!(fingerprint.len(), 64);
         }
+    }
+
+    #[test]
+    fn unterminated_final_line_is_dropped_without_a_reply() {
+        let server = Server::new(ServeOptions::default());
+        // A complete status request, then half a request with no newline.
+        let input = "{\"op\":\"status\"}\n{\"op\":\"syn";
+        let mut out: Vec<u8> = Vec::new();
+        server
+            .serve_stream(input.as_bytes(), &mut out)
+            .expect("mid-line EOF is a clean drop, not an I/O error");
+        let text = String::from_utf8(out).expect("utf8 replies");
+        assert_eq!(text.lines().count(), 1, "only the framed request replies");
+        assert!(text.starts_with("{\"reply\":\"status\""));
+    }
+
+    #[test]
+    fn shutdown_drains_then_refuses_new_synthesis() {
+        let server = Server::new(ServeOptions::default());
+        let before = server.handle_line(&synth_line(""));
+        assert_eq!(before.kind, ReplyKind::Report(CacheTier::Miss));
+        assert!(!server.is_shutting_down());
+        server.begin_shutdown();
+        assert!(server.is_shutting_down());
+        // Synthesis is refused with a stable fingerprint...
+        let during = server.handle_line(&synth_line(",\"seed\":9"));
+        assert_eq!(during.kind, ReplyKind::Error("shutting-down"));
+        // ...but stats still flush, so operators see final counters.
+        let stats = server.handle_line("{\"op\":\"stats\"}");
+        assert_eq!(stats.kind, ReplyKind::Stats);
+        assert_eq!(stats.line, server.stats_line());
     }
 
     #[test]

@@ -30,7 +30,8 @@ use nocsyn_model::{
     parse_schedule, parse_trace, Digest, Flow, ParseLimits, ParseOptions, PhaseSchedule, Trace,
 };
 use nocsyn_serve::{
-    job_fingerprint, parse_pattern, synth_json_object, Client, ServeOptions, Server,
+    job_fingerprint, parse_pattern, run_chaos, synth_json_object, ChaosConfig, Client, RetryPolicy,
+    ServeOptions, Server,
 };
 use nocsyn_sim::{AppDriver, RoutePolicy, SimConfig};
 use nocsyn_synth::{explain, synthesize, AppPattern, SynthesisConfig};
@@ -54,6 +55,8 @@ COMMANDS:
     fuzz       run the deterministic ingestion fuzzer (takes no pattern file)
     serve      run the synthesis daemon (line protocol + result cache)
     client     send one request to a running daemon and print the reply
+    chaos      run a seeded I/O fault schedule against an in-process server
+               and check the crash-safety invariants (takes no pattern file)
     help       print this message
 
 OPTIONS (every command):
@@ -111,6 +114,8 @@ OPTIONS (serve):
                           structured queue-full reply [default 64]
     --max-restarts <n>    clamp client-requested restarts (admission control)
     --jobs <n>            engine worker threads [default 1]
+    --io-timeout-ms <m>   read/write deadline per accepted socket; a peer
+                          that stalls longer is dropped (slowloris defense)
     --events              stream serve + engine telemetry to stderr
 
 OPTIONS (client):
@@ -118,6 +123,19 @@ OPTIONS (client):
                                 [--max-degree ...] [--deadline-ms ...]
     nocsyn client <addr> status
     nocsyn client <addr> stats
+    --retries <n>         retry connect failures, lost connections, and
+                          queue-full replies up to <n> times [default 0]
+    --backoff-ms <m>      base backoff per retry (k*m plus seeded jitter)
+                          [default 50]
+    exits non-zero with a stable kebab-case fingerprint (connect-failed,
+    connection-lost, reply-malformed, retries-exhausted) on failure
+
+OPTIONS (chaos):
+    --seed <n>            fault schedule + corpus seed [default 0xC0FFEE]
+    --iters <n>           connections to drive through the fault phase
+                          [default 10000]
+    --json                wall-clock-free summary; byte-identical across
+                          same-seed runs; zero violations required
 
 PATTERN FORMAT:
     procs 8
@@ -155,6 +173,9 @@ struct Options {
     max_requests: usize,
     queue_depth: usize,
     max_restarts: Option<u64>,
+    io_timeout_ms: Option<u64>,
+    retries: u64,
+    backoff_ms: u64,
     emit_cert: Option<String>,
     job: Option<String>,
 }
@@ -204,6 +225,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         max_requests: 1024,
         queue_depth: 64,
         max_restarts: None,
+        io_timeout_ms: None,
+        retries: 0,
+        backoff_ms: 50,
         emit_cert: None,
         job: None,
     };
@@ -297,6 +321,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     num_flag("--max-restarts", &value("--max-restarts")?)?,
                 )?);
             }
+            "--io-timeout-ms" => {
+                opts.io_timeout_ms = Some(at_least_one(
+                    "--io-timeout-ms",
+                    num_flag("--io-timeout-ms", &value("--io-timeout-ms")?)?,
+                )?);
+            }
+            "--retries" => {
+                opts.retries = num_flag("--retries", &value("--retries")?)?;
+            }
+            "--backoff-ms" => {
+                opts.backoff_ms = num_flag("--backoff-ms", &value("--backoff-ms")?)?;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -329,6 +365,11 @@ pub fn run(args: &[String]) -> Result<String, String> {
     }
     if command == "client" {
         return cmd_client(&args[1..]);
+    }
+    if command == "chaos" {
+        // The chaos harness takes no pattern file; its request corpus is
+        // generated from the seed.
+        return cmd_chaos(&parse_options(&args[1..])?);
     }
     if command == "certify" {
         // The checker takes two files (pattern, certificate); everything
@@ -848,6 +889,7 @@ fn cmd_fuzz(opts: &Options) -> Result<String, String> {
     corpus.extend(cli_corpus());
     corpus.extend(nocsyn_fuzz::serve_probe::serve_corpus());
     corpus.extend(nocsyn_fuzz::certify_probe::certify_corpus());
+    corpus.extend(nocsyn_fuzz::chaos_probe::chaos_corpus());
     if let Some(dir) = &opts.corpus_dir {
         // Sorted read order keeps the corpus (and thus the whole run)
         // deterministic regardless of directory enumeration order.
@@ -893,6 +935,8 @@ fn build_server(opts: &Options) -> Server {
         max_queue_depth: opts.queue_depth,
         max_restarts: opts.max_restarts,
         workers: opts.jobs,
+        io_timeout: opts.io_timeout_ms.map(std::time::Duration::from_millis),
+        disk_io: None,
     };
     let sink: Arc<dyn EventSink> = if opts.events {
         Arc::new(JsonLinesSink::stderr())
@@ -939,15 +983,9 @@ fn cmd_client(args: &[String]) -> Result<String, String> {
     let Some(op) = args.get(1) else {
         return Err(usage.into());
     };
-    let request = match op.as_str() {
-        "status" => {
-            parse_options(&args[2..])?;
-            r#"{"op":"status"}"#.to_string()
-        }
-        "stats" => {
-            parse_options(&args[2..])?;
-            r#"{"op":"stats"}"#.to_string()
-        }
+    let (request, client_opts) = match op.as_str() {
+        "status" => (r#"{"op":"status"}"#.to_string(), parse_options(&args[2..])?),
+        "stats" => (r#"{"op":"stats"}"#.to_string(), parse_options(&args[2..])?),
         "submit" => {
             let Some(path) = args.get(2) else {
                 return Err("client submit requires a pattern file".into());
@@ -968,14 +1006,40 @@ fn cmd_client(args: &[String]) -> Result<String, String> {
             if let Some(d) = opts.deadline_ms {
                 fields.push(("deadline_ms", JsonValue::from(d)));
             }
-            JsonValue::object(fields).to_string()
+            (JsonValue::object(fields).to_string(), opts)
         }
         other => return Err(format!("unknown client operation `{other}`; {usage}")),
     };
-    let mut client =
-        Client::connect(addr.as_str()).map_err(|e| format!("connecting to {addr}: {e}"))?;
-    let reply = client.request(&request).map_err(|e| e.to_string())?;
+    // Failures surface as stable kebab-case fingerprints (connect-failed,
+    // connection-lost, reply-malformed, retries-exhausted) with a
+    // non-zero exit, so scripts can dispatch on the first token.
+    let policy = RetryPolicy {
+        retries: client_opts.retries,
+        backoff_ms: client_opts.backoff_ms,
+        seed: client_opts.seed,
+    };
+    let reply =
+        Client::request_with_retry(addr.as_str(), &request, &policy).map_err(|e| e.to_string())?;
     Ok(format!("{reply}\n"))
+}
+
+fn cmd_chaos(opts: &Options) -> Result<String, String> {
+    let config = ChaosConfig {
+        seed: opts.seed,
+        iters: opts.iters,
+        ..ChaosConfig::default()
+    };
+    let summary = run_chaos(&config);
+    if !summary.clean() {
+        // Non-zero exit with the violation details on stderr, so CI
+        // fails loudly.
+        return Err(summary.render_human());
+    }
+    if opts.json {
+        Ok(format!("{}\n", summary.to_json()))
+    } else {
+        Ok(summary.render_human())
+    }
 }
 
 /// Open-loop replay of a timed trace (`simulate` on trace input).

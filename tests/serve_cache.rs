@@ -9,10 +9,21 @@ use nocsyn_check::{check_assert, check_assert_eq, check_n, u64_in, usize_in};
 use nocsyn::engine::Engine;
 use nocsyn::model::{CanonicalForm, ParseOptions};
 use nocsyn::serve::{
-    job_fingerprint, parse_pattern, synth_json_object, CacheTier, ReplyKind, ServeOptions, Server,
+    job_fingerprint, parse_pattern, synth_json_object, CacheTier, ReplyKind, ResultCache,
+    ServeOptions, Server,
 };
 use nocsyn::synth::SynthesisConfig;
 use nocsyn::workloads::{random_permutation_schedule, WorkloadParams};
+
+fn synth_request(text: &str, seed: u64) -> String {
+    nocsyn::model::json::JsonValue::object([
+        ("op", nocsyn::model::json::JsonValue::from("synth")),
+        ("pattern", nocsyn::model::json::JsonValue::from(text)),
+        ("seed", nocsyn::model::json::JsonValue::from(seed)),
+        ("restarts", nocsyn::model::json::JsonValue::from(1u64)),
+    ])
+    .to_string()
+}
 
 fn pattern_text(n_procs: usize, n_phases: usize, seed: u64) -> String {
     nocsyn::model::format_schedule(&random_permutation_schedule(
@@ -159,9 +170,13 @@ fn disk_entries_with_bad_certificates_are_recertified_not_served() {
         disk.line
     );
 
-    // Corrupt the certificate: the entry must be re-synthesized, never
-    // served from disk, and the stats must count the bad certificate.
-    std::fs::write(&cert_path, "garbage, not a certificate").expect("test dir writable");
+    // Corrupt the certificate with well-formed JSON that is *not* a
+    // contention-freedom certificate: the startup scan keeps the pair
+    // (both files parse), so this exercises the semantic validator —
+    // the entry must be re-synthesized, never served from disk, and the
+    // stats must count the bad certificate. (Structurally torn files
+    // are the startup scan's job; see the truncation tests below.)
+    std::fs::write(&cert_path, "{\"not\":\"a certificate\"}").expect("test dir writable");
     let server = with_dir();
     let recert = server.handle_line(&request);
     assert!(
@@ -180,8 +195,9 @@ fn disk_entries_with_bad_certificates_are_recertified_not_served() {
     assert!(matches!(stats.kind, ReplyKind::Stats));
     assert!(stats.line.contains("\"cert_errors\":1"), "{}", stats.line);
 
-    // The re-synthesis rewrote a valid certificate; a deleted one is
-    // the same refusal.
+    // The re-synthesis rewrote a valid certificate. Deleting it leaves
+    // an orphan report, which the next daemon's startup scan quarantines
+    // — the job is re-synthesized from scratch, not served uncertified.
     let healed = with_dir().handle_line(&request);
     assert!(matches!(healed.kind, ReplyKind::Report(CacheTier::Disk)));
     std::fs::remove_file(&cert_path).expect("test dir writable");
@@ -192,8 +208,135 @@ fn disk_entries_with_bad_certificates_are_recertified_not_served() {
         server
             .handle_line(r#"{"op":"stats"}"#)
             .line
-            .contains("\"cert_errors\":1"),
-        "missing certificates are counted too"
+            .contains("\"quarantined\":1"),
+        "orphan reports are quarantined at startup"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A report or certificate file truncated at *any* byte is structurally
+/// torn — the strict JSON parser never accepts a proper prefix of a
+/// complete object — so the startup scan must quarantine it, plus its
+/// now-orphaned companion, at every single truncation point.
+#[test]
+fn every_byte_truncation_is_quarantined_by_the_startup_scan() {
+    let dir = std::env::temp_dir().join(format!(
+        "nocsyn-serve-cache-truncate-scan-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let text = pattern_text(4, 1, 11);
+    let request = synth_request(&text, 11);
+    let first = Server::new(ServeOptions {
+        cache_dir: Some(dir.clone()),
+        ..ServeOptions::default()
+    })
+    .handle_line(&request);
+    assert!(matches!(first.kind, ReplyKind::Report(CacheTier::Miss)));
+
+    let parsed = parse_pattern(&text, &ParseOptions::new()).expect("valid pattern");
+    let config = SynthesisConfig::new().with_seed(11).with_restarts(1);
+    let fp = job_fingerprint(parsed.kind, &parsed.canonical, &config).to_hex();
+    let report_path = dir.join(format!("{fp}.json"));
+    let cert_path = dir.join(format!("{fp}.cert.json"));
+    let report = std::fs::read(&report_path).expect("report on disk");
+    let cert = std::fs::read(&cert_path).expect("certificate on disk");
+
+    let scan = |torn: &std::path::Path, bytes: &[u8], k: usize| {
+        std::fs::write(torn, &bytes[..k]).expect("test dir writable");
+        let mut cache = ResultCache::new(4).with_dir(dir.clone());
+        cache.recover();
+        let stats = cache.stats();
+        assert!(
+            stats.quarantined == 2 && stats.recovered == 0,
+            "truncation at byte {k} of {torn:?}: expected the torn file and \
+             its orphaned companion quarantined, got {stats:?}"
+        );
+        assert!(!report_path.exists(), "byte {k}: report left behind");
+        assert!(!cert_path.exists(), "byte {k}: certificate left behind");
+        // Restore the intact pair for the next truncation point.
+        std::fs::write(&report_path, &report).expect("test dir writable");
+        std::fs::write(&cert_path, &cert).expect("test dir writable");
+    };
+    for k in 0..report.len() {
+        scan(&report_path, &report, k);
+    }
+    for k in 0..cert.len() {
+        scan(&cert_path, &cert, k);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Torn disk files through the full daemon path: a seeded truncation of
+/// either file is quarantined at startup, the job re-synthesizes to the
+/// same bytes, and the healed disk pair is byte-identical to the
+/// original. Failures replay with `NOCSYN_CHECK_SEED`.
+#[test]
+fn truncated_disk_entries_heal_byte_identically() {
+    let dir = std::env::temp_dir().join(format!(
+        "nocsyn-serve-cache-truncate-heal-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let text = pattern_text(5, 2, 23);
+    let request = synth_request(&text, 23);
+    let with_dir = || {
+        Server::new(ServeOptions {
+            cache_dir: Some(dir.clone()),
+            ..ServeOptions::default()
+        })
+    };
+    let first = with_dir().handle_line(&request);
+    assert!(matches!(first.kind, ReplyKind::Report(CacheTier::Miss)));
+    let disk_line = {
+        let served = with_dir().handle_line(&request);
+        assert!(matches!(served.kind, ReplyKind::Report(CacheTier::Disk)));
+        served.line
+    };
+    let parsed = parse_pattern(&text, &ParseOptions::new()).expect("valid pattern");
+    let config = SynthesisConfig::new().with_seed(23).with_restarts(1);
+    let fp = job_fingerprint(parsed.kind, &parsed.canonical, &config).to_hex();
+    let report_path = dir.join(format!("{fp}.json"));
+    let cert_path = dir.join(format!("{fp}.cert.json"));
+    let report = std::fs::read(&report_path).expect("report on disk");
+    let cert = std::fs::read(&cert_path).expect("certificate on disk");
+
+    check_n(
+        "truncated_disk_entries_heal_byte_identically",
+        8,
+        (usize_in(0..2), u64_in(0..10_000)),
+        |&(which, frac)| {
+            let (path, bytes) = if which == 0 {
+                (&report_path, &report)
+            } else {
+                (&cert_path, &cert)
+            };
+            let k = (frac as usize).saturating_mul(bytes.len() - 1) / 9_999;
+            std::fs::write(path, &bytes[..k]).expect("test dir writable");
+            // Startup quarantines the torn file and its orphaned
+            // companion; the request re-synthesizes to the same bytes.
+            let server = with_dir();
+            let healed = server.handle_line(&request);
+            check_assert!(matches!(healed.kind, ReplyKind::Report(CacheTier::Miss)));
+            check_assert_eq!(
+                healed
+                    .line
+                    .replace("\"cache\":\"miss\"", "\"cache\":\"disk\""),
+                disk_line
+            );
+            check_assert!(server
+                .handle_line(r#"{"op":"stats"}"#)
+                .line
+                .contains("\"quarantined\":2"));
+            // The re-synthesis rewrote both files: a fresh daemon serves
+            // the healed entry from disk, byte-identical all the way down.
+            let again = with_dir().handle_line(&request);
+            check_assert!(matches!(again.kind, ReplyKind::Report(CacheTier::Disk)));
+            check_assert_eq!(again.line, disk_line);
+            check_assert_eq!(std::fs::read(&report_path).expect("healed report"), report);
+            check_assert_eq!(std::fs::read(&cert_path).expect("healed certificate"), cert);
+            Ok(())
+        },
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
