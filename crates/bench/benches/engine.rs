@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use nocsyn_engine::{Engine, Job, JobStatus};
 use nocsyn_model::json::JsonValue;
-use nocsyn_synth::{AppPattern, SynthesisConfig};
+use nocsyn_synth::{AppPattern, SynthesisConfig, SynthesisRequest};
 use nocsyn_workloads::{Benchmark, WorkloadParams};
 
 const RESTARTS: usize = 8;
@@ -27,14 +27,12 @@ fn paper_jobs() -> Vec<Job> {
             let sched = benchmark
                 .schedule(16, &WorkloadParams::paper_default(benchmark))
                 .expect("16 is valid for all benchmarks");
-            let config = SynthesisConfig::new()
-                .with_seed(0xE9C1 ^ (benchmark as u64))
-                .with_restarts(RESTARTS);
-            Job::new(
-                format!("{}16", benchmark.name()),
-                AppPattern::from_schedule(&sched),
-                config,
-            )
+            let request = SynthesisRequest::builder(AppPattern::from_schedule(&sched))
+                .config(SynthesisConfig::new().with_seed(0xE9C1 ^ (benchmark as u64)))
+                .restarts(RESTARTS)
+                .build()
+                .expect("a nonzero restart count builds");
+            Job::new(format!("{}16", benchmark.name()), request)
         })
         .collect()
 }

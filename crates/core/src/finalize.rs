@@ -209,8 +209,10 @@ pub(crate) fn materialize(
 }
 
 /// Joins disconnected switch components with single links (chained in
-/// component discovery order). Returns how many links were added.
-fn connect_components(net: &mut Network) -> Result<usize, SynthError> {
+/// component discovery order). Returns how many links were added. Shared
+/// with the decomposition stitcher, which bridges traffic-free clusters
+/// the same way flat finalization bridges traffic-free switch islands.
+pub(crate) fn connect_components(net: &mut Network) -> Result<usize, SynthError> {
     let n = net.n_switches();
     if n == 0 {
         return Ok(0);

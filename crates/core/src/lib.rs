@@ -56,6 +56,7 @@
 
 mod anneal;
 mod config;
+mod decompose;
 mod error;
 mod explain;
 mod finalize;
@@ -64,17 +65,23 @@ mod pareto;
 mod partition;
 mod pattern;
 mod report;
+mod request;
 mod route_opt;
 
 pub use anneal::AcceptanceRule;
 pub use config::{ColoringStrategy, SynthesisConfig};
+pub use decompose::{
+    auto_cluster_count, cluster_config, cluster_pattern, cluster_seed, stitch, Cluster,
+    ClusterPlan, DecompositionSummary,
+};
 pub use error::SynthError;
 pub use explain::explain;
 pub use finalize::SynthesisResult;
-pub use pareto::{degree_sweep, ParetoPoint};
+pub use pareto::{degree_sweep, pareto_filter, ParetoPoint};
 pub use partition::{Partitioning, PipeKey};
 pub use pattern::AppPattern;
 pub use report::SynthesisReport;
+pub use request::{RequestBuildError, SynthesisMode, SynthesisRequest, SynthesisRequestBuilder};
 
 use nocsyn_topo::{Network, RouteTable};
 

@@ -69,7 +69,14 @@ pub fn degree_sweep(
             result,
         });
     }
-    // Keep non-dominated points; if nothing is feasible, return everything.
+    Ok(pareto_filter(points))
+}
+
+/// Keeps the non-dominated feasible points of a sweep, sorted by degree
+/// bound. If nothing is feasible every point survives, so the caller
+/// always gets something to inspect. Shared by [`degree_sweep`] and the
+/// engine-driven `--pareto` sweep in the CLI/serve layer.
+pub fn pareto_filter(mut points: Vec<ParetoPoint>) -> Vec<ParetoPoint> {
     if points.iter().any(|p| p.feasible) {
         let dominated: Vec<bool> = points
             .iter()
@@ -84,7 +91,7 @@ pub fn degree_sweep(
         points = keep;
     }
     points.sort_by_key(|p| p.max_degree);
-    Ok(points)
+    points
 }
 
 #[cfg(test)]

@@ -1,0 +1,392 @@
+//! The unified synthesis entry point: one request object shared by the
+//! CLI, the engine batch API, and the serve daemon.
+//!
+//! Before this type existed every caller re-assembled its own
+//! `(pattern, config, seed, restarts, deadline, ...)` tuple, and adding a
+//! second synthesis mode (decomposition) would have doubled that
+//! plumbing in four places. A [`SynthesisRequest`] bundles everything a
+//! synthesis job needs — the pattern, the [`SynthesisConfig`], the mode
+//! (flat or decomposed), an optional per-job deadline, and whether a
+//! certificate should be emitted — behind a validating builder.
+//!
+//! The request's [`canonical_form`](SynthesisRequest::canonical_form) is
+//! the cache-key half of the serve daemon's content addressing: it
+//! extends the config's canonical form with the mode fields, so a flat
+//! and a decomposed job over the same config can never collide. The
+//! deadline and the certificate flag are deliberately *absent* from the
+//! form — neither changes the synthesized result.
+
+use std::fmt;
+use std::time::Duration;
+
+use nocsyn_model::CanonicalForm;
+
+use crate::{AppPattern, SynthesisConfig};
+
+/// How the request's pattern is synthesized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SynthesisMode {
+    /// One flat run of the Main Partitioning Algorithm (the paper's
+    /// published methodology).
+    #[default]
+    Flat,
+    /// Clustered decomposition: partition the flow graph, synthesize each
+    /// cluster independently, stitch with dedicated inter-cluster pipes
+    /// and re-verify Theorem 1 globally (see `crate::decompose`).
+    Decomposed {
+        /// Requested cluster count; `None` picks one from the pattern
+        /// size ([`crate::auto_cluster_count`]).
+        clusters: Option<usize>,
+    },
+}
+
+/// A typed, fingerprinted rejection from [`SynthesisRequestBuilder::build`].
+///
+/// Follows the uniform-error contract: every variant carries a stable
+/// kebab-case [`fingerprint`](RequestBuildError::fingerprint) suitable
+/// for wire protocols and log grepping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RequestBuildError {
+    /// `restarts(0)` was requested. Zero restarts would mean "run no
+    /// synthesis at all"; the old config-level API silently clamped this
+    /// to one, hiding caller bugs. The request builder rejects it.
+    ZeroRestarts,
+    /// `Decomposed { clusters: Some(0) }` was requested; a decomposition
+    /// into zero clusters is meaningless.
+    ZeroClusters,
+}
+
+impl RequestBuildError {
+    /// Stable kebab-case fingerprint of the error kind.
+    pub fn fingerprint(&self) -> &'static str {
+        match self {
+            RequestBuildError::ZeroRestarts => "zero-restarts",
+            RequestBuildError::ZeroClusters => "zero-clusters",
+        }
+    }
+}
+
+impl fmt::Display for RequestBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestBuildError::ZeroRestarts => {
+                write!(f, "restarts must be at least 1 (got 0)")
+            }
+            RequestBuildError::ZeroClusters => {
+                write!(f, "cluster count must be at least 1 (got 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestBuildError {}
+
+/// A fully validated synthesis job description.
+///
+/// Construct one through [`SynthesisRequest::builder`]; the builder is the
+/// single place request-level invariants (non-zero restarts, non-zero
+/// cluster count) are enforced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisRequest {
+    pattern: AppPattern,
+    config: SynthesisConfig,
+    mode: SynthesisMode,
+    deadline: Option<Duration>,
+    emit_certificate: bool,
+}
+
+impl SynthesisRequest {
+    /// Starts building a request for `pattern` with paper-default
+    /// configuration, flat mode, no deadline and no certificate.
+    pub fn builder(pattern: AppPattern) -> SynthesisRequestBuilder {
+        SynthesisRequestBuilder {
+            pattern,
+            config: SynthesisConfig::new(),
+            seed: None,
+            restarts: None,
+            max_degree: None,
+            mode: SynthesisMode::Flat,
+            deadline: None,
+            emit_certificate: false,
+        }
+    }
+
+    /// The communication pattern to synthesize for.
+    pub fn pattern(&self) -> &AppPattern {
+        &self.pattern
+    }
+
+    /// The synthesis configuration.
+    pub fn config(&self) -> &SynthesisConfig {
+        &self.config
+    }
+
+    /// The synthesis mode.
+    pub fn mode(&self) -> SynthesisMode {
+        self.mode
+    }
+
+    /// Optional per-job deadline (per cluster job in decomposed mode).
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Whether the caller intends to emit a certificate for the result.
+    pub fn emit_certificate(&self) -> bool {
+        self.emit_certificate
+    }
+
+    /// The request's RNG seed (shorthand for `config().seed()`).
+    pub fn seed(&self) -> u64 {
+        self.config.seed()
+    }
+
+    /// Replaces the configuration wholesale. Used by admission control
+    /// (the serve daemon caps restarts per job *after* validation); the
+    /// config type's own invariants (`restarts >= 1`) still hold.
+    #[must_use]
+    pub fn with_config(mut self, config: SynthesisConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The request's canonical form: the config's canonical form plus the
+    /// mode fields. This is what cache keys must digest — a flat and a
+    /// decomposed request over the same config always differ here, and
+    /// an explicit cluster count differs from `auto`.
+    ///
+    /// The deadline and the certificate flag are excluded on purpose:
+    /// neither influences the synthesized bytes (see
+    /// [`SynthesisConfig::canonical_form`] for the same contract at the
+    /// config level).
+    pub fn canonical_form(&self) -> CanonicalForm {
+        let mut form = self.config.canonical_form();
+        match self.mode {
+            SynthesisMode::Flat => form.push_field("mode", "flat"),
+            SynthesisMode::Decomposed { clusters } => {
+                form.push_field("mode", "decomposed");
+                match clusters {
+                    None => form.push_field("clusters", "auto"),
+                    Some(k) => form.push_field("clusters", k),
+                }
+            }
+        }
+        form
+    }
+}
+
+/// Builder for [`SynthesisRequest`]; see [`SynthesisRequest::builder`].
+#[derive(Debug, Clone)]
+pub struct SynthesisRequestBuilder {
+    pattern: AppPattern,
+    config: SynthesisConfig,
+    seed: Option<u64>,
+    restarts: Option<usize>,
+    max_degree: Option<usize>,
+    mode: SynthesisMode,
+    deadline: Option<Duration>,
+    emit_certificate: bool,
+}
+
+impl SynthesisRequestBuilder {
+    /// Replaces the base configuration (later `seed`/`restarts`/
+    /// `max_degree` calls still override its fields).
+    #[must_use]
+    pub fn config(mut self, config: SynthesisConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Overrides the restart count. Zero is **rejected** at
+    /// [`build`](SynthesisRequestBuilder::build) with
+    /// [`RequestBuildError::ZeroRestarts`] — unlike
+    /// [`SynthesisConfig::with_restarts`], which clamps.
+    #[must_use]
+    pub fn restarts(mut self, restarts: usize) -> Self {
+        self.restarts = Some(restarts);
+        self
+    }
+
+    /// Overrides the maximum node degree.
+    #[must_use]
+    pub fn max_degree(mut self, degree: usize) -> Self {
+        self.max_degree = Some(degree);
+        self
+    }
+
+    /// Selects the synthesis mode.
+    #[must_use]
+    pub fn mode(mut self, mode: SynthesisMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the per-job deadline.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the per-job deadline in milliseconds.
+    #[must_use]
+    pub fn deadline_ms(self, ms: u64) -> Self {
+        self.deadline(Duration::from_millis(ms))
+    }
+
+    /// Declares that the caller will emit a certificate for the result.
+    #[must_use]
+    pub fn emit_certificate(mut self, emit: bool) -> Self {
+        self.emit_certificate = emit;
+        self
+    }
+
+    /// Validates and assembles the request.
+    ///
+    /// # Errors
+    ///
+    /// * [`RequestBuildError::ZeroRestarts`] if `restarts(0)` was called.
+    /// * [`RequestBuildError::ZeroClusters`] if the mode is
+    ///   `Decomposed { clusters: Some(0) }`.
+    pub fn build(self) -> Result<SynthesisRequest, RequestBuildError> {
+        if self.restarts == Some(0) {
+            return Err(RequestBuildError::ZeroRestarts);
+        }
+        if let SynthesisMode::Decomposed { clusters: Some(0) } = self.mode {
+            return Err(RequestBuildError::ZeroClusters);
+        }
+        let mut config = self.config;
+        if let Some(seed) = self.seed {
+            config = config.with_seed(seed);
+        }
+        if let Some(restarts) = self.restarts {
+            config = config.with_restarts(restarts);
+        }
+        if let Some(degree) = self.max_degree {
+            config = config.with_max_degree(degree);
+        }
+        Ok(SynthesisRequest {
+            pattern: self.pattern,
+            config,
+            mode: self.mode,
+            deadline: self.deadline,
+            emit_certificate: self.emit_certificate,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocsyn_model::{Phase, PhaseSchedule};
+
+    fn pattern4() -> AppPattern {
+        let mut s = PhaseSchedule::new(4);
+        s.push(Phase::from_flows([(0usize, 1usize), (2, 3)]).expect("valid"))
+            .expect("in range");
+        AppPattern::from_schedule(&s)
+    }
+
+    #[test]
+    fn builder_applies_overrides_in_any_call_order() {
+        let a = SynthesisRequest::builder(pattern4())
+            .seed(9)
+            .restarts(3)
+            .max_degree(4)
+            .build()
+            .expect("valid");
+        let b = SynthesisRequest::builder(pattern4())
+            .max_degree(4)
+            .restarts(3)
+            .seed(9)
+            .build()
+            .expect("valid");
+        assert_eq!(a, b);
+        assert_eq!(a.config().seed(), 9);
+        assert_eq!(a.config().restarts(), 3);
+        assert_eq!(a.config().max_degree(), 4);
+        assert_eq!(
+            a.canonical_form().digest(),
+            b.canonical_form().digest(),
+            "canonical form must be stable under setter reordering"
+        );
+    }
+
+    #[test]
+    fn zero_restarts_is_rejected_not_clamped() {
+        let err = SynthesisRequest::builder(pattern4())
+            .restarts(0)
+            .build()
+            .expect_err("zero restarts must be rejected");
+        assert_eq!(err, RequestBuildError::ZeroRestarts);
+        assert_eq!(err.fingerprint(), "zero-restarts");
+        // The config-level clamp is unchanged: the *request* layer is
+        // where explicit zeroes become typed errors.
+        assert_eq!(SynthesisConfig::new().with_restarts(0).restarts(), 1);
+    }
+
+    #[test]
+    fn zero_clusters_is_rejected() {
+        let err = SynthesisRequest::builder(pattern4())
+            .mode(SynthesisMode::Decomposed { clusters: Some(0) })
+            .build()
+            .expect_err("zero clusters must be rejected");
+        assert_eq!(err, RequestBuildError::ZeroClusters);
+        assert_eq!(err.fingerprint(), "zero-clusters");
+    }
+
+    #[test]
+    fn flat_and_decomposed_forms_never_collide() {
+        let flat = SynthesisRequest::builder(pattern4()).build().expect("ok");
+        let auto = SynthesisRequest::builder(pattern4())
+            .mode(SynthesisMode::Decomposed { clusters: None })
+            .build()
+            .expect("ok");
+        let four = SynthesisRequest::builder(pattern4())
+            .mode(SynthesisMode::Decomposed { clusters: Some(4) })
+            .build()
+            .expect("ok");
+        let d_flat = flat.canonical_form().digest();
+        let d_auto = auto.canonical_form().digest();
+        let d_four = four.canonical_form().digest();
+        assert_ne!(d_flat, d_auto);
+        assert_ne!(d_flat, d_four);
+        assert_ne!(d_auto, d_four);
+    }
+
+    #[test]
+    fn deadline_and_cert_flag_do_not_change_the_canonical_form() {
+        let plain = SynthesisRequest::builder(pattern4()).build().expect("ok");
+        let decorated = SynthesisRequest::builder(pattern4())
+            .deadline_ms(250)
+            .emit_certificate(true)
+            .build()
+            .expect("ok");
+        assert_eq!(
+            plain.canonical_form().digest(),
+            decorated.canonical_form().digest()
+        );
+        assert_eq!(decorated.deadline(), Some(Duration::from_millis(250)));
+        assert!(decorated.emit_certificate());
+    }
+
+    #[test]
+    fn error_messages_are_human_readable() {
+        assert_eq!(
+            RequestBuildError::ZeroRestarts.to_string(),
+            "restarts must be at least 1 (got 0)"
+        );
+        assert_eq!(
+            RequestBuildError::ZeroClusters.to_string(),
+            "cluster count must be at least 1 (got 0)"
+        );
+    }
+}

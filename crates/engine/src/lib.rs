@@ -22,6 +22,18 @@
 //! atomic cursor, so restarts of one job and jobs of one batch share the
 //! same worker pool with dynamic load balancing.
 //!
+//! Every job carries a [`SynthesisRequest`], which may select the
+//! **decomposed** mode for large patterns: the engine clusters the flow
+//! graph (`nocsyn_synth::cluster_pattern`), schedules every cluster as an
+//! independent sub-job on the same unit queue (named `{job}/c{i}` in
+//! telemetry, under `nocsyn_synth::cluster_config` — reseeded, with one
+//! port of degree headroom reserved for stitching), stitches the
+//! per-cluster networks with dedicated exact-colored inter-cluster pipes
+//! and re-verifies Theorem 1 on the stitched whole
+//! (`nocsyn_synth::stitch`). The reduction is deterministic: a failed
+//! cluster fails the job with the lowest-indexed cluster's error, and the
+//! stitched result is a pure function of the per-cluster results.
+//!
 //! Jobs may carry a **deadline**. Expiry is detected when a worker claims
 //! the next unit of the job (granularity: one restart attempt); remaining
 //! attempts are cancelled through a shared flag, and the job degrades
@@ -84,8 +96,9 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use nocsyn_synth::{
-    portfolio_rank, retry_seed, synthesize_retry, AppPattern, SynthError, SynthesisConfig,
-    SynthesisResult,
+    auto_cluster_count, cluster_config, cluster_pattern, portfolio_rank, retry_seed, stitch,
+    synthesize_retry, AppPattern, ClusterPlan, DecompositionSummary, SynthError, SynthesisConfig,
+    SynthesisMode, SynthesisRequest, SynthesisResult,
 };
 
 /// Bounded retry policy for failed or panicked attempts.
@@ -119,50 +132,34 @@ impl RetryPolicy {
     }
 }
 
-/// One synthesis request in a batch: a named pattern/config pair with an
-/// optional deadline.
+/// One synthesis request in a batch: a named [`SynthesisRequest`] (the
+/// pattern, config, mode and deadline all live on the request — every
+/// caller assembles one the same way).
 #[derive(Debug, Clone)]
 pub struct Job {
-    /// Name carried through outcomes and telemetry.
+    /// Name carried through outcomes and telemetry. Decomposed jobs fan
+    /// out into per-cluster sub-jobs named `{name}/c{i}` in telemetry.
     pub name: String,
-    /// The application pattern to synthesize for.
-    pub pattern: AppPattern,
-    /// Search configuration; `restarts()` sets the portfolio size.
-    pub config: SynthesisConfig,
-    /// Wall-clock budget measured from the job's first claimed unit.
-    /// `None` runs the full portfolio.
-    pub deadline: Option<Duration>,
+    /// What to synthesize: pattern, config (`restarts()` sets the
+    /// portfolio size), flat/decomposed mode, optional per-job deadline.
+    pub request: SynthesisRequest,
     /// Bounded retry policy for this job's attempts.
     pub retry: RetryPolicy,
     /// Attempts that panic on their first try — fault injection for tests
-    /// and chaos drills. Retries of the same attempt run normally.
+    /// and chaos drills. Retries of the same attempt run normally. For a
+    /// decomposed job the indices apply to every cluster sub-job.
     injected_panics: BTreeSet<usize>,
 }
 
 impl Job {
-    /// Creates a job with no deadline and a fail-fast retry policy.
-    pub fn new(name: impl Into<String>, pattern: AppPattern, config: SynthesisConfig) -> Self {
+    /// Creates a job with a fail-fast retry policy.
+    pub fn new(name: impl Into<String>, request: SynthesisRequest) -> Self {
         Job {
             name: name.into(),
-            pattern,
-            config,
-            deadline: None,
+            request,
             retry: RetryPolicy::default(),
             injected_panics: BTreeSet::new(),
         }
-    }
-
-    /// Sets the deadline as a duration.
-    #[must_use]
-    pub fn with_deadline(mut self, deadline: Duration) -> Self {
-        self.deadline = Some(deadline);
-        self
-    }
-
-    /// Sets the deadline in milliseconds.
-    #[must_use]
-    pub fn with_deadline_ms(self, ms: u64) -> Self {
-        self.with_deadline(Duration::from_millis(ms))
     }
 
     /// Sets the retry policy.
@@ -181,10 +178,36 @@ impl Job {
         self.injected_panics.insert(attempt);
         self
     }
+}
 
+/// One schedulable sub-job: a flat job is exactly one of these, a
+/// decomposed job fans out into one per cluster (with a derived
+/// per-cluster seed).
+#[derive(Debug)]
+struct ExecJob {
+    name: String,
+    pattern: AppPattern,
+    config: SynthesisConfig,
+    deadline: Option<Duration>,
+    retry: RetryPolicy,
+    injected_panics: BTreeSet<usize>,
+}
+
+impl ExecJob {
     fn attempts(&self) -> usize {
         self.config.restarts().max(1)
     }
+}
+
+/// How a job's exec sub-jobs fold back into one [`JobOutcome`].
+enum Reduction {
+    /// The single exec outcome is the job outcome.
+    Flat,
+    /// Stitch the per-cluster results ([`stitch`]) and re-verify
+    /// Theorem 1 globally.
+    Decomposed(ClusterPlan),
+    /// Clustering itself failed; no exec jobs were scheduled.
+    PlanFailed(SynthError),
 }
 
 /// Why a job failed.
@@ -282,8 +305,12 @@ pub struct JobOutcome {
     pub attempts_completed: usize,
     /// Restart attempts the portfolio was scheduled to run.
     pub attempts_total: usize,
-    /// Wall time from the job's first claimed unit to its last.
+    /// Wall time from the job's first claimed unit to its last. For a
+    /// decomposed job: the slowest cluster's wall time.
     pub elapsed: Duration,
+    /// Cluster/stitch statistics when the job ran in decomposed mode and
+    /// produced a stitched result; `None` for flat jobs.
+    pub decomposition: Option<DecompositionSummary>,
 }
 
 /// Per-job shared state while the batch executes.
@@ -348,6 +375,60 @@ impl JobState {
             attempts_completed: self.completed.load(Ordering::Acquire),
             attempts_total: self.attempts_total,
             elapsed: *self.elapsed.lock().expect("engine lock never poisoned"),
+            decomposition: None,
+        }
+    }
+}
+
+/// Folds a decomposed job's per-cluster outcomes into one: any failed
+/// cluster fails the job (the lowest cluster index wins, so the reported
+/// error is deterministic for any worker count); a cluster left without a
+/// result (deadline before its first attempt completed) degrades the job
+/// to [`JobStatus::DeadlineExceeded`] with no global result; otherwise
+/// the cluster networks are stitched into one global network
+/// ([`stitch`]) and Theorem 1 is re-verified on the stitched whole.
+fn reduce_decomposed(job: &Job, plan: &ClusterPlan, parts: Vec<JobOutcome>) -> JobOutcome {
+    let attempts_completed = parts.iter().map(|p| p.attempts_completed).sum();
+    let attempts_total = parts.iter().map(|p| p.attempts_total).sum();
+    let elapsed = parts
+        .iter()
+        .map(|p| p.elapsed)
+        .max()
+        .unwrap_or(Duration::ZERO);
+    let finish = |status, result, decomposition| JobOutcome {
+        name: job.name.clone(),
+        status,
+        result,
+        attempts_completed,
+        attempts_total,
+        elapsed,
+        decomposition,
+    };
+    if let Some(failed) = parts
+        .iter()
+        .find(|p| matches!(p.status, JobStatus::Failed(_)))
+    {
+        return finish(failed.status.clone(), None, None);
+    }
+    let deadline_hit = parts
+        .iter()
+        .any(|p| matches!(p.status, JobStatus::DeadlineExceeded));
+    if parts.iter().any(|p| p.result.is_none()) {
+        return finish(JobStatus::DeadlineExceeded, None, None);
+    }
+    let results: Vec<SynthesisResult> = parts
+        .into_iter()
+        .map(|p| p.result.expect("absence handled above"))
+        .collect();
+    match stitch(job.request.pattern(), plan, &results, job.request.config()) {
+        Err(e) => finish(JobStatus::Failed(JobError::Synth(e)), None, None),
+        Ok((result, summary)) => {
+            let status = if deadline_hit {
+                JobStatus::DeadlineExceeded
+            } else {
+                JobStatus::Completed
+            };
+            finish(status, Some(result), Some(summary))
         }
     }
 }
@@ -471,44 +552,111 @@ impl Engine {
     /// atomic cursor, so a long job's portfolio and its batch neighbors
     /// share the pool. All workers are joined before this returns.
     pub fn run(&self, jobs: Vec<Job>) -> Vec<JobOutcome> {
-        let units: Vec<(usize, usize)> = jobs
+        // Expand: a flat job maps 1:1 onto one exec sub-job; a decomposed
+        // job fans out into one per cluster under `cluster_config` —
+        // reseeded so every cluster search is independent and
+        // reproducible for any worker count, with one port of degree
+        // headroom reserved for the stitch phase.
+        let mut execs: Vec<ExecJob> = Vec::new();
+        let mut reductions: Vec<Reduction> = Vec::with_capacity(jobs.len());
+        for job in &jobs {
+            match job.request.mode() {
+                SynthesisMode::Flat => {
+                    execs.push(ExecJob {
+                        name: job.name.clone(),
+                        pattern: job.request.pattern().clone(),
+                        config: job.request.config().clone(),
+                        deadline: job.request.deadline(),
+                        retry: job.retry,
+                        injected_panics: job.injected_panics.clone(),
+                    });
+                    reductions.push(Reduction::Flat);
+                }
+                SynthesisMode::Decomposed { clusters } => {
+                    let pattern = job.request.pattern();
+                    let k = clusters.unwrap_or_else(|| auto_cluster_count(pattern.n_procs()));
+                    match cluster_pattern(pattern, k) {
+                        Err(e) => reductions.push(Reduction::PlanFailed(e)),
+                        Ok(plan) => {
+                            for (ci, cluster) in plan.clusters().iter().enumerate() {
+                                execs.push(ExecJob {
+                                    name: format!("{}/c{ci}", job.name),
+                                    pattern: cluster.pattern().clone(),
+                                    config: cluster_config(job.request.config(), ci),
+                                    deadline: job.request.deadline(),
+                                    retry: job.retry,
+                                    injected_panics: job.injected_panics.clone(),
+                                });
+                            }
+                            reductions.push(Reduction::Decomposed(plan));
+                        }
+                    }
+                }
+            }
+        }
+
+        let units: Vec<(usize, usize)> = execs
             .iter()
             .enumerate()
-            .flat_map(|(ji, job)| (0..job.attempts()).map(move |attempt| (ji, attempt)))
+            .flat_map(|(ei, exec)| (0..exec.attempts()).map(move |attempt| (ei, attempt)))
             .collect();
-        let states: Vec<JobState> = jobs.iter().map(|j| JobState::new(j.attempts())).collect();
+        let states: Vec<JobState> = execs.iter().map(|e| JobState::new(e.attempts())).collect();
         let cursor = AtomicUsize::new(0);
         let sink = SinkGuard::new(self.sink.as_ref());
         if !units.is_empty() {
             thread::scope(|scope| {
                 for _ in 0..self.workers.min(units.len()) {
-                    scope.spawn(|| self.work(&sink, &jobs, &states, &units, &cursor));
+                    scope.spawn(|| self.work(&sink, &execs, &states, &units, &cursor));
                 }
             });
         }
-        jobs.into_iter()
+
+        // Reduce exec outcomes back into job outcomes, in job order. A
+        // job's exec sub-jobs are contiguous in `execs`.
+        let mut exec_outcomes = execs
+            .iter()
             .zip(states)
-            .map(|(job, state)| state.into_outcome(job.name))
+            .map(|(exec, state)| state.into_outcome(exec.name.clone()))
+            .collect::<Vec<_>>()
+            .into_iter();
+        jobs.iter()
+            .zip(reductions)
+            .map(|(job, reduction)| match reduction {
+                Reduction::Flat => exec_outcomes.next().expect("one exec per flat job"),
+                Reduction::PlanFailed(e) => JobOutcome {
+                    name: job.name.clone(),
+                    status: JobStatus::Failed(JobError::Synth(e)),
+                    result: None,
+                    attempts_completed: 0,
+                    attempts_total: 0,
+                    elapsed: Duration::ZERO,
+                    decomposition: None,
+                },
+                Reduction::Decomposed(plan) => {
+                    let parts: Vec<JobOutcome> =
+                        exec_outcomes.by_ref().take(plan.clusters().len()).collect();
+                    reduce_decomposed(job, &plan, parts)
+                }
+            })
             .collect()
     }
 
-    /// Convenience for a single unnamed job: the parallel equivalent of
-    /// `nocsyn_synth::synthesize`, with an optional deadline.
+    /// Convenience for a single unnamed flat job: the parallel equivalent
+    /// of `nocsyn_synth::synthesize`, with an optional deadline.
     pub fn synthesize(
         &self,
         pattern: &AppPattern,
         config: &SynthesisConfig,
         deadline: Option<Duration>,
     ) -> JobOutcome {
-        let job = Job {
-            name: "synth".into(),
-            pattern: pattern.clone(),
-            config: config.clone(),
-            deadline,
-            retry: RetryPolicy::default(),
-            injected_panics: BTreeSet::new(),
-        };
-        self.run(vec![job])
+        let mut builder = SynthesisRequest::builder(pattern.clone()).config(config.clone());
+        if let Some(deadline) = deadline {
+            builder = builder.deadline(deadline);
+        }
+        let request = builder
+            .build()
+            .expect("a flat request with no overrides always builds");
+        self.run(vec![Job::new("synth", request)])
             .pop()
             .expect("one job in, one outcome out")
     }
@@ -517,7 +665,7 @@ impl Engine {
     fn work(
         &self,
         sink: &SinkGuard<'_>,
-        jobs: &[Job],
+        execs: &[ExecJob],
         states: &[JobState],
         units: &[(usize, usize)],
         cursor: &AtomicUsize,
@@ -527,7 +675,7 @@ impl Engine {
             let Some(&(ji, attempt)) = units.get(i) else {
                 break;
             };
-            let job = &jobs[ji];
+            let job = &execs[ji];
             let state = &states[ji];
             let started = *state.started.get_or_init(|| {
                 sink.emit(&EngineEvent::JobStarted {
@@ -549,7 +697,13 @@ impl Engine {
 
     /// Cancels the job once its deadline has passed (checked at unit
     /// granularity: an in-flight attempt is never interrupted).
-    fn check_deadline(&self, sink: &SinkGuard<'_>, job: &Job, state: &JobState, started: Instant) {
+    fn check_deadline(
+        &self,
+        sink: &SinkGuard<'_>,
+        job: &ExecJob,
+        state: &JobState,
+        started: Instant,
+    ) {
         let Some(deadline) = job.deadline else { return };
         if state.cancelled.load(Ordering::Acquire) || started.elapsed() < deadline {
             return;
@@ -567,7 +721,7 @@ impl Engine {
     /// bounded retry budget — and merges a success into the stable argmin
     /// reduction. Exhausting the budget fails the job (first error wins)
     /// and cancels its remaining attempts; the batch carries on.
-    fn run_attempt(&self, sink: &SinkGuard<'_>, job: &Job, state: &JobState, attempt: usize) {
+    fn run_attempt(&self, sink: &SinkGuard<'_>, job: &ExecJob, state: &JobState, attempt: usize) {
         // Some after the first loop iteration; the loop always runs once.
         let mut last_error: Option<JobError> = None;
         for retry in 0..=job.retry.max_retries {
@@ -628,7 +782,7 @@ impl Engine {
     }
 
     /// Last unit of a job: seal its elapsed time and emit `JobFinished`.
-    fn finish_job(&self, sink: &SinkGuard<'_>, job: &Job, state: &JobState, started: Instant) {
+    fn finish_job(&self, sink: &SinkGuard<'_>, job: &ExecJob, state: &JobState, started: Instant) {
         let elapsed = started.elapsed();
         *state.elapsed.lock().expect("engine lock never poisoned") = elapsed;
         let (links, switches) = {
@@ -672,6 +826,13 @@ mod tests {
         SynthesisConfig::new().with_seed(0xE7A1).with_restarts(6)
     }
 
+    fn request(pattern: AppPattern) -> SynthesisRequest {
+        SynthesisRequest::builder(pattern)
+            .config(config())
+            .build()
+            .expect("flat request builds")
+    }
+
     #[test]
     fn matches_sequential_synthesize_for_any_worker_count() {
         let pattern = pattern(8);
@@ -693,9 +854,9 @@ mod tests {
     #[test]
     fn batch_outcomes_come_back_in_job_order() {
         let jobs = vec![
-            Job::new("a", pattern(4), config()),
-            Job::new("b", pattern(8), config()),
-            Job::new("c", pattern(6), config()),
+            Job::new("a", request(pattern(4))),
+            Job::new("b", request(pattern(8))),
+            Job::new("c", request(pattern(6))),
         ];
         let outcomes = Engine::new().with_workers(4).run(jobs);
         let names: Vec<&str> = outcomes.iter().map(|o| o.name.as_str()).collect();
@@ -709,7 +870,12 @@ mod tests {
 
     #[test]
     fn zero_deadline_degrades_without_panicking() {
-        let job = Job::new("late", pattern(8), config()).with_deadline_ms(0);
+        let late = SynthesisRequest::builder(pattern(8))
+            .config(config())
+            .deadline_ms(0)
+            .build()
+            .expect("request builds");
+        let job = Job::new("late", late);
         let outcome = Engine::new().with_workers(4).run(vec![job]).pop().unwrap();
         assert_eq!(outcome.status, JobStatus::DeadlineExceeded);
         assert!(outcome.result.is_none());
@@ -721,8 +887,8 @@ mod tests {
     fn empty_pattern_fails_the_job_but_not_the_batch() {
         let empty = AppPattern::from_schedule(&PhaseSchedule::new(0));
         let jobs = vec![
-            Job::new("bad", empty, config()),
-            Job::new("good", pattern(4), config()),
+            Job::new("bad", request(empty)),
+            Job::new("good", request(pattern(4))),
         ];
         let outcomes = Engine::new().with_workers(2).run(jobs);
         assert!(matches!(outcomes[0].status, JobStatus::Failed(_)));
@@ -734,7 +900,7 @@ mod tests {
     #[test]
     fn telemetry_covers_the_job_lifecycle() {
         let sink = Arc::new(CollectSink::new());
-        let job = Job::new("cg-ish", pattern(8), config());
+        let job = Job::new("cg-ish", request(pattern(8)));
         let outcome = Engine::new()
             .with_workers(2)
             .with_sink(sink.clone())
@@ -806,6 +972,78 @@ mod tests {
     }
 
     #[test]
+    fn decomposed_job_is_worker_invariant_and_contention_free() {
+        let req = SynthesisRequest::builder(pattern(16))
+            .config(config())
+            .mode(SynthesisMode::Decomposed { clusters: Some(2) })
+            .build()
+            .expect("request builds");
+        let sink = Arc::new(CollectSink::new());
+        let baseline = Engine::new()
+            .with_workers(1)
+            .with_sink(sink.clone())
+            .run(vec![Job::new("d", req.clone())])
+            .pop()
+            .expect("one outcome");
+        assert_eq!(baseline.status, JobStatus::Completed);
+        let summary = baseline
+            .decomposition
+            .expect("decomposed job carries a summary");
+        assert_eq!(summary.clusters, 2);
+        assert!(summary.cut_flows > 0);
+        assert_eq!(baseline.attempts_total, 2 * config().restarts());
+        assert_eq!(baseline.attempts_completed, baseline.attempts_total);
+        let base = baseline
+            .result
+            .as_ref()
+            .expect("completed job has a result");
+        assert!(base.report.contention_free);
+        // Telemetry attributes units to the per-cluster sub-jobs.
+        let started: Vec<String> = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                EngineEvent::JobStarted { job, .. } => Some(job),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(started, ["d/c0", "d/c1"]);
+        for workers in [2usize, 4, 8] {
+            let outcome = Engine::new()
+                .with_workers(workers)
+                .run(vec![Job::new("d", req.clone())])
+                .pop()
+                .expect("one outcome");
+            assert_eq!(outcome.status, JobStatus::Completed, "workers={workers}");
+            let result = outcome.result.expect("completed job has a result");
+            assert_eq!(result.report, base.report, "workers={workers}");
+            assert_eq!(result.routes, base.routes, "workers={workers}");
+            assert_eq!(outcome.decomposition, Some(summary), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn decomposed_empty_pattern_fails_cleanly() {
+        let empty = AppPattern::from_schedule(&PhaseSchedule::new(0));
+        let req = SynthesisRequest::builder(empty)
+            .config(config())
+            .mode(SynthesisMode::Decomposed { clusters: None })
+            .build()
+            .expect("request builds");
+        let outcome = Engine::new()
+            .run(vec![Job::new("bad", req)])
+            .pop()
+            .expect("one outcome");
+        match &outcome.status {
+            JobStatus::Failed(e) => assert_eq!(e.fingerprint(), "empty-pattern"),
+            other => panic!("expected a failure, got {other:?}"),
+        }
+        assert!(outcome.result.is_none());
+        assert!(outcome.decomposition.is_none());
+        assert_eq!(outcome.attempts_total, 0);
+    }
+
+    #[test]
     fn empty_batch_is_a_no_op() {
         assert!(Engine::new().run(Vec::new()).is_empty());
     }
@@ -841,8 +1079,8 @@ mod tests {
     fn injected_panic_fails_the_job_in_isolation() {
         let sink = Arc::new(CollectSink::new());
         let jobs = vec![
-            Job::new("poisoned", pattern(8), config()).with_injected_panic(2),
-            Job::new("healthy", pattern(8), config()),
+            Job::new("poisoned", request(pattern(8))).with_injected_panic(2),
+            Job::new("healthy", request(pattern(8))),
         ];
         let outcomes = Engine::new()
             .with_workers(4)
@@ -883,7 +1121,7 @@ mod tests {
     #[test]
     fn retry_policy_recovers_a_panicking_attempt() {
         let sink = Arc::new(CollectSink::new());
-        let job = Job::new("flaky", pattern(8), config())
+        let job = Job::new("flaky", request(pattern(8)))
             .with_injected_panic(1)
             .with_retry(RetryPolicy::retries(1));
         let outcome = Engine::new()

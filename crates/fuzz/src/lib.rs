@@ -36,6 +36,7 @@
 pub mod certify_probe;
 pub mod chaos_probe;
 pub mod gen;
+pub mod request_probe;
 pub mod route_probe;
 pub mod serve_probe;
 pub mod target;

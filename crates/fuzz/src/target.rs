@@ -113,8 +113,9 @@ impl Registry {
     /// parsers (`parse_schedule`, `parse_trace`), the incremental
     /// Theorem-1 differential probe (`route_edit_probe`), the serve
     /// daemon's line protocol (`serve_request`), the certificate
-    /// checker (`certify_input`), and the crash-safety shadow-model
-    /// probe over the fault-injected result cache (`chaos_plan`).
+    /// checker (`certify_input`), the crash-safety shadow-model
+    /// probe over the fault-injected result cache (`chaos_plan`), and
+    /// the synthesis-request builder (`synthesis_request`).
     pub fn with_builtin_targets() -> Self {
         let mut r = Registry::new();
         r.register(parse_schedule_target());
@@ -123,6 +124,7 @@ impl Registry {
         r.register(crate::serve_probe::serve_request_target());
         r.register(crate::certify_probe::certify_input_target());
         r.register(crate::chaos_probe::chaos_plan_target());
+        r.register(crate::request_probe::synthesis_request_target());
         r
     }
 
@@ -212,7 +214,8 @@ mod tests {
                 "parse_schedule",
                 "parse_trace",
                 "route_edit_probe",
-                "serve_request"
+                "serve_request",
+                "synthesis_request"
             ]
         );
         assert!(r.get("parse_schedule").is_some());

@@ -71,8 +71,8 @@ pub use chaos::{
 };
 pub use client::{Client, ClientError, RetryPolicy};
 pub use io::{DiskIo, MemDisk, RealDisk};
-pub use proto::{parse_request, Request, RequestError};
-pub use report::synth_json_object;
+pub use proto::{parse_request, Request, RequestError, SynthRequest};
+pub use report::{pareto_point_object, synth_json_object, with_pareto_array};
 pub use server::{
     job_fingerprint, parse_pattern, ParsedPattern, PatternKind, Reply, ReplyKind, ServeOptions,
     Server,

@@ -15,26 +15,40 @@ use nocsyn_model::json::{self, JsonValue};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Synthesize a network for an inline pattern text.
-    Synth {
-        /// Schedule or trace text (autodetected, same rule as the CLI:
-        /// any `msg ` line makes it a trace).
-        pattern: String,
-        /// RNG seed; defaults to the config default.
-        seed: Option<u64>,
-        /// Restart portfolio size; defaults to the config default.
-        restarts: Option<u64>,
-        /// Maximum switch degree; defaults to the config default.
-        max_degree: Option<u64>,
-        /// Wall-clock budget. Deliberately **not** part of the cache
-        /// fingerprint: a deadline changes how long the search may run,
-        /// never what a completed search returns, and only completed
-        /// results are cached.
-        deadline_ms: Option<u64>,
-    },
+    Synth(SynthRequest),
     /// Report cache and request counters.
     Stats,
     /// Liveness / readiness probe.
     Status,
+}
+
+/// Payload of a `synth` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthRequest {
+    /// Schedule or trace text (autodetected, same rule as the CLI:
+    /// any `msg ` line makes it a trace).
+    pub pattern: String,
+    /// RNG seed; defaults to the config default.
+    pub seed: Option<u64>,
+    /// Restart portfolio size; defaults to the config default. Zero is
+    /// rejected by the request builder with a `zero-restarts` reply, not
+    /// silently clamped.
+    pub restarts: Option<u64>,
+    /// Maximum switch degree; defaults to the config default.
+    pub max_degree: Option<u64>,
+    /// Wall-clock budget. Deliberately **not** part of the cache
+    /// fingerprint: a deadline changes how long the search may run,
+    /// never what a completed search returns, and only completed
+    /// results are cached.
+    pub deadline_ms: Option<u64>,
+    /// Synthesis mode: `"flat"` (the default) or `"decomposed"`
+    /// (cluster, synthesize per cluster, stitch, re-verify). Part of the
+    /// cache fingerprint via the request's canonical form, so flat and
+    /// decomposed answers never collide.
+    pub mode: Option<String>,
+    /// Cluster count for decomposed mode; only legal alongside
+    /// `"mode":"decomposed"`. Absent means auto-sizing.
+    pub clusters: Option<u64>,
 }
 
 /// A rejected request: a stable kebab-case fingerprint naming the
@@ -73,6 +87,8 @@ const SYNTH_FIELDS: &[&str] = &[
     "restarts",
     "max_degree",
     "deadline_ms",
+    "mode",
+    "clusters",
 ];
 
 /// Parses one protocol line into a [`Request`].
@@ -111,13 +127,34 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                     "synth request needs a string \"pattern\" field",
                 ));
             };
-            Ok(Request::Synth {
+            let mode = match value.get("mode") {
+                None => None,
+                Some(v) => match v.as_str() {
+                    Some(m @ ("flat" | "decomposed")) => Some(m.to_string()),
+                    _ => {
+                        return Err(RequestError::new(
+                            "bad-field",
+                            "field \"mode\" must be \"flat\" or \"decomposed\"",
+                        ));
+                    }
+                },
+            };
+            let clusters = u64_field(&value, "clusters")?;
+            if clusters.is_some() && mode.as_deref() != Some("decomposed") {
+                return Err(RequestError::new(
+                    "bad-field",
+                    "field \"clusters\" requires \"mode\":\"decomposed\"",
+                ));
+            }
+            Ok(Request::Synth(SynthRequest {
                 pattern: pattern.to_string(),
                 seed: u64_field(&value, "seed")?,
                 restarts: u64_field(&value, "restarts")?,
                 max_degree: u64_field(&value, "max_degree")?,
                 deadline_ms: u64_field(&value, "deadline_ms")?,
-            })
+                mode,
+                clusters,
+            }))
         }
         "stats" => {
             only_op(pairs, "stats")?;
@@ -168,18 +205,20 @@ mod tests {
     #[test]
     fn parses_full_synth_request() {
         let req = parse_request(
-            r#"{"op":"synth","pattern":"procs 2\n","seed":7,"restarts":2,"max_degree":4,"deadline_ms":100}"#,
+            r#"{"op":"synth","pattern":"procs 2\n","seed":7,"restarts":2,"max_degree":4,"deadline_ms":100,"mode":"decomposed","clusters":2}"#,
         )
         .expect("valid");
         assert_eq!(
             req,
-            Request::Synth {
+            Request::Synth(SynthRequest {
                 pattern: "procs 2\n".into(),
                 seed: Some(7),
                 restarts: Some(2),
                 max_degree: Some(4),
                 deadline_ms: Some(100),
-            }
+                mode: Some("decomposed".into()),
+                clusters: Some(2),
+            })
         );
     }
 
@@ -188,13 +227,15 @@ mod tests {
         let req = parse_request(r#"{"op":"synth","pattern":"procs 2\n"}"#).expect("valid");
         assert_eq!(
             req,
-            Request::Synth {
+            Request::Synth(SynthRequest {
                 pattern: "procs 2\n".into(),
                 seed: None,
                 restarts: None,
                 max_degree: None,
                 deadline_ms: None,
-            }
+                mode: None,
+                clusters: None,
+            })
         );
         assert_eq!(parse_request(r#"{"op":"stats"}"#), Ok(Request::Stats));
         assert_eq!(parse_request(r#"{"op":"status"}"#), Ok(Request::Status));
@@ -214,6 +255,20 @@ mod tests {
             (r#"{"op":"synth","pattern":"p","seed":-1}"#, "bad-field"),
             (r#"{"op":"synth","pattern":"p","seed":1.5}"#, "bad-field"),
             (r#"{"op":"synth","pattern":"p","bogus":1}"#, "bad-field"),
+            (
+                r#"{"op":"synth","pattern":"p","mode":"turbo"}"#,
+                "bad-field",
+            ),
+            (r#"{"op":"synth","pattern":"p","mode":7}"#, "bad-field"),
+            (r#"{"op":"synth","pattern":"p","clusters":2}"#, "bad-field"),
+            (
+                r#"{"op":"synth","pattern":"p","mode":"flat","clusters":2}"#,
+                "bad-field",
+            ),
+            (
+                r#"{"op":"synth","pattern":"p","mode":"decomposed","clusters":-1}"#,
+                "bad-field",
+            ),
             (r#"{"op":"stats","extra":1}"#, "bad-field"),
             (r#"{"op":"status","extra":1}"#, "bad-field"),
         ];

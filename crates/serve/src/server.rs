@@ -14,12 +14,12 @@ use nocsyn_model::json::JsonValue;
 use nocsyn_model::{
     canonical_schedule, canonical_trace, Digest, ParseLimits, ParseOptions, ParseScheduleError,
 };
-use nocsyn_synth::{AppPattern, SynthesisConfig};
+use nocsyn_synth::{AppPattern, SynthesisConfig, SynthesisMode, SynthesisRequest};
 
 use crate::cache::{CacheStats, CacheTier, ResultCache};
 use crate::chaos::{FaultPlan, FaultPoint, InjectedFault};
 use crate::io::DiskIo;
-use crate::proto::{parse_request, Request};
+use crate::proto::{parse_request, Request, SynthRequest};
 use crate::report::synth_json_object;
 
 /// Protocol version advertised in `status` replies.
@@ -175,14 +175,15 @@ pub fn parse_pattern(text: &str, opts: &ParseOptions) -> Result<ParsedPattern, P
 }
 
 /// The content fingerprint of one synthesis job: the order-invariant
-/// digest of the config's canonical form plus the pattern's kind and
-/// canonical text.
+/// digest of the request's canonical form (config plus synthesis mode,
+/// so a flat and a decomposed answer can never collide under one key)
+/// plus the pattern's kind and canonical text.
 ///
-/// Deliberately excludes the deadline — a deadline bounds how long the
-/// search may run, never what a *completed* search returns, and only
-/// completed results are cached under this key.
-pub fn job_fingerprint(kind: PatternKind, canonical: &str, config: &SynthesisConfig) -> Digest {
-    config
+/// The request's canonical form deliberately excludes the deadline — a
+/// deadline bounds how long the search may run, never what a *completed*
+/// search returns, and only completed results are cached under this key.
+pub fn job_fingerprint(kind: PatternKind, canonical: &str, request: &SynthesisRequest) -> Digest {
+    request
         .canonical_form()
         .field("pattern_kind", kind.label())
         .field("pattern", canonical)
@@ -318,14 +319,8 @@ impl Server {
                 self.emit("status", &reply);
                 reply
             }
-            Ok(Request::Synth {
-                pattern,
-                seed,
-                restarts,
-                max_degree,
-                deadline_ms,
-            }) => {
-                let reply = self.synth(&pattern, seed, restarts, max_degree, deadline_ms);
+            Ok(Request::Synth(req)) => {
+                let reply = self.synth(&req);
                 self.emit("synth", &reply);
                 reply
             }
@@ -343,14 +338,7 @@ impl Server {
             .saturating_add(1024)
     }
 
-    fn synth(
-        &self,
-        pattern_text: &str,
-        seed: Option<u64>,
-        restarts: Option<u64>,
-        max_degree: Option<u64>,
-        deadline_ms: Option<u64>,
-    ) -> Reply {
+    fn synth(&self, req: &SynthRequest) -> Reply {
         if self.shutdown.load(Ordering::Relaxed) {
             return Reply::error(
                 "shutting-down",
@@ -361,7 +349,7 @@ impl Server {
             return Reply::error("queue-full", "synthesis queue is at capacity; retry later");
         }
         let parse_opts = ParseOptions::new().with_limits(self.opts.limits.clone());
-        let parsed = match parse_pattern(pattern_text, &parse_opts) {
+        let parsed = match parse_pattern(&req.pattern, &parse_opts) {
             Ok(p) => p,
             Err(e) => {
                 return Reply::error(
@@ -372,25 +360,51 @@ impl Server {
         };
 
         let mut config = SynthesisConfig::new();
-        if let Some(s) = seed {
+        if let Some(s) = req.seed {
             config = config.with_seed(s);
         }
-        if let Some(r) = restarts {
-            config = config.with_restarts(usize::try_from(r).unwrap_or(usize::MAX).max(1));
-        }
-        if let Some(d) = max_degree {
+        if let Some(d) = req.max_degree {
             config = config.with_max_degree(usize::try_from(d).unwrap_or(usize::MAX));
         }
+        let mode = match req.mode.as_deref() {
+            None | Some("flat") => SynthesisMode::Flat,
+            Some("decomposed") => SynthesisMode::Decomposed {
+                clusters: req
+                    .clusters
+                    .map(|c| usize::try_from(c).unwrap_or(usize::MAX)),
+            },
+            // The protocol layer admits only the two modes above.
+            Some(other) => {
+                return Reply::error("bad-field", &format!("unknown mode {other:?}"));
+            }
+        };
+        let mut builder = SynthesisRequest::builder(parsed.pattern.clone())
+            .config(config)
+            .mode(mode);
+        if let Some(r) = req.restarts {
+            builder = builder.restarts(usize::try_from(r).unwrap_or(usize::MAX));
+        }
+        if let Some(ms) = req.deadline_ms {
+            builder = builder.deadline_ms(ms);
+        }
+        // Wire-level zero restarts / zero clusters surface as typed
+        // rejections with the builder's stable fingerprints, not silent
+        // clamps.
+        let mut request = match builder.build() {
+            Ok(r) => r,
+            Err(e) => return Reply::error(e.fingerprint(), &e.to_string()),
+        };
         // The restart cap is admission control on the *effective* job, so
         // it also bounds the default-portfolio case, not just explicit
         // oversized requests.
         if let Some(cap) = self.opts.max_restarts {
             let cap = usize::try_from(cap).unwrap_or(usize::MAX).max(1);
-            if config.restarts() > cap {
-                config = config.with_restarts(cap);
+            if request.config().restarts() > cap {
+                let clamped = request.config().clone().with_restarts(cap);
+                request = request.with_config(clamped);
             }
         }
-        let fp = job_fingerprint(parsed.kind, &parsed.canonical, &config);
+        let fp = job_fingerprint(parsed.kind, &parsed.canonical, &request);
 
         if let Some((report, tier)) = self.cache_lookup(&fp, &parsed.canonical) {
             return self.report_reply(&fp, tier, "ok", &report);
@@ -400,7 +414,6 @@ impl Server {
         // exactly the expensive section, so `queue-full` reflects actual
         // synthesis pressure rather than protocol chatter.
         self.in_flight.fetch_add(1, Ordering::Relaxed);
-        let deadline = deadline_ms.map(Duration::from_millis);
         // The engine-panic fault point: when a chaos plan says this
         // synthesis panics, run the job with an injected attempt-0 panic
         // and let the engine's isolation turn it into a Failed outcome.
@@ -416,19 +429,15 @@ impl Server {
                 )
             })
             .unwrap_or(false);
-        let outcome = if inject_panic {
-            let mut job =
-                Job::new("synth", parsed.pattern.clone(), config.clone()).with_injected_panic(0);
-            if let Some(d) = deadline {
-                job = job.with_deadline(d);
-            }
-            self.engine
-                .run(vec![job])
-                .pop()
-                .expect("one job in, one outcome out")
-        } else {
-            self.engine.synthesize(&parsed.pattern, &config, deadline)
-        };
+        let mut job = Job::new("synth", request.clone());
+        if inject_panic {
+            job = job.with_injected_panic(0);
+        }
+        let outcome = self
+            .engine
+            .run(vec![job])
+            .pop()
+            .expect("one job in, one outcome out");
         self.in_flight.fetch_sub(1, Ordering::Relaxed);
 
         match (&outcome.status, &outcome.result) {
@@ -440,7 +449,7 @@ impl Server {
                 "deadline expired before any restart completed",
             ),
             (status, Some(result)) => {
-                let report = synth_json_object(&parsed.pattern, &outcome, config.seed());
+                let report = synth_json_object(&request, &outcome);
                 if *status == JobStatus::Completed {
                     // Only fully completed portfolios are cached: a
                     // deadline-degraded best-so-far under the same key
@@ -930,8 +939,44 @@ mod tests {
         let reply = server.handle_line(&synth_line(""));
         let parse_opts = ParseOptions::new();
         let parsed = parse_pattern(PATTERN, &parse_opts).expect("valid");
-        let config = SynthesisConfig::new().with_restarts(1);
-        let fp = job_fingerprint(parsed.kind, &parsed.canonical, &config);
+        let request = SynthesisRequest::builder(parsed.pattern.clone())
+            .restarts(1)
+            .build()
+            .expect("request builds");
+        let fp = job_fingerprint(parsed.kind, &parsed.canonical, &request);
         assert!(reply.line.contains(&fp.to_hex()));
+    }
+
+    #[test]
+    fn zero_restarts_and_zero_clusters_are_typed_rejections() {
+        let server = Server::new(ServeOptions::default());
+        let r = server.handle_line(&synth_line("").replace("\"restarts\":1", "\"restarts\":0"));
+        assert_eq!(r.kind, ReplyKind::Error("zero-restarts"));
+        assert!(r.line.contains("restarts must be at least 1"));
+        let z = server.handle_line(&synth_line(",\"mode\":\"decomposed\",\"clusters\":0"));
+        assert_eq!(z.kind, ReplyKind::Error("zero-clusters"));
+    }
+
+    #[test]
+    fn decomposed_mode_is_a_distinct_cache_key_and_caches() {
+        let server = Server::new(ServeOptions::default());
+        let flat = server.handle_line(&synth_line(""));
+        let dec = server.handle_line(&synth_line(",\"mode\":\"decomposed\",\"clusters\":2"));
+        assert_eq!(flat.kind, ReplyKind::Report(CacheTier::Miss));
+        assert_eq!(
+            dec.kind,
+            ReplyKind::Report(CacheTier::Miss),
+            "mode is part of the key, so this cannot hit the flat entry"
+        );
+        assert!(dec.line.contains("\"mode\":\"decomposed\""));
+        assert!(dec.line.contains("\"contention_free\":true"));
+        // A decomposed result is cache-worthy like any other: the stitched
+        // network certifies, so the repeat is a verbatim hit.
+        let hit = server.handle_line(&synth_line(",\"mode\":\"decomposed\",\"clusters\":2"));
+        assert_eq!(hit.kind, ReplyKind::Report(CacheTier::Hit));
+        assert_eq!(
+            dec.line.replace("\"cache\":\"miss\"", "\"cache\":\"hit\""),
+            hit.line
+        );
     }
 }

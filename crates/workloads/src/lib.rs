@@ -65,5 +65,5 @@ pub use error::WorkloadError;
 pub use extra::{is_schedule, lu_schedule};
 pub use grid::Grid;
 pub use params::WorkloadParams;
-pub use synthetic::random_permutation_schedule;
+pub use synthetic::{clustered_permutation_schedule, random_permutation_schedule};
 pub use traffic::{open_loop_traffic, TrafficPattern};

@@ -53,6 +53,82 @@ pub fn random_permutation_schedule(
     sched
 }
 
+/// Generates a locality-structured schedule: `n_procs / block` blocks of
+/// `block` consecutive processes, each phase a random permutation
+/// *within* every block plus `cross_flows` random block-crossing flows.
+///
+/// This is the scale-out shape of the paper's "well-behaved" workloads —
+/// NAS-style kernels communicate overwhelmingly within a neighborhood
+/// and only occasionally across it — and the natural stress test for
+/// clustered decomposition: an affinity cut should recover the blocks
+/// and sever only the cross traffic.
+///
+/// Every phase remains a partial permutation (each process sources and
+/// sinks at most one flow), so the pattern is well-behaved in the
+/// paper's single-contention-period sense too.
+///
+/// # Panics
+///
+/// Panics if `n_procs < 2` or `block < 2`.
+pub fn clustered_permutation_schedule(
+    n_procs: usize,
+    block: usize,
+    n_phases: usize,
+    cross_flows: usize,
+    seed: u64,
+    params: &WorkloadParams,
+) -> PhaseSchedule {
+    assert!(n_procs >= 2, "need at least two processes to communicate");
+    assert!(block >= 2, "blocks need at least two processes");
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut sched = PhaseSchedule::new(n_procs);
+    for _ in 0..n_phases {
+        let mut used_src = vec![false; n_procs];
+        let mut used_dst = vec![false; n_procs];
+        let mut phase = Phase::new()
+            .with_bytes(params.bytes)
+            .with_compute(params.compute_ticks);
+        for start in (0..n_procs).step_by(block) {
+            let members: Vec<usize> = (start..(start + block).min(n_procs)).collect();
+            let mut targets = members.clone();
+            rng.shuffle(&mut targets);
+            for (&s, &d) in members.iter().zip(targets.iter()) {
+                if s != d {
+                    used_src[s] = true;
+                    used_dst[d] = true;
+                    phase
+                        .add(Flow::from_indices(s, d))
+                        .expect("block permutation is injective both ways");
+                }
+            }
+        }
+        // Cross-block flows between processes the block permutations left
+        // idle in the needed direction (fixed points), keeping the phase a
+        // partial permutation. Bounded retries keep generation total.
+        let mut added = 0;
+        for _ in 0..cross_flows * 16 {
+            if added == cross_flows {
+                break;
+            }
+            let s = rng.gen_range(0..n_procs);
+            let d = rng.gen_range(0..n_procs);
+            if s / block == d / block || used_src[s] || used_dst[d] {
+                continue;
+            }
+            used_src[s] = true;
+            used_dst[d] = true;
+            phase
+                .add(Flow::from_indices(s, d))
+                .expect("endpoints were unused in this direction");
+            added += 1;
+        }
+        if !phase.is_empty() {
+            sched.push(phase).expect("participants are in range");
+        }
+    }
+    sched
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +172,36 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn rejects_tiny_systems() {
         let _ = random_permutation_schedule(1, 1, 0, &WorkloadParams::default());
+    }
+
+    #[test]
+    fn clustered_schedule_is_local_with_bounded_cross_traffic() {
+        let p = WorkloadParams::default();
+        let sched = clustered_permutation_schedule(64, 16, 4, 3, 9, &p);
+        let mut cross = 0usize;
+        let mut local = 0usize;
+        for phase in sched.iter() {
+            let mut sources = std::collections::BTreeSet::new();
+            let mut dests = std::collections::BTreeSet::new();
+            for f in phase.iter() {
+                assert!(sources.insert(f.src), "duplicate source in phase");
+                assert!(dests.insert(f.dst), "duplicate destination in phase");
+                if f.src.index() / 16 == f.dst.index() / 16 {
+                    local += 1;
+                } else {
+                    cross += 1;
+                }
+            }
+        }
+        assert!(cross <= 3 * 4, "at most cross_flows per phase, got {cross}");
+        assert!(
+            local > cross * 3,
+            "traffic must be dominated by block-local flows ({local} local, {cross} cross)"
+        );
+        assert_eq!(
+            sched,
+            clustered_permutation_schedule(64, 16, 4, 3, 9, &p),
+            "generation is a pure function of the seed"
+        );
     }
 }

@@ -14,14 +14,11 @@ fn jobs() -> Result<Vec<Job>, Box<dyn std::error::Error>> {
         .into_iter()
         .map(|benchmark| {
             let sched = benchmark.schedule(16, &WorkloadParams::paper_default(benchmark))?;
-            let config = SynthesisConfig::new()
-                .with_seed(0xBA7C ^ (benchmark as u64))
-                .with_restarts(8);
-            Ok(Job::new(
-                format!("{}-16", benchmark.name()),
-                AppPattern::from_schedule(&sched),
-                config,
-            ))
+            let request = SynthesisRequest::builder(AppPattern::from_schedule(&sched))
+                .config(SynthesisConfig::new().with_seed(0xBA7C ^ (benchmark as u64)))
+                .restarts(8)
+                .build()?;
+            Ok(Job::new(format!("{}-16", benchmark.name()), request))
         })
         .collect()
 }

@@ -18,10 +18,9 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Duration;
 
 use nocsyn_certify::{check_certificate, CheckOptions, Rejection};
-use nocsyn_engine::{par_map, Engine, EventSink, JobStatus, JsonLinesSink, NullSink};
+use nocsyn_engine::{par_map, Engine, EventSink, Job, JobStatus, JsonLinesSink, NullSink};
 use nocsyn_faults::{DegradationReport, FaultScenario};
 use nocsyn_floorplan::{mesh_baseline, place};
 use nocsyn_fuzz::{CaseReport, FuzzConfig, FuzzTarget, Registry};
@@ -30,11 +29,14 @@ use nocsyn_model::{
     parse_schedule, parse_trace, Digest, Flow, ParseLimits, ParseOptions, PhaseSchedule, Trace,
 };
 use nocsyn_serve::{
-    job_fingerprint, parse_pattern, run_chaos, synth_json_object, ChaosConfig, Client, RetryPolicy,
-    ServeOptions, Server,
+    job_fingerprint, pareto_point_object, parse_pattern, run_chaos, synth_json_object,
+    with_pareto_array, ChaosConfig, Client, RetryPolicy, ServeOptions, Server,
 };
 use nocsyn_sim::{AppDriver, RoutePolicy, SimConfig};
-use nocsyn_synth::{explain, synthesize, AppPattern, SynthesisConfig};
+use nocsyn_synth::{
+    explain, pareto_filter, synthesize, AppPattern, ParetoPoint, SynthesisConfig, SynthesisMode,
+    SynthesisRequest,
+};
 use nocsyn_topo::{
     build_certificate, regular, to_dot, verify_contention_free, Network, RouteTable,
 };
@@ -76,6 +78,15 @@ OPTIONS (synth):
     --dot              print the generated network as Graphviz DOT
     --emit-cert <f>    write the contention-freedom certificate (JSON) to <f>;
                        bound to the job fingerprint `nocsyn serve` would use
+    --decompose        cluster the flow graph, synthesize each cluster
+                       independently, stitch with exact-colored inter-cluster
+                       pipes, and re-verify Theorem 1 on the stitched whole
+                       (the practical route to 64-256-node patterns)
+    --clusters <n>     cluster count for --decompose [default: auto-sized]
+    --pareto           with --json: sweep a ladder of degree budgets and embed
+                       the non-dominated points (switches/links/area) as a
+                       deterministic `pareto` array; without --json, print
+                       the front as a table
 
 OPTIONS (certify):
     nocsyn certify <pattern.txt> <cert.json> [--job <hex64>] [--json]
@@ -97,7 +108,8 @@ OPTIONS (faults):
                          byte-identical for any worker count
 
 OPTIONS (fuzz):
-    --target <name>    all | parse_schedule | parse_trace | cli [default all]
+    --target <name>    all | parse_schedule | parse_trace | synthesis_request
+                       | cli | ... [default all]
     --iters <n>        cases per target [default 10000]
     --corpus-dir <d>   extra corpus files to mutate (read sorted by name)
     (set NOCSYN_FUZZ_SEED=<case-seed> to replay a single reported case)
@@ -178,6 +190,9 @@ struct Options {
     backoff_ms: u64,
     emit_cert: Option<String>,
     job: Option<String>,
+    decompose: bool,
+    clusters: Option<usize>,
+    pareto: bool,
 }
 
 /// Parses one numeric flag value, naming the flag in any error — the
@@ -230,6 +245,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         backoff_ms: 50,
         emit_cert: None,
         job: None,
+        decompose: false,
+        clusters: None,
+        pareto: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -312,6 +330,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--emit-cert" => {
                 opts.emit_cert = Some(value("--emit-cert")?);
             }
+            "--decompose" => opts.decompose = true,
+            // Deliberately no at_least_one: zero flows into the request
+            // builder so the typed `zero-clusters` rejection is exercised.
+            "--clusters" => {
+                opts.clusters = Some(num_flag("--clusters", &value("--clusters")?)?);
+            }
+            "--pareto" => opts.pareto = true,
             "--job" => {
                 opts.job = Some(value("--job")?);
             }
@@ -467,19 +492,42 @@ fn cmd_info(pattern: &AppPattern, n_events: usize, opts: &Options) -> Result<Str
     Ok(out)
 }
 
-fn cmd_synth(pattern: &AppPattern, raw: &str, opts: &Options) -> Result<String, String> {
+/// Assembles the synth command's [`SynthesisRequest`] from the parsed
+/// options — the single place the CLI's knobs meet the unified request
+/// type consumed by the engine, the serve daemon, and the fingerprint.
+fn synth_request(pattern: &AppPattern, opts: &Options) -> Result<SynthesisRequest, String> {
     let config = SynthesisConfig::new()
         .with_max_degree(opts.max_degree)
-        .with_seed(opts.seed)
-        .with_restarts(opts.restarts);
+        .with_seed(opts.seed);
+    let mode = if opts.decompose {
+        SynthesisMode::Decomposed {
+            clusters: opts.clusters,
+        }
+    } else {
+        SynthesisMode::Flat
+    };
+    let mut builder = SynthesisRequest::builder(pattern.clone())
+        .config(config)
+        .restarts(opts.restarts)
+        .mode(mode);
+    if let Some(ms) = opts.deadline_ms {
+        builder = builder.deadline_ms(ms);
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+fn cmd_synth(pattern: &AppPattern, raw: &str, opts: &Options) -> Result<String, String> {
+    let request = synth_request(pattern, opts)?;
     let sink: Arc<dyn EventSink> = if opts.events {
         Arc::new(JsonLinesSink::stderr())
     } else {
         Arc::new(NullSink)
     };
     let engine = Engine::new().with_workers(opts.jobs).with_sink(sink);
-    let deadline = opts.deadline_ms.map(Duration::from_millis);
-    let outcome = engine.synthesize(pattern, &config, deadline);
+    let outcome = engine
+        .run(vec![Job::new("synth", request.clone())])
+        .pop()
+        .expect("one job in, one outcome out");
     if let JobStatus::Failed(e) = &outcome.status {
         return Err(e.to_string());
     }
@@ -492,11 +540,11 @@ fn cmd_synth(pattern: &AppPattern, raw: &str, opts: &Options) -> Result<String, 
     };
     if let Some(cert_path) = &opts.emit_cert {
         // Bind the certificate to the same job fingerprint the serve
-        // cache would use for this (pattern, config) pair, so the file is
+        // cache would use for this request, so the file is
         // interchangeable with a daemon's cached certificate.
         let parsed = parse_pattern(raw, &ParseOptions::new())
             .map_err(|e| format!("canonicalizing pattern for certificate: {e}"))?;
-        let fp = job_fingerprint(parsed.kind, &parsed.canonical, &config);
+        let fp = job_fingerprint(parsed.kind, &parsed.canonical, &request);
         let cert = result.certificate(pattern, Some(fp)).to_json();
         std::fs::write(cert_path, format!("{cert}\n"))
             .map_err(|e| format!("writing {cert_path}: {e}"))?;
@@ -504,10 +552,18 @@ fn cmd_synth(pattern: &AppPattern, raw: &str, opts: &Options) -> Result<String, 
     if opts.json {
         // One rendering shared with the serve daemon and its cache, so a
         // cache hit is byte-comparable against a direct CLI run.
-        return Ok(format!(
-            "{}\n",
-            synth_json_object(pattern, &outcome, opts.seed)
-        ));
+        let base = synth_json_object(&request, &outcome);
+        let body = if opts.pareto {
+            let sweep = pareto_sweep(&engine, &request, opts)?;
+            let rendered: Vec<String> = sweep
+                .iter()
+                .map(|(p, report)| pareto_point_object(p, request.seed(), report))
+                .collect();
+            with_pareto_array(&base, &rendered)
+        } else {
+            base
+        };
+        return Ok(format!("{body}\n"));
     }
     let mut out = String::new();
     if outcome.status == JobStatus::DeadlineExceeded {
@@ -515,6 +571,13 @@ fn cmd_synth(pattern: &AppPattern, raw: &str, opts: &Options) -> Result<String, 
             out,
             "deadline exceeded after {}/{} restarts; reporting best-so-far",
             outcome.attempts_completed, outcome.attempts_total
+        );
+    }
+    if let Some(d) = &outcome.decomposition {
+        let _ = writeln!(
+            out,
+            "decomposed: {} clusters (largest {}), {} cut flows over {} stitch links",
+            d.clusters, d.largest_cluster, d.cut_flows, d.stitch_links
         );
     }
     let _ = writeln!(out, "{}", result.report);
@@ -537,10 +600,79 @@ fn cmd_synth(pattern: &AppPattern, raw: &str, opts: &Options) -> Result<String, 
         100.0 * area.switch_area / mesh.switch_area,
         100.0 * area.link_area / mesh.link_area.max(1.0),
     );
+    if opts.pareto {
+        let sweep = pareto_sweep(&engine, &request, opts)?;
+        let _ = writeln!(out, "\npareto front (constraint sweep):");
+        for (p, _) in &sweep {
+            let _ = writeln!(
+                out,
+                "  max_degree {:>2}: {} switches, {} links{}",
+                p.max_degree,
+                p.n_switches,
+                p.n_links,
+                if p.feasible { "" } else { " (infeasible)" }
+            );
+        }
+    }
     if opts.dot {
         let _ = writeln!(out, "\n{}", to_dot(&result.network));
     }
     Ok(out)
+}
+
+/// Sweeps the degree constraint around the requested bound and keeps the
+/// Pareto-optimal points, pairing each surviving point with its full
+/// report object (rendered through the shared [`synth_json_object`] path
+/// so serve and CLI bytes agree). Each rung reuses the request verbatim
+/// except for the degree bound — decomposition mode, seed and restarts
+/// all carry over, so a decomposed sweep stays decomposed.
+fn pareto_sweep(
+    engine: &Engine,
+    request: &SynthesisRequest,
+    opts: &Options,
+) -> Result<Vec<(ParetoPoint, String)>, String> {
+    let mut degrees = vec![4usize, 5, 6, 8, 12, 16];
+    degrees.push(opts.max_degree);
+    degrees.sort_unstable();
+    degrees.dedup();
+    let mut points = Vec::new();
+    let mut reports = std::collections::BTreeMap::new();
+    for degree in degrees {
+        let swept = request
+            .clone()
+            .with_config(request.config().clone().with_max_degree(degree));
+        let outcome = engine
+            .run(vec![Job::new(format!("pareto/d{degree}"), swept.clone())])
+            .pop()
+            .expect("one job in, one outcome out");
+        if let JobStatus::Failed(e) = &outcome.status {
+            return Err(e.to_string());
+        }
+        let Some(result) = &outcome.result else {
+            // A deadline that starves a rung drops that point rather than
+            // failing the whole sweep; without a deadline every rung
+            // completes and the front is fully deterministic.
+            continue;
+        };
+        reports.insert(degree, synth_json_object(&swept, &outcome));
+        points.push(ParetoPoint {
+            max_degree: degree,
+            n_switches: result.report.n_switches,
+            n_links: result.report.n_links,
+            feasible: result.report.constraints_met,
+            result: result.clone(),
+        });
+    }
+    let front = pareto_filter(points);
+    Ok(front
+        .into_iter()
+        .map(|p| {
+            let report = reports
+                .remove(&p.max_degree)
+                .expect("every surviving point was rendered");
+            (p, report)
+        })
+        .collect())
 }
 
 fn cmd_simulate(schedule: &PhaseSchedule, opts: &Options) -> Result<String, String> {

@@ -30,7 +30,7 @@ pub mod prelude {
     pub use nocsyn_sim::{AppDriver, RoutePolicy, SimConfig};
     pub use nocsyn_synth::{
         synthesize, synthesize_network, AppPattern, ColoringStrategy, SynthesisConfig,
-        SynthesisResult,
+        SynthesisMode, SynthesisRequest, SynthesisResult,
     };
     pub use nocsyn_topo::{verify_contention_free, Network};
     pub use nocsyn_workloads::{Benchmark, WorkloadParams};

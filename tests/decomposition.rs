@@ -1,0 +1,128 @@
+//! Decomposition-mode integration: worker-count invariance of the
+//! rendered report, global Theorem-1 equivalence of the stitched
+//! network, and the certificate round trip through `nocsyn certify`.
+
+use nocsyn::cli;
+use nocsyn::engine::{Engine, Job};
+use nocsyn::model::format_schedule;
+use nocsyn::serve::synth_json_object;
+use nocsyn::synth::{AppPattern, SynthesisConfig, SynthesisMode, SynthesisRequest};
+use nocsyn::topo::verify_contention_free;
+use nocsyn::workloads::{clustered_permutation_schedule, WorkloadParams};
+
+/// The 64-node locality-structured pattern the decompose bench sweeps:
+/// block-local permutations plus a thin cross-block tail.
+fn clustered64() -> AppPattern {
+    let sched = clustered_permutation_schedule(
+        64,
+        16,
+        2,
+        3,
+        0xC105,
+        &WorkloadParams::default().with_bytes(64),
+    );
+    AppPattern::from_schedule(&sched)
+}
+
+fn decomposed_request(pattern: AppPattern) -> SynthesisRequest {
+    SynthesisRequest::builder(pattern)
+        .config(SynthesisConfig::new().with_seed(65))
+        .restarts(2)
+        .mode(SynthesisMode::Decomposed { clusters: None })
+        .build()
+        .expect("a decomposed request builds")
+}
+
+#[test]
+fn decomposed_report_is_identical_across_worker_counts() {
+    let request = decomposed_request(clustered64());
+    let run = |workers: usize| {
+        let outcome = Engine::new()
+            .with_workers(workers)
+            .run(vec![Job::new("clus64", request.clone())])
+            .pop()
+            .expect("one outcome");
+        synth_json_object(&request, &outcome)
+    };
+    let sequential = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        sequential, parallel,
+        "the decomposed report must not depend on the worker count"
+    );
+    assert!(
+        sequential.contains("\"mode\":\"decomposed\""),
+        "{sequential}"
+    );
+    assert!(sequential.contains("\"clusters\":4"), "{sequential}");
+}
+
+#[test]
+fn stitched_network_matches_fresh_theorem1_verification() {
+    let pattern = clustered64();
+    let request = decomposed_request(pattern.clone());
+    let outcome = Engine::new()
+        .run(vec![Job::new("clus64", request)])
+        .pop()
+        .expect("one outcome");
+    let result = outcome.result.as_ref().expect("job completed");
+
+    // The stitched global network must agree with an independent
+    // Theorem-1 check, not just its own report flag.
+    let check = verify_contention_free(pattern.contention(), &result.routes);
+    assert!(check.is_contention_free(), "{check}");
+    assert_eq!(result.report.contention_free, check.is_contention_free());
+    assert!(result.network.is_strongly_connected());
+    result.routes.validate(&result.network).expect("routes fit");
+    assert!(outcome.decomposition.is_some(), "decomposition summary set");
+}
+
+#[test]
+fn decomposed_cert_round_trips_through_certify() {
+    let dir = std::env::temp_dir();
+    let pattern_path = dir.join("nocsyn-test-decomp-pattern.txt");
+    let cert_path = dir.join("nocsyn-test-decomp-cert.json");
+    let sched = clustered_permutation_schedule(
+        64,
+        16,
+        2,
+        3,
+        0xC105,
+        &WorkloadParams::default().with_bytes(64),
+    );
+    std::fs::write(&pattern_path, format_schedule(&sched)).expect("temp dir writable");
+
+    let args: Vec<String> = [
+        "synth",
+        pattern_path.to_str().expect("utf-8 temp path"),
+        "--decompose",
+        "--restarts",
+        "2",
+        "--seed",
+        "65",
+        "--emit-cert",
+        cert_path.to_str().expect("utf-8 temp path"),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let out = cli::run(&args).expect("decomposed synth succeeds");
+    assert!(out.contains("decomposed: 4 clusters"), "{out}");
+    assert!(out.contains("contention-free: true"), "{out}");
+
+    let certify: Vec<String> = [
+        "certify",
+        pattern_path.to_str().expect("utf-8 temp path"),
+        cert_path.to_str().expect("utf-8 temp path"),
+        "--json",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let verdict = cli::run(&certify).expect("certificate checks");
+    assert!(
+        verdict.starts_with("{\"command\":\"certify\",\"valid\":true"),
+        "{verdict}"
+    );
+    assert!(verdict.contains("\"contention_free\":true"), "{verdict}");
+}

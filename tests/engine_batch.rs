@@ -6,23 +6,29 @@ use std::sync::Arc;
 
 use nocsyn::engine::{CollectSink, Engine, EngineEvent, Job, JobError, JobStatus, RetryPolicy};
 use nocsyn::model::PhaseSchedule;
-use nocsyn::synth::{synthesize, AppPattern, SynthesisConfig};
+use nocsyn::synth::{
+    synthesize, AppPattern, SynthesisConfig, SynthesisRequest, SynthesisRequestBuilder,
+};
 use nocsyn::workloads::{Benchmark, WorkloadParams};
 
-fn benchmark_job(benchmark: Benchmark, n: usize, restarts: usize) -> Job {
+fn benchmark_builder(benchmark: Benchmark, n: usize, restarts: usize) -> SynthesisRequestBuilder {
     let sched = benchmark
         .schedule(
             n,
             &WorkloadParams::paper_default(benchmark).with_iterations(1),
         )
         .expect("paper process counts are valid");
-    let config = SynthesisConfig::new()
-        .with_seed(0xBA7C ^ (benchmark as u64))
-        .with_restarts(restarts);
+    SynthesisRequest::builder(AppPattern::from_schedule(&sched))
+        .config(SynthesisConfig::new().with_seed(0xBA7C ^ (benchmark as u64)))
+        .restarts(restarts)
+}
+
+fn benchmark_job(benchmark: Benchmark, n: usize, restarts: usize) -> Job {
     Job::new(
         format!("{}{n}", benchmark.name()),
-        AppPattern::from_schedule(&sched),
-        config,
+        benchmark_builder(benchmark, n, restarts)
+            .build()
+            .expect("a nonzero restart count builds"),
     )
 }
 
@@ -37,7 +43,7 @@ fn batch_across_benchmarks_matches_sequential_per_job() {
         .collect();
     let expected: Vec<_> = jobs
         .iter()
-        .map(|j| synthesize(&j.pattern, &j.config).unwrap())
+        .map(|j| synthesize(j.request.pattern(), j.request.config()).unwrap())
         .collect();
 
     let outcomes = Engine::new().with_workers(4).run(jobs);
@@ -59,8 +65,20 @@ fn batch_across_benchmarks_matches_sequential_per_job() {
 fn failures_and_deadlines_stay_contained_per_job() {
     let empty = AppPattern::from_schedule(&PhaseSchedule::new(0));
     let jobs = vec![
-        Job::new("empty", empty, SynthesisConfig::new().with_restarts(2)),
-        benchmark_job(Benchmark::Cg, 8, 2).with_deadline_ms(0),
+        Job::new(
+            "empty",
+            SynthesisRequest::builder(empty)
+                .restarts(2)
+                .build()
+                .expect("builds"),
+        ),
+        Job::new(
+            "CG8",
+            benchmark_builder(Benchmark::Cg, 8, 2)
+                .deadline_ms(0)
+                .build()
+                .expect("builds"),
+        ),
         benchmark_job(Benchmark::Mg, 8, 2),
     ];
     let outcomes = Engine::new().with_workers(2).run(jobs);
@@ -156,7 +174,13 @@ fn batch_telemetry_is_complete_and_attributed() {
     let sink = Arc::new(CollectSink::new());
     let jobs = vec![
         benchmark_job(Benchmark::Cg, 8, 3),
-        benchmark_job(Benchmark::Mg, 8, 3).with_deadline_ms(0),
+        Job::new(
+            "MG8",
+            benchmark_builder(Benchmark::Mg, 8, 3)
+                .deadline_ms(0)
+                .build()
+                .expect("builds"),
+        ),
     ];
     let outcomes = Engine::new()
         .with_workers(2)

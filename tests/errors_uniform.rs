@@ -8,7 +8,7 @@ use std::error::Error;
 use nocsyn::engine::JobError;
 use nocsyn::model::{parse_schedule, Flow, ModelError, ProcId};
 use nocsyn::sim::SimError;
-use nocsyn::synth::SynthError;
+use nocsyn::synth::{RequestBuildError, SynthError};
 use nocsyn::topo::TopoError;
 use nocsyn::workloads::WorkloadError;
 use nocsyn_check::CaseError;
@@ -49,6 +49,11 @@ fn every_public_error_type_is_uniform() {
 
     let e = SynthError::EmptyPattern;
     assert_boxable(e.clone(), e.fingerprint());
+
+    let e = RequestBuildError::ZeroRestarts;
+    assert_boxable(e, e.fingerprint());
+    let e = RequestBuildError::ZeroClusters;
+    assert_boxable(e, e.fingerprint());
 
     let e = WorkloadError::NotPowerOfTwo { n_procs: 9 };
     assert_boxable(e.clone(), e.fingerprint());

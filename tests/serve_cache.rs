@@ -12,8 +12,16 @@ use nocsyn::serve::{
     job_fingerprint, parse_pattern, synth_json_object, CacheTier, ReplyKind, ResultCache,
     ServeOptions, Server,
 };
-use nocsyn::synth::SynthesisConfig;
+use nocsyn::synth::{AppPattern, SynthesisConfig, SynthesisRequest};
 use nocsyn::workloads::{random_permutation_schedule, WorkloadParams};
+
+/// Wraps a config in a flat request, the shape `job_fingerprint` keys on.
+fn request_for(pattern: &AppPattern, config: &SynthesisConfig) -> SynthesisRequest {
+    SynthesisRequest::builder(pattern.clone())
+        .config(config.clone())
+        .build()
+        .expect("a flat request over a valid config builds")
+}
 
 fn synth_request(text: &str, seed: u64) -> String {
     nocsyn::model::json::JsonValue::object([
@@ -64,7 +72,8 @@ fn fingerprint_is_injective_on_distinct_jobs() {
     }
     for (text, config) in &jobs {
         let parsed = parse_pattern(text, &opts).expect("generated patterns are valid");
-        let fp = job_fingerprint(parsed.kind, &parsed.canonical, config).to_hex();
+        let request = request_for(&parsed.pattern, config);
+        let fp = job_fingerprint(parsed.kind, &parsed.canonical, &request).to_hex();
         let description = format!("{text} + {:?}", config.canonical_form().render());
         if let Some(previous) = seen.insert(fp, description.clone()) {
             panic!("fingerprint collision between jobs:\n{previous}\n{description}");
@@ -118,7 +127,8 @@ fn fingerprint_is_invariant_under_pattern_presentation() {
     let config = SynthesisConfig::new();
     let fp = |text: &str| {
         let parsed = parse_pattern(text, &opts).expect("valid pattern");
-        job_fingerprint(parsed.kind, &parsed.canonical, &config)
+        let request = request_for(&parsed.pattern, &config);
+        job_fingerprint(parsed.kind, &parsed.canonical, &request)
     };
     let plain = "procs 4\nphase\n  0 -> 1\n  2 -> 3\n";
     let noisy = "# comment\nprocs 4\n\nphase\n  0->1\n  2 ->   3\n";
@@ -157,7 +167,12 @@ fn disk_entries_with_bad_certificates_are_recertified_not_served() {
     assert!(matches!(first.kind, ReplyKind::Report(CacheTier::Miss)));
     let parsed = parse_pattern(&text, &ParseOptions::new()).expect("valid pattern");
     let config = SynthesisConfig::new().with_seed(77).with_restarts(1);
-    let fp = job_fingerprint(parsed.kind, &parsed.canonical, &config).to_hex();
+    let fp = job_fingerprint(
+        parsed.kind,
+        &parsed.canonical,
+        &request_for(&parsed.pattern, &config),
+    )
+    .to_hex();
     let cert_path = dir.join(format!("{fp}.cert.json"));
     assert!(cert_path.exists(), "a certificate rides along on disk");
 
@@ -236,7 +251,12 @@ fn every_byte_truncation_is_quarantined_by_the_startup_scan() {
 
     let parsed = parse_pattern(&text, &ParseOptions::new()).expect("valid pattern");
     let config = SynthesisConfig::new().with_seed(11).with_restarts(1);
-    let fp = job_fingerprint(parsed.kind, &parsed.canonical, &config).to_hex();
+    let fp = job_fingerprint(
+        parsed.kind,
+        &parsed.canonical,
+        &request_for(&parsed.pattern, &config),
+    )
+    .to_hex();
     let report_path = dir.join(format!("{fp}.json"));
     let cert_path = dir.join(format!("{fp}.cert.json"));
     let report = std::fs::read(&report_path).expect("report on disk");
@@ -295,7 +315,12 @@ fn truncated_disk_entries_heal_byte_identically() {
     };
     let parsed = parse_pattern(&text, &ParseOptions::new()).expect("valid pattern");
     let config = SynthesisConfig::new().with_seed(23).with_restarts(1);
-    let fp = job_fingerprint(parsed.kind, &parsed.canonical, &config).to_hex();
+    let fp = job_fingerprint(
+        parsed.kind,
+        &parsed.canonical,
+        &request_for(&parsed.pattern, &config),
+    )
+    .to_hex();
     let report_path = dir.join(format!("{fp}.json"));
     let cert_path = dir.join(format!("{fp}.cert.json"));
     let report = std::fs::read(&report_path).expect("report on disk");
@@ -376,8 +401,9 @@ fn cached_report_matches_fresh_synthesis_bytes() {
             let parsed =
                 parse_pattern(&text, &ParseOptions::new()).expect("generated patterns are valid");
             let config = SynthesisConfig::new().with_seed(seed).with_restarts(2);
+            let request = request_for(&parsed.pattern, &config);
             let outcome = Engine::new().synthesize(&parsed.pattern, &config, None);
-            let direct = synth_json_object(&parsed.pattern, &outcome, config.seed());
+            let direct = synth_json_object(&request, &outcome);
             let embedded = hit
                 .line
                 .split("\"report\":")
